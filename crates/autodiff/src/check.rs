@@ -1,0 +1,108 @@
+//! Finite-difference gradient checking.
+//!
+//! The single most important test utility in the workspace: every built-in
+//! op, every fused custom op and every model's full loss are validated
+//! against central differences before they are trusted.
+
+use crate::tape::{Tape, Var};
+use elda_tensor::Tensor;
+
+/// Outcome of a gradient check, with enough detail to debug a failure.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric entries.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (|a-n| / max(1, |a|, |n|)).
+    pub max_rel_diff: f32,
+    /// Flat location of the worst entry: (input index, element index).
+    pub worst: (usize, usize),
+    /// Whether the check passed under the given tolerance.
+    pub ok: bool,
+}
+
+/// Checks `f`'s analytic input gradients against central finite differences.
+///
+/// `f` receives a fresh tape and leaf vars for each of `inputs`, and must
+/// return a **scalar** output var. The analytic gradient of each input is
+/// compared to `(f(x+h) - f(x-h)) / 2h` element by element.
+///
+/// Tolerances are calibrated for `f32`: `h` around `1e-2` with `tol` around
+/// `2e-2` works for smooth compositions; avoid kinks (ReLU at 0, max ties)
+/// in the sampled inputs.
+pub fn grad_check(
+    f: &dyn Fn(&mut Tape, &[Var]) -> Var,
+    inputs: &[Tensor],
+    h: f32,
+    tol: f32,
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let out = f(&mut tape, &vars);
+    assert_eq!(
+        tape.value(out).len(),
+        1,
+        "grad_check requires scalar output"
+    );
+    let grads = tape.backward(out);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(v, t)| {
+            grads
+                .wrt(*v)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(t.shape()))
+        })
+        .collect();
+
+    // Numeric pass.
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        let out = f(&mut tape, &vars);
+        tape.value(out).item()
+    };
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    let mut worst = (0usize, 0usize);
+    for (i, input) in inputs.iter().enumerate() {
+        for e in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[i].data_mut()[e] += h;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[i].data_mut()[e] -= h;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            let a = analytic[i].data()[e];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+            if rel > max_rel {
+                max_rel = rel;
+                worst = (i, e);
+            }
+            max_abs = max_abs.max(abs);
+        }
+    }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        worst,
+        ok: max_rel <= tol,
+    }
+}
+
+/// Convenience wrapper that panics with a readable report on failure.
+pub fn assert_grad_check(
+    f: &dyn Fn(&mut Tape, &[Var]) -> Var,
+    inputs: &[Tensor],
+    h: f32,
+    tol: f32,
+) {
+    let report = grad_check(f, inputs, h, tol);
+    assert!(
+        report.ok,
+        "gradient check failed: max_rel_diff={} (max_abs={}) at input {} element {}",
+        report.max_rel_diff, report.max_abs_diff, report.worst.0, report.worst.1
+    );
+}

@@ -1,0 +1,39 @@
+//! Extension point for fused operations with hand-derived gradients.
+
+use elda_tensor::Tensor;
+use std::any::Any;
+
+/// A differentiable operation implemented outside the built-in [`crate::Op`]
+/// set.
+///
+/// Implementors provide an eager `forward` and an analytic `backward`; the
+/// tape treats the op as a black box. This is how `elda-core` fuses the
+/// feature-level interaction module (Eq. 3–6 of the paper) into a single
+/// node, avoiding the `(B, C, C, e)` pairwise tensor that a naive
+/// composition would materialize on the tape.
+///
+/// Side outputs (e.g. attention weights kept for interpretability, through
+/// which no gradient flows) can be stashed in interior-mutable fields during
+/// `forward` and recovered through [`CustomOp::as_any`] +
+/// [`crate::Tape::op_as_any`] downcasting.
+pub trait CustomOp: Send + Sync {
+    /// Stable human-readable name (used in error messages and tape dumps).
+    fn name(&self) -> &'static str;
+
+    /// Computes the output from the input values.
+    fn forward(&self, inputs: &[&Tensor]) -> Tensor;
+
+    /// Given the inputs, the forward output and `∂L/∂output`, returns
+    /// `∂L/∂input_i` for each input (or `None` for non-differentiable
+    /// inputs such as constant masks). The returned vector must have the
+    /// same length and order as `inputs`.
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        output: &Tensor,
+        grad_out: &Tensor,
+    ) -> Vec<Option<Tensor>>;
+
+    /// Downcasting hook for recovering side outputs after the forward pass.
+    fn as_any(&self) -> &dyn Any;
+}

@@ -1,0 +1,60 @@
+//! Gradient results of a backward pass.
+
+use crate::tape::{ParamId, Var};
+use elda_tensor::Tensor;
+use std::collections::HashMap;
+
+/// The gradients computed by [`crate::Tape::backward`].
+///
+/// Holds `∂L/∂node` for every node that received a gradient, plus the
+/// mapping from parameter ids to their leaf nodes so optimizers can look up
+/// parameter gradients directly.
+pub struct Gradients {
+    by_node: Vec<Option<Tensor>>,
+    param_leaves: HashMap<ParamId, Var>,
+}
+
+impl Gradients {
+    pub(crate) fn new(by_node: Vec<Option<Tensor>>, param_leaves: HashMap<ParamId, Var>) -> Self {
+        Gradients {
+            by_node,
+            param_leaves,
+        }
+    }
+
+    /// Gradient with respect to an arbitrary tape variable, if any gradient
+    /// reached it.
+    pub fn wrt(&self, v: Var) -> Option<&Tensor> {
+        self.by_node.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient with respect to a registered parameter, if the parameter
+    /// participated in the differentiated graph.
+    pub fn param(&self, id: ParamId) -> Option<&Tensor> {
+        self.param_leaves.get(&id).and_then(|v| self.wrt(*v))
+    }
+
+    /// All parameter gradients, moved out as an id-keyed map. Parameters
+    /// that received no gradient are absent.
+    pub fn into_param_map(mut self) -> HashMap<ParamId, Tensor> {
+        let mut out = HashMap::with_capacity(self.param_leaves.len());
+        for (id, var) in &self.param_leaves {
+            if let Some(slot) = self.by_node.get_mut(var.0) {
+                if let Some(g) = slot.take() {
+                    out.insert(*id, g);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of squared gradient entries across all parameters — the squared
+    /// global norm used for clipping and divergence diagnostics.
+    pub fn param_sq_norm(&self) -> f32 {
+        self.param_leaves
+            .values()
+            .filter_map(|v| self.wrt(*v))
+            .map(|g| g.data().iter().map(|&x| (x * x) as f64).sum::<f64>())
+            .sum::<f64>() as f32
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # elda-autodiff
+//!
+//! Tape-based reverse-mode automatic differentiation over
+//! [`elda_tensor::Tensor`].
+//!
+//! The design mirrors define-by-run frameworks (the paper's Keras/TF-1.x
+//! models are re-expressed here op-for-op):
+//!
+//! * A [`Tape`] is built per forward pass. Every operation appends a node
+//!   holding its eagerly computed value and enough structure to run the
+//!   chain rule backwards.
+//! * Model **parameters live outside the tape** (in `elda-nn`'s
+//!   `ParamStore`) and enter as leaves tagged with a [`ParamId`]. After
+//!   [`Tape::backward`], [`Gradients::param`] hands the accumulated
+//!   gradient per parameter to the optimizer. Because tapes own no shared
+//!   mutable state, batch shards can differentiate on separate threads and
+//!   sum their gradients.
+//! * Fused kernels with hand-derived gradients (e.g. ELDA's feature-level
+//!   interaction module) plug in through the [`CustomOp`] trait.
+//! * Every op's backward is validated against central finite differences by
+//!   [`check::grad_check`]; the same utility is reused by downstream crates
+//!   to pin whole-model gradients.
+//!
+//! ```
+//! use elda_autodiff::Tape;
+//! use elda_tensor::Tensor;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+//! let y = tape.mul(x, x); // y = x^2
+//! let loss = tape.sum_all(y);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.wrt(x).unwrap().data(), &[2.0, 4.0]); // dy/dx = 2x
+//! ```
+
+pub mod check;
+pub mod custom;
+pub mod grads;
+pub mod op;
+pub mod tape;
+
+pub use check::{grad_check, GradCheckReport};
+pub use custom::CustomOp;
+pub use grads::Gradients;
+pub use op::Op;
+pub use tape::{ParamId, Tape, Var};

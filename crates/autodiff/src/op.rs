@@ -1,0 +1,340 @@
+//! The built-in operation set and its backward rules.
+
+use crate::custom::CustomOp;
+use crate::tape::Var;
+use elda_tensor::Tensor;
+
+/// One recorded operation on the tape.
+///
+/// Each variant stores the [`Var`]s of its inputs; values live in the tape's
+/// node arena. Backward rules are implemented in [`Op::backward`] and are
+/// all validated by finite differences in this crate's tests.
+pub enum Op {
+    /// An input, constant or parameter leaf (no inputs).
+    Leaf,
+    /// Elementwise `a + b` with broadcasting.
+    Add(Var, Var),
+    /// Elementwise `a - b` with broadcasting.
+    Sub(Var, Var),
+    /// Elementwise `a * b` with broadcasting.
+    Mul(Var, Var),
+    /// Elementwise `a / b` with broadcasting.
+    Div(Var, Var),
+    /// 2-D matrix product.
+    Matmul(Var, Var),
+    /// Batched matrix product `(B,m,k) x (B,k,n)` or `(B,m,k) x (k,n)`.
+    MatmulBatched(Var, Var),
+    /// Elementwise negation.
+    Neg(Var),
+    /// Elementwise exponential.
+    Exp(Var),
+    /// Elementwise natural logarithm.
+    Ln(Var),
+    /// Elementwise square root.
+    Sqrt(Var),
+    /// Elementwise square.
+    Square(Var),
+    /// Elementwise logistic sigmoid.
+    Sigmoid(Var),
+    /// Elementwise hyperbolic tangent.
+    Tanh(Var),
+    /// Elementwise rectified linear unit.
+    Relu(Var),
+    /// Multiplication by a compile-time constant.
+    Scale(Var, f32),
+    /// Addition of a compile-time constant.
+    AddScalar(Var, f32),
+    /// Softmax over the last axis.
+    SoftmaxLastDim(Var),
+    /// Concatenation along `axis`.
+    Concat {
+        /// Input parts, in order.
+        inputs: Vec<Var>,
+        /// Concatenation axis.
+        axis: usize,
+    },
+    /// Copy of `[start, end)` along `axis`.
+    SliceAxis {
+        /// Input tensor.
+        input: Var,
+        /// Sliced axis.
+        axis: usize,
+        /// Inclusive start.
+        start: usize,
+        /// Exclusive end.
+        end: usize,
+    },
+    /// Sum along one axis.
+    SumAxis {
+        /// Input tensor.
+        input: Var,
+        /// Reduced axis.
+        axis: usize,
+        /// Whether the axis is kept with extent 1.
+        keepdim: bool,
+    },
+    /// Mean along one axis.
+    MeanAxis {
+        /// Input tensor.
+        input: Var,
+        /// Reduced axis.
+        axis: usize,
+        /// Whether the axis is kept with extent 1.
+        keepdim: bool,
+    },
+    /// Sum of all elements to a scalar.
+    SumAll(Var),
+    /// Mean of all elements to a scalar.
+    MeanAll(Var),
+    /// Same data, new shape.
+    Reshape(Var),
+    /// Swap of the last two axes.
+    TransposeLast2(Var),
+    /// General axis permutation.
+    Permute {
+        /// Input tensor.
+        input: Var,
+        /// Permutation of `0..rank`.
+        perm: Vec<usize>,
+    },
+    /// Numerically stable mean binary cross-entropy from logits against a
+    /// constant target tensor (the training labels).
+    BceWithLogits {
+        /// Logit input.
+        logits: Var,
+        /// Constant `{0,1}` targets, same shape as the logits.
+        targets: Tensor,
+    },
+    /// A fused user-defined op (see [`CustomOp`]).
+    Custom {
+        /// The boxed implementation.
+        op: Box<dyn CustomOp>,
+        /// Its inputs, in the order `forward`/`backward` expect.
+        inputs: Vec<Var>,
+    },
+}
+
+impl Op {
+    /// The input variables of this op, in declaration order.
+    pub fn inputs(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => vec![],
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Div(a, b)
+            | Op::Matmul(a, b)
+            | Op::MatmulBatched(a, b) => {
+                vec![*a, *b]
+            }
+            Op::Neg(a)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::Sqrt(a)
+            | Op::Square(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Relu(a)
+            | Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::SoftmaxLastDim(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::Reshape(a)
+            | Op::TransposeLast2(a) => vec![*a],
+            Op::Concat { inputs, .. } => inputs.clone(),
+            Op::SliceAxis { input, .. }
+            | Op::SumAxis { input, .. }
+            | Op::MeanAxis { input, .. }
+            | Op::Permute { input, .. } => vec![*input],
+            Op::BceWithLogits { logits, .. } => vec![*logits],
+            Op::Custom { inputs, .. } => inputs.clone(),
+        }
+    }
+
+    /// Applies the chain rule: given every node's value (via `value`), this
+    /// node's forward `output` and the incoming `grad`, returns
+    /// `(input, ∂L/∂input)` contributions.
+    pub fn backward<'a>(
+        &self,
+        value: &dyn Fn(Var) -> &'a Tensor,
+        output: &Tensor,
+        grad: &Tensor,
+    ) -> Vec<(Var, Tensor)> {
+        match self {
+            Op::Leaf => vec![],
+            Op::Add(a, b) => vec![
+                (*a, grad.sum_to_shape(value(*a).shape())),
+                (*b, grad.sum_to_shape(value(*b).shape())),
+            ],
+            Op::Sub(a, b) => vec![
+                (*a, grad.sum_to_shape(value(*a).shape())),
+                (*b, grad.neg().sum_to_shape(value(*b).shape())),
+            ],
+            Op::Mul(a, b) => vec![
+                (*a, grad.mul(value(*b)).sum_to_shape(value(*a).shape())),
+                (*b, grad.mul(value(*a)).sum_to_shape(value(*b).shape())),
+            ],
+            Op::Div(a, b) => {
+                let bv = value(*b);
+                let ga = grad.div(bv).sum_to_shape(value(*a).shape());
+                let gb = grad
+                    .mul(value(*a))
+                    .div(&bv.square())
+                    .neg()
+                    .sum_to_shape(bv.shape());
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Matmul(a, b) => {
+                let av = value(*a);
+                let bv = value(*b);
+                vec![
+                    (*a, grad.matmul(&bv.transpose2d())),
+                    (*b, av.transpose2d().matmul(grad)),
+                ]
+            }
+            Op::MatmulBatched(a, b) => {
+                let av = value(*a); // (B, m, k)
+                let bv = value(*b); // (B, k, n) or (k, n)
+                let ga = grad.matmul_batched(&bv_transposed(bv));
+                let gb = if bv.rank() == 3 {
+                    av.transpose_last2().matmul_batched(grad)
+                } else {
+                    // shared rhs: sum_B a_i^T g_i = (flatten a)(B*m, k)^T @ (flatten g)(B*m, n)
+                    let (bb, m, k) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+                    let n = grad.shape()[2];
+                    let a2 = av.reshape(&[bb * m, k]);
+                    let g2 = grad.reshape(&[bb * m, n]);
+                    a2.transpose2d().matmul(&g2)
+                };
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Neg(a) => vec![(*a, grad.neg())],
+            Op::Exp(a) => vec![(*a, grad.mul(output))],
+            Op::Ln(a) => vec![(*a, grad.div(value(*a)))],
+            Op::Sqrt(a) => vec![(*a, grad.mul(&output.map(|y| 0.5 / y)))],
+            Op::Square(a) => vec![(*a, grad.mul(&value(*a).scale(2.0)))],
+            Op::Sigmoid(a) => vec![(*a, grad.mul(&output.map(|y| y * (1.0 - y))))],
+            Op::Tanh(a) => vec![(*a, grad.mul(&output.map(|y| 1.0 - y * y)))],
+            Op::Relu(a) => vec![(*a, grad.mul(&value(*a).gt_mask(0.0)))],
+            Op::Scale(a, s) => vec![(*a, grad.scale(*s))],
+            Op::AddScalar(a, _) => vec![(*a, grad.clone())],
+            Op::SoftmaxLastDim(a) => {
+                // dx = y ⊙ (g − Σ_last(g ⊙ y))
+                let gy = grad.mul(output);
+                let r = output.rank();
+                let s = gy.sum_axis(r - 1, true);
+                vec![(*a, output.mul(&grad.sub(&s)))]
+            }
+            Op::Concat { inputs, axis } => {
+                let mut out = Vec::with_capacity(inputs.len());
+                let mut start = 0;
+                for v in inputs {
+                    let extent = value(*v).shape()[*axis];
+                    out.push((*v, grad.slice_axis(*axis, start, start + extent)));
+                    start += extent;
+                }
+                out
+            }
+            Op::SliceAxis {
+                input, axis, start, ..
+            } => {
+                let mut gi = Tensor::zeros(value(*input).shape());
+                gi.assign_slice_axis(*axis, *start, grad);
+                vec![(*input, gi)]
+            }
+            Op::SumAxis {
+                input,
+                axis,
+                keepdim,
+            } => {
+                let in_shape = value(*input).shape();
+                let g = if *keepdim {
+                    grad.clone()
+                } else {
+                    grad.unsqueeze(*axis)
+                };
+                vec![(*input, g.mul(&Tensor::ones(in_shape)))]
+            }
+            Op::MeanAxis {
+                input,
+                axis,
+                keepdim,
+            } => {
+                let in_shape = value(*input).shape();
+                let n = in_shape[*axis] as f32;
+                let g = if *keepdim {
+                    grad.clone()
+                } else {
+                    grad.unsqueeze(*axis)
+                };
+                vec![(*input, g.scale(1.0 / n).mul(&Tensor::ones(in_shape)))]
+            }
+            Op::SumAll(a) => {
+                let shape = value(*a).shape();
+                vec![(*a, Tensor::full(shape, grad.item()))]
+            }
+            Op::MeanAll(a) => {
+                let shape = value(*a).shape();
+                let n: usize = shape.iter().product::<usize>().max(1);
+                vec![(*a, Tensor::full(shape, grad.item() / n as f32))]
+            }
+            Op::Reshape(a) => vec![(*a, grad.reshape(value(*a).shape()))],
+            Op::TransposeLast2(a) => vec![(*a, grad.transpose_last2())],
+            Op::Permute { input, perm } => {
+                let mut inverse = vec![0usize; perm.len()];
+                for (i, &p) in perm.iter().enumerate() {
+                    inverse[p] = i;
+                }
+                vec![(*input, grad.permute(&inverse))]
+            }
+            Op::BceWithLogits { logits, targets } => {
+                // L = mean_i( max(z,0) − z·y + ln(1 + e^{−|z|}) );
+                // ∂L/∂z_i = (σ(z_i) − y_i) / N
+                let z = value(*logits);
+                let n = z.len() as f32;
+                let gz = z.sigmoid().sub(targets).scale(grad.item() / n);
+                vec![(*logits, gz)]
+            }
+            Op::Custom { op, inputs } => {
+                let in_vals: Vec<&Tensor> = inputs.iter().map(|v| value(*v)).collect();
+                let gs = op.backward(&in_vals, output, grad);
+                assert_eq!(
+                    gs.len(),
+                    inputs.len(),
+                    "custom op {} returned {} gradients for {} inputs",
+                    op.name(),
+                    gs.len(),
+                    inputs.len()
+                );
+                inputs
+                    .iter()
+                    .zip(gs)
+                    .filter_map(|(v, g)| g.map(|g| (*v, g)))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Transpose helper for batched-matmul backward: swaps the last two axes of
+/// a rank-2 or rank-3 tensor.
+fn bv_transposed(bv: &Tensor) -> Tensor {
+    if bv.rank() == 3 {
+        bv.transpose_last2()
+    } else {
+        bv.transpose2d()
+    }
+}
+
+/// Forward computation of the stable BCE-with-logits mean loss.
+pub(crate) fn bce_with_logits_forward(z: &Tensor, y: &Tensor) -> Tensor {
+    assert_eq!(z.shape(), y.shape(), "BCE logits/targets shape mismatch");
+    let total: f32 = z
+        .data()
+        .iter()
+        .zip(y.data())
+        .map(|(&z, &y)| z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln())
+        .sum();
+    Tensor::scalar(total / z.len() as f32)
+}

@@ -1,0 +1,460 @@
+//! The tape: an append-only arena of eagerly evaluated nodes.
+
+use crate::custom::CustomOp;
+use crate::grads::Gradients;
+use crate::op::{bce_with_logits_forward, Op};
+use elda_tensor::Tensor;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Identifier of a parameter managed outside the tape (by `elda-nn`'s
+/// `ParamStore`). Gradients are keyed by this id after backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub u64);
+
+/// Handle to a node on a specific [`Tape`].
+///
+/// `Var`s are plain indices; using a `Var` from one tape on another is a
+/// logic error (caught by index/shape panics in debug usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single forward pass: append-only computation record.
+///
+/// All building methods evaluate eagerly and return a [`Var`]. Call
+/// [`Tape::backward`] on a scalar output to obtain [`Gradients`].
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// param id → leaf var, so the same parameter used twice shares a node
+    /// and its gradient accumulates naturally.
+    param_leaves: HashMap<ParamId, Var>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(
+            !cfg!(feature = "strict-finite") || value.all_finite(),
+            "non-finite value produced by op"
+        );
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The shape of `v`'s value.
+    pub fn shape(&self, v: Var) -> &[usize] {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Registers an input leaf (gradient retrievable via [`Gradients::wrt`]).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Registers a constant leaf. Semantically identical to [`Tape::leaf`];
+    /// the distinct name documents intent at call sites.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.leaf(value)
+    }
+
+    /// Registers (or reuses) the leaf for parameter `id` with value `value`.
+    ///
+    /// Calling twice with the same id returns the same [`Var`] and ignores
+    /// the second value, so layers can bind parameters idempotently.
+    pub fn param(&mut self, id: ParamId, value: &Tensor) -> Var {
+        if let Some(&v) = self.param_leaves.get(&id) {
+            return v;
+        }
+        let v = self.push(value.clone(), Op::Leaf);
+        self.param_leaves.insert(id, v);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise `a + b` (broadcasting).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b` (broadcasting).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b` (broadcasting).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Elementwise `a / b` (broadcasting).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div(self.value(b));
+        self.push(v, Op::Div(a, b))
+    }
+
+    /// 2-D matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Batched matrix product (`(B,m,k) x (B,k,n)` or `(B,m,k) x (k,n)`).
+    pub fn matmul_batched(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_batched(self.value(b));
+        self.push(v, Op::MatmulBatched(a, b))
+    }
+
+    // ------------------------------------------------------------------
+    // Unary maps
+    // ------------------------------------------------------------------
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).neg();
+        self.push(v, Op::Neg(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).exp();
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).ln();
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).sqrt();
+        self.push(v, Op::Sqrt(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).square();
+        self.push(v, Op::Square(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).sigmoid();
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds a constant.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).add_scalar(s);
+        self.push(v, Op::AddScalar(a, s))
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax_lastdim(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_lastdim();
+        self.push(v, Op::SoftmaxLastDim(a))
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Concatenates along `axis`.
+    pub fn concat(&mut self, inputs: &[Var], axis: usize) -> Var {
+        let vals: Vec<&Tensor> = inputs.iter().map(|v| self.value(*v)).collect();
+        let v = Tensor::concat(&vals, axis);
+        self.push(
+            v,
+            Op::Concat {
+                inputs: inputs.to_vec(),
+                axis,
+            },
+        )
+    }
+
+    /// Copies `[start, end)` along `axis`.
+    pub fn slice_axis(&mut self, input: Var, axis: usize, start: usize, end: usize) -> Var {
+        let v = self.value(input).slice_axis(axis, start, end);
+        self.push(
+            v,
+            Op::SliceAxis {
+                input,
+                axis,
+                start,
+                end,
+            },
+        )
+    }
+
+    /// Selects one index along `axis`, dropping the axis. Implemented as a
+    /// slice followed by a reshape so both steps stay differentiable.
+    pub fn select(&mut self, input: Var, axis: usize, idx: usize) -> Var {
+        let sliced = self.slice_axis(input, axis, idx, idx + 1);
+        let mut dims = self.shape(sliced).to_vec();
+        dims.remove(axis);
+        self.reshape(sliced, &dims)
+    }
+
+    /// Sum along one axis.
+    pub fn sum_axis(&mut self, input: Var, axis: usize, keepdim: bool) -> Var {
+        let v = self.value(input).sum_axis(axis, keepdim);
+        self.push(
+            v,
+            Op::SumAxis {
+                input,
+                axis,
+                keepdim,
+            },
+        )
+    }
+
+    /// Mean along one axis.
+    pub fn mean_axis(&mut self, input: Var, axis: usize, keepdim: bool) -> Var {
+        let v = self.value(input).mean_axis(axis, keepdim);
+        self.push(
+            v,
+            Op::MeanAxis {
+                input,
+                axis,
+                keepdim,
+            },
+        )
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, input: Var) -> Var {
+        let v = Tensor::scalar(self.value(input).sum_all());
+        self.push(v, Op::SumAll(input))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, input: Var) -> Var {
+        let v = Tensor::scalar(self.value(input).mean_all());
+        self.push(v, Op::MeanAll(input))
+    }
+
+    /// Same data under a new shape.
+    pub fn reshape(&mut self, input: Var, dims: &[usize]) -> Var {
+        let v = self.value(input).reshape(dims);
+        self.push(v, Op::Reshape(input))
+    }
+
+    /// Swap of the last two axes.
+    pub fn transpose_last2(&mut self, input: Var) -> Var {
+        let v = self.value(input).transpose_last2();
+        self.push(v, Op::TransposeLast2(input))
+    }
+
+    /// General axis permutation.
+    pub fn permute(&mut self, input: Var, perm: &[usize]) -> Var {
+        let v = self.value(input).permute(perm);
+        self.push(
+            v,
+            Op::Permute {
+                input,
+                perm: perm.to_vec(),
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Losses and custom ops
+    // ------------------------------------------------------------------
+
+    /// Numerically stable mean binary cross-entropy computed from logits
+    /// against constant `{0,1}` targets. Returns a scalar.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &Tensor) -> Var {
+        let v = bce_with_logits_forward(self.value(logits), targets);
+        self.push(
+            v,
+            Op::BceWithLogits {
+                logits,
+                targets: targets.clone(),
+            },
+        )
+    }
+
+    /// Records a fused [`CustomOp`].
+    pub fn custom(&mut self, op: Box<dyn CustomOp>, inputs: &[Var]) -> Var {
+        let in_vals: Vec<&Tensor> = inputs.iter().map(|v| self.value(*v)).collect();
+        let v = op.forward(&in_vals);
+        self.push(
+            v,
+            Op::Custom {
+                op,
+                inputs: inputs.to_vec(),
+            },
+        )
+    }
+
+    /// Downcasting access to the custom op that produced `v`, for reading
+    /// side outputs stashed during forward (e.g. attention weights).
+    /// Returns `None` when `v` was not produced by a custom op.
+    pub fn op_as_any(&self, v: Var) -> Option<&dyn Any> {
+        match &self.nodes[v.0].op {
+            Op::Custom { op, .. } => Some(op.as_any()),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Reverse-mode differentiation seeded with `∂L/∂output = 1`.
+    ///
+    /// # Panics
+    /// Panics when `output` is not a single-element tensor.
+    pub fn backward(&self, output: Var) -> Gradients {
+        assert_eq!(
+            self.value(output).len(),
+            1,
+            "backward() needs a scalar output; got shape {:?} — use backward_with_seed",
+            self.shape(output)
+        );
+        let seed = Tensor::full(self.value(output).shape(), 1.0);
+        self.backward_with_seed(output, seed)
+    }
+
+    /// Reverse-mode differentiation from an explicit seed `∂L/∂output`.
+    ///
+    /// # Panics
+    /// Panics when the seed's shape differs from the output's.
+    pub fn backward_with_seed(&self, output: Var, seed: Tensor) -> Gradients {
+        assert_eq!(
+            seed.shape(),
+            self.shape(output),
+            "seed shape {:?} must match output shape {:?}",
+            seed.shape(),
+            self.shape(output)
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[output.0] = Some(seed);
+        for idx in (0..=output.0).rev() {
+            let Some(grad) = grads[idx].take() else {
+                continue;
+            };
+            let node = &self.nodes[idx];
+            let value_of = |v: Var| -> &Tensor { &self.nodes[v.0].value };
+            let contributions = node.op.backward(&value_of, &node.value, &grad);
+            // Re-store this node's grad so callers can inspect intermediates.
+            grads[idx] = Some(grad);
+            for (var, g) in contributions {
+                debug_assert!(
+                    var.0 < idx,
+                    "op at node {idx} references a later node {}",
+                    var.0
+                );
+                match &mut grads[var.0] {
+                    Some(acc) => acc.axpy_assign(1.0, &g),
+                    slot => *slot = Some(g),
+                }
+            }
+        }
+        Gradients::new(grads, self.param_leaves.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_leaf_is_deduplicated() {
+        let mut tape = Tape::new();
+        let w = Tensor::from_vec(vec![2.0], &[1]);
+        let a = tape.param(ParamId(7), &w);
+        let b = tape.param(ParamId(7), &w);
+        assert_eq!(a, b);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(3));
+        assert_eq!(tape.value(x).data(), &[0.0, 1.0, 2.0]);
+        assert_eq!(tape.shape(x), &[3]);
+    }
+
+    #[test]
+    fn select_drops_axis() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(24).reshape(&[2, 3, 4]));
+        let s = tape.select(x, 1, 2);
+        assert_eq!(tape.shape(s), &[2, 4]);
+        assert_eq!(tape.value(s).at(&[1, 0]), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a scalar output")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(3));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn shared_param_accumulates_gradient() {
+        // loss = sum(w * w) where both operands are the SAME param leaf
+        let mut tape = Tape::new();
+        let w = Tensor::from_vec(vec![3.0], &[1]);
+        let a = tape.param(ParamId(1), &w);
+        let b = tape.param(ParamId(1), &w);
+        let prod = tape.mul(a, b);
+        let loss = tape.sum_all(prod);
+        let grads = tape.backward(loss);
+        // d(w^2)/dw = 2w = 6
+        assert_eq!(grads.param(ParamId(1)).unwrap().data(), &[6.0]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Finite-difference validation of every built-in op's backward rule.
+//!
+//! Each test composes one op (plus a reduction to a scalar) and compares the
+//! analytic gradients to central differences. Tolerances reflect f32
+//! arithmetic: h = 1e-2, relative tolerance 2e-2.
+
+use elda_autodiff::check::assert_grad_check;
+use elda_autodiff::{Tape, Var};
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const H: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A well-conditioned random tensor away from op kinks.
+fn smooth(dims: &[usize], seed: u64) -> Tensor {
+    // uniform in [0.3, 1.3]: positive (safe for ln/sqrt/div) and away from 0 (safe for relu)
+    Tensor::rand_uniform(dims, 0.3, 1.3, &mut rng(seed))
+}
+
+/// A signed random tensor, still away from zero, for sign-agnostic ops.
+fn signed(dims: &[usize], seed: u64) -> Tensor {
+    let t = Tensor::rand_uniform(dims, 0.4, 1.2, &mut rng(seed));
+    let s = Tensor::rand_bernoulli(dims, 0.5, &mut rng(seed + 101))
+        .scale(2.0)
+        .add_scalar(-1.0);
+    t.mul(&s)
+}
+
+#[test]
+fn add_broadcast_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.add(v[0], v[1]);
+            t.sum_all(s)
+        },
+        &[signed(&[3, 4], 1), signed(&[4], 2)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn sub_broadcast_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.sub(v[0], v[1]);
+            let sq = t.square(s);
+            t.sum_all(sq)
+        },
+        &[signed(&[2, 3], 3), signed(&[2, 1], 4)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn mul_broadcast_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.mul(v[0], v[1]);
+            t.sum_all(s)
+        },
+        &[signed(&[2, 3, 2], 5), signed(&[3, 1], 6)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn div_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.div(v[0], v[1]);
+            t.sum_all(s)
+        },
+        &[smooth(&[3, 2], 7), smooth(&[3, 2], 8)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn matmul_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.matmul(v[0], v[1]);
+            let sq = t.square(s); // non-linear head makes both factors matter
+            t.sum_all(sq)
+        },
+        &[signed(&[3, 4], 9), signed(&[4, 2], 10)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn matmul_batched_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.matmul_batched(v[0], v[1]);
+            let sq = t.square(s);
+            t.sum_all(sq)
+        },
+        &[signed(&[2, 3, 4], 11), signed(&[2, 4, 2], 12)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn matmul_batched_shared_rhs_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.matmul_batched(v[0], v[1]);
+            let sq = t.square(s);
+            t.sum_all(sq)
+        },
+        &[signed(&[2, 3, 4], 13), signed(&[4, 2], 14)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn unary_map_grads() {
+    // exp, ln, sqrt, square, sigmoid, tanh, neg chained through sums
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let e = t.exp(v[0]);
+            let l = t.ln(v[1]);
+            let q = t.sqrt(v[2]);
+            let s1 = t.add(e, l);
+            let s2 = t.add(s1, q);
+            t.sum_all(s2)
+        },
+        &[smooth(&[4], 15), smooth(&[4], 16), smooth(&[4], 17)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn sigmoid_tanh_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.sigmoid(v[0]);
+            let th = t.tanh(v[1]);
+            let m = t.mul(s, th);
+            t.sum_all(m)
+        },
+        &[signed(&[3, 3], 18), signed(&[3, 3], 19)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn relu_grad_away_from_kink() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let r = t.relu(v[0]);
+            t.sum_all(r)
+        },
+        &[signed(&[10], 20)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn scale_and_add_scalar_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let a = t.scale(v[0], -2.5);
+            let b = t.add_scalar(a, 3.0);
+            let sq = t.square(b);
+            t.sum_all(sq)
+        },
+        &[signed(&[5], 21)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn softmax_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.softmax_lastdim(v[0]);
+            // weighted sum so the gradient is non-trivial per element
+            let w = t.constant(Tensor::arange(4).add_scalar(1.0).reshape(&[1, 4]));
+            let ws = t.mul(s, w);
+            t.sum_all(ws)
+        },
+        &[signed(&[3, 4], 22)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn concat_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let c = t.concat(&[v[0], v[1], v[2]], 1);
+            let sq = t.square(c);
+            t.sum_all(sq)
+        },
+        &[
+            signed(&[2, 2], 23),
+            signed(&[2, 3], 24),
+            signed(&[2, 1], 25),
+        ],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn slice_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.slice_axis(v[0], 1, 1, 3);
+            let sq = t.square(s);
+            t.sum_all(sq)
+        },
+        &[signed(&[2, 4], 26)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn select_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.select(v[0], 1, 2);
+            let sq = t.square(s);
+            t.sum_all(sq)
+        },
+        &[signed(&[2, 4, 3], 27)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn sum_axis_grads() {
+    for keepdim in [false, true] {
+        assert_grad_check(
+            &|t: &mut Tape, v: &[Var]| {
+                let s = t.sum_axis(v[0], 1, keepdim);
+                let sq = t.square(s);
+                t.sum_all(sq)
+            },
+            &[signed(&[2, 3, 2], 28)],
+            H,
+            TOL,
+        );
+    }
+}
+
+#[test]
+fn mean_axis_grads() {
+    for axis in 0..3 {
+        assert_grad_check(
+            &|t: &mut Tape, v: &[Var]| {
+                let s = t.mean_axis(v[0], axis, false);
+                let sq = t.square(s);
+                t.sum_all(sq)
+            },
+            &[signed(&[2, 3, 2], 29 + axis as u64)],
+            H,
+            TOL,
+        );
+    }
+}
+
+#[test]
+fn mean_all_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let sq = t.square(v[0]);
+            t.mean_all(sq)
+        },
+        &[signed(&[3, 5], 33)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn reshape_permute_transpose_grads() {
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let r = t.reshape(v[0], &[3, 2, 2]);
+            let p = t.permute(r, &[2, 0, 1]);
+            let tr = t.transpose_last2(p);
+            let sq = t.square(tr);
+            t.sum_all(sq)
+        },
+        &[signed(&[2, 6], 34)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn bce_with_logits_grads() {
+    let targets = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0], &[6]);
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| t.bce_with_logits(v[0], &targets),
+        &[signed(&[6], 35)],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn bce_matches_manual_formula() {
+    let mut tape = Tape::new();
+    let z = Tensor::from_vec(vec![0.5, -1.2, 2.0], &[3]);
+    let y = Tensor::from_vec(vec![1.0, 0.0, 1.0], &[3]);
+    let lv = tape.leaf(z.clone());
+    let loss = tape.bce_with_logits(lv, &y);
+    let expected: f32 = z
+        .data()
+        .iter()
+        .zip(y.data())
+        .map(|(&z, &y)| {
+            let p = 1.0 / (1.0 + (-z).exp());
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum::<f32>()
+        / 3.0;
+    assert!((tape.value(loss).item() - expected).abs() < 1e-5);
+}
+
+#[test]
+fn deep_composition_grads() {
+    // A GRU-like cell body: gates from matmuls, sigmoids, tanh, blends.
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let (x, h, wz, uz, wh, uh) = (v[0], v[1], v[2], v[3], v[4], v[5]);
+            let xz = t.matmul(x, wz);
+            let hz = t.matmul(h, uz);
+            let zsum = t.add(xz, hz);
+            let z = t.sigmoid(zsum);
+            let xh = t.matmul(x, wh);
+            let hh = t.matmul(h, uh);
+            let hsum = t.add(xh, hh);
+            let cand = t.tanh(hsum);
+            let one_minus_z = t.neg(z);
+            let omz = t.add_scalar(one_minus_z, 1.0);
+            let keep = t.mul(z, h);
+            let new = t.mul(omz, cand);
+            let hn = t.add(keep, new);
+            let sq = t.square(hn);
+            t.sum_all(sq)
+        },
+        &[
+            signed(&[2, 3], 40),
+            signed(&[2, 4], 41),
+            signed(&[3, 4], 42),
+            signed(&[4, 4], 43),
+            signed(&[3, 4], 44),
+            signed(&[4, 4], 45),
+        ],
+        H,
+        TOL,
+    );
+}
+
+#[test]
+fn diamond_graph_accumulates_both_paths() {
+    // y = x*x + x  => dy/dx = 2x + 1, checks gradient accumulation at a fork
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_vec(vec![3.0], &[1]));
+    let sq = tape.mul(x, x);
+    let y = tape.add(sq, x);
+    let loss = tape.sum_all(y);
+    let grads = tape.backward(loss);
+    assert_eq!(grads.wrt(x).unwrap().data(), &[7.0]);
+}
+
+#[test]
+fn grad_is_zero_for_untouched_leaf() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::ones(&[2]));
+    let unused = tape.leaf(Tensor::ones(&[2]));
+    let s = tape.sum_all(x);
+    let grads = tape.backward(s);
+    assert!(grads.wrt(unused).is_none());
+}

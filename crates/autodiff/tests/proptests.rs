@@ -1,0 +1,165 @@
+//! Property-based autodiff validation: randomly composed expression graphs
+//! must always pass finite-difference gradient checks, and structural
+//! gradient identities must hold.
+
+use elda_autodiff::check::grad_check;
+use elda_autodiff::{Tape, Var};
+use elda_tensor::Tensor;
+use proptest::prelude::*;
+
+/// One smooth unary/binary step in a random graph program.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    AddFirst,
+    MulFirst,
+    Tanh,
+    Sigmoid,
+    Exp,
+    Scale(i8),
+    AddScalar(i8),
+    Softmax,
+    Square,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::AddFirst),
+        Just(Step::MulFirst),
+        Just(Step::Tanh),
+        Just(Step::Sigmoid),
+        Just(Step::Exp),
+        (-3i8..=3).prop_map(Step::Scale),
+        (-3i8..=3).prop_map(Step::AddScalar),
+        Just(Step::Softmax),
+        Just(Step::Square),
+    ]
+}
+
+/// Applies a program to build a scalar-valued graph over two inputs.
+fn run_program(tape: &mut Tape, vars: &[Var], program: &[Step]) -> Var {
+    let first = vars[0];
+    let mut cur = vars[1];
+    for step in program {
+        cur = match step {
+            Step::AddFirst => tape.add(cur, first),
+            Step::MulFirst => tape.mul(cur, first),
+            Step::Tanh => tape.tanh(cur),
+            Step::Sigmoid => tape.sigmoid(cur),
+            Step::Exp => {
+                // keep exp arguments bounded to avoid fp blowups
+                let squashed = tape.tanh(cur);
+                tape.exp(squashed)
+            }
+            Step::Scale(s) => tape.scale(cur, 0.3 * *s as f32),
+            Step::AddScalar(s) => tape.add_scalar(cur, 0.5 * *s as f32),
+            Step::Softmax => tape.softmax_lastdim(cur),
+            Step::Square => {
+                let squashed = tape.tanh(cur); // bound growth before squaring
+                tape.square(squashed)
+            }
+        };
+    }
+    tape.mean_all(cur)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_graphs_pass_grad_check(
+        program in prop::collection::vec(step_strategy(), 1..8),
+        data_a in prop::collection::vec(-1.0f32..1.0, 6),
+        data_b in prop::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        let a = Tensor::from_vec(data_a, &[2, 3]);
+        let b = Tensor::from_vec(data_b, &[2, 3]);
+        let report = grad_check(
+            &|tape, vars| run_program(tape, vars, &program),
+            &[a, b],
+            1e-2,
+            4e-2,
+        );
+        prop_assert!(
+            report.ok,
+            "program {:?} failed: rel {} abs {}",
+            program,
+            report.max_rel_diff,
+            report.max_abs_diff
+        );
+    }
+
+    #[test]
+    fn linearity_of_gradients(
+        data in prop::collection::vec(-2.0f32..2.0, 8),
+        alpha in -2.0f32..2.0,
+    ) {
+        // d/dx [α·sum(x)] = α·1 everywhere
+        let x = Tensor::from_vec(data, &[8]);
+        let mut tape = Tape::new();
+        let v = tape.leaf(x);
+        let scaled = tape.scale(v, alpha);
+        let loss = tape.sum_all(scaled);
+        let grads = tape.backward(loss);
+        let g = grads.wrt(v).unwrap();
+        prop_assert!(g.data().iter().all(|&gi| (gi - alpha).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sum_gradient_is_ones_through_reshape_chain(
+        data in prop::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        let x = Tensor::from_vec(data, &[3, 4]);
+        let mut tape = Tape::new();
+        let v = tape.leaf(x);
+        let r = tape.reshape(v, &[2, 6]);
+        let t = tape.transpose_last2(r);
+        let loss = tape.sum_all(t);
+        let grads = tape.backward(loss);
+        let g = grads.wrt(v).unwrap();
+        prop_assert!(g.data().iter().all(|&gi| (gi - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn softmax_gradient_rows_sum_to_zero(
+        data in prop::collection::vec(-3.0f32..3.0, 10),
+        weights in prop::collection::vec(-1.0f32..1.0, 10),
+    ) {
+        // For any downstream weighting, dL/dlogits sums to zero per row
+        // (softmax is shift-invariant).
+        let x = Tensor::from_vec(data, &[2, 5]);
+        let w = Tensor::from_vec(weights, &[2, 5]);
+        let mut tape = Tape::new();
+        let v = tape.leaf(x);
+        let s = tape.softmax_lastdim(v);
+        let wv = tape.constant(w);
+        let weighted = tape.mul(s, wv);
+        let loss = tape.sum_all(weighted);
+        let grads = tape.backward(loss);
+        let g = grads.wrt(v).unwrap();
+        for row in g.data().chunks_exact(5) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!(sum.abs() < 1e-5, "row grad sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn chain_rule_composition_scales(
+        data in prop::collection::vec(0.1f32..1.5, 6),
+        k in 1.0f32..3.0,
+    ) {
+        // d/dx mean(k·x²) = 2kx/n — a composed identity across 3 ops
+        let n = data.len() as f32;
+        let x = Tensor::from_vec(data.clone(), &[6]);
+        let mut tape = Tape::new();
+        let v = tape.leaf(x);
+        let sq = tape.square(v);
+        let scaled = tape.scale(sq, k);
+        let loss = tape.mean_all(scaled);
+        let grads = tape.backward(loss);
+        let g = grads.wrt(v).unwrap();
+        for (gi, xi) in g.data().iter().zip(&data) {
+            let expected = 2.0 * k * xi / n;
+            prop_assert!((gi - expected).abs() < 1e-5, "{gi} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Dipole (Ma et al., KDD 2017): bidirectional GRU with three attention
+//! mechanisms over the earlier hidden states relative to the final one —
+//! location-based (`Dipole_l`), general (`Dipole_g`) and concatenation-
+//! based (`Dipole_c`). The context and final state combine through a tanh
+//! layer before prediction.
+
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_core::SequenceModel;
+use elda_emr::Batch;
+use elda_nn::{additive_attention_scores, Gru, Init, ParamStore};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// Which of the paper's three attention mechanisms to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DipoleAttention {
+    /// `α_t = w · h_t + b` — depends only on the position's content.
+    Location,
+    /// `α_t = h_T W h_t` — bilinear match against the final state.
+    General,
+    /// `α_t = v · tanh(W [h_t ; h_T])` — additive/concat attention.
+    Concat,
+}
+
+impl DipoleAttention {
+    /// Paper display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DipoleAttention::Location => "Dipole_l",
+            DipoleAttention::General => "Dipole_g",
+            DipoleAttention::Concat => "Dipole_c",
+        }
+    }
+}
+
+/// Dipole with per-direction hidden size `l` (bi-state width `2l`).
+pub struct Dipole {
+    fwd: Gru,
+    bwd: Gru,
+    attention: DipoleAttention,
+    // location
+    w_loc: ParamId,
+    b_loc: ParamId,
+    // general
+    w_gen: ParamId,
+    // concat
+    w_cat: ParamId,
+    v_cat: ParamId,
+    // combine + predict
+    w_comb: ParamId,
+    b_comb: ParamId,
+    out_w: ParamId,
+    out_b: ParamId,
+    hidden2: usize,
+}
+
+impl Dipole {
+    /// Registers parameters under `dipole.*`. All three attention heads
+    /// are registered so checkpoints are variant-independent; only the
+    /// selected one participates in the graph.
+    pub fn new(
+        ps: &mut ParamStore,
+        num_features: usize,
+        hidden: usize,
+        attention: DipoleAttention,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fwd = Gru::new(ps, "dipole.fwd", num_features, hidden, rng);
+        let bwd = Gru::new(ps, "dipole.bwd", num_features, hidden, rng);
+        let h2 = 2 * hidden;
+        let w_loc = ps.register("dipole.w_loc", Init::Glorot.build(&[h2, 1], rng));
+        let b_loc = ps.register("dipole.b_loc", Tensor::zeros(&[1]));
+        let w_gen = ps.register("dipole.w_gen", Init::Glorot.build(&[h2, h2], rng));
+        let w_cat = ps.register("dipole.w_cat", Init::Glorot.build(&[2 * h2, h2], rng));
+        let v_cat = ps.register("dipole.v_cat", Init::Glorot.build(&[h2, 1], rng));
+        let w_comb = ps.register("dipole.w_comb", Init::Glorot.build(&[2 * h2, h2], rng));
+        let b_comb = ps.register("dipole.b_comb", Tensor::zeros(&[h2]));
+        let out_w = ps.register("dipole.out.w", Init::Glorot.build(&[h2, 1], rng));
+        let out_b = ps.register("dipole.out.b", Tensor::zeros(&[1]));
+        Dipole {
+            fwd,
+            bwd,
+            attention,
+            w_loc,
+            b_loc,
+            w_gen,
+            w_cat,
+            v_cat,
+            w_comb,
+            b_comb,
+            out_w,
+            out_b,
+            hidden2: h2,
+        }
+    }
+
+    /// Bidirectional hidden states `(B, T, 2l)` plus the final state.
+    fn bigru(&self, ps: &ParamStore, tape: &mut Tape, x: Var) -> (Var, Var) {
+        let dims = tape.shape(x).to_vec();
+        let (b, t_len) = (dims[0], dims[1]);
+        let f = self.fwd.forward_seq(ps, tape, x);
+        let r = self.bwd.forward_seq_reversed(ps, tape, x);
+        let per_step: Vec<Var> = (0..t_len)
+            .map(|t| {
+                let cat = tape.concat(&[f[t], r[t]], 1); // (B,2l)
+                tape.reshape(cat, &[b, 1, self.hidden2])
+            })
+            .collect();
+        let h_all = tape.concat(&per_step, 1); // (B,T,2l)
+        let h_t = tape.concat(&[f[t_len - 1], r[t_len - 1]], 1); // (B,2l)
+        (h_all, h_t)
+    }
+
+    /// Attention energies over the earlier steps `(B, T−1)`.
+    fn energies(&self, ps: &ParamStore, tape: &mut Tape, h_earlier: Var, h_t: Var) -> Var {
+        let dims = tape.shape(h_earlier).to_vec();
+        let (b, t1) = (dims[0], dims[1]);
+        match self.attention {
+            DipoleAttention::Location => {
+                let w = ps.bind(tape, self.w_loc);
+                let bb = ps.bind(tape, self.b_loc);
+                let e3 = tape.matmul_batched(h_earlier, w); // (B,T-1,1)
+                let e3 = tape.add(e3, bb);
+                tape.reshape(e3, &[b, t1])
+            }
+            DipoleAttention::General => {
+                let w = ps.bind(tape, self.w_gen);
+                let proj = tape.matmul_batched(h_earlier, w); // (B,T-1,2l)
+                let q3 = tape.reshape(h_t, &[b, self.hidden2, 1]);
+                let e3 = tape.matmul_batched(proj, q3); // (B,T-1,1)
+                tape.reshape(e3, &[b, t1])
+            }
+            DipoleAttention::Concat => {
+                let w = ps.bind(tape, self.w_cat);
+                let v = ps.bind(tape, self.v_cat);
+                additive_attention_scores(tape, h_earlier, h_t, w, v)
+            }
+        }
+    }
+}
+
+impl Dipole {
+    /// Forward pass that also returns the attention weights over the
+    /// earlier steps `(B, T−1)` — used by the Figure 8 reproduction to
+    /// compare Dipole_c's implicit time-level attention against ELDA's.
+    pub fn forward_with_attention(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        batch: &Batch,
+    ) -> (Var, Var) {
+        let dims = batch.x.shape();
+        let (b, t_len) = (dims[0], dims[1]);
+        assert!(t_len >= 2, "Dipole needs T >= 2");
+        let x = tape.leaf(batch.x.clone());
+        let (h_all, h_t) = self.bigru(ps, tape, x);
+        let h_earlier = tape.slice_axis(h_all, 1, 0, t_len - 1); // (B,T-1,2l)
+        let e = self.energies(ps, tape, h_earlier, h_t);
+        let alpha = tape.softmax_lastdim(e); // (B,T-1)
+        let alpha3 = tape.reshape(alpha, &[b, 1, t_len - 1]);
+        let ctx3 = tape.matmul_batched(alpha3, h_earlier); // (B,1,2l)
+        let ctx = tape.reshape(ctx3, &[b, self.hidden2]);
+        // h̃ = tanh(W_c [c ; h_T] + b_c)
+        let cat = tape.concat(&[ctx, h_t], 1); // (B,4l)
+        let w_comb = ps.bind(tape, self.w_comb);
+        let b_comb = ps.bind(tape, self.b_comb);
+        let comb = tape.matmul(cat, w_comb);
+        let comb = tape.add(comb, b_comb);
+        let h_tilde = tape.tanh(comb);
+        let w = ps.bind(tape, self.out_w);
+        let ob = ps.bind(tape, self.out_b);
+        let z = tape.matmul(h_tilde, w);
+        (tape.add(z, ob), alpha)
+    }
+}
+
+impl SequenceModel for Dipole {
+    fn name(&self) -> String {
+        self.attention.name().into()
+    }
+
+    fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var {
+        self.forward_with_attention(ps, tape, batch).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_batch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_three_variants_forward_and_backward() {
+        for att in [
+            DipoleAttention::Location,
+            DipoleAttention::General,
+            DipoleAttention::Concat,
+        ] {
+            let mut ps = ParamStore::new();
+            let model = Dipole::new(&mut ps, 37, 6, att, &mut StdRng::seed_from_u64(11));
+            let batch = test_batch(5, 3);
+            let mut tape = Tape::new();
+            let logits = model.forward_logits(&ps, &mut tape, &batch);
+            assert_eq!(tape.shape(logits), &[3, 1], "{}", att.name());
+            let loss = tape.bce_with_logits(logits, &batch.y);
+            let grads = tape.backward(loss);
+            // The un-selected attention heads legitimately receive no
+            // gradient; every other parameter must.
+            let exempt: &[&str] = match att {
+                DipoleAttention::Location => &["dipole.w_gen", "dipole.w_cat", "dipole.v_cat"],
+                DipoleAttention::General => &[
+                    "dipole.w_loc",
+                    "dipole.b_loc",
+                    "dipole.w_cat",
+                    "dipole.v_cat",
+                ],
+                DipoleAttention::Concat => &["dipole.w_loc", "dipole.b_loc", "dipole.w_gen"],
+            };
+            for p in ps.iter() {
+                if exempt.contains(&p.name) {
+                    continue;
+                }
+                assert!(
+                    grads.param(p.id).is_some(),
+                    "{}: no grad for {}",
+                    att.name(),
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variants_produce_different_outputs() {
+        let batch = test_batch(6, 4);
+        let mut outs = Vec::new();
+        for att in [
+            DipoleAttention::Location,
+            DipoleAttention::General,
+            DipoleAttention::Concat,
+        ] {
+            let mut ps = ParamStore::new();
+            let model = Dipole::new(&mut ps, 37, 6, att, &mut StdRng::seed_from_u64(12));
+            let mut tape = Tape::new();
+            let logits = model.forward_logits(&ps, &mut tape, &batch);
+            outs.push(tape.value(logits).data().to_vec());
+        }
+        assert_ne!(outs[0], outs[1]);
+        assert_ne!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn param_count_in_table3_range() {
+        // Table III: Dipole_l 40k, Dipole_g 56k, Dipole_c 44k. We register
+        // all heads at once (hidden 40 per direction), landing between.
+        let mut ps = ParamStore::new();
+        Dipole::new(
+            &mut ps,
+            37,
+            40,
+            DipoleAttention::Location,
+            &mut StdRng::seed_from_u64(13),
+        );
+        let n = ps.num_scalars();
+        assert!(
+            (38_000..=60_000).contains(&n),
+            "Dipole has {n} params; Table III says 40–56k"
+        );
+    }
+}

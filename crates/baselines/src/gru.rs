@@ -1,0 +1,82 @@
+//! Plain GRU classifier (Chung et al. 2014): the standard time-series
+//! baseline — last hidden state into a sigmoid head.
+
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_core::SequenceModel;
+use elda_emr::Batch;
+use elda_nn::{Gru, Init, ParamStore};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// GRU over the raw standardized features; prediction from `h_T`.
+pub struct GruClassifier {
+    gru: Gru,
+    w: ParamId,
+    b: ParamId,
+}
+
+impl GruClassifier {
+    /// Registers parameters under `gru.*` (paper hidden size: 64).
+    pub fn new(
+        ps: &mut ParamStore,
+        num_features: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let gru = Gru::new(ps, "gru.rnn", num_features, hidden, rng);
+        let w = ps.register("gru.pred.w", Init::Glorot.build(&[hidden, 1], rng));
+        let b = ps.register("gru.pred.b", Tensor::zeros(&[1]));
+        GruClassifier { gru, w, b }
+    }
+}
+
+impl SequenceModel for GruClassifier {
+    fn name(&self) -> String {
+        "GRU".into()
+    }
+
+    fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var {
+        let x = tape.leaf(batch.x.clone());
+        let hs = self.gru.forward_seq(ps, tape, x);
+        let last = *hs.last().expect("non-empty sequence");
+        let w = ps.bind(tape, self.w);
+        let b = ps.bind(tape, self.b);
+        let z = tape.matmul(last, w);
+        tape.add(z, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_batch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_and_grads() {
+        let mut ps = ParamStore::new();
+        let model = GruClassifier::new(&mut ps, 37, 8, &mut StdRng::seed_from_u64(7));
+        let batch = test_batch(6, 4);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(&ps, &mut tape, &batch);
+        assert_eq!(tape.shape(logits), &[4, 1]);
+        let loss = tape.bce_with_logits(logits, &batch.y);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn param_count_matches_table3() {
+        // Table III: 20k for GRU with hidden 64.
+        let mut ps = ParamStore::new();
+        GruClassifier::new(&mut ps, 37, 64, &mut StdRng::seed_from_u64(8));
+        let n = ps.num_scalars();
+        assert!(
+            (19_000..=21_000).contains(&n),
+            "GRU has {n} params; Table III says ~20k"
+        );
+    }
+}

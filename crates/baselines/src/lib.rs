@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # elda-baselines
+//!
+//! The twelve baseline models of the ELDA evaluation (paper §V-A),
+//! re-implemented from their defining equations on the same engine as
+//! ELDA-Net so comparisons carry no framework noise. All models implement
+//! [`elda_core::SequenceModel`] and train through the shared harness in
+//! `elda_core::framework`.
+//!
+//! | Model | Source | Notes |
+//! |---|---|---|
+//! | [`lr::LogisticRegression`] | Hosmer et al. | time-mean features |
+//! | [`fm::FactorizationMachine`] | Rendle 2010 | time-mean features, 2-way |
+//! | [`afm::AttentionalFm`] | Xiao et al. 2017 | attention over pair interactions |
+//! | [`gru::GruClassifier`] | Chung et al. 2014 | last hidden state |
+//! | [`retain::Retain`] | Choi et al. 2016 | reverse-time visit+variable attention |
+//! | [`dipole::Dipole`] | Ma et al. 2017 | BiGRU + location/general/concat attention |
+//! | [`sand::SAnD`] | Song et al. 2018 | causal self-attention + positional encoding |
+//! | [`grud::GruD`] | Che et al. 2018 | learned input/hidden exponential decay |
+//! | [`stagenet::StageNet`] | Gao et al. 2020 | stage-gated LSTM + causal convolution |
+//! | [`concare::ConCare`] | Ma et al. 2020 | per-feature GRUs + cross-feature self-attention |
+//!
+//! Where the original systems carry components irrelevant to this
+//! evaluation (e.g. SAnD's dense interpolation for multi-label ICD tasks,
+//! ConCare's DeCov regularizer), we implement the architecture's core
+//! mechanism and note the simplification in the module docs.
+
+pub mod afm;
+pub mod concare;
+pub mod dipole;
+pub mod fm;
+pub mod gru;
+pub mod grud;
+pub mod lr;
+pub mod registry;
+pub mod retain;
+pub mod sand;
+pub mod stagenet;
+
+pub use registry::{build_baseline, BaselineKind};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use elda_emr::{Batch, Cohort, CohortConfig, Pipeline, Task};
+
+    /// A small deterministic batch for the per-model unit tests.
+    pub(crate) fn test_batch(t_len: usize, n: usize) -> Batch {
+        let mut cfg = CohortConfig::small(n.max(10), 3);
+        cfg.t_len = t_len;
+        let cohort = Cohort::generate(cfg);
+        let idx: Vec<usize> = (0..cohort.len()).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        let samples = pipe.process_all(&cohort);
+        Batch::gather(
+            &samples,
+            &(0..n).collect::<Vec<_>>(),
+            t_len,
+            Task::Mortality,
+        )
+    }
+}

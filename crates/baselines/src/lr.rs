@@ -1,0 +1,71 @@
+//! Logistic regression over time-averaged features — the classic
+//! interpretable clinical baseline (paper: "LR takes the mean of the
+//! time-series values for each feature as input").
+
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_core::SequenceModel;
+use elda_emr::Batch;
+use elda_nn::{Init, ParamStore};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// `σ(w · mean_t(x) + b)`.
+pub struct LogisticRegression {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl LogisticRegression {
+    /// Registers parameters under `lr.*`.
+    pub fn new(ps: &mut ParamStore, num_features: usize, rng: &mut impl Rng) -> Self {
+        let w = ps.register("lr.w", Init::Glorot.build(&[num_features, 1], rng));
+        let b = ps.register("lr.b", Tensor::zeros(&[1]));
+        LogisticRegression { w, b }
+    }
+}
+
+impl SequenceModel for LogisticRegression {
+    fn name(&self) -> String {
+        "LR".into()
+    }
+
+    fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var {
+        let x = tape.leaf(batch.x.clone()); // (B,T,C)
+        let mean = tape.mean_axis(x, 1, false); // (B,C)
+        let w = ps.bind(tape, self.w);
+        let b = ps.bind(tape, self.b);
+        let z = tape.matmul(mean, w);
+        tape.add(z, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_batch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_grads() {
+        let mut ps = ParamStore::new();
+        let model = LogisticRegression::new(&mut ps, 37, &mut StdRng::seed_from_u64(1));
+        let batch = test_batch(6, 4);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(&ps, &mut tape, &batch);
+        assert_eq!(tape.shape(logits), &[4, 1]);
+        let loss = tape.bce_with_logits(logits, &batch.y);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn param_count_matches_table3() {
+        // Table III: LR has 38 parameters (37 weights + bias).
+        let mut ps = ParamStore::new();
+        LogisticRegression::new(&mut ps, 37, &mut StdRng::seed_from_u64(1));
+        assert_eq!(ps.num_scalars(), 38);
+    }
+}

@@ -1,0 +1,146 @@
+//! RETAIN (Choi et al., NeurIPS 2016): interpretable two-level attention.
+//! Events are embedded, then two GRUs running in *reverse* time produce a
+//! scalar visit-level attention `α_t` and a vector variable-level gate
+//! `β_t`; the context is `c = Σ_t α_t (β_t ⊙ v_t)`.
+
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_core::SequenceModel;
+use elda_emr::Batch;
+use elda_nn::{Gru, Init, ParamStore};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// RETAIN with embedding width `m` and attention-GRU hidden size `m`.
+pub struct Retain {
+    emb: ParamId,
+    alpha_gru: Gru,
+    beta_gru: Gru,
+    w_alpha: ParamId,
+    b_alpha: ParamId,
+    w_beta: ParamId,
+    b_beta: ParamId,
+    out_w: ParamId,
+    out_b: ParamId,
+    m: usize,
+}
+
+impl Retain {
+    /// Registers parameters under `retain.*`.
+    pub fn new(ps: &mut ParamStore, num_features: usize, m: usize, rng: &mut impl Rng) -> Self {
+        let emb = ps.register("retain.emb", Init::Glorot.build(&[num_features, m], rng));
+        let alpha_gru = Gru::new(ps, "retain.alpha_gru", m, m, rng);
+        let beta_gru = Gru::new(ps, "retain.beta_gru", m, m, rng);
+        let w_alpha = ps.register("retain.w_alpha", Init::Glorot.build(&[m, 1], rng));
+        let b_alpha = ps.register("retain.b_alpha", Tensor::zeros(&[1]));
+        let w_beta = ps.register("retain.w_beta", Init::Glorot.build(&[m, m], rng));
+        let b_beta = ps.register("retain.b_beta", Tensor::zeros(&[m]));
+        let out_w = ps.register("retain.out.w", Init::Glorot.build(&[m, 1], rng));
+        let out_b = ps.register("retain.out.b", Tensor::zeros(&[1]));
+        Retain {
+            emb,
+            alpha_gru,
+            beta_gru,
+            w_alpha,
+            b_alpha,
+            w_beta,
+            b_beta,
+            out_w,
+            out_b,
+            m,
+        }
+    }
+}
+
+impl SequenceModel for Retain {
+    fn name(&self) -> String {
+        "RETAIN".into()
+    }
+
+    fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var {
+        let dims = batch.x.shape();
+        let (b, t_len) = (dims[0], dims[1]);
+        let x = tape.leaf(batch.x.clone());
+        // v_t = x_t W_emb  (B,T,m)
+        let emb = ps.bind(tape, self.emb);
+        let v = tape.matmul_batched(x, emb);
+
+        // two reverse-time attention GRUs over the embeddings
+        let g = self.alpha_gru.forward_seq_reversed(ps, tape, v);
+        let h = self.beta_gru.forward_seq_reversed(ps, tape, v);
+
+        // α_t = softmax_t(w_α · g_t + b_α)
+        let w_alpha = ps.bind(tape, self.w_alpha);
+        let b_alpha = ps.bind(tape, self.b_alpha);
+        let scores: Vec<Var> = g
+            .iter()
+            .map(|&g_t| {
+                let s = tape.matmul(g_t, w_alpha); // (B,1)
+                tape.add(s, b_alpha)
+            })
+            .collect();
+        let score_mat = tape.concat(&scores, 1); // (B,T)
+        let alpha = tape.softmax_lastdim(score_mat);
+
+        // β_t = tanh(W_β h_t + b_β) ; context = Σ α_t (β_t ⊙ v_t)
+        let w_beta = ps.bind(tape, self.w_beta);
+        let b_beta = ps.bind(tape, self.b_beta);
+        let mut context: Option<Var> = None;
+        for (t, &h_t) in h.iter().enumerate() {
+            let beta_pre = tape.matmul(h_t, w_beta);
+            let beta_pre = tape.add(beta_pre, b_beta);
+            let beta = tape.tanh(beta_pre); // (B,m)
+            let v_t = tape.select(v, 1, t); // (B,m)
+            let gated = tape.mul(beta, v_t);
+            let a_t = tape.slice_axis(alpha, 1, t, t + 1); // (B,1)
+            let contrib = tape.mul(gated, a_t); // broadcast over m
+            context = Some(match context {
+                Some(acc) => tape.add(acc, contrib),
+                None => contrib,
+            });
+        }
+        let context = context.expect("t_len >= 1");
+        debug_assert_eq!(tape.shape(context), &[b, self.m]);
+        let _ = t_len;
+
+        let w = ps.bind(tape, self.out_w);
+        let ob = ps.bind(tape, self.out_b);
+        let z = tape.matmul(context, w);
+        tape.add(z, ob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_batch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_and_grads() {
+        let mut ps = ParamStore::new();
+        let model = Retain::new(&mut ps, 37, 6, &mut StdRng::seed_from_u64(9));
+        let batch = test_batch(5, 3);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(&ps, &mut tape, &batch);
+        assert_eq!(tape.shape(logits), &[3, 1]);
+        let loss = tape.bce_with_logits(logits, &batch.y);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn param_count_matches_table3() {
+        // Table III: 13k. With m = 32: emb 1184 + 2 GRUs (2·3·(32·32+32·32+32))
+        // + attention heads + output ≈ 13.8k.
+        let mut ps = ParamStore::new();
+        Retain::new(&mut ps, 37, 32, &mut StdRng::seed_from_u64(10));
+        let n = ps.num_scalars();
+        assert!(
+            (11_000..=16_000).contains(&n),
+            "RETAIN has {n} params; Table III says ~13k"
+        );
+    }
+}

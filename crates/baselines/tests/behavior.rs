@@ -1,0 +1,165 @@
+//! Behavioral tests for baseline-specific mechanisms: each model's
+//! defining trick must demonstrably change its behavior, not just
+//! type-check.
+
+use elda_autodiff::Tape;
+use elda_baselines::dipole::{Dipole, DipoleAttention};
+use elda_baselines::grud::GruD;
+use elda_baselines::{build_baseline, BaselineKind};
+use elda_core::SequenceModel;
+use elda_emr::{Batch, Cohort, CohortConfig, Pipeline, Task};
+use elda_nn::ParamStore;
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn batch(t_len: usize, n: usize, seed: u64) -> Batch {
+    let mut cc = CohortConfig::small(n.max(10), seed);
+    cc.t_len = t_len;
+    let cohort = Cohort::generate(cc);
+    let idx: Vec<usize> = (0..cohort.len()).collect();
+    let pipe = Pipeline::fit(&cohort, &idx);
+    let samples = pipe.process_all(&cohort);
+    Batch::gather(
+        &samples,
+        &(0..n).collect::<Vec<_>>(),
+        t_len,
+        Task::Mortality,
+    )
+}
+
+#[test]
+fn static_models_ignore_temporal_order() {
+    // LR/FM/AFM consume the time-mean: reversing time must not change them.
+    let b = batch(6, 4, 81);
+    let mut reversed = batch(6, 4, 81);
+    // reverse the time axis of x
+    let dims = b.x.shape().to_vec();
+    let (n, t, c) = (dims[0], dims[1], dims[2]);
+    let mut rev = vec![0.0; n * t * c];
+    for s in 0..n {
+        for ti in 0..t {
+            for f in 0..c {
+                rev[(s * t + ti) * c + f] = b.x.data()[(s * t + (t - 1 - ti)) * c + f];
+            }
+        }
+    }
+    reversed.x = Tensor::from_vec(rev, &dims);
+
+    for kind in [BaselineKind::Lr, BaselineKind::Fm, BaselineKind::Afm] {
+        let (model, ps) = build_baseline(kind, 37, 5);
+        let mut t1 = Tape::new();
+        let a = model.forward_logits(&ps, &mut t1, &b);
+        let mut t2 = Tape::new();
+        let r = model.forward_logits(&ps, &mut t2, &reversed);
+        elda_tensor::testutil::assert_allclose(t1.value(a), t2.value(r), 1e-4, 1e-5);
+    }
+    // ...while a recurrent model does notice the reversal.
+    let (gru, ps) = build_baseline(BaselineKind::Gru, 37, 5);
+    let mut t1 = Tape::new();
+    let a = gru.forward_logits(&ps, &mut t1, &b);
+    let mut t2 = Tape::new();
+    let r = gru.forward_logits(&ps, &mut t2, &reversed);
+    assert_ne!(
+        t1.value(a).data(),
+        t2.value(r).data(),
+        "GRU must be order-sensitive"
+    );
+}
+
+#[test]
+fn grud_decay_attenuates_stale_observations() {
+    // Same values; larger deltas (staler observations) must change the
+    // prediction — the decay path is live.
+    let mut ps = ParamStore::new();
+    let model = GruD::new(&mut ps, 37, 8, &mut StdRng::seed_from_u64(83));
+    let mut stale = batch(5, 3, 85);
+    stale.delta = stale.delta.map(|d| (d * 6.0).min(1.0));
+    // mark everything unobserved so the decayed branch is the active one
+    stale.mask = Tensor::zeros(stale.mask.shape());
+    let mut fresh2 = batch(5, 3, 85);
+    fresh2.mask = Tensor::zeros(fresh2.mask.shape());
+
+    let mut t1 = Tape::new();
+    let a = model.forward_logits(&ps, &mut t1, &fresh2);
+    let mut t2 = Tape::new();
+    let b = model.forward_logits(&ps, &mut t2, &stale);
+    assert_ne!(
+        t1.value(a).data(),
+        t2.value(b).data(),
+        "delta must matter under missingness"
+    );
+}
+
+#[test]
+fn dipole_attention_weights_are_a_distribution_over_earlier_steps() {
+    let mut ps = ParamStore::new();
+    let model = Dipole::new(
+        &mut ps,
+        37,
+        8,
+        DipoleAttention::Concat,
+        &mut StdRng::seed_from_u64(87),
+    );
+    let b = batch(7, 3, 89);
+    let mut tape = Tape::new();
+    let (_, alpha) = model.forward_with_attention(&ps, &mut tape, &b);
+    let a = tape.value(alpha);
+    assert_eq!(a.shape(), &[3, 6]);
+    for row in a.data().chunks_exact(6) {
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn retain_and_sand_read_the_whole_sequence() {
+    // Zeroing the first half of the stay changes both models' outputs
+    // (no silent truncation to the last steps).
+    for kind in [BaselineKind::Retain, BaselineKind::Sand] {
+        let (model, ps) = build_baseline(kind, 37, 7);
+        let b = batch(6, 3, 91);
+        let mut half = batch(6, 3, 91);
+        let dims = half.x.shape().to_vec();
+        let mut data = half.x.data().to_vec();
+        for s in 0..dims[0] {
+            for t in 0..dims[1] / 2 {
+                for f in 0..dims[2] {
+                    data[(s * dims[1] + t) * dims[2] + f] = 0.0;
+                }
+            }
+        }
+        half.x = Tensor::from_vec(data, &dims);
+        let mut t1 = Tape::new();
+        let a = model.forward_logits(&ps, &mut t1, &b);
+        let mut t2 = Tape::new();
+        let h = model.forward_logits(&ps, &mut t2, &half);
+        assert_ne!(
+            t1.value(a).data(),
+            t2.value(h).data(),
+            "{} ignored the early stay",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn concare_per_feature_paths_are_independent_until_attention() {
+    // Changing feature 0's series must change the output, even when every
+    // other feature is identical (its dedicated GRU feeds the attention).
+    let (model, ps) = build_baseline(BaselineKind::ConCare, 37, 9);
+    let b = batch(4, 2, 93);
+    let mut perturbed = batch(4, 2, 93);
+    let dims = perturbed.x.shape().to_vec();
+    let mut data = perturbed.x.data().to_vec();
+    for s in 0..dims[0] {
+        for t in 0..dims[1] {
+            data[(s * dims[1] + t) * dims[2]] += 1.0; // feature 0 only
+        }
+    }
+    perturbed.x = Tensor::from_vec(data, &dims);
+    let mut t1 = Tape::new();
+    let a = model.forward_logits(&ps, &mut t1, &b);
+    let mut t2 = Tape::new();
+    let p = model.forward_logits(&ps, &mut t2, &perturbed);
+    assert_ne!(t1.value(a).data(), t2.value(p).data());
+}

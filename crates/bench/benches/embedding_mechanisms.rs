@@ -1,0 +1,43 @@
+//! Embedding-mechanism cost: the bi-directional embedding (two anchor
+//! matrices + missing embedding) vs the FM linear embedding, forward over
+//! one time step at the paper's dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elda_autodiff::Tape;
+use elda_core::embedding::BiDirectionalEmbedding;
+use elda_core::{EldaConfig, EmbeddingKind};
+use elda_nn::ParamStore;
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_embeddings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_forward");
+    for (kind, label) in [
+        (EmbeddingKind::BiDirectional, "bi_directional"),
+        (EmbeddingKind::FmLinear, "fm_linear"),
+        (EmbeddingKind::FmLinearStar, "fm_linear_star"),
+    ] {
+        let mut cfg = EldaConfig::paper_default();
+        cfg.embedding = kind;
+        let mut ps = ParamStore::new();
+        let emb = BiDirectionalEmbedding::new(&mut ps, "emb", &cfg, &mut StdRng::seed_from_u64(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::rand_uniform(&[64, 37], -3.0, 3.0, &mut rng);
+        let never = Tensor::rand_bernoulli(&[64, 37], 0.1, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let xv = tape.leaf(x.clone());
+                let nv = tape.constant(never.clone());
+                let e = emb.forward(&ps, &mut tape, xv, nv);
+                black_box(tape.value(e).sum_all())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embeddings);
+criterion_main!(benches);

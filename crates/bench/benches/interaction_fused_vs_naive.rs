@@ -1,0 +1,84 @@
+//! The DESIGN.md ablation bench: the fused feature-interaction kernel
+//! (analytic O(C²e) backward, no (B,C,C,e) materialization on the tape)
+//! against the naive tape composition, at the paper's configuration
+//! (C = 37, e = 24) for forward-only and forward+backward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elda_autodiff::{CustomOp, Tape};
+use elda_core::interaction::{feature_interaction_naive, FusedFeatureInteractionOp};
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const C: usize = 37;
+const E: usize = 24;
+
+fn inputs(batch: usize) -> (Tensor, Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(7);
+    (
+        Tensor::rand_normal(&[batch, C, E], 0.0, 0.5, &mut rng),
+        Tensor::rand_normal(&[C, E], 0.0, 0.5, &mut rng),
+        Tensor::rand_normal(&[C], 0.0, 0.5, &mut rng),
+    )
+}
+
+fn forward_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction_forward");
+    for &batch in &[8usize, 32] {
+        let (e, wa, ba) = inputs(batch);
+        group.bench_with_input(BenchmarkId::new("fused", batch), &batch, |bench, _| {
+            bench.iter(|| {
+                let op = FusedFeatureInteractionOp::new();
+                black_box(op.forward(&[&e, &wa, &ba]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", batch), &batch, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let ev = tape.leaf(e.clone());
+                let wav = tape.leaf(wa.clone());
+                let bav = tape.leaf(ba.clone());
+                let (out, _) = feature_interaction_naive(&mut tape, ev, wav, bav);
+                black_box(tape.value(out).clone())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction_fwd_bwd");
+    group.sample_size(20);
+    for &batch in &[8usize, 32] {
+        let (e, wa, ba) = inputs(batch);
+        group.bench_with_input(BenchmarkId::new("fused", batch), &batch, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let ev = tape.leaf(e.clone());
+                let wav = tape.leaf(wa.clone());
+                let bav = tape.leaf(ba.clone());
+                let out = tape.custom(Box::new(FusedFeatureInteractionOp::new()), &[ev, wav, bav]);
+                let sq = tape.square(out);
+                let loss = tape.sum_all(sq);
+                black_box(tape.backward(loss).param_sq_norm())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", batch), &batch, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let ev = tape.leaf(e.clone());
+                let wav = tape.leaf(wa.clone());
+                let bav = tape.leaf(ba.clone());
+                let (out, _) = feature_interaction_naive(&mut tape, ev, wav, bav);
+                let sq = tape.square(out);
+                let loss = tape.sum_all(sq);
+                black_box(tape.backward(loss).param_sq_norm())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, forward_only, forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Per-model training-step cost: one forward + backward on a batch, at a
+//! reduced T so the full sweep stays tractable on one core. Relative
+//! ordering is what Table III's runtime columns report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elda_autodiff::Tape;
+use elda_baselines::{build_baseline, BaselineKind};
+use elda_core::{EldaConfig, EldaNet, EldaVariant, SequenceModel};
+use elda_emr::{Batch, Cohort, CohortConfig, Pipeline, Task};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const T_LEN: usize = 16;
+const BATCH: usize = 16;
+
+fn make_batch() -> Batch {
+    let mut cc = CohortConfig::small(BATCH.max(10), 5);
+    cc.t_len = T_LEN;
+    let cohort = Cohort::generate(cc);
+    let idx: Vec<usize> = (0..cohort.len()).collect();
+    let pipe = Pipeline::fit(&cohort, &idx);
+    let samples = pipe.process_all(&cohort);
+    Batch::gather(
+        &samples,
+        &(0..BATCH).collect::<Vec<_>>(),
+        T_LEN,
+        Task::Mortality,
+    )
+}
+
+fn step(model: &dyn SequenceModel, ps: &ParamStore, batch: &Batch) -> f32 {
+    let mut tape = Tape::new();
+    let logits = model.forward_logits(ps, &mut tape, batch);
+    let loss = tape.bce_with_logits(logits, &batch.y);
+    tape.backward(loss).param_sq_norm()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let batch = make_batch();
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for kind in [
+        BaselineKind::Lr,
+        BaselineKind::Fm,
+        BaselineKind::Afm,
+        BaselineKind::Gru,
+        BaselineKind::Retain,
+        BaselineKind::DipoleC,
+        BaselineKind::Sand,
+        BaselineKind::StageNet,
+        BaselineKind::GruD,
+        BaselineKind::ConCare,
+    ] {
+        let (model, ps) = build_baseline(kind, 37, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| black_box(step(model.as_ref(), &ps, &batch)));
+        });
+    }
+    for variant in [
+        EldaVariant::TimeOnly,
+        EldaVariant::FeatureBi,
+        EldaVariant::Full,
+    ] {
+        let mut ps = ParamStore::new();
+        let cfg = EldaConfig::variant(variant, T_LEN);
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &variant,
+            |b, _| {
+                b.iter(|| black_box(step(&net, &ps, &batch)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the tensor kernels that dominate model runtime:
+//! matmul (the GRU/Dense hot path), batched matmul (attention), softmax,
+//! and broadcast elementwise ops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // attention-shaped: (B,T,H) @ (B,H,T)
+    let q = Tensor::rand_normal(&[16, 48, 64], 0.0, 1.0, &mut rng);
+    let k = Tensor::rand_normal(&[16, 64, 48], 0.0, 1.0, &mut rng);
+    c.bench_function("batched_matmul_attention_16x48x64", |b| {
+        b.iter(|| black_box(q.matmul_batched(&k)));
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let t = Tensor::rand_normal(&[64, 37, 37], 0.0, 1.0, &mut rng);
+    c.bench_function("softmax_lastdim_64x37x37", |b| {
+        b.iter(|| black_box(t.softmax_lastdim()));
+    });
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = Tensor::rand_normal(&[64, 37, 24], 0.0, 1.0, &mut rng);
+    let row = Tensor::rand_normal(&[37, 24], 0.0, 1.0, &mut rng);
+    let same = Tensor::rand_normal(&[64, 37, 24], 0.0, 1.0, &mut rng);
+    c.bench_function("mul_same_shape_64x37x24", |b| {
+        b.iter(|| black_box(a.mul(&same)));
+    });
+    c.bench_function("mul_broadcast_64x37x24_by_37x24", |b| {
+        b.iter(|| black_box(a.mul(&row)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_batched_matmul,
+    bench_softmax,
+    bench_broadcast
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Figure 10 — the Glucose row's attention trajectories over the whole
+//! stay for Patient A, under (a) full ELDA-Net with the bi-directional
+//! embedding and (b) ELDA-Net-F_fm with the FM linear embedding.
+//!
+//! Expected shape (paper): with the bi-directional embedding, closely
+//! related abnormal features (FiO2, HR, Lactate) attract elevated
+//! attention while Glucose is abnormal, and weakly related ones (HCT, WBC)
+//! do not. With the FM embedding, Lactate's extreme values dominate the
+//! softmax (>50%), crushing every other partner — the scale pathology the
+//! Bi-directional Embedding Module exists to fix.
+
+use elda_bench::{maybe_write_json, prepare, Cli};
+use elda_core::framework::train_sequence_model;
+use elda_core::interpret::interpret_sample;
+use elda_core::{EldaConfig, EldaNet, EldaVariant, Interpretation};
+use elda_emr::presets::patient_a;
+use elda_emr::{feature_by_name, CohortPreset, Task, FEATURES};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Partner features plotted in the paper's Figure 10.
+const PARTNERS: [&str; 5] = ["FiO2", "HR", "Lactate", "HCT", "WBC"];
+
+fn trajectories(interp: &Interpretation, t_len: usize) -> Vec<(String, Vec<f32>)> {
+    let glu = feature_by_name("Glucose").unwrap();
+    PARTNERS
+        .iter()
+        .map(|&name| {
+            let j = feature_by_name(name).unwrap();
+            let curve: Vec<f32> = (0..t_len)
+                .map(|t| interp.feature_row_percent(t, glu)[j])
+                .collect();
+            (name.to_string(), curve)
+        })
+        .collect()
+}
+
+fn print_trajectories(title: &str, traj: &[(String, Vec<f32>)], glucose_z: &[f32]) {
+    println!("== {title} ==");
+    println!(
+        "hourly Glucose z-value: [{}]",
+        glucose_z
+            .iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (name, curve) in traj {
+        let s: Vec<String> = curve.iter().map(|v| format!("{v:.1}")).collect();
+        println!("{name:<8} attention %: [{}]", s.join(", "));
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let t_len = cli.scale.t_len;
+    let prep = prepare(CohortPreset::PhysioNet2012, &cli.scale, cli.seed);
+    let fit = cli.fit_config(cli.seed);
+    let patient = patient_a(cli.seed + 42);
+    let sample = prep.pipeline.process(&patient);
+    let glu = feature_by_name("Glucose").unwrap();
+    let glucose_z: Vec<f32> = (0..t_len)
+        .map(|t| sample.x[t * FEATURES.len() + glu])
+        .collect();
+
+    let mut payload = serde_json::Map::new();
+    payload.insert("glucose_z".into(), serde_json::json!(glucose_z));
+
+    for (variant, label) in [
+        (
+            EldaVariant::Full,
+            "Figure 10a: ELDA-Net (bi-directional embedding)",
+        ),
+        (
+            EldaVariant::FeatureFm,
+            "Figure 10b: ELDA-Net-F_fm (FM linear embedding)",
+        ),
+    ] {
+        let mut ps = ParamStore::new();
+        let cfg = EldaConfig::variant(variant, t_len);
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(cli.seed + 1));
+        eprintln!("training {}...", variant.name());
+        train_sequence_model(
+            &net,
+            &mut ps,
+            &prep.samples,
+            &prep.split,
+            t_len,
+            Task::Mortality,
+            &fit,
+        );
+        let interp = interpret_sample(&net, &ps, &sample, Task::Mortality);
+        let traj = trajectories(&interp, t_len);
+        print_trajectories(label, &traj, &glucose_z);
+
+        // Summarize the paper's headline: Lactate's peak share of Glucose's
+        // attention under each embedding.
+        let lactate_peak = traj
+            .iter()
+            .find(|(n, _)| n == "Lactate")
+            .map(|(_, c)| c.iter().cloned().fold(0.0f32, f32::max))
+            .unwrap();
+        println!("peak Lactate share of Glucose attention: {lactate_peak:.1}%\n");
+        payload.insert(
+            variant.name().to_string(),
+            serde_json::json!({
+                "trajectories": traj.iter().map(|(n, c)| serde_json::json!({"feature": n, "curve": c})).collect::<Vec<_>>(),
+                "lactate_peak_percent": lactate_peak,
+            }),
+        );
+    }
+    println!("paper reference: under F_fm Lactate exceeds 50% and crushes other partners; under ELDA-Net related");
+    println!("abnormal features (FiO2, HR, Lactate) share elevated attention and HCT/WBC stay low");
+    maybe_write_json(&cli, &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,34 @@
+//! Table I — statistics of the two synthetic cohorts, in the paper's
+//! layout. Run with `--full` to generate the paper-sized cohorts
+//! (12,000 / 21,139 admissions).
+
+use elda_bench::{maybe_write_json, Cli};
+use elda_emr::{cohort_stats, Cohort, CohortPreset};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("== Table I: dataset statistics (synthetic cohorts) ==\n");
+    let mut payload = Vec::new();
+    for preset in [CohortPreset::PhysioNet2012, CohortPreset::MimicIii] {
+        let mut config = preset.config(cli.seed, cli.scale.n_override());
+        config.t_len = cli.scale.t_len;
+        let cohort = Cohort::generate(config);
+        let stats = cohort_stats(&cohort);
+        println!("{stats}\n");
+        payload.push(serde_json::json!({
+            "name": stats.name,
+            "admissions": stats.admissions,
+            "survivors": stats.survivors,
+            "non_survivors": stats.non_survivors,
+            "los_le7": stats.los_le7,
+            "los_gt7": stats.los_gt7,
+            "avg_records_per_patient": stats.avg_records_per_patient,
+            "num_features": stats.num_features,
+            "missing_rate": stats.missing_rate,
+        }));
+    }
+    println!("paper reference (Table I):");
+    println!("  PhysioNet2012: 12000 adm., 10293:1707, 4095:7738, 359.19 rec/patient, 37 features, 79.78% missing");
+    println!("  MIMIC-III:     21139 adm., 18342:2797, 9134:12005, 346.05 rec/patient, 37 features, 80.52% missing");
+    maybe_write_json(&cli, &serde_json::Value::Array(payload));
+}

@@ -1,0 +1,60 @@
+//! Table II — the essential medical features of "Patient A" (the DM+DLA
+//! case study of §V-D), shown as standardized values at selected hours.
+//!
+//! Expected shape (paper): Glucose and Lactate strongly positive and pH /
+//! HCO3 / Temp / MAP negative during the acute window (~hours 13–27),
+//! relaxing back toward zero by hour 35 after treatment; HCT and WBC stay
+//! near zero throughout (DLA-irrelevant).
+
+use elda_bench::{maybe_write_json, prepare, Cli};
+use elda_emr::presets::patient_a;
+use elda_emr::{essential_features, CohortPreset, FEATURES};
+
+/// Hours displayed, matching the paper's focus (onset / acute / stabilized).
+const HOURS: [usize; 6] = [1, 9, 13, 21, 27, 35];
+
+fn main() {
+    let cli = Cli::parse();
+    assert!(
+        cli.scale.t_len >= 36,
+        "Table II needs at least 36 hours (use the default scale)"
+    );
+    // Fit the pipeline on the physionet-like cohort, as training would.
+    let prep = prepare(CohortPreset::PhysioNet2012, &cli.scale, cli.seed);
+    let patient = patient_a(cli.seed + 42);
+    let sample = prep.pipeline.process(&patient);
+
+    println!("== Table II: Patient A (DM + DLA), standardized essential features ==\n");
+    print!("{:<10}", "feature");
+    for h in HOURS {
+        print!(" {:>7}", format!("h{h}"));
+    }
+    println!();
+    let mut payload = serde_json::Map::new();
+    for f in essential_features() {
+        let name = FEATURES[f].name;
+        print!("{name:<10}");
+        let mut row = Vec::new();
+        for h in HOURS {
+            let idx = h * FEATURES.len() + f;
+            let v = sample.x[idx];
+            let observed = sample.mask[idx] == 1.0;
+            print!(
+                " {:>7}",
+                if observed {
+                    format!("{v:.2}")
+                } else {
+                    format!("({v:.2})")
+                }
+            );
+            row.push(serde_json::json!({"hour": h, "value": v, "observed": observed}));
+        }
+        println!();
+        payload.insert(name.to_string(), serde_json::Value::Array(row));
+    }
+    println!(
+        "\n(values in parentheses were imputed; all values standardized and clipped to [-3, 3])"
+    );
+    println!("paper reference: Glucose/Lactate high & pH/HCO3/Temp/MAP low through the acute window; HCT/WBC ~normal");
+    maybe_write_json(&cli, &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,77 @@
+//! Table III — model complexity (trainable parameters) and runtime
+//! (training seconds per batch, prediction milliseconds per sample) for
+//! every model.
+//!
+//! Expected shape (paper): LR ≪ FM/AFM ≪ recurrent models in parameters;
+//! GRU-D slowest, ConCare/StageNet slow, plain GRU/Dipole fast; ELDA-Net
+//! in between — slower than GRU (interaction modules) but faster than
+//! GRU-D/ConCare. Absolute times differ (their GPU vs our CPU).
+
+use elda_baselines::{build_baseline, BaselineKind};
+use elda_bench::{maybe_write_json, prepare, Cli};
+use elda_core::framework::train_sequence_model;
+use elda_core::{EldaConfig, EldaNet, EldaVariant, SequenceModel};
+use elda_emr::{CohortPreset, Task};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut cli = Cli::parse();
+    // Timing only needs a couple of epochs over a small cohort.
+    cli.scale.epochs = cli.scale.epochs.min(2);
+    let prep = prepare(CohortPreset::PhysioNet2012, &cli.scale, cli.seed);
+    let mut fit = cli.fit_config(cli.seed);
+    fit.patience = None;
+
+    println!("== Table III: parameters and runtime ==\n");
+    println!(
+        "{:<14} {:>10} {:>16} {:>18}",
+        "model", "# params", "train (s/batch)", "predict (ms/sample)"
+    );
+    let mut payload = Vec::new();
+    let mut run = |model: &dyn SequenceModel, ps: &mut ParamStore| {
+        let result = train_sequence_model(
+            model,
+            ps,
+            &prep.samples,
+            &prep.split,
+            cli.scale.t_len,
+            Task::Mortality,
+            &fit,
+        );
+        println!(
+            "{:<14} {:>10} {:>16.3} {:>18.3}",
+            result.name, result.num_params, result.train_s_per_batch, result.predict_ms_per_sample
+        );
+        payload.push(serde_json::json!({
+            "model": result.name,
+            "params": result.num_params,
+            "train_s_per_batch": result.train_s_per_batch,
+            "predict_ms_per_sample": result.predict_ms_per_sample,
+        }));
+    };
+
+    for kind in BaselineKind::all() {
+        let (model, mut ps) = build_baseline(kind, 37, cli.seed + 7);
+        run(model.as_ref(), &mut ps);
+    }
+    for variant in [
+        EldaVariant::TimeOnly,
+        EldaVariant::FeatureBi,
+        EldaVariant::FeatureFm,
+        EldaVariant::Full,
+    ] {
+        let mut ps = ParamStore::new();
+        let cfg = EldaConfig::variant(variant, cli.scale.t_len);
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(cli.seed + 7));
+        run(&net, &mut ps);
+    }
+
+    println!("\npaper reference (Table III, RTX 2080 Ti): LR 38 / FM 630 / AFM 718 / SAnD 106k / GRU 20k /");
+    println!(
+        "RETAIN 13k / Dipole 40-56k / StageNet 85k / GRU-D 38k / ConCare 183k / ELDA-Net 53k;"
+    );
+    println!("GRU-D slowest to train+predict, ConCare & StageNet slow, ELDA-Net moderate.");
+    maybe_write_json(&cli, &serde_json::Value::Array(payload));
+}

@@ -1,0 +1,274 @@
+//! # elda-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the ELDA
+//! paper (see `DESIGN.md` for the per-experiment index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table I — dataset statistics |
+//! | `fig6_main` | Figure 6 — main results, all models × datasets × tasks |
+//! | `fig7_ablation` | Figure 7 — ELDA-Net ablation variants |
+//! | `fig8_time_attention` | Figure 8 — time-level attention, survivors vs non-survivors, vs Dipole_c |
+//! | `table2_patient` | Table II — Patient A's essential features |
+//! | `fig9_feature_attention` | Figure 9 — feature-level attention + Lactate-controlled experiment |
+//! | `fig10_attention_over_time` | Figure 10 — Glucose attention trajectories, ELDA vs ELDA-Net-F_fm |
+//! | `table3_efficiency` | Table III — parameter counts and runtimes |
+//!
+//! Absolute numbers differ from the paper (synthetic cohorts, CPU engine);
+//! the *shapes* — who wins, by what rough factor, where attention
+//! concentrates — are the reproduction target. Every binary accepts
+//! `--quick` (tiny run), `--full` (paper-sized cohorts; hours on one core),
+//! `--seed N`, `--patients N`, `--epochs N`, `--seeds N`, `--json PATH`.
+
+use elda_core::framework::FitConfig;
+use elda_emr::{split_indices, Cohort, CohortPreset, Pipeline, ProcessedSample, SplitIndices};
+use std::collections::HashMap;
+
+/// Scale of an experiment run, tuned for a single-core CPU host by default.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Admissions per cohort.
+    pub n_patients: usize,
+    /// Hours per stay (the paper's 48 unless scaled down).
+    pub t_len: usize,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Independent seeds per configuration (paper: 5).
+    pub seeds: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+}
+
+impl Scale {
+    /// Default scale: overnight-safe on one core, statistically meaningful.
+    pub fn default_scale() -> Scale {
+        Scale {
+            n_patients: 600,
+            t_len: 48,
+            epochs: 12,
+            seeds: 1,
+            batch_size: 64,
+        }
+    }
+
+    /// Quick smoke scale (a few minutes end-to-end).
+    pub fn quick() -> Scale {
+        Scale {
+            n_patients: 300,
+            t_len: 24,
+            epochs: 8,
+            seeds: 1,
+            batch_size: 32,
+        }
+    }
+
+    /// Paper-sized cohorts (12,000 / 21,139 admissions, 5 seeds). Expect
+    /// many hours per figure on one core.
+    pub fn full() -> Scale {
+        Scale {
+            n_patients: 0,
+            t_len: 48,
+            epochs: 20,
+            seeds: 5,
+            batch_size: 64,
+        }
+    }
+
+    /// Cohort-size override handed to the presets (`None` = preset size).
+    pub fn n_override(&self) -> Option<usize> {
+        (self.n_patients > 0).then_some(self.n_patients)
+    }
+}
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The resolved scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Raw flags for binary-specific extensions.
+    pub flags: HashMap<String, String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`. Unknown `--key value` pairs land in
+    /// `flags`; bare `--quick` / `--full` pick the scale.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // Pass 1: pick the base scale, so --quick/--full compose with
+        // explicit --patients/--epochs/... regardless of flag order.
+        let mut scale = Scale::default_scale();
+        for a in &args {
+            match a.as_str() {
+                "--quick" => scale = Scale::quick(),
+                "--full" => scale = Scale::full(),
+                _ => {}
+            }
+        }
+        let mut seed = 0u64;
+        let mut json = None;
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" | "--full" => {} // handled in pass 1
+                "--seed" => {
+                    seed = args[i + 1].parse().expect("--seed N");
+                    i += 1;
+                }
+                "--patients" => {
+                    scale.n_patients = args[i + 1].parse().expect("--patients N");
+                    i += 1;
+                }
+                "--epochs" => {
+                    scale.epochs = args[i + 1].parse().expect("--epochs N");
+                    i += 1;
+                }
+                "--seeds" => {
+                    scale.seeds = args[i + 1].parse().expect("--seeds N");
+                    i += 1;
+                }
+                "--tlen" => {
+                    scale.t_len = args[i + 1].parse().expect("--tlen N");
+                    i += 1;
+                }
+                "--json" => {
+                    json = Some(args[i + 1].clone());
+                    i += 1;
+                }
+                key if key.starts_with("--") => {
+                    if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                        flags.insert(key[2..].to_string(), args[i + 1].clone());
+                        i += 1;
+                    } else {
+                        flags.insert(key[2..].to_string(), "true".to_string());
+                    }
+                }
+                other => panic!("unrecognized argument {other:?}"),
+            }
+            i += 1;
+        }
+        Cli {
+            scale,
+            seed,
+            json,
+            flags,
+        }
+    }
+
+    /// The training configuration implied by this CLI. `--patience N`
+    /// overrides the early-stopping patience; `--patience none` disables
+    /// early stopping (used when training to convergence for the
+    /// interpretability figures).
+    pub fn fit_config(&self, seed: u64) -> FitConfig {
+        let patience = match self.flags.get("patience").map(String::as_str) {
+            None => Some(3),
+            Some("none") => None,
+            Some(v) => Some(v.parse().expect("--patience N|none")),
+        };
+        FitConfig {
+            epochs: self.scale.epochs,
+            batch_size: self.scale.batch_size,
+            lr: 1e-3,
+            patience,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            seed,
+            verbose: self.flags.contains_key("verbose"),
+        }
+    }
+}
+
+/// A generated-and-preprocessed dataset ready for the harness.
+pub struct Prepared {
+    /// The raw cohort.
+    pub cohort: Cohort,
+    /// The train-fitted pipeline.
+    pub pipeline: Pipeline,
+    /// Preprocessed samples, cohort order.
+    pub samples: Vec<ProcessedSample>,
+    /// 80/10/10 split.
+    pub split: SplitIndices,
+}
+
+/// Generates a preset cohort at the requested scale and preprocesses it.
+pub fn prepare(preset: CohortPreset, scale: &Scale, seed: u64) -> Prepared {
+    let mut config = preset.config(seed, scale.n_override());
+    config.t_len = scale.t_len;
+    let cohort = Cohort::generate(config);
+    let split = split_indices(cohort.len(), seed);
+    let pipeline = Pipeline::fit(&cohort, &split.train);
+    let samples = pipeline.process_all(&cohort);
+    Prepared {
+        cohort,
+        pipeline,
+        samples,
+        split,
+    }
+}
+
+/// Writes `payload` to `path` if a JSON path was requested.
+pub fn maybe_write_json(cli: &Cli, payload: &serde_json::Value) {
+    if let Some(path) = &cli.json {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(payload).expect("serialize"),
+        )
+        .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Renders one fixed-width results row (name + metric triplet columns).
+pub fn metric_row(name: &str, bce: f32, auc_roc: f32, auc_pr: f32) -> String {
+    format!("{name:<14} {bce:>8.4} {auc_roc:>9.4} {auc_pr:>8.4}")
+}
+
+/// The header matching [`metric_row`].
+pub fn metric_header() -> String {
+    format!(
+        "{:<14} {:>8} {:>9} {:>8}",
+        "model", "BCE", "AUC-ROC", "AUC-PR"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().n_patients < Scale::default_scale().n_patients);
+        assert_eq!(Scale::full().n_override(), None);
+        assert_eq!(Scale::quick().n_override(), Some(300));
+    }
+
+    #[test]
+    fn prepare_produces_consistent_split() {
+        let prep = prepare(
+            CohortPreset::PhysioNet2012,
+            &Scale {
+                n_patients: 50,
+                t_len: 6,
+                epochs: 1,
+                seeds: 1,
+                batch_size: 8,
+            },
+            3,
+        );
+        assert_eq!(prep.samples.len(), 50);
+        assert_eq!(prep.split.train.len(), 40);
+        assert_eq!(prep.cohort.t_len(), 6);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let h = metric_header();
+        let r = metric_row("GRU", 0.41234, 0.81, 0.52);
+        assert_eq!(h.len(), r.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal dependency-free argument parsing for the `elda` binary.
+
+use std::collections::HashMap;
+
+/// A parsed command line: subcommand, positional arguments and `--key
+/// value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options and bare `--flag`s (value `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// Grammar: the first bare token is the subcommand; later bare tokens
+    /// are positional; `--key value` pairs become options; a `--key`
+    /// followed by another `--...` (or end of input) is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let argv: Vec<String> = argv.into_iter().collect();
+        let mut command = None;
+        let mut positional = Vec::new();
+        let mut options = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("bare `--` is not supported".into());
+                }
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    options.insert(key.to_string(), argv[i + 1].clone());
+                    i += 1;
+                } else {
+                    options.insert(key.to_string(), "true".to_string());
+                }
+            } else if command.is_none() {
+                command = Some(tok.clone());
+            } else {
+                positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        Ok(Args {
+            command: command.ok_or("missing subcommand; try `elda help`")?,
+            positional,
+            options,
+        })
+    }
+
+    /// A required option, with a readable error naming it.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// True when a boolean flag is set.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v == "true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse("train --data ./dir --epochs 12 --verbose").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.require("data").unwrap(), "./dir");
+        assert_eq!(a.num_or("epochs", 0usize).unwrap(), 12);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn positional_arguments_follow_subcommand() {
+        let a = parse("predict model.json record.txt").unwrap();
+        assert_eq!(a.positional, vec!["model.json", "record.txt"]);
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(parse("--only-flags").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn missing_required_option_names_it() {
+        let a = parse("train").unwrap();
+        let err = a.require("data").unwrap_err();
+        assert!(err.contains("--data"), "{err}");
+    }
+
+    #[test]
+    fn bad_numeric_value_errors() {
+        let a = parse("train --epochs many").unwrap();
+        assert!(a.num_or("epochs", 1usize).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse("gen --quick --seed 5").unwrap();
+        assert!(a.flag("quick"));
+        assert_eq!(a.num_or("seed", 0u64).unwrap(), 5);
+    }
+}

@@ -1,0 +1,336 @@
+//! `elda` — command-line interface to the ELDA healthcare-analytics
+//! framework.
+//!
+//! ```text
+//! elda generate --out ./cohort --patients 600 [--seed 0] [--mimic]
+//! elda train    --data ./cohort --model model.json [--task mortality|los]
+//!               [--epochs 12] [--batch 64] [--variant full|time|fbi|ffm]
+//! elda evaluate --data ./cohort --model model.json
+//! elda predict  --model model.json --record patient.txt
+//! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
+//! elda help
+//! ```
+//!
+//! Cohort directories use the PhysioNet Challenge 2012 layout (one
+//! `Time,Parameter,Value` file per admission plus `Outcomes.txt`), so the
+//! real credentialed datasets work as drop-in inputs.
+
+mod args;
+
+use args::Args;
+use elda_core::framework::FitConfig;
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::io::{
+    parse_record, patient_from_grid, read_physionet_dir, write_physionet_dir, Outcome,
+};
+use elda_emr::{cohort_stats, feature_by_name, Cohort, CohortPreset, Task, FEATURES};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print_help();
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "predict" => cmd_predict(&args),
+        "interpret" => cmd_interpret(&args),
+        other => Err(format!("unknown subcommand {other:?}; try `elda help`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "elda — explicit dual-interaction learning for healthcare analytics\n\n\
+         subcommands:\n\
+         \x20 generate   --out DIR [--patients N] [--seed S] [--mimic] [--tlen T]\n\
+         \x20 train      --data DIR --model FILE [--task mortality|los] [--epochs N]\n\
+         \x20            [--batch N] [--variant full|time|fbi|ffm] [--tlen T]\n\
+         \x20 evaluate   --data DIR --model FILE\n\
+         \x20 predict    --model FILE --record FILE\n\
+         \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
+         \x20 help\n\n\
+         cohort directories use the PhysioNet-2012 file layout."
+    );
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let patients = args.num_or("patients", 600usize)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let t_len = args.num_or("tlen", 48usize)?;
+    let preset = if args.flag("mimic") {
+        CohortPreset::MimicIii
+    } else {
+        CohortPreset::PhysioNet2012
+    };
+    let mut config = preset.config(seed, Some(patients));
+    config.t_len = t_len;
+    let cohort = Cohort::generate(config);
+    write_physionet_dir(&cohort, Path::new(out)).map_err(|e| e.to_string())?;
+    println!("{}", cohort_stats(&cohort));
+    println!("\nwrote {} admissions to {out}", cohort.len());
+    Ok(())
+}
+
+fn parse_task(args: &Args) -> Result<Task, String> {
+    match args.get_or("task", "mortality") {
+        "mortality" => Ok(Task::Mortality),
+        "los" => Ok(Task::LosGt7),
+        other => Err(format!("--task must be mortality or los, got {other:?}")),
+    }
+}
+
+fn parse_variant(args: &Args) -> Result<EldaVariant, String> {
+    match args.get_or("variant", "full") {
+        "full" => Ok(EldaVariant::Full),
+        "time" => Ok(EldaVariant::TimeOnly),
+        "fbi" => Ok(EldaVariant::FeatureBi),
+        "ffm" => Ok(EldaVariant::FeatureFm),
+        other => Err(format!(
+            "--variant must be full|time|fbi|ffm, got {other:?}"
+        )),
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let model_path = args.require("model")?;
+    let t_len = args.num_or("tlen", 48usize)?;
+    let task = parse_task(args)?;
+    let variant = parse_variant(args)?;
+    let cohort = read_physionet_dir(Path::new(data), t_len).map_err(|e| e.to_string())?;
+    println!("loaded {} admissions from {data}", cohort.len());
+
+    let cfg = EldaConfig::variant(variant, t_len);
+    let mut elda = Elda::with_config(cfg, task, args.num_or("seed", 0u64)?);
+    println!(
+        "training {} ({} parameters)...",
+        variant.name(),
+        elda.params().num_scalars()
+    );
+    let fit = FitConfig {
+        epochs: args.num_or("epochs", 12usize)?,
+        batch_size: args.num_or("batch", 64usize)?,
+        verbose: args.flag("verbose"),
+        seed: args.num_or("seed", 0u64)?,
+        ..Default::default()
+    };
+    let report = elda.fit(&cohort, &fit);
+    println!(
+        "test: BCE {:.4}  AUC-ROC {:.4}  AUC-PR {:.4}  ({} epochs)",
+        report.test.bce, report.test.auc_roc, report.test.auc_pr, report.epochs_run
+    );
+    std::fs::write(model_path, elda.save()).map_err(|e| e.to_string())?;
+    println!("saved model artifact to {model_path}");
+    Ok(())
+}
+
+fn load_model(args: &Args) -> Result<Elda, String> {
+    let model_path = args.require("model")?;
+    let json = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
+    Elda::load(&json)
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let elda = load_model(args)?;
+    let t_len = elda.net().config().t_len;
+    let cohort = read_physionet_dir(Path::new(data), t_len).map_err(|e| e.to_string())?;
+    let mut probs = Vec::with_capacity(cohort.len());
+    let mut labels = Vec::with_capacity(cohort.len());
+    for p in &cohort.patients {
+        probs.push(elda.predict_proba(p));
+        // score against the task the artifact was trained for
+        labels.push(match elda.task() {
+            Task::Mortality => {
+                if p.mortality {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Task::LosGt7 => {
+                if p.los_gt7 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        });
+    }
+    let single_class = labels.iter().all(|&y| y == labels[0]);
+    if single_class {
+        println!(
+            "BCE {:.4} (single-class data; AUCs undefined)",
+            elda_metrics::bce_loss(&probs, &labels)
+        );
+    } else {
+        let s = elda_metrics::evaluate(&probs, &labels);
+        println!(
+            "BCE {:.4}  AUC-ROC {:.4}  AUC-PR {:.4}  (n={})",
+            s.bce,
+            s.auc_roc,
+            s.auc_pr,
+            probs.len()
+        );
+    }
+    Ok(())
+}
+
+fn read_one_record(path: &str, t_len: usize) -> Result<elda_emr::Patient, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let grid = parse_record(path, &text, t_len).map_err(|e| e.to_string())?;
+    Ok(patient_from_grid(
+        0,
+        grid,
+        t_len,
+        Outcome {
+            los_days: 0.0,
+            died: false,
+        },
+    ))
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let elda = load_model(args)?;
+    let record = args.require("record")?;
+    let t_len = elda.net().config().t_len;
+    let patient = read_one_record(record, t_len)?;
+    let risk = elda.predict_proba(&patient);
+    let alert = risk >= elda.alert_threshold;
+    println!(
+        "risk {risk:.4}  threshold {:.2}  alert {}",
+        elda.alert_threshold,
+        if alert { "YES" } else { "no" }
+    );
+    Ok(())
+}
+
+fn cmd_interpret(args: &Args) -> Result<(), String> {
+    let elda = load_model(args)?;
+    let record = args.require("record")?;
+    let t_len = elda.net().config().t_len;
+    let patient = read_one_record(record, t_len)?;
+    let interp = elda.interpret(&patient);
+    println!("risk {:.4}", interp.risk);
+    if !interp.time_attention.is_empty() {
+        println!(
+            "crucial hours (>2x uniform attention): {:?}",
+            interp.crucial_hours(2.0)
+        );
+    }
+    if !interp.feature_attention.is_empty() {
+        let hour = args.num_or("hour", t_len - 1)?.min(t_len - 1);
+        let feature = args.get_or("feature", "Glucose");
+        let fid = feature_by_name(feature).ok_or_else(|| format!("unknown feature {feature:?}"))?;
+        let row = interp.feature_row_percent(hour, fid);
+        let mut ranked: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        println!("{feature}'s interaction attention at hour {hour}:");
+        for (j, w) in ranked.iter().take(8) {
+            println!("  {:>10}  {w:.2}%", FEATURES[*j].name);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("elda-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_subcommand() {
+        assert!(run(argv("help")).is_ok());
+        assert!(run(argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn generate_train_predict_interpret_pipeline() {
+        let dir = tmpdir("e2e");
+        let cohort_dir = dir.join("cohort");
+        let model = dir.join("model.json");
+
+        run(argv(&format!(
+            "generate --out {} --patients 40 --tlen 6 --seed 3",
+            cohort_dir.display()
+        )))
+        .unwrap();
+        assert!(cohort_dir.join("Outcomes.txt").exists());
+
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 6 --epochs 1 --batch 16 --variant time",
+            cohort_dir.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(model.exists());
+
+        // pick any record file as the prediction target
+        let record = std::fs::read_dir(&cohort_dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "txt") && !p.ends_with("Outcomes.txt"))
+            .unwrap();
+        run(argv(&format!(
+            "predict --model {} --record {}",
+            model.display(),
+            record.display()
+        )))
+        .unwrap();
+        run(argv(&format!(
+            "evaluate --data {} --model {}",
+            cohort_dir.display(),
+            model.display()
+        )))
+        .unwrap();
+        run(argv(&format!(
+            "interpret --model {} --record {} --hour 3",
+            model.display(),
+            record.display()
+        )))
+        .unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_rejects_bad_variant_and_task() {
+        let a = Args::parse(argv("train --data x --model y --variant bogus")).unwrap();
+        assert!(parse_variant(&a).is_err());
+        let a = Args::parse(argv("train --data x --model y --task bogus")).unwrap();
+        assert!(parse_task(&a).is_err());
+    }
+
+    #[test]
+    fn predict_with_missing_model_file_fails_cleanly() {
+        let err = run(argv("predict --model /nonexistent/m.json --record r.txt")).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! ELDA-Net hyper-parameters and ablation variants.
+
+use elda_emr::NUM_FEATURES;
+use serde::{Deserialize, Serialize};
+
+/// Which embedding mechanism the Feature-level Interaction Learning Module
+/// sits on (the §V-C ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbeddingKind {
+    /// The paper's Bi-directional Embedding (Eq. 2): two embedding
+    /// matrices anchored at the lower and upper bounds.
+    BiDirectional,
+    /// Bi-directional, but standardized-zero values get an all-ones
+    /// embedding (ELDA-Net-F_bi*; breaks value-consecutiveness, which the
+    /// paper shows hurts).
+    BiDirectionalStar,
+    /// FM-style linear embedding `v_i · x_i` without bias
+    /// (ELDA-Net-F_fm; zero values collapse to the zero vector).
+    FmLinear,
+    /// FM-style, but standardized-zero values get an all-ones embedding
+    /// (ELDA-Net-F_fm*).
+    FmLinearStar,
+}
+
+/// A named ELDA-Net variant from the paper's ablation study (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EldaVariant {
+    /// Full ELDA-Net: bi-directional embedding + feature-level module +
+    /// time-level module.
+    Full,
+    /// ELDA-Net-T: time-level module only (raw features feed the GRU).
+    TimeOnly,
+    /// ELDA-Net-F_bi: feature-level module with bi-directional embedding,
+    /// no time-level module.
+    FeatureBi,
+    /// ELDA-Net-F_bi*: as FeatureBi with all-ones zero-value embeddings.
+    FeatureBiStar,
+    /// ELDA-Net-F_fm: feature-level module with the FM linear embedding.
+    FeatureFm,
+    /// ELDA-Net-F_fm*: as FeatureFm with all-ones zero-value embeddings.
+    FeatureFmStar,
+}
+
+impl EldaVariant {
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EldaVariant::Full => "ELDA-Net",
+            EldaVariant::TimeOnly => "ELDA-Net-T",
+            EldaVariant::FeatureBi => "ELDA-Net-Fbi",
+            EldaVariant::FeatureBiStar => "ELDA-Net-Fbi*",
+            EldaVariant::FeatureFm => "ELDA-Net-Ffm",
+            EldaVariant::FeatureFmStar => "ELDA-Net-Ffm*",
+        }
+    }
+
+    /// All variants, in the order Figure 7 plots them.
+    pub fn all() -> [EldaVariant; 6] {
+        [
+            EldaVariant::TimeOnly,
+            EldaVariant::FeatureFm,
+            EldaVariant::FeatureFmStar,
+            EldaVariant::FeatureBi,
+            EldaVariant::FeatureBiStar,
+            EldaVariant::Full,
+        ]
+    }
+}
+
+/// Full hyper-parameter set of an ELDA-Net instance. Defaults follow §V-A's
+/// model configuration exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EldaConfig {
+    /// Number of medical features `|C|`.
+    pub num_features: usize,
+    /// Time steps per admission `T`.
+    pub t_len: usize,
+    /// Embedding dimension `e` (paper: 24).
+    pub embed_dim: usize,
+    /// GRU hidden size `l` (paper: 64).
+    pub gru_hidden: usize,
+    /// Compression factor `d` of Eq. 6 (paper: 4).
+    pub compression: usize,
+    /// Bi-directional embedding bounds `(a, b)` (paper: −3, 3).
+    pub bounds: (f32, f32),
+    /// Whether the Feature-level Interaction Learning Module is present.
+    pub feature_module: bool,
+    /// Whether the Time-level Interaction Learning Module is present.
+    pub time_module: bool,
+    /// The embedding mechanism (ignored when `feature_module` is false).
+    pub embedding: EmbeddingKind,
+    /// Use the fused `O(C²e)` interaction kernel (true) or the naive tape
+    /// composition (false; for testing/benchmarking the fusion).
+    pub fused_interaction: bool,
+}
+
+impl EldaConfig {
+    /// The paper's configuration for a given variant at `t_len` steps.
+    pub fn variant(variant: EldaVariant, t_len: usize) -> EldaConfig {
+        let base = EldaConfig {
+            num_features: NUM_FEATURES,
+            t_len,
+            embed_dim: 24,
+            gru_hidden: 64,
+            compression: 4,
+            bounds: (-3.0, 3.0),
+            feature_module: true,
+            time_module: true,
+            embedding: EmbeddingKind::BiDirectional,
+            fused_interaction: true,
+        };
+        match variant {
+            EldaVariant::Full => base,
+            EldaVariant::TimeOnly => EldaConfig {
+                feature_module: false,
+                ..base
+            },
+            EldaVariant::FeatureBi => EldaConfig {
+                time_module: false,
+                ..base
+            },
+            EldaVariant::FeatureBiStar => EldaConfig {
+                time_module: false,
+                embedding: EmbeddingKind::BiDirectionalStar,
+                ..base
+            },
+            EldaVariant::FeatureFm => EldaConfig {
+                time_module: false,
+                embedding: EmbeddingKind::FmLinear,
+                ..base
+            },
+            EldaVariant::FeatureFmStar => EldaConfig {
+                time_module: false,
+                embedding: EmbeddingKind::FmLinearStar,
+                ..base
+            },
+        }
+    }
+
+    /// The full paper configuration (48 hourly steps).
+    pub fn paper_default() -> EldaConfig {
+        Self::variant(EldaVariant::Full, 48)
+    }
+
+    /// A reduced configuration for tests.
+    pub fn tiny(num_features: usize, t_len: usize) -> EldaConfig {
+        EldaConfig {
+            num_features,
+            t_len,
+            embed_dim: 4,
+            gru_hidden: 6,
+            compression: 2,
+            bounds: (-3.0, 3.0),
+            feature_module: true,
+            time_module: true,
+            embedding: EmbeddingKind::BiDirectional,
+            fused_interaction: true,
+        }
+    }
+
+    /// Width of the per-step representation handed to the GRU.
+    pub fn gru_input_dim(&self) -> usize {
+        if self.feature_module {
+            self.num_features * self.compression
+        } else {
+            self.num_features
+        }
+    }
+
+    /// Width of the final patient representation handed to the predictor.
+    pub fn head_dim(&self) -> usize {
+        if self.time_module {
+            2 * self.gru_hidden
+        } else {
+            self.gru_hidden
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5a() {
+        let c = EldaConfig::paper_default();
+        assert_eq!(c.embed_dim, 24);
+        assert_eq!(c.gru_hidden, 64);
+        assert_eq!(c.compression, 4);
+        assert_eq!(c.bounds, (-3.0, 3.0));
+        assert_eq!(c.num_features, 37);
+        assert_eq!(c.gru_input_dim(), 148);
+        assert_eq!(c.head_dim(), 128);
+    }
+
+    #[test]
+    fn variant_flags() {
+        let t = EldaConfig::variant(EldaVariant::TimeOnly, 48);
+        assert!(!t.feature_module && t.time_module);
+        assert_eq!(t.gru_input_dim(), 37);
+        let f = EldaConfig::variant(EldaVariant::FeatureFm, 48);
+        assert!(f.feature_module && !f.time_module);
+        assert_eq!(f.embedding, EmbeddingKind::FmLinear);
+        assert_eq!(f.head_dim(), 64);
+    }
+
+    #[test]
+    fn variant_names_are_unique() {
+        let mut names: Vec<&str> = EldaVariant::all().iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,280 @@
+//! The Bi-directional Embedding Module (paper Eq. 2) and the ablation
+//! embedding mechanisms of §V-C.
+//!
+//! For a standardized value `x'_i ∈ [a, b]` of feature `i`, the paper's
+//! bi-directional embedding interpolates between two anchor embeddings:
+//!
+//! ```text
+//! e_i = ( V^a_i (x'_i − a) + V^b_i (b − x'_i) ) / (b − a)
+//! ```
+//!
+//! so (1) nearby values map to nearby embeddings (consecutiveness), and
+//! (2) the embedding's scale is decoupled from the value's magnitude — the
+//! failure mode of the FM linear embedding `v_i · x'_i`, where extreme
+//! values dominate attention (paper Figure 10b) and zeros vanish entirely.
+//!
+//! Features never observed during a stay are embedded with a dedicated
+//! matrix `V^m` (the paper's type-(iii) missingness).
+
+use crate::config::{EldaConfig, EmbeddingKind};
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_nn::{Init, ParamStore};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// Parameter holder for the embedding module.
+pub struct BiDirectionalEmbedding {
+    /// Anchor weighted by `(x' − a)` — the embedding equals `V^a` at the
+    /// *upper* bound `x' = b` (or the single `V` for FM variants).
+    va: ParamId,
+    /// Anchor weighted by `(b − x')` — the embedding equals `V^b` at the
+    /// lower bound `x' = a`. Absent for FM variants.
+    vb: Option<ParamId>,
+    /// Missing-feature embedding `V^m`.
+    vm: ParamId,
+    kind: EmbeddingKind,
+    bounds: (f32, f32),
+    num_features: usize,
+    embed_dim: usize,
+}
+
+impl BiDirectionalEmbedding {
+    /// Registers the embedding parameters under `name.*`.
+    pub fn new(ps: &mut ParamStore, name: &str, cfg: &EldaConfig, rng: &mut impl Rng) -> Self {
+        let dims = [cfg.num_features, cfg.embed_dim];
+        let bi = matches!(
+            cfg.embedding,
+            EmbeddingKind::BiDirectional | EmbeddingKind::BiDirectionalStar
+        );
+        let va = ps.register(&format!("{name}.va"), Init::Glorot.build(&dims, rng));
+        let vb = bi.then(|| ps.register(&format!("{name}.vb"), Init::Glorot.build(&dims, rng)));
+        let vm = ps.register(&format!("{name}.vm"), Init::Glorot.build(&dims, rng));
+        BiDirectionalEmbedding {
+            va,
+            vb,
+            vm,
+            kind: cfg.embedding,
+            bounds: cfg.bounds,
+            num_features: cfg.num_features,
+            embed_dim: cfg.embed_dim,
+        }
+    }
+
+    /// Embedding dimension `e`.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Embeds one time step.
+    ///
+    /// * `x`: standardized values `(B, C)` (already clipped into the
+    ///   bounds by the pipeline);
+    /// * `never`: `{0,1}` never-observed flags `(B, C)` — constant data,
+    ///   no gradient flows into it.
+    ///
+    /// Returns `(B, C, e)`.
+    pub fn forward(&self, ps: &ParamStore, tape: &mut Tape, x: Var, never: Var) -> Var {
+        let dims = tape.shape(x).to_vec();
+        assert_eq!(dims.len(), 2, "embedding expects (B,C), got {dims:?}");
+        let (b, c) = (dims[0], dims[1]);
+        assert_eq!(c, self.num_features, "feature count mismatch");
+        let x3 = tape.reshape(x, &[b, c, 1]);
+        let (a_bound, b_bound) = self.bounds;
+
+        let base = match self.kind {
+            EmbeddingKind::BiDirectional | EmbeddingKind::BiDirectionalStar => {
+                // (V^a (x − a) + V^b (b − x)) / (b − a)
+                let va = ps.bind(tape, self.va);
+                let vb = ps.bind(tape, self.vb.expect("bi-directional has V^b"));
+                let x_minus_a = tape.add_scalar(x3, -a_bound);
+                let b_minus_x = tape.neg(x3);
+                let b_minus_x = tape.add_scalar(b_minus_x, b_bound);
+                let lo = tape.mul(x_minus_a, va); // (B,C,1)*(C,e) → (B,C,e)
+                let hi = tape.mul(b_minus_x, vb);
+                let sum = tape.add(lo, hi);
+                tape.scale(sum, 1.0 / (b_bound - a_bound))
+            }
+            EmbeddingKind::FmLinear | EmbeddingKind::FmLinearStar => {
+                // v_i · x_i — the FM linear mechanism (no bias).
+                let v = ps.bind(tape, self.va);
+                tape.mul(x3, v)
+            }
+        };
+
+        // Starred variants: replace standardized-zero values' embeddings
+        // with all-ones vectors (constant masks; no gradient through them).
+        let base = match self.kind {
+            EmbeddingKind::BiDirectionalStar | EmbeddingKind::FmLinearStar => {
+                let zero_mask = zero_mask_of(tape.value(x3));
+                let ones = Tensor::ones(&[b, c, self.embed_dim]);
+                let zmask = tape.constant(zero_mask.clone());
+                let keep = tape.constant(zero_mask.map(|m| 1.0 - m));
+                let kept = tape.mul(base, keep);
+                let ones_v = tape.constant(ones);
+                let filled = tape.mul(ones_v, zmask);
+                tape.add(kept, filled)
+            }
+            _ => base,
+        };
+
+        // Never-observed features use V^m instead.
+        let never_vals = tape.value(never).clone();
+        if never_vals.data().iter().all(|&v| v == 0.0) {
+            return base; // fast path: nothing missing in this batch
+        }
+        let vm = ps.bind(tape, self.vm);
+        let never3 = tape.reshape(never, &[b, c, 1]);
+        let negn = tape.neg(never3);
+        let keep3 = tape.add_scalar(negn, 1.0);
+        let kept = tape.mul(base, keep3);
+        let missing = tape.mul(never3, vm);
+        tape.add(kept, missing)
+    }
+}
+
+/// `{0,1}` mask of exactly-zero entries (broadcast against the embedding).
+fn zero_mask_of(x3: &Tensor) -> Tensor {
+    x3.map(|v| if v == 0.0 { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(kind: EmbeddingKind) -> (ParamStore, BiDirectionalEmbedding, EldaConfig) {
+        let mut cfg = EldaConfig::tiny(3, 4);
+        cfg.embedding = kind;
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = BiDirectionalEmbedding::new(&mut ps, "emb", &cfg, &mut rng);
+        (ps, emb, cfg)
+    }
+
+    fn embed(ps: &ParamStore, emb: &BiDirectionalEmbedding, x: Tensor, never: Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let nv = tape.constant(never);
+        let e = emb.forward(ps, &mut tape, xv, nv);
+        tape.value(e).clone()
+    }
+
+    #[test]
+    fn output_shape_is_bce() {
+        let (ps, emb, _) = setup(EmbeddingKind::BiDirectional);
+        let out = embed(&ps, &emb, Tensor::zeros(&[2, 3]), Tensor::zeros(&[2, 3]));
+        assert_eq!(out.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn bi_embedding_is_linear_interpolation_between_anchors() {
+        let (ps, emb, cfg) = setup(EmbeddingKind::BiDirectional);
+        let (a, b) = cfg.bounds;
+        // at x = a the embedding equals V^b, at x = b it equals V^a
+        let at_a = embed(&ps, &emb, Tensor::full(&[1, 3], a), Tensor::zeros(&[1, 3]));
+        let at_b = embed(&ps, &emb, Tensor::full(&[1, 3], b), Tensor::zeros(&[1, 3]));
+        let va = ps.by_name("emb.va").unwrap().value.clone();
+        let vb = ps.by_name("emb.vb").unwrap().value.clone();
+        elda_tensor::testutil::assert_allclose(&at_a.reshape(&[3, 4]), &vb, 1e-5, 1e-6);
+        elda_tensor::testutil::assert_allclose(&at_b.reshape(&[3, 4]), &va, 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn bi_embedding_zero_is_not_zero_vector() {
+        // The key fix over FM: standardized zero (≈ normal lab value) keeps
+        // an informative embedding.
+        let (ps, emb, _) = setup(EmbeddingKind::BiDirectional);
+        let out = embed(&ps, &emb, Tensor::zeros(&[1, 3]), Tensor::zeros(&[1, 3]));
+        let norm: f32 = out.data().iter().map(|v| v * v).sum();
+        assert!(norm > 1e-4, "zero value collapsed to zero embedding");
+    }
+
+    #[test]
+    fn fm_embedding_zero_is_zero_vector() {
+        let (ps, emb, _) = setup(EmbeddingKind::FmLinear);
+        let out = embed(&ps, &emb, Tensor::zeros(&[1, 3]), Tensor::zeros(&[1, 3]));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fm_embedding_scales_with_value() {
+        let (ps, emb, _) = setup(EmbeddingKind::FmLinear);
+        let e1 = embed(
+            &ps,
+            &emb,
+            Tensor::full(&[1, 3], 1.0),
+            Tensor::zeros(&[1, 3]),
+        );
+        let e2 = embed(
+            &ps,
+            &emb,
+            Tensor::full(&[1, 3], 2.0),
+            Tensor::zeros(&[1, 3]),
+        );
+        elda_tensor::testutil::assert_allclose(&e2, &e1.scale(2.0), 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn fm_star_fills_zeros_with_ones() {
+        let (ps, emb, _) = setup(EmbeddingKind::FmLinearStar);
+        let x = Tensor::from_vec(vec![0.0, 1.5, 0.0], &[1, 3]);
+        let out = embed(&ps, &emb, x, Tensor::zeros(&[1, 3]));
+        // features 0 and 2 (zero) → all-ones rows
+        for f in [0usize, 2] {
+            for k in 0..4 {
+                assert_eq!(out.at(&[0, f, k]), 1.0);
+            }
+        }
+        // feature 1 behaves like FM
+        let v = ps.by_name("emb.va").unwrap().value.clone();
+        for k in 0..4 {
+            assert!((out.at(&[0, 1, k]) - 1.5 * v.at(&[1, k])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bi_star_breaks_consecutiveness_at_zero() {
+        let (ps, emb, _) = setup(EmbeddingKind::BiDirectionalStar);
+        let near = embed(
+            &ps,
+            &emb,
+            Tensor::full(&[1, 3], 1e-3),
+            Tensor::zeros(&[1, 3]),
+        );
+        let zero = embed(&ps, &emb, Tensor::zeros(&[1, 3]), Tensor::zeros(&[1, 3]));
+        // at exactly zero: all ones; nearby: the interpolated embedding
+        assert!(zero.data().iter().all(|&v| v == 1.0));
+        assert!(near
+            .data()
+            .iter()
+            .zip(zero.data())
+            .any(|(&a, &b)| (a - b).abs() > 0.05));
+    }
+
+    #[test]
+    fn never_observed_rows_use_vm() {
+        let (ps, emb, _) = setup(EmbeddingKind::BiDirectional);
+        let never = Tensor::from_vec(vec![0.0, 1.0, 0.0], &[1, 3]);
+        let out = embed(&ps, &emb, Tensor::full(&[1, 3], 0.5), never);
+        let vm = ps.by_name("emb.vm").unwrap().value.clone();
+        for k in 0..4 {
+            assert!((out.at(&[0, 1, k]) - vm.at(&[1, k])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_embedding_params() {
+        let (ps, emb, _) = setup(EmbeddingKind::BiDirectional);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(&[2, 3], 0.7));
+        let never = tape.constant(Tensor::from_vec(vec![0., 1., 0., 0., 0., 1.], &[2, 3]));
+        let e = emb.forward(&ps, &mut tape, x, never);
+        let sq = tape.square(e);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The ELDA framework (paper §III): training, prediction, alerting and
+//! interpretation over cohorts — plus the generic harness used to run every
+//! model (ELDA-Net variants *and* baselines) under identical conditions.
+
+use crate::config::{EldaConfig, EldaVariant};
+use crate::interpret::{interpret_sample, Interpretation};
+use crate::model::{EldaNet, SequenceModel};
+use elda_autodiff::Tape;
+use elda_emr::{
+    split_indices, Batch, Cohort, Patient, Pipeline, ProcessedSample, SplitIndices, Task,
+};
+use elda_metrics::{auc_pr, evaluate, EvalSummary};
+use elda_nn::{Adam, EpochStats, ParamStore, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Training configuration for the harness (paper §V-A: Adam, lr 1e-3,
+/// batch 64).
+#[derive(Debug, Clone)]
+pub struct FitConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Early-stopping patience on validation AUC-PR.
+    pub patience: Option<usize>,
+    /// Worker threads for shard-parallel gradients.
+    pub threads: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Print per-epoch progress.
+    pub verbose: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            epochs: 20,
+            batch_size: 64,
+            lr: 1e-3,
+            patience: Some(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1))
+                .unwrap_or(1)
+                .max(1),
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// Outcome of one model training run, with the timing columns of Table III.
+#[derive(Debug, Clone)]
+pub struct ModelRunResult {
+    /// Model display name.
+    pub name: String,
+    /// Best validation AUC-PR reached.
+    pub val_auc_pr: f32,
+    /// Test-set metrics (the paper's Figure 6/7 triplet).
+    pub test: EvalSummary,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+    /// Mean wall-clock seconds per training batch.
+    pub train_s_per_batch: f32,
+    /// Mean wall-clock milliseconds per predicted sample.
+    pub predict_ms_per_sample: f32,
+    /// Trainable scalar count.
+    pub num_params: usize,
+}
+
+/// Trains any [`SequenceModel`] on pre-processed samples under the paper's
+/// protocol: Adam on BCE, early stopping on validation AUC-PR, test
+/// evaluation with the best checkpoint restored.
+pub fn train_sequence_model(
+    model: &dyn SequenceModel,
+    ps: &mut ParamStore,
+    samples: &[ProcessedSample],
+    split: &SplitIndices,
+    t_len: usize,
+    task: Task,
+    cfg: &FitConfig,
+) -> ModelRunResult {
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        shuffle_seed: cfg.seed,
+        clip_norm: Some(5.0),
+        threads: cfg.threads,
+        patience: cfg.patience,
+        verbose: cfg.verbose,
+    });
+    let mut opt = Adam::new(cfg.lr);
+
+    let train_idx = &split.train;
+    let loss_fn = |ps: &ParamStore, shard: &[usize]| {
+        // shard indexes into train_idx
+        let abs: Vec<usize> = shard.iter().map(|&i| train_idx[i]).collect();
+        let batch = Batch::gather(samples, &abs, t_len, task);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(ps, &mut tape, &batch);
+        let loss = tape.bce_with_logits(logits, &batch.y);
+        let value = tape.value(loss).item();
+        (value, tape.backward(loss).into_param_map())
+    };
+
+    let mut batches_timed = 0usize;
+    let started = Instant::now();
+    let (history, best_val): (Vec<EpochStats>, f32) = {
+        let mut val_scorer = |ps: &ParamStore| {
+            let probs = predict_probs(model, ps, samples, &split.val, t_len, task, cfg.batch_size);
+            let labels = labels_of(samples, &split.val, task);
+            if labels.iter().all(|&y| y == labels[0]) {
+                // Degenerate (single-class) fold: AUC-PR is undefined. Fall
+                // back to negative BCE so early stopping still tracks a
+                // continuous signal instead of freezing on epoch 1.
+                return -elda_metrics::bce_loss(&probs, &labels);
+            }
+            auc_pr(&probs, &labels)
+        };
+        trainer.fit(ps, &mut opt, train_idx.len(), &loss_fn, &mut val_scorer)
+    };
+    let train_elapsed = started.elapsed().as_secs_f32();
+    for e in &history {
+        batches_timed += e.batches;
+    }
+
+    // Test evaluation + prediction timing.
+    let pred_started = Instant::now();
+    let probs = predict_probs(model, ps, samples, &split.test, t_len, task, cfg.batch_size);
+    let predict_elapsed = pred_started.elapsed().as_secs_f32();
+    let labels = labels_of(samples, &split.test, task);
+    let test = safe_evaluate(&probs, &labels);
+
+    ModelRunResult {
+        name: model.name(),
+        val_auc_pr: best_val,
+        test,
+        epochs_run: history.len(),
+        train_s_per_batch: train_elapsed / batches_timed.max(1) as f32,
+        predict_ms_per_sample: predict_elapsed * 1000.0 / split.test.len().max(1) as f32,
+        num_params: ps.num_scalars(),
+    }
+}
+
+/// [`evaluate`] that tolerates degenerate (single-class) folds — possible
+/// on very small cohorts — by reporting `NaN` AUCs instead of panicking.
+/// BCE is always well-defined and always computed.
+pub fn safe_evaluate(probs: &[f32], labels: &[f32]) -> EvalSummary {
+    let single_class = labels.iter().all(|&y| y == labels[0]);
+    if single_class {
+        EvalSummary {
+            bce: elda_metrics::bce_loss(probs, labels),
+            auc_roc: f32::NAN,
+            auc_pr: f32::NAN,
+        }
+    } else {
+        evaluate(probs, labels)
+    }
+}
+
+/// Predicted probabilities for `indices`, batched.
+pub fn predict_probs(
+    model: &dyn SequenceModel,
+    ps: &ParamStore,
+    samples: &[ProcessedSample],
+    indices: &[usize],
+    t_len: usize,
+    task: Task,
+    batch_size: usize,
+) -> Vec<f32> {
+    let mut probs = Vec::with_capacity(indices.len());
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let batch = Batch::gather(samples, chunk, t_len, task);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(ps, &mut tape, &batch);
+        probs.extend(tape.value(logits).sigmoid().data());
+    }
+    probs
+}
+
+/// Task labels for `indices`.
+pub fn labels_of(samples: &[ProcessedSample], indices: &[usize], task: Task) -> Vec<f32> {
+    indices
+        .iter()
+        .map(|&i| match task {
+            Task::Mortality => samples[i].y_mortality,
+            Task::LosGt7 => samples[i].y_los,
+        })
+        .collect()
+}
+
+/// Summary returned by [`Elda::fit`].
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Best validation AUC-PR.
+    pub val_auc_pr: f32,
+    /// Test metrics with the best checkpoint restored.
+    pub test: EvalSummary,
+    /// Epochs run (≤ configured maximum under early stopping).
+    pub epochs_run: usize,
+}
+
+/// The end-to-end ELDA framework of §III: owns the network, its
+/// parameters, and the fitted preprocessing pipeline, and exposes the three
+/// functionalities the paper describes — predictive analytics (with
+/// alerting), time-level interpretation and feature-level interpretation.
+pub struct Elda {
+    net: EldaNet,
+    ps: ParamStore,
+    pipeline: Option<Pipeline>,
+    task: Task,
+    /// Alert threshold for [`Elda::should_alert`].
+    pub alert_threshold: f32,
+}
+
+impl Elda {
+    /// Creates an untrained framework instance for `variant`.
+    pub fn new(variant: EldaVariant, t_len: usize, task: Task, seed: u64) -> Elda {
+        let mut ps = ParamStore::new();
+        let cfg = EldaConfig::variant(variant, t_len);
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(seed));
+        Elda {
+            net,
+            ps,
+            pipeline: None,
+            task,
+            alert_threshold: 0.5,
+        }
+    }
+
+    /// Creates an instance with a custom configuration (for tests and
+    /// scaled-down experiments).
+    pub fn with_config(cfg: EldaConfig, task: Task, seed: u64) -> Elda {
+        let mut ps = ParamStore::new();
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(seed));
+        Elda {
+            net,
+            ps,
+            pipeline: None,
+            task,
+            alert_threshold: 0.5,
+        }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &EldaNet {
+        &self.net
+    }
+
+    /// The parameter store (read access; e.g. for counting parameters).
+    pub fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+
+    /// The prediction task this instance was built (or loaded) for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Trains on a cohort with the paper's 80/10/10 protocol. The
+    /// preprocessing pipeline is fitted on the training split only.
+    pub fn fit(&mut self, cohort: &Cohort, cfg: &FitConfig) -> TrainReport {
+        let split = split_indices(cohort.len(), cfg.seed);
+        let pipeline = Pipeline::fit(cohort, &split.train);
+        let samples = pipeline.process_all(cohort);
+        let result = train_sequence_model(
+            &self.net,
+            &mut self.ps,
+            &samples,
+            &split,
+            cohort.t_len(),
+            self.task,
+            cfg,
+        );
+        self.pipeline = Some(pipeline);
+        TrainReport {
+            val_auc_pr: result.val_auc_pr,
+            test: result.test,
+            epochs_run: result.epochs_run,
+        }
+    }
+
+    /// Preprocesses a raw patient with the fitted pipeline.
+    ///
+    /// # Panics
+    /// Panics when called before [`Elda::fit`] (or [`Elda::set_pipeline`]).
+    pub fn process(&self, patient: &Patient) -> ProcessedSample {
+        self.pipeline
+            .as_ref()
+            .expect("Elda::fit (or set_pipeline) must run before inference")
+            .process(patient)
+    }
+
+    /// Installs an externally fitted pipeline (e.g. when sharing one across
+    /// variants in the ablation study).
+    pub fn set_pipeline(&mut self, pipeline: Pipeline) {
+        self.pipeline = Some(pipeline);
+    }
+
+    /// The fitted pipeline, if any.
+    pub fn pipeline(&self) -> Option<&Pipeline> {
+        self.pipeline.as_ref()
+    }
+
+    /// Predicted risk for one raw patient.
+    pub fn predict_proba(&self, patient: &Patient) -> f32 {
+        let sample = self.process(patient);
+        let probs = predict_probs(
+            &self.net,
+            &self.ps,
+            std::slice::from_ref(&sample),
+            &[0],
+            self.net.config().t_len,
+            self.task,
+            1,
+        );
+        probs[0]
+    }
+
+    /// §III "Predictive Analytics": true when the predicted risk crosses
+    /// the alert threshold and clinicians should be notified.
+    pub fn should_alert(&self, patient: &Patient) -> bool {
+        self.predict_proba(patient) >= self.alert_threshold
+    }
+
+    /// §III "Interaction Interpretation": full attention read-out for one
+    /// raw patient.
+    pub fn interpret(&self, patient: &Patient) -> Interpretation {
+        let sample = self.process(patient);
+        interpret_sample(&self.net, &self.ps, &sample, self.task)
+    }
+
+    /// Serializes parameters to JSON (the pipeline must be re-fitted or
+    /// re-installed on load).
+    pub fn checkpoint(&self) -> String {
+        self.ps.to_json()
+    }
+
+    /// Restores parameters from [`Elda::checkpoint`] output.
+    pub fn restore(&mut self, json: &str) -> Result<(), String> {
+        self.ps.load_json(json)
+    }
+
+    /// Serializes the complete deployable artifact — architecture config,
+    /// task, alert threshold, fitted pipeline and trained parameters — as
+    /// one JSON document. [`Elda::load`] reconstructs a ready-to-predict
+    /// instance from it.
+    pub fn save(&self) -> String {
+        let doc = serde_json::json!({
+            "format": "elda/v1",
+            "config": self.net.config(),
+            "task": self.task,
+            "alert_threshold": self.alert_threshold,
+            "pipeline": self.pipeline,
+            "params": serde_json::from_str::<serde_json::Value>(&self.ps.to_json())
+                .expect("param json is valid"),
+        });
+        serde_json::to_string(&doc).expect("framework serialization")
+    }
+
+    /// Reconstructs a framework instance from [`Elda::save`] output.
+    pub fn load(json: &str) -> Result<Elda, String> {
+        let doc: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| format!("artifact parse error: {e}"))?;
+        if doc.get("format").and_then(|f| f.as_str()) != Some("elda/v1") {
+            return Err("not an elda/v1 artifact".into());
+        }
+        let cfg: EldaConfig = serde_json::from_value(doc["config"].clone())
+            .map_err(|e| format!("bad config: {e}"))?;
+        let task: Task =
+            serde_json::from_value(doc["task"].clone()).map_err(|e| format!("bad task: {e}"))?;
+        let pipeline: Option<Pipeline> = serde_json::from_value(doc["pipeline"].clone())
+            .map_err(|e| format!("bad pipeline: {e}"))?;
+        let alert_threshold = doc["alert_threshold"].as_f64().unwrap_or(0.5) as f32;
+        let mut elda = Elda::with_config(cfg, task, 0);
+        let params = serde_json::to_string(&doc["params"]).expect("re-serialize params");
+        elda.ps.load_json(&params)?;
+        elda.pipeline = pipeline;
+        elda.alert_threshold = alert_threshold;
+        Ok(elda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elda_emr::CohortConfig;
+
+    fn quick_fit_config() -> FitConfig {
+        FitConfig {
+            epochs: 2,
+            batch_size: 16,
+            threads: 2,
+            patience: None,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_cfg(t_len: usize) -> EldaConfig {
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        cfg
+    }
+
+    #[test]
+    fn fit_then_predict_and_interpret() {
+        let mut cc = CohortConfig::small(60, 17);
+        cc.t_len = 8;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(8), Task::Mortality, 1);
+        let report = elda.fit(&cohort, &quick_fit_config());
+        assert!(report.epochs_run >= 1);
+        assert!(report.test.bce.is_finite());
+        let p = &cohort.patients[0];
+        let risk = elda.predict_proba(p);
+        assert!((0.0..=1.0).contains(&risk));
+        let interp = elda.interpret(p);
+        assert_eq!(interp.feature_attention.len(), 8);
+        assert_eq!(interp.time_attention.len(), 7);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let mut cc = CohortConfig::small(40, 19);
+        cc.t_len = 6;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(6), Task::LosGt7, 2);
+        elda.fit(&cohort, &quick_fit_config());
+        let p = &cohort.patients[3];
+        let before = elda.predict_proba(p);
+        let ckpt = elda.checkpoint();
+        // Perturb, then restore.
+        let mut other = Elda::with_config(tiny_cfg(6), Task::LosGt7, 99);
+        other.set_pipeline(elda.pipeline().unwrap().clone());
+        assert_ne!(other.predict_proba(p), before);
+        other.restore(&ckpt).unwrap();
+        assert_eq!(other.predict_proba(p), before);
+    }
+
+    #[test]
+    fn alerting_respects_threshold() {
+        let mut cc = CohortConfig::small(40, 23);
+        cc.t_len = 6;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(6), Task::Mortality, 3);
+        elda.fit(&cohort, &quick_fit_config());
+        let p = &cohort.patients[5];
+        let risk = elda.predict_proba(p);
+        elda.alert_threshold = risk - 0.01;
+        assert!(elda.should_alert(p));
+        elda.alert_threshold = risk + 0.01;
+        assert!(!elda.should_alert(p));
+    }
+
+    #[test]
+    fn save_load_roundtrips_everything() {
+        let mut cc = CohortConfig::small(40, 37);
+        cc.t_len = 6;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(6), Task::Mortality, 9);
+        elda.fit(&cohort, &quick_fit_config());
+        elda.alert_threshold = 0.42;
+        let artifact = elda.save();
+
+        let loaded = Elda::load(&artifact).unwrap();
+        assert_eq!(loaded.alert_threshold, 0.42);
+        let p = &cohort.patients[2];
+        assert_eq!(loaded.predict_proba(p), elda.predict_proba(p));
+        // interpretation works directly on the loaded instance
+        let interp = loaded.interpret(p);
+        assert_eq!(interp.feature_attention.len(), 6);
+    }
+
+    #[test]
+    fn load_rejects_foreign_documents() {
+        assert!(Elda::load("{}").is_err());
+        assert!(Elda::load("not json").is_err());
+        assert!(Elda::load(r#"{"format":"elda/v1","config":{}}"#).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must run before inference")]
+    fn predict_before_fit_panics() {
+        let cohort = Cohort::generate(CohortConfig::small(12, 29));
+        let elda = Elda::with_config(tiny_cfg(48), Task::Mortality, 4);
+        elda.predict_proba(&cohort.patients[0]);
+    }
+
+    #[test]
+    fn training_improves_over_untrained() {
+        let mut cc = CohortConfig::small(150, 31);
+        cc.t_len = 8;
+        let cohort = Cohort::generate(cc);
+        let split = split_indices(cohort.len(), 0);
+        let pipeline = Pipeline::fit(&cohort, &split.train);
+        let samples = pipeline.process_all(&cohort);
+
+        let mut elda = Elda::with_config(tiny_cfg(8), Task::Mortality, 5);
+        let labels = labels_of(&samples, &split.test, Task::Mortality);
+        let untrained = {
+            let probs = predict_probs(
+                elda.net(),
+                elda.params(),
+                &samples,
+                &split.test,
+                8,
+                Task::Mortality,
+                32,
+            );
+            elda_metrics::bce_loss(&probs, &labels)
+        };
+        let cfg = FitConfig {
+            epochs: 6,
+            batch_size: 32,
+            threads: 2,
+            patience: None,
+            ..Default::default()
+        };
+        elda.fit(&cohort, &cfg);
+        let trained = {
+            let probs = predict_probs(
+                elda.net(),
+                elda.params(),
+                &samples,
+                &split.test,
+                8,
+                Task::Mortality,
+                32,
+            );
+            elda_metrics::bce_loss(&probs, &labels)
+        };
+        assert!(
+            trained < untrained,
+            "BCE did not improve: {untrained} -> {trained}"
+        );
+    }
+}

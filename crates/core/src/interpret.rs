@@ -1,0 +1,196 @@
+//! Interpretability extraction: the feature-level and time-level attention
+//! weights behind the paper's Figures 8–10 and the §III functionality
+//! descriptions.
+
+use crate::model::EldaNet;
+use elda_autodiff::Tape;
+use elda_emr::{Batch, ProcessedSample, Task};
+use elda_nn::ParamStore;
+use elda_tensor::Tensor;
+
+/// Everything ELDA exposes about one patient's prediction.
+pub struct Interpretation {
+    /// Predicted probability for the configured task.
+    pub risk: f32,
+    /// Per-hour feature-level attention matrices `(C, C)`; entry `[i][j]`
+    /// is `α_{i,j}` — the weight feature `i` puts on its interaction with
+    /// feature `j`. Empty when the variant has no feature module.
+    pub feature_attention: Vec<Tensor>,
+    /// Time-level attention `β_{i,T}` over the `T−1` earlier hours.
+    /// Empty when the variant has no time module.
+    pub time_attention: Vec<f32>,
+}
+
+impl Interpretation {
+    /// The attention row of feature `i` at hour `t` (the paper's Figure 9
+    /// rows), normalized percentages over partners `j ≠ i`.
+    pub fn feature_row_percent(&self, t: usize, i: usize) -> Vec<f32> {
+        let att = &self.feature_attention[t];
+        let c = att.shape()[1];
+        (0..c).map(|j| att.at(&[i, j]) * 100.0).collect()
+    }
+
+    /// The hours whose time-level attention exceeds `k×` the uniform
+    /// weight — the "crucial time steps" of §V-D.
+    pub fn crucial_hours(&self, k: f32) -> Vec<usize> {
+        let n = self.time_attention.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let uniform = 1.0 / n as f32;
+        self.time_attention
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > k * uniform)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs a single processed admission through the network and extracts its
+/// interpretation. `task` only selects which label rides along in the
+/// batch; it does not affect the forward pass.
+pub fn interpret_sample(
+    net: &EldaNet,
+    ps: &ParamStore,
+    sample: &ProcessedSample,
+    task: Task,
+) -> Interpretation {
+    let t_len = net.config().t_len;
+    let batch = Batch::gather(std::slice::from_ref(sample), &[0], t_len, task);
+    let mut tape = Tape::new();
+    let out = net.forward_detailed(ps, &mut tape, &batch);
+    let risk = tape.value(out.logits).data()[0];
+    let risk = 1.0 / (1.0 + (-risk).exp());
+    let feature_attention = out
+        .feature_attention
+        .map(|atts| {
+            atts.into_iter()
+                .map(|a| {
+                    let c = a.shape()[1];
+                    a.reshape(&[c, c]) // batch of 1
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let time_attention = out
+        .time_attention
+        .map(|beta| tape.value(beta).data().to_vec())
+        .unwrap_or_default();
+    Interpretation {
+        risk,
+        feature_attention,
+        time_attention,
+    }
+}
+
+/// Group-level time-attention curves (the paper's Figure 8): one β-curve
+/// per patient plus the group mean.
+pub struct TimeAttentionSummary {
+    /// One attention curve (length `T−1`) per requested patient.
+    pub per_patient: Vec<Vec<f32>>,
+    /// Element-wise mean curve (the red line in Figure 8).
+    pub mean: Vec<f32>,
+}
+
+/// Computes [`TimeAttentionSummary`] over `indices` into `samples`.
+///
+/// # Panics
+/// Panics when the model has no time module or `indices` is empty.
+pub fn time_attention_summary(
+    net: &EldaNet,
+    ps: &ParamStore,
+    samples: &[ProcessedSample],
+    indices: &[usize],
+    task: Task,
+) -> TimeAttentionSummary {
+    assert!(!indices.is_empty(), "no patients selected");
+    assert!(net.config().time_module, "model has no time-level module");
+    let t_len = net.config().t_len;
+    // One forward over the whole group (cheap relative to per-patient).
+    let batch = Batch::gather(samples, indices, t_len, task);
+    let mut tape = Tape::new();
+    let out = net.forward_detailed(ps, &mut tape, &batch);
+    let beta = tape.value(out.time_attention.expect("time module present"));
+    let t1 = t_len - 1;
+    let per_patient: Vec<Vec<f32>> = (0..indices.len())
+        .map(|b| beta.data()[b * t1..(b + 1) * t1].to_vec())
+        .collect();
+    let mut mean = vec![0.0f32; t1];
+    for curve in &per_patient {
+        for (m, &v) in mean.iter_mut().zip(curve) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= per_patient.len() as f32;
+    }
+    TimeAttentionSummary { per_patient, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EldaConfig, EldaVariant};
+    use elda_emr::{Cohort, CohortConfig, Pipeline};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(t_len: usize) -> (ParamStore, EldaNet, Vec<ProcessedSample>) {
+        let mut cc = CohortConfig::small(16, 8);
+        cc.t_len = t_len;
+        let cohort = Cohort::generate(cc);
+        let idx: Vec<usize> = (0..16).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        let samples = pipe.process_all(&cohort);
+        let mut ps = ParamStore::new();
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 5;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(1));
+        (ps, net, samples)
+    }
+
+    #[test]
+    fn interpretation_has_all_components() {
+        let (ps, net, samples) = setup(6);
+        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality);
+        assert!((0.0..=1.0).contains(&interp.risk));
+        assert_eq!(interp.feature_attention.len(), 6);
+        assert_eq!(interp.feature_attention[0].shape(), &[37, 37]);
+        assert_eq!(interp.time_attention.len(), 5);
+        let sum: f32 = interp.time_attention.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn feature_row_percent_sums_to_100() {
+        let (ps, net, samples) = setup(5);
+        let interp = interpret_sample(&net, &ps, &samples[1], Task::Mortality);
+        let row = interp.feature_row_percent(2, 11); // Glucose row
+        let total: f32 = row.iter().sum();
+        assert!((total - 100.0).abs() < 0.1, "total {total}");
+        assert_eq!(row[11], 0.0, "self-interaction excluded");
+    }
+
+    #[test]
+    fn crucial_hours_threshold() {
+        let interp = Interpretation {
+            risk: 0.5,
+            feature_attention: vec![],
+            time_attention: vec![0.05, 0.05, 0.6, 0.05, 0.25],
+        };
+        assert_eq!(interp.crucial_hours(2.0), vec![2]);
+        assert_eq!(interp.crucial_hours(1.0), vec![2, 4]);
+    }
+
+    #[test]
+    fn group_summary_mean_is_a_distribution() {
+        let (ps, net, samples) = setup(6);
+        let summary = time_attention_summary(&net, &ps, &samples, &[0, 1, 2, 3], Task::Mortality);
+        assert_eq!(summary.per_patient.len(), 4);
+        let total: f32 = summary.mean.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "mean curve sums to {total}");
+    }
+}

@@ -1,0 +1,303 @@
+//! The assembled ELDA-Net and the [`SequenceModel`] trait shared with the
+//! baselines.
+
+use crate::config::EldaConfig;
+use crate::embedding::BiDirectionalEmbedding;
+use crate::interaction::FeatureInteraction;
+use crate::time_interaction::TimeInteraction;
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_emr::Batch;
+use elda_nn::{Gru, Init, ParamStore};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// The contract every model in the evaluation implements: given a
+/// preprocessed [`Batch`], record a forward pass on the tape and return the
+/// prediction logits `(B, 1)`.
+///
+/// Parameters live in the caller-owned [`ParamStore`]; models hold only
+/// [`elda_autodiff::ParamId`]s, so the training loop can mutate parameters
+/// between passes and shards can run on worker threads.
+pub trait SequenceModel: Sync {
+    /// Display name used in result tables (e.g. `"ELDA-Net"`, `"GRU-D"`).
+    fn name(&self) -> String;
+
+    /// Records the forward pass, returning logits `(B, 1)`.
+    fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var;
+}
+
+/// Detailed forward outputs of ELDA-Net, including the attention weights
+/// that power the paper's interpretability studies.
+pub struct EldaForward {
+    /// Prediction logits `(B, 1)`.
+    pub logits: Var,
+    /// Per-time-step feature-level attention matrices `(B, C, C)`; row `i`
+    /// holds `α_{i,·}` — present when the feature module is enabled.
+    pub feature_attention: Option<Vec<Tensor>>,
+    /// Time-level attention `β (B, T−1)` — present when the time module is
+    /// enabled.
+    pub time_attention: Option<Var>,
+}
+
+/// ELDA-Net (paper §IV-B): Bi-directional Embedding → Feature-level
+/// Interaction Learning → GRU → Time-level Interaction Learning →
+/// Prediction, with the ablation variants expressed through [`EldaConfig`].
+pub struct EldaNet {
+    cfg: EldaConfig,
+    embedding: Option<BiDirectionalEmbedding>,
+    interaction: Option<FeatureInteraction>,
+    gru: Gru,
+    time: Option<TimeInteraction>,
+    pred_w: ParamId,
+    pred_b: ParamId,
+}
+
+impl EldaNet {
+    /// Builds the network, registering all parameters under `elda.*`.
+    pub fn new(ps: &mut ParamStore, cfg: EldaConfig, rng: &mut impl Rng) -> Self {
+        let (embedding, interaction) = if cfg.feature_module {
+            (
+                Some(BiDirectionalEmbedding::new(ps, "elda.embed", &cfg, rng)),
+                Some(FeatureInteraction::new(ps, "elda.feat", &cfg, rng)),
+            )
+        } else {
+            (None, None)
+        };
+        let gru = Gru::new(ps, "elda.gru", cfg.gru_input_dim(), cfg.gru_hidden, rng);
+        let time = cfg
+            .time_module
+            .then(|| TimeInteraction::new(ps, "elda.time", cfg.gru_hidden, rng));
+        let pred_w = ps.register("elda.pred.w", Init::Glorot.build(&[cfg.head_dim(), 1], rng));
+        let pred_b = ps.register("elda.pred.b", Tensor::zeros(&[1]));
+        EldaNet {
+            cfg,
+            embedding,
+            interaction,
+            gru,
+            time,
+            pred_w,
+            pred_b,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EldaConfig {
+        &self.cfg
+    }
+
+    /// Full forward pass with attention extraction.
+    pub fn forward_detailed(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> EldaForward {
+        let dims = batch.x.shape();
+        assert_eq!(dims.len(), 3, "batch.x must be (B,T,C)");
+        let (_b, t_len, c) = (dims[0], dims[1], dims[2]);
+        assert_eq!(t_len, self.cfg.t_len, "batch t_len mismatch");
+        assert_eq!(c, self.cfg.num_features, "batch feature-count mismatch");
+
+        let x = tape.leaf(batch.x.clone());
+        let mut feature_attention = self.cfg.feature_module.then(Vec::new);
+
+        // Per-step representation: feature module or raw features.
+        let steps: Vec<Var> =
+            if let (Some(embed), Some(inter)) = (&self.embedding, &self.interaction) {
+                let never = tape.constant(batch.never.clone());
+                (0..t_len)
+                    .map(|t| {
+                        let x_t = tape.select(x, 1, t); // (B, C)
+                        let e = embed.forward(ps, tape, x_t, never);
+                        let (f_t, att) = inter.forward(ps, tape, e);
+                        if let Some(acc) = feature_attention.as_mut() {
+                            acc.push(att);
+                        }
+                        f_t
+                    })
+                    .collect()
+            } else {
+                (0..t_len).map(|t| tape.select(x, 1, t)).collect()
+            };
+
+        // Temporal backbone (Eq. 7).
+        let hs = self.gru.forward_steps(ps, tape, &steps);
+
+        // Head: time-level interactions or plain last state.
+        let (h_tilde, time_attention) = match &self.time {
+            Some(time) => {
+                let (h_tilde, beta) = time.forward(ps, tape, &hs);
+                (h_tilde, Some(beta))
+            }
+            None => (*hs.last().expect("t_len >= 1"), None),
+        };
+
+        // Prediction module (Eq. 12) — logits; the sigmoid lives in the
+        // loss (BCE-with-logits) and in `predict_proba`.
+        let w = ps.bind(tape, self.pred_w);
+        let b = ps.bind(tape, self.pred_b);
+        let z = tape.matmul(h_tilde, w);
+        let logits = tape.add(z, b);
+        EldaForward {
+            logits,
+            feature_attention,
+            time_attention,
+        }
+    }
+}
+
+impl SequenceModel for EldaNet {
+    fn name(&self) -> String {
+        crate::config::EldaVariant::all()
+            .into_iter()
+            .find(|v| {
+                let c = EldaConfig::variant(*v, self.cfg.t_len);
+                c.feature_module == self.cfg.feature_module
+                    && c.time_module == self.cfg.time_module
+                    && c.embedding == self.cfg.embedding
+            })
+            .map(|v| v.name().to_string())
+            .unwrap_or_else(|| "ELDA-Net(custom)".to_string())
+    }
+
+    fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var {
+        self.forward_detailed(ps, tape, batch).logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EldaVariant;
+    use elda_emr::{Batch, Cohort, CohortConfig, Pipeline, Task};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_batch(t_len: usize) -> Batch {
+        let mut cfg = CohortConfig::small(12, 3);
+        cfg.t_len = t_len;
+        let cohort = Cohort::generate(cfg);
+        let idx: Vec<usize> = (0..12).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        let samples = pipe.process_all(&cohort);
+        Batch::gather(&samples, &[0, 1, 2, 3], t_len, Task::Mortality)
+    }
+
+    fn build(variant: EldaVariant, t_len: usize) -> (ParamStore, EldaNet) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = EldaConfig::variant(variant, t_len);
+        // shrink for tests
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg, &mut rng);
+        (ps, net)
+    }
+
+    #[test]
+    fn full_model_forward_shapes() {
+        let batch = tiny_batch(8);
+        let (ps, net) = build(EldaVariant::Full, 8);
+        let mut tape = Tape::new();
+        let out = net.forward_detailed(&ps, &mut tape, &batch);
+        assert_eq!(tape.shape(out.logits), &[4, 1]);
+        let atts = out.feature_attention.unwrap();
+        assert_eq!(atts.len(), 8);
+        assert_eq!(atts[0].shape(), &[4, 37, 37]);
+        let beta = out.time_attention.unwrap();
+        assert_eq!(tape.shape(beta), &[4, 7]);
+    }
+
+    #[test]
+    fn time_only_variant_has_no_feature_attention() {
+        let batch = tiny_batch(6);
+        let (ps, net) = build(EldaVariant::TimeOnly, 6);
+        let mut tape = Tape::new();
+        let out = net.forward_detailed(&ps, &mut tape, &batch);
+        assert!(out.feature_attention.is_none());
+        assert!(out.time_attention.is_some());
+    }
+
+    #[test]
+    fn feature_only_variant_has_no_time_attention() {
+        let batch = tiny_batch(6);
+        let (ps, net) = build(EldaVariant::FeatureBi, 6);
+        let mut tape = Tape::new();
+        let out = net.forward_detailed(&ps, &mut tape, &batch);
+        assert!(out.feature_attention.is_some());
+        assert!(out.time_attention.is_none());
+    }
+
+    #[test]
+    fn variant_names_resolve() {
+        for v in EldaVariant::all() {
+            let (_, net) = build(v, 4);
+            assert_eq!(net.name(), v.name());
+        }
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let batch = tiny_batch(6);
+        let (ps, net) = build(EldaVariant::Full, 6);
+        let mut tape = Tape::new();
+        let logits = net.forward_logits(&ps, &mut tape, &batch);
+        let loss = tape.bce_with_logits(logits, &batch.y);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn paper_configuration_parameter_count_matches_table3() {
+        // Table III reports 53k parameters for the full ELDA-Net.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = EldaNet::new(&mut ps, EldaConfig::paper_default(), &mut rng);
+        let n = ps.num_scalars();
+        assert!(
+            (40_000..=60_000).contains(&n),
+            "full ELDA-Net has {n} params; Table III says ~53k"
+        );
+        let _ = net;
+    }
+
+    #[test]
+    fn time_only_parameter_count_matches_table3() {
+        // Table III reports 21k parameters for ELDA-Net-T.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = EldaNet::new(
+            &mut ps,
+            EldaConfig::variant(EldaVariant::TimeOnly, 48),
+            &mut rng,
+        );
+        let n = ps.num_scalars();
+        assert!(
+            (17_000..=25_000).contains(&n),
+            "ELDA-Net-T has {n} params; Table III says ~21k"
+        );
+    }
+
+    #[test]
+    fn fused_and_naive_models_predict_identically() {
+        let batch = tiny_batch(5);
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, 5);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg.clone(), &mut rng);
+
+        let mut tape1 = Tape::new();
+        let out_fused = net.forward_logits(&ps, &mut tape1, &batch);
+        let fused_vals = tape1.value(out_fused).clone();
+
+        // Same parameters, naive kernel.
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let mut ps2 = ParamStore::new();
+        cfg.fused_interaction = false;
+        let net2 = EldaNet::new(&mut ps2, cfg, &mut rng2);
+        let mut tape2 = Tape::new();
+        let out_naive = net2.forward_logits(&ps2, &mut tape2, &batch);
+        elda_tensor::testutil::assert_allclose(&fused_vals, tape2.value(out_naive), 1e-4, 1e-5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Population-level interaction analytics.
+//!
+//! The paper closes §V-D noting that feature pairs with persistently high
+//! interaction attention "have the potential to unveil the underlying
+//! interactions among medical features and advance medical research". This
+//! module aggregates the per-patient, per-hour attention matrices of
+//! [`crate::model::EldaNet`] into cohort-level statistics: a mean
+//! interaction matrix, the top interacting pairs, and per-archetype
+//! contrasts.
+
+use crate::interpret::interpret_sample;
+use crate::model::EldaNet;
+use elda_emr::{ProcessedSample, Task};
+use elda_nn::ParamStore;
+use elda_tensor::Tensor;
+
+/// Cohort-level aggregate of feature-interaction attention.
+pub struct PopulationAttention {
+    /// Mean attention matrix `(C, C)` over patients and hours; row `i` is
+    /// the average distribution of feature `i`'s interaction attention.
+    pub mean: Tensor,
+    /// Number of patients aggregated.
+    pub n_patients: usize,
+    /// Hours aggregated per patient.
+    pub t_len: usize,
+}
+
+impl PopulationAttention {
+    /// Aggregates attention over `indices` into `samples`.
+    ///
+    /// # Panics
+    /// Panics when the model has no feature module or `indices` is empty.
+    pub fn compute(
+        net: &EldaNet,
+        ps: &ParamStore,
+        samples: &[ProcessedSample],
+        indices: &[usize],
+        task: Task,
+    ) -> PopulationAttention {
+        assert!(!indices.is_empty(), "no patients selected");
+        assert!(
+            net.config().feature_module,
+            "model has no feature-level module"
+        );
+        let t_len = net.config().t_len;
+        let c = net.config().num_features;
+        let mut acc = vec![0.0f64; c * c];
+        for &i in indices {
+            let interp = interpret_sample(net, ps, &samples[i], task);
+            for att in &interp.feature_attention {
+                for (a, &v) in acc.iter_mut().zip(att.data()) {
+                    *a += v as f64;
+                }
+            }
+        }
+        let scale = 1.0 / (indices.len() * t_len) as f64;
+        let mean = Tensor::from_vec(
+            acc.into_iter().map(|v| (v * scale) as f32).collect(),
+            &[c, c],
+        );
+        PopulationAttention {
+            mean,
+            n_patients: indices.len(),
+            t_len,
+        }
+    }
+
+    /// The `k` strongest interacting ordered pairs `(i → j, weight)`,
+    /// strongest first. Self-pairs are structurally excluded (the model
+    /// masks the diagonal).
+    pub fn top_pairs(&self, k: usize) -> Vec<(usize, usize, f32)> {
+        let c = self.mean.shape()[0];
+        let mut pairs: Vec<(usize, usize, f32)> = (0..c)
+            .flat_map(|i| (0..c).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| (i, j, self.mean.at(&[i, j])))
+            .collect();
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite attention"));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// The mean attention feature `i` pays to feature `j`, normalized by
+    /// the uniform baseline `1/(C−1)` — values > 1 mean "more attention
+    /// than chance".
+    pub fn lift(&self, i: usize, j: usize) -> f32 {
+        let c = self.mean.shape()[0];
+        self.mean.at(&[i, j]) * (c as f32 - 1.0)
+    }
+
+    /// Element-wise difference `self − other` of two population matrices —
+    /// e.g. DLA patients vs stable patients — highlighting the pairs a
+    /// subgroup attends to unusually strongly.
+    pub fn contrast(&self, other: &PopulationAttention) -> Tensor {
+        self.mean.sub(&other.mean)
+    }
+}
+
+/// Human-readable report of the strongest interactions, with feature names.
+pub fn format_top_pairs(pop: &PopulationAttention, k: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "top {k} interaction pairs over {} patients × {} hours (lift = ×uniform):",
+        pop.n_patients, pop.t_len
+    );
+    for (i, j, w) in pop.top_pairs(k) {
+        let _ = writeln!(
+            out,
+            "  {:>10} → {:<10} attention {:.3}%  lift {:.2}x",
+            elda_emr::FEATURES[i].name,
+            elda_emr::FEATURES[j].name,
+            w * 100.0,
+            pop.lift(i, j)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EldaConfig, EldaVariant};
+    use elda_emr::{Cohort, CohortConfig, Pipeline, NUM_FEATURES};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, EldaNet, Vec<ProcessedSample>) {
+        let mut cc = CohortConfig::small(20, 61);
+        cc.t_len = 5;
+        let cohort = Cohort::generate(cc);
+        let idx: Vec<usize> = (0..20).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        let samples = pipe.process_all(&cohort);
+        let mut ps = ParamStore::new();
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, 5);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 5;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(3));
+        (ps, net, samples)
+    }
+
+    #[test]
+    fn mean_matrix_rows_are_distributions() {
+        let (ps, net, samples) = setup();
+        let pop = PopulationAttention::compute(&net, &ps, &samples, &[0, 1, 2], Task::Mortality);
+        assert_eq!(pop.mean.shape(), &[NUM_FEATURES, NUM_FEATURES]);
+        for i in 0..NUM_FEATURES {
+            assert_eq!(pop.mean.at(&[i, i]), 0.0, "diagonal must stay zero");
+            let row: f32 = (0..NUM_FEATURES).map(|j| pop.mean.at(&[i, j])).sum();
+            assert!((row - 1.0).abs() < 1e-3, "row {i} sums to {row}");
+        }
+    }
+
+    #[test]
+    fn top_pairs_are_sorted_and_off_diagonal() {
+        let (ps, net, samples) = setup();
+        let pop = PopulationAttention::compute(&net, &ps, &samples, &[0, 1], Task::Mortality);
+        let pairs = pop.top_pairs(10);
+        assert_eq!(pairs.len(), 10);
+        for w in pairs.windows(2) {
+            assert!(w[0].2 >= w[1].2, "pairs must be sorted descending");
+        }
+        assert!(pairs.iter().all(|&(i, j, _)| i != j));
+    }
+
+    #[test]
+    fn lift_of_uniform_row_is_one() {
+        let c = 4;
+        let uniform = 1.0 / (c as f32 - 1.0);
+        let mut mean = Tensor::full(&[c, c], uniform);
+        for i in 0..c {
+            *mean.at_mut(&[i, i]) = 0.0;
+        }
+        let pop = PopulationAttention {
+            mean,
+            n_patients: 1,
+            t_len: 1,
+        };
+        assert!((pop.lift(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contrast_is_antisymmetric_between_groups() {
+        let (ps, net, samples) = setup();
+        let a = PopulationAttention::compute(&net, &ps, &samples, &[0, 1], Task::Mortality);
+        let b = PopulationAttention::compute(&net, &ps, &samples, &[2, 3], Task::Mortality);
+        let ab = a.contrast(&b);
+        let ba = b.contrast(&a);
+        elda_tensor::testutil::assert_allclose(&ab, &ba.neg(), 1e-6, 1e-7);
+    }
+
+    #[test]
+    fn report_mentions_feature_names() {
+        let (ps, net, samples) = setup();
+        let pop = PopulationAttention::compute(&net, &ps, &samples, &[0], Task::Mortality);
+        let report = format_top_pairs(&pop, 3);
+        assert!(report.contains("lift"));
+        assert!(report.contains('→'));
+    }
+}

@@ -1,0 +1,182 @@
+//! The Time-level Interaction Learning Module (paper Eq. 7–11).
+//!
+//! Given GRU states `h_1 … h_T`, the module explicitly models the
+//! interaction between each earlier step and the last one:
+//!
+//! ```text
+//! s_{i,T} = h_i ⊙ h_T                        (Eq. 8)
+//! β'_{i,T} = w^β · s_{i,T} + b^β             (Eq. 9)
+//! β_{i,T} = softmax_i(β'_{i,T})              (Eq. 10)
+//! g_T = Σ_i β_{i,T} s_{i,T}                  (Eq. 11)
+//! h̃_T = [h_T ; g_T]
+//! ```
+
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_nn::ParamStore;
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// Parameter holder for the time-level module.
+pub struct TimeInteraction {
+    w_beta: ParamId,
+    b_beta: ParamId,
+    hidden: usize,
+}
+
+impl TimeInteraction {
+    /// Registers `w^β (l, 1)` and `b^β (1)` under `name.*`.
+    ///
+    /// `w^β` is initialized positive (uniform in `[0.05, 0.5]`) so the
+    /// time-attention logits `w^β · (h_i ⊙ h_T)` start as hidden-state
+    /// similarity to the final state — later hours naturally attract more
+    /// attention (the paper's Figure 8 shape) and training refines the
+    /// weighting. See `interaction::FeatureInteraction::new` for why a
+    /// zero-mean init tends to freeze the softmax at uniform.
+    pub fn new(ps: &mut ParamStore, name: &str, hidden: usize, rng: &mut impl Rng) -> Self {
+        let w_beta = ps.register(
+            &format!("{name}.w_beta"),
+            Tensor::rand_uniform(&[hidden, 1], 0.05, 0.5, rng),
+        );
+        let b_beta = ps.register(&format!("{name}.b_beta"), Tensor::zeros(&[1]));
+        TimeInteraction {
+            w_beta,
+            b_beta,
+            hidden,
+        }
+    }
+
+    /// Combines the per-step hidden states into the enriched final
+    /// representation `h̃_T (B, 2l)`, returning the time-attention
+    /// weights `β (B, T−1)` alongside.
+    ///
+    /// # Panics
+    /// Panics when fewer than two steps are provided (no earlier step to
+    /// interact with).
+    pub fn forward(&self, ps: &ParamStore, tape: &mut Tape, hs: &[Var]) -> (Var, Var) {
+        assert!(hs.len() >= 2, "time interaction needs T >= 2 steps");
+        let t = hs.len();
+        let b = tape.shape(hs[0])[0];
+        let l = self.hidden;
+        // Stack earlier states: (B, T-1, l)
+        let earlier: Vec<Var> = hs[..t - 1]
+            .iter()
+            .map(|&h| tape.reshape(h, &[b, 1, l]))
+            .collect();
+        let h_stack = tape.concat(&earlier, 1);
+        let h_t = hs[t - 1];
+        let h_t3 = tape.reshape(h_t, &[b, 1, l]);
+        // s_{i,T} = h_i ⊙ h_T (broadcast over the T-1 axis)
+        let s = tape.mul(h_stack, h_t3); // (B, T-1, l)
+                                         // β' = s @ w^β + b^β
+        let w = ps.bind(tape, self.w_beta);
+        let bb = ps.bind(tape, self.b_beta);
+        let logits3 = tape.matmul_batched(s, w); // (B, T-1, 1)
+        let logits3 = tape.add(logits3, bb);
+        let logits = tape.reshape(logits3, &[b, t - 1]);
+        let beta = tape.softmax_lastdim(logits); // (B, T-1)
+                                                 // g_T = Σ β_i s_i = β (B,1,T-1) @ s (B,T-1,l)
+        let beta3 = tape.reshape(beta, &[b, 1, t - 1]);
+        let g3 = tape.matmul_batched(beta3, s);
+        let g = tape.reshape(g3, &[b, l]);
+        let h_tilde = tape.concat(&[h_t, g], 1); // (B, 2l)
+        (h_tilde, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, TimeInteraction) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let ti = TimeInteraction::new(&mut ps, "ti", 4, &mut rng);
+        (ps, ti)
+    }
+
+    fn steps(tape: &mut Tape, b: usize, t: usize, l: usize, seed: u64) -> Vec<Var> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..t)
+            .map(|_| tape.leaf(Tensor::rand_normal(&[b, l], 0.0, 1.0, &mut rng)))
+            .collect()
+    }
+
+    #[test]
+    fn output_shapes() {
+        let (ps, ti) = setup();
+        let mut tape = Tape::new();
+        let hs = steps(&mut tape, 3, 6, 4, 1);
+        let (h_tilde, beta) = ti.forward(&ps, &mut tape, &hs);
+        assert_eq!(tape.shape(h_tilde), &[3, 8]);
+        assert_eq!(tape.shape(beta), &[3, 5]);
+    }
+
+    #[test]
+    fn beta_rows_are_distributions() {
+        let (ps, ti) = setup();
+        let mut tape = Tape::new();
+        let hs = steps(&mut tape, 2, 5, 4, 2);
+        let (_, beta) = ti.forward(&ps, &mut tape, &hs);
+        for row in tape.value(beta).data().chunks_exact(4) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn h_tilde_starts_with_h_t() {
+        let (ps, ti) = setup();
+        let mut tape = Tape::new();
+        let hs = steps(&mut tape, 2, 5, 4, 3);
+        let (h_tilde, _) = ti.forward(&ps, &mut tape, &hs);
+        let last = tape.value(hs[4]).clone();
+        let combined = tape.value(h_tilde);
+        for bq in 0..2 {
+            for k in 0..4 {
+                assert_eq!(combined.at(&[bq, k]), last.at(&[bq, k]));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_steps_give_uniform_attention() {
+        let (ps, ti) = setup();
+        let mut tape = Tape::new();
+        let h = Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(4));
+        let hs: Vec<Var> = (0..5).map(|_| tape.leaf(h.clone())).collect();
+        let (_, beta) = ti.forward(&ps, &mut tape, &hs);
+        for row in tape.value(beta).data().chunks_exact(4) {
+            for &v in row {
+                assert!((v - 0.25).abs() < 1e-5, "expected uniform, got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_beta_params_and_steps() {
+        let (ps, ti) = setup();
+        let mut tape = Tape::new();
+        let hs = steps(&mut tape, 2, 5, 4, 5);
+        let (h_tilde, _) = ti.forward(&ps, &mut tape, &hs);
+        let sq = tape.square(h_tilde);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+        for (i, &h) in hs.iter().enumerate() {
+            assert!(grads.wrt(h).is_some(), "no grad for step {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "T >= 2")]
+    fn single_step_rejected() {
+        let (ps, ti) = setup();
+        let mut tape = Tape::new();
+        let hs = steps(&mut tape, 1, 1, 4, 6);
+        ti.forward(&ps, &mut tape, &hs);
+    }
+}

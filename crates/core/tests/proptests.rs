@@ -1,0 +1,130 @@
+//! Property tests for the fused feature-interaction kernel and the
+//! embedding module: invariants over random shapes and data.
+
+use elda_autodiff::check::grad_check;
+use elda_autodiff::{CustomOp, Tape};
+use elda_core::interaction::{feature_interaction_naive, FusedFeatureInteractionOp};
+use elda_tensor::testutil::assert_allclose;
+use elda_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor(dims: Vec<usize>, seed_data: Vec<f32>) -> Tensor {
+    Tensor::from_vec(seed_data, &dims)
+}
+
+/// Random (B, C, e) dimensions + matching data for the interaction op.
+fn interaction_inputs() -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
+    (1usize..4, 2usize..7, 1usize..5).prop_flat_map(|(b, c, e)| {
+        let n_e = b * c * e;
+        let n_w = c * e;
+        (
+            prop::collection::vec(-1.0f32..1.0, n_e),
+            prop::collection::vec(-1.0f32..1.0, n_w),
+            prop::collection::vec(-0.5f32..0.5, c),
+        )
+            .prop_map(move |(ed, wd, bd)| {
+                (
+                    tensor(vec![b, c, e], ed),
+                    tensor(vec![c, e], wd),
+                    tensor(vec![c], bd),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fused_forward_matches_naive_for_any_shape((e, wa, ba) in interaction_inputs()) {
+        let op = FusedFeatureInteractionOp::new();
+        let fused = op.forward(&[&e, &wa, &ba]);
+        let mut tape = Tape::new();
+        let ev = tape.leaf(e);
+        let wav = tape.leaf(wa);
+        let bav = tape.leaf(ba);
+        let (naive, _) = feature_interaction_naive(&mut tape, ev, wav, bav);
+        assert_allclose(&fused, tape.value(naive), 1e-3, 1e-4);
+    }
+
+    #[test]
+    fn fused_attention_is_a_simplex_with_zero_diagonal((e, wa, ba) in interaction_inputs()) {
+        let (b, c) = (e.shape()[0], e.shape()[1]);
+        let op = FusedFeatureInteractionOp::new();
+        op.forward(&[&e, &wa, &ba]);
+        let att = op.attention.lock().clone().unwrap();
+        for s in 0..b {
+            for i in 0..c {
+                prop_assert_eq!(att.at(&[s, i, i]), 0.0);
+                let row: f32 = (0..c).map(|j| att.at(&[s, i, j])).sum();
+                prop_assert!((row - 1.0).abs() < 1e-4, "row sums to {}", row);
+                prop_assert!((0..c).all(|j| att.at(&[s, i, j]) >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_backward_passes_grad_check((e, wa, ba) in interaction_inputs()) {
+        let report = grad_check(
+            &|tape, v| {
+                let c = tape.custom(Box::new(FusedFeatureInteractionOp::new()), &[v[0], v[1], v[2]]);
+                let sq = tape.square(c);
+                tape.sum_all(sq)
+            },
+            &[e, wa, ba],
+            1e-2,
+            5e-2,
+        );
+        prop_assert!(report.ok, "rel {} abs {}", report.max_rel_diff, report.max_abs_diff);
+    }
+
+    #[test]
+    fn interaction_is_permutation_equivariant((e, wa, ba) in interaction_inputs()) {
+        // Swapping two features' rows (embeddings + their attention params)
+        // must swap the corresponding output rows — features are treated
+        // symmetrically apart from their own parameters.
+        let c = e.shape()[1];
+        if c < 2 {
+            return Ok(());
+        }
+        let op = FusedFeatureInteractionOp::new();
+        let base = op.forward(&[&e, &wa, &ba]);
+
+        let swap_rows = |t: &Tensor, axis_c: usize| -> Tensor {
+            // swap feature rows 0 and 1 along the C axis
+            let mut out = t.clone();
+            let dims = t.shape().to_vec();
+            let inner: usize = dims[axis_c + 1..].iter().product();
+            let outer: usize = dims[..axis_c].iter().product();
+            let cdim = dims[axis_c];
+            for o in 0..outer {
+                for k in 0..inner {
+                    let i0 = (o * cdim) * inner + k;
+                    let i1 = (o * cdim + 1) * inner + k;
+                    out.data_mut().swap(i0, i1);
+                }
+            }
+            out
+        };
+        let e2 = swap_rows(&e, 1);
+        let wa2 = swap_rows(&wa, 0);
+        let ba2 = swap_rows(&ba, 0);
+        let op2 = FusedFeatureInteractionOp::new();
+        let swapped = op2.forward(&[&e2, &wa2, &ba2]);
+        let back = swap_rows(&swapped, 1);
+        assert_allclose(&back, &base, 1e-4, 1e-5);
+    }
+
+    #[test]
+    fn zero_embeddings_give_zero_interactions((_e, wa, ba) in interaction_inputs()) {
+        let (c, ed) = (wa.shape()[0], wa.shape()[1]);
+        let zero_e = Tensor::zeros(&[2, c, ed]);
+        let op = FusedFeatureInteractionOp::new();
+        let out = op.forward(&[&zero_e, &wa, &ba]);
+        prop_assert!(out.data().iter().all(|&v| v == 0.0));
+        // attention stays a valid (uniform) distribution even then
+        let att = op.attention.lock().clone().unwrap();
+        let row: f32 = (0..c).map(|j| att.at(&[0, 0, j])).sum();
+        prop_assert!((row - 1.0).abs() < 1e-4);
+    }
+}

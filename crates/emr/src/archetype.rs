@@ -1,0 +1,248 @@
+//! Clinical archetypes: correlated multi-feature abnormality patterns.
+//!
+//! Each archetype lists the features its pathophysiology pushes and in
+//! which direction, in units of the feature's population standard
+//! deviation per unit of latent severity. The diabetes complications (DKA,
+//! DLA) follow the paper's own §I description; the remaining archetypes
+//! give the cohort enough diversity that models must actually read the
+//! interaction *patterns*, not a single marker.
+
+use crate::features::{feature_by_name, FeatureId, NUM_FEATURES};
+
+/// A named disease archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Uncomplicated stay: severity stays low, features hover near normal.
+    Stable,
+    /// Diabetes mellitus without complications: isolated hyperglycemia.
+    DmOnly,
+    /// DM + diabetic ketoacidosis: high glucose, low pH, low HCO3,
+    /// compensatory tachypnea/tachycardia (paper §I).
+    DmKetoacidosis,
+    /// DM + diabetic lactic acidosis: high glucose, high lactate, low pH,
+    /// low HCO3, low Temp, low MAP, raised FiO2 requirement (paper §I and
+    /// the Patient-A case study of §V-D).
+    DmLacticAcidosis,
+    /// Septic shock: fever, tachycardia, hypotension, high WBC and lactate.
+    Sepsis,
+    /// Cardiogenic shock: hypotension, troponin release, poor perfusion.
+    CardiogenicShock,
+    /// Acute renal failure: creatinine/BUN/K accumulation, oliguria.
+    RenalFailure,
+    /// Respiratory failure: hypoxemia, CO2 retention, ventilator support.
+    RespiratoryFailure,
+    /// No generative archetype available — used for admissions loaded from
+    /// external files rather than simulated (see [`crate::io`]).
+    Unknown,
+}
+
+/// All archetypes, in the order used by cohort mixing weights.
+pub const ARCHETYPES: [Archetype; 8] = [
+    Archetype::Stable,
+    Archetype::DmOnly,
+    Archetype::DmKetoacidosis,
+    Archetype::DmLacticAcidosis,
+    Archetype::Sepsis,
+    Archetype::CardiogenicShock,
+    Archetype::RenalFailure,
+    Archetype::RespiratoryFailure,
+];
+
+impl Archetype {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Stable => "Stable",
+            Archetype::DmOnly => "DM-only",
+            Archetype::DmKetoacidosis => "DM+DKA",
+            Archetype::DmLacticAcidosis => "DM+DLA",
+            Archetype::Sepsis => "Sepsis",
+            Archetype::CardiogenicShock => "CardiogenicShock",
+            Archetype::RenalFailure => "RenalFailure",
+            Archetype::RespiratoryFailure => "RespiratoryFailure",
+            Archetype::Unknown => "Unknown",
+        }
+    }
+
+    /// Baseline lethality multiplier: how dangerous full-blown severity of
+    /// this archetype is relative to the cohort average. Used by the label
+    /// model in [`crate::severity`].
+    pub fn lethality(self) -> f32 {
+        match self {
+            Archetype::Stable => 0.25,
+            Archetype::DmOnly => 0.6,
+            Archetype::DmKetoacidosis => 1.1,
+            Archetype::DmLacticAcidosis => 1.5,
+            Archetype::Sepsis => 1.6,
+            Archetype::CardiogenicShock => 1.7,
+            Archetype::RenalFailure => 1.2,
+            Archetype::RespiratoryFailure => 1.4,
+            Archetype::Unknown => 1.0,
+        }
+    }
+
+    /// The archetype's effect vector: per feature, the shift (in population
+    /// standard deviations) applied at latent severity 1.0.
+    ///
+    /// Feature pairs that co-move here are exactly the pairwise
+    /// interactions the paper's Feature-level Interaction Learning Module
+    /// is supposed to surface (e.g. Glucose–Lactate–pH for DLA).
+    pub fn effects(self) -> [f32; NUM_FEATURES] {
+        let mut e = [0.0f32; NUM_FEATURES];
+        let mut set = |name: &str, v: f32| {
+            e[feature_by_name(name).expect("known feature")] = v;
+        };
+        match self {
+            Archetype::Stable | Archetype::Unknown => {}
+            Archetype::DmOnly => {
+                set("Glucose", 3.5);
+                set("Urine", 0.8); // osmotic diuresis
+            }
+            Archetype::DmKetoacidosis => {
+                set("Glucose", 4.5);
+                set("pH", -2.8);
+                set("HCO3", -2.8);
+                set("K", 1.2);
+                set("RespRate", 1.8); // Kussmaul breathing
+                set("HR", 1.4);
+                set("Urine", 1.0);
+                set("GCS", -1.0);
+            }
+            Archetype::DmLacticAcidosis => {
+                set("Glucose", 4.0);
+                set("Lactate", 4.5);
+                set("pH", -3.0);
+                set("HCO3", -2.5);
+                set("Temp", -1.2); // low temperature, per English & Williams 2004
+                set("MAP", -1.8); // low blood pressure
+                set("DiasABP", -1.4);
+                set("SysABP", -1.6);
+                set("FiO2", 2.0); // oxygen requirement climbs
+                set("HR", 1.6);
+                set("RespRate", 1.6); // deep and big breath
+                set("GCS", -1.2);
+            }
+            Archetype::Sepsis => {
+                set("Temp", 1.8);
+                set("HR", 2.2);
+                set("WBC", 2.6);
+                set("Lactate", 2.4);
+                set("MAP", -2.0);
+                set("SysABP", -1.8);
+                set("DiasABP", -1.6);
+                set("RespRate", 1.8);
+                set("Platelets", -1.4);
+                set("Creatinine", 1.0);
+                set("FiO2", 1.2);
+            }
+            Archetype::CardiogenicShock => {
+                set("TroponinI", 3.5);
+                set("TroponinT", 3.5);
+                set("MAP", -2.4);
+                set("SysABP", -2.2);
+                set("HR", 1.6);
+                set("Lactate", 2.0);
+                set("Urine", -1.6);
+                set("SaO2", -1.0);
+                set("FiO2", 1.4);
+            }
+            Archetype::RenalFailure => {
+                set("Creatinine", 3.5);
+                set("BUN", 3.0);
+                set("K", 2.0);
+                set("Urine", -2.4);
+                set("HCO3", -1.4);
+                set("pH", -1.0);
+                set("Mg", 1.0);
+            }
+            Archetype::RespiratoryFailure => {
+                set("PaO2", -2.6);
+                set("SaO2", -2.4);
+                set("PaCO2", 2.2);
+                set("pH", -1.2);
+                set("RespRate", 2.2);
+                set("FiO2", 2.6);
+                set("MechVent", 2.0);
+                set("HR", 1.2);
+                set("GCS", -1.0);
+            }
+        }
+        e
+    }
+
+    /// Features with a non-zero effect, as `(feature, effect)` pairs.
+    pub fn affected_features(self) -> Vec<(FeatureId, f32)> {
+        self.effects()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURES;
+
+    #[test]
+    fn stable_has_no_effects() {
+        assert!(Archetype::Stable.affected_features().is_empty());
+    }
+
+    #[test]
+    fn dla_matches_paper_description() {
+        // Paper §I: DLA = high lactic acid, low pH, high glucose.
+        let e = Archetype::DmLacticAcidosis.effects();
+        let idx = |n: &str| feature_by_name(n).unwrap();
+        assert!(e[idx("Glucose")] > 2.0);
+        assert!(e[idx("Lactate")] > 2.0);
+        assert!(e[idx("pH")] < -2.0);
+        assert!(e[idx("HCO3")] < 0.0);
+        assert!(e[idx("Temp")] < 0.0);
+        assert!(e[idx("MAP")] < 0.0);
+        // HCT and WBC are DLA-irrelevant in the paper's Figure 9.
+        assert_eq!(e[idx("HCT")], 0.0);
+        assert_eq!(e[idx("WBC")], 0.0);
+    }
+
+    #[test]
+    fn dka_matches_paper_description() {
+        // Paper §I: DKA = high keto acid → low pH, high glucose.
+        let e = Archetype::DmKetoacidosis.effects();
+        let idx = |n: &str| feature_by_name(n).unwrap();
+        assert!(e[idx("Glucose")] > 2.0);
+        assert!(e[idx("pH")] < -2.0);
+        assert_eq!(e[idx("Lactate")], 0.0, "DKA is not lactic acidosis");
+    }
+
+    #[test]
+    fn every_effect_references_valid_features() {
+        for a in ARCHETYPES {
+            for (fid, eff) in a.affected_features() {
+                assert!(fid < FEATURES.len());
+                assert!(
+                    eff.abs() <= 5.0,
+                    "{}: effect {eff} implausibly large",
+                    a.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lethality_ordering_is_clinical() {
+        assert!(Archetype::Stable.lethality() < Archetype::DmOnly.lethality());
+        assert!(Archetype::DmOnly.lethality() < Archetype::DmLacticAcidosis.lethality());
+        assert!(Archetype::DmKetoacidosis.lethality() < Archetype::DmLacticAcidosis.lethality());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ARCHETYPES.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ARCHETYPES.len());
+    }
+}

@@ -1,0 +1,461 @@
+//! The 37 PhysioNet Challenge 2012 medical features and their
+//! physiological parameters.
+//!
+//! Normal ranges and plausible bounds follow standard adult reference
+//! intervals; per-hour base sampling rates reflect ICU practice (vitals are
+//! charted near-hourly, labs a few times a day) and are jointly tuned so
+//! the overall missing rate lands near the paper's ~80% (Table I).
+
+/// Index of a medical feature in the canonical 37-feature catalog.
+pub type FeatureId = usize;
+
+/// Number of medical features, matching both datasets in the paper.
+pub const NUM_FEATURES: usize = 37;
+
+/// How a feature is measured, which drives its sampling cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Continuously monitored vitals (HR, MAP, ...): sampled most hours.
+    Vital,
+    /// Laboratory panels (pH, Lactate, ...): sampled a few times per day.
+    Lab,
+    /// Occasional observations (Weight, Cholesterol, ...): rarely sampled.
+    Occasional,
+}
+
+/// Static description of one medical feature.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureDef {
+    /// Short name as used in the PhysioNet 2012 set and the paper's plots.
+    pub name: &'static str,
+    /// Measurement kind (drives sampling cadence).
+    pub kind: FeatureKind,
+    /// Population mean in natural units (the healthy baseline).
+    pub mean: f32,
+    /// Population standard deviation in natural units.
+    pub std: f32,
+    /// Physiologically plausible lower bound (values are clipped here).
+    pub min: f32,
+    /// Physiologically plausible upper bound.
+    pub max: f32,
+    /// Per-hour probability of being observed at baseline severity.
+    pub base_rate: f32,
+}
+
+/// The canonical 37-feature catalog (PhysioNet Challenge 2012 set A
+/// variables, as selected by the paper for both datasets).
+pub const FEATURES: [FeatureDef; NUM_FEATURES] = [
+    FeatureDef {
+        name: "Albumin",
+        kind: FeatureKind::Lab,
+        mean: 3.5,
+        std: 0.6,
+        min: 1.0,
+        max: 5.5,
+        base_rate: 0.04,
+    },
+    FeatureDef {
+        name: "ALP",
+        kind: FeatureKind::Lab,
+        mean: 90.0,
+        std: 40.0,
+        min: 10.0,
+        max: 600.0,
+        base_rate: 0.04,
+    },
+    FeatureDef {
+        name: "ALT",
+        kind: FeatureKind::Lab,
+        mean: 35.0,
+        std: 25.0,
+        min: 3.0,
+        max: 1000.0,
+        base_rate: 0.04,
+    },
+    FeatureDef {
+        name: "AST",
+        kind: FeatureKind::Lab,
+        mean: 35.0,
+        std: 25.0,
+        min: 3.0,
+        max: 1000.0,
+        base_rate: 0.04,
+    },
+    FeatureDef {
+        name: "Bilirubin",
+        kind: FeatureKind::Lab,
+        mean: 0.9,
+        std: 0.5,
+        min: 0.1,
+        max: 25.0,
+        base_rate: 0.04,
+    },
+    FeatureDef {
+        name: "BUN",
+        kind: FeatureKind::Lab,
+        mean: 18.0,
+        std: 8.0,
+        min: 2.0,
+        max: 150.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "Cholesterol",
+        kind: FeatureKind::Occasional,
+        mean: 180.0,
+        std: 40.0,
+        min: 50.0,
+        max: 400.0,
+        base_rate: 0.01,
+    },
+    FeatureDef {
+        name: "Creatinine",
+        kind: FeatureKind::Lab,
+        mean: 1.0,
+        std: 0.4,
+        min: 0.2,
+        max: 15.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "DiasABP",
+        kind: FeatureKind::Vital,
+        mean: 65.0,
+        std: 10.0,
+        min: 20.0,
+        max: 150.0,
+        base_rate: 0.55,
+    },
+    FeatureDef {
+        name: "FiO2",
+        kind: FeatureKind::Vital,
+        mean: 0.30,
+        std: 0.10,
+        min: 0.21,
+        max: 1.0,
+        base_rate: 0.25,
+    },
+    FeatureDef {
+        name: "GCS",
+        kind: FeatureKind::Vital,
+        mean: 13.5,
+        std: 2.0,
+        min: 3.0,
+        max: 15.0,
+        base_rate: 0.30,
+    },
+    FeatureDef {
+        name: "Glucose",
+        kind: FeatureKind::Lab,
+        mean: 120.0,
+        std: 30.0,
+        min: 30.0,
+        max: 900.0,
+        base_rate: 0.10,
+    },
+    FeatureDef {
+        name: "HCO3",
+        kind: FeatureKind::Lab,
+        mean: 24.0,
+        std: 3.0,
+        min: 5.0,
+        max: 45.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "HCT",
+        kind: FeatureKind::Lab,
+        mean: 34.0,
+        std: 5.0,
+        min: 12.0,
+        max: 60.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "HR",
+        kind: FeatureKind::Vital,
+        mean: 85.0,
+        std: 13.0,
+        min: 20.0,
+        max: 220.0,
+        base_rate: 0.60,
+    },
+    FeatureDef {
+        name: "K",
+        kind: FeatureKind::Lab,
+        mean: 4.1,
+        std: 0.5,
+        min: 1.5,
+        max: 9.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "Lactate",
+        kind: FeatureKind::Lab,
+        mean: 1.4,
+        std: 0.8,
+        min: 0.2,
+        max: 25.0,
+        base_rate: 0.06,
+    },
+    FeatureDef {
+        name: "Mg",
+        kind: FeatureKind::Lab,
+        mean: 2.0,
+        std: 0.3,
+        min: 0.5,
+        max: 5.0,
+        base_rate: 0.05,
+    },
+    FeatureDef {
+        name: "MAP",
+        kind: FeatureKind::Vital,
+        mean: 82.0,
+        std: 12.0,
+        min: 25.0,
+        max: 180.0,
+        base_rate: 0.55,
+    },
+    FeatureDef {
+        name: "MechVent",
+        kind: FeatureKind::Vital,
+        mean: 0.25,
+        std: 0.43,
+        min: 0.0,
+        max: 1.0,
+        base_rate: 0.20,
+    },
+    FeatureDef {
+        name: "Na",
+        kind: FeatureKind::Lab,
+        mean: 139.0,
+        std: 4.0,
+        min: 110.0,
+        max: 175.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "NIDiasABP",
+        kind: FeatureKind::Vital,
+        mean: 64.0,
+        std: 11.0,
+        min: 20.0,
+        max: 150.0,
+        base_rate: 0.35,
+    },
+    FeatureDef {
+        name: "NIMAP",
+        kind: FeatureKind::Vital,
+        mean: 80.0,
+        std: 12.0,
+        min: 25.0,
+        max: 180.0,
+        base_rate: 0.35,
+    },
+    FeatureDef {
+        name: "NISysABP",
+        kind: FeatureKind::Vital,
+        mean: 120.0,
+        std: 18.0,
+        min: 40.0,
+        max: 250.0,
+        base_rate: 0.35,
+    },
+    FeatureDef {
+        name: "PaCO2",
+        kind: FeatureKind::Lab,
+        mean: 40.0,
+        std: 6.0,
+        min: 10.0,
+        max: 110.0,
+        base_rate: 0.07,
+    },
+    FeatureDef {
+        name: "PaO2",
+        kind: FeatureKind::Lab,
+        mean: 95.0,
+        std: 25.0,
+        min: 25.0,
+        max: 500.0,
+        base_rate: 0.07,
+    },
+    FeatureDef {
+        name: "pH",
+        kind: FeatureKind::Lab,
+        mean: 7.40,
+        std: 0.05,
+        min: 6.7,
+        max: 7.9,
+        base_rate: 0.07,
+    },
+    FeatureDef {
+        name: "Platelets",
+        kind: FeatureKind::Lab,
+        mean: 240.0,
+        std: 80.0,
+        min: 5.0,
+        max: 1200.0,
+        base_rate: 0.06,
+    },
+    FeatureDef {
+        name: "RespRate",
+        kind: FeatureKind::Vital,
+        mean: 18.0,
+        std: 4.0,
+        min: 4.0,
+        max: 60.0,
+        base_rate: 0.45,
+    },
+    FeatureDef {
+        name: "SaO2",
+        kind: FeatureKind::Vital,
+        mean: 97.0,
+        std: 2.0,
+        min: 50.0,
+        max: 100.0,
+        base_rate: 0.25,
+    },
+    FeatureDef {
+        name: "SysABP",
+        kind: FeatureKind::Vital,
+        mean: 125.0,
+        std: 17.0,
+        min: 40.0,
+        max: 260.0,
+        base_rate: 0.55,
+    },
+    FeatureDef {
+        name: "Temp",
+        kind: FeatureKind::Vital,
+        mean: 37.0,
+        std: 0.6,
+        min: 32.0,
+        max: 42.5,
+        base_rate: 0.30,
+    },
+    FeatureDef {
+        name: "TroponinI",
+        kind: FeatureKind::Occasional,
+        mean: 0.3,
+        std: 0.5,
+        min: 0.0,
+        max: 50.0,
+        base_rate: 0.015,
+    },
+    FeatureDef {
+        name: "TroponinT",
+        kind: FeatureKind::Occasional,
+        mean: 0.05,
+        std: 0.1,
+        min: 0.0,
+        max: 25.0,
+        base_rate: 0.015,
+    },
+    FeatureDef {
+        name: "Urine",
+        kind: FeatureKind::Vital,
+        mean: 100.0,
+        std: 60.0,
+        min: 0.0,
+        max: 1000.0,
+        base_rate: 0.45,
+    },
+    FeatureDef {
+        name: "WBC",
+        kind: FeatureKind::Lab,
+        mean: 9.0,
+        std: 3.0,
+        min: 0.5,
+        max: 80.0,
+        base_rate: 0.08,
+    },
+    FeatureDef {
+        name: "Weight",
+        kind: FeatureKind::Occasional,
+        mean: 80.0,
+        std: 18.0,
+        min: 30.0,
+        max: 250.0,
+        base_rate: 0.02,
+    },
+];
+
+/// Looks a feature up by name (case-sensitive).
+pub fn feature_by_name(name: &str) -> Option<FeatureId> {
+    FEATURES.iter().position(|f| f.name == name)
+}
+
+/// The ten "essential" features the paper's Table II / Figure 9 focus on
+/// for the DLA case study, by catalog index.
+pub fn essential_features() -> [FeatureId; 10] {
+    [
+        feature_by_name("FiO2").unwrap(),
+        feature_by_name("Glucose").unwrap(),
+        feature_by_name("HCO3").unwrap(),
+        feature_by_name("HCT").unwrap(),
+        feature_by_name("HR").unwrap(),
+        feature_by_name("Lactate").unwrap(),
+        feature_by_name("MAP").unwrap(),
+        feature_by_name("Temp").unwrap(),
+        feature_by_name("pH").unwrap(),
+        feature_by_name("WBC").unwrap(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_37_unique_names() {
+        let mut names: Vec<&str> = FEATURES.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn ranges_are_consistent() {
+        for f in &FEATURES {
+            assert!(f.min < f.max, "{}: min >= max", f.name);
+            assert!(
+                f.min <= f.mean && f.mean <= f.max,
+                "{}: mean outside range",
+                f.name
+            );
+            assert!(f.std > 0.0, "{}: non-positive std", f.name);
+            assert!((0.0..=1.0).contains(&f.base_rate), "{}: bad rate", f.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(feature_by_name("Glucose"), Some(11));
+        assert_eq!(FEATURES[feature_by_name("pH").unwrap()].name, "pH");
+        assert_eq!(feature_by_name("nope"), None);
+    }
+
+    #[test]
+    fn essential_set_matches_table2() {
+        let names: Vec<&str> = essential_features()
+            .iter()
+            .map(|&i| FEATURES[i].name)
+            .collect();
+        assert_eq!(
+            names,
+            ["FiO2", "Glucose", "HCO3", "HCT", "HR", "Lactate", "MAP", "Temp", "pH", "WBC"]
+        );
+    }
+
+    #[test]
+    fn expected_missing_rate_near_80_percent() {
+        // The mean base rate across features approximates the observation
+        // density at baseline severity; informative sampling adds a little.
+        let mean_rate: f32 =
+            FEATURES.iter().map(|f| f.base_rate).sum::<f32>() / NUM_FEATURES as f32;
+        assert!(
+            (0.15..=0.22).contains(&mean_rate),
+            "baseline observation density {mean_rate} should be ~0.18 for an ~80% missing rate"
+        );
+    }
+}

@@ -1,0 +1,454 @@
+//! PhysioNet Challenge 2012 file-format I/O.
+//!
+//! The paper's primary dataset ships as one CSV per admission in the form
+//!
+//! ```text
+//! Time,Parameter,Value
+//! 00:07,HR,88
+//! 01:32,Glucose,263
+//! ```
+//!
+//! plus an outcomes file
+//!
+//! ```text
+//! RecordID,Length_of_stay,In-hospital_death
+//! 132539,8,0
+//! ```
+//!
+//! This module reads that format into [`Patient`]s — so a user holding the
+//! real (credential-gated) data can drop it straight into this library —
+//! and writes synthetic cohorts back out in the same format, which is also
+//! how the round-trip tests pin the parser. Only the 37 catalog features
+//! are kept; sub-hour records are binned to the hour, keeping the last
+//! record in each bin (the paper processes hourly steps).
+
+use crate::archetype::Archetype;
+use crate::features::{feature_by_name, FEATURES, NUM_FEATURES};
+use crate::synth::{Cohort, CohortConfig, Patient};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Errors from reading the PhysioNet format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Fs(std::io::Error),
+    /// A malformed line, with file/line context.
+    Parse {
+        /// Which file (record id or path).
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// An admission present in the data had no outcomes row (or vice versa).
+    MissingOutcome(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "filesystem error: {e}"),
+            IoError::Parse {
+                file,
+                line,
+                message,
+            } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+            IoError::MissingOutcome(id) => write!(f, "record {id} has no outcomes row"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Outcome labels for one admission, as stored in the outcomes file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Length of stay in days.
+    pub los_days: f32,
+    /// In-hospital death flag.
+    pub died: bool,
+}
+
+/// Parses one admission's record text (`Time,Parameter,Value` lines) into
+/// an hourly `(t_len, NUM_FEATURES)` grid with `NaN` for missing slots.
+///
+/// Records beyond `t_len` hours are ignored (the paper uses the first 48h);
+/// multiple records within one hour keep the last. Unknown parameters are
+/// skipped (the real files carry demographics like `RecordID`/`Age` that
+/// the 37-feature analysis drops). Negative values are treated as the
+/// dataset's "erroneous value" sentinel and skipped, as §V-A describes.
+pub fn parse_record(name: &str, text: &str, t_len: usize) -> Result<Vec<f32>, IoError> {
+    let mut grid = vec![f32::NAN; t_len * NUM_FEATURES];
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || lineno == 0 && line.eq_ignore_ascii_case("time,parameter,value") {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let (time, param, value) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(t), Some(p), Some(v)) => (t, p, v),
+            _ => {
+                return Err(IoError::Parse {
+                    file: name.to_string(),
+                    line: lineno + 1,
+                    message: format!("expected Time,Parameter,Value, got {line:?}"),
+                })
+            }
+        };
+        let hour = parse_hour(time).ok_or_else(|| IoError::Parse {
+            file: name.to_string(),
+            line: lineno + 1,
+            message: format!("bad timestamp {time:?}"),
+        })?;
+        if hour >= t_len {
+            continue;
+        }
+        let Some(fid) = feature_by_name(param) else {
+            continue; // demographics / unknown parameters
+        };
+        let v: f32 = value.trim().parse().map_err(|_| IoError::Parse {
+            file: name.to_string(),
+            line: lineno + 1,
+            message: format!("bad value {value:?}"),
+        })?;
+        if v < 0.0 {
+            continue; // the dataset's error sentinel (-1), cleaned per §V-A
+        }
+        grid[hour * NUM_FEATURES + fid] = v;
+    }
+    Ok(grid)
+}
+
+/// Parses `HH:MM` into the hour bin.
+fn parse_hour(time: &str) -> Option<usize> {
+    let (h, m) = time.split_once(':')?;
+    let h: usize = h.trim().parse().ok()?;
+    let _m: usize = m.trim().parse().ok()?;
+    Some(h)
+}
+
+/// Parses an outcomes CSV (`RecordID,Length_of_stay,In-hospital_death`
+/// header in any column order) into a record-id map.
+pub fn parse_outcomes(text: &str) -> Result<HashMap<String, Outcome>, IoError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| IoError::Parse {
+        file: "outcomes".into(),
+        line: 1,
+        message: "empty outcomes file".into(),
+    })?;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    let find = |name: &str| cols.iter().position(|c| c.eq_ignore_ascii_case(name));
+    let id_col = find("RecordID").ok_or_else(|| IoError::Parse {
+        file: "outcomes".into(),
+        line: 1,
+        message: "missing RecordID column".into(),
+    })?;
+    let los_col = find("Length_of_stay").ok_or_else(|| IoError::Parse {
+        file: "outcomes".into(),
+        line: 1,
+        message: "missing Length_of_stay column".into(),
+    })?;
+    let death_col = find("In-hospital_death").ok_or_else(|| IoError::Parse {
+        file: "outcomes".into(),
+        line: 1,
+        message: "missing In-hospital_death column".into(),
+    })?;
+    let mut out = HashMap::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let get = |col: usize| -> Result<&str, IoError> {
+            fields.get(col).copied().ok_or_else(|| IoError::Parse {
+                file: "outcomes".into(),
+                line: lineno + 1,
+                message: "short row".into(),
+            })
+        };
+        let id = get(id_col)?.to_string();
+        let los_days: f32 = get(los_col)?.parse().map_err(|_| IoError::Parse {
+            file: "outcomes".into(),
+            line: lineno + 1,
+            message: "bad Length_of_stay".into(),
+        })?;
+        let died = get(death_col)? == "1";
+        out.insert(id, Outcome { los_days, died });
+    }
+    Ok(out)
+}
+
+/// Builds a [`Patient`] from a parsed grid and outcome.
+pub fn patient_from_grid(id: usize, grid: Vec<f32>, t_len: usize, outcome: Outcome) -> Patient {
+    assert_eq!(grid.len(), t_len * NUM_FEATURES);
+    Patient {
+        id,
+        archetype: Archetype::Unknown,
+        values: grid,
+        severity: vec![0.0; t_len], // unknown for real data
+        mortality: outcome.died,
+        los_gt7: outcome.los_days > 7.0,
+        los_days: outcome.los_days,
+    }
+}
+
+/// Reads a PhysioNet-layout directory: every `*.txt` record file plus an
+/// `Outcomes.txt` (or `outcomes.txt`) file.
+pub fn read_physionet_dir(dir: &Path, t_len: usize) -> Result<Cohort, IoError> {
+    let outcomes_path = ["Outcomes.txt", "outcomes.txt", "Outcomes-a.txt"]
+        .iter()
+        .map(|n| dir.join(n))
+        .find(|p| p.exists())
+        .ok_or_else(|| IoError::MissingOutcome("Outcomes.txt not found".into()))?;
+    let outcomes = parse_outcomes(&fs::read_to_string(outcomes_path)?)?;
+
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "txt")
+                && !p
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().to_lowercase().starts_with("outcomes"))
+        })
+        .collect();
+    entries.sort();
+
+    let mut patients = Vec::with_capacity(entries.len());
+    for (idx, path) in entries.iter().enumerate() {
+        let record_id = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().to_string())
+            .unwrap_or_default();
+        let outcome = outcomes
+            .get(&record_id)
+            .copied()
+            .ok_or_else(|| IoError::MissingOutcome(record_id.clone()))?;
+        let text = fs::read_to_string(path)?;
+        let grid = parse_record(&record_id, &text, t_len)?;
+        patients.push(patient_from_grid(idx, grid, t_len, outcome));
+    }
+    Ok(Cohort {
+        config: CohortConfig {
+            name: format!("physionet:{}", dir.display()),
+            n_patients: patients.len(),
+            t_len,
+            seed: 0,
+            archetype_weights: [0.0; 8],
+            target_mortality: 0.0,
+            target_los_gt7: 0.0,
+        },
+        patients,
+    })
+}
+
+/// Renders one patient in the record format (`Time,Parameter,Value`).
+pub fn write_record(patient: &Patient, t_len: usize) -> String {
+    let mut out = String::from("Time,Parameter,Value\n");
+    for t in 0..t_len {
+        for (f, def) in FEATURES.iter().enumerate() {
+            let v = patient.value(t, f);
+            if !v.is_nan() {
+                // deterministic mid-hour minute keeps files stable
+                let _ = writeln!(out, "{t:02}:30,{},{v}", def.name);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a cohort's outcomes file.
+pub fn write_outcomes(cohort: &Cohort) -> String {
+    let mut out = String::from("RecordID,Length_of_stay,In-hospital_death\n");
+    for p in &cohort.patients {
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            record_id(p.id),
+            p.los_days,
+            p.mortality as u8
+        );
+    }
+    out
+}
+
+/// Writes a cohort as a PhysioNet-layout directory (one record file per
+/// admission + `Outcomes.txt`). Useful for interoperating with existing
+/// PhysioNet tooling and for the round-trip tests.
+pub fn write_physionet_dir(cohort: &Cohort, dir: &Path) -> Result<(), IoError> {
+    fs::create_dir_all(dir)?;
+    for p in &cohort.patients {
+        fs::write(
+            dir.join(format!("{}.txt", record_id(p.id))),
+            write_record(p, cohort.t_len()),
+        )?;
+    }
+    fs::write(dir.join("Outcomes.txt"), write_outcomes(cohort))?;
+    Ok(())
+}
+
+/// Stable six-digit record id for a cohort index (PhysioNet ids are six
+/// digits starting at 132539; we mimic the shape).
+fn record_id(id: usize) -> String {
+    format!("{:06}", 100_000 + id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_record() {
+        let text = "Time,Parameter,Value\n00:07,HR,88\n00:30,Glucose,263\n01:32,Glucose,270\n";
+        let grid = parse_record("r", text, 4).unwrap();
+        let hr = feature_by_name("HR").unwrap();
+        let glu = feature_by_name("Glucose").unwrap();
+        assert_eq!(grid[hr], 88.0);
+        assert_eq!(grid[glu], 263.0);
+        assert_eq!(grid[NUM_FEATURES + glu], 270.0);
+        assert!(grid[2 * NUM_FEATURES + glu].is_nan());
+    }
+
+    #[test]
+    fn last_record_in_hour_wins() {
+        let text = "Time,Parameter,Value\n02:01,HR,80\n02:59,HR,95\n";
+        let grid = parse_record("r", text, 4).unwrap();
+        let hr = feature_by_name("HR").unwrap();
+        assert_eq!(grid[2 * NUM_FEATURES + hr], 95.0);
+    }
+
+    #[test]
+    fn unknown_parameters_and_late_hours_are_skipped() {
+        let text = "Time,Parameter,Value\n00:00,RecordID,132539\n00:00,Age,54\n99:00,HR,60\n";
+        let grid = parse_record("r", text, 4).unwrap();
+        assert!(grid.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn negative_values_are_cleaned() {
+        // the dataset uses -1 as an error sentinel; §V-A cleans them
+        let text = "Time,Parameter,Value\n00:00,HR,-1\n";
+        let grid = parse_record("r", text, 2).unwrap();
+        let hr = feature_by_name("HR").unwrap();
+        assert!(grid[hr].is_nan());
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let text = "Time,Parameter,Value\nnot a line\n";
+        let err = parse_record("rec42", text, 2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rec42:2"), "{msg}");
+    }
+
+    #[test]
+    fn bad_timestamp_errors() {
+        let err = parse_record("r", "Time,Parameter,Value\nxx:yy,HR,80\n", 2).unwrap_err();
+        assert!(err.to_string().contains("bad timestamp"));
+    }
+
+    #[test]
+    fn outcomes_parse_any_column_order() {
+        let text = "In-hospital_death,RecordID,Length_of_stay\n1,132539,12\n0,132540,3\n";
+        let o = parse_outcomes(text).unwrap();
+        assert_eq!(
+            o["132539"],
+            Outcome {
+                los_days: 12.0,
+                died: true
+            }
+        );
+        assert_eq!(
+            o["132540"],
+            Outcome {
+                los_days: 3.0,
+                died: false
+            }
+        );
+    }
+
+    #[test]
+    fn outcomes_missing_column_errors() {
+        let err = parse_outcomes("RecordID,Length_of_stay\n1,2\n").unwrap_err();
+        assert!(err.to_string().contains("In-hospital_death"));
+    }
+
+    #[test]
+    fn roundtrip_through_strings_preserves_observations() {
+        let cohort = Cohort::generate(CohortConfig::small(12, 3));
+        let p = &cohort.patients[4];
+        let text = write_record(p, cohort.t_len());
+        let grid = parse_record("rt", &text, cohort.t_len()).unwrap();
+        for t in 0..cohort.t_len() {
+            for f in 0..NUM_FEATURES {
+                let orig = p.value(t, f);
+                let back = grid[t * NUM_FEATURES + f];
+                if orig.is_nan() {
+                    assert!(back.is_nan(), "({t},{f}) appeared from nowhere");
+                } else {
+                    assert!((orig - back).abs() < 1e-4, "({t},{f}): {orig} vs {back}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_directory() {
+        let cohort = Cohort::generate(CohortConfig::small(10, 9));
+        let dir = std::env::temp_dir().join(format!("elda-io-test-{}", std::process::id()));
+        write_physionet_dir(&cohort, &dir).unwrap();
+        let loaded = read_physionet_dir(&dir, cohort.t_len()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded.len(), cohort.len());
+        for (orig, back) in cohort.patients.iter().zip(&loaded.patients) {
+            assert_eq!(orig.mortality, back.mortality);
+            assert_eq!(orig.los_gt7, back.los_gt7);
+            assert_eq!(orig.num_records(), back.num_records());
+            assert_eq!(back.archetype, Archetype::Unknown);
+        }
+    }
+
+    #[test]
+    fn loaded_cohort_flows_through_pipeline() {
+        use crate::pipeline::Pipeline;
+        let cohort = Cohort::generate(CohortConfig::small(10, 11));
+        let text_patients: Vec<Patient> = cohort
+            .patients
+            .iter()
+            .map(|p| {
+                let text = write_record(p, cohort.t_len());
+                let grid = parse_record("x", &text, cohort.t_len()).unwrap();
+                patient_from_grid(
+                    p.id,
+                    grid,
+                    cohort.t_len(),
+                    Outcome {
+                        los_days: p.los_days,
+                        died: p.mortality,
+                    },
+                )
+            })
+            .collect();
+        let loaded = Cohort {
+            config: cohort.config.clone(),
+            patients: text_patients,
+        };
+        let idx: Vec<usize> = (0..loaded.len()).collect();
+        let pipe = Pipeline::fit(&loaded, &idx);
+        let samples = pipe.process_all(&loaded);
+        assert_eq!(samples.len(), 10);
+        assert!(samples[0].x.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # elda-emr
+//!
+//! Synthetic ICU EMR cohorts and the preprocessing pipeline of the ELDA
+//! paper.
+//!
+//! The paper evaluates on PhysioNet Challenge 2012 and MIMIC-III — both
+//! credential-gated clinical datasets. This crate substitutes them with a
+//! generative cohort simulator that plants exactly the signals the paper's
+//! models exploit:
+//!
+//! * the same **37 PhysioNet medical features** with physiological ranges
+//!   ([`features`]);
+//! * **archetype-driven correlated abnormality patterns** — the paper's own
+//!   motivating examples (DM, DM+DKA, DM+DLA) plus sepsis, cardiogenic
+//!   shock, renal and respiratory failure ([`archetype`]);
+//! * a **latent severity process** per patient that drives both the feature
+//!   trajectories and the labels (mortality, length-of-stay) ([`severity`]);
+//! * **informative missingness** (~80% missing overall, denser sampling
+//!   while the patient is abnormal — the mechanism behind the paper's
+//!   "records are richer at critical time steps" observation) ([`synth`]);
+//! * the paper's **three-type missing-data handling** (global mean before
+//!   first observation / forward-fill gaps / never-observed flag) and
+//!   train-fitted standardization ([`pipeline`]).
+//!
+//! Preset cohorts sized to Table I live in [`presets`]; the dataset
+//! statistics the table reports are computed by [`stats`].
+
+pub mod archetype;
+pub mod features;
+pub mod io;
+pub mod pipeline;
+pub mod presets;
+pub mod severity;
+pub mod split;
+pub mod stats;
+pub mod synth;
+
+pub use archetype::{Archetype, ARCHETYPES};
+pub use features::{
+    essential_features, feature_by_name, FeatureDef, FeatureId, FEATURES, NUM_FEATURES,
+};
+pub use pipeline::{Batch, Pipeline, ProcessedSample, Task};
+pub use presets::{mimic3_like, physionet2012_like, CohortPreset};
+pub use split::{split_indices, SplitIndices};
+pub use stats::{cohort_stats, CohortStats};
+pub use synth::{Cohort, CohortConfig, Patient};

@@ -1,0 +1,384 @@
+//! Preprocessing faithful to the paper's §IV-B and §V-A: train-fitted
+//! standardization, the three-type missing-data handling, and batching into
+//! tensors.
+
+use crate::features::NUM_FEATURES;
+use crate::synth::{Cohort, Patient};
+use elda_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which prediction task a batch's labels come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// In-hospital mortality prediction.
+    Mortality,
+    /// Length-of-stay > 7 days prediction.
+    LosGt7,
+}
+
+impl Task {
+    /// Display name used by the experiment harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Mortality => "mortality",
+            Task::LosGt7 => "los>7",
+        }
+    }
+}
+
+/// One admission after preprocessing. All grids are row-major
+/// `(t_len, NUM_FEATURES)`.
+#[derive(Debug, Clone)]
+pub struct ProcessedSample {
+    /// Standardized, imputed values (clipped to the pipeline bounds).
+    pub x: Vec<f32>,
+    /// `{0,1}` observation mask (1 where a record existed).
+    pub mask: Vec<f32>,
+    /// Hours since the previous observation of the feature, scaled by
+    /// `1/t_len` (GRU-D's δ input).
+    pub delta: Vec<f32>,
+    /// Per-feature never-observed flags (the paper's type-(iii)
+    /// missingness, embedded via `V^m`), length `NUM_FEATURES`.
+    pub never: Vec<f32>,
+    /// Mortality label.
+    pub y_mortality: f32,
+    /// LOS > 7 days label.
+    pub y_los: f32,
+    /// Raw length of stay in days (regression target).
+    pub y_los_days: f32,
+}
+
+/// Standardization + imputation fitted on the training split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pipeline {
+    t_len: usize,
+    means: Vec<f32>,
+    stds: Vec<f32>,
+    /// Standardized values are clipped into `[clip.0, clip.1]`; the paper's
+    /// Bi-directional Embedding bounds `a = −3, b = 3` assume this range.
+    pub clip: (f32, f32),
+}
+
+impl Pipeline {
+    /// Fits per-feature mean/std on the *observed* values of the training
+    /// admissions only (no leakage from validation/test).
+    pub fn fit(cohort: &Cohort, train_idx: &[usize]) -> Pipeline {
+        assert!(!train_idx.is_empty(), "empty training split");
+        let t_len = cohort.t_len();
+        let mut sums = vec![0.0f64; NUM_FEATURES];
+        let mut sqs = vec![0.0f64; NUM_FEATURES];
+        let mut counts = vec![0usize; NUM_FEATURES];
+        for &i in train_idx {
+            let p = &cohort.patients[i];
+            for t in 0..t_len {
+                for f in 0..NUM_FEATURES {
+                    let v = p.value(t, f);
+                    if !v.is_nan() {
+                        sums[f] += v as f64;
+                        sqs[f] += (v as f64) * (v as f64);
+                        counts[f] += 1;
+                    }
+                }
+            }
+        }
+        let means: Vec<f32> = (0..NUM_FEATURES)
+            .map(|f| {
+                if counts[f] > 0 {
+                    (sums[f] / counts[f] as f64) as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let stds: Vec<f32> = (0..NUM_FEATURES)
+            .map(|f| {
+                if counts[f] > 1 {
+                    let m = sums[f] / counts[f] as f64;
+                    let var = (sqs[f] / counts[f] as f64 - m * m).max(1e-8);
+                    var.sqrt() as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Pipeline {
+            t_len,
+            means,
+            stds,
+            clip: (-3.0, 3.0),
+        }
+    }
+
+    /// Per-feature training means (natural units).
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Per-feature training standard deviations (natural units).
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+
+    /// Hours per stay this pipeline was fitted for.
+    pub fn t_len(&self) -> usize {
+        self.t_len
+    }
+
+    /// Standardizes one natural-unit value of feature `f` (with clipping).
+    pub fn standardize(&self, f: usize, v: f32) -> f32 {
+        ((v - self.means[f]) / self.stds[f]).clamp(self.clip.0, self.clip.1)
+    }
+
+    /// Applies the paper's three-type missing-data handling to one patient:
+    ///
+    /// 1. never observed in the stay → global mean (standardized 0) and the
+    ///    `never` flag set, to be embedded via `V^m`;
+    /// 2. before the first observation → global mean (standardized 0);
+    /// 3. gaps after an observation → last observation carried forward.
+    pub fn process(&self, patient: &Patient) -> ProcessedSample {
+        let t_len = self.t_len;
+        let mut x = vec![0.0f32; t_len * NUM_FEATURES];
+        let mut mask = vec![0.0f32; t_len * NUM_FEATURES];
+        let mut delta = vec![0.0f32; t_len * NUM_FEATURES];
+        let mut never = vec![0.0f32; NUM_FEATURES];
+        #[allow(clippy::needless_range_loop)] // f also strides the (t,f) grids
+        for f in 0..NUM_FEATURES {
+            let mut last: Option<f32> = None;
+            let mut gap = 0.0f32;
+            for t in 0..t_len {
+                let idx = t * NUM_FEATURES + f;
+                let raw = patient.value(t, f);
+                delta[idx] = gap / t_len as f32;
+                if raw.is_nan() {
+                    x[idx] = last.unwrap_or(0.0); // forward fill, else global mean
+                    gap += 1.0;
+                } else {
+                    let z = self.standardize(f, raw);
+                    x[idx] = z;
+                    mask[idx] = 1.0;
+                    last = Some(z);
+                    gap = 1.0;
+                }
+            }
+            if last.is_none() {
+                never[f] = 1.0;
+            }
+        }
+        ProcessedSample {
+            x,
+            mask,
+            delta,
+            never,
+            y_mortality: if patient.mortality { 1.0 } else { 0.0 },
+            y_los: if patient.los_gt7 { 1.0 } else { 0.0 },
+            y_los_days: patient.los_days,
+        }
+    }
+
+    /// Processes every admission in the cohort, in order.
+    pub fn process_all(&self, cohort: &Cohort) -> Vec<ProcessedSample> {
+        cohort.patients.iter().map(|p| self.process(p)).collect()
+    }
+}
+
+/// A batch of processed samples as tensors, ready for a model forward.
+pub struct Batch {
+    /// Values `(B, T, C)`.
+    pub x: Tensor,
+    /// Observation mask `(B, T, C)`.
+    pub mask: Tensor,
+    /// GRU-D time deltas `(B, T, C)`.
+    pub delta: Tensor,
+    /// Never-observed flags `(B, C)`.
+    pub never: Tensor,
+    /// Task labels `(B, 1)`.
+    pub y: Tensor,
+}
+
+impl Batch {
+    /// Gathers `indices` out of `samples` for `task`.
+    ///
+    /// # Panics
+    /// Panics on an empty index list.
+    pub fn gather(
+        samples: &[ProcessedSample],
+        indices: &[usize],
+        t_len: usize,
+        task: Task,
+    ) -> Batch {
+        assert!(!indices.is_empty(), "empty batch");
+        let b = indices.len();
+        let grid = t_len * NUM_FEATURES;
+        let mut x = Vec::with_capacity(b * grid);
+        let mut mask = Vec::with_capacity(b * grid);
+        let mut delta = Vec::with_capacity(b * grid);
+        let mut never = Vec::with_capacity(b * NUM_FEATURES);
+        let mut y = Vec::with_capacity(b);
+        for &i in indices {
+            let s = &samples[i];
+            debug_assert_eq!(s.x.len(), grid, "sample/t_len mismatch");
+            x.extend_from_slice(&s.x);
+            mask.extend_from_slice(&s.mask);
+            delta.extend_from_slice(&s.delta);
+            never.extend_from_slice(&s.never);
+            y.push(match task {
+                Task::Mortality => s.y_mortality,
+                Task::LosGt7 => s.y_los,
+            });
+        }
+        Batch {
+            x: Tensor::from_vec(x, &[b, t_len, NUM_FEATURES]),
+            mask: Tensor::from_vec(mask, &[b, t_len, NUM_FEATURES]),
+            delta: Tensor::from_vec(delta, &[b, t_len, NUM_FEATURES]),
+            never: Tensor::from_vec(never, &[b, NUM_FEATURES]),
+            y: Tensor::from_vec(y, &[b, 1]),
+        }
+    }
+
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.x.shape()[0]
+    }
+
+    /// Always false — batches are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Labels as a plain vector (for metric computation).
+    pub fn labels(&self) -> Vec<f32> {
+        self.y.data().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::CohortConfig;
+
+    fn setup() -> (Cohort, Pipeline, Vec<ProcessedSample>) {
+        let cohort = Cohort::generate(CohortConfig::small(80, 5));
+        let train: Vec<usize> = (0..64).collect();
+        let pipe = Pipeline::fit(&cohort, &train);
+        let samples = pipe.process_all(&cohort);
+        (cohort, pipe, samples)
+    }
+
+    #[test]
+    fn standardized_observed_values_are_roughly_centered() {
+        let (_, _, samples) = setup();
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for s in &samples {
+            for (x, m) in s.x.iter().zip(&s.mask) {
+                if *m == 1.0 {
+                    sum += *x as f64;
+                    n += 1;
+                }
+            }
+        }
+        let mean = sum / n as f64;
+        assert!(mean.abs() < 0.25, "observed mean {mean}");
+    }
+
+    #[test]
+    fn values_are_clipped() {
+        let (_, _, samples) = setup();
+        for s in &samples {
+            assert!(s.x.iter().all(|&v| (-3.0..=3.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn forward_fill_holds_last_observation() {
+        let (cohort, pipe, _) = setup();
+        // Find a (patient, feature) with an observation followed by a gap.
+        'outer: for p in &cohort.patients {
+            for f in 0..NUM_FEATURES {
+                for t in 0..cohort.t_len() - 2 {
+                    if p.observed(t, f) && !p.observed(t + 1, f) {
+                        let s = pipe.process(p);
+                        let idx0 = t * NUM_FEATURES + f;
+                        let idx1 = (t + 1) * NUM_FEATURES + f;
+                        assert_eq!(s.x[idx1], s.x[idx0], "gap not forward-filled");
+                        assert_eq!(s.mask[idx1], 0.0);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn before_first_observation_is_global_mean() {
+        let (cohort, pipe, _) = setup();
+        'outer: for p in &cohort.patients {
+            for f in 0..NUM_FEATURES {
+                if !p.observed(0, f) && !p.never_observed(f) {
+                    let s = pipe.process(p);
+                    assert_eq!(s.x[f], 0.0, "pre-first-obs should be standardized mean");
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_observed_flags_match_patient() {
+        let (cohort, pipe, _) = setup();
+        for p in cohort.patients.iter().take(20) {
+            let s = pipe.process(p);
+            for f in 0..NUM_FEATURES {
+                assert_eq!(s.never[f] == 1.0, p.never_observed(f), "feature {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_counts_hours_since_last_observation() {
+        let (cohort, pipe, _) = setup();
+        let t_len = cohort.t_len() as f32;
+        let p = &cohort.patients[0];
+        let s = pipe.process(p);
+        for f in 0..NUM_FEATURES {
+            // delta at t=0 is always 0 (nothing before admission)
+            assert_eq!(s.delta[f], 0.0);
+            let mut expected_gap = 0.0f32;
+            for t in 0..cohort.t_len() {
+                let idx = t * NUM_FEATURES + f;
+                assert!((s.delta[idx] - expected_gap / t_len).abs() < 1e-6);
+                if s.mask[idx] == 1.0 {
+                    expected_gap = 1.0;
+                } else {
+                    expected_gap += 1.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shapes_and_labels() {
+        let (cohort, _, samples) = setup();
+        let idx = [0usize, 3, 5, 7];
+        let batch = Batch::gather(&samples, &idx, cohort.t_len(), Task::Mortality);
+        assert_eq!(batch.x.shape(), &[4, 48, NUM_FEATURES]);
+        assert_eq!(batch.never.shape(), &[4, NUM_FEATURES]);
+        assert_eq!(batch.y.shape(), &[4, 1]);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(batch.y.data()[k], samples[i].y_mortality);
+        }
+        let los = Batch::gather(&samples, &idx, cohort.t_len(), Task::LosGt7);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(los.y.data()[k], samples[i].y_los);
+        }
+    }
+
+    #[test]
+    fn pipeline_fit_ignores_non_train_patients() {
+        let cohort = Cohort::generate(CohortConfig::small(100, 6));
+        let p1 = Pipeline::fit(&cohort, &(0..50).collect::<Vec<_>>());
+        let p2 = Pipeline::fit(&cohort, &(50..100).collect::<Vec<_>>());
+        // Different halves → (slightly) different statistics.
+        assert_ne!(p1.means(), p2.means());
+    }
+}

@@ -1,0 +1,215 @@
+//! Preset cohorts sized to the paper's Table I, and the deterministic
+//! "Patient A" DLA case study of §V-D.
+
+use crate::archetype::Archetype;
+use crate::features::{essential_features, FEATURES, NUM_FEATURES};
+use crate::severity::{severity_curve, SeverityParams};
+use crate::synth::{Cohort, CohortConfig, Patient};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A named preset with an optional reduced size for quick runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohortPreset {
+    /// 12,000 admissions; mortality 1707/12000; LOS>7 ≈ 65% (Table I).
+    PhysioNet2012,
+    /// 21,139 admissions; mortality 2797/21139; LOS>7 ≈ 57% (Table I).
+    MimicIii,
+}
+
+impl CohortPreset {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CohortPreset::PhysioNet2012 => "PhysioNet2012",
+            CohortPreset::MimicIii => "MIMIC-III",
+        }
+    }
+
+    /// The preset's configuration, optionally scaled down to `n_override`
+    /// admissions (class ratios preserved) for quick runs.
+    pub fn config(self, seed: u64, n_override: Option<usize>) -> CohortConfig {
+        match self {
+            CohortPreset::PhysioNet2012 => CohortConfig {
+                name: "physionet2012-like".into(),
+                n_patients: n_override.unwrap_or(12_000),
+                t_len: 48,
+                seed,
+                // A general ICU mix leaning medical.
+                archetype_weights: [0.40, 0.07, 0.07, 0.07, 0.14, 0.09, 0.08, 0.08],
+                target_mortality: 1707.0 / 12_000.0,
+                target_los_gt7: 7738.0 / (4095.0 + 7738.0),
+            },
+            CohortPreset::MimicIii => CohortConfig {
+                name: "mimic3-like".into(),
+                n_patients: n_override.unwrap_or(21_139),
+                t_len: 48,
+                seed,
+                // A slightly more surgical/cardiac mix, giving the second
+                // dataset a different archetype distribution as real
+                // hospitals differ.
+                archetype_weights: [0.44, 0.06, 0.05, 0.05, 0.12, 0.12, 0.08, 0.08],
+                target_mortality: 2797.0 / 21_139.0,
+                target_los_gt7: 12_005.0 / 21_139.0,
+            },
+        }
+    }
+}
+
+/// Generates the PhysioNet2012-like cohort (full size unless overridden).
+pub fn physionet2012_like(seed: u64, n_override: Option<usize>) -> Cohort {
+    Cohort::generate(CohortPreset::PhysioNet2012.config(seed, n_override))
+}
+
+/// Generates the MIMIC-III-like cohort (full size unless overridden).
+pub fn mimic3_like(seed: u64, n_override: Option<usize>) -> Cohort {
+    Cohort::generate(CohortPreset::MimicIii.config(seed, n_override))
+}
+
+/// The deterministic "Patient A" of the paper's interpretability study
+/// (§V-D): a DM patient developing diabetic lactic acidosis whose glucose
+/// starts rising around hour 12 and stabilizes around hour 35 after ICU
+/// treatment. Essential features are observed almost every hour so the
+/// Table II / Figure 9 / Figure 10 reproductions have dense values.
+pub fn patient_a(seed: u64) -> Patient {
+    let t_len = 48;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = SeverityParams {
+        onset: 11,
+        rise_rate: 0.14,
+        treatment_at: Some(27),
+        recovery_rate: 0.12,
+        volatility: 0.012,
+        peak_cap: 1.0,
+    };
+    let severity = severity_curve(&params, t_len, &mut rng);
+    let effects = Archetype::DmLacticAcidosis.effects();
+    let essential = essential_features();
+    let mut values = vec![f32::NAN; t_len * NUM_FEATURES];
+    for (f, def) in FEATURES.iter().enumerate() {
+        let is_essential = essential.contains(&f);
+        let mut ar = 0.0f32;
+        for (t, &s) in severity.iter().enumerate() {
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            ar = 0.7 * ar + 0.10 * g;
+            let z = effects[f] * s + ar;
+            let natural = (def.mean + def.std * z).clamp(def.min, def.max);
+            let p = if is_essential {
+                0.9
+            } else {
+                def.base_rate * (1.0 + 1.8 * s)
+            };
+            if rng.gen::<f32>() < p.min(0.95) {
+                values[t * NUM_FEATURES + f] = natural;
+            }
+        }
+    }
+    Patient {
+        id: usize::MAX, // sentinel: not part of any cohort
+        archetype: Archetype::DmLacticAcidosis,
+        values,
+        severity,
+        mortality: false, // Patient A survives after treatment in the paper
+        los_gt7: true,
+        los_days: 9.0,
+    }
+}
+
+/// A copy of a patient with every observed value of feature `fid`
+/// overwritten by `value` — the paper's Figure 9(b) controlled experiment
+/// (Lactate forced to the population mean).
+pub fn with_feature_overridden(patient: &Patient, fid: usize, value: f32) -> Patient {
+    let mut out = patient.clone();
+    let t_len = out.values.len() / NUM_FEATURES;
+    for t in 0..t_len {
+        let idx = t * NUM_FEATURES + fid;
+        if !out.values[idx].is_nan() {
+            out.values[idx] = value;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::feature_by_name;
+    use crate::stats::cohort_stats;
+
+    #[test]
+    fn scaled_presets_keep_class_ratios() {
+        let c = physionet2012_like(1, Some(600));
+        let s = cohort_stats(&c);
+        assert_eq!(s.admissions, 600);
+        let mort = s.non_survivors as f32 / 600.0;
+        assert!((mort - 0.1422).abs() < 0.03, "mortality {mort}");
+        let los = s.los_gt7 as f32 / 600.0;
+        assert!((los - 0.654).abs() < 0.04, "los {los}");
+    }
+
+    #[test]
+    fn mimic_preset_has_its_own_ratios() {
+        let c = mimic3_like(2, Some(600));
+        let s = cohort_stats(&c);
+        let mort = s.non_survivors as f32 / 600.0;
+        assert!((mort - 0.1323).abs() < 0.03, "mortality {mort}");
+        let los = s.los_gt7 as f32 / 600.0;
+        assert!((los - 0.568).abs() < 0.04, "los {los}");
+    }
+
+    #[test]
+    fn patient_a_glucose_rises_then_recovers() {
+        let p = patient_a(99);
+        let glu = feature_by_name("Glucose").unwrap();
+        let avg = |lo: usize, hi: usize| {
+            let vals: Vec<f32> = (lo..hi)
+                .filter_map(|t| {
+                    let v = p.value(t, glu);
+                    (!v.is_nan()).then_some(v)
+                })
+                .collect();
+            vals.iter().sum::<f32>() / vals.len().max(1) as f32
+        };
+        let early = avg(0, 9);
+        let acute = avg(16, 27);
+        let late = avg(40, 48);
+        assert!(acute > early + 80.0, "acute {acute} vs early {early}");
+        assert!(late < acute - 60.0, "late {late} vs acute {acute}");
+    }
+
+    #[test]
+    fn patient_a_has_dense_essential_observations() {
+        let p = patient_a(99);
+        for f in essential_features() {
+            let obs = (0..48).filter(|&t| p.observed(t, f)).count();
+            assert!(
+                obs >= 30,
+                "feature {} observed only {obs} times",
+                FEATURES[f].name
+            );
+        }
+    }
+
+    #[test]
+    fn override_replaces_only_observed_values() {
+        let p = patient_a(99);
+        let lac = feature_by_name("Lactate").unwrap();
+        let fixed = with_feature_overridden(&p, lac, 1.4);
+        for t in 0..48 {
+            if p.observed(t, lac) {
+                assert_eq!(fixed.value(t, lac), 1.4);
+            } else {
+                assert!(fixed.value(t, lac).is_nan());
+            }
+            // other features untouched
+            let hr = feature_by_name("HR").unwrap();
+            assert!(
+                p.value(t, hr) == fixed.value(t, hr)
+                    || (p.value(t, hr).is_nan() && fixed.value(t, hr).is_nan())
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The latent severity process driving each synthetic patient.
+//!
+//! Severity `s(t) ∈ [0, ~1.2]` is a piecewise drift-diffusion: quiet before
+//! onset, rising during the acute phase, and — when treatment succeeds —
+//! falling back afterwards. The same curve drives (a) how far each
+//! archetype-affected feature deviates from normal, (b) how densely the
+//! patient is sampled (informative missingness), and (c) the outcome
+//! labels. That single shared cause is what makes the planted feature- and
+//! time-level interactions *learnable*.
+
+use rand::Rng;
+
+/// Parameters of one patient's severity trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct SeverityParams {
+    /// Hour at which the acute pathology starts building.
+    pub onset: usize,
+    /// Severity gained per hour during the acute phase.
+    pub rise_rate: f32,
+    /// Hour at which treatment begins to work, if it does.
+    pub treatment_at: Option<usize>,
+    /// Severity lost per hour once treatment works.
+    pub recovery_rate: f32,
+    /// Standard deviation of the per-hour noise.
+    pub volatility: f32,
+    /// Soft cap on severity (logistic squashing above ~this value).
+    pub peak_cap: f32,
+}
+
+impl SeverityParams {
+    /// A quiet, low-severity stay (the `Stable` archetype).
+    pub fn quiet() -> Self {
+        SeverityParams {
+            onset: usize::MAX,
+            rise_rate: 0.0,
+            treatment_at: None,
+            recovery_rate: 0.0,
+            volatility: 0.015,
+            peak_cap: 0.25,
+        }
+    }
+}
+
+/// Summary statistics of a severity curve, consumed by the label model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeveritySummary {
+    /// Severity at the final hour.
+    pub last: f32,
+    /// Mean severity over the stay.
+    pub mean: f32,
+    /// Peak severity.
+    pub peak: f32,
+    /// Mean severity over the final quarter of the stay (captures whether
+    /// the patient was recovering or deteriorating at the end).
+    pub late_mean: f32,
+}
+
+/// Simulates a severity curve of length `t_len`.
+pub fn severity_curve(
+    params: &SeverityParams,
+    t_len: usize,
+    rng: &mut (impl Rng + ?Sized),
+) -> Vec<f32> {
+    assert!(t_len > 0, "empty stay");
+    let mut s = 0.05f32 + rng.gen::<f32>() * 0.05;
+    let mut curve = Vec::with_capacity(t_len);
+    for t in 0..t_len {
+        let drift = if t < params.onset {
+            // pre-onset: relax toward a low baseline
+            (0.05 - s) * 0.2
+        } else if params.treatment_at.is_none_or(|tr| t < tr) {
+            // acute phase: rise, slowing as the soft cap approaches
+            params.rise_rate * (1.0 - s / params.peak_cap.max(1e-3)).max(0.0)
+        } else {
+            // under effective treatment: recover toward a mild residual
+            -params.recovery_rate * (s - 0.08).max(0.0)
+        };
+        let noise = gauss(rng) * params.volatility;
+        s = (s + drift + noise).clamp(0.0, 1.2);
+        curve.push(s);
+    }
+    curve
+}
+
+/// Summarizes a severity curve for the label model.
+pub fn summarize(curve: &[f32]) -> SeveritySummary {
+    assert!(!curve.is_empty());
+    let n = curve.len();
+    let mean = curve.iter().sum::<f32>() / n as f32;
+    let peak = curve.iter().copied().fold(0.0f32, f32::max);
+    let late_start = n - (n / 4).max(1);
+    let late = &curve[late_start..];
+    let late_mean = late.iter().sum::<f32>() / late.len() as f32;
+    SeveritySummary {
+        last: curve[n - 1],
+        mean,
+        peak,
+        late_mean,
+    }
+}
+
+/// The raw severity score that the outcome models threshold; combines the
+/// terminal state (dominant for mortality) with accumulated burden.
+pub fn outcome_score(summary: &SeveritySummary, lethality: f32) -> f32 {
+    lethality * (1.6 * summary.late_mean + 0.7 * summary.peak + 0.4 * summary.mean)
+}
+
+/// One standard normal via Box–Muller (local helper; the tensor crate's
+/// version works on whole tensors).
+fn gauss(rng: &mut (impl Rng + ?Sized)) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acute(treated: bool) -> SeverityParams {
+        SeverityParams {
+            onset: 10,
+            rise_rate: 0.12,
+            treatment_at: treated.then_some(28),
+            recovery_rate: 0.10,
+            volatility: 0.01,
+            peak_cap: 1.0,
+        }
+    }
+
+    #[test]
+    fn quiet_patient_stays_low() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let curve = severity_curve(&SeverityParams::quiet(), 48, &mut rng);
+        assert!(
+            curve.iter().all(|&s| s < 0.3),
+            "max {}",
+            curve.iter().cloned().fold(0.0, f32::max)
+        );
+    }
+
+    #[test]
+    fn acute_patient_rises_after_onset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let curve = severity_curve(&acute(false), 48, &mut rng);
+        let pre = curve[..10].iter().sum::<f32>() / 10.0;
+        let post = curve[30..].iter().sum::<f32>() / 18.0;
+        assert!(post > pre + 0.3, "pre {pre}, post {post}");
+    }
+
+    #[test]
+    fn treatment_brings_severity_down() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let curve = severity_curve(&acute(true), 48, &mut rng);
+        let peak_window = curve[24..30].iter().cloned().fold(0.0f32, f32::max);
+        let end = curve[47];
+        assert!(end < peak_window - 0.2, "peak {peak_window}, end {end}");
+    }
+
+    #[test]
+    fn severity_stays_in_bounds() {
+        let rng = StdRng::seed_from_u64(4);
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let curve = severity_curve(&acute(seed % 2 == 0), 48, &mut r);
+            assert!(curve.iter().all(|&s| (0.0..=1.2).contains(&s)));
+        }
+        let _ = rng;
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let curve = vec![0.1, 0.5, 0.9, 0.3];
+        let s = summarize(&curve);
+        assert_eq!(s.last, 0.3);
+        assert_eq!(s.peak, 0.9);
+        assert!((s.mean - 0.45).abs() < 1e-6);
+        assert_eq!(s.late_mean, 0.3); // last quarter of 4 = 1 sample
+    }
+
+    #[test]
+    fn untreated_scores_above_treated() {
+        let mut worse = 0;
+        for seed in 0..20 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let untreated = summarize(&severity_curve(&acute(false), 48, &mut r1));
+            let treated = summarize(&severity_curve(&acute(true), 48, &mut r2));
+            if outcome_score(&untreated, 1.0) > outcome_score(&treated, 1.0) {
+                worse += 1;
+            }
+        }
+        assert!(
+            worse >= 18,
+            "untreated should almost always score worse: {worse}/20"
+        );
+    }
+}

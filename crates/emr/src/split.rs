@@ -1,0 +1,75 @@
+//! Deterministic train/validation/test splitting (the paper's 80/10/10).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index sets of one split.
+#[derive(Debug, Clone)]
+pub struct SplitIndices {
+    /// Training indices (80%).
+    pub train: Vec<usize>,
+    /// Validation indices (10%).
+    pub val: Vec<usize>,
+    /// Test indices (10%).
+    pub test: Vec<usize>,
+}
+
+/// Shuffles `0..n` with `seed` and cuts 80/10/10.
+///
+/// # Panics
+/// Panics when `n < 10` (a split fraction would be empty).
+pub fn split_indices(n: usize, seed: u64) -> SplitIndices {
+    assert!(n >= 10, "need at least 10 samples to split 80/10/10");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_train = n * 8 / 10;
+    let n_val = n / 10;
+    SplitIndices {
+        train: idx[..n_train].to_vec(),
+        val: idx[n_train..n_train + n_val].to_vec(),
+        test: idx[n_train + n_val..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let s = split_indices(100, 1);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        let all: HashSet<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(split_indices(50, 9).train, split_indices(50, 9).train);
+        assert_ne!(split_indices(50, 9).train, split_indices(50, 10).train);
+    }
+
+    #[test]
+    fn odd_sizes_leave_remainder_in_test() {
+        let s = split_indices(103, 2);
+        assert_eq!(s.train.len(), 82);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn tiny_n_panics() {
+        split_indices(5, 0);
+    }
+}

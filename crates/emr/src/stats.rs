@@ -1,0 +1,110 @@
+//! Cohort statistics in the shape of the paper's Table I.
+
+use crate::features::NUM_FEATURES;
+use crate::synth::{Cohort, Patient};
+
+/// The rows of Table I for one cohort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortStats {
+    /// Cohort display name.
+    pub name: String,
+    /// Number of admissions.
+    pub admissions: usize,
+    /// Patients who left the hospital alive.
+    pub survivors: usize,
+    /// Patients who died in hospital.
+    pub non_survivors: usize,
+    /// Admissions with length of stay ≤ 7 days.
+    pub los_le7: usize,
+    /// Admissions with length of stay > 7 days.
+    pub los_gt7: usize,
+    /// Mean number of observed records per admission.
+    pub avg_records_per_patient: f32,
+    /// Number of medical features (always 37 here).
+    pub num_features: usize,
+    /// Fraction of (hour, feature) slots with no record, before imputation.
+    pub missing_rate: f32,
+}
+
+/// Computes Table I's statistics for a cohort.
+pub fn cohort_stats(cohort: &Cohort) -> CohortStats {
+    let n = cohort.len();
+    let non_survivors = cohort.patients.iter().filter(|p| p.mortality).count();
+    let los_gt7 = cohort.patients.iter().filter(|p| p.los_gt7).count();
+    let records: usize = cohort.patients.iter().map(Patient::num_records).sum();
+    let slots = n * cohort.t_len() * NUM_FEATURES;
+    CohortStats {
+        name: cohort.config.name.clone(),
+        admissions: n,
+        survivors: n - non_survivors,
+        non_survivors,
+        los_le7: n - los_gt7,
+        los_gt7,
+        avg_records_per_patient: records as f32 / n as f32,
+        num_features: NUM_FEATURES,
+        missing_rate: 1.0 - records as f32 / slots as f32,
+    }
+}
+
+impl std::fmt::Display for CohortStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cohort: {}", self.name)?;
+        writeln!(
+            f,
+            "  # of admissions                    {}",
+            self.admissions
+        )?;
+        writeln!(
+            f,
+            "  survivor : non-survivor            {} : {}",
+            self.survivors, self.non_survivors
+        )?;
+        writeln!(
+            f,
+            "  LOS<=7 : LOS>7                     {} : {}",
+            self.los_le7, self.los_gt7
+        )?;
+        writeln!(
+            f,
+            "  avg. # of records per patient      {:.2}",
+            self.avg_records_per_patient
+        )?;
+        writeln!(
+            f,
+            "  # of medical features              {}",
+            self.num_features
+        )?;
+        write!(
+            f,
+            "  missing rate (without imputation)  {:.2}%",
+            self.missing_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::CohortConfig;
+
+    #[test]
+    fn stats_add_up() {
+        let cohort = Cohort::generate(CohortConfig::small(120, 3));
+        let s = cohort_stats(&cohort);
+        assert_eq!(s.admissions, 120);
+        assert_eq!(s.survivors + s.non_survivors, 120);
+        assert_eq!(s.los_le7 + s.los_gt7, 120);
+        assert_eq!(s.num_features, 37);
+        assert!((0.0..1.0).contains(&s.missing_rate));
+        assert!(s.avg_records_per_patient > 0.0);
+    }
+
+    #[test]
+    fn display_contains_table1_rows() {
+        let cohort = Cohort::generate(CohortConfig::small(60, 4));
+        let text = cohort_stats(&cohort).to_string();
+        assert!(text.contains("# of admissions"));
+        assert!(text.contains("missing rate"));
+        assert!(text.contains("survivor : non-survivor"));
+    }
+}

@@ -1,0 +1,488 @@
+//! The cohort generator: archetypes + latent severity → raw EMR grids with
+//! informative missingness and calibrated outcome labels.
+
+use crate::archetype::{Archetype, ARCHETYPES};
+use crate::features::{FeatureKind, FEATURES, NUM_FEATURES};
+use crate::severity::{outcome_score, severity_curve, summarize, SeverityParams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration of one synthetic cohort.
+#[derive(Debug, Clone)]
+pub struct CohortConfig {
+    /// Display name (e.g. `"physionet2012-like"`).
+    pub name: String,
+    /// Number of admissions to simulate.
+    pub n_patients: usize,
+    /// Hours per stay (the paper uses the first 48h of each admission).
+    pub t_len: usize,
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Mixing weights over [`ARCHETYPES`] (need not be normalized).
+    pub archetype_weights: [f32; 8],
+    /// Marginal in-hospital mortality rate to calibrate labels to.
+    pub target_mortality: f32,
+    /// Marginal P(length-of-stay > 7 days) to calibrate labels to.
+    pub target_los_gt7: f32,
+}
+
+impl CohortConfig {
+    /// A small cohort for tests and examples.
+    pub fn small(n_patients: usize, seed: u64) -> Self {
+        CohortConfig {
+            name: format!("small-{n_patients}"),
+            n_patients,
+            t_len: 48,
+            seed,
+            archetype_weights: [0.42, 0.08, 0.08, 0.08, 0.12, 0.08, 0.07, 0.07],
+            target_mortality: 0.142,
+            target_los_gt7: 0.55,
+        }
+    }
+}
+
+/// One simulated admission.
+#[derive(Debug, Clone)]
+pub struct Patient {
+    /// Index within the cohort.
+    pub id: usize,
+    /// The generating archetype (ground truth; not visible to models).
+    pub archetype: Archetype,
+    /// Raw feature grid, row-major `(t_len, NUM_FEATURES)`, `NaN` = missing.
+    pub values: Vec<f32>,
+    /// The latent severity curve (ground truth; used by tests and the
+    /// interpretability case studies, never by models).
+    pub severity: Vec<f32>,
+    /// In-hospital mortality label.
+    pub mortality: bool,
+    /// Length-of-stay > 7 days label.
+    pub los_gt7: bool,
+    /// Simulated length of stay in days.
+    pub los_days: f32,
+}
+
+impl Patient {
+    /// Raw (possibly missing) value at `(hour, feature)`.
+    pub fn value(&self, t: usize, f: usize) -> f32 {
+        self.values[t * NUM_FEATURES + f]
+    }
+
+    /// True when `(hour, feature)` was observed.
+    pub fn observed(&self, t: usize, f: usize) -> bool {
+        !self.value(t, f).is_nan()
+    }
+
+    /// Number of observed records in the stay.
+    pub fn num_records(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_nan()).count()
+    }
+
+    /// True when the feature was never observed during this stay
+    /// (the paper's type-(iii) missingness, embedded via `V^m`).
+    pub fn never_observed(&self, f: usize) -> bool {
+        let t_len = self.values.len() / NUM_FEATURES;
+        (0..t_len).all(|t| !self.observed(t, f))
+    }
+}
+
+/// A generated cohort.
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    /// The generating configuration.
+    pub config: CohortConfig,
+    /// All simulated admissions.
+    pub patients: Vec<Patient>,
+}
+
+impl Cohort {
+    /// Simulates a cohort. Labels are calibrated so the marginal mortality
+    /// and LOS rates match the configured targets (the calibration mirrors
+    /// Table I's class ratios).
+    ///
+    /// ```
+    /// use elda_emr::{Cohort, CohortConfig};
+    /// let cohort = Cohort::generate(CohortConfig::small(50, 7));
+    /// assert_eq!(cohort.len(), 50);
+    /// assert_eq!(cohort.t_len(), 48);
+    /// ```
+    pub fn generate(config: CohortConfig) -> Cohort {
+        assert!(
+            config.n_patients >= 10,
+            "cohort too small to calibrate labels"
+        );
+        assert!(config.t_len >= 4, "stay too short");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut drafts: Vec<PatientDraft> = (0..config.n_patients)
+            .map(|id| PatientDraft::simulate(id, &config, &mut rng))
+            .collect();
+
+        // Calibrate label thresholds by empirical quantiles so the marginal
+        // rates match the targets regardless of archetype mix.
+        let mort_thr = quantile(
+            drafts.iter().map(|d| d.mortality_score).collect(),
+            1.0 - config.target_mortality,
+        );
+        let los_thr = quantile(
+            drafts.iter().map(|d| d.los_score).collect(),
+            1.0 - config.target_los_gt7,
+        );
+
+        let patients = drafts
+            .drain(..)
+            .map(|d| d.finalize(mort_thr, los_thr))
+            .collect();
+        Cohort { config, patients }
+    }
+
+    /// Hours per stay.
+    pub fn t_len(&self) -> usize {
+        self.config.t_len
+    }
+
+    /// Number of admissions.
+    pub fn len(&self) -> usize {
+        self.patients.len()
+    }
+
+    /// True for an empty cohort (never produced by [`Cohort::generate`]).
+    pub fn is_empty(&self) -> bool {
+        self.patients.is_empty()
+    }
+}
+
+/// A patient before label thresholding.
+struct PatientDraft {
+    id: usize,
+    archetype: Archetype,
+    values: Vec<f32>,
+    severity: Vec<f32>,
+    mortality_score: f32,
+    los_score: f32,
+}
+
+impl PatientDraft {
+    fn simulate(id: usize, config: &CohortConfig, rng: &mut StdRng) -> PatientDraft {
+        let archetype = sample_archetype(&config.archetype_weights, rng);
+        let params = sample_severity_params(archetype, config.t_len, rng);
+        let severity = severity_curve(&params, config.t_len, rng);
+        let values = render_features(archetype, &severity, config.t_len, rng);
+        let summary = summarize(&severity);
+        // Label noise sets the Bayes-error floor: without it every model
+        // saturates near AUC 1.0 on synthetic data and the ordering the
+        // paper reports dissolves into ceiling effects.
+        let mortality_score = outcome_score(&summary, archetype.lethality()) + 0.40 * gauss(rng);
+        let los_score = summary.mean + 0.3 * summary.peak + 0.25 * gauss(rng);
+        PatientDraft {
+            id,
+            archetype,
+            values,
+            severity,
+            mortality_score,
+            los_score,
+        }
+    }
+
+    fn finalize(self, mort_thr: f32, los_thr: f32) -> Patient {
+        let mortality = self.mortality_score > mort_thr;
+        let los_gt7 = self.los_score > los_thr;
+        let los_days = (7.0 + 14.0 * (self.los_score - los_thr)).clamp(0.5, 60.0);
+        Patient {
+            id: self.id,
+            archetype: self.archetype,
+            values: self.values,
+            severity: self.severity,
+            mortality,
+            los_gt7,
+            los_days,
+        }
+    }
+}
+
+fn sample_archetype(weights: &[f32; 8], rng: &mut StdRng) -> Archetype {
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "archetype weights must not all be zero");
+    let mut draw = rng.gen::<f32>() * total;
+    for (a, &w) in ARCHETYPES.iter().zip(weights) {
+        if draw < w {
+            return *a;
+        }
+        draw -= w;
+    }
+    *ARCHETYPES.last().unwrap()
+}
+
+fn sample_severity_params(archetype: Archetype, t_len: usize, rng: &mut StdRng) -> SeverityParams {
+    if archetype == Archetype::Stable {
+        return SeverityParams::quiet();
+    }
+    let onset = rng.gen_range(2..(t_len / 2).max(3));
+    // Sicker archetypes are treated successfully less often.
+    let treat_prob = 1.0 - 0.25 * archetype.lethality();
+    let treated = rng.gen::<f32>() < treat_prob;
+    SeverityParams {
+        onset,
+        rise_rate: rng.gen_range(0.06..0.16),
+        treatment_at: treated.then(|| (onset + rng.gen_range(8..22)).min(t_len - 1)),
+        recovery_rate: rng.gen_range(0.05..0.13),
+        volatility: 0.02,
+        peak_cap: rng.gen_range(0.65..1.1),
+    }
+}
+
+/// Global observation-rate multiplier, tuned so the default cohorts land
+/// on Table I's ~360 records/patient and ~80% missing rate.
+const RATE_CALIBRATION: f32 = 0.88;
+
+/// Renders the feature grid from the severity curve: per-feature personal
+/// baseline + archetype effect × severity + AR(1) noise, then informative
+/// subsampling.
+fn render_features(
+    archetype: Archetype,
+    severity: &[f32],
+    t_len: usize,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    let effects = archetype.effects();
+    let mut grid = vec![f32::NAN; t_len * NUM_FEATURES];
+    for (f, def) in FEATURES.iter().enumerate() {
+        // Some clinically irrelevant features are simply never ordered for
+        // this patient: the paper's type-(iii) missingness. Irrelevant labs
+        // are dropped more often than vitals.
+        let irrelevant = effects[f] == 0.0;
+        let drop_prob = match def.kind {
+            FeatureKind::Vital => 0.01,
+            FeatureKind::Lab => {
+                if irrelevant {
+                    0.22
+                } else {
+                    0.02
+                }
+            }
+            FeatureKind::Occasional => {
+                if irrelevant {
+                    0.55
+                } else {
+                    0.25
+                }
+            }
+        };
+        if rng.gen::<f32>() < drop_prob {
+            continue; // never observed
+        }
+
+        let personal = 0.35 * gauss(rng); // stable per-patient offset (in stds)
+        let mut ar = 0.0f32; // AR(1) measurement/physiology noise
+        for (t, &s) in severity.iter().enumerate() {
+            ar = 0.7 * ar + 0.15 * gauss(rng);
+            let z = personal + effects[f] * s + ar;
+            let natural = (def.mean + def.std * z).clamp(def.min, def.max);
+
+            // Informative sampling: higher severity and a locally abnormal
+            // value both raise the chance this hour gets a record; the
+            // first two hours get an admission-workup boost.
+            let abnormality = if effects[f] != 0.0 {
+                (effects[f] * s).abs()
+            } else {
+                0.0
+            };
+            let admission_boost = if t < 2 { 2.0 } else { 1.0 };
+            let p = (RATE_CALIBRATION
+                * def.base_rate
+                * admission_boost
+                * (1.0 + 0.9 * s + 0.3 * abnormality))
+                .min(0.95);
+            if rng.gen::<f32>() < p {
+                grid[t * NUM_FEATURES + f] = natural;
+            }
+        }
+    }
+    grid
+}
+
+/// Empirical quantile by sorting (q in `[0,1]`; 1.0 → max).
+fn quantile(mut values: Vec<f32>, q: f32) -> f32 {
+    assert!(!values.is_empty());
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    let idx = ((values.len() as f32 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    values[idx]
+}
+
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::feature_by_name;
+
+    fn cohort() -> Cohort {
+        Cohort::generate(CohortConfig::small(400, 7))
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        // NaN markers make Vec<f32> equality useless; compare bit patterns.
+        let bits = |p: &Patient| p.values.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        let a = Cohort::generate(CohortConfig::small(50, 3));
+        let b = Cohort::generate(CohortConfig::small(50, 3));
+        assert_eq!(bits(&a.patients[17]), bits(&b.patients[17]));
+        assert_eq!(a.patients[17].mortality, b.patients[17].mortality);
+        let c = Cohort::generate(CohortConfig::small(50, 4));
+        assert_ne!(bits(&a.patients[17]), bits(&c.patients[17]));
+    }
+
+    #[test]
+    fn mortality_rate_matches_target() {
+        let c = cohort();
+        let rate = c.patients.iter().filter(|p| p.mortality).count() as f32 / c.len() as f32;
+        assert!((rate - 0.142).abs() < 0.02, "mortality rate {rate}");
+    }
+
+    #[test]
+    fn los_rate_matches_target() {
+        let c = cohort();
+        let rate = c.patients.iter().filter(|p| p.los_gt7).count() as f32 / c.len() as f32;
+        assert!((rate - 0.55).abs() < 0.03, "LOS rate {rate}");
+    }
+
+    #[test]
+    fn missing_rate_near_80_percent() {
+        let c = cohort();
+        let total_slots = c.len() * c.t_len() * NUM_FEATURES;
+        let observed: usize = c.patients.iter().map(Patient::num_records).sum();
+        let missing = 1.0 - observed as f32 / total_slots as f32;
+        assert!((0.74..=0.86).contains(&missing), "missing rate {missing}");
+    }
+
+    #[test]
+    fn records_per_patient_near_table1() {
+        let c = cohort();
+        let avg =
+            c.patients.iter().map(Patient::num_records).sum::<usize>() as f32 / c.len() as f32;
+        // Table I: 359.19 (PhysioNet2012), 346.05 (MIMIC-III)
+        assert!((250.0..=470.0).contains(&avg), "avg records {avg}");
+    }
+
+    #[test]
+    fn values_respect_physiological_bounds() {
+        let c = Cohort::generate(CohortConfig::small(50, 9));
+        for p in &c.patients {
+            for t in 0..c.t_len() {
+                for (f, def) in FEATURES.iter().enumerate() {
+                    let v = p.value(t, f);
+                    if !v.is_nan() {
+                        assert!(
+                            (def.min..=def.max).contains(&v),
+                            "{} = {v} outside [{}, {}]",
+                            def.name,
+                            def.min,
+                            def.max
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dla_patients_show_the_paper_pattern() {
+        // Among DLA patients, observed glucose and lactate should run high
+        // and pH low relative to population means, during the acute phase.
+        let c = Cohort::generate(CohortConfig {
+            archetype_weights: [0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            ..CohortConfig::small(60, 11)
+        });
+        let glu = feature_by_name("Glucose").unwrap();
+        let lac = feature_by_name("Lactate").unwrap();
+        let ph = feature_by_name("pH").unwrap();
+        let (mut g_sum, mut g_n) = (0.0, 0);
+        let (mut l_sum, mut l_n) = (0.0, 0);
+        let (mut p_sum, mut p_n) = (0.0, 0);
+        for p in &c.patients {
+            for t in 0..c.t_len() {
+                if p.severity[t] > 0.5 {
+                    for (fid, sum, n) in [
+                        (glu, &mut g_sum, &mut g_n),
+                        (lac, &mut l_sum, &mut l_n),
+                        (ph, &mut p_sum, &mut p_n),
+                    ] {
+                        let v = p.value(t, fid);
+                        if !v.is_nan() {
+                            *sum += v;
+                            *n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            g_n > 10 && l_n > 10 && p_n > 10,
+            "not enough acute observations"
+        );
+        let (g_avg, l_avg, p_avg) = (g_sum / g_n as f32, l_sum / l_n as f32, p_sum / p_n as f32);
+        assert!(g_avg > 180.0, "glucose {g_avg}");
+        assert!(l_avg > 3.0, "lactate {l_avg}");
+        assert!(p_avg < 7.32, "pH {p_avg}");
+    }
+
+    #[test]
+    fn sicker_patients_are_sampled_more_densely() {
+        let c = cohort();
+        let mut dense_sick = Vec::new();
+        let mut dense_well = Vec::new();
+        for p in &c.patients {
+            let mean_sev = p.severity.iter().sum::<f32>() / p.severity.len() as f32;
+            let density = p.num_records() as f32;
+            if mean_sev > 0.4 {
+                dense_sick.push(density);
+            } else if mean_sev < 0.15 {
+                dense_well.push(density);
+            }
+        }
+        assert!(dense_sick.len() > 5 && dense_well.len() > 5);
+        let sick = dense_sick.iter().sum::<f32>() / dense_sick.len() as f32;
+        let well = dense_well.iter().sum::<f32>() / dense_well.len() as f32;
+        assert!(sick > well * 1.15, "sick {sick} vs well {well}");
+    }
+
+    #[test]
+    fn labels_correlate_with_severity() {
+        let c = cohort();
+        let mean_sev = |p: &Patient| p.severity.iter().sum::<f32>() / p.severity.len() as f32;
+        let died: Vec<f32> = c
+            .patients
+            .iter()
+            .filter(|p| p.mortality)
+            .map(mean_sev)
+            .collect();
+        let lived: Vec<f32> = c
+            .patients
+            .iter()
+            .filter(|p| !p.mortality)
+            .map(mean_sev)
+            .collect();
+        let d = died.iter().sum::<f32>() / died.len() as f32;
+        let l = lived.iter().sum::<f32>() / lived.len() as f32;
+        assert!(d > l + 0.05, "died {d} vs lived {l}");
+    }
+
+    #[test]
+    fn never_observed_features_exist_and_vary() {
+        let c = cohort();
+        let any_never = c
+            .patients
+            .iter()
+            .any(|p| (0..NUM_FEATURES).any(|f| p.never_observed(f)));
+        assert!(any_never, "type-(iii) missingness should occur");
+        // Cholesterol (occasional, usually irrelevant) should be never-observed
+        // for a sizable share of patients.
+        let chol = feature_by_name("Cholesterol").unwrap();
+        let frac =
+            c.patients.iter().filter(|p| p.never_observed(chol)).count() as f32 / c.len() as f32;
+        assert!(frac > 0.3, "cholesterol never-observed fraction {frac}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the EMR substrate: generator invariants that must
+//! hold for arbitrary configurations, and pipeline invariants for
+//! arbitrary patients.
+
+use elda_emr::io::{parse_record, write_record};
+use elda_emr::{Cohort, CohortConfig, Pipeline, NUM_FEATURES};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = CohortConfig> {
+    (
+        10usize..40,  // patients
+        6usize..20,   // t_len
+        0u64..1000,   // seed
+        0.05f32..0.3, // mortality target
+        0.3f32..0.7,  // los target
+    )
+        .prop_map(|(n, t, seed, mort, los)| {
+            let mut c = CohortConfig::small(n, seed);
+            c.t_len = t;
+            c.target_mortality = mort;
+            c.target_los_gt7 = los;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cohorts_respect_structural_invariants(config in any_config()) {
+        let t_len = config.t_len;
+        let n = config.n_patients;
+        let cohort = Cohort::generate(config);
+        prop_assert_eq!(cohort.len(), n);
+        for p in &cohort.patients {
+            prop_assert_eq!(p.values.len(), t_len * NUM_FEATURES);
+            prop_assert_eq!(p.severity.len(), t_len);
+            prop_assert!(p.severity.iter().all(|&s| (0.0..=1.2).contains(&s)));
+            prop_assert!(p.los_days > 0.0);
+            // labels consistent with each other
+            prop_assert_eq!(p.los_gt7, p.los_days > 7.0 || (p.los_days - 7.0).abs() < 1e-4 && p.los_gt7);
+        }
+    }
+
+    #[test]
+    fn pipeline_output_is_always_finite_and_clipped(config in any_config()) {
+        let t_len = config.t_len;
+        let cohort = Cohort::generate(config);
+        let idx: Vec<usize> = (0..cohort.len()).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        for p in &cohort.patients {
+            let s = pipe.process(p);
+            prop_assert!(s.x.iter().all(|v| v.is_finite()));
+            prop_assert!(s.x.iter().all(|&v| (-3.0..=3.0).contains(&v)));
+            prop_assert!(s.mask.iter().all(|&m| m == 0.0 || m == 1.0));
+            prop_assert!(s.delta.iter().all(|&d| (0.0..=1.0).contains(&d)));
+            // never flag ⟺ no observation of that feature
+            for f in 0..NUM_FEATURES {
+                let observed_any = (0..t_len).any(|t| s.mask[t * NUM_FEATURES + f] == 1.0);
+                prop_assert_eq!(s.never[f] == 0.0, observed_any, "feature {}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_count_equals_record_count(config in any_config()) {
+        let cohort = Cohort::generate(config);
+        let idx: Vec<usize> = (0..cohort.len()).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        for p in cohort.patients.iter().take(5) {
+            let s = pipe.process(p);
+            let mask_count = s.mask.iter().filter(|&&m| m == 1.0).count();
+            prop_assert_eq!(mask_count, p.num_records());
+        }
+    }
+
+    #[test]
+    fn physionet_io_roundtrip_is_lossless_on_structure(config in any_config()) {
+        let t_len = config.t_len;
+        let cohort = Cohort::generate(config);
+        let p = &cohort.patients[0];
+        let text = write_record(p, t_len);
+        let grid = parse_record("prop", &text, t_len).unwrap();
+        let observed_before = p.num_records();
+        let observed_after = grid.iter().filter(|v| !v.is_nan()).count();
+        prop_assert_eq!(observed_before, observed_after);
+    }
+
+    #[test]
+    fn standardize_is_monotone_per_feature(
+        f in 0usize..NUM_FEATURES,
+        lo in -100.0f32..100.0,
+        delta in 0.01f32..50.0,
+    ) {
+        let cohort = Cohort::generate(CohortConfig::small(20, 1));
+        let idx: Vec<usize> = (0..20).collect();
+        let pipe = Pipeline::fit(&cohort, &idx);
+        let a = pipe.standardize(f, lo);
+        let b = pipe.standardize(f, lo + delta);
+        prop_assert!(b >= a, "standardization must be monotone (clipping may flatten)");
+    }
+}

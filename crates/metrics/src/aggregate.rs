@@ -1,0 +1,141 @@
+//! Aggregation across runs: mean±std over seeds (the paper reports 5 runs
+//! per model) and bootstrap confidence intervals over samples.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Mean and (sample) standard deviation of a set of runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Sample standard deviation (n−1 denominator); 0 for a single run.
+    pub std: f32,
+    /// Number of runs aggregated.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Aggregates a slice of per-run values.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(values: &[f32]) -> Self {
+        assert!(!values.is_empty(), "aggregating zero runs");
+        let n = values.len();
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            let ss: f64 = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        MeanStd {
+            mean: mean as f32,
+            std: std as f32,
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}±{:.4}", self.mean, self.std)
+    }
+}
+
+/// Percentile-bootstrap confidence interval of a metric over paired
+/// `(scores, labels)` samples.
+///
+/// `metric` is re-evaluated on `n_resamples` resampled-with-replacement
+/// copies; returns `(lo, hi)` at the given two-sided confidence level.
+pub fn bootstrap_ci(
+    scores: &[f32],
+    labels: &[f32],
+    metric: &dyn Fn(&[f32], &[f32]) -> f32,
+    n_resamples: usize,
+    confidence: f32,
+    seed: u64,
+) -> (f32, f32) {
+    assert_eq!(scores.len(), labels.len());
+    assert!(!scores.is_empty());
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let n = scores.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut s_buf = vec![0.0f32; n];
+    let mut l_buf = vec![0.0f32; n];
+    for _ in 0..n_resamples {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            s_buf[i] = scores[j];
+            l_buf[i] = labels[j];
+        }
+        // Degenerate resamples (single class) are skipped — AUC undefined.
+        if l_buf.iter().all(|&y| y == 1.0) || l_buf.iter().all(|&y| y == 0.0) {
+            continue;
+        }
+        stats.push(metric(&s_buf, &l_buf));
+    }
+    assert!(!stats.is_empty(), "all bootstrap resamples were degenerate");
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN metric"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((stats.len() as f32) * alpha) as usize;
+    let hi_idx = (((stats.len() as f32) * (1.0 - alpha)) as usize).min(stats.len() - 1);
+    (stats[lo_idx], stats[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auc::auc_roc;
+
+    #[test]
+    fn mean_std_basics() {
+        let m = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.mean, 2.0);
+        assert!((m.std - 1.0).abs() < 1e-6);
+        assert_eq!(m.n, 3);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let m = MeanStd::of(&[5.0]);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn display_formats_pm() {
+        assert_eq!(MeanStd::of(&[0.5, 0.5]).to_string(), "0.5000±0.0000");
+    }
+
+    #[test]
+    fn bootstrap_brackets_point_estimate() {
+        // A well-separated sample: point AUC is high, CI near 1.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            scores.push(0.8 + (i as f32) * 0.001);
+            labels.push(1.0);
+            scores.push(0.2 - (i as f32) * 0.001);
+            labels.push(0.0);
+        }
+        let point = auc_roc(&scores, &labels);
+        let (lo, hi) = bootstrap_ci(&scores, &labels, &auc_roc, 200, 0.95, 7);
+        assert!(lo <= point && point <= hi, "{lo} <= {point} <= {hi}");
+        assert!(lo > 0.9);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let scores = [0.9, 0.7, 0.4, 0.2, 0.6, 0.3];
+        let labels = [1.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+        let a = bootstrap_ci(&scores, &labels, &auc_roc, 100, 0.9, 42);
+        let b = bootstrap_ci(&scores, &labels, &auc_roc, 100, 0.9, 42);
+        assert_eq!(a, b);
+    }
+}

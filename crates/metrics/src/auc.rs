@@ -1,0 +1,234 @@
+//! Area-under-curve metrics: ROC (rank-based, tie-aware) and PR
+//! (Davis–Goadrich step interpolation).
+
+use crate::validate_inputs;
+
+/// AUC-ROC computed via the Mann–Whitney U statistic with midranks, so tied
+/// scores contribute 0.5 — identical to scikit-learn's `roc_auc_score`.
+///
+/// # Panics
+/// Panics when inputs are invalid or only one class is present.
+pub fn auc_roc(scores: &[f32], labels: &[f32]) -> f32 {
+    validate_inputs(scores, labels);
+    let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "AUC-ROC needs both classes present");
+
+    // Sort indices by score ascending, then assign midranks over tie groups.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // ranks are 1-based: positions i..=j share midrank
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] == 1.0 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    (u / (n_pos as f64 * n_neg as f64)) as f32
+}
+
+/// One point on the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f32,
+    /// True-positive rate (recall).
+    pub tpr: f32,
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+}
+
+/// The ROC curve swept over all distinct thresholds, from the strictest
+/// (predict nothing positive) to the loosest.
+pub fn roc_curve(scores: &[f32], labels: &[f32]) -> Vec<RocPoint> {
+    validate_inputs(scores, labels);
+    let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
+    let n_neg = labels.len() - n_pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut curve = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f32::INFINITY,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] == 1.0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            fpr: fp as f32 / n_neg.max(1) as f32,
+            tpr: tp as f32 / n_pos.max(1) as f32,
+            threshold,
+        });
+    }
+    curve
+}
+
+/// One point on the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall (true-positive rate).
+    pub recall: f32,
+    /// Precision.
+    pub precision: f32,
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+}
+
+/// The PR curve swept over all distinct thresholds, highest first.
+pub fn pr_curve(scores: &[f32], labels: &[f32]) -> Vec<PrPoint> {
+    validate_inputs(scores, labels);
+    let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
+    assert!(n_pos > 0, "PR curve needs at least one positive");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut curve = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] == 1.0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(PrPoint {
+            recall: tp as f32 / n_pos as f32,
+            precision: tp as f32 / (tp + fp) as f32,
+            threshold,
+        });
+    }
+    curve
+}
+
+/// AUC-PR by the average-precision formulation
+/// `AP = Σ (R_k − R_{k−1}) · P_k`, matching scikit-learn's
+/// `average_precision_score` (no linear interpolation, which would be
+/// optimistic — Davis & Goadrich 2006).
+pub fn auc_pr(scores: &[f32], labels: &[f32]) -> f32 {
+    let curve = pr_curve(scores, labels);
+    let mut ap = 0.0f64;
+    let mut prev_recall = 0.0f64;
+    for p in &curve {
+        ap += (p.recall as f64 - prev_recall) * p.precision as f64;
+        prev_recall = p.recall as f64;
+    }
+    ap as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_unit_aucs() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc_roc(&scores, &labels), 1.0);
+        assert_eq!(auc_pr(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_roc() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc_roc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn constant_scores_give_half_roc() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(auc_roc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn random_like_mixture_is_middling() {
+        let scores = [0.6, 0.4, 0.55, 0.45];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let auc = auc_roc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.26, "auc {auc}");
+    }
+
+    #[test]
+    fn auc_pr_baseline_is_prevalence_for_constant_scores() {
+        // With one tie group, AP = precision at full recall = prevalence.
+        let scores = [0.5; 10];
+        let mut labels = [0.0; 10];
+        labels[0] = 1.0;
+        labels[1] = 1.0;
+        let ap = auc_pr(&scores, &labels);
+        assert!((ap - 0.2).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn known_sklearn_case_roc() {
+        // sklearn: roc_auc_score([0,0,1,1], [0.1,0.4,0.35,0.8]) = 0.75
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc_roc(&scores, &labels) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_sklearn_case_ap() {
+        // sklearn: average_precision_score([0,0,1,1], [0.1,0.4,0.35,0.8]) = 0.8333...
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc_pr(&scores, &labels) - 0.8333333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ties_are_midranked() {
+        // one positive tied with one negative at 0.5, plus clear extremes
+        let scores = [0.9, 0.5, 0.5, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        // pairs: (0.9 vs 0.5)=1, (0.9 vs 0.1)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.1)=1 → 3.5/4
+        assert!((auc_roc(&scores, &labels) - 0.875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let curve = roc_curve(&scores, &labels);
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn pr_curve_final_recall_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let curve = pr_curve(&scores, &labels);
+        assert_eq!(curve.last().unwrap().recall, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_roc_panics() {
+        auc_roc(&[0.5, 0.6], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Probability-calibration diagnostics.
+
+use crate::validate_inputs;
+
+/// One equal-width calibration bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge of the bin in probability space.
+    pub lo: f32,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f32,
+    /// Number of samples that landed in the bin.
+    pub count: usize,
+    /// Mean predicted probability of those samples.
+    pub mean_pred: f32,
+    /// Empirical positive rate of those samples.
+    pub frac_pos: f32,
+}
+
+/// Partitions predictions into `n_bins` equal-width bins over `[0, 1]`.
+pub fn calibration_bins(probs: &[f32], labels: &[f32], n_bins: usize) -> Vec<CalibrationBin> {
+    validate_inputs(probs, labels);
+    assert!(n_bins > 0, "need at least one bin");
+    let mut sums = vec![(0usize, 0.0f64, 0.0f64); n_bins];
+    for (&p, &y) in probs.iter().zip(labels) {
+        let idx = ((p * n_bins as f32) as usize).min(n_bins - 1);
+        sums[idx].0 += 1;
+        sums[idx].1 += p as f64;
+        sums[idx].2 += y as f64;
+    }
+    sums.into_iter()
+        .enumerate()
+        .map(|(i, (count, psum, ysum))| CalibrationBin {
+            lo: i as f32 / n_bins as f32,
+            hi: (i + 1) as f32 / n_bins as f32,
+            count,
+            mean_pred: if count > 0 {
+                (psum / count as f64) as f32
+            } else {
+                0.0
+            },
+            frac_pos: if count > 0 {
+                (ysum / count as f64) as f32
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean of
+/// `|mean_pred − frac_pos|` across bins.
+pub fn expected_calibration_error(probs: &[f32], labels: &[f32], n_bins: usize) -> f32 {
+    let bins = calibration_bins(probs, labels, n_bins);
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    bins.iter()
+        .map(|b| b.count as f32 / total.max(1) as f32 * (b.mean_pred - b.frac_pos).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // Half the 0.5-predictions are positive.
+        let probs = [0.5, 0.5, 0.5, 0.5];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        assert!(expected_calibration_error(&probs, &labels, 10) < 1e-6);
+    }
+
+    #[test]
+    fn overconfident_predictions_have_high_ece() {
+        let probs = [0.99, 0.99, 0.99, 0.99];
+        let labels = [1.0, 0.0, 0.0, 0.0];
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece > 0.5, "ece {ece}");
+    }
+
+    #[test]
+    fn bins_partition_all_samples() {
+        let probs = [0.05, 0.55, 0.95, 1.0];
+        let labels = [0.0, 1.0, 1.0, 1.0];
+        let bins = calibration_bins(&probs, &labels, 10);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 4);
+        // p = 1.0 must land in the last bin, not overflow
+        assert_eq!(bins[9].count, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Thresholded confusion-matrix statistics.
+
+use crate::validate_inputs;
+
+/// Confusion counts and the derived rates at a fixed decision threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfusionStats {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionStats {
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        (self.tp + self.tn) as f32 / total.max(1) as f32
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f32 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f32 / denom as f32
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when there are no positives.
+    pub fn recall(&self) -> f32 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f32 / denom as f32
+        }
+    }
+
+    /// F1 score, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Specificity `tn / (tn + fp)`.
+    pub fn specificity(&self) -> f32 {
+        let denom = self.tn + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tn as f32 / denom as f32
+        }
+    }
+}
+
+/// Counts the confusion matrix for `score >= threshold ⇒ positive`.
+pub fn confusion_at(scores: &[f32], labels: &[f32], threshold: f32) -> ConfusionStats {
+    validate_inputs(scores, labels);
+    let mut stats = ConfusionStats {
+        tp: 0,
+        fp: 0,
+        tn: 0,
+        fn_: 0,
+    };
+    for (&s, &y) in scores.iter().zip(labels) {
+        match (s >= threshold, y == 1.0) {
+            (true, true) => stats.tp += 1,
+            (true, false) => stats.fp += 1,
+            (false, false) => stats.tn += 1,
+            (false, true) => stats.fn_ += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionStats {
+        confusion_at(&[0.9, 0.8, 0.4, 0.1], &[1.0, 0.0, 1.0, 0.0], 0.5)
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let s = sample();
+        assert_eq!((s.tp, s.fp, s.tn, s.fn_), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = sample();
+        assert_eq!(s.accuracy(), 0.5);
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.recall(), 0.5);
+        assert_eq!(s.f1(), 0.5);
+        assert_eq!(s.specificity(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        let s = confusion_at(&[0.3, 0.7], &[1.0, 0.0], 2.0);
+        assert_eq!(s.precision(), 0.0); // nothing predicted positive
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let s = confusion_at(&[0.5], &[1.0], 0.5);
+        assert_eq!(s.tp, 1);
+    }
+}

@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! # elda-metrics
+//!
+//! Binary-classification metrics used throughout the ELDA evaluation:
+//! BCE loss, AUC-ROC, AUC-PR, thresholded confusion statistics, calibration
+//! bins, bootstrap confidence intervals and seed-aggregation helpers.
+//!
+//! All functions take plain slices so the crate has no tensor dependency
+//! and can be reused on any model's outputs.
+
+pub mod aggregate;
+pub mod auc;
+pub mod calibration;
+pub mod confusion;
+pub mod loss;
+pub mod threshold;
+
+pub use aggregate::{bootstrap_ci, MeanStd};
+pub use auc::{auc_pr, auc_roc, pr_curve, roc_curve};
+pub use calibration::{calibration_bins, expected_calibration_error};
+pub use confusion::{confusion_at, ConfusionStats};
+pub use loss::bce_loss;
+pub use threshold::{brier_score, threshold_for_f1, threshold_for_recall, OperatingPoint};
+
+/// The triplet the paper reports in Figures 6 and 7 for every model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSummary {
+    /// Mean binary cross-entropy of the predicted probabilities.
+    pub bce: f32,
+    /// Area under the receiver-operating-characteristic curve.
+    pub auc_roc: f32,
+    /// Area under the precision-recall curve.
+    pub auc_pr: f32,
+}
+
+/// Computes the paper's three headline metrics in one pass.
+///
+/// ```
+/// let s = elda_metrics::evaluate(&[0.9, 0.2, 0.7, 0.1], &[1.0, 0.0, 1.0, 0.0]);
+/// assert_eq!(s.auc_roc, 1.0);
+/// ```
+///
+/// # Panics
+/// Panics when lengths differ, inputs are empty, or labels are not `{0,1}`.
+pub fn evaluate(probs: &[f32], labels: &[f32]) -> EvalSummary {
+    EvalSummary {
+        bce: bce_loss(probs, labels),
+        auc_roc: auc_roc(probs, labels),
+        auc_pr: auc_pr(probs, labels),
+    }
+}
+
+pub(crate) fn validate_inputs(scores: &[f32], labels: &[f32]) {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "empty evaluation inputs");
+    assert!(
+        labels.iter().all(|&y| y == 0.0 || y == 1.0),
+        "labels must be exactly 0.0 or 1.0"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_produces_all_three() {
+        let probs = [0.9, 0.1, 0.8, 0.3];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let s = evaluate(&probs, &labels);
+        assert_eq!(s.auc_roc, 1.0);
+        assert_eq!(s.auc_pr, 1.0);
+        assert!(s.bce < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        evaluate(&[0.5], &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be exactly")]
+    fn non_binary_labels_panic() {
+        evaluate(&[0.5, 0.5], &[1.0, 0.5]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Probability-space losses.
+
+use crate::validate_inputs;
+
+/// Mean binary cross-entropy of predicted probabilities against `{0,1}`
+/// labels, with probability clamping at `1e-7` (Keras' default epsilon) so
+/// confident mistakes stay finite.
+pub fn bce_loss(probs: &[f32], labels: &[f32]) -> f32 {
+    validate_inputs(probs, labels);
+    const EPS: f32 = 1e-7;
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(EPS, 1.0 - EPS) as f64;
+            -(y as f64 * p.ln() + (1.0 - y as f64) * (1.0 - p).ln())
+        })
+        .sum();
+    (total / probs.len() as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_near_zero_loss() {
+        let loss = bce_loss(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(loss < 2e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_predictions_give_ln2() {
+        let loss = bce_loss(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_mistake_is_large_but_finite() {
+        let loss = bce_loss(&[0.0], &[1.0]);
+        assert!(loss.is_finite());
+        assert!(loss > 10.0);
+    }
+
+    #[test]
+    fn loss_is_order_invariant() {
+        let a = bce_loss(&[0.9, 0.2, 0.7], &[1.0, 0.0, 1.0]);
+        let b = bce_loss(&[0.7, 0.9, 0.2], &[1.0, 1.0, 0.0]);
+        assert!((a - b).abs() < 1e-7);
+    }
+}

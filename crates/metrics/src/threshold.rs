@@ -1,0 +1,133 @@
+//! Decision-threshold selection for the alerting functionality (paper
+//! §III: "if the prediction exceeds a predefined threshold, ELDA can
+//! trigger timely alerts"). These utilities pick that threshold from
+//! validation data under clinical constraints.
+
+use crate::confusion::confusion_at;
+use crate::validate_inputs;
+
+/// The threshold (and achieved operating point) chosen by a tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// The selected decision threshold.
+    pub threshold: f32,
+    /// Precision at that threshold.
+    pub precision: f32,
+    /// Recall (sensitivity) at that threshold.
+    pub recall: f32,
+    /// F1 at that threshold.
+    pub f1: f32,
+}
+
+fn candidate_thresholds(scores: &[f32]) -> Vec<f32> {
+    let mut t: Vec<f32> = scores.to_vec();
+    t.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    t.dedup();
+    t
+}
+
+fn point_at(scores: &[f32], labels: &[f32], threshold: f32) -> OperatingPoint {
+    let c = confusion_at(scores, labels, threshold);
+    OperatingPoint {
+        threshold,
+        precision: c.precision(),
+        recall: c.recall(),
+        f1: c.f1(),
+    }
+}
+
+/// The highest threshold whose recall is still at least `min_recall` —
+/// "catch at least this fraction of deteriorating patients" while keeping
+/// the alert rate (and hence false positives) as low as the target allows.
+///
+/// Returns `None` when no threshold reaches the recall target — which
+/// happens when the data contains no positive labels (recall is then 0
+/// everywhere) and `min_recall > 0`.
+pub fn threshold_for_recall(
+    scores: &[f32],
+    labels: &[f32],
+    min_recall: f32,
+) -> Option<OperatingPoint> {
+    validate_inputs(scores, labels);
+    // scan thresholds from highest to lowest; recall grows as threshold drops
+    let mut best: Option<OperatingPoint> = None;
+    for &t in candidate_thresholds(scores).iter().rev() {
+        let p = point_at(scores, labels, t);
+        if p.recall >= min_recall {
+            best = Some(p);
+            break; // highest threshold meeting the target = max precision side
+        }
+    }
+    best
+}
+
+/// The threshold maximizing F1 on the given data.
+pub fn threshold_for_f1(scores: &[f32], labels: &[f32]) -> OperatingPoint {
+    validate_inputs(scores, labels);
+    candidate_thresholds(scores)
+        .into_iter()
+        .map(|t| point_at(scores, labels, t))
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).expect("NaN f1"))
+        .expect("non-empty scores")
+}
+
+/// Brier score: mean squared error of the predicted probabilities — a
+/// strictly proper scoring rule complementing BCE.
+pub fn brier_score(probs: &[f32], labels: &[f32]) -> f32 {
+    validate_inputs(probs, labels);
+    probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let d = (p - y) as f64;
+            d * d
+        })
+        .sum::<f64>() as f32
+        / probs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f32; 8] = [0.95, 0.9, 0.8, 0.7, 0.4, 0.3, 0.2, 0.1];
+    const LABELS: [f32; 8] = [1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+
+    #[test]
+    fn recall_target_is_met() {
+        let p = threshold_for_recall(&SCORES, &LABELS, 0.75).unwrap();
+        assert!(p.recall >= 0.75, "{p:?}");
+        // threshold 0.7 catches 3/4 positives
+        assert_eq!(p.threshold, 0.7);
+    }
+
+    #[test]
+    fn full_recall_needs_lowest_positive_score() {
+        let p = threshold_for_recall(&SCORES, &LABELS, 1.0).unwrap();
+        assert_eq!(p.recall, 1.0);
+        assert_eq!(p.threshold, 0.3);
+    }
+
+    #[test]
+    fn higher_recall_targets_never_raise_threshold() {
+        let a = threshold_for_recall(&SCORES, &LABELS, 0.5).unwrap();
+        let b = threshold_for_recall(&SCORES, &LABELS, 1.0).unwrap();
+        assert!(b.threshold <= a.threshold);
+    }
+
+    #[test]
+    fn f1_threshold_beats_extremes() {
+        let best = threshold_for_f1(&SCORES, &LABELS);
+        let lo = confusion_at(&SCORES, &LABELS, 0.0).f1();
+        let hi = confusion_at(&SCORES, &LABELS, 0.99).f1();
+        assert!(best.f1 >= lo && best.f1 >= hi);
+    }
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[1.0, 0.0]), 1.0);
+        let uniform = brier_score(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((uniform - 0.25).abs() < 1e-6);
+    }
+}

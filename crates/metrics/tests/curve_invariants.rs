@@ -1,0 +1,76 @@
+//! Structural invariants of the ROC and PR curves, plus agreement between
+//! the curve integrals and the closed-form AUC implementations.
+
+use elda_metrics::auc::{pr_curve, roc_curve};
+use elda_metrics::{auc_roc, bootstrap_ci, threshold_for_recall};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 6..50).prop_map(|mut pairs| {
+        pairs[0].1 = true;
+        pairs[1].1 = false;
+        (
+            pairs.iter().map(|p| p.0).collect(),
+            pairs.iter().map(|p| if p.1 { 1.0 } else { 0.0 }).collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn roc_curve_is_monotone((scores, labels) in dataset()) {
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-6);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-6);
+            prop_assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn roc_trapezoid_integral_matches_rank_auc((scores, labels) in dataset()) {
+        let curve = roc_curve(&scores, &labels);
+        let mut area = 0.0f64;
+        for w in curve.windows(2) {
+            let dx = (w[1].fpr - w[0].fpr) as f64;
+            let avg_y = 0.5 * (w[0].tpr + w[1].tpr) as f64;
+            area += dx * avg_y;
+        }
+        let rank = auc_roc(&scores, &labels) as f64;
+        prop_assert!((area - rank).abs() < 1e-4, "trapezoid {area} vs rank {rank}");
+    }
+
+    #[test]
+    fn pr_curve_recall_is_nondecreasing((scores, labels) in dataset()) {
+        let curve = pr_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].recall >= w[0].recall - 1e-6);
+        }
+        prop_assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_precision_bounded_by_prevalence_floor((scores, labels) in dataset()) {
+        // the final point's precision equals prevalence (everything predicted positive)
+        let curve = pr_curve(&scores, &labels);
+        let prevalence = labels.iter().sum::<f32>() / labels.len() as f32;
+        let last = curve.last().unwrap();
+        prop_assert!((last.precision - prevalence).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_threshold_is_consistent_with_curve((scores, labels) in dataset()) {
+        let p = threshold_for_recall(&scores, &labels, 0.5).unwrap();
+        prop_assert!(p.recall >= 0.5);
+        // raising the threshold slightly above the chosen one must lose recall
+        // below target or keep it (ties); never gain precision for free.
+        prop_assert!((0.0..=1.0).contains(&p.precision));
+    }
+
+    #[test]
+    fn bootstrap_interval_is_ordered_and_bounded((scores, labels) in dataset()) {
+        let (lo, hi) = bootstrap_ci(&scores, &labels, &auc_roc, 50, 0.9, 11);
+        prop_assert!(lo <= hi);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+}

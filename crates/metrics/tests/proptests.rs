@@ -1,0 +1,72 @@
+//! Property tests on metric invariants.
+
+use elda_metrics::{auc_pr, auc_roc, bce_loss, confusion_at};
+use proptest::prelude::*;
+
+/// Strategy producing a non-degenerate scored dataset (both classes).
+fn dataset() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 4..60).prop_map(|mut pairs| {
+        // Force both classes to be present.
+        pairs[0].1 = true;
+        pairs[1].1 = false;
+        let scores = pairs.iter().map(|p| p.0).collect();
+        let labels = pairs.iter().map(|p| if p.1 { 1.0 } else { 0.0 }).collect();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_roc_in_unit_interval((scores, labels) in dataset()) {
+        let a = auc_roc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn auc_pr_in_unit_interval((scores, labels) in dataset()) {
+        let a = auc_pr(&scores, &labels);
+        prop_assert!((-1e-6..=1.0 + 1e-6).contains(&a));
+    }
+
+    #[test]
+    fn auc_roc_complement_symmetry((scores, labels) in dataset()) {
+        // Flipping labels and negating scores leaves AUC unchanged.
+        let flipped: Vec<f32> = labels.iter().map(|&y| 1.0 - y).collect();
+        let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        let a = auc_roc(&scores, &labels);
+        let b = auc_roc(&negated, &flipped);
+        prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn auc_roc_is_monotone_invariant((scores, labels) in dataset()) {
+        // A strictly increasing transform of the scores preserves ranks.
+        let squashed: Vec<f32> = scores.iter().map(|&s| 1.0 / (1.0 + (-4.0 * s).exp())).collect();
+        let a = auc_roc(&scores, &labels);
+        let b = auc_roc(&squashed, &labels);
+        prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn bce_is_nonnegative((scores, labels) in dataset()) {
+        prop_assert!(bce_loss(&scores, &labels) >= 0.0);
+    }
+
+    #[test]
+    fn improving_a_positive_score_never_hurts_auc((scores, labels) in dataset()) {
+        let a = auc_roc(&scores, &labels);
+        let mut improved = scores.clone();
+        let pos_idx = labels.iter().position(|&y| y == 1.0).unwrap();
+        improved[pos_idx] += 10.0;
+        let b = auc_roc(&improved, &labels);
+        prop_assert!(b + 1e-6 >= a, "{b} < {a}");
+    }
+
+    #[test]
+    fn confusion_counts_partition((scores, labels) in dataset(), thr in 0.0f32..1.0) {
+        let c = confusion_at(&scores, &labels, thr);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, scores.len());
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+    }
+}

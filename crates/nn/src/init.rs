@@ -1,0 +1,89 @@
+//! Weight initialization schemes.
+
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// How to fill a freshly registered parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// All ones.
+    Ones,
+    /// A fixed constant.
+    Constant(f32),
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f32),
+    /// Gaussian with the given standard deviation.
+    Normal(f32),
+    /// Glorot/Xavier uniform keyed to `(fan_in + fan_out)`; the default for
+    /// weight matrices throughout the workspace (matches Keras' default,
+    /// which the paper's implementation used).
+    Glorot,
+}
+
+impl Init {
+    /// Materializes a tensor of shape `dims`.
+    pub fn build(self, dims: &[usize], rng: &mut (impl Rng + ?Sized)) -> Tensor {
+        match self {
+            Init::Zeros => Tensor::zeros(dims),
+            Init::Ones => Tensor::ones(dims),
+            Init::Constant(c) => Tensor::full(dims, c),
+            Init::Uniform(limit) => Tensor::rand_uniform(dims, -limit, limit, rng),
+            Init::Normal(std) => Tensor::rand_normal(dims, 0.0, std, rng),
+            Init::Glorot => {
+                if dims.len() >= 2 {
+                    Tensor::glorot_uniform(dims, rng)
+                } else {
+                    // Vectors have no meaningful fan pair; fall back to a
+                    // small uniform keyed to length.
+                    let limit = (3.0 / dims[0] as f32).sqrt();
+                    Tensor::rand_uniform(dims, -limit, limit, rng)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Init::Zeros
+            .build(&[3], &mut rng)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(Init::Ones
+            .build(&[3], &mut rng)
+            .data()
+            .iter()
+            .all(|&v| v == 1.0));
+        assert!(Init::Constant(2.5)
+            .build(&[3], &mut rng)
+            .data()
+            .iter()
+            .all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn glorot_vector_fallback_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Init::Glorot.build(&[12], &mut rng);
+        let limit = (3.0f32 / 12.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn normal_std_scales_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Init::Normal(0.01).build(&[1000], &mut rng);
+        let var = t.square().mean_all();
+        assert!(var < 0.001, "variance {var} too large for std 0.01");
+    }
+}

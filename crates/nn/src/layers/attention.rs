@@ -1,0 +1,120 @@
+//! Attention helpers shared by the baselines (Dipole, SAnD, ConCare).
+//!
+//! Each helper records ops on the caller's tape and returns both the pooled
+//! context and the attention weights so models can expose interpretability.
+
+use elda_autodiff::{Tape, Var};
+
+/// Scaled dot-product attention pooling of a sequence with one query.
+///
+/// * `keys`: `(B, T, H)` — also used as values.
+/// * `query`: `(B, H)`.
+///
+/// Returns `(context (B, H), weights (B, T))` with
+/// `weights = softmax(keys · query / sqrt(H))`.
+pub fn dot_attention_pool(tape: &mut Tape, keys: Var, query: Var) -> (Var, Var) {
+    let kd = tape.shape(keys).to_vec();
+    assert_eq!(kd.len(), 3, "keys must be (B,T,H), got {kd:?}");
+    let (b, t, h) = (kd[0], kd[1], kd[2]);
+    assert_eq!(tape.shape(query), &[b, h], "query must be (B,H)");
+    // scores (B,T,1) = keys (B,T,H) @ query (B,H,1)
+    let q3 = tape.reshape(query, &[b, h, 1]);
+    let scores = tape.matmul_batched(keys, q3);
+    let scores = tape.scale(scores, 1.0 / (h as f32).sqrt());
+    let scores2 = tape.reshape(scores, &[b, t]);
+    let weights = tape.softmax_lastdim(scores2);
+    // context (B,1,H) = weights (B,1,T) @ keys (B,T,H)
+    let w3 = tape.reshape(weights, &[b, 1, t]);
+    let ctx = tape.matmul_batched(w3, keys);
+    let ctx2 = tape.reshape(ctx, &[b, h]);
+    (ctx2, weights)
+}
+
+/// Unnormalized additive (concat) attention energies à la Bahdanau /
+/// Dipole-c: `e_t = vᵀ tanh(W [k_t ; q])`, computed for every step at once.
+///
+/// * `keys`: `(B, T, H)`; `query`: `(B, H)`.
+/// * `w`: `(2H, A)` projection var; `v`: `(A, 1)` scoring var.
+///
+/// Returns energies `(B, T)` (softmax is left to the caller, which may want
+/// to mask or truncate first).
+pub fn additive_attention_scores(tape: &mut Tape, keys: Var, query: Var, w: Var, v: Var) -> Var {
+    let kd = tape.shape(keys).to_vec();
+    let (b, t, h) = (kd[0], kd[1], kd[2]);
+    // tile the query along T: (B,H) -> (B,1,H) broadcast-added to zeros(B,T,H)
+    let q3 = tape.reshape(query, &[b, 1, h]);
+    let zeros = tape.constant(elda_tensor::Tensor::zeros(&[b, t, h]));
+    let qt = tape.add(zeros, q3); // (B,T,H) via broadcast
+    let cat = tape.concat(&[keys, qt], 2); // (B,T,2H)
+    let proj = tape.matmul_batched(cat, w); // (B,T,A)
+    let act = tape.tanh(proj);
+    let e = tape.matmul_batched(act, v); // (B,T,1)
+    tape.reshape(e, &[b, t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elda_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_attention_shapes_and_simplex() {
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let keys = tape.leaf(Tensor::rand_normal(&[2, 5, 4], 0.0, 1.0, &mut rng));
+        let query = tape.leaf(Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng));
+        let (ctx, w) = dot_attention_pool(&mut tape, keys, query);
+        assert_eq!(tape.shape(ctx), &[2, 4]);
+        assert_eq!(tape.shape(w), &[2, 5]);
+        for row in tape.value(w).data().chunks_exact(5) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_attention_favors_aligned_key() {
+        let mut tape = Tape::new();
+        // key 2 equals the query; others are orthogonal
+        let keys = tape.leaf(Tensor::from_vec(
+            vec![
+                1., 0., 0., 0., //
+                0., 1., 0., 0., //
+                0., 0., 5., 0., //
+            ],
+            &[1, 3, 4],
+        ));
+        let query = tape.leaf(Tensor::from_vec(vec![0., 0., 5., 0.], &[1, 4]));
+        let (_, w) = dot_attention_pool(&mut tape, keys, query);
+        let weights = tape.value(w).data();
+        assert!(weights[2] > weights[0] && weights[2] > weights[1]);
+    }
+
+    #[test]
+    fn additive_scores_shape() {
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = tape.leaf(Tensor::rand_normal(&[2, 6, 3], 0.0, 1.0, &mut rng));
+        let query = tape.leaf(Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng));
+        let w = tape.leaf(Tensor::rand_normal(&[6, 4], 0.0, 1.0, &mut rng));
+        let v = tape.leaf(Tensor::rand_normal(&[4, 1], 0.0, 1.0, &mut rng));
+        let e = additive_attention_scores(&mut tape, keys, query, w, v);
+        assert_eq!(tape.shape(e), &[2, 6]);
+        assert!(tape.value(e).all_finite());
+    }
+
+    #[test]
+    fn attention_gradients_flow_to_query() {
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = tape.leaf(Tensor::rand_normal(&[1, 4, 3], 0.0, 1.0, &mut rng));
+        let query = tape.leaf(Tensor::rand_normal(&[1, 3], 0.0, 1.0, &mut rng));
+        let (ctx, _) = dot_attention_pool(&mut tape, keys, query);
+        let sq = tape.square(ctx);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        assert!(grads.wrt(query).is_some());
+        assert!(grads.wrt(keys).is_some());
+    }
+}

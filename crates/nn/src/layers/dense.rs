@@ -1,0 +1,186 @@
+//! Fully connected layer.
+
+use crate::init::Init;
+use crate::params::ParamStore;
+use elda_autodiff::{ParamId, Tape, Var};
+use rand::Rng;
+
+/// Activation applied after the affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation.
+    Linear,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// A dense (fully connected) layer `y = act(x W + b)`.
+pub struct Dense {
+    w: ParamId,
+    b: Option<ParamId>,
+    activation: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Registers a dense layer's parameters under `name.{w,b}`.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = ps.register(
+            &format!("{name}.w"),
+            Init::Glorot.build(&[in_dim, out_dim], rng),
+        );
+        let b = Some(ps.register(&format!("{name}.b"), Init::Zeros.build(&[out_dim], rng)));
+        Dense {
+            w,
+            b,
+            activation,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// A bias-free variant.
+    pub fn new_no_bias(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = ps.register(
+            &format!("{name}.w"),
+            Init::Glorot.build(&[in_dim, out_dim], rng),
+        );
+        Dense {
+            w,
+            b: None,
+            activation,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a `(B, in_dim)` input, yielding `(B, out_dim)`.
+    pub fn forward(&self, ps: &ParamStore, tape: &mut Tape, x: Var) -> Var {
+        assert_eq!(
+            tape.shape(x).last().copied(),
+            Some(self.in_dim),
+            "Dense expects trailing dim {}, got {:?}",
+            self.in_dim,
+            tape.shape(x)
+        );
+        let w = ps.bind(tape, self.w);
+        let mut y = match tape.shape(x).len() {
+            2 => tape.matmul(x, w),
+            3 => tape.matmul_batched(x, w),
+            r => panic!("Dense supports rank-2/3 inputs, got rank {r}"),
+        };
+        if let Some(b) = self.b {
+            let b = ps.bind(tape, b);
+            y = tape.add(y, b); // bias broadcasts over leading axes
+        }
+        self.activate(tape, y)
+    }
+
+    fn activate(&self, tape: &mut Tape, y: Var) -> Var {
+        match self.activation {
+            Activation::Linear => y,
+            Activation::Sigmoid => tape.sigmoid(y),
+            Activation::Tanh => tape.tanh(y),
+            Activation::Relu => tape.relu(y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elda_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(act: Activation) -> (ParamStore, Dense) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Dense::new(&mut ps, "fc", 3, 2, act, &mut rng);
+        (ps, d)
+    }
+
+    #[test]
+    fn forward_shape_2d() {
+        let (ps, d) = setup(Activation::Linear);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4, 3]));
+        let y = d.forward(&ps, &mut tape, x);
+        assert_eq!(tape.shape(y), &[4, 2]);
+    }
+
+    #[test]
+    fn forward_shape_3d() {
+        let (ps, d) = setup(Activation::Tanh);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4, 5, 3]));
+        let y = d.forward(&ps, &mut tape, x);
+        assert_eq!(tape.shape(y), &[4, 5, 2]);
+    }
+
+    #[test]
+    fn sigmoid_activation_bounds_output() {
+        let (ps, d) = setup(Activation::Sigmoid);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(&[2, 3], 100.0));
+        let y = d.forward(&ps, &mut tape, x);
+        assert!(tape
+            .value(y)
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradients_reach_both_params() {
+        let (ps, d) = setup(Activation::Relu);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2, 3]));
+        let y = d.forward(&ps, &mut tape, x);
+        let sq = tape.square(y);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        let w = ps.by_name("fc.w").unwrap().id;
+        let b = ps.by_name("fc.b").unwrap().id;
+        assert!(grads.param(w).is_some());
+        assert!(grads.param(b).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing dim")]
+    fn wrong_input_width_panics() {
+        let (ps, d) = setup(Activation::Linear);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4, 5]));
+        d.forward(&ps, &mut tape, x);
+    }
+}

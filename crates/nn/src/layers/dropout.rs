@@ -1,0 +1,119 @@
+//! Inverted dropout.
+//!
+//! The mask is sampled outside the tape and applied as a constant
+//! multiplier, so the backward pass automatically routes gradients only
+//! through the surviving units. At evaluation time dropout is the
+//! identity (inverted scaling keeps expectations equal between modes).
+
+use elda_autodiff::{Tape, Var};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// Dropout with keep probability `1 − rate`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    rate: f32,
+}
+
+impl Dropout {
+    /// A dropout layer dropping each unit with probability `rate`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ rate < 1`.
+    pub fn new(rate: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        Dropout { rate }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Applies dropout during training: multiplies by a fresh Bernoulli
+    /// mask scaled by `1/(1−rate)`.
+    pub fn forward_train(&self, tape: &mut Tape, x: Var, rng: &mut (impl Rng + ?Sized)) -> Var {
+        if self.rate == 0.0 {
+            return x;
+        }
+        let shape = tape.shape(x).to_vec();
+        let keep = 1.0 - self.rate;
+        let mask = Tensor::rand_bernoulli(&shape, keep, rng).scale(1.0 / keep);
+        let m = tape.constant(mask);
+        tape.mul(x, m)
+    }
+
+    /// Evaluation mode: the identity.
+    pub fn forward_eval(&self, _tape: &mut Tape, x: Var) -> Var {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(6));
+        let d = Dropout::new(0.5);
+        let y = d.forward_eval(&mut tape, x);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn zero_rate_is_identity_in_train_mode() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::arange(6));
+        let y = Dropout::new(0.0).forward_train(&mut tape, x, &mut StdRng::seed_from_u64(1));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn surviving_units_are_scaled_up() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[1000]));
+        let d = Dropout::new(0.5);
+        let y = d.forward_train(&mut tape, x, &mut StdRng::seed_from_u64(2));
+        let vals = tape.value(y);
+        // every output is 0 or 1/keep = 2
+        assert!(vals
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // expectation preserved within sampling error
+        let mean = vals.mean_all();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn gradient_flows_only_through_kept_units() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[64]));
+        let d = Dropout::new(0.3);
+        let y = d.forward_train(&mut tape, x, &mut StdRng::seed_from_u64(3));
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let g = grads.wrt(x).unwrap();
+        let out = tape.value(y);
+        for (gi, yi) in g.data().iter().zip(out.data()) {
+            if *yi == 0.0 {
+                assert_eq!(*gi, 0.0, "dropped unit leaked gradient");
+            } else {
+                assert!(*gi > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rate_one_is_rejected() {
+        Dropout::new(1.0);
+    }
+}

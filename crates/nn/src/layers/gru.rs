@@ -1,0 +1,319 @@
+//! Gated recurrent unit (Cho et al. 2014), the temporal backbone of the
+//! paper's ELDA-Net and of the GRU/RETAIN/Dipole/ConCare baselines.
+
+use crate::init::Init;
+use crate::params::ParamStore;
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// One GRU cell: the per-step recurrence.
+///
+/// Uses the Keras convention
+/// `h_t = z ⊙ h_{t-1} + (1 − z) ⊙ h̃` with
+/// `z = σ(x W_z + h U_z + b_z)`, `r = σ(x W_r + h U_r + b_r)` and
+/// `h̃ = tanh(x W_h + (r ⊙ h) U_h + b_h)`.
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Registers the cell's nine parameters under `name.*`.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut w = |suffix: &str, dims: &[usize], rng: &mut dyn rand::RngCore| {
+            ps.register(&format!("{name}.{suffix}"), Init::Glorot.build(dims, rng))
+        };
+        let wz = w("wz", &[in_dim, hidden], rng);
+        let uz = w("uz", &[hidden, hidden], rng);
+        let wr = w("wr", &[in_dim, hidden], rng);
+        let ur = w("ur", &[hidden, hidden], rng);
+        let wh = w("wh", &[in_dim, hidden], rng);
+        let uh = w("uh", &[hidden, hidden], rng);
+        let bz = ps.register(&format!("{name}.bz"), Tensor::zeros(&[hidden]));
+        let br = ps.register(&format!("{name}.br"), Tensor::zeros(&[hidden]));
+        let bh = ps.register(&format!("{name}.bh"), Tensor::zeros(&[hidden]));
+        GruCell {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// One recurrence step: `x (B, in)`, `h (B, hidden)` → new `h`.
+    pub fn step(&self, ps: &ParamStore, tape: &mut Tape, x: Var, h: Var) -> Var {
+        let (wz, uz, bz) = (
+            ps.bind(tape, self.wz),
+            ps.bind(tape, self.uz),
+            ps.bind(tape, self.bz),
+        );
+        let (wr, ur, br) = (
+            ps.bind(tape, self.wr),
+            ps.bind(tape, self.ur),
+            ps.bind(tape, self.br),
+        );
+        let (wh, uh, bh) = (
+            ps.bind(tape, self.wh),
+            ps.bind(tape, self.uh),
+            ps.bind(tape, self.bh),
+        );
+
+        let xz = tape.matmul(x, wz);
+        let hz = tape.matmul(h, uz);
+        let z_pre = tape.add(xz, hz);
+        let z_pre = tape.add(z_pre, bz);
+        let z = tape.sigmoid(z_pre);
+
+        let xr = tape.matmul(x, wr);
+        let hr = tape.matmul(h, ur);
+        let r_pre = tape.add(xr, hr);
+        let r_pre = tape.add(r_pre, br);
+        let r = tape.sigmoid(r_pre);
+
+        let xh = tape.matmul(x, wh);
+        let rh = tape.mul(r, h);
+        let rhu = tape.matmul(rh, uh);
+        let h_pre = tape.add(xh, rhu);
+        let h_pre = tape.add(h_pre, bh);
+        let cand = tape.tanh(h_pre);
+
+        // h' = z*h + (1-z)*cand
+        let keep = tape.mul(z, h);
+        let negz = tape.neg(z);
+        let omz = tape.add_scalar(negz, 1.0);
+        let take = tape.mul(omz, cand);
+        tape.add(keep, take)
+    }
+}
+
+/// A full GRU layer unrolled over time.
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    /// Registers a GRU layer under `name.*`.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Gru {
+            cell: GruCell::new(ps, name, in_dim, hidden, rng),
+        }
+    }
+
+    /// The underlying cell.
+    pub fn cell(&self) -> &GruCell {
+        &self.cell
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.cell.hidden
+    }
+
+    /// Unrolls over a `(B, T, in)` input, returning the `T` hidden states
+    /// (each `(B, hidden)`), oldest first. `h_0 = 0`.
+    pub fn forward_seq(&self, ps: &ParamStore, tape: &mut Tape, x: Var) -> Vec<Var> {
+        let dims = tape.shape(x).to_vec();
+        assert_eq!(
+            dims.len(),
+            3,
+            "Gru::forward_seq expects (B,T,D), got {dims:?}"
+        );
+        let (b, t_len) = (dims[0], dims[1]);
+        let mut h = tape.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        let mut outs = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let xt = tape.select(x, 1, t);
+            h = self.cell.step(ps, tape, xt, h);
+            outs.push(h);
+        }
+        outs
+    }
+
+    /// Unrolls over pre-sliced step inputs (each `(B, in)`), oldest first.
+    /// Useful when the per-step features are produced by upstream modules
+    /// (as in ELDA-Net, where each step went through the feature-level
+    /// interaction module first).
+    pub fn forward_steps(&self, ps: &ParamStore, tape: &mut Tape, xs: &[Var]) -> Vec<Var> {
+        assert!(!xs.is_empty(), "empty sequence");
+        let b = tape.shape(xs[0])[0];
+        let mut h = tape.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        let mut outs = Vec::with_capacity(xs.len());
+        for &xt in xs {
+            h = self.cell.step(ps, tape, xt, h);
+            outs.push(h);
+        }
+        outs
+    }
+
+    /// Unrolls in reverse time order (newest step first), as RETAIN's
+    /// attention GRUs do. Returned states still align with the *original*
+    /// time indexing: `outs[t]` is the reverse-run state at step `t`.
+    pub fn forward_seq_reversed(&self, ps: &ParamStore, tape: &mut Tape, x: Var) -> Vec<Var> {
+        let dims = tape.shape(x).to_vec();
+        assert_eq!(dims.len(), 3, "Gru::forward_seq_reversed expects (B,T,D)");
+        let (b, t_len) = (dims[0], dims[1]);
+        let mut h = tape.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        let mut outs = vec![None; t_len];
+        for t in (0..t_len).rev() {
+            let xt = tape.select(x, 1, t);
+            h = self.cell.step(ps, tape, xt, h);
+            outs[t] = Some(h);
+        }
+        outs.into_iter().map(|o| o.expect("filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, Gru) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let gru = Gru::new(&mut ps, "gru", 3, 5, &mut rng);
+        (ps, gru)
+    }
+
+    #[test]
+    fn forward_seq_shapes() {
+        let (ps, gru) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[2, 4, 3],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        ));
+        let outs = gru.forward_seq(&ps, &mut tape, x);
+        assert_eq!(outs.len(), 4);
+        for &o in &outs {
+            assert_eq!(tape.shape(o), &[2, 5]);
+        }
+    }
+
+    #[test]
+    fn hidden_states_stay_bounded() {
+        // GRU hidden states are convex blends of tanh outputs, so |h| <= 1.
+        let (ps, gru) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[2, 10, 3],
+            0.0,
+            5.0,
+            &mut StdRng::seed_from_u64(2),
+        ));
+        let outs = gru.forward_seq(&ps, &mut tape, x);
+        for &o in &outs {
+            assert!(tape.value(o).data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn zero_input_keeps_small_state() {
+        let (ps, gru) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(&[1, 3, 3]));
+        let outs = gru.forward_seq(&ps, &mut tape, x);
+        // with zero bias and zero input, h stays exactly 0
+        assert!(tape.value(outs[2]).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_nine_params() {
+        let (ps, gru) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[2, 4, 3],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+        ));
+        let outs = gru.forward_seq(&ps, &mut tape, x);
+        let last = *outs.last().unwrap();
+        let sq = tape.square(last);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+
+    #[test]
+    fn reversed_run_differs_from_forward() {
+        let (ps, gru) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[1, 4, 3],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(4),
+        ));
+        let fwd = gru.forward_seq(&ps, &mut tape, x);
+        let rev = gru.forward_seq_reversed(&ps, &mut tape, x);
+        assert_eq!(fwd.len(), rev.len());
+        // The state at t=0: forward has seen 1 step, reverse has seen all 4.
+        let f0 = tape.value(fwd[0]).clone();
+        let r0 = tape.value(rev[0]).clone();
+        assert_ne!(f0.data(), r0.data());
+    }
+
+    #[test]
+    fn forward_steps_matches_forward_seq() {
+        let (ps, gru) = setup();
+        let mut tape = Tape::new();
+        let data = Tensor::rand_normal(&[2, 4, 3], 0.0, 1.0, &mut StdRng::seed_from_u64(5));
+        let x = tape.leaf(data.clone());
+        let outs_seq = gru.forward_seq(&ps, &mut tape, x);
+        let steps: Vec<Var> = (0..4)
+            .map(|t| {
+                let xt = data.select(1, t);
+                tape.leaf(xt)
+            })
+            .collect();
+        let outs_steps = gru.forward_steps(&ps, &mut tape, &steps);
+        for (a, b) in outs_seq.iter().zip(&outs_steps) {
+            elda_tensor::testutil::assert_allclose(tape.value(*a), tape.value(*b), 1e-5, 1e-6);
+        }
+    }
+}

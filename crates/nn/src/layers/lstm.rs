@@ -1,0 +1,247 @@
+//! Long short-term memory cell and layer (Hochreiter & Schmidhuber 1997),
+//! used by the StageNet baseline.
+
+use crate::init::Init;
+use crate::params::ParamStore;
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_tensor::Tensor;
+use rand::Rng;
+
+/// One LSTM cell.
+///
+/// Standard equations with a forget-gate bias initialized to 1 (the usual
+/// trick to keep early training from forgetting everything):
+/// `i,f,o = σ(xW + hU + b)`, `g = tanh(xW_g + hU_g + b_g)`,
+/// `c' = f ⊙ c + i ⊙ g`, `h' = o ⊙ tanh(c')`.
+pub struct LstmCell {
+    wi: ParamId,
+    ui: ParamId,
+    bi: ParamId,
+    wf: ParamId,
+    uf: ParamId,
+    bf: ParamId,
+    wo: ParamId,
+    uo: ParamId,
+    bo: ParamId,
+    wg: ParamId,
+    ug: ParamId,
+    bg: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+/// The `(h, c)` state pair threaded through an LSTM unroll.
+#[derive(Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state `(B, hidden)`.
+    pub h: Var,
+    /// Cell state `(B, hidden)`.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Registers the cell's twelve parameters under `name.*`.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut w = |suffix: &str, dims: &[usize], rng: &mut dyn rand::RngCore| {
+            ps.register(&format!("{name}.{suffix}"), Init::Glorot.build(dims, rng))
+        };
+        let wi = w("wi", &[in_dim, hidden], rng);
+        let ui = w("ui", &[hidden, hidden], rng);
+        let wf = w("wf", &[in_dim, hidden], rng);
+        let uf = w("uf", &[hidden, hidden], rng);
+        let wo = w("wo", &[in_dim, hidden], rng);
+        let uo = w("uo", &[hidden, hidden], rng);
+        let wg = w("wg", &[in_dim, hidden], rng);
+        let ug = w("ug", &[hidden, hidden], rng);
+        let bi = ps.register(&format!("{name}.bi"), Tensor::zeros(&[hidden]));
+        let bf = ps.register(&format!("{name}.bf"), Tensor::ones(&[hidden]));
+        let bo = ps.register(&format!("{name}.bo"), Tensor::zeros(&[hidden]));
+        let bg = ps.register(&format!("{name}.bg"), Tensor::zeros(&[hidden]));
+        LstmCell {
+            wi,
+            ui,
+            bi,
+            wf,
+            uf,
+            bf,
+            wo,
+            uo,
+            bo,
+            wg,
+            ug,
+            bg,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    #[allow(clippy::too_many_arguments)] // one call site per gate; a struct would obscure the math
+    fn gate(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        x: Var,
+        h: Var,
+        w: ParamId,
+        u: ParamId,
+        b: ParamId,
+    ) -> Var {
+        let (w, u, b) = (ps.bind(tape, w), ps.bind(tape, u), ps.bind(tape, b));
+        let xw = tape.matmul(x, w);
+        let hu = tape.matmul(h, u);
+        let s = tape.add(xw, hu);
+        tape.add(s, b)
+    }
+
+    /// One recurrence step.
+    pub fn step(&self, ps: &ParamStore, tape: &mut Tape, x: Var, state: LstmState) -> LstmState {
+        let i_pre = self.gate(ps, tape, x, state.h, self.wi, self.ui, self.bi);
+        let f_pre = self.gate(ps, tape, x, state.h, self.wf, self.uf, self.bf);
+        let o_pre = self.gate(ps, tape, x, state.h, self.wo, self.uo, self.bo);
+        let g_pre = self.gate(ps, tape, x, state.h, self.wg, self.ug, self.bg);
+        let i = tape.sigmoid(i_pre);
+        let f = tape.sigmoid(f_pre);
+        let o = tape.sigmoid(o_pre);
+        let g = tape.tanh(g_pre);
+        let fc = tape.mul(f, state.c);
+        let ig = tape.mul(i, g);
+        let c = tape.add(fc, ig);
+        let tc = tape.tanh(c);
+        let h = tape.mul(o, tc);
+        LstmState { h, c }
+    }
+}
+
+/// An LSTM layer unrolled over time.
+pub struct Lstm {
+    cell: LstmCell,
+}
+
+impl Lstm {
+    /// Registers an LSTM layer under `name.*`.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Lstm {
+            cell: LstmCell::new(ps, name, in_dim, hidden, rng),
+        }
+    }
+
+    /// The underlying cell.
+    pub fn cell(&self) -> &LstmCell {
+        &self.cell
+    }
+
+    /// Unrolls over a `(B, T, in)` input; returns the `T` hidden states.
+    pub fn forward_seq(&self, ps: &ParamStore, tape: &mut Tape, x: Var) -> Vec<Var> {
+        let dims = tape.shape(x).to_vec();
+        assert_eq!(
+            dims.len(),
+            3,
+            "Lstm::forward_seq expects (B,T,D), got {dims:?}"
+        );
+        let (b, t_len) = (dims[0], dims[1]);
+        let h0 = tape.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        let c0 = tape.constant(Tensor::zeros(&[b, self.cell.hidden]));
+        let mut state = LstmState { h: h0, c: c0 };
+        let mut outs = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let xt = tape.select(x, 1, t);
+            state = self.cell.step(ps, tape, xt, state);
+            outs.push(state.h);
+        }
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, Lstm) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let lstm = Lstm::new(&mut ps, "lstm", 3, 4, &mut rng);
+        (ps, lstm)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (ps, lstm) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[2, 5, 3],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        ));
+        let outs = lstm.forward_seq(&ps, &mut tape, x);
+        assert_eq!(outs.len(), 5);
+        assert_eq!(tape.shape(outs[4]), &[2, 4]);
+    }
+
+    #[test]
+    fn param_count_is_4_gates() {
+        let (ps, _) = setup();
+        // 4 gates × (in·h + h·h + h) = 4 × (12 + 16 + 4) = 128
+        assert_eq!(ps.num_scalars(), 128);
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_one() {
+        let (ps, lstm) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[2, 8, 3],
+            0.0,
+            4.0,
+            &mut StdRng::seed_from_u64(2),
+        ));
+        let outs = lstm.forward_seq(&ps, &mut tape, x);
+        for &o in &outs {
+            assert!(tape.value(o).data().iter().all(|&v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let (ps, lstm) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_normal(
+            &[2, 4, 3],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(3),
+        ));
+        let outs = lstm.forward_seq(&ps, &mut tape, x);
+        let last = *outs.last().unwrap();
+        let sq = tape.square(last);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        for p in ps.iter() {
+            assert!(grads.param(p.id).is_some(), "no grad for {}", p.name);
+        }
+    }
+}

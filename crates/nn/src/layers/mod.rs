@@ -1,0 +1,8 @@
+//! Layers: parameter-holding building blocks with tape-recording forwards.
+
+pub mod attention;
+pub mod dense;
+pub mod dropout;
+pub mod gru;
+pub mod lstm;
+pub mod positional;

@@ -1,0 +1,47 @@
+//! Sinusoidal positional encoding (Vaswani et al. 2017), used by the SAnD
+//! baseline to inject temporal order into its self-attention blocks.
+
+use elda_tensor::Tensor;
+
+/// The classic transformer positional encoding of shape `(t_len, dim)`:
+/// `PE[t, 2i] = sin(t / 10000^{2i/dim})`, `PE[t, 2i+1] = cos(...)`.
+pub fn positional_encoding(t_len: usize, dim: usize) -> Tensor {
+    let mut data = vec![0.0f32; t_len * dim];
+    for t in 0..t_len {
+        for i in 0..dim {
+            let pair = (i / 2) as f32;
+            let angle = t as f32 / 10000f32.powf(2.0 * pair / dim as f32);
+            data[t * dim + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+    Tensor::from_vec(data, &[t_len, dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let pe = positional_encoding(10, 8);
+        assert_eq!(pe.shape(), &[10, 8]);
+        assert!(pe.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn first_row_is_sin0_cos0() {
+        let pe = positional_encoding(4, 6);
+        for i in 0..6 {
+            let expected = if i % 2 == 0 { 0.0 } else { 1.0 };
+            assert_eq!(pe.at(&[0, i]), expected);
+        }
+    }
+
+    #[test]
+    fn rows_differ_over_time() {
+        let pe = positional_encoding(16, 4);
+        let r1 = pe.select(0, 1);
+        let r7 = pe.select(0, 7);
+        assert_ne!(r1.data(), r7.data());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # elda-nn
+//!
+//! Neural-network building blocks on top of [`elda_autodiff`]: a parameter
+//! store, initializers, layers (dense, GRU, LSTM, attention helpers),
+//! optimizers (SGD, Adam), losses and a shard-parallel mini-batch trainer.
+//!
+//! The split of responsibilities mirrors define-by-run frameworks:
+//!
+//! * [`ParamStore`] owns every parameter tensor, keyed by [`elda_autodiff::ParamId`]
+//!   and a human-readable name. Layers hold ids, not tensors.
+//! * A layer's `forward` binds its parameters onto the caller's [`elda_autodiff::Tape`]
+//!   and records ops. Tapes are cheap and rebuilt per batch.
+//! * [`optim::Optimizer`] implementations consume the id-keyed gradient map
+//!   produced by backward.
+//! * [`train::Trainer`] runs epochs: shuffle, shard, differentiate shards on
+//!   worker threads (tapes are independent; the store is read-only during
+//!   the pass), sum gradients, step.
+
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod schedule;
+pub mod train;
+
+pub use init::Init;
+pub use layers::attention::{additive_attention_scores, dot_attention_pool};
+pub use layers::dense::Dense;
+pub use layers::dropout::Dropout;
+pub use layers::gru::{Gru, GruCell};
+pub use layers::lstm::{Lstm, LstmCell};
+pub use layers::positional::positional_encoding;
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use params::{ParamStore, ParamView};
+pub use schedule::LrSchedule;
+pub use train::{EpochStats, TrainConfig, Trainer};

@@ -1,0 +1,299 @@
+//! Optimizers: SGD (with momentum) and Adam, plus global-norm clipping.
+
+use crate::params::ParamStore;
+use elda_autodiff::ParamId;
+use elda_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A first-order optimizer consuming id-keyed gradients.
+pub trait Optimizer {
+    /// Applies one update step to every parameter present in `grads`.
+    fn step(&mut self, ps: &mut ParamStore, grads: &HashMap<ParamId, Tensor>);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules and benches).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum and
+/// decoupled weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<ParamId, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// SGD with momentum `mu` (`v ← mu·v + g; w ← w − lr·v`).
+    pub fn with_momentum(lr: f32, mu: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: mu,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Adds decoupled weight decay (`w ← w − lr·wd·w` per step).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, ps: &mut ParamStore, grads: &HashMap<ParamId, Tensor>) {
+        for (&id, g) in grads {
+            if self.weight_decay > 0.0 {
+                let decay = 1.0 - self.lr * self.weight_decay;
+                for w in ps.value_mut(id).data_mut() {
+                    *w *= decay;
+                }
+            }
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(id)
+                    .or_insert_with(|| Tensor::zeros(g.shape()));
+                for (v, &g) in v.data_mut().iter_mut().zip(g.data()) {
+                    *v = self.momentum * *v + g;
+                }
+                let v = self.velocity[&id].clone();
+                ps.value_mut(id).axpy_assign(-self.lr, &v);
+            } else {
+                ps.value_mut(id).axpy_assign(-self.lr, g);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction — the optimizer family the
+/// paper trains with (initial learning rate 1e-3).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: HashMap<ParamId, Tensor>,
+    v: HashMap<ParamId, Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            weight_decay: 0.0,
+            ..Adam::new(lr)
+        }
+        .rebetas(beta1, beta2, eps)
+    }
+
+    fn rebetas(mut self, beta1: f32, beta2: f32, eps: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self.eps = eps;
+        self
+    }
+
+    /// Adds decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, ps: &mut ParamStore, grads: &HashMap<ParamId, Tensor>) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (&id, g) in grads {
+            if self.weight_decay > 0.0 {
+                let decay = 1.0 - self.lr * self.weight_decay;
+                for w in ps.value_mut(id).data_mut() {
+                    *w *= decay;
+                }
+            }
+            let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(g.shape()));
+            let w = ps.value_mut(id);
+            for ((w, (&gk, mk)), vk) in w
+                .data_mut()
+                .iter_mut()
+                .zip(g.data().iter().zip(m.data_mut()))
+                .zip(v.data_mut())
+            {
+                *mk = self.beta1 * *mk + (1.0 - self.beta1) * gk;
+                *vk = self.beta2 * *vk + (1.0 - self.beta2) * gk * gk;
+                let m_hat = *mk / bc1;
+                let v_hat = *vk / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales all gradients in place so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut HashMap<ParamId, Tensor>, max_norm: f32) -> f32 {
+    let sq: f64 = grads
+        .values()
+        .map(|g| g.data().iter().map(|&x| (x * x) as f64).sum::<f64>())
+        .sum();
+    let norm = (sq as f32).sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.values_mut() {
+            for x in g.data_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = (w - 3)^2 and checks convergence.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::zeros(&[1]));
+        for _ in 0..steps {
+            let w = ps.value(id).data()[0];
+            let grad = Tensor::from_vec(vec![2.0 * (w - 3.0)], &[1]);
+            let mut grads = HashMap::new();
+            grads.insert(id, grad);
+            opt.step(&mut ps, &grads);
+        }
+        ps.value(id).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = quadratic_descent(&mut Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = quadratic_descent(&mut Sgd::with_momentum(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = quadratic_descent(&mut Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step ≈ lr in magnitude.
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(0.001);
+        let mut grads = HashMap::new();
+        grads.insert(id, Tensor::from_vec(vec![123.0], &[1]));
+        opt.step(&mut ps, &grads);
+        let w = ps.value(id).data()[0];
+        assert!((w.abs() - 0.001).abs() < 1e-5, "first step {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient_signal() {
+        // zero gradient, pure decay: weights must shrink geometrically
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::from_vec(vec![1.0], &[1]));
+        let mut opt = Adam::new(0.1).with_weight_decay(0.5);
+        let mut grads = HashMap::new();
+        grads.insert(id, Tensor::zeros(&[1]));
+        for _ in 0..10 {
+            opt.step(&mut ps, &grads);
+        }
+        let w = ps.value(id).data()[0];
+        // (1 - 0.1*0.5)^10 = 0.95^10 ≈ 0.5987
+        assert!((w - 0.95f32.powi(10)).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_composes_with_update() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::from_vec(vec![2.0], &[1]));
+        let mut opt = Sgd::new(0.1).with_weight_decay(1.0);
+        let mut grads = HashMap::new();
+        grads.insert(id, Tensor::from_vec(vec![1.0], &[1]));
+        opt.step(&mut ps, &grads);
+        // decay first: 2.0 * (1 - 0.1) = 1.8; then step: 1.8 - 0.1 = 1.7
+        assert!((ps.value(id).data()[0] - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("a", Tensor::zeros(&[2]));
+        let mut grads = HashMap::new();
+        grads.insert(a, Tensor::from_vec(vec![3.0, 4.0], &[2])); // norm 5
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let g = &grads[&a];
+        let post: f32 = g.data().iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("a", Tensor::zeros(&[2]));
+        let mut grads = HashMap::new();
+        grads.insert(a, Tensor::from_vec(vec![0.3, 0.4], &[2]));
+        clip_global_norm(&mut grads, 1.0);
+        assert_eq!(grads[&a].data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The parameter store: owns every trainable tensor in a model.
+
+use elda_autodiff::{ParamId, Tape, Var};
+use elda_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Read-only snapshot of one parameter.
+#[derive(Debug)]
+pub struct ParamView<'a> {
+    /// Stable id used on tapes and in gradient maps.
+    pub id: ParamId,
+    /// Dotted human-readable name (e.g. `"elda.embed.va"`).
+    pub name: &'a str,
+    /// Current value.
+    pub value: &'a Tensor,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ParamRecord {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// Owns the trainable tensors of a model and hands out [`ParamId`]s.
+///
+/// ```
+/// use elda_nn::ParamStore;
+/// use elda_tensor::Tensor;
+/// let mut ps = ParamStore::new();
+/// let w = ps.register("layer.w", Tensor::zeros(&[3, 2]));
+/// assert_eq!(ps.num_scalars(), 6);
+/// assert_eq!(ps.by_name("layer.w").unwrap().id, w);
+/// ```
+///
+/// Layers register parameters once at construction and bind them onto tapes
+/// during forward passes. The store is read-only during a forward/backward
+/// pass, which is what lets the trainer differentiate batch shards on
+/// separate threads.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a new parameter and returns its id.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered — parameter names are the
+    /// checkpoint schema and must be unique.
+    pub fn register(&mut self, name: &str, value: Tensor) -> ParamId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "parameter name {name:?} registered twice"
+        );
+        let idx = self.values.len();
+        self.names.push(name.to_string());
+        self.values.push(value);
+        self.by_name.insert(name.to_string(), idx);
+        ParamId(idx as u64)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0 as usize]
+    }
+
+    /// Mutable value (used by optimizers and checkpoint loading).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0 as usize]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn by_name(&self, name: &str) -> Option<ParamView<'_>> {
+        self.by_name.get(name).map(|&idx| ParamView {
+            id: ParamId(idx as u64),
+            name: &self.names[idx],
+            value: &self.values[idx],
+        })
+    }
+
+    /// Binds parameter `id` onto `tape`, returning its leaf [`Var`].
+    pub fn bind(&self, tape: &mut Tape, id: ParamId) -> Var {
+        tape.param(id, self.value(id))
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = ParamView<'_>> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(idx, value)| ParamView {
+                id: ParamId(idx as u64),
+                name: &self.names[idx],
+                value,
+            })
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of trainable scalars — the paper's "# of param"
+    /// column in Table III.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Serializes all parameters to a JSON checkpoint string.
+    pub fn to_json(&self) -> String {
+        let records: Vec<ParamRecord> = self
+            .iter()
+            .map(|p| ParamRecord {
+                name: p.name.to_string(),
+                shape: p.value.shape().to_vec(),
+                data: p.value.data().to_vec(),
+            })
+            .collect();
+        serde_json::to_string(&records).expect("checkpoint serialization")
+    }
+
+    /// Restores parameter values from [`ParamStore::to_json`] output.
+    ///
+    /// Matching is by name; shapes must agree. Returns an error string on
+    /// unknown names, missing names or shape mismatches, leaving the store
+    /// partially updated only on success (validation happens first).
+    pub fn load_json(&mut self, json: &str) -> Result<(), String> {
+        let records: Vec<ParamRecord> =
+            serde_json::from_str(json).map_err(|e| format!("checkpoint parse error: {e}"))?;
+        // Validate everything before mutating anything.
+        let mut updates = Vec::with_capacity(records.len());
+        let mut seen = std::collections::HashSet::with_capacity(records.len());
+        for rec in &records {
+            if !seen.insert(rec.name.as_str()) {
+                return Err(format!("checkpoint lists parameter {:?} twice", rec.name));
+            }
+            let Some(&idx) = self.by_name.get(&rec.name) else {
+                return Err(format!("checkpoint has unknown parameter {:?}", rec.name));
+            };
+            if self.values[idx].shape() != rec.shape.as_slice() {
+                return Err(format!(
+                    "parameter {:?} shape mismatch: store {:?} vs checkpoint {:?}",
+                    rec.name,
+                    self.values[idx].shape(),
+                    rec.shape
+                ));
+            }
+            let t = Tensor::try_from_vec(rec.data.clone(), &rec.shape)
+                .map_err(|e| format!("parameter {:?}: {e}", rec.name))?;
+            updates.push((idx, t));
+        }
+        if records.len() != self.values.len() {
+            return Err(format!(
+                "checkpoint has {} parameters, store has {}",
+                records.len(),
+                self.values.len()
+            ));
+        }
+        for (idx, t) in updates {
+            self.values[idx] = t;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::ones(&[2, 2]));
+        assert_eq!(ps.value(id).len(), 4);
+        assert_eq!(ps.by_name("w").unwrap().id, id);
+        assert!(ps.by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::ones(&[1]));
+        ps.register("w", Tensor::ones(&[1]));
+    }
+
+    #[test]
+    fn num_scalars_counts_elements() {
+        let mut ps = ParamStore::new();
+        ps.register("a", Tensor::ones(&[3, 4]));
+        ps.register("b", Tensor::ones(&[5]));
+        assert_eq!(ps.num_scalars(), 17);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        ps.register("b", Tensor::zeros(&[1]));
+        let json = ps.to_json();
+        *ps.value_mut(id) = Tensor::zeros(&[2]);
+        ps.load_json(&json).unwrap();
+        assert_eq!(ps.value(id).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn checkpoint_rejects_shape_mismatch() {
+        let mut a = ParamStore::new();
+        a.register("w", Tensor::ones(&[2]));
+        let json = a.to_json();
+        let mut b = ParamStore::new();
+        b.register("w", Tensor::ones(&[3]));
+        assert!(b.load_json(&json).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_missing_params() {
+        let mut a = ParamStore::new();
+        a.register("w", Tensor::ones(&[2]));
+        let json = a.to_json();
+        let mut b = ParamStore::new();
+        b.register("w", Tensor::ones(&[2]));
+        b.register("extra", Tensor::ones(&[1]));
+        assert!(b.load_json(&json).is_err());
+    }
+
+    #[test]
+    fn bind_reuses_leaf() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::ones(&[2]));
+        let mut tape = Tape::new();
+        let v1 = ps.bind(&mut tape, id);
+        let v2 = ps.bind(&mut tape, id);
+        assert_eq!(v1, v2);
+    }
+}

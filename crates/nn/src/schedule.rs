@@ -1,0 +1,130 @@
+//! Learning-rate schedules, applied between epochs by the caller.
+
+/// A learning-rate schedule: maps the epoch index to a multiplier on the
+/// base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs (classic step decay).
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor per decay (0 < gamma ≤ 1).
+        gamma: f32,
+    },
+    /// Linear warmup over the first `warmup` epochs, then constant.
+    Warmup {
+        /// Number of warmup epochs.
+        warmup: usize,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total` epochs.
+    Cosine {
+        /// Total schedule length in epochs.
+        total: usize,
+        /// Final multiplier (≥ 0).
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier for `epoch` (0-based).
+    pub fn multiplier(self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                assert!(every > 0, "step decay interval must be positive");
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::Cosine { total, floor } => {
+                assert!(total > 0, "cosine schedule needs a positive length");
+                let progress = (epoch.min(total) as f32) / total as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                floor + (1.0 - floor) * cos
+            }
+        }
+    }
+
+    /// Applies the schedule to an optimizer for the coming epoch.
+    pub fn apply(self, base_lr: f32, epoch: usize, opt: &mut dyn crate::optim::Optimizer) {
+        opt.set_learning_rate(base_lr * self.multiplier(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.multiplier(0), 1.0);
+        assert_eq!(LrSchedule::Constant.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 3,
+            gamma: 0.5,
+        };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(2), 1.0);
+        assert_eq!(s.multiplier(3), 0.5);
+        assert_eq!(s.multiplier(6), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.multiplier(0), 0.25);
+        assert_eq!(s.multiplier(1), 0.5);
+        assert_eq!(s.multiplier(3), 1.0);
+        assert_eq!(s.multiplier(10), 1.0);
+    }
+
+    #[test]
+    fn cosine_descends_to_floor() {
+        let s = LrSchedule::Cosine {
+            total: 10,
+            floor: 0.1,
+        };
+        assert_eq!(s.multiplier(0), 1.0);
+        let mid = s.multiplier(5);
+        assert!((mid - 0.55).abs() < 1e-5, "mid {mid}");
+        assert!((s.multiplier(10) - 0.1).abs() < 1e-6);
+        assert!((s.multiplier(99) - 0.1).abs() < 1e-6, "clamps past the end");
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let mut opt = Sgd::new(0.2);
+        LrSchedule::StepDecay {
+            every: 1,
+            gamma: 0.5,
+        }
+        .apply(0.2, 2, &mut opt);
+        assert!((opt.learning_rate() - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn monotone_decay_property() {
+        let s = LrSchedule::Cosine {
+            total: 20,
+            floor: 0.0,
+        };
+        let mut prev = f32::INFINITY;
+        for e in 0..=20 {
+            let m = s.multiplier(e);
+            assert!(m <= prev + 1e-6, "cosine must not increase");
+            prev = m;
+        }
+    }
+}

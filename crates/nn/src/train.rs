@@ -1,0 +1,364 @@
+//! Mini-batch training loop with optional shard-parallel gradients and
+//! validation-based early stopping.
+
+use crate::optim::{clip_global_norm, Optimizer};
+use crate::params::ParamStore;
+use elda_autodiff::ParamId;
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Training-loop configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 64).
+    pub batch_size: usize,
+    /// Seed for the per-epoch shuffle (combined with the epoch index).
+    pub shuffle_seed: u64,
+    /// Optional global-norm gradient clipping.
+    pub clip_norm: Option<f32>,
+    /// Worker threads for shard-parallel gradient computation; 1 = serial.
+    pub threads: usize,
+    /// Early-stopping patience in epochs (None = run all epochs). Applies
+    /// only to [`Trainer::fit`] with a validation scorer.
+    pub patience: Option<usize>,
+    /// Print one line per epoch.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 20,
+            batch_size: 64,
+            shuffle_seed: 0,
+            clip_norm: Some(5.0),
+            threads: 1,
+            patience: Some(5),
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch summary returned by [`Trainer::run_epoch`].
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f32,
+    /// Number of optimizer steps taken.
+    pub batches: usize,
+    /// Mean pre-clip gradient norm (diagnostic for divergence).
+    pub mean_grad_norm: f32,
+}
+
+/// The loss closure contract: given the (read-only) parameter store and a
+/// set of sample indices, produce the mean loss over those samples and the
+/// gradient of that mean loss per parameter.
+pub type LossFn<'a> = dyn Fn(&ParamStore, &[usize]) -> (f32, HashMap<ParamId, Tensor>) + Sync + 'a;
+
+/// Drives epochs of mini-batch SGD-family training.
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// A trainer with the given configuration.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// One pass over `n_samples` training samples.
+    ///
+    /// The loss closure is invoked per shard; with `threads > 1` shards of
+    /// each batch are differentiated on scoped worker threads (the store is
+    /// only read during the pass) and their gradients combined by
+    /// shard-size-weighted average before a single optimizer step.
+    pub fn run_epoch(
+        &self,
+        ps: &mut ParamStore,
+        opt: &mut dyn Optimizer,
+        n_samples: usize,
+        epoch: usize,
+        loss_fn: &LossFn<'_>,
+    ) -> EpochStats {
+        assert!(n_samples > 0, "cannot train on zero samples");
+        let mut indices: Vec<usize> = (0..n_samples).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed.wrapping_add(epoch as u64));
+        indices.shuffle(&mut rng);
+
+        let mut total_loss = 0.0f64;
+        let mut total_norm = 0.0f64;
+        let mut batches = 0usize;
+        for batch in indices.chunks(self.cfg.batch_size) {
+            let (loss, mut grads) = self.batch_gradients(ps, batch, loss_fn);
+            let norm = match self.cfg.clip_norm {
+                Some(max) => clip_global_norm(&mut grads, max),
+                None => grads
+                    .values()
+                    .map(|g| g.data().iter().map(|&x| (x * x) as f64).sum::<f64>())
+                    .sum::<f64>()
+                    .sqrt() as f32,
+            };
+            opt.step(ps, &grads);
+            total_loss += loss as f64;
+            total_norm += norm as f64;
+            batches += 1;
+        }
+        let stats = EpochStats {
+            epoch,
+            mean_loss: (total_loss / batches as f64) as f32,
+            batches,
+            mean_grad_norm: (total_norm / batches as f64) as f32,
+        };
+        if self.cfg.verbose {
+            eprintln!(
+                "epoch {:>3}: loss {:.5}  grad-norm {:.3}  ({} batches)",
+                stats.epoch, stats.mean_loss, stats.mean_grad_norm, stats.batches
+            );
+        }
+        stats
+    }
+
+    /// Computes the (possibly shard-parallel) mean loss and gradients for
+    /// one batch of indices.
+    fn batch_gradients(
+        &self,
+        ps: &ParamStore,
+        batch: &[usize],
+        loss_fn: &LossFn<'_>,
+    ) -> (f32, HashMap<ParamId, Tensor>) {
+        let threads = self.cfg.threads.max(1).min(batch.len());
+        if threads == 1 {
+            return loss_fn(ps, batch);
+        }
+        let shard_size = batch.len().div_ceil(threads);
+        let shards: Vec<&[usize]> = batch.chunks(shard_size).collect();
+        let results: Vec<(usize, f32, HashMap<ParamId, Tensor>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let (loss, grads) = loss_fn(ps, shard);
+                        (shard.len(), loss, grads)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        // Shard-size-weighted combination: each shard reports the mean over
+        // its samples, so the batch mean is Σ (n_i / N) · shard_i.
+        let total: usize = results.iter().map(|(n, _, _)| n).sum();
+        let mut loss = 0.0f32;
+        let mut combined: HashMap<ParamId, Tensor> = HashMap::new();
+        for (n, shard_loss, shard_grads) in results {
+            let w = n as f32 / total as f32;
+            loss += w * shard_loss;
+            for (id, g) in shard_grads {
+                match combined.get_mut(&id) {
+                    Some(acc) => acc.axpy_assign(w, &g),
+                    None => {
+                        combined.insert(id, g.scale(w));
+                    }
+                }
+            }
+        }
+        (loss, combined)
+    }
+
+    /// Trains for up to `cfg.epochs` epochs, scoring on a validation metric
+    /// after each (higher is better), keeping the best checkpoint and
+    /// restoring it at the end. Stops early after `cfg.patience` epochs
+    /// without improvement. Returns `(epoch stats, best validation score)`.
+    pub fn fit(
+        &self,
+        ps: &mut ParamStore,
+        opt: &mut dyn Optimizer,
+        n_samples: usize,
+        loss_fn: &LossFn<'_>,
+        val_fn: &mut dyn FnMut(&ParamStore) -> f32,
+    ) -> (Vec<EpochStats>, f32) {
+        let mut history = Vec::with_capacity(self.cfg.epochs);
+        let mut best_score = f32::NEG_INFINITY;
+        let mut best_checkpoint: Option<String> = None;
+        let mut stale = 0usize;
+        for epoch in 0..self.cfg.epochs {
+            let stats = self.run_epoch(ps, opt, n_samples, epoch, loss_fn);
+            history.push(stats);
+            let score = val_fn(ps);
+            if score > best_score {
+                best_score = score;
+                best_checkpoint = Some(ps.to_json());
+                stale = 0;
+            } else {
+                stale += 1;
+                if let Some(patience) = self.cfg.patience {
+                    if stale >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(ckpt) = best_checkpoint {
+            ps.load_json(&ckpt).expect("restoring best checkpoint");
+        }
+        (history, best_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use elda_autodiff::Tape;
+
+    /// Builds a linearly separable 2-feature dataset and a logistic
+    /// regression loss closure over it.
+    fn toy_problem() -> (ParamStore, Vec<Tensor>, Vec<f32>) {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::zeros(&[2, 1]));
+        ps.register("b", Tensor::zeros(&[1]));
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..64 {
+            let x0 = (i % 8) as f32 / 4.0 - 1.0;
+            let x1 = (i / 8) as f32 / 4.0 - 1.0;
+            xs.push(Tensor::from_vec(vec![x0, x1], &[2]));
+            ys.push(if x0 + x1 > 0.0 { 1.0 } else { 0.0 });
+        }
+        (ps, xs, ys)
+    }
+
+    fn logistic_loss(
+        ps: &ParamStore,
+        idx: &[usize],
+        xs: &[Tensor],
+        ys: &[f32],
+    ) -> (f32, HashMap<ParamId, Tensor>) {
+        let mut tape = Tape::new();
+        let n = idx.len();
+        let xb = Tensor::from_vec(
+            idx.iter().flat_map(|&i| xs[i].data().to_vec()).collect(),
+            &[n, 2],
+        );
+        let yb = Tensor::from_vec(idx.iter().map(|&i| ys[i]).collect(), &[n, 1]);
+        let x = tape.leaf(xb);
+        let w = ps.bind(&mut tape, ps.by_name("w").unwrap().id);
+        let b = ps.bind(&mut tape, ps.by_name("b").unwrap().id);
+        let z = tape.matmul(x, w);
+        let z = tape.add(z, b);
+        let loss = tape.bce_with_logits(z, &yb);
+        let value = tape.value(loss).item();
+        (value, tape.backward(loss).into_param_map())
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(0.05);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        let first = trainer.run_epoch(&mut ps, &mut opt, xs.len(), 0, &loss_fn);
+        let mut last = first.clone();
+        for e in 1..30 {
+            last = trainer.run_epoch(&mut ps, &mut opt, xs.len(), e, &loss_fn);
+        }
+        assert!(
+            last.mean_loss < 0.5 * first.mean_loss,
+            "loss did not drop: {} -> {}",
+            first.mean_loss,
+            last.mean_loss
+        );
+    }
+
+    #[test]
+    fn parallel_shards_match_serial_gradients() {
+        let (ps, xs, ys) = toy_problem();
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        let batch: Vec<usize> = (0..32).collect();
+        let serial = Trainer::new(TrainConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let parallel = Trainer::new(TrainConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        let (l1, g1) = serial.batch_gradients(&ps, &batch, &loss_fn);
+        let (l2, g2) = parallel.batch_gradients(&ps, &batch, &loss_fn);
+        assert!((l1 - l2).abs() < 1e-6, "{l1} vs {l2}");
+        for (id, g) in &g1 {
+            elda_tensor::testutil::assert_allclose(g, &g2[id], 1e-4, 1e-6);
+        }
+    }
+
+    #[test]
+    fn fit_restores_best_checkpoint() {
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            patience: None,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(0.05);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        // Adversarial validation score: epoch 2 is "best", later ones worse.
+        let mut calls = 0;
+        let mut snapshots: Vec<String> = Vec::new();
+        let (history, best) = trainer.fit(&mut ps, &mut opt, xs.len(), &loss_fn, &mut |ps| {
+            snapshots.push(ps.to_json());
+            calls += 1;
+            if calls == 3 {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(history.len(), 5);
+        assert_eq!(best, 10.0);
+        // The store must equal the epoch-3 (index 2) snapshot.
+        assert_eq!(ps.to_json(), snapshots[2]);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            batch_size: 16,
+            patience: Some(2),
+            ..Default::default()
+        });
+        let mut opt = Adam::new(0.01);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        // Validation never improves after the first epoch.
+        let mut first = true;
+        let (history, _) = trainer.fit(&mut ps, &mut opt, xs.len(), &loss_fn, &mut |_| {
+            if first {
+                first = false;
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(history.len(), 3, "1 best epoch + 2 stale epochs");
+    }
+}

@@ -1,0 +1,171 @@
+//! Trainer-level integration: schedules, weight decay and shard
+//! parallelism composed the way the experiment harnesses use them.
+
+use elda_autodiff::{ParamId, Tape};
+use elda_nn::{Adam, LrSchedule, Optimizer, ParamStore, Sgd, TrainConfig, Trainer};
+use elda_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A separable logistic problem shared by the tests.
+fn problem() -> (ParamStore, Vec<Tensor>, Vec<f32>) {
+    let mut ps = ParamStore::new();
+    ps.register("w", Tensor::zeros(&[2, 1]));
+    ps.register("b", Tensor::zeros(&[1]));
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..96 {
+        let x0 = (i % 12) as f32 / 6.0 - 1.0;
+        let x1 = (i / 12) as f32 / 4.0 - 1.0;
+        xs.push(Tensor::from_vec(vec![x0, x1], &[2]));
+        ys.push(if 2.0 * x0 - x1 > 0.1 { 1.0 } else { 0.0 });
+    }
+    (ps, xs, ys)
+}
+
+fn loss_fn(
+    ps: &ParamStore,
+    idx: &[usize],
+    xs: &[Tensor],
+    ys: &[f32],
+) -> (f32, HashMap<ParamId, Tensor>) {
+    let mut tape = Tape::new();
+    let n = idx.len();
+    let xb = Tensor::from_vec(
+        idx.iter().flat_map(|&i| xs[i].data().to_vec()).collect(),
+        &[n, 2],
+    );
+    let yb = Tensor::from_vec(idx.iter().map(|&i| ys[i]).collect(), &[n, 1]);
+    let x = tape.leaf(xb);
+    let w = ps.bind(&mut tape, ps.by_name("w").unwrap().id);
+    let b = ps.bind(&mut tape, ps.by_name("b").unwrap().id);
+    let z = tape.matmul(x, w);
+    let z = tape.add(z, b);
+    let loss = tape.bce_with_logits(z, &yb);
+    (
+        tape.value(loss).item(),
+        tape.backward(loss).into_param_map(),
+    )
+}
+
+#[test]
+fn cosine_schedule_composes_with_trainer() {
+    let (mut ps, xs, ys) = problem();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 20,
+        batch_size: 24,
+        ..Default::default()
+    });
+    let mut opt = Adam::new(0.05);
+    let schedule = LrSchedule::Cosine {
+        total: 20,
+        floor: 0.05,
+    };
+    let f = |ps: &ParamStore, idx: &[usize]| loss_fn(ps, idx, &xs, &ys);
+    let mut last = f32::INFINITY;
+    for epoch in 0..20 {
+        schedule.apply(0.05, epoch, &mut opt);
+        let stats = trainer.run_epoch(&mut ps, &mut opt, xs.len(), epoch, &f);
+        last = stats.mean_loss;
+    }
+    assert!(
+        last < 0.45,
+        "cosine-scheduled training should converge, got {last}"
+    );
+    // lr ended near the floor
+    assert!((opt.learning_rate() - 0.05 * schedule.multiplier(19)).abs() < 1e-6);
+}
+
+#[test]
+fn weight_decay_regularizes_the_solution() {
+    // With strong decay the learned weights stay smaller than without.
+    let run = |wd: f32| -> f32 {
+        let (mut ps, xs, ys) = problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 24,
+            ..Default::default()
+        });
+        let mut opt = Sgd::new(0.5).with_weight_decay(wd);
+        let f = |ps: &ParamStore, idx: &[usize]| loss_fn(ps, idx, &xs, &ys);
+        for epoch in 0..30 {
+            trainer.run_epoch(&mut ps, &mut opt, xs.len(), epoch, &f);
+        }
+        let w = ps.by_name("w").unwrap().value.clone();
+        w.data().iter().map(|v| v * v).sum::<f32>().sqrt()
+    };
+    let free = run(0.0);
+    let decayed = run(0.5);
+    assert!(
+        decayed < free,
+        "decayed norm {decayed} should be below unregularized {free}"
+    );
+}
+
+#[test]
+fn threads_do_not_change_the_training_trajectory() {
+    let run = |threads: usize| -> String {
+        let (mut ps, xs, ys) = problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            threads,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(0.05);
+        let f = |ps: &ParamStore, idx: &[usize]| loss_fn(ps, idx, &xs, &ys);
+        for epoch in 0..5 {
+            trainer.run_epoch(&mut ps, &mut opt, xs.len(), epoch, &f);
+        }
+        ps.to_json()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    // Bitwise equality can differ by summation order; compare parsed values.
+    let a: serde_json::Value = serde_json::from_str(&serial).unwrap();
+    let b: serde_json::Value = serde_json::from_str(&parallel).unwrap();
+    let extract = |v: &serde_json::Value| -> Vec<f64> {
+        v.as_array()
+            .unwrap()
+            .iter()
+            .flat_map(|rec| {
+                rec["data"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.as_f64().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    for (x, y) in extract(&a).iter().zip(extract(&b).iter()) {
+        assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn warmup_starts_slow() {
+    // First-epoch parameter movement under warmup must be smaller than
+    // without it (same seed, same data order).
+    let step_norm = |schedule: Option<LrSchedule>| -> f32 {
+        let (mut ps, xs, ys) = problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 96,
+            ..Default::default()
+        });
+        let mut opt = Sgd::new(0.5);
+        if let Some(s) = schedule {
+            s.apply(0.5, 0, &mut opt);
+        }
+        let f = |ps: &ParamStore, idx: &[usize]| loss_fn(ps, idx, &xs, &ys);
+        trainer.run_epoch(&mut ps, &mut opt, xs.len(), 0, &f);
+        let w = ps.by_name("w").unwrap().value.clone();
+        w.data().iter().map(|v| v * v).sum::<f32>().sqrt()
+    };
+    let cold = step_norm(Some(LrSchedule::Warmup { warmup: 10 }));
+    let hot = step_norm(None);
+    assert!(
+        cold < hot,
+        "warmup step {cold} should be smaller than full-lr step {hot}"
+    );
+}

@@ -1,0 +1,202 @@
+//! NumPy-style broadcasting resolution and iteration.
+//!
+//! Two shapes broadcast together by right-aligning them; each axis pair must
+//! be equal or contain a 1. Axes of extent 1 (and missing leading axes) are
+//! virtually repeated by giving them stride 0.
+
+use crate::error::TensorError;
+
+/// Computes the broadcast result shape of `lhs` and `rhs`.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for (axis, slot) in out.iter_mut().enumerate() {
+        let l = aligned_dim(lhs, axis, rank);
+        let r = aligned_dim(rhs, axis, rank);
+        *slot = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Returns the extent of `dims` at output axis `out_axis` when right-aligned
+/// into a shape of rank `out_rank` (missing leading axes count as 1).
+#[inline]
+pub fn aligned_dim(dims: &[usize], out_axis: usize, out_rank: usize) -> usize {
+    let offset = out_rank - dims.len();
+    if out_axis < offset {
+        1
+    } else {
+        dims[out_axis - offset]
+    }
+}
+
+/// Row-major strides of `dims` right-aligned into rank `out_rank`, with
+/// stride 0 on broadcast (extent-1 or missing) axes.
+pub fn broadcast_strides(dims: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let out_rank = out_shape.len();
+    let offset = out_rank - dims.len();
+    // native strides of dims
+    let mut native = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        native[i] = native[i + 1] * dims[i + 1];
+    }
+    let mut out = vec![0usize; out_rank];
+    for i in 0..out_rank {
+        if i < offset {
+            out[i] = 0;
+        } else {
+            let d = dims[i - offset];
+            out[i] = if d == 1 { 0 } else { native[i - offset] };
+        }
+    }
+    out
+}
+
+/// An odometer-style iterator over the flat offsets of two operands under
+/// broadcasting, yielding `(lhs_offset, rhs_offset)` in row-major output
+/// order. Used by the generic binary kernel; the identical-shape fast path
+/// bypasses it.
+pub struct BroadcastIter {
+    out_shape: Vec<usize>,
+    lhs_strides: Vec<usize>,
+    rhs_strides: Vec<usize>,
+    index: Vec<usize>,
+    lhs_off: usize,
+    rhs_off: usize,
+    remaining: usize,
+    started: bool,
+}
+
+impl BroadcastIter {
+    /// Creates an iterator for operands of shape `lhs` and `rhs`; `out` must
+    /// be their broadcast shape (from [`broadcast_shapes`]).
+    pub fn new(lhs: &[usize], rhs: &[usize], out: &[usize]) -> Self {
+        BroadcastIter {
+            lhs_strides: broadcast_strides(lhs, out),
+            rhs_strides: broadcast_strides(rhs, out),
+            index: vec![0; out.len()],
+            out_shape: out.to_vec(),
+            lhs_off: 0,
+            rhs_off: 0,
+            remaining: out.iter().product(),
+            started: false,
+        }
+    }
+}
+
+impl Iterator for BroadcastIter {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            self.remaining -= 1;
+            return Some((0, 0));
+        }
+        // advance the odometer from the innermost axis
+        for axis in (0..self.out_shape.len()).rev() {
+            self.index[axis] += 1;
+            self.lhs_off += self.lhs_strides[axis];
+            self.rhs_off += self.rhs_strides[axis];
+            if self.index[axis] < self.out_shape[axis] {
+                self.remaining -= 1;
+                return Some((self.lhs_off, self.rhs_off));
+            }
+            // carry: rewind this axis
+            self.lhs_off -= self.lhs_strides[axis] * self.index[axis];
+            self.rhs_off -= self.rhs_strides[axis] * self.index[axis];
+            self.index[axis] = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_same_shape() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_vector_over_matrix() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_ones_expand() {
+        assert_eq!(
+            broadcast_shapes(&[4, 1, 3], &[1, 5, 3]).unwrap(),
+            vec![4, 5, 3]
+        );
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast_shapes(&[], &[2, 2]).unwrap(), vec![2, 2]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        assert!(broadcast_shapes(&[2, 3], &[4, 3]).is_err());
+        assert!(broadcast_shapes(&[2], &[3]).is_err());
+    }
+
+    #[test]
+    fn strides_zero_on_broadcast_axes() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1, 4], &[2, 3, 4]), vec![4, 0, 1]);
+        assert_eq!(broadcast_strides(&[], &[2, 2]), vec![0, 0]);
+    }
+
+    #[test]
+    fn iter_covers_all_pairs_row_major() {
+        // lhs (2,1), rhs (1,3) -> out (2,3)
+        let out = broadcast_shapes(&[2, 1], &[1, 3]).unwrap();
+        let pairs: Vec<_> = BroadcastIter::new(&[2, 1], &[1, 3], &out).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn iter_matches_naive_indexing() {
+        let lhs = [4, 1, 3];
+        let rhs = [2, 3];
+        let out = broadcast_shapes(&lhs, &rhs).unwrap();
+        let ls = broadcast_strides(&lhs, &out);
+        let rs = broadcast_strides(&rhs, &out);
+        let mut expected = Vec::new();
+        for a in 0..out[0] {
+            for b in 0..out[1] {
+                for c in 0..out[2] {
+                    expected.push((
+                        a * ls[0] + b * ls[1] + c * ls[2],
+                        a * rs[0] + b * rs[1] + c * rs[2],
+                    ));
+                }
+            }
+        }
+        let got: Vec<_> = BroadcastIter::new(&lhs, &rhs, &out).collect();
+        assert_eq!(got, expected);
+    }
+}

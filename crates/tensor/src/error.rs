@@ -1,0 +1,58 @@
+//! Error type for fallible tensor construction and checked operations.
+
+use std::fmt;
+
+/// Errors produced by checked tensor operations.
+///
+/// Most kernel entry points treat shape mismatches as programmer errors and
+/// panic; the checked constructors and the broadcast resolver return this
+/// error so callers handling external data (e.g. deserialized checkpoints)
+/// can recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by the shape does not match the data length.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand-side shape.
+        lhs: Vec<usize>,
+        /// Right-hand-side shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A shape with a zero-sized dimension was supplied where data is required.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
+            }
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} are not broadcast-compatible")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::EmptyShape => write!(f, "shape has a zero-sized dimension"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! # elda-tensor
+//!
+//! A compact, dependency-light, row-major `f32` N-dimensional tensor library.
+//!
+//! This crate is the numerical substrate for the ELDA reproduction: the
+//! autodiff engine (`elda-autodiff`), the layer stack (`elda-nn`) and
+//! every model in the repository are built on these kernels.
+//!
+//! Design points:
+//!
+//! * **Row-major contiguous storage.** A [`Tensor`] owns a `Vec<f32>` and a
+//!   shape; views are not exposed — slicing copies. This keeps aliasing out
+//!   of the autodiff tape and makes tensors trivially `Send + Sync`.
+//! * **NumPy-style broadcasting** for all binary elementwise operations,
+//!   with a fast path for identical shapes (see [`broadcast`]).
+//! * **Shape errors are programmer errors** and panic with a descriptive
+//!   message. Fallible construction from external data goes through
+//!   [`Tensor::try_from_vec`].
+//! * **Determinism.** All random fills take an explicit `rand::Rng`.
+//!
+//! ```
+//! use elda_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+//! let c = a.add(&b); // broadcasts the row vector
+//! assert_eq!(c.data(), &[11.0, 22.0, 13.0, 24.0]);
+//! ```
+
+pub mod broadcast;
+pub mod error;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Tolerance-based comparison helpers used across the workspace's tests.
+pub mod testutil {
+    use crate::Tensor;
+
+    /// True when `|a - b| <= atol + rtol * |b|` element-wise.
+    pub fn allclose(a: &Tensor, b: &Tensor, rtol: f32, atol: f32) -> bool {
+        if a.shape() != b.shape() {
+            return false;
+        }
+        a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+    }
+
+    /// Panics with a readable diff when the tensors differ beyond tolerance.
+    pub fn assert_allclose(a: &Tensor, b: &Tensor, rtol: f32, atol: f32) {
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "shape mismatch: {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        );
+        for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!(
+                (x - y).abs() <= atol + rtol * y.abs(),
+                "tensors differ at flat index {i}: {x} vs {y} (rtol={rtol}, atol={atol})"
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Elementwise kernels: broadcasting binary ops, unary maps, scalar ops.
+
+use crate::broadcast::{broadcast_shapes, BroadcastIter};
+use crate::Tensor;
+
+impl Tensor {
+    /// Applies `f` to every pair of broadcast elements.
+    ///
+    /// The workhorse behind [`Tensor::add`]/[`Tensor::mul`]/... A fast path
+    /// handles identical shapes without the odometer iterator.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape() == other.shape() {
+            let data = self
+                .data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor::from_vec(data, self.shape());
+        }
+        let out_shape = broadcast_shapes(self.shape(), other.shape())
+            .unwrap_or_else(|e| panic!("elementwise op: {e}"));
+        let mut data = Vec::with_capacity(out_shape.iter().product());
+        for (lo, ro) in BroadcastIter::new(self.shape(), other.shape(), &out_shape) {
+            data.push(f(self.data()[lo], other.data()[ro]));
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, f32::min)
+    }
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&v| f(v)).collect(), self.shape())
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|v| v * v)
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^-x)`, numerically stable on
+    /// both tails.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(stable_sigmoid)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise rectified linear unit `max(0, x)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// A `{0,1}` mask marking elements strictly greater than `threshold`.
+    pub fn gt_mask(&self, threshold: f32) -> Tensor {
+        self.map(|v| if v > threshold { 1.0 } else { 0.0 })
+    }
+
+    /// Accumulates `other` into `self` in place (`self += alpha * other`);
+    /// shapes must match exactly. Used on gradient buffers in hot paths.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy_assign(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy_assign shape mismatch");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+    }
+}
+
+/// Sigmoid that avoids overflow for large-magnitude inputs.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_allclose;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1., 2.], &[2]);
+        let b = Tensor::from_vec(vec![3., 5.], &[2]);
+        assert_eq!(a.add(&b).data(), &[4., 7.]);
+    }
+
+    #[test]
+    fn add_broadcasts_row_vector() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = Tensor::from_vec(vec![10., 20.], &[2]);
+        assert_eq!(a.add(&b).data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn mul_broadcasts_column_against_row() {
+        let col = Tensor::from_vec(vec![1., 2.], &[2, 1]);
+        let row = Tensor::from_vec(vec![3., 4., 5.], &[1, 3]);
+        let out = col.mul(&row);
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(out.data(), &[3., 4., 5., 6., 8., 10.]);
+    }
+
+    #[test]
+    fn scalar_tensor_broadcasts_everywhere() {
+        let a = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let s = Tensor::scalar(2.0);
+        assert_eq!(a.mul(&s).data(), &[2., 4., 6.]);
+        assert_eq!(s.sub(&a).data(), &[1., 0., -1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcast-compatible")]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        a.add(&b);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_on_extremes() {
+        let t = Tensor::from_vec(vec![-1000.0, 0.0, 1000.0], &[3]);
+        let s = t.sigmoid();
+        assert_eq!(s.data()[0], 0.0);
+        assert_eq!(s.data()[1], 0.5);
+        assert_eq!(s.data()[2], 1.0);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let t = Tensor::from_vec(vec![-2., 0., 3.], &[3]);
+        assert_eq!(t.relu().data(), &[0., 0., 3.]);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let t = Tensor::from_vec(vec![-1., 0.5], &[2]);
+        assert_allclose(
+            &t.tanh(),
+            &Tensor::from_vec(vec![(-1.0f32).tanh(), 0.5f32.tanh()], &[2]),
+            1e-6,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![1., 1.], &[2]);
+        let b = Tensor::from_vec(vec![2., 3.], &[2]);
+        a.axpy_assign(0.5, &b);
+        assert_eq!(a.data(), &[2., 2.5]);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let t = Tensor::from_vec(vec![-5., 0., 5.], &[3]);
+        assert_eq!(t.clamp(-3.0, 3.0).data(), &[-3., 0., 3.]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Matrix multiplication and axis-permutation kernels.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// 2-D matrix product: `(m,k) x (k,n) -> (m,n)`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order over contiguous rows.
+    ///
+    /// # Panics
+    /// Panics when the operands are not rank-2 or the inner extents differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            2,
+            "matmul lhs must be rank-2, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.rank(),
+            2,
+            "matmul rhs must be rank-2, got {:?}",
+            other.shape()
+        );
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner extents differ: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product: `(b,m,k) x (b,k,n) -> (b,m,n)`.
+    ///
+    /// The right-hand side may also be rank-2 `(k,n)`, which is shared by
+    /// every batch (the common "apply one weight to a batch of matrices"
+    /// case).
+    pub fn matmul_batched(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            3,
+            "matmul_batched lhs must be rank-3, got {:?}",
+            self.shape()
+        );
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        match other.rank() {
+            3 => {
+                let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+                assert_eq!(b, b2, "batch extents differ");
+                assert_eq!(k, k2, "inner extents differ");
+                let mut out = vec![0.0f32; b * m * n];
+                for i in 0..b {
+                    matmul_into(
+                        &self.data()[i * m * k..(i + 1) * m * k],
+                        &other.data()[i * k * n..(i + 1) * k * n],
+                        &mut out[i * m * n..(i + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            2 => {
+                let (k2, n) = (other.shape()[0], other.shape()[1]);
+                assert_eq!(k, k2, "inner extents differ");
+                let mut out = vec![0.0f32; b * m * n];
+                for i in 0..b {
+                    matmul_into(
+                        &self.data()[i * m * k..(i + 1) * m * k],
+                        other.data(),
+                        &mut out[i * m * n..(i + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            r => panic!("matmul_batched rhs must be rank-2 or rank-3, got rank {r}"),
+        }
+    }
+
+    /// Transposes a rank-2 tensor.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            2,
+            "transpose2d requires rank-2, got {:?}",
+            self.shape()
+        );
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Swaps the last two axes of a rank-≥2 tensor.
+    pub fn transpose_last2(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 2, "transpose_last2 requires rank >= 2");
+        let mut perm: Vec<usize> = (0..r).collect();
+        perm.swap(r - 1, r - 2);
+        self.permute(&perm)
+    }
+
+    /// Reorders axes by `perm` (a permutation of `0..rank`).
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let r = self.rank();
+        assert_eq!(perm.len(), r, "permute length must equal rank");
+        let mut seen = vec![false; r];
+        for &p in perm {
+            assert!(
+                p < r && !seen[p],
+                "permute {perm:?} is not a permutation of 0..{r}"
+            );
+            seen[p] = true;
+        }
+        let in_dims = self.shape();
+        let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
+        let in_strides = self.shape_obj().strides();
+        // stride of output axis a = stride of input axis perm[a]
+        let mapped: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let volume = self.len();
+        let mut out = Vec::with_capacity(volume);
+        let mut index = vec![0usize; r];
+        let mut offset = 0usize;
+        for _ in 0..volume {
+            out.push(self.data()[offset]);
+            // advance odometer over out_dims
+            for axis in (0..r).rev() {
+                index[axis] += 1;
+                offset += mapped[axis];
+                if index[axis] < out_dims[axis] {
+                    break;
+                }
+                offset -= mapped[axis] * index[axis];
+                index[axis] = 0;
+            }
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Vector dot product of two rank-1 tensors of equal length.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.rank(), 1, "dot lhs must be rank-1");
+        assert_eq!(self.shape(), other.shape(), "dot operands must match");
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+/// `out += a(m,k) * b(k,n)` with `out` pre-zeroed; i-k-j order so the inner
+/// loop streams both `b`'s row and `out`'s row.
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            // No zero-skip fast path: skipping `aip == 0.0` would mask
+            // NaN/Inf in `b` (0 * NaN must be NaN), letting a diverged
+            // weight matrix evade every downstream finiteness check.
+            let aip = a[i * k + p];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aip * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_allclose;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let out = a.matmul(&Tensor::eye(3));
+        assert_allclose(&out, &a, 1e-6, 0.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2]);
+        assert_eq!(a.matmul(&b).data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1., 0., 2., -1., 3., 1.], &[3, 2]);
+        let b = Tensor::from_vec(vec![3., 1., 2., 1.], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[3., 1., 4., 1., 11., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner extents differ")]
+    fn matmul_rejects_mismatch() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_slice() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]);
+        let b = Tensor::arange(18).reshape(&[2, 3, 3]);
+        let c = a.matmul_batched(&b);
+        assert_eq!(c.shape(), &[2, 2, 3]);
+        // slice 0
+        let a0 = Tensor::from_vec(a.data()[..6].to_vec(), &[2, 3]);
+        let b0 = Tensor::from_vec(b.data()[..9].to_vec(), &[3, 3]);
+        assert_eq!(&c.data()[..6], a0.matmul(&b0).data());
+    }
+
+    #[test]
+    fn batched_matmul_shared_rhs() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]);
+        let w = Tensor::arange(6).reshape(&[3, 2]);
+        let c = a.matmul_batched(&w);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        let a1 = Tensor::from_vec(a.data()[6..].to_vec(), &[2, 3]);
+        assert_eq!(&c.data()[4..], a1.matmul(&w).data());
+    }
+
+    #[test]
+    fn transpose2d_roundtrip() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let t = a.transpose2d();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_allclose(&t.transpose2d(), &a, 0.0, 0.0);
+    }
+
+    #[test]
+    fn permute_reorders_axes() {
+        let a = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let p = a.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.at(&[k, i, j]), a.at(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_last2_on_rank3() {
+        let a = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let t = a.transpose_last2();
+        assert_eq!(t.shape(), &[2, 4, 3]);
+        assert_eq!(t.at(&[1, 3, 2]), a.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let b = Tensor::from_vec(vec![4., 5., 6.], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Tensor kernels, grouped by family.
+//!
+//! Every kernel is a method on [`crate::Tensor`] returning a fresh tensor.
+//! Shape violations panic with descriptive messages (programmer errors);
+//! the broadcast resolver itself is fallible and reused by the autodiff
+//! layer for shape inference.
+
+pub mod elementwise;
+pub mod matmul;
+pub mod reduce;
+pub mod shape_ops;
+pub mod softmax;

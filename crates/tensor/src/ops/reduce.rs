@@ -1,0 +1,230 @@
+//! Reduction kernels: full and per-axis sums, means, maxima, and the
+//! broadcast-inverse reduction used by autodiff.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        // Pairwise-ish accumulation in f64 keeps long reductions accurate.
+        self.data().iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    /// Panics on empty tensors.
+    pub fn mean_all(&self) -> f32 {
+        assert!(!self.is_empty(), "mean of empty tensor");
+        self.sum_all() / self.len() as f32
+    }
+
+    /// Maximum element.
+    pub fn max_all(&self) -> f32 {
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min_all(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums along `axis`. With `keepdim` the axis stays with extent 1,
+    /// otherwise it is removed.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        self.reduce_axis(axis, keepdim, 0.0, |acc, v| acc + v)
+    }
+
+    /// Means along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let n = self.shape()[axis] as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / n)
+    }
+
+    /// Maxima along `axis`.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        self.reduce_axis(axis, keepdim, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum along the last axis; ties resolve to the first.
+    /// Returns a tensor of the same shape minus the last axis, holding
+    /// indices as `f32`.
+    pub fn argmax_lastdim(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 1, "argmax on scalar");
+        let inner = self.shape()[r - 1];
+        let outer = self.len() / inner;
+        let mut out = Vec::with_capacity(outer);
+        for row in self.data().chunks_exact(inner) {
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best as f32);
+        }
+        Tensor::from_vec(out, &self.shape()[..r - 1])
+    }
+
+    /// Generic single-axis fold.
+    fn reduce_axis(
+        &self,
+        axis: usize,
+        keepdim: bool,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Tensor {
+        let r = self.rank();
+        assert!(axis < r, "reduce axis {axis} out of range for rank {r}");
+        let dims = self.shape();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = vec![init; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] = f(out[obase + i], self.data()[base + i]);
+                }
+            }
+        }
+        let mut out_dims: Vec<usize> = dims.to_vec();
+        if keepdim {
+            out_dims[axis] = 1;
+        } else {
+            out_dims.remove(axis);
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Reduces `self` to `target` by summing over every axis in which
+    /// `target` was broadcast (extent 1 or missing). This is the adjoint of
+    /// broadcasting and is what autodiff uses to push gradients back through
+    /// broadcast binary ops.
+    ///
+    /// # Panics
+    /// Panics when `target` is not broadcast-compatible with `self.shape()`.
+    pub fn sum_to_shape(&self, target: &[usize]) -> Tensor {
+        if self.shape() == target {
+            return self.clone();
+        }
+        let rank = self.rank();
+        let offset = rank - target.len();
+        let mut t = self.clone();
+        // Sum away leading axes missing from target.
+        for _ in 0..offset {
+            t = t.sum_axis(0, false);
+        }
+        // Sum (keepdim) axes where the target has extent 1.
+        for (axis, &td) in target.iter().enumerate() {
+            if td == 1 && t.shape()[axis] != 1 {
+                t = t.sum_axis(axis, true);
+            } else {
+                assert!(
+                    td == t.shape()[axis] || td == 1,
+                    "sum_to_shape: {:?} does not broadcast to {:?}",
+                    target,
+                    self.shape()
+                );
+            }
+        }
+        t.reshaped(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_all_adds_everything() {
+        assert_eq!(Tensor::arange(5).sum_all(), 10.0);
+        assert_eq!(Tensor::scalar(3.0).sum_all(), 3.0);
+    }
+
+    #[test]
+    fn mean_all_divides() {
+        assert_eq!(Tensor::arange(4).mean_all(), 1.5);
+    }
+
+    #[test]
+    fn sum_axis_outer() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let s = t.sum_axis(0, false);
+        assert_eq!(s.shape(), &[3]);
+        assert_eq!(s.data(), &[3., 5., 7.]);
+    }
+
+    #[test]
+    fn sum_axis_inner_keepdim() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let s = t.sum_axis(1, true);
+        assert_eq!(s.shape(), &[2, 1]);
+        assert_eq!(s.data(), &[3., 12.]);
+    }
+
+    #[test]
+    fn sum_middle_axis_of_rank3() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let s = t.sum_axis(1, false);
+        assert_eq!(s.shape(), &[2, 4]);
+        // element [0,0] = t[0,0,0]+t[0,1,0]+t[0,2,0] = 0+4+8
+        assert_eq!(s.at(&[0, 0]), 12.0);
+        assert_eq!(s.at(&[1, 3]), (15 + 19 + 23) as f32);
+    }
+
+    #[test]
+    fn mean_axis_scales() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(t.mean_axis(1, false).data(), &[1., 4.]);
+    }
+
+    #[test]
+    fn max_axis_takes_maxima() {
+        let t = Tensor::from_vec(vec![1., 9., 3., 7., 2., 8.], &[2, 3]);
+        assert_eq!(t.max_axis(1, false).data(), &[9., 8.]);
+        assert_eq!(t.max_axis(0, false).data(), &[7., 9., 8.]);
+    }
+
+    #[test]
+    fn argmax_lastdim_breaks_ties_low() {
+        let t = Tensor::from_vec(vec![5., 5., 1., 0., 2., 2.], &[2, 3]);
+        assert_eq!(t.argmax_lastdim().data(), &[0., 1.]);
+    }
+
+    #[test]
+    fn sum_to_shape_inverts_row_broadcast() {
+        let g = Tensor::ones(&[4, 3]);
+        let r = g.sum_to_shape(&[3]);
+        assert_eq!(r.shape(), &[3]);
+        assert_eq!(r.data(), &[4., 4., 4.]);
+    }
+
+    #[test]
+    fn sum_to_shape_keepdim_axis() {
+        let g = Tensor::arange(6).reshape(&[2, 3]);
+        let r = g.sum_to_shape(&[2, 1]);
+        assert_eq!(r.shape(), &[2, 1]);
+        assert_eq!(r.data(), &[3., 12.]);
+    }
+
+    #[test]
+    fn sum_to_shape_to_scalar() {
+        let g = Tensor::ones(&[2, 2]);
+        let r = g.sum_to_shape(&[]);
+        assert_eq!(r.shape(), &[] as &[usize]);
+        assert_eq!(r.item(), 4.0);
+    }
+
+    #[test]
+    fn sum_to_same_shape_is_identity() {
+        let g = Tensor::arange(4).reshape(&[2, 2]);
+        assert_eq!(g.sum_to_shape(&[2, 2]).data(), g.data());
+    }
+}

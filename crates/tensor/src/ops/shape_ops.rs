@@ -1,0 +1,223 @@
+//! Structural kernels: slicing, selection, concatenation and stacking.
+//!
+//! All of these copy — views are deliberately not part of the API (see the
+//! crate docs).
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Copies the half-open range `[start, end)` along `axis`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range axis or bounds.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        let dims = self.shape();
+        assert!(axis < dims.len(), "slice axis {axis} out of range");
+        assert!(
+            start <= end && end <= dims[axis],
+            "slice bounds {start}..{end} invalid for axis extent {}",
+            dims[axis]
+        );
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let span = end - start;
+        let mut out = Vec::with_capacity(outer * span * inner);
+        for o in 0..outer {
+            let base = (o * mid + start) * inner;
+            out.extend_from_slice(&self.data()[base..base + span * inner]);
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = span;
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Selects index `idx` along `axis`, removing that axis.
+    pub fn select(&self, axis: usize, idx: usize) -> Tensor {
+        let s = self.slice_axis(axis, idx, idx + 1);
+        s.squeeze(axis)
+    }
+
+    /// Concatenates tensors along `axis`. All other axes must agree.
+    ///
+    /// # Panics
+    /// Panics on an empty input list or mismatched shapes.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let first = parts[0].shape();
+        assert!(axis < first.len(), "concat axis {axis} out of range");
+        for p in parts {
+            assert_eq!(p.rank(), first.len(), "concat rank mismatch");
+            for (a, (&d, &e)) in p.shape().iter().zip(first).enumerate() {
+                assert!(
+                    a == axis || d == e,
+                    "concat: non-concat axis {a} differs ({d} vs {e})"
+                );
+            }
+        }
+        let outer: usize = first[..axis].iter().product();
+        let inner: usize = first[axis + 1..].iter().product();
+        let total_mid: usize = parts.iter().map(|p| p.shape()[axis]).sum();
+        let mut out = Vec::with_capacity(outer * total_mid * inner);
+        for o in 0..outer {
+            for p in parts {
+                let mid = p.shape()[axis];
+                let base = o * mid * inner;
+                out.extend_from_slice(&p.data()[base..base + mid * inner]);
+            }
+        }
+        let mut out_dims = first.to_vec();
+        out_dims[axis] = total_mid;
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Stacks equal-shaped tensors along a new leading axis at `axis`.
+    pub fn stack(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        let unsqueezed: Vec<Tensor> = parts.iter().map(|p| p.unsqueeze(axis)).collect();
+        let refs: Vec<&Tensor> = unsqueezed.iter().collect();
+        Tensor::concat(&refs, axis)
+    }
+
+    /// Splits into `n` equal parts along `axis`.
+    ///
+    /// # Panics
+    /// Panics when the axis extent is not divisible by `n`.
+    pub fn split_equal(&self, axis: usize, n: usize) -> Vec<Tensor> {
+        let extent = self.shape()[axis];
+        assert_eq!(
+            extent % n,
+            0,
+            "axis extent {extent} not divisible into {n} parts"
+        );
+        let step = extent / n;
+        (0..n)
+            .map(|i| self.slice_axis(axis, i * step, (i + 1) * step))
+            .collect()
+    }
+
+    /// Repeats the tensor `reps` times along `axis` (tile).
+    pub fn repeat_axis(&self, axis: usize, reps: usize) -> Tensor {
+        let copies: Vec<&Tensor> = std::iter::repeat_n(self, reps).collect();
+        Tensor::concat(&copies, axis)
+    }
+
+    /// Writes `src` into the half-open range `[start, start+src_extent)`
+    /// along `axis`, in place. The structural adjoint of [`Tensor::slice_axis`].
+    pub fn assign_slice_axis(&mut self, axis: usize, start: usize, src: &Tensor) {
+        let dims = self.shape().to_vec();
+        assert!(axis < dims.len(), "assign axis out of range");
+        assert_eq!(src.rank(), dims.len(), "assign rank mismatch");
+        let span = src.shape()[axis];
+        assert!(start + span <= dims[axis], "assign slice out of bounds");
+        for (a, (&d, &e)) in src.shape().iter().zip(&dims).enumerate() {
+            assert!(
+                a == axis || d == e,
+                "assign: non-slice axis {a} differs ({d} vs {e})"
+            );
+        }
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        for o in 0..outer {
+            let dst_base = (o * mid + start) * inner;
+            let src_base = o * span * inner;
+            self.data_mut()[dst_base..dst_base + span * inner]
+                .copy_from_slice(&src.data()[src_base..src_base + span * inner]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_outer_axis() {
+        let t = Tensor::arange(6).reshape(&[3, 2]);
+        let s = t.slice_axis(0, 1, 3);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[2., 3., 4., 5.]);
+    }
+
+    #[test]
+    fn slice_inner_axis() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let s = t.slice_axis(1, 0, 2);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[0., 1., 3., 4.]);
+    }
+
+    #[test]
+    fn select_removes_axis() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let s = t.select(1, 2);
+        assert_eq!(s.shape(), &[2, 4]);
+        assert_eq!(s.at(&[1, 0]), t.at(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn concat_axis0() {
+        let a = Tensor::arange(4).reshape(&[2, 2]);
+        let b = Tensor::from_vec(vec![9., 9.], &[1, 2]);
+        let c = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[0., 1., 2., 3., 9., 9.]);
+    }
+
+    #[test]
+    fn concat_inner_axis_interleaves() {
+        let a = Tensor::from_vec(vec![1., 2.], &[2, 1]);
+        let b = Tensor::from_vec(vec![3., 4.], &[2, 1]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[1., 3., 2., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-concat axis")]
+    fn concat_rejects_mismatched() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        Tensor::concat(&[&a, &b], 0);
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = Tensor::arange(2);
+        let b = Tensor::from_vec(vec![5., 6.], &[2]);
+        let s = Tensor::stack(&[&a, &b], 0);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[0., 1., 5., 6.]);
+        let s1 = Tensor::stack(&[&a, &b], 1);
+        assert_eq!(s1.shape(), &[2, 2]);
+        assert_eq!(s1.data(), &[0., 5., 1., 6.]);
+    }
+
+    #[test]
+    fn split_equal_roundtrips_concat() {
+        let t = Tensor::arange(12).reshape(&[2, 6]);
+        let parts = t.split_equal(1, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].shape(), &[2, 2]);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat(&refs, 1);
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn repeat_axis_tiles() {
+        let t = Tensor::arange(2).reshape(&[1, 2]);
+        let r = t.repeat_axis(0, 3);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), &[0., 1., 0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn assign_slice_inverts_slice() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        let src = Tensor::from_vec(vec![7., 8.], &[2, 1]);
+        t.assign_slice_axis(1, 1, &src);
+        assert_eq!(t.data(), &[0., 7., 0., 0., 8., 0.]);
+    }
+}

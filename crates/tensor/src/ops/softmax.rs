@@ -1,0 +1,137 @@
+//! Softmax-family kernels over the last axis.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Softmax along the last axis, computed with the max-subtraction trick
+    /// so arbitrarily large logits stay finite.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 1, "softmax on a scalar");
+        let inner = self.shape()[r - 1];
+        assert!(inner > 0, "softmax over empty axis");
+        let mut out = Vec::with_capacity(self.len());
+        for row in self.data().chunks_exact(inner) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            let exps: Vec<f32> = row
+                .iter()
+                .map(|&v| {
+                    let e = (v - max).exp();
+                    denom += e;
+                    e
+                })
+                .collect();
+            out.extend(exps.into_iter().map(|e| e / denom));
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Log-softmax along the last axis (numerically stable).
+    pub fn log_softmax_lastdim(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 1, "log_softmax on a scalar");
+        let inner = self.shape()[r - 1];
+        let mut out = Vec::with_capacity(self.len());
+        for row in self.data().chunks_exact(inner) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            out.extend(row.iter().map(|&v| v - lse));
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Softmax along the last axis where positions with `mask == 0` receive
+    /// zero probability. `mask` must broadcast to `self`'s shape; rows whose
+    /// mask is entirely zero produce a uniform row (avoids NaN).
+    pub fn masked_softmax_lastdim(&self, mask: &Tensor) -> Tensor {
+        const NEG: f32 = -1.0e30;
+        let opened = mask.mul(&Tensor::ones(self.shape())); // broadcast mask to full shape
+        let masked = self.zip_with(&opened, |v, m| if m > 0.0 { v } else { NEG });
+        let mut sm = masked.softmax_lastdim();
+        // Rows that were fully masked end up uniform over the masked logits;
+        // rewrite them to an explicit uniform distribution for determinism.
+        let inner = self.shape()[self.rank() - 1];
+        let mask_data = opened.data();
+        let sm_data = sm.data_mut();
+        for (row_idx, mask_row) in mask_data.chunks_exact(inner).enumerate() {
+            if mask_row.iter().all(|&m| m == 0.0) {
+                let u = 1.0 / inner as f32;
+                for v in &mut sm_data[row_idx * inner..(row_idx + 1) * inner] {
+                    *v = u;
+                }
+            } else {
+                // zero out the masked positions explicitly (they are ~0 already)
+                for (v, &m) in sm_data[row_idx * inner..(row_idx + 1) * inner]
+                    .iter_mut()
+                    .zip(mask_row)
+                {
+                    if m == 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_allclose;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1., 2., 3., -1., 0., 1.], &[2, 3]);
+        let s = t.softmax_lastdim();
+        for row in s.data().chunks_exact(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let shifted = t.add_scalar(100.0);
+        assert_allclose(&t.softmax_lastdim(), &shifted.softmax_lastdim(), 1e-5, 1e-7);
+    }
+
+    #[test]
+    fn softmax_handles_huge_logits() {
+        let t = Tensor::from_vec(vec![1e30f32, 0.0], &[2]);
+        let s = t.softmax_lastdim();
+        assert!(s.all_finite());
+        assert!((s.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let t = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.5], &[2, 2]);
+        assert_allclose(
+            &t.log_softmax_lastdim(),
+            &t.softmax_lastdim().ln(),
+            1e-5,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_positions() {
+        let t = Tensor::from_vec(vec![5., 1., 3.], &[3]);
+        let m = Tensor::from_vec(vec![1., 0., 1.], &[3]);
+        let s = t.masked_softmax_lastdim(&m);
+        assert_eq!(s.data()[1], 0.0);
+        assert!((s.data()[0] + s.data()[2] - 1.0).abs() < 1e-6);
+        assert!(s.data()[0] > s.data()[2]);
+    }
+
+    #[test]
+    fn masked_softmax_fully_masked_row_is_uniform() {
+        let t = Tensor::from_vec(vec![5., 1.], &[1, 2]);
+        let m = Tensor::zeros(&[1, 2]);
+        let s = t.masked_softmax_lastdim(&m);
+        assert_eq!(s.data(), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Random tensor fills. Every function takes an explicit RNG so the whole
+//! workspace stays deterministic under a seed.
+
+use crate::Tensor;
+use rand::Rng;
+
+impl Tensor {
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut (impl Rng + ?Sized)) -> Tensor {
+        let n = dims.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Gaussian samples via Box–Muller (keeps us off the `rand_distr`
+    /// dependency; two uniforms per pair of normals).
+    pub fn rand_normal(
+        dims: &[usize],
+        mean: f32,
+        std: f32,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Tensor {
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(rng);
+            data.push(mean + std * z0);
+            if data.len() < n {
+                data.push(mean + std * z1);
+            }
+        }
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Bernoulli `{0,1}` mask with success probability `p`.
+    pub fn rand_bernoulli(dims: &[usize], p: f32, rng: &mut (impl Rng + ?Sized)) -> Tensor {
+        let n = dims.iter().product();
+        let data = (0..n)
+            .map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Glorot/Xavier uniform initialization for a weight of shape
+    /// `[fan_in, fan_out, ...]`: `U(-limit, limit)` with
+    /// `limit = sqrt(6 / (fan_in + fan_out))`.
+    pub fn glorot_uniform(dims: &[usize], rng: &mut (impl Rng + ?Sized)) -> Tensor {
+        assert!(
+            dims.len() >= 2,
+            "glorot needs at least 2 axes, got {dims:?}"
+        );
+        let fan_in = dims[0] as f32;
+        let fan_out = dims[1] as f32;
+        let limit = (6.0 / (fan_in + fan_out)).sqrt();
+        Self::rand_uniform(dims, -limit, limit, rng)
+    }
+}
+
+/// One Box–Muller draw: two independent standard normals.
+pub fn box_muller(rng: &mut (impl Rng + ?Sized)) -> (f32, f32) {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::rand_normal(&[20000], 1.0, 2.0, &mut rng);
+        let mean = t.mean_all();
+        let var = t.sub(&Tensor::scalar(mean)).square().mean_all();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_bernoulli(&[10000], 0.8, &mut rng);
+        let rate = t.mean_all();
+        assert!((rate - 0.8).abs() < 0.03, "rate {rate}");
+        assert!(t.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn glorot_limit_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::glorot_uniform(&[100, 200], &mut rng);
+        let limit = (6.0f32 / 300.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+        assert!(t.max_all() > 0.5 * limit, "should come close to the limit");
+    }
+
+    #[test]
+    fn seeded_fills_are_reproducible() {
+        let a = Tensor::rand_normal(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = Tensor::rand_normal(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.data(), b.data());
+    }
+}

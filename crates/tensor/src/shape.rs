@@ -1,0 +1,125 @@
+//! Shape arithmetic: volumes, strides and index conversion.
+
+use crate::error::TensorError;
+
+/// A tensor shape: the extent of each axis, outermost first (row-major).
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` adding the index math the
+/// kernels need. Rank-0 (scalar) shapes are represented by an empty vector
+/// and have volume 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (1 for a scalar shape).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides: the linear-index step of each axis.
+    ///
+    /// For shape `[a, b, c]` the strides are `[b*c, c, 1]`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-index to a flat row-major offset.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the index is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let strides = self.strides();
+        for (i, (&ix, &st)) in index.iter().zip(&strides).enumerate() {
+            debug_assert!(
+                ix < self.0[i],
+                "index {ix} out of range for axis {i} (extent {})",
+                self.0[i]
+            );
+            off += ix * st;
+        }
+        off
+    }
+
+    /// Validates an axis and returns it, or an [`TensorError::AxisOutOfRange`].
+    pub fn check_axis(&self, axis: usize) -> Result<usize, TensorError> {
+        if axis < self.rank() {
+            Ok(axis)
+        } else {
+            Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_shape_is_one() {
+        assert_eq!(Shape::new(&[]).volume(), 1);
+    }
+
+    #[test]
+    fn volume_multiplies_extents() {
+        assert_eq!(Shape::new(&[2, 3, 4]).volume(), 24);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 2]), 2);
+        assert_eq!(s.offset(&[1, 0]), 3);
+        assert_eq!(s.offset(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn check_axis_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.check_axis(1).is_ok());
+        assert!(s.check_axis(2).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! The [`Tensor`] type: owned, contiguous, row-major `f32` storage.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+
+/// An owned, contiguous, row-major N-dimensional array of `f32`.
+///
+/// Tensors are value types: operations return fresh tensors. This keeps the
+/// autodiff tape free of aliasing and makes `Tensor` `Send + Sync` for the
+/// shard-parallel trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from data and a shape.
+    ///
+    /// # Panics
+    /// Panics when `data.len()` does not equal the shape volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        Self::try_from_vec(data, dims).expect("tensor construction")
+    }
+
+    /// Fallible version of [`Tensor::from_vec`].
+    pub fn try_from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A rank-0 tensor holding one value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; Shape::new(dims).volume()],
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![value; Shape::new(dims).volume()],
+        }
+    }
+
+    /// A square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// `[0, 1, ..., n-1]` as a rank-1 tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape::new(&[n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape's extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for zero-element tensors (any axis of extent 0).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-index.
+    ///
+    /// # Panics
+    /// Panics in debug builds on out-of-range indices.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element access by multi-index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// The single value of a rank-0 or one-element tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.len()
+        );
+        self.data[0]
+    }
+
+    /// True when every element is finite (no NaN/∞). Useful in training
+    /// divergence assertions.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Cheap shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns the same data under a new shape of identical volume.
+    ///
+    /// # Panics
+    /// Panics when the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.volume(),
+            self.len(),
+            "reshape from {:?} to {:?} changes volume",
+            self.shape(),
+            dims
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// In-place variant of [`Tensor::reshape`] that avoids the copy.
+    pub fn reshaped(mut self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.volume(), self.len(), "reshape changes volume");
+        self.shape = shape;
+        self
+    }
+
+    /// Adds an axis of extent 1 at `axis`.
+    pub fn unsqueeze(&self, axis: usize) -> Tensor {
+        let mut dims = self.shape().to_vec();
+        assert!(axis <= dims.len(), "unsqueeze axis {axis} out of range");
+        dims.insert(axis, 1);
+        self.reshape(&dims)
+    }
+
+    /// Removes an axis of extent 1 at `axis`.
+    ///
+    /// # Panics
+    /// Panics when the axis extent is not 1.
+    pub fn squeeze(&self, axis: usize) -> Tensor {
+        let mut dims = self.shape().to_vec();
+        assert!(axis < dims.len(), "squeeze axis {axis} out of range");
+        assert_eq!(
+            dims[axis], 1,
+            "squeeze axis {axis} has extent {}",
+            dims[axis]
+        );
+        dims.remove(axis);
+        self.reshape(&dims)
+    }
+
+    /// Access to the underlying [`Shape`].
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?} ", self.shape())?;
+        if self.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:?}, ... {} elements]", &self.data[..8], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_volume() {
+        assert!(Tensor::try_from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::try_from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 0.0);
+        assert_eq!(t.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn at_indexes_row_major() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(t.at(&[1, 0]), 4.0);
+        assert_eq!(t.at(&[0, 2]), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes volume")]
+    fn reshape_rejects_volume_change() {
+        Tensor::arange(6).reshape(&[4]);
+    }
+
+    #[test]
+    fn unsqueeze_squeeze_roundtrip() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let u = t.unsqueeze(1);
+        assert_eq!(u.shape(), &[2, 1, 3]);
+        assert_eq!(u.squeeze(1).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn item_requires_single_element() {
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones(&[3]);
+        assert!(t.all_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

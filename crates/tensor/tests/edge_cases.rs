@@ -1,0 +1,139 @@
+//! Edge-case coverage for the tensor crate: scalars, single-element axes,
+//! zero-extent tensors, display formatting, and kernel boundary behaviour.
+
+use elda_tensor::testutil::assert_allclose;
+use elda_tensor::Tensor;
+
+#[test]
+fn scalar_arithmetic_works_end_to_end() {
+    let a = Tensor::scalar(3.0);
+    let b = Tensor::scalar(4.0);
+    assert_eq!(a.add(&b).item(), 7.0);
+    assert_eq!(a.mul(&b).item(), 12.0);
+    assert_eq!(a.sub(&b).item(), -1.0);
+    assert_eq!(a.sum_all(), 3.0);
+    assert_eq!(a.mean_all(), 3.0);
+}
+
+#[test]
+fn single_element_axes_behave_like_scalars() {
+    let t = Tensor::from_vec(vec![5.0], &[1, 1, 1]);
+    assert_eq!(t.sum_axis(1, false).shape(), &[1, 1]);
+    assert_eq!(t.softmax_lastdim().data(), &[1.0]);
+    assert_eq!(t.squeeze(0).squeeze(0).squeeze(0).item(), 5.0);
+}
+
+#[test]
+fn zero_extent_tensors_are_representable() {
+    let t = Tensor::zeros(&[0, 3]);
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.sum_all(), 0.0);
+    // slicing an empty range out of a non-empty tensor
+    let u = Tensor::arange(6).reshape(&[2, 3]).slice_axis(0, 1, 1);
+    assert_eq!(u.shape(), &[0, 3]);
+}
+
+#[test]
+fn matmul_with_unit_dimensions() {
+    // (1,k) x (k,1) = scalar-ish (1,1)
+    let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+    let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3, 1]);
+    let c = a.matmul(&b);
+    assert_eq!(c.shape(), &[1, 1]);
+    assert_eq!(c.item(), 32.0);
+    // outer product
+    let outer = b.matmul(&a);
+    assert_eq!(outer.shape(), &[3, 3]);
+    assert_eq!(outer.at(&[2, 1]), 12.0);
+}
+
+#[test]
+fn batched_matmul_with_batch_of_one() {
+    let a = Tensor::arange(6).reshape(&[1, 2, 3]);
+    let b = Tensor::arange(6).reshape(&[1, 3, 2]);
+    let c = a.matmul_batched(&b);
+    assert_eq!(c.shape(), &[1, 2, 2]);
+    let a2 = a.reshape(&[2, 3]);
+    let b2 = b.reshape(&[3, 2]);
+    assert_allclose(&c.reshape(&[2, 2]), &a2.matmul(&b2), 1e-6, 0.0);
+}
+
+#[test]
+fn display_truncates_large_tensors() {
+    let small = Tensor::arange(4);
+    let shown = format!("{small}");
+    assert!(shown.contains("Tensor[4]"));
+    assert!(shown.contains("3.0"));
+    let large = Tensor::zeros(&[1000]);
+    let shown = format!("{large}");
+    assert!(shown.contains("1000 elements"));
+    assert!(shown.len() < 200, "display must not dump the whole buffer");
+}
+
+#[test]
+fn clamp_handles_inverted_and_equal_bounds() {
+    let t = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+    let pinned = t.clamp(1.0, 1.0);
+    assert_eq!(pinned.data(), &[1.0, 1.0, 1.0]);
+}
+
+#[test]
+fn softmax_of_identical_logits_is_uniform() {
+    let t = Tensor::full(&[2, 5], 42.0);
+    let s = t.softmax_lastdim();
+    for &v in s.data() {
+        assert!((v - 0.2).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn max_axis_with_negative_values() {
+    let t = Tensor::from_vec(vec![-5.0, -1.0, -3.0, -2.0], &[2, 2]);
+    assert_eq!(t.max_axis(1, false).data(), &[-1.0, -2.0]);
+    assert_eq!(t.max_all(), -1.0);
+    assert_eq!(t.min_all(), -5.0);
+}
+
+#[test]
+fn permute_identity_is_noop() {
+    let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+    assert_allclose(&t.permute(&[0, 1, 2]), &t, 0.0, 0.0);
+}
+
+#[test]
+fn sum_to_shape_chain_of_broadcasts() {
+    // grad flowing back through (2,3,4) -> (3,1) style broadcast
+    let g = Tensor::ones(&[2, 3, 4]);
+    let r = g.sum_to_shape(&[3, 1]);
+    assert_eq!(r.shape(), &[3, 1]);
+    assert!(r.data().iter().all(|&v| v == 8.0));
+}
+
+#[test]
+fn eye_matmul_eye_is_eye() {
+    let i = Tensor::eye(5);
+    assert_allclose(&i.matmul(&i), &i, 0.0, 0.0);
+}
+
+#[test]
+fn repeat_axis_once_is_identity() {
+    let t = Tensor::arange(6).reshape(&[2, 3]);
+    assert_allclose(&t.repeat_axis(0, 1), &t, 0.0, 0.0);
+}
+
+#[test]
+fn gt_mask_at_boundary_is_strict() {
+    let t = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]);
+    assert_eq!(t.gt_mask(0.0).data(), &[0.0, 0.0, 1.0]);
+}
+
+#[test]
+fn nan_propagates_through_elementwise_but_is_detectable() {
+    let mut t = Tensor::ones(&[3]);
+    t.data_mut()[1] = f32::NAN;
+    let doubled = t.scale(2.0);
+    assert!(!doubled.all_finite());
+    assert!(doubled.data()[1].is_nan());
+    assert_eq!(doubled.data()[0], 2.0);
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use elda_tensor::testutil::assert_allclose;
+use elda_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor of the given shape with finite, moderate values.
+fn tensor_of(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+/// Strategy: a random small shape (rank 1..=3, extents 1..=5) plus its tensor.
+fn any_small_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(1usize..=5, 1..=3).prop_flat_map(tensor_of)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in any_small_tensor()) {
+        let shape = t.shape().to_vec();
+        let u = Tensor::ones(&shape).scale(0.5);
+        assert_allclose(&t.add(&u), &u.add(&t), 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(t in any_small_tensor()) {
+        assert_allclose(&t.mul(&Tensor::scalar(1.0)), &t, 0.0, 0.0);
+    }
+
+    #[test]
+    fn sub_self_is_zero(t in any_small_tensor()) {
+        let z = t.sub(&t);
+        prop_assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn neg_is_involution(t in any_small_tensor()) {
+        assert_allclose(&t.neg().neg(), &t, 0.0, 0.0);
+    }
+
+    #[test]
+    fn sum_axis_then_all_matches_sum_all(t in any_small_tensor()) {
+        let total = t.sum_all();
+        for axis in 0..t.rank() {
+            let partial = t.sum_axis(axis, false).sum_all();
+            prop_assert!((partial - total).abs() <= 1e-3 + 1e-4 * total.abs(),
+                "axis {axis}: {partial} vs {total}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in any_small_tensor()) {
+        let s = t.softmax_lastdim();
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        let inner = t.shape()[t.rank() - 1];
+        for row in s.data().chunks_exact(inner) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn transpose2d_is_involution(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let t = Tensor::from_vec(data, &[3, 4]);
+        assert_allclose(&t.transpose2d().transpose2d(), &t, 0.0, 0.0);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_of(vec![3, 4]),
+        b in tensor_of(vec![4, 2]),
+        c in tensor_of(vec![4, 2]),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        assert_allclose(&lhs, &rhs, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_of(vec![3, 4]),
+        b in tensor_of(vec![4, 2]),
+    ) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose2d();
+        let rhs = b.transpose2d().matmul(&a.transpose2d());
+        assert_allclose(&lhs, &rhs, 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(t in tensor_of(vec![4, 3])) {
+        let top = t.slice_axis(0, 0, 2);
+        let bottom = t.slice_axis(0, 2, 4);
+        let back = Tensor::concat(&[&top, &bottom], 0);
+        assert_allclose(&back, &t, 0.0, 0.0);
+    }
+
+    #[test]
+    fn sum_to_shape_preserves_total(t in tensor_of(vec![3, 4])) {
+        for target in [vec![3usize, 4], vec![3, 1], vec![4], vec![1, 4], vec![]] {
+            let reduced = t.sum_to_shape(&target);
+            prop_assert!((reduced.sum_all() - t.sum_all()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn broadcast_equals_manual_tile(row in tensor_of(vec![4]), mat in tensor_of(vec![3, 4])) {
+        let tiled = row.reshape(&[1, 4]).repeat_axis(0, 3);
+        assert_allclose(&mat.add(&row), &mat.add(&tiled), 0.0, 0.0);
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity(t in tensor_of(vec![2, 3, 4])) {
+        let p = t.permute(&[2, 0, 1]);
+        let back = p.permute(&[1, 2, 0]);
+        assert_allclose(&back, &t, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's §V-D case study in miniature: train ELDA, then read the
+//! dual-interaction interpretation for a DM+DLA patient ("Patient A") —
+//! which hours mattered, and which feature interactions carried the
+//! abnormality pattern.
+//!
+//! ```sh
+//! cargo run --release --example interpret_patient
+//! ```
+
+use elda_core::framework::FitConfig;
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::presets::patient_a;
+use elda_emr::{feature_by_name, Cohort, CohortConfig, Task, FEATURES};
+
+fn main() {
+    // Train on a cohort rich in diabetic complications so the model sees
+    // the DKA/DLA patterns Patient A exhibits.
+    let mut config = CohortConfig::small(400, 13);
+    config.t_len = 48;
+    config.archetype_weights = [0.30, 0.12, 0.12, 0.16, 0.10, 0.07, 0.07, 0.06];
+    let cohort = Cohort::generate(config);
+
+    let cfg = EldaConfig::variant(EldaVariant::Full, cohort.t_len());
+    let mut elda = Elda::with_config(cfg, Task::Mortality, 5);
+    println!(
+        "training ELDA-Net ({} params)...",
+        elda.params().num_scalars()
+    );
+    elda.fit(
+        &cohort,
+        &FitConfig {
+            epochs: 3,
+            batch_size: 32,
+            verbose: true,
+            ..Default::default()
+        },
+    );
+
+    let patient = patient_a(42);
+    let interp = elda.interpret(&patient);
+    println!("\nPatient A (DM + diabetic lactic acidosis)");
+    println!("predicted mortality risk: {:.3}", interp.risk);
+
+    // Time level: which hours does the model consider crucial?
+    let crucial = interp.crucial_hours(2.0);
+    println!("crucial hours (β > 2x uniform): {crucial:?}");
+    println!("(severity rose from hour ~11 and was treated from hour ~27)");
+
+    // Feature level: Glucose's strongest interaction partners at the acute
+    // hour vs after stabilization.
+    let glucose = feature_by_name("Glucose").unwrap();
+    for hour in [13usize, 35] {
+        let row = interp.feature_row_percent(hour, glucose);
+        let mut ranked: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = ranked
+            .iter()
+            .take(5)
+            .map(|&(j, w)| format!("{} {:.1}%", FEATURES[j].name, w))
+            .collect();
+        println!("hour {hour:>2}: Glucose attends to {}", top.join(", "));
+    }
+    println!("\n(paper: at the acute hour Glucose attends to DLA-related abnormal features —");
+    println!(" FiO2, HCO3, HR, Lactate, MAP, Temp — and the row flattens after treatment)");
+}

@@ -1,0 +1,118 @@
+//! Beyond per-patient interpretation: cohort-level interaction mining and
+//! length-of-stay regression — the two extension surfaces the paper
+//! sketches (§V-D "advance medical research"; §IV-B "different downstream
+//! prediction tasks").
+//!
+//! ```sh
+//! cargo run --release --example population_insights
+//! ```
+
+use elda_core::framework::{train_sequence_model, FitConfig};
+use elda_core::population::{format_top_pairs, PopulationAttention};
+use elda_core::regression::{predict_days, train_los_regressor};
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{split_indices, Cohort, CohortConfig, Pipeline, Task};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut config = CohortConfig::small(300, 77);
+    config.t_len = 24;
+    // lean diabetic so the Glucose-centred interactions dominate
+    config.archetype_weights = [0.30, 0.12, 0.14, 0.16, 0.10, 0.06, 0.06, 0.06];
+    let cohort = Cohort::generate(config);
+    let split = split_indices(cohort.len(), 0);
+    let pipeline = Pipeline::fit(&cohort, &split.train);
+    let samples = pipeline.process_all(&cohort);
+
+    // ------------------------------------------------------------------
+    // 1. Population-level interaction mining
+    // ------------------------------------------------------------------
+    let mut ps = ParamStore::new();
+    let net = EldaNet::new(
+        &mut ps,
+        EldaConfig::variant(EldaVariant::Full, cohort.t_len()),
+        &mut StdRng::seed_from_u64(1),
+    );
+    println!("training ELDA-Net for interaction mining...");
+    let fit = FitConfig {
+        epochs: 4,
+        batch_size: 32,
+        ..Default::default()
+    };
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &samples,
+        &split,
+        cohort.t_len(),
+        Task::Mortality,
+        &fit,
+    );
+
+    let pop = PopulationAttention::compute(&net, &ps, &samples, &split.test, Task::Mortality);
+    println!("\n{}", format_top_pairs(&pop, 8));
+
+    // Contrast diabetic-complication patients against stable ones.
+    let dla: Vec<usize> = split
+        .test
+        .iter()
+        .copied()
+        .filter(|&i| cohort.patients[i].archetype.name().starts_with("DM"))
+        .collect();
+    let stable: Vec<usize> = split
+        .test
+        .iter()
+        .copied()
+        .filter(|&i| cohort.patients[i].archetype.name() == "Stable")
+        .collect();
+    if !dla.is_empty() && !stable.is_empty() {
+        let pop_dla = PopulationAttention::compute(&net, &ps, &samples, &dla, Task::Mortality);
+        let pop_stable =
+            PopulationAttention::compute(&net, &ps, &samples, &stable, Task::Mortality);
+        let glu = elda_emr::feature_by_name("Glucose").unwrap();
+        let lac = elda_emr::feature_by_name("Lactate").unwrap();
+        let diff = pop_dla.contrast(&pop_stable);
+        println!(
+            "diabetic vs stable: Glucose→Lactate attention shifts by {:+.2} percentage points",
+            diff.at(&[glu, lac]) * 100.0
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Length-of-stay regression on the same representation
+    // ------------------------------------------------------------------
+    let mut ps_reg = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, cohort.t_len());
+    cfg.gru_hidden = 32;
+    let reg_net = EldaNet::new(&mut ps_reg, cfg, &mut StdRng::seed_from_u64(2));
+    println!("\ntraining the LOS-days regressor...");
+    let (report, stats) = train_los_regressor(
+        &reg_net,
+        &mut ps_reg,
+        &samples,
+        &split,
+        cohort.t_len(),
+        6,
+        32,
+    );
+    println!(
+        "LOS regression: MAE {:.2} days (log-space MSE {:.4}, {} epochs)",
+        report.mae_days, report.mse_log, report.epochs_run
+    );
+    let preds = predict_days(
+        &reg_net,
+        &ps_reg,
+        &samples,
+        &split.test[..4.min(split.test.len())],
+        cohort.t_len(),
+        &stats,
+    );
+    for (k, &i) in split.test.iter().take(preds.len()).enumerate() {
+        println!(
+            "  patient {i:>3}: predicted {:.1} days, actual {:.1} days",
+            preds[k], cohort.patients[i].los_days
+        );
+    }
+}

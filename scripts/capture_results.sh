@@ -1,0 +1,30 @@
+#!/bin/sh
+# Captures every remaining experiment output into results/.
+# Scales are reduced relative to --full (see DESIGN.md); pass-through args
+# are not supported — edit here for different budgets.
+set -x
+cd "$(dirname "$0")/.."
+
+# Table I at the paper's cohort sizes (generation only; fast)
+./target/release/table1 --json results/table1.json > results/table1.txt 2>&1
+
+# Table II / Patient A (no training)
+./target/release/table2_patient --json results/table2.json > results/table2.txt 2>&1
+
+# Interpretability figures: one/two trainings each at a reduced budget
+./target/release/fig8_time_attention --patients 400 --epochs 6 \
+    --json results/fig8.json > results/fig8.txt 2>&1
+./target/release/fig9_feature_attention --patients 400 --epochs 6 \
+    --json results/fig9.json > results/fig9.txt 2>&1
+./target/release/fig10_attention_over_time --patients 400 --epochs 6 \
+    --json results/fig10.json > results/fig10.txt 2>&1
+
+# Table III timing sweep
+./target/release/table3_efficiency --patients 300 \
+    --json results/table3.json > results/table3.txt 2>&1
+
+# Hyper-parameter sweep (design-choice ablation)
+./target/release/hparam_sweep --patients 400 --epochs 6 --tlen 24 \
+    --json results/hparam.json > results/hparam.txt 2>&1
+
+echo CAPTURE_COMPLETE

@@ -1,0 +1,154 @@
+//! Cross-crate integration: synthetic cohort → pipeline → ELDA training →
+//! metrics → interpretation, exercising the full stack the way the
+//! experiment binaries do.
+
+use elda_bench::{prepare, Scale};
+use elda_core::framework::{train_sequence_model, FitConfig};
+use elda_core::interpret::interpret_sample;
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{CohortPreset, Task};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_scale() -> Scale {
+    Scale {
+        n_patients: 120,
+        t_len: 8,
+        epochs: 2,
+        seeds: 1,
+        batch_size: 32,
+    }
+}
+
+fn tiny_elda(t_len: usize, seed: u64) -> (ParamStore, EldaNet) {
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 8;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(seed));
+    (ps, net)
+}
+
+#[test]
+fn full_stack_trains_and_reports_metrics() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 1);
+    let (mut ps, net) = tiny_elda(scale.t_len, 2);
+    let fit = FitConfig {
+        epochs: 2,
+        batch_size: 32,
+        patience: None,
+        threads: 1,
+        ..Default::default()
+    };
+    let result = train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        scale.t_len,
+        Task::Mortality,
+        &fit,
+    );
+    assert_eq!(result.name, "ELDA-Net");
+    assert!(result.test.bce.is_finite() && result.test.bce > 0.0);
+    assert!(result.epochs_run == 2);
+    assert!(result.train_s_per_batch > 0.0);
+    assert!(result.predict_ms_per_sample > 0.0);
+    assert!(result.num_params > 0);
+}
+
+#[test]
+fn both_tasks_flow_through_the_same_prepared_data() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::MimicIii, &scale, 3);
+    for task in [Task::Mortality, Task::LosGt7] {
+        let (mut ps, net) = tiny_elda(scale.t_len, 4);
+        let fit = FitConfig {
+            epochs: 1,
+            batch_size: 32,
+            patience: None,
+            threads: 1,
+            ..Default::default()
+        };
+        let result = train_sequence_model(
+            &net,
+            &mut ps,
+            &prep.samples,
+            &prep.split,
+            scale.t_len,
+            task,
+            &fit,
+        );
+        assert!(result.test.bce.is_finite(), "{:?}", task);
+    }
+}
+
+#[test]
+fn trained_model_yields_interpretable_attention() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 5);
+    let (mut ps, net) = tiny_elda(scale.t_len, 6);
+    let fit = FitConfig {
+        epochs: 1,
+        batch_size: 32,
+        patience: None,
+        threads: 1,
+        ..Default::default()
+    };
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        scale.t_len,
+        Task::Mortality,
+        &fit,
+    );
+    let interp = interpret_sample(&net, &ps, &prep.samples[0], Task::Mortality);
+    // attention structure invariants
+    assert_eq!(interp.feature_attention.len(), scale.t_len);
+    for att in &interp.feature_attention {
+        for i in 0..37 {
+            assert_eq!(att.at(&[i, i]), 0.0, "diagonal must stay excluded");
+            let row: f32 = (0..37).map(|j| att.at(&[i, j])).sum();
+            assert!((row - 1.0).abs() < 1e-4, "row {i} sums to {row}");
+        }
+    }
+    let beta_sum: f32 = interp.time_attention.iter().sum();
+    assert!((beta_sum - 1.0).abs() < 1e-4);
+    assert!((0.0..=1.0).contains(&interp.risk));
+}
+
+#[test]
+fn prediction_batching_is_transparent() {
+    // predict_probs must give identical results regardless of batch size.
+    use elda_core::framework::predict_probs;
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 7);
+    let (ps, net) = tiny_elda(scale.t_len, 8);
+    let idx: Vec<usize> = (0..20).collect();
+    let a = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &idx,
+        scale.t_len,
+        Task::Mortality,
+        3,
+    );
+    let b = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &idx,
+        scale.t_len,
+        Task::Mortality,
+        20,
+    );
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+    }
+}

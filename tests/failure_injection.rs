@@ -1,0 +1,181 @@
+//! Failure-injection tests: malformed checkpoints, corrupted artifacts,
+//! degenerate data, and shape-contract violations must fail loudly and
+//! precisely — never silently corrupt a model.
+
+use elda_core::framework::FitConfig;
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::io::{parse_outcomes, parse_record};
+use elda_emr::{Batch, Cohort, CohortConfig, Pipeline, Task};
+use elda_nn::ParamStore;
+use elda_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg(t_len: usize) -> EldaConfig {
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    cfg
+}
+
+fn trained_elda() -> (Cohort, Elda) {
+    let mut cc = CohortConfig::small(40, 51);
+    cc.t_len = 6;
+    let cohort = Cohort::generate(cc);
+    let mut elda = Elda::with_config(tiny_cfg(6), Task::Mortality, 1);
+    elda.fit(
+        &cohort,
+        &FitConfig {
+            epochs: 1,
+            batch_size: 16,
+            patience: None,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    (cohort, elda)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / artifact corruption
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncated_checkpoint_is_rejected_and_store_unchanged() {
+    let (cohort, mut elda) = trained_elda();
+    let before = elda.predict_proba(&cohort.patients[0]);
+    let ckpt = elda.checkpoint();
+    let truncated = &ckpt[..ckpt.len() / 2];
+    assert!(elda.restore(truncated).is_err());
+    // failed restore must not have partially written anything
+    assert_eq!(elda.predict_proba(&cohort.patients[0]), before);
+}
+
+#[test]
+fn checkpoint_with_flipped_shape_is_rejected_atomically() {
+    let (cohort, mut elda) = trained_elda();
+    let before = elda.predict_proba(&cohort.patients[0]);
+    // mangle the first parameter's leading shape extent
+    let mut doc: serde_json::Value = serde_json::from_str(&elda.checkpoint()).unwrap();
+    let shape0 = &mut doc[0]["shape"][0];
+    *shape0 = serde_json::json!(shape0.as_u64().unwrap() + 1);
+    let ckpt = serde_json::to_string(&doc).unwrap();
+    assert!(elda.restore(&ckpt).is_err());
+    assert_eq!(elda.predict_proba(&cohort.patients[0]), before);
+}
+
+#[test]
+fn artifact_with_wrong_format_tag_is_rejected() {
+    let (_, elda) = trained_elda();
+    let artifact = elda.save().replace("elda/v1", "elda/v999");
+    assert!(Elda::load(&artifact).is_err());
+}
+
+#[test]
+fn cross_architecture_checkpoint_is_rejected() {
+    // a TimeOnly checkpoint must not load into a Full model
+    let mut ps_small = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let _ = elda_core::EldaNet::new(
+        &mut ps_small,
+        EldaConfig::variant(EldaVariant::TimeOnly, 6),
+        &mut rng,
+    );
+    let foreign = ps_small.to_json();
+    let (_, mut elda) = trained_elda();
+    assert!(elda.restore(&foreign).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Malformed external data
+// ---------------------------------------------------------------------
+
+#[test]
+fn io_errors_carry_file_and_line() {
+    let err = parse_record("patient-7", "Time,Parameter,Value\n00:00,HR\n", 4).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("patient-7:2"), "{msg}");
+
+    let err = parse_outcomes("bogus header\n").unwrap_err();
+    assert!(err.to_string().contains("RecordID"), "{err}");
+}
+
+#[test]
+fn empty_record_file_is_a_valid_all_missing_patient() {
+    let grid = parse_record("empty", "Time,Parameter,Value\n", 4).unwrap();
+    assert!(grid.iter().all(|v| v.is_nan()));
+}
+
+// ---------------------------------------------------------------------
+// Shape-contract violations panic with precise messages
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "t_len mismatch")]
+fn wrong_t_len_batch_panics() {
+    let mut cc = CohortConfig::small(12, 53);
+    cc.t_len = 8;
+    let cohort = Cohort::generate(cc);
+    let idx: Vec<usize> = (0..12).collect();
+    let pipe = Pipeline::fit(&cohort, &idx);
+    let samples = pipe.process_all(&cohort);
+    let batch = Batch::gather(&samples, &[0], 8, Task::Mortality);
+    // model expects 6 steps, batch has 8
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = elda_core::EldaNet::new(&mut ps, tiny_cfg(6), &mut rng);
+    let mut tape = elda_autodiff::Tape::new();
+    use elda_core::SequenceModel;
+    net.forward_logits(&ps, &mut tape, &batch);
+}
+
+#[test]
+#[should_panic(expected = "empty batch")]
+fn empty_batch_panics() {
+    let mut cc = CohortConfig::small(12, 55);
+    cc.t_len = 4;
+    let cohort = Cohort::generate(cc);
+    let idx: Vec<usize> = (0..12).collect();
+    let pipe = Pipeline::fit(&cohort, &idx);
+    let samples = pipe.process_all(&cohort);
+    Batch::gather(&samples, &[], 4, Task::Mortality);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate numerical inputs stay finite
+// ---------------------------------------------------------------------
+
+#[test]
+fn extreme_inputs_do_not_produce_nans() {
+    let mut cc = CohortConfig::small(12, 57);
+    cc.t_len = 5;
+    let cohort = Cohort::generate(cc);
+    let idx: Vec<usize> = (0..12).collect();
+    let pipe = Pipeline::fit(&cohort, &idx);
+    let samples = pipe.process_all(&cohort);
+    let mut batch = Batch::gather(&samples, &[0, 1], 5, Task::Mortality);
+    // saturate every input at the clip bound
+    batch.x = Tensor::full(batch.x.shape(), 3.0);
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = elda_core::EldaNet::new(&mut ps, tiny_cfg(5), &mut rng);
+    use elda_core::SequenceModel;
+    let mut tape = elda_autodiff::Tape::new();
+    let logits = net.forward_logits(&ps, &mut tape, &batch);
+    assert!(tape.value(logits).all_finite());
+    let loss = tape.bce_with_logits(logits, &batch.y);
+    let grads = tape.backward(loss);
+    assert!(grads.param_sq_norm().is_finite());
+}
+
+#[test]
+fn all_features_missing_patient_predicts_finite_risk() {
+    let (cohort, elda) = trained_elda();
+    let mut ghost = cohort.patients[0].clone();
+    for v in &mut ghost.values {
+        *v = f32::NAN;
+    }
+    let risk = elda.predict_proba(&ghost);
+    assert!(risk.is_finite() && (0.0..=1.0).contains(&risk));
+}

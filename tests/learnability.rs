@@ -1,0 +1,188 @@
+//! Learnability and leakage checks: the planted signals in the synthetic
+//! cohorts are learnable by the models that should learn them, and nothing
+//! is learnable once the labels are shuffled (no leakage through the
+//! pipeline).
+
+use elda_bench::{prepare, Scale};
+use elda_core::framework::{labels_of, predict_probs, train_sequence_model, FitConfig};
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{CohortPreset, Task};
+use elda_metrics::auc_roc;
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn scale() -> Scale {
+    // enough signal + epochs to clearly beat chance, small enough for CI
+    Scale {
+        n_patients: 500,
+        t_len: 12,
+        epochs: 6,
+        seeds: 1,
+        batch_size: 32,
+    }
+}
+
+fn fit() -> FitConfig {
+    FitConfig {
+        epochs: 6,
+        batch_size: 32,
+        patience: None,
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn elda_beats_chance_on_mortality() {
+    let s = scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, 41);
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, s.t_len);
+    cfg.embed_dim = 6;
+    cfg.gru_hidden = 12;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(42));
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        s.t_len,
+        Task::Mortality,
+        &fit(),
+    );
+    // Evaluate on the val+test union to tame small-fold variance.
+    let mut eval_idx = prep.split.val.clone();
+    eval_idx.extend(&prep.split.test);
+    let probs = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &eval_idx,
+        s.t_len,
+        Task::Mortality,
+        32,
+    );
+    let y = labels_of(&prep.samples, &eval_idx, Task::Mortality);
+    let auc = auc_roc(&probs, &y);
+    assert!(
+        auc > 0.62,
+        "ELDA should clearly beat chance; AUC-ROC = {auc}"
+    );
+}
+
+#[test]
+fn gru_learns_the_los_task() {
+    use elda_baselines::{build_baseline, BaselineKind};
+    let s = scale();
+    let prep = prepare(CohortPreset::MimicIii, &s, 43);
+    let (model, mut ps) = build_baseline(BaselineKind::Gru, 37, 44);
+    let result = train_sequence_model(
+        model.as_ref(),
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        s.t_len,
+        Task::LosGt7,
+        &fit(),
+    );
+    assert!(
+        result.test.auc_roc > 0.6,
+        "GRU should learn LOS>7; AUC-ROC = {}",
+        result.test.auc_roc
+    );
+}
+
+#[test]
+fn shuffled_labels_destroy_performance() {
+    let s = scale();
+    let mut prep = prepare(CohortPreset::PhysioNet2012, &s, 45);
+    // Shuffle the mortality labels across all samples (train included).
+    let mut labels: Vec<f32> = prep.samples.iter().map(|smp| smp.y_mortality).collect();
+    labels.shuffle(&mut StdRng::seed_from_u64(46));
+    for (smp, y) in prep.samples.iter_mut().zip(labels) {
+        smp.y_mortality = y;
+    }
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, s.t_len);
+    cfg.embed_dim = 6;
+    cfg.gru_hidden = 12;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(47));
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        s.t_len,
+        Task::Mortality,
+        &fit(),
+    );
+    let probs = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &prep.split.test,
+        s.t_len,
+        Task::Mortality,
+        32,
+    );
+    let y = labels_of(&prep.samples, &prep.split.test, Task::Mortality);
+    if y.contains(&1.0) && y.contains(&0.0) {
+        let auc = auc_roc(&probs, &y);
+        assert!(
+            (0.3..0.7).contains(&auc),
+            "shuffled labels must not be learnable; AUC-ROC = {auc}"
+        );
+    }
+}
+
+#[test]
+fn severity_signal_reaches_the_features() {
+    // Patients the generator marked as dying must, on average, score higher
+    // under a trained model — i.e. the label is reachable from the inputs.
+    let s = scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, 49);
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, s.t_len);
+    cfg.gru_hidden = 12;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(50));
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        s.t_len,
+        Task::Mortality,
+        &fit(),
+    );
+    let probs = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &prep.split.test,
+        s.t_len,
+        Task::Mortality,
+        32,
+    );
+    let y = labels_of(&prep.samples, &prep.split.test, Task::Mortality);
+    let pos: Vec<f32> = probs
+        .iter()
+        .zip(&y)
+        .filter(|(_, &l)| l == 1.0)
+        .map(|(&p, _)| p)
+        .collect();
+    let neg: Vec<f32> = probs
+        .iter()
+        .zip(&y)
+        .filter(|(_, &l)| l == 0.0)
+        .map(|(&p, _)| p)
+        .collect();
+    if !pos.is_empty() && !neg.is_empty() {
+        let mp = pos.iter().sum::<f32>() / pos.len() as f32;
+        let mn = neg.iter().sum::<f32>() / neg.len() as f32;
+        assert!(mp > mn, "positives should score higher: {mp} vs {mn}");
+    }
+}

@@ -1,0 +1,115 @@
+//! The §III "Predictive Analytics" monitoring flow as assertions: scoring
+//! partially observed stays (the future masked out) must be well-behaved
+//! and, on average, track the patients' actual deterioration.
+
+use elda_core::framework::FitConfig;
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::{Cohort, CohortConfig, Patient, Task, NUM_FEATURES};
+
+/// A copy of `patient` with every hour from `from_hour` on made missing.
+fn truncate_to(patient: &Patient, from_hour: usize) -> Patient {
+    let mut p = patient.clone();
+    let t_len = p.values.len() / NUM_FEATURES;
+    for t in from_hour..t_len {
+        for f in 0..NUM_FEATURES {
+            p.values[t * NUM_FEATURES + f] = f32::NAN;
+        }
+    }
+    p
+}
+
+fn trained(seed: u64, t_len: usize, n: usize) -> (Cohort, Elda) {
+    let mut cc = CohortConfig::small(n, seed);
+    cc.t_len = t_len;
+    let cohort = Cohort::generate(cc);
+    let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, t_len);
+    cfg.gru_hidden = 12;
+    let mut elda = Elda::with_config(cfg, Task::Mortality, seed);
+    elda.fit(
+        &cohort,
+        &FitConfig {
+            epochs: 5,
+            batch_size: 32,
+            patience: None,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    (cohort, elda)
+}
+
+#[test]
+fn partial_stays_always_produce_valid_probabilities() {
+    let (cohort, elda) = trained(201, 12, 150);
+    for &i in &[0usize, 5, 17, 42] {
+        for hour in [1usize, 4, 8, 12] {
+            let partial = truncate_to(&cohort.patients[i], hour);
+            let risk = elda.predict_proba(&partial);
+            assert!(
+                risk.is_finite() && (0.0..=1.0).contains(&risk),
+                "patient {i} at hour {hour}: risk {risk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn risk_tracks_deterioration_on_average() {
+    // Among eventual non-survivors, late-stay risk estimates should on
+    // average exceed early-stay estimates (severity builds over the stay);
+    // among clearly stable survivors the drift should be smaller.
+    let (cohort, elda) = trained(203, 12, 300);
+    let mut drift_died = Vec::new();
+    let mut drift_lived = Vec::new();
+    for p in cohort.patients.iter().take(120) {
+        let early = elda.predict_proba(&truncate_to(p, 4));
+        let late = elda.predict_proba(p);
+        if p.mortality {
+            drift_died.push(late - early);
+        } else {
+            drift_lived.push(late - early);
+        }
+    }
+    assert!(
+        drift_died.len() >= 5,
+        "need some non-survivors in the sample"
+    );
+    let mean_died = drift_died.iter().sum::<f32>() / drift_died.len() as f32;
+    let mean_lived = drift_lived.iter().sum::<f32>() / drift_lived.len() as f32;
+    assert!(
+        mean_died > mean_lived,
+        "risk should rise more for eventual non-survivors: died {mean_died:.3} vs lived {mean_lived:.3}"
+    );
+}
+
+#[test]
+fn full_observation_matches_untruncated_prediction() {
+    // truncate_to(t_len) is the identity on the grid; predictions must match.
+    let (cohort, elda) = trained(207, 10, 80);
+    let p = &cohort.patients[3];
+    let same = truncate_to(p, 10);
+    assert_eq!(elda.predict_proba(p), elda.predict_proba(&same));
+}
+
+#[test]
+fn alert_threshold_partitions_the_cohort_consistently() {
+    let (cohort, mut elda) = trained(211, 10, 120);
+    let risks: Vec<f32> = cohort
+        .patients
+        .iter()
+        .take(40)
+        .map(|p| elda.predict_proba(p))
+        .collect();
+    // pick the median risk as threshold: alerts must be exactly those above
+    let mut sorted = risks.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    elda.alert_threshold = sorted[20];
+    let alerts = cohort
+        .patients
+        .iter()
+        .take(40)
+        .filter(|p| elda.should_alert(p))
+        .count();
+    let expected = risks.iter().filter(|&&r| r >= elda.alert_threshold).count();
+    assert_eq!(alerts, expected);
+}

@@ -1,0 +1,141 @@
+//! Determinism guarantees: every stage of the stack — cohort generation,
+//! preprocessing, initialization, training, prediction — is a pure
+//! function of its seeds.
+
+use elda_bench::{prepare, Scale};
+use elda_core::framework::{predict_probs, train_sequence_model, FitConfig};
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{CohortPreset, Task};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scale() -> Scale {
+    Scale {
+        n_patients: 80,
+        t_len: 6,
+        epochs: 2,
+        seeds: 1,
+        batch_size: 16,
+    }
+}
+
+fn train_and_predict(seed: u64, threads: usize) -> (String, Vec<f32>) {
+    let s = scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, seed);
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, s.t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(seed));
+    let fit = FitConfig {
+        epochs: 2,
+        batch_size: 16,
+        patience: None,
+        threads,
+        seed,
+        ..Default::default()
+    };
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        s.t_len,
+        Task::Mortality,
+        &fit,
+    );
+    let probs = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &prep.split.test,
+        s.t_len,
+        Task::Mortality,
+        16,
+    );
+    (ps.to_json(), probs)
+}
+
+#[test]
+fn same_seed_same_model_same_predictions() {
+    let (params_a, probs_a) = train_and_predict(7, 1);
+    let (params_b, probs_b) = train_and_predict(7, 1);
+    assert_eq!(
+        params_a, params_b,
+        "trained parameters must be bit-identical"
+    );
+    assert_eq!(probs_a, probs_b);
+}
+
+#[test]
+fn different_seed_different_model() {
+    let (_, probs_a) = train_and_predict(7, 1);
+    let (_, probs_b) = train_and_predict(8, 1);
+    assert_ne!(probs_a, probs_b);
+}
+
+#[test]
+fn prepared_data_is_deterministic() {
+    let s = scale();
+    let a = prepare(CohortPreset::MimicIii, &s, 3);
+    let b = prepare(CohortPreset::MimicIii, &s, 3);
+    assert_eq!(a.split.train, b.split.train);
+    assert_eq!(a.samples[5].x, b.samples[5].x);
+    assert_eq!(a.samples[5].mask, b.samples[5].mask);
+    assert_eq!(a.pipeline.means(), b.pipeline.means());
+}
+
+#[test]
+fn checkpoint_restores_exact_predictions() {
+    let s = scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, 31);
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, s.t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg.clone(), &mut StdRng::seed_from_u64(31));
+    let fit = FitConfig {
+        epochs: 1,
+        batch_size: 16,
+        patience: None,
+        threads: 1,
+        ..Default::default()
+    };
+    train_sequence_model(
+        &net,
+        &mut ps,
+        &prep.samples,
+        &prep.split,
+        s.t_len,
+        Task::Mortality,
+        &fit,
+    );
+    let ckpt = ps.to_json();
+    let before = predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &prep.split.test,
+        s.t_len,
+        Task::Mortality,
+        16,
+    );
+
+    // fresh instance, same architecture, restored weights
+    let mut ps2 = ParamStore::new();
+    let net2 = EldaNet::new(&mut ps2, cfg, &mut StdRng::seed_from_u64(999));
+    ps2.load_json(&ckpt).expect("restore");
+    let after = predict_probs(
+        &net2,
+        &ps2,
+        &prep.samples,
+        &prep.split.test,
+        s.t_len,
+        Task::Mortality,
+        16,
+    );
+    assert_eq!(before, after);
+}

@@ -1,0 +1,118 @@
+//! Shape and contract tests across crates: every model in the repository
+//! accepts the pipeline's batches and produces `(B, 1)` logits with finite
+//! values and gradients for its live parameters.
+
+use elda_autodiff::Tape;
+use elda_baselines::{build_baseline, BaselineKind};
+use elda_bench::{prepare, Scale};
+use elda_core::{EldaConfig, EldaNet, EldaVariant, SequenceModel};
+use elda_emr::{Batch, CohortPreset, Task};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scale() -> Scale {
+    Scale {
+        n_patients: 60,
+        t_len: 6,
+        epochs: 1,
+        seeds: 1,
+        batch_size: 16,
+    }
+}
+
+#[test]
+fn every_model_accepts_pipeline_batches() {
+    let s = scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, 11);
+    let batch = Batch::gather(&prep.samples, &[0, 1, 2, 3, 4], s.t_len, Task::Mortality);
+
+    // 12 baselines
+    for kind in BaselineKind::all() {
+        let (model, ps) = build_baseline(kind, 37, 5);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(&ps, &mut tape, &batch);
+        assert_eq!(tape.shape(logits), &[5, 1], "{}", kind.name());
+        assert!(tape.value(logits).all_finite(), "{}", kind.name());
+    }
+    // 6 ELDA variants
+    for variant in EldaVariant::all() {
+        let mut ps = ParamStore::new();
+        let mut cfg = EldaConfig::variant(variant, s.t_len);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(5));
+        let mut tape = Tape::new();
+        let logits = net.forward_logits(&ps, &mut tape, &batch);
+        assert_eq!(tape.shape(logits), &[5, 1], "{}", variant.name());
+        assert!(tape.value(logits).all_finite(), "{}", variant.name());
+    }
+}
+
+#[test]
+fn losses_backprop_without_nans_for_all_models() {
+    let s = scale();
+    let prep = prepare(CohortPreset::MimicIii, &s, 13);
+    let batch = Batch::gather(&prep.samples, &[0, 1, 2], s.t_len, Task::LosGt7);
+    for kind in BaselineKind::all() {
+        let (model, ps) = build_baseline(kind, 37, 17);
+        let mut tape = Tape::new();
+        let logits = model.forward_logits(&ps, &mut tape, &batch);
+        let loss = tape.bce_with_logits(logits, &batch.y);
+        let grads = tape.backward(loss);
+        let norm = grads.param_sq_norm();
+        assert!(
+            norm.is_finite() && norm > 0.0,
+            "{}: grad norm {norm}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn batch_tensors_have_consistent_shapes() {
+    let s = scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, 19);
+    let batch = Batch::gather(
+        &prep.samples,
+        &(0..7).collect::<Vec<_>>(),
+        s.t_len,
+        Task::Mortality,
+    );
+    assert_eq!(batch.x.shape(), &[7, s.t_len, 37]);
+    assert_eq!(batch.mask.shape(), &[7, s.t_len, 37]);
+    assert_eq!(batch.delta.shape(), &[7, s.t_len, 37]);
+    assert_eq!(batch.never.shape(), &[7, 37]);
+    assert_eq!(batch.y.shape(), &[7, 1]);
+    // mask implies value within clip bounds; never implies all-unobserved
+    for (x, m) in batch.x.data().iter().zip(batch.mask.data()) {
+        assert!(m == &0.0 || m == &1.0);
+        assert!((-3.0..=3.0).contains(x));
+    }
+}
+
+#[test]
+fn paper_scale_elda_builds_with_48_hours() {
+    // The real configuration (37 features, 48 steps) must construct and
+    // run one forward on a small batch without blowing memory.
+    let s = Scale {
+        n_patients: 12,
+        t_len: 48,
+        epochs: 1,
+        seeds: 1,
+        batch_size: 4,
+    };
+    let prep = prepare(CohortPreset::PhysioNet2012, &s, 23);
+    let batch = Batch::gather(&prep.samples, &[0, 1], 48, Task::Mortality);
+    let mut ps = ParamStore::new();
+    let net = EldaNet::new(
+        &mut ps,
+        EldaConfig::paper_default(),
+        &mut StdRng::seed_from_u64(29),
+    );
+    let mut tape = Tape::new();
+    let logits = net.forward_logits(&ps, &mut tape, &batch);
+    assert_eq!(tape.shape(logits), &[2, 1]);
+    assert!(tape.value(logits).all_finite());
+}
