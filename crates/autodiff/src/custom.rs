@@ -36,4 +36,12 @@ pub trait CustomOp: Send + Sync {
 
     /// Downcasting hook for recovering side outputs after the forward pass.
     fn as_any(&self) -> &dyn Any;
+
+    /// Rough forward flop count for this op given its inputs and output,
+    /// reported in profiling tables (`elda-obs`). The default of 0 keeps
+    /// existing implementations source-compatible; override to make the
+    /// profiler's flop counters meaningful for fused kernels.
+    fn flop_estimate(&self, _inputs: &[&Tensor], _output: &Tensor) -> u64 {
+        0
+    }
 }

@@ -87,7 +87,12 @@ pub enum Op {
     /// Mean of all elements to a scalar.
     MeanAll(Var),
     /// Same data, new shape.
-    Reshape(Var),
+    Reshape {
+        /// Input tensor.
+        input: Var,
+        /// Target shape.
+        dims: Vec<usize>,
+    },
     /// Swap of the last two axes.
     TransposeLast2(Var),
     /// General axis permutation.
@@ -115,6 +120,149 @@ pub enum Op {
 }
 
 impl Op {
+    /// Stable short name of the operation, used as the profiling key
+    /// (`fwd.<name>` / `bwd.<name>` in `elda-obs` tables and traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Div(..) => "div",
+            Op::Matmul(..) => "matmul",
+            Op::MatmulBatched(..) => "matmul_batched",
+            Op::Neg(..) => "neg",
+            Op::Exp(..) => "exp",
+            Op::Ln(..) => "ln",
+            Op::Sqrt(..) => "sqrt",
+            Op::Square(..) => "square",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Relu(..) => "relu",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::SoftmaxLastDim(..) => "softmax_lastdim",
+            Op::Concat { .. } => "concat",
+            Op::SliceAxis { .. } => "slice_axis",
+            Op::SumAxis { .. } => "sum_axis",
+            Op::MeanAxis { .. } => "mean_axis",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::Reshape { .. } => "reshape",
+            Op::TransposeLast2(..) => "transpose_last2",
+            Op::Permute { .. } => "permute",
+            Op::BceWithLogits { .. } => "bce_with_logits",
+            Op::Custom { op, .. } => op.name(),
+        }
+    }
+
+    /// Evaluates the forward computation from the input values — the
+    /// eager-evaluation twin of [`Op::backward`]. Having the forward rules
+    /// here (rather than scattered across `Tape`'s building methods) gives
+    /// the tape one instrumentation point covering every op.
+    ///
+    /// # Panics
+    /// Panics on [`Op::Leaf`]: leaves carry explicit values and are pushed
+    /// directly by `Tape::leaf` / `Tape::param`.
+    pub fn eval<'a>(&self, value: &dyn Fn(Var) -> &'a Tensor) -> Tensor {
+        match self {
+            Op::Leaf => unreachable!("leaf nodes carry explicit values; nothing to evaluate"),
+            Op::Add(a, b) => value(*a).add(value(*b)),
+            Op::Sub(a, b) => value(*a).sub(value(*b)),
+            Op::Mul(a, b) => value(*a).mul(value(*b)),
+            Op::Div(a, b) => value(*a).div(value(*b)),
+            Op::Matmul(a, b) => value(*a).matmul(value(*b)),
+            Op::MatmulBatched(a, b) => value(*a).matmul_batched(value(*b)),
+            Op::Neg(a) => value(*a).neg(),
+            Op::Exp(a) => value(*a).exp(),
+            Op::Ln(a) => value(*a).ln(),
+            Op::Sqrt(a) => value(*a).sqrt(),
+            Op::Square(a) => value(*a).square(),
+            Op::Sigmoid(a) => value(*a).sigmoid(),
+            Op::Tanh(a) => value(*a).tanh(),
+            Op::Relu(a) => value(*a).relu(),
+            Op::Scale(a, s) => value(*a).scale(*s),
+            Op::AddScalar(a, s) => value(*a).add_scalar(*s),
+            Op::SoftmaxLastDim(a) => value(*a).softmax_lastdim(),
+            Op::Concat { inputs, axis } => {
+                let vals: Vec<&Tensor> = inputs.iter().map(|v| value(*v)).collect();
+                Tensor::concat(&vals, *axis)
+            }
+            Op::SliceAxis {
+                input,
+                axis,
+                start,
+                end,
+            } => value(*input).slice_axis(*axis, *start, *end),
+            Op::SumAxis {
+                input,
+                axis,
+                keepdim,
+            } => value(*input).sum_axis(*axis, *keepdim),
+            Op::MeanAxis {
+                input,
+                axis,
+                keepdim,
+            } => value(*input).mean_axis(*axis, *keepdim),
+            Op::SumAll(a) => Tensor::scalar(value(*a).sum_all()),
+            Op::MeanAll(a) => Tensor::scalar(value(*a).mean_all()),
+            Op::Reshape { input, dims } => value(*input).reshape(dims),
+            Op::TransposeLast2(a) => value(*a).transpose_last2(),
+            Op::Permute { input, perm } => value(*input).permute(perm),
+            Op::BceWithLogits { logits, targets } => {
+                bce_with_logits_forward(value(*logits), targets)
+            }
+            Op::Custom { op, inputs } => {
+                let in_vals: Vec<&Tensor> = inputs.iter().map(|v| value(*v)).collect();
+                op.forward(&in_vals)
+            }
+        }
+    }
+
+    /// Rough forward flop estimate for profiling throughput columns.
+    ///
+    /// Conventions: one flop per output element for elementwise maps
+    /// (transcendentals count 1 too), `2·m·k·n` for matmuls, one flop per
+    /// *input* element for reductions, zero for pure data movement
+    /// (reshape/slice/concat/permute). Custom ops report via
+    /// [`CustomOp::flop_estimate`] (default 0).
+    pub fn flop_estimate<'a>(
+        &self,
+        value: &dyn Fn(Var) -> &'a Tensor,
+        output: &Tensor,
+    ) -> u64 {
+        match self {
+            Op::Leaf
+            | Op::Concat { .. }
+            | Op::SliceAxis { .. }
+            | Op::Reshape { .. }
+            | Op::TransposeLast2(..)
+            | Op::Permute { .. } => 0,
+            Op::Matmul(a, b) => {
+                let (m, k) = (value(*a).shape()[0], value(*a).shape()[1]);
+                let n = value(*b).shape()[1];
+                2 * (m * k * n) as u64
+            }
+            Op::MatmulBatched(a, b) => {
+                let ashape = value(*a).shape();
+                let (bb, m, k) = (ashape[0], ashape[1], ashape[2]);
+                let n = *value(*b).shape().last().expect("rhs has columns");
+                2 * (bb * m * k * n) as u64
+            }
+            Op::SoftmaxLastDim(a) => 4 * value(*a).len() as u64,
+            Op::SumAxis { input, .. } | Op::MeanAxis { input, .. } => {
+                value(*input).len() as u64
+            }
+            Op::SumAll(a) | Op::MeanAll(a) => value(*a).len() as u64,
+            Op::BceWithLogits { logits, .. } => 6 * value(*logits).len() as u64,
+            Op::Custom { op, inputs } => {
+                let in_vals: Vec<&Tensor> = inputs.iter().map(|v| value(*v)).collect();
+                op.flop_estimate(&in_vals, output)
+            }
+            _ => output.len() as u64,
+        }
+    }
+
     /// The input variables of this op, in declaration order.
     pub fn inputs(&self) -> Vec<Var> {
         match self {
@@ -140,10 +288,10 @@ impl Op {
             | Op::SoftmaxLastDim(a)
             | Op::SumAll(a)
             | Op::MeanAll(a)
-            | Op::Reshape(a)
             | Op::TransposeLast2(a) => vec![*a],
             Op::Concat { inputs, .. } => inputs.clone(),
-            Op::SliceAxis { input, .. }
+            Op::Reshape { input, .. }
+            | Op::SliceAxis { input, .. }
             | Op::SumAxis { input, .. }
             | Op::MeanAxis { input, .. }
             | Op::Permute { input, .. } => vec![*input],
@@ -279,7 +427,7 @@ impl Op {
                 let n: usize = shape.iter().product::<usize>().max(1);
                 vec![(*a, Tensor::full(shape, grad.item() / n as f32))]
             }
-            Op::Reshape(a) => vec![(*a, grad.reshape(value(*a).shape()))],
+            Op::Reshape { input, .. } => vec![(*input, grad.reshape(value(*input).shape()))],
             Op::TransposeLast2(a) => vec![(*a, grad.transpose_last2())],
             Op::Permute { input, perm } => {
                 let mut inverse = vec![0usize; perm.len()];

@@ -2,10 +2,11 @@
 
 use crate::custom::CustomOp;
 use crate::grads::Gradients;
-use crate::op::{bce_with_logits_forward, Op};
+use crate::op::Op;
 use elda_tensor::Tensor;
 use std::any::Any;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Identifier of a parameter managed outside the tape (by `elda-nn`'s
 /// `ParamStore`). Gradients are keyed by this id after backward.
@@ -61,6 +62,28 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
+    /// Evaluates `op` against the current arena and appends the result.
+    ///
+    /// This is the single choke point every building method funnels through,
+    /// and therefore the one instrumentation site covering every forward op:
+    /// with profiling enabled ([`elda_obs::set_enabled`]) each evaluation is
+    /// timed into the `fwd.<op>` registry slot together with its flop
+    /// estimate. With profiling off the only extra cost over a direct
+    /// evaluation is one relaxed atomic load.
+    fn record_op(&mut self, op: Op) -> Var {
+        if !elda_obs::enabled() {
+            let value = op.eval(&|v: Var| &self.nodes[v.0].value);
+            return self.push(value, op);
+        }
+        let start = Instant::now();
+        let value = op.eval(&|v: Var| &self.nodes[v.0].value);
+        let elapsed = start.elapsed();
+        let flops = op.flop_estimate(&|v: Var| &self.nodes[v.0].value, &value);
+        elda_obs::global().record("fwd", op.name(), elapsed, flops);
+        elda_obs::counter_add("flops.fwd", flops);
+        self.push(value, op)
+    }
+
     /// The forward value of `v`.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
@@ -101,38 +124,32 @@ impl Tape {
 
     /// Elementwise `a + b` (broadcasting).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        self.record_op(Op::Add(a, b))
     }
 
     /// Elementwise `a - b` (broadcasting).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        self.record_op(Op::Sub(a, b))
     }
 
     /// Elementwise `a * b` (broadcasting).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        self.record_op(Op::Mul(a, b))
     }
 
     /// Elementwise `a / b` (broadcasting).
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).div(self.value(b));
-        self.push(v, Op::Div(a, b))
+        self.record_op(Op::Div(a, b))
     }
 
     /// 2-D matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::Matmul(a, b))
+        self.record_op(Op::Matmul(a, b))
     }
 
     /// Batched matrix product (`(B,m,k) x (B,k,n)` or `(B,m,k) x (k,n)`).
     pub fn matmul_batched(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_batched(self.value(b));
-        self.push(v, Op::MatmulBatched(a, b))
+        self.record_op(Op::MatmulBatched(a, b))
     }
 
     // ------------------------------------------------------------------
@@ -141,68 +158,57 @@ impl Tape {
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: Var) -> Var {
-        let v = self.value(a).neg();
-        self.push(v, Op::Neg(a))
+        self.record_op(Op::Neg(a))
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).exp();
-        self.push(v, Op::Exp(a))
+        self.record_op(Op::Exp(a))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&mut self, a: Var) -> Var {
-        let v = self.value(a).ln();
-        self.push(v, Op::Ln(a))
+        self.record_op(Op::Ln(a))
     }
 
     /// Elementwise square root.
     pub fn sqrt(&mut self, a: Var) -> Var {
-        let v = self.value(a).sqrt();
-        self.push(v, Op::Sqrt(a))
+        self.record_op(Op::Sqrt(a))
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.value(a).square();
-        self.push(v, Op::Square(a))
+        self.record_op(Op::Square(a))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).sigmoid();
-        self.push(v, Op::Sigmoid(a))
+        self.record_op(Op::Sigmoid(a))
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).tanh();
-        self.push(v, Op::Tanh(a))
+        self.record_op(Op::Tanh(a))
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).relu();
-        self.push(v, Op::Relu(a))
+        self.record_op(Op::Relu(a))
     }
 
     /// Multiplies by a constant.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).scale(s);
-        self.push(v, Op::Scale(a, s))
+        self.record_op(Op::Scale(a, s))
     }
 
     /// Adds a constant.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).add_scalar(s);
-        self.push(v, Op::AddScalar(a, s))
+        self.record_op(Op::AddScalar(a, s))
     }
 
     /// Softmax along the last axis.
     pub fn softmax_lastdim(&mut self, a: Var) -> Var {
-        let v = self.value(a).softmax_lastdim();
-        self.push(v, Op::SoftmaxLastDim(a))
+        self.record_op(Op::SoftmaxLastDim(a))
     }
 
     // ------------------------------------------------------------------
@@ -211,29 +217,20 @@ impl Tape {
 
     /// Concatenates along `axis`.
     pub fn concat(&mut self, inputs: &[Var], axis: usize) -> Var {
-        let vals: Vec<&Tensor> = inputs.iter().map(|v| self.value(*v)).collect();
-        let v = Tensor::concat(&vals, axis);
-        self.push(
-            v,
-            Op::Concat {
-                inputs: inputs.to_vec(),
-                axis,
-            },
-        )
+        self.record_op(Op::Concat {
+            inputs: inputs.to_vec(),
+            axis,
+        })
     }
 
     /// Copies `[start, end)` along `axis`.
     pub fn slice_axis(&mut self, input: Var, axis: usize, start: usize, end: usize) -> Var {
-        let v = self.value(input).slice_axis(axis, start, end);
-        self.push(
-            v,
-            Op::SliceAxis {
-                input,
-                axis,
-                start,
-                end,
-            },
-        )
+        self.record_op(Op::SliceAxis {
+            input,
+            axis,
+            start,
+            end,
+        })
     }
 
     /// Selects one index along `axis`, dropping the axis. Implemented as a
@@ -247,64 +244,51 @@ impl Tape {
 
     /// Sum along one axis.
     pub fn sum_axis(&mut self, input: Var, axis: usize, keepdim: bool) -> Var {
-        let v = self.value(input).sum_axis(axis, keepdim);
-        self.push(
-            v,
-            Op::SumAxis {
-                input,
-                axis,
-                keepdim,
-            },
-        )
+        self.record_op(Op::SumAxis {
+            input,
+            axis,
+            keepdim,
+        })
     }
 
     /// Mean along one axis.
     pub fn mean_axis(&mut self, input: Var, axis: usize, keepdim: bool) -> Var {
-        let v = self.value(input).mean_axis(axis, keepdim);
-        self.push(
-            v,
-            Op::MeanAxis {
-                input,
-                axis,
-                keepdim,
-            },
-        )
+        self.record_op(Op::MeanAxis {
+            input,
+            axis,
+            keepdim,
+        })
     }
 
     /// Sum of all elements (scalar output).
     pub fn sum_all(&mut self, input: Var) -> Var {
-        let v = Tensor::scalar(self.value(input).sum_all());
-        self.push(v, Op::SumAll(input))
+        self.record_op(Op::SumAll(input))
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean_all(&mut self, input: Var) -> Var {
-        let v = Tensor::scalar(self.value(input).mean_all());
-        self.push(v, Op::MeanAll(input))
+        self.record_op(Op::MeanAll(input))
     }
 
     /// Same data under a new shape.
     pub fn reshape(&mut self, input: Var, dims: &[usize]) -> Var {
-        let v = self.value(input).reshape(dims);
-        self.push(v, Op::Reshape(input))
+        self.record_op(Op::Reshape {
+            input,
+            dims: dims.to_vec(),
+        })
     }
 
     /// Swap of the last two axes.
     pub fn transpose_last2(&mut self, input: Var) -> Var {
-        let v = self.value(input).transpose_last2();
-        self.push(v, Op::TransposeLast2(input))
+        self.record_op(Op::TransposeLast2(input))
     }
 
     /// General axis permutation.
     pub fn permute(&mut self, input: Var, perm: &[usize]) -> Var {
-        let v = self.value(input).permute(perm);
-        self.push(
-            v,
-            Op::Permute {
-                input,
-                perm: perm.to_vec(),
-            },
-        )
+        self.record_op(Op::Permute {
+            input,
+            perm: perm.to_vec(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -314,27 +298,19 @@ impl Tape {
     /// Numerically stable mean binary cross-entropy computed from logits
     /// against constant `{0,1}` targets. Returns a scalar.
     pub fn bce_with_logits(&mut self, logits: Var, targets: &Tensor) -> Var {
-        let v = bce_with_logits_forward(self.value(logits), targets);
-        self.push(
-            v,
-            Op::BceWithLogits {
-                logits,
-                targets: targets.clone(),
-            },
-        )
+        self.record_op(Op::BceWithLogits {
+            logits,
+            targets: targets.clone(),
+        })
     }
 
-    /// Records a fused [`CustomOp`].
+    /// Records a fused [`CustomOp`]. Profiled under the custom op's own
+    /// [`CustomOp::name`], alongside the built-in ops.
     pub fn custom(&mut self, op: Box<dyn CustomOp>, inputs: &[Var]) -> Var {
-        let in_vals: Vec<&Tensor> = inputs.iter().map(|v| self.value(*v)).collect();
-        let v = op.forward(&in_vals);
-        self.push(
-            v,
-            Op::Custom {
-                op,
-                inputs: inputs.to_vec(),
-            },
-        )
+        self.record_op(Op::Custom {
+            op,
+            inputs: inputs.to_vec(),
+        })
     }
 
     /// Downcasting access to the custom op that produced `v`, for reading
@@ -378,6 +354,7 @@ impl Tape {
             seed.shape(),
             self.shape(output)
         );
+        let profiling = elda_obs::enabled();
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[output.0] = Some(seed);
         for idx in (0..=output.0).rev() {
@@ -386,7 +363,14 @@ impl Tape {
             };
             let node = &self.nodes[idx];
             let value_of = |v: Var| -> &Tensor { &self.nodes[v.0].value };
-            let contributions = node.op.backward(&value_of, &node.value, &grad);
+            let contributions = if profiling && !matches!(node.op, Op::Leaf) {
+                let start = Instant::now();
+                let c = node.op.backward(&value_of, &node.value, &grad);
+                elda_obs::global().record("bwd", node.op.name(), start.elapsed(), 0);
+                c
+            } else {
+                node.op.backward(&value_of, &node.value, &grad)
+            };
             // Re-store this node's grad so callers can inspect intermediates.
             grads[idx] = Some(grad);
             for (var, g) in contributions {

@@ -10,7 +10,10 @@
 //! plus the shared scale flags.
 
 use elda_baselines::{build_baseline, BaselineKind};
-use elda_bench::{maybe_write_json, metric_header, metric_row, prepare, Cli};
+use elda_bench::{
+    finish_profiling, maybe_start_profiling, maybe_write_json, metric_header, metric_row, prepare,
+    Cli,
+};
 use elda_core::framework::train_sequence_model;
 use elda_core::{EldaConfig, EldaNet, EldaVariant};
 use elda_emr::{CohortPreset, Task};
@@ -32,6 +35,8 @@ fn main() {
         _ => vec![Task::Mortality, Task::LosGt7],
     };
 
+    maybe_start_profiling(&cli);
+    let profiled_start = std::time::Instant::now();
     let mut payload = Vec::new();
     for &preset in &datasets {
         for &task in &tasks {
@@ -102,5 +107,6 @@ fn main() {
     println!(
         "  ELDA-Net best (~0.56+); Dipole_l ~0.547 best baseline; GRU ~0.536; LR worst (~0.4)"
     );
+    finish_profiling(&cli, profiled_start.elapsed());
     maybe_write_json(&cli, &serde_json::Value::Array(payload));
 }

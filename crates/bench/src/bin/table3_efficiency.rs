@@ -8,7 +8,7 @@
 //! GRU-D/ConCare. Absolute times differ (their GPU vs our CPU).
 
 use elda_baselines::{build_baseline, BaselineKind};
-use elda_bench::{maybe_write_json, prepare, Cli};
+use elda_bench::{finish_profiling, maybe_start_profiling, maybe_write_json, prepare, Cli};
 use elda_core::framework::train_sequence_model;
 use elda_core::{EldaConfig, EldaNet, EldaVariant, SequenceModel};
 use elda_emr::{CohortPreset, Task};
@@ -23,6 +23,8 @@ fn main() {
     let prep = prepare(CohortPreset::PhysioNet2012, &cli.scale, cli.seed);
     let mut fit = cli.fit_config(cli.seed);
     fit.patience = None;
+    maybe_start_profiling(&cli);
+    let profiled_start = std::time::Instant::now();
 
     println!("== Table III: parameters and runtime ==\n");
     println!(
@@ -73,5 +75,6 @@ fn main() {
         "RETAIN 13k / Dipole 40-56k / StageNet 85k / GRU-D 38k / ConCare 183k / ELDA-Net 53k;"
     );
     println!("GRU-D slowest to train+predict, ConCare & StageNet slow, ELDA-Net moderate.");
+    finish_profiling(&cli, profiled_start.elapsed());
     maybe_write_json(&cli, &serde_json::Value::Array(payload));
 }

@@ -183,6 +183,55 @@ impl Cli {
     }
 }
 
+/// Starts profiling if the binary was invoked with `--profile FILE.jsonl`:
+/// installs the JSONL sink, resets the global registry and enables the
+/// global flag. Pair with [`finish_profiling`] at the end of the run.
+pub fn maybe_start_profiling(cli: &Cli) {
+    if let Some(path) = cli.flags.get("profile") {
+        elda_obs::install_sink_to_file(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot open --profile {path}: {e}"));
+        elda_obs::global().reset();
+        elda_obs::set_enabled(true);
+        eprintln!("profiling to {path}");
+    }
+}
+
+/// Ends a [`maybe_start_profiling`] session: dumps one `op` event per
+/// aggregated timer and one `counter` event per counter into the trace,
+/// closes the sink, and prints the aggregate table against `wall`. No-op
+/// when `--profile` was not given.
+pub fn finish_profiling(cli: &Cli, wall: std::time::Duration) {
+    if !cli.flags.contains_key("profile") {
+        return;
+    }
+    elda_obs::set_enabled(false);
+    let snap = elda_obs::global().snapshot();
+    for row in &snap.timers {
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("op")
+                .with("kind", row.kind)
+                .with("op", row.name)
+                .with("calls", row.stat.calls)
+                .with("total_ms", row.stat.total_ns as f64 / 1e6)
+                .with(
+                    "mean_us",
+                    row.stat.total_ns as f64 / 1e3 / row.stat.calls.max(1) as f64,
+                )
+                .with("units", row.stat.units),
+        );
+    }
+    for c in &snap.counters {
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("counter")
+                .with("name", c.name)
+                .with("value", c.value),
+        );
+    }
+    elda_obs::emit(&elda_obs::TraceEvent::new("run").with("wall_ms", wall.as_secs_f64() * 1e3));
+    elda_obs::close_sink();
+    eprintln!("{}", elda_obs::render_table(&snap, wall));
+}
+
 /// A generated-and-preprocessed dataset ready for the harness.
 pub struct Prepared {
     /// The raw cohort.

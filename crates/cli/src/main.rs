@@ -5,6 +5,7 @@
 //! elda generate --out ./cohort --patients 600 [--seed 0] [--mimic]
 //! elda train    --data ./cohort --model model.json [--task mortality|los]
 //!               [--epochs 12] [--batch 64] [--variant full|time|fbi|ffm]
+//!               [--threads N] [--profile trace.jsonl]
 //! elda evaluate --data ./cohort --model model.json
 //! elda predict  --model model.json --record patient.txt
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
@@ -61,6 +62,7 @@ fn print_help() {
          \x20 generate   --out DIR [--patients N] [--seed S] [--mimic] [--tlen T]\n\
          \x20 train      --data DIR --model FILE [--task mortality|los] [--epochs N]\n\
          \x20            [--batch N] [--variant full|time|fbi|ffm] [--tlen T]\n\
+         \x20            [--threads N] [--profile FILE.jsonl]\n\
          \x20 evaluate   --data DIR --model FILE\n\
          \x20 predict    --model FILE --record FILE\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
@@ -114,6 +116,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let t_len = args.num_or("tlen", 48usize)?;
     let task = parse_task(args)?;
     let variant = parse_variant(args)?;
+    let profile_path = args.options.get("profile").cloned();
     let cohort = read_physionet_dir(Path::new(data), t_len).map_err(|e| e.to_string())?;
     println!("loaded {} admissions from {data}", cohort.len());
 
@@ -124,21 +127,78 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         variant.name(),
         elda.params().num_scalars()
     );
-    let fit = FitConfig {
+    let mut fit = FitConfig {
         epochs: args.num_or("epochs", 12usize)?,
         batch_size: args.num_or("batch", 64usize)?,
         verbose: args.flag("verbose"),
         seed: args.num_or("seed", 0u64)?,
         ..Default::default()
     };
+    fit.threads = args.num_or("threads", fit.threads)?;
+
+    if let Some(path) = &profile_path {
+        elda_obs::install_sink_to_file(Path::new(path))
+            .map_err(|e| format!("cannot open --profile {path}: {e}"))?;
+        elda_obs::global().reset();
+        elda_obs::set_enabled(true);
+    }
+    let started = std::time::Instant::now();
     let report = elda.fit(&cohort, &fit);
+    let wall = started.elapsed();
     println!(
         "test: BCE {:.4}  AUC-ROC {:.4}  AUC-PR {:.4}  ({} epochs)",
         report.test.bce, report.test.auc_roc, report.test.auc_pr, report.epochs_run
     );
+    if let Some(path) = &profile_path {
+        elda_obs::set_enabled(false);
+        finish_profile(path, variant.name(), &report, wall);
+    }
     std::fs::write(model_path, elda.save()).map_err(|e| e.to_string())?;
     println!("saved model artifact to {model_path}");
     Ok(())
+}
+
+/// Dumps the aggregated registry into the trace file (one `op` event per
+/// timer, one `counter` event per counter, one closing `run` event), closes
+/// the sink and prints the aggregate table.
+fn finish_profile(
+    path: &str,
+    model: &str,
+    report: &elda_core::framework::TrainReport,
+    wall: std::time::Duration,
+) {
+    let snap = elda_obs::global().snapshot();
+    for row in &snap.timers {
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("op")
+                .with("kind", row.kind)
+                .with("op", row.name)
+                .with("calls", row.stat.calls)
+                .with("total_ms", row.stat.total_ns as f64 / 1e6)
+                .with(
+                    "mean_us",
+                    row.stat.total_ns as f64 / 1e3 / row.stat.calls.max(1) as f64,
+                )
+                .with("units", row.stat.units),
+        );
+    }
+    for c in &snap.counters {
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("counter")
+                .with("name", c.name)
+                .with("value", c.value),
+        );
+    }
+    elda_obs::emit(
+        &elda_obs::TraceEvent::new("run")
+            .with("model", model)
+            .with("epochs", report.epochs_run)
+            .with("val_auc_pr", report.val_auc_pr)
+            .with("wall_ms", wall.as_secs_f64() * 1e3),
+    );
+    elda_obs::close_sink();
+    println!("\nprofile ({} timers, wrote {path}):", snap.timers.len());
+    println!("{}", elda_obs::render_table(&snap, wall));
 }
 
 fn load_model(args: &Args) -> Result<Elda, String> {
@@ -316,6 +376,48 @@ mod tests {
             record.display()
         )))
         .unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_profile_writes_parseable_jsonl_trace() {
+        let dir = tmpdir("profile");
+        let cohort_dir = dir.join("cohort");
+        let model = dir.join("model.json");
+        let trace = dir.join("trace.jsonl");
+
+        run(argv(&format!(
+            "generate --out {} --patients 30 --tlen 5 --seed 11",
+            cohort_dir.display()
+        )))
+        .unwrap();
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 5 --epochs 1 --batch 16 --variant time \
+             --threads 1 --profile {}",
+            cohort_dir.display(),
+            model.display(),
+            trace.display()
+        )))
+        .unwrap();
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let events: Vec<elda_obs::TraceEvent> = text
+            .lines()
+            .map(|l| elda_obs::parse_json_line(l).expect("well-formed JSONL line"))
+            .collect();
+        assert!(!events.is_empty());
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"epoch"), "no epoch event in {kinds:?}");
+        assert!(kinds.contains(&"op"), "no op events in {kinds:?}");
+        assert_eq!(*kinds.last().unwrap(), "run", "trace must close with a run event");
+        // Per-op forward timings flow from the autodiff tape into the trace.
+        assert!(
+            events.iter().any(|e| e.kind == "op"
+                && e.fields.iter().any(|(k, v)| k == "kind"
+                    && matches!(v, elda_obs::Field::Str(s) if s == "fwd"))),
+            "no fwd op rows in trace"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }

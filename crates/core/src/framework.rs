@@ -171,12 +171,16 @@ pub fn predict_probs(
     task: Task,
     batch_size: usize,
 ) -> Vec<f32> {
+    let mut scope = elda_obs::scope("framework", "predict");
     let mut probs = Vec::with_capacity(indices.len());
     for chunk in indices.chunks(batch_size.max(1)) {
         let batch = Batch::gather(samples, chunk, t_len, task);
         let mut tape = Tape::new();
         let logits = model.forward_logits(ps, &mut tape, &batch);
         probs.extend(tape.value(logits).sigmoid().data());
+    }
+    if let Some(s) = scope.as_mut() {
+        s.add_units(indices.len() as u64);
     }
     probs
 }
@@ -263,6 +267,7 @@ impl Elda {
     /// Trains on a cohort with the paper's 80/10/10 protocol. The
     /// preprocessing pipeline is fitted on the training split only.
     pub fn fit(&mut self, cohort: &Cohort, cfg: &FitConfig) -> TrainReport {
+        let _t = elda_obs::scope("framework", "fit");
         let split = split_indices(cohort.len(), cfg.seed);
         let pipeline = Pipeline::fit(cohort, &split.train);
         let samples = pipeline.process_all(cohort);

@@ -103,7 +103,11 @@ impl EldaNet {
                 (0..t_len)
                     .map(|t| {
                         let x_t = tape.select(x, 1, t); // (B, C)
-                        let e = embed.forward(ps, tape, x_t, never);
+                        let e = {
+                            let _t = elda_obs::scope("phase", "embedding");
+                            embed.forward(ps, tape, x_t, never)
+                        };
+                        let _t = elda_obs::scope("phase", "feature-interaction");
                         let (f_t, att) = inter.forward(ps, tape, e);
                         if let Some(acc) = feature_attention.as_mut() {
                             acc.push(att);
@@ -116,11 +120,15 @@ impl EldaNet {
             };
 
         // Temporal backbone (Eq. 7).
-        let hs = self.gru.forward_steps(ps, tape, &steps);
+        let hs = {
+            let _t = elda_obs::scope("phase", "gru");
+            self.gru.forward_steps(ps, tape, &steps)
+        };
 
         // Head: time-level interactions or plain last state.
         let (h_tilde, time_attention) = match &self.time {
             Some(time) => {
+                let _t = elda_obs::scope("phase", "time-interaction");
                 let (h_tilde, beta) = time.forward(ps, tape, &hs);
                 (h_tilde, Some(beta))
             }
@@ -129,6 +137,7 @@ impl EldaNet {
 
         // Prediction module (Eq. 12) — logits; the sigmoid lives in the
         // loss (BCE-with-logits) and in `predict_proba`.
+        let _t = elda_obs::scope("phase", "head");
         let w = ps.bind(tape, self.pred_w);
         let b = ps.bind(tape, self.pred_b);
         let z = tape.matmul(h_tilde, w);

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Training-loop configuration.
 #[derive(Debug, Clone)]
@@ -55,6 +56,10 @@ pub struct EpochStats {
     pub batches: usize,
     /// Mean pre-clip gradient norm (diagnostic for divergence).
     pub mean_grad_norm: f32,
+    /// Wall-clock duration of the epoch in seconds.
+    pub wall_s: f32,
+    /// Training throughput: samples processed per wall-clock second.
+    pub samples_per_s: f32,
 }
 
 /// The loss closure contract: given the (read-only) parameter store and a
@@ -97,10 +102,13 @@ impl Trainer {
         let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed.wrapping_add(epoch as u64));
         indices.shuffle(&mut rng);
 
+        let profiling = elda_obs::enabled();
+        let epoch_start = Instant::now();
         let mut total_loss = 0.0f64;
         let mut total_norm = 0.0f64;
         let mut batches = 0usize;
         for batch in indices.chunks(self.cfg.batch_size) {
+            let batch_start = profiling.then(Instant::now);
             let (loss, mut grads) = self.batch_gradients(ps, batch, loss_fn);
             let norm = match self.cfg.clip_norm {
                 Some(max) => clip_global_norm(&mut grads, max),
@@ -111,20 +119,51 @@ impl Trainer {
                     .sqrt() as f32,
             };
             opt.step(ps, &grads);
+            if let Some(start) = batch_start {
+                let elapsed = start.elapsed();
+                elda_obs::global().record("train", "batch", elapsed, batch.len() as u64);
+                elda_obs::emit(
+                    &elda_obs::TraceEvent::new("batch")
+                        .with("epoch", epoch)
+                        .with("batch", batches)
+                        .with("loss", loss)
+                        .with("grad_norm", norm)
+                        .with("wall_ms", elapsed.as_secs_f64() * 1e3),
+                );
+            }
             total_loss += loss as f64;
             total_norm += norm as f64;
             batches += 1;
         }
+        let wall_s = epoch_start.elapsed().as_secs_f32();
         let stats = EpochStats {
             epoch,
             mean_loss: (total_loss / batches as f64) as f32,
             batches,
             mean_grad_norm: (total_norm / batches as f64) as f32,
+            wall_s,
+            samples_per_s: n_samples as f32 / wall_s.max(f32::MIN_POSITIVE),
         };
+        if profiling {
+            elda_obs::emit(
+                &elda_obs::TraceEvent::new("epoch")
+                    .with("epoch", stats.epoch)
+                    .with("mean_loss", stats.mean_loss)
+                    .with("batches", stats.batches)
+                    .with("mean_grad_norm", stats.mean_grad_norm)
+                    .with("wall_ms", (wall_s as f64) * 1e3)
+                    .with("samples_per_s", stats.samples_per_s),
+            );
+        }
         if self.cfg.verbose {
             eprintln!(
-                "epoch {:>3}: loss {:.5}  grad-norm {:.3}  ({} batches)",
-                stats.epoch, stats.mean_loss, stats.mean_grad_norm, stats.batches
+                "epoch {:>3}: loss {:.5}  grad-norm {:.3}  ({} batches, {:.2}s, {:.0} samples/s)",
+                stats.epoch,
+                stats.mean_loss,
+                stats.mean_grad_norm,
+                stats.batches,
+                stats.wall_s,
+                stats.samples_per_s
             );
         }
         stats
@@ -285,6 +324,37 @@ mod tests {
             "loss did not drop: {} -> {}",
             first.mean_loss,
             last.mean_loss
+        );
+    }
+
+    #[test]
+    fn epoch_stats_report_wall_time_and_throughput() {
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(0.05);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        let stats = trainer.run_epoch(&mut ps, &mut opt, xs.len(), 0, &loss_fn);
+        assert!(
+            stats.wall_s > 0.0 && stats.wall_s.is_finite(),
+            "wall_s must be positive and finite: {}",
+            stats.wall_s
+        );
+        assert!(
+            stats.samples_per_s > 0.0 && stats.samples_per_s.is_finite(),
+            "samples_per_s must be positive and finite: {}",
+            stats.samples_per_s
+        );
+        // Throughput and wall time must be mutually consistent.
+        let implied = xs.len() as f32 / stats.wall_s;
+        assert!(
+            (stats.samples_per_s - implied).abs() <= 1e-3 * implied,
+            "samples_per_s {} inconsistent with wall_s {}",
+            stats.samples_per_s,
+            stats.wall_s
         );
     }
 

@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+//! # elda-obs
+//!
+//! The workspace's observability substrate: **scoped timers**, **monotonic
+//! counters**, a **thread-safe global registry** and a **JSONL trace sink**,
+//! built on `std` alone so every crate — down to `elda-tensor` — can depend
+//! on it without pulling in external dependencies.
+//!
+//! ## Design contract
+//!
+//! Profiling is **off by default** and gated by one global flag. When it is
+//! off, every instrumentation site costs exactly one relaxed atomic load
+//! ([`enabled`]) and nothing else: [`scope()`] returns `None` without reading
+//! the clock, and [`counter_add`] / [`TraceEvent`] emission return
+//! immediately. Hot loops (the autodiff tape records one timer per op) stay
+//! unmeasurably close to their uninstrumented speed.
+//!
+//! When profiling is on ([`set_enabled`]), timings and counters accumulate
+//! in the global [`Registry`] (a mutex-guarded map — profiling runs accept
+//! that overhead in exchange for exact call counts), and structured events
+//! can be streamed to a JSONL file via [`install_sink`] / [`emit`].
+//!
+//! ## Typical session
+//!
+//! ```
+//! elda_obs::set_enabled(true);
+//! {
+//!     let _t = elda_obs::scope("phase", "embedding");
+//!     // ... timed work ...
+//! } // recorded on drop
+//! elda_obs::counter_add("flops.fwd", 1024);
+//! let snap = elda_obs::global().snapshot();
+//! println!("{}", elda_obs::render_table(&snap, snap.total_timed()));
+//! elda_obs::set_enabled(false);
+//! ```
+//!
+//! See `docs/PROFILING.md` for the end-to-end CLI workflow
+//! (`elda train --profile out.jsonl`) and the JSONL schema.
+
+pub mod registry;
+pub mod report;
+pub mod scope;
+pub mod trace;
+
+pub use registry::{global, CounterRow, Registry, Snapshot, TimerRow, TimerStat};
+pub use report::render_table;
+pub use scope::{scope, Scope};
+pub use trace::{
+    close_sink, emit, install_sink, install_sink_to_file, parse_json_line, Field, TraceEvent,
+    TraceSink,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when profiling is globally enabled.
+///
+/// This is the *only* cost instrumented hot paths pay while profiling is
+/// off: a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns global profiling on or off.
+///
+/// Enabling mid-run is safe: stats simply start accumulating from that
+/// point. Disabling does not clear the registry — call
+/// [`Registry::reset`] explicitly when reusing the process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Adds `n` to the named monotonic counter (no-op while profiling is off).
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if enabled() {
+        global().counter_add(name, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_flag_roundtrips() {
+        // Other tests may toggle the global flag concurrently; only assert
+        // on our own local registry behaviour elsewhere. Here, exercise the
+        // flag itself back-to-back.
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

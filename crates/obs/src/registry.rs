@@ -1,0 +1,243 @@
+//! The thread-safe accumulation registry behind the global profiling state.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Accumulated statistics for one named timer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStat {
+    /// Number of recorded intervals.
+    pub calls: u64,
+    /// Total recorded nanoseconds.
+    pub total_ns: u64,
+    /// Accumulated work units (e.g. flop estimates); 0 when unused.
+    pub units: u64,
+}
+
+/// One timer line of a [`Snapshot`], identified by `(kind, name)` — e.g.
+/// `("fwd", "matmul")` for forward matmuls or `("phase", "embedding")`.
+#[derive(Debug, Clone)]
+pub struct TimerRow {
+    /// Timer category (`"fwd"`, `"bwd"`, `"phase"`, `"train"`, ...).
+    pub kind: &'static str,
+    /// Timer name within the category.
+    pub name: &'static str,
+    /// The accumulated statistics.
+    pub stat: TimerStat,
+}
+
+/// One counter line of a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct CounterRow {
+    /// Counter name (e.g. `"flops.fwd"`).
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A consistent copy of the registry's contents, timers sorted by total
+/// time descending and counters by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All timers, hottest first.
+    pub timers: Vec<TimerRow>,
+    /// All counters, by name.
+    pub counters: Vec<CounterRow>,
+}
+
+impl Snapshot {
+    /// Sum of all recorded timer nanoseconds of a given `kind` (useful as
+    /// the denominator when no external wall time is available).
+    pub fn kind_total(&self, kind: &str) -> Duration {
+        Duration::from_nanos(
+            self.timers
+                .iter()
+                .filter(|r| r.kind == kind)
+                .map(|r| r.stat.total_ns)
+                .sum(),
+        )
+    }
+
+    /// Sum over every recorded timer. Note that nested scopes double-count
+    /// wall time; prefer passing a real measured wall duration to
+    /// [`crate::render_table`] when one exists.
+    pub fn total_timed(&self) -> Duration {
+        Duration::from_nanos(self.timers.iter().map(|r| r.stat.total_ns).sum())
+    }
+}
+
+/// Thread-safe timer/counter accumulator.
+///
+/// Most code uses the process-wide instance via [`global`], but the type is
+/// constructible for tests and for tools that want isolated collection.
+/// Keys are `&'static str` pairs so the hot path never allocates.
+#[derive(Default)]
+pub struct Registry {
+    timers: Mutex<HashMap<(&'static str, &'static str), TimerStat>>,
+    counters: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Records one timed interval under `(kind, name)`, with optional work
+    /// `units` (pass 0 when not counting work).
+    pub fn record(&self, kind: &'static str, name: &'static str, elapsed: Duration, units: u64) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut timers = self.timers.lock().expect("obs timer lock");
+        let stat = timers.entry((kind, name)).or_default();
+        stat.calls += 1;
+        stat.total_ns = stat.total_ns.saturating_add(ns);
+        stat.units = stat.units.saturating_add(units);
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        let mut counters = self.counters.lock().expect("obs counter lock");
+        let v = counters.entry(name).or_insert(0);
+        *v = v.saturating_add(n);
+    }
+
+    /// The accumulated stat for `(kind, name)`, if any interval was
+    /// recorded.
+    pub fn timer(&self, kind: &str, name: &str) -> Option<TimerStat> {
+        self.timers
+            .lock()
+            .expect("obs timer lock")
+            .get(&(kind, name))
+            .copied()
+    }
+
+    /// The current value of a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("obs counter lock")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut timers: Vec<TimerRow> = self
+            .timers
+            .lock()
+            .expect("obs timer lock")
+            .iter()
+            .map(|(&(kind, name), &stat)| TimerRow { kind, name, stat })
+            .collect();
+        timers.sort_by(|a, b| {
+            b.stat
+                .total_ns
+                .cmp(&a.stat.total_ns)
+                .then(a.kind.cmp(b.kind))
+                .then(a.name.cmp(b.name))
+        });
+        let mut counters: Vec<CounterRow> = self
+            .counters
+            .lock()
+            .expect("obs counter lock")
+            .iter()
+            .map(|(&name, &value)| CounterRow { name, value })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(b.name));
+        Snapshot { timers, counters }
+    }
+
+    /// Clears all timers and counters (e.g. between profiled runs in one
+    /// process).
+    pub fn reset(&self) {
+        self.timers.lock().expect("obs timer lock").clear();
+        self.counters.lock().expect("obs counter lock").clear();
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumentation site records into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_calls_time_and_units() {
+        let r = Registry::new();
+        r.record("fwd", "matmul", Duration::from_micros(5), 100);
+        r.record("fwd", "matmul", Duration::from_micros(7), 50);
+        let s = r.timer("fwd", "matmul").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_ns, 12_000);
+        assert_eq!(s.units, 150);
+        assert!(r.timer("bwd", "matmul").is_none());
+    }
+
+    #[test]
+    fn counters_are_monotonic_and_default_zero() {
+        let r = Registry::new();
+        assert_eq!(r.counter("flops"), 0);
+        r.counter_add("flops", 10);
+        r.counter_add("flops", 32);
+        assert_eq!(r.counter("flops"), 42);
+    }
+
+    #[test]
+    fn snapshot_sorts_timers_by_total_desc() {
+        let r = Registry::new();
+        r.record("fwd", "small", Duration::from_nanos(10), 0);
+        r.record("fwd", "big", Duration::from_micros(10), 0);
+        r.record("bwd", "mid", Duration::from_nanos(500), 0);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.timers.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["big", "mid", "small"]);
+        assert_eq!(snap.kind_total("fwd"), Duration::from_nanos(10_010));
+        assert_eq!(snap.total_timed(), Duration::from_nanos(10_510));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Registry::new();
+        r.record("fwd", "x", Duration::from_nanos(1), 0);
+        r.counter_add("c", 1);
+        r.reset();
+        assert!(r.snapshot().timers.is_empty());
+        assert_eq!(r.counter("c"), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_from_scoped_threads_is_lossless() {
+        let r = Registry::new();
+        let threads = 8;
+        let per_thread = 250u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        r.record("fwd", "op", Duration::from_nanos(3), 2);
+                        r.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        let stat = r.timer("fwd", "op").unwrap();
+        assert_eq!(stat.calls, threads * per_thread);
+        assert_eq!(stat.total_ns, threads * per_thread * 3);
+        assert_eq!(stat.units, threads * per_thread * 2);
+        assert_eq!(r.counter("n"), threads * per_thread);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Registry;
+        let b = global() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

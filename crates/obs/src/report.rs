@@ -1,0 +1,101 @@
+//! End-of-run aggregate reporting over a registry [`Snapshot`].
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Renders the aggregate profile table: one row per timer — kind, op,
+/// calls, total ms, mean ms and share of `wall` — hottest first, followed
+/// by the counters.
+///
+/// `wall` should be the measured wall-clock duration of the profiled
+/// region (e.g. the whole `fit` call). Because scopes nest (a `"phase"`
+/// scope contains the `"fwd"` op scopes recorded inside it), columns can
+/// legitimately sum past 100%; the table reports each row against wall
+/// time independently.
+pub fn render_table(snap: &Snapshot, wall: Duration) -> String {
+    let wall_ns = wall.as_nanos().max(1) as f64;
+    let name_w = snap
+        .timers
+        .iter()
+        .map(|r| r.kind.len() + 1 + r.name.len())
+        .chain(std::iter::once("op".len()))
+        .max()
+        .unwrap_or(2);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$} {:>10} {:>12} {:>11} {:>7}",
+        "op", "calls", "total ms", "mean ms", "% wall"
+    );
+    for row in &snap.timers {
+        let total_ms = row.stat.total_ns as f64 / 1e6;
+        let mean_ms = total_ms / row.stat.calls.max(1) as f64;
+        let pct = row.stat.total_ns as f64 / wall_ns * 100.0;
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>10} {:>12.3} {:>11.4} {:>6.1}%",
+            format!("{}.{}", row.kind, row.name),
+            row.stat.calls,
+            total_ms,
+            mean_ms,
+            pct
+        );
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "--");
+        for c in &snap.counters {
+            let _ = writeln!(out, "{:<name_w$} {:>10}", c.name, c.value);
+        }
+    }
+    let _ = write!(out, "wall: {:.1} ms", wall_ns / 1e6);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.record("fwd", "matmul", Duration::from_millis(80), 1000);
+        r.record("fwd", "matmul", Duration::from_millis(20), 500);
+        r.record("bwd", "matmul", Duration::from_millis(50), 0);
+        r.record("phase", "embedding", Duration::from_millis(5), 0);
+        r.counter_add("flops.fwd", 1500);
+        r.snapshot()
+    }
+
+    #[test]
+    fn table_lists_hottest_first_with_percentages() {
+        let table = render_table(&sample_snapshot(), Duration::from_millis(200));
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("calls") && lines[0].contains("% wall"));
+        assert!(lines[1].starts_with("fwd.matmul"), "{}", lines[1]);
+        assert!(lines[1].contains("50.0%"), "{}", lines[1]);
+        assert!(lines[2].starts_with("bwd.matmul"));
+        assert!(lines[2].contains("25.0%"));
+        // counters section + wall footer
+        assert!(table.contains("flops.fwd"));
+        assert!(table.ends_with("wall: 200.0 ms"));
+    }
+
+    #[test]
+    fn mean_column_divides_by_calls() {
+        let table = render_table(&sample_snapshot(), Duration::from_millis(200));
+        let row = table
+            .lines()
+            .find(|l| l.starts_with("fwd.matmul"))
+            .unwrap();
+        // 100 ms over 2 calls → mean 50 ms
+        assert!(row.contains("50.0000"), "{row}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_and_wall_only() {
+        let table = render_table(&Snapshot::default(), Duration::from_millis(3));
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.ends_with("wall: 3.0 ms"));
+    }
+}

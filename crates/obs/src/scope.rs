@@ -1,0 +1,109 @@
+//! Scoped RAII timers recording into the global registry.
+
+use crate::registry::global;
+use std::time::Instant;
+
+/// A running scoped timer; records its elapsed time (and optional work
+/// units) into the global [`crate::Registry`] when dropped.
+///
+/// Obtain one through [`scope()`] — it returns `None` while profiling is
+/// disabled, so the `let _t = ...;` pattern costs one relaxed atomic load
+/// on the disabled path and never reads the clock.
+///
+/// Scopes nest naturally: each records its own wall interval, so a parent
+/// scope's total *includes* its children's (the aggregate table documents
+/// this; nested kinds should use distinct `kind` strings to keep "% of
+/// wall" columns interpretable).
+#[must_use = "a scope records on drop; binding it to `_` drops immediately"]
+#[derive(Debug)]
+pub struct Scope {
+    kind: &'static str,
+    name: &'static str,
+    units: u64,
+    start: Instant,
+}
+
+impl Scope {
+    /// Attributes `units` of work (e.g. samples, flops) to this interval.
+    pub fn add_units(&mut self, units: u64) {
+        self.units = self.units.saturating_add(units);
+    }
+
+    /// Elapsed time since the scope opened (the value recorded on drop).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        global().record(self.kind, self.name, self.start.elapsed(), self.units);
+    }
+}
+
+/// Opens a scoped timer under `(kind, name)`, or returns `None` while
+/// profiling is disabled.
+///
+/// ```
+/// let _t = elda_obs::scope("phase", "embedding");
+/// // ... timed work; recorded when `_t` drops ...
+/// ```
+#[inline]
+pub fn scope(kind: &'static str, name: &'static str) -> Option<Scope> {
+    if !crate::enabled() {
+        return None;
+    }
+    Some(Scope {
+        kind,
+        name,
+        units: 0,
+        start: Instant::now(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scope_is_none_while_disabled() {
+        crate::set_enabled(false);
+        assert!(scope("test", "disabled").is_none());
+    }
+
+    #[test]
+    fn scope_records_on_drop_with_units() {
+        crate::set_enabled(true);
+        {
+            let mut t = scope("scope-test", "timed-block").expect("enabled");
+            t.add_units(7);
+            std::thread::sleep(Duration::from_millis(2));
+            assert!(t.elapsed() >= Duration::from_millis(2));
+        }
+        crate::set_enabled(false);
+        let stat = global().timer("scope-test", "timed-block").expect("recorded");
+        assert!(stat.calls >= 1);
+        assert!(stat.total_ns >= 2_000_000, "recorded {}ns", stat.total_ns);
+        assert!(stat.units >= 7);
+    }
+
+    #[test]
+    fn nested_scopes_each_record_and_parent_covers_child() {
+        crate::set_enabled(true);
+        {
+            let _outer = scope("nest-test", "outer");
+            std::thread::sleep(Duration::from_millis(1));
+            {
+                let _inner = scope("nest-test", "inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        crate::set_enabled(false);
+        let outer = global().timer("nest-test", "outer").expect("outer recorded");
+        let inner = global().timer("nest-test", "inner").expect("inner recorded");
+        assert!(outer.calls >= 1 && inner.calls >= 1);
+        // The parent interval contains the child's.
+        assert!(outer.total_ns >= inner.total_ns);
+    }
+}

@@ -1,0 +1,510 @@
+//! Structured run traces: one JSON object per line (JSONL), written through
+//! a process-global sink.
+//!
+//! The schema is flat and self-describing: every line carries an `"ev"`
+//! key naming the event kind, then event-specific fields. Producers build
+//! events with [`TraceEvent::new`] + [`TraceEvent::with`]; the hand-rolled
+//! serializer keeps this crate std-only. A minimal [`parse_json_line`]
+//! reader is provided for tests and for tools that post-process traces.
+//!
+//! Event kinds emitted by the workspace (see `docs/PROFILING.md`):
+//!
+//! | `ev` | producer | fields |
+//! |---|---|---|
+//! | `epoch` | `elda-nn::train` | `epoch`, `mean_loss`, `batches`, `mean_grad_norm`, `wall_ms`, `samples_per_s` |
+//! | `batch` | `elda-nn::train` | `epoch`, `batch`, `loss`, `grad_norm`, `wall_ms` |
+//! | `op` | `elda-cli` (registry dump) | `kind`, `op`, `calls`, `total_ms`, `mean_us`, `units` |
+//! | `counter` | `elda-cli` (registry dump) | `name`, `value` |
+//! | `run` | `elda-cli` | `wall_ms`, plus run metadata (`model`, `epochs`, ...) |
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A scalar field value of a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialize as `null`.
+    F64(f64),
+    /// Single-precision float, serialized at `f32` precision (non-finite
+    /// values become `null`). Note [`parse_json_line`] reads every
+    /// fractional number back as [`Field::F64`].
+    F32(f32),
+    /// String (JSON-escaped on write).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+impl From<f32> for Field {
+    fn from(v: f32) -> Field {
+        Field::F32(v)
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::Bool(v)
+    }
+}
+
+/// One structured trace record; serializes to a single JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event kind, written as the leading `"ev"` field.
+    pub kind: String,
+    /// Ordered `(key, value)` fields following `"ev"`.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl TraceEvent {
+    /// A new event of the given kind.
+    pub fn new(kind: &str) -> TraceEvent {
+        TraceEvent {
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn with(mut self, key: &str, value: impl Into<Field>) -> TraceEvent {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes to one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ev\":");
+        write_json_str(&mut out, &self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_str(&mut out, k);
+            out.push(':');
+            match v {
+                Field::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Field::I64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Field::F64(x) => {
+                    if x.is_finite() {
+                        let _ = write!(out, "{x}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Field::F32(x) => {
+                    if x.is_finite() {
+                        let _ = write!(out, "{x}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Field::Str(s) => write_json_str(&mut out, s),
+                Field::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSONL writer around any `Write` destination.
+///
+/// Lines are buffered; [`TraceSink::flush`] (or dropping the sink) flushes
+/// them. The sink is internally locked, so concurrent [`emit`]s interleave
+/// at line granularity — JSONL stays well-formed under threaded training.
+pub struct TraceSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl TraceSink {
+    /// A sink writing to an arbitrary destination (files, `Vec<u8>` in
+    /// tests, ...).
+    pub fn new(dest: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink {
+            out: Mutex::new(BufWriter::new(dest)),
+        }
+    }
+
+    /// A sink writing (truncating) the file at `path`.
+    pub fn to_file(path: &Path) -> std::io::Result<TraceSink> {
+        Ok(TraceSink::new(Box::new(File::create(path)?)))
+    }
+
+    /// Writes one event as one line.
+    pub fn write_event(&self, ev: &TraceEvent) {
+        let mut out = self.out.lock().expect("trace sink lock");
+        let _ = writeln!(out, "{}", ev.to_json());
+    }
+
+    /// Flushes buffered lines to the destination.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("trace sink lock").flush();
+    }
+}
+
+static SINK: Mutex<Option<TraceSink>> = Mutex::new(None);
+
+/// Installs `sink` as the process-global trace destination, replacing (and
+/// flushing) any previous one.
+pub fn install_sink(sink: TraceSink) {
+    let mut slot = SINK.lock().expect("trace sink slot");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(sink);
+}
+
+/// Convenience: installs a file sink at `path` (created/truncated).
+pub fn install_sink_to_file(path: &Path) -> std::io::Result<()> {
+    install_sink(TraceSink::to_file(path)?);
+    Ok(())
+}
+
+/// Writes one event to the installed sink, if any. Cheap no-op (one mutex
+/// lock on an empty slot) when no sink is installed; producers on per-op
+/// hot paths should gate on [`crate::enabled`] instead of emitting per op.
+pub fn emit(ev: &TraceEvent) {
+    let slot = SINK.lock().expect("trace sink slot");
+    if let Some(sink) = slot.as_ref() {
+        sink.write_event(ev);
+    }
+}
+
+/// Flushes and removes the installed sink (end of a profiled run).
+pub fn close_sink() {
+    let mut slot = SINK.lock().expect("trace sink slot");
+    if let Some(sink) = slot.take() {
+        sink.flush();
+    }
+}
+
+/// Parses one flat JSONL line produced by [`TraceEvent::to_json`] back into
+/// an event. Supports exactly the subset this module writes — flat objects
+/// of string / number / bool / null scalars — and returns `None` on
+/// anything else. Intended for round-trip tests and small trace tools, not
+/// as a general JSON parser.
+pub fn parse_json_line(line: &str) -> Option<TraceEvent> {
+    let mut p = Parser {
+        bytes: line.trim().as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut kind = None;
+    let mut fields = Vec::new();
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.parse_scalar()?;
+        if key == "ev" {
+            match value {
+                Some(Field::Str(s)) => kind = Some(s),
+                _ => return None,
+            }
+        } else if let Some(v) = value {
+            fields.push((key, v));
+        }
+        p.skip_ws();
+        match p.next()? {
+            b',' => continue,
+            b'}' => break,
+            _ => return None,
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None;
+    }
+    Some(TraceEvent {
+        kind: kind?,
+        fields,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.next()? == b).then_some(())
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Some(s),
+                b'\\' => match self.next()? {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b)?;
+                    self.pos = start + width;
+                    s.push_str(std::str::from_utf8(self.bytes.get(start..self.pos)?).ok()?);
+                }
+            }
+        }
+    }
+
+    /// Parses a scalar; `Ok(None)`-style `Some(None)` means JSON `null`.
+    fn parse_scalar(&mut self) -> Option<Option<Field>> {
+        match self.peek()? {
+            b'"' => Some(Some(Field::Str(self.parse_string()?))),
+            b't' => self.literal(b"true").map(|()| Some(Field::Bool(true))),
+            b'f' => self.literal(b"false").map(|()| Some(Field::Bool(false))),
+            b'n' => self.literal(b"null").map(|()| None),
+            _ => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                if text.bytes().all(|b| b.is_ascii_digit()) {
+                    text.parse::<u64>().ok().map(|n| Some(Field::U64(n)))
+                } else if text.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+                    text.parse::<i64>().ok().map(|n| Some(Field::I64(n)))
+                } else {
+                    text.parse::<f64>().ok().map(|x| Some(Field::F64(x)))
+                }
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Option<()> {
+        if self.bytes.get(self.pos..self.pos + lit.len())? == lit {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[test]
+    fn event_serializes_in_field_order() {
+        let ev = TraceEvent::new("epoch")
+            .with("epoch", 3usize)
+            .with("mean_loss", 0.25f32)
+            .with("note", "ok");
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"epoch","epoch":3,"mean_loss":0.25,"note":"ok"}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = TraceEvent::new("run").with("path", "a\"b\\c\nd\te");
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"run\",\"path\":\"a\\\"b\\\\c\\nd\\te\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = TraceEvent::new("x").with("nan", f64::NAN).with("ok", 1.5f64);
+        assert_eq!(ev.to_json(), r#"{"ev":"x","nan":null,"ok":1.5}"#);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_the_parser() {
+        let ev = TraceEvent::new("op")
+            .with("kind", "fwd")
+            .with("op", "matmul")
+            .with("calls", 1234u64)
+            .with("total_ms", 56.75f64)
+            .with("neg", -3i64)
+            .with("escaped", "tab\t\"quote\" π")
+            .with("flag", true);
+        let parsed = parse_json_line(&ev.to_json()).expect("parses");
+        assert_eq!(parsed, ev);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"no_ev":1}"#,
+            r#"{"ev":"x","nested":{"a":1}}"#,
+            r#"{"ev":"x","arr":[1,2]}"#,
+            r#"{"ev":"x"} trailing"#,
+        ] {
+            assert!(parse_json_line(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn null_fields_parse_as_omitted() {
+        let parsed = parse_json_line(r#"{"ev":"x","nan":null,"v":2}"#).unwrap();
+        assert_eq!(parsed.fields, vec![("v".to_string(), Field::U64(2))]);
+    }
+
+    /// A `Write` destination capturing everything for inspection.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+    impl std::io::Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event_and_roundtrips() {
+        let cap = Capture::default();
+        let sink = TraceSink::new(Box::new(cap.clone()));
+        let events = [
+            TraceEvent::new("epoch").with("epoch", 0usize).with("wall_ms", 10.5f64),
+            TraceEvent::new("epoch").with("epoch", 1usize).with("wall_ms", 9.25f64),
+            TraceEvent::new("run").with("wall_ms", 19.5f64),
+        ];
+        for ev in &events {
+            sink.write_event(ev);
+        }
+        sink.flush();
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, ev) in lines.iter().zip(&events) {
+            assert_eq!(&parse_json_line(line).expect("valid JSONL"), ev);
+        }
+    }
+
+    #[test]
+    fn file_sink_roundtrips_via_install_emit_close() {
+        let path = std::env::temp_dir().join(format!(
+            "elda-obs-trace-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        install_sink_to_file(&path).unwrap();
+        emit(&TraceEvent::new("run").with("model", "ELDA-Net").with("epochs", 2usize));
+        close_sink();
+        // After close, emits are dropped silently.
+        emit(&TraceEvent::new("run").with("ignored", true));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let ev = parse_json_line(lines[0]).unwrap();
+        assert_eq!(ev.kind, "run");
+        assert_eq!(
+            ev.fields,
+            vec![
+                ("model".to_string(), Field::Str("ELDA-Net".into())),
+                ("epochs".to_string(), Field::U64(2)),
+            ]
+        );
+    }
+}

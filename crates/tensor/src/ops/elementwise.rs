@@ -134,7 +134,13 @@ impl Tensor {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn axpy_assign(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape(), other.shape(), "axpy_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy_assign shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
         for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += alpha * b;
         }

@@ -52,8 +52,20 @@ impl Tensor {
         match other.rank() {
             3 => {
                 let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
-                assert_eq!(b, b2, "batch extents differ");
-                assert_eq!(k, k2, "inner extents differ");
+                assert_eq!(
+                    b,
+                    b2,
+                    "matmul_batched batch extents differ: {:?} x {:?}",
+                    self.shape(),
+                    other.shape()
+                );
+                assert_eq!(
+                    k,
+                    k2,
+                    "matmul_batched inner extents differ: {:?} x {:?}",
+                    self.shape(),
+                    other.shape()
+                );
                 let mut out = vec![0.0f32; b * m * n];
                 for i in 0..b {
                     matmul_into(
@@ -69,7 +81,13 @@ impl Tensor {
             }
             2 => {
                 let (k2, n) = (other.shape()[0], other.shape()[1]);
-                assert_eq!(k, k2, "inner extents differ");
+                assert_eq!(
+                    k,
+                    k2,
+                    "matmul_batched inner extents differ: {:?} x {:?}",
+                    self.shape(),
+                    other.shape()
+                );
                 let mut out = vec![0.0f32; b * m * n];
                 for i in 0..b {
                     matmul_into(
@@ -108,7 +126,11 @@ impl Tensor {
     /// Swaps the last two axes of a rank-≥2 tensor.
     pub fn transpose_last2(&self) -> Tensor {
         let r = self.rank();
-        assert!(r >= 2, "transpose_last2 requires rank >= 2");
+        assert!(
+            r >= 2,
+            "transpose_last2 requires rank >= 2, got {:?}",
+            self.shape()
+        );
         let mut perm: Vec<usize> = (0..r).collect();
         perm.swap(r - 1, r - 2);
         self.permute(&perm)
@@ -153,8 +175,14 @@ impl Tensor {
 
     /// Vector dot product of two rank-1 tensors of equal length.
     pub fn dot(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.rank(), 1, "dot lhs must be rank-1");
-        assert_eq!(self.shape(), other.shape(), "dot operands must match");
+        assert_eq!(self.rank(), 1, "dot lhs must be rank-1, got {:?}", self.shape());
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "dot operand shapes differ: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
         self.data()
             .iter()
             .zip(other.data())

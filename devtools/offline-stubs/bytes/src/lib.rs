@@ -1,0 +1,1 @@
+//! Empty offline placeholder; no workspace crate currently uses bytes.

@@ -1,0 +1,107 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use. No statistics: each benchmark body runs once with a wall-clock
+//! print, which keeps `cargo bench` compiling and smoke-runnable offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_once(id, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted and ignored (the stub runs one pass regardless).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        run_once(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness handed to benchmark bodies.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs `f` once (the real criterion samples it many times).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let _ = black_box(f());
+    }
+}
+
+fn run_once(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let start = Instant::now();
+    f(&mut Bencher);
+    println!("bench {label}: {:?} (single pass, offline stub)", start.elapsed());
+}
+
+/// Groups benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Main entry running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

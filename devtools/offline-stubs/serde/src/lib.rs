@@ -1,0 +1,368 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Real serde is a zero-copy streaming framework; this stub is a simple
+//! value-tree design: [`Serialize`] lowers a type to a JSON [`Value`],
+//! [`Deserialize`] rebuilds it from one. `serde_json` (the sibling stub)
+//! provides the text layer. The `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the `serde_derive` stub) cover exactly the shapes this
+//! workspace derives: structs with named fields and fieldless enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// JSON object storage. Real `serde_json` preserves insertion order; a
+/// `BTreeMap` gives deterministic (sorted) key order instead, which every
+/// consumer in this workspace is agnostic to.
+pub type Map = BTreeMap<String, Value>;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (preserves full u64 precision).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Any non-integral number.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` on anything else or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to f64, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as u64, if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as i64, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::I64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `doc["key"]`: member access returning `Null` for missing keys or
+    /// non-objects (matching `serde_json`'s behavior).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// `doc["key"] = ...`: auto-vivifies `Null` into an object and inserts
+    /// `Null` for missing keys (matching `serde_json`); panics on other
+    /// non-object values.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index non-object value {other:?} with a string key"),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => a
+                .get_mut(idx)
+                .unwrap_or_else(|| panic!("array index {idx} out of bounds")),
+            other => panic!("cannot index non-array value {other:?} with a usize"),
+        }
+    }
+}
+
+/// Types lowerable to a JSON [`Value`].
+pub trait Serialize {
+    /// The JSON value tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, with a human-readable error on shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_u64().ok_or_else(|| format!("expected unsigned integer, got {v:?}"))?;
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_i64().ok_or_else(|| format!("expected integer, got {v:?}"))?;
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(format!("expected array, got {v:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(format!("expected 2-element array, got {v:?}")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(format!("expected 3-element array, got {v:?}")),
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde_derive` (plus `serde_json`'s `json!`),
+//! written against `proc_macro` alone — no `syn`/`quote`, since the build
+//! environment has no registry access.
+//!
+//! Supported input shapes are exactly what this workspace derives:
+//! * structs with named fields (no generics),
+//! * fieldless enums (no generics).
+//!
+//! Anything else panics at expansion time with a clear message, so a new
+//! unsupported derive shows up as a loud compile error rather than silent
+//! misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input.
+enum Shape {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }`
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Extracts the item shape from a derive input stream.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`# [ ... ]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("offline serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("offline serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "offline serde_derive: only plain (non-generic, braced) types are supported \
+             for `{name}`, found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_fieldless_variants(body),
+        },
+        other => panic!("offline serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("offline serde_derive: expected `:` after field, got {other:?}"),
+                }
+                // Consume the type up to the next comma outside generics.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("offline serde_derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Variant names of a fieldless enum body; panics on data-carrying variants.
+fn parse_fieldless_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if let Some(TokenTree::Group(_)) = tokens.get(i + 1) {
+                    panic!(
+                        "offline serde_derive: enum variant `{name}` carries data; \
+                         only fieldless enums are supported"
+                    );
+                }
+                variants.push(name);
+                i += 1;
+            }
+            other => panic!("offline serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — lowers to a `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("offline serde_derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]` — rebuilds from a `serde::Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\n\
+                             obj.get({f:?}).unwrap_or(&::serde::Value::Null))\n\
+                             .map_err(|e| format!(\"field {f}: {{e}}\"))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, String> {{\n\
+                         let obj = match v {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             other => return Err(format!(\"expected object for {name}, got {{other:?}}\")),\n\
+                         }};\n\
+                         Ok({name} {{ {builds} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, String> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\
+                             other => Err(format!(\"unknown {name} variant: {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("offline serde_derive: generated impl parses")
+}
+
+/// Function-like `json!` macro (re-exported by the `serde_json` stub).
+///
+/// Supports JSON object/array literals whose values are arbitrary Rust
+/// expressions, nested literals, `null`, and bare expressions — the forms
+/// this workspace uses.
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let expr = json_value_expr(input.into_iter().collect());
+    expr.parse().expect("offline json!: generated expression parses")
+}
+
+/// Renders the expression string for one JSON value's token sequence.
+fn json_value_expr(tokens: Vec<TokenTree>) -> String {
+    // A single brace group is an object literal, a single bracket group an
+    // array literal, the ident `null` is Null; anything else is a Rust
+    // expression converted via Serialize.
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return json_object_expr(g.stream());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                return json_array_expr(g.stream());
+            }
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde_json::Value::Null".to_string();
+            }
+            _ => {}
+        }
+    }
+    // TokenStream's Display handles joint punctuation (`::`, `..`) right;
+    // stringifying token-by-token would split them apart.
+    let expr = tokens.into_iter().collect::<TokenStream>().to_string();
+    format!("::serde_json::to_value(&({expr}))")
+}
+
+/// `{ "key": value, ... }`
+fn json_object_expr(stream: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = String::from("{ let mut m = ::serde_json::Map::new();\n");
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Literal(lit) => lit.to_string(),
+            other => panic!("offline json!: object keys must be string literals, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("offline json!: expected `:` after key {key}, got {other:?}"),
+        }
+        // Value tokens run to the next top-level comma.
+        let mut value_tokens = Vec::new();
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                t => value_tokens.push(t.clone()),
+            }
+            i += 1;
+        }
+        let value = json_value_expr(value_tokens);
+        out.push_str(&format!("m.insert({key}.to_string(), {value});\n"));
+    }
+    out.push_str("::serde_json::Value::Object(m) }");
+    out
+}
+
+/// `[ value, ... ]`
+fn json_array_expr(stream: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = String::from("::serde_json::Value::Array(vec![");
+    let mut element = Vec::new();
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                out.push_str(&json_value_expr(std::mem::take(&mut element)));
+                out.push(',');
+            }
+            _ => element.push(t),
+        }
+    }
+    if !element.is_empty() {
+        out.push_str(&json_value_expr(element));
+    }
+    out.push_str("])");
+    out
+}
