@@ -38,10 +38,12 @@ pub mod check;
 pub mod custom;
 pub mod grads;
 pub mod op;
+pub mod sentinel;
 pub mod tape;
 
 pub use check::{grad_check, GradCheckReport};
 pub use custom::CustomOp;
 pub use grads::Gradients;
 pub use op::Op;
+pub use sentinel::NonFiniteOp;
 pub use tape::{ParamId, Tape, Var};

@@ -226,11 +226,7 @@ impl Op {
     /// *input* element for reductions, zero for pure data movement
     /// (reshape/slice/concat/permute). Custom ops report via
     /// [`CustomOp::flop_estimate`] (default 0).
-    pub fn flop_estimate<'a>(
-        &self,
-        value: &dyn Fn(Var) -> &'a Tensor,
-        output: &Tensor,
-    ) -> u64 {
+    pub fn flop_estimate<'a>(&self, value: &dyn Fn(Var) -> &'a Tensor, output: &Tensor) -> u64 {
         match self {
             Op::Leaf
             | Op::Concat { .. }
@@ -250,9 +246,7 @@ impl Op {
                 2 * (bb * m * k * n) as u64
             }
             Op::SoftmaxLastDim(a) => 4 * value(*a).len() as u64,
-            Op::SumAxis { input, .. } | Op::MeanAxis { input, .. } => {
-                value(*input).len() as u64
-            }
+            Op::SumAxis { input, .. } | Op::MeanAxis { input, .. } => value(*input).len() as u64,
             Op::SumAll(a) | Op::MeanAll(a) => value(*a).len() as u64,
             Op::BceWithLogits { logits, .. } => 6 * value(*logits).len() as u64,
             Op::Custom { op, inputs } => {

@@ -1,0 +1,174 @@
+//! Opt-in non-finite sentinel at the tape's op boundary.
+//!
+//! When armed ([`set_enabled`]), every forward evaluation in
+//! `Tape::record_op` and every backward contribution in
+//! `Tape::backward_with_seed` is scanned for NaN/±Inf, and the **first**
+//! offending op is captured — name, phase (`"fwd"`/`"bwd"`) and formatted
+//! operand shapes — instead of letting the bad value surface epochs later
+//! as a garbage loss. Subsequent offenders are ignored: once a NaN exists
+//! it propagates through most of the graph, and only the origin is
+//! diagnostic.
+//!
+//! The sentinel follows the crate's observability contract: while disabled
+//! the per-op cost is a single relaxed atomic load (the `TRIPPED` check
+//! short-circuits behind it), with no tensor scan and no allocation.
+//! Scanning every output *is* O(elements) once armed — that is the price
+//! of the diagnosis, paid only by runs that opt in (e.g. `elda train
+//! --health`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Where and what first went non-finite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteOp {
+    /// `"fwd"` (forward evaluation) or `"bwd"` (gradient contribution).
+    pub phase: &'static str,
+    /// The op's name as reported by `Op::name`/`CustomOp::name`.
+    pub op: &'static str,
+    /// Operand shapes formatted like `(4x37x8),(37x8)`; empty for leaves.
+    pub operands: String,
+}
+
+impl NonFiniteOp {
+    /// `"fwd.<op>"` / `"bwd.<op>"` — the subject label used in health
+    /// incidents.
+    pub fn subject(&self) -> String {
+        format!("{}.{}", self.phase, self.op)
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRIPPED: AtomicBool = AtomicBool::new(false);
+static FIRST: Mutex<Option<NonFiniteOp>> = Mutex::new(None);
+
+/// True when the sentinel is armed and still waiting for its first
+/// non-finite value. One relaxed load while disabled; the second load only
+/// happens on armed runs.
+#[inline]
+pub fn armed() -> bool {
+    ENABLED.load(Ordering::Relaxed) && !TRIPPED.load(Ordering::Relaxed)
+}
+
+/// True when the sentinel has been enabled (regardless of tripped state).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms the sentinel process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears any captured report and re-arms the trip latch (start of a run).
+pub fn clear() {
+    *FIRST.lock().expect("sentinel slot") = None;
+    TRIPPED.store(false, Ordering::Relaxed);
+}
+
+/// Records a non-finite observation. Only the first caller after a
+/// [`clear`] wins; later reports are dropped.
+pub fn record(phase: &'static str, op: &'static str, operands: String) {
+    if TRIPPED
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        *FIRST.lock().expect("sentinel slot") = Some(NonFiniteOp {
+            phase,
+            op,
+            operands,
+        });
+    }
+}
+
+/// The captured first offender, if any (leaves it in place).
+pub fn first() -> Option<NonFiniteOp> {
+    FIRST.lock().expect("sentinel slot").clone()
+}
+
+/// Takes the captured report and re-arms the latch, so a per-epoch
+/// consumer can attribute the offender to the epoch that produced it.
+pub fn take() -> Option<NonFiniteOp> {
+    let report = FIRST.lock().expect("sentinel slot").take();
+    if report.is_some() {
+        TRIPPED.store(false, Ordering::Relaxed);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use elda_tensor::Tensor;
+
+    // The sentinel is process-global state; run ALL expectations (latch
+    // semantics + tape integration + disabled-path contract) in one serial
+    // test so parallel test threads cannot interleave arm/clear.
+    #[test]
+    fn sentinel_latch_and_tape_integration() {
+        // --- latch semantics -----------------------------------------
+        clear();
+        set_enabled(false);
+        assert!(!armed(), "disabled sentinel is not armed");
+
+        set_enabled(true);
+        clear();
+        assert!(armed());
+        record("fwd", "exp", "(2x3)".into());
+        assert!(!armed(), "tripped sentinel stops scanning");
+        record("bwd", "matmul", "(4x4)".into()); // loser: dropped
+        let report = first().expect("captured");
+        assert_eq!(report.phase, "fwd");
+        assert_eq!(report.op, "exp");
+        assert_eq!(report.operands, "(2x3)");
+        assert_eq!(report.subject(), "fwd.exp");
+
+        let taken = take().expect("taken");
+        assert_eq!(taken, report);
+        assert!(first().is_none(), "take drains the slot");
+        assert!(armed(), "take re-arms");
+        assert!(take().is_none());
+
+        // --- disabled path: NaN op goes unreported, no work done -----
+        set_enabled(false);
+        clear();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![-1.0, 4.0], &[2]));
+        let y = tape.ln(x); // ln(-1) = NaN
+        assert!(tape.value(y).data()[0].is_nan());
+        assert!(
+            first().is_none(),
+            "disarmed sentinel must not scan or capture"
+        );
+
+        // --- armed: forward offender named with operand shapes -------
+        set_enabled(true);
+        clear();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![-1.0, 4.0], &[2]));
+        let y = tape.ln(x);
+        let z = tape.exp(y); // NaN propagates, but `ln` stays the offender
+        assert!(!tape.value(z).all_finite());
+        let report = take().expect("forward NaN captured");
+        assert_eq!(report.phase, "fwd");
+        assert_eq!(report.op, "ln");
+        assert_eq!(report.operands, "(2)");
+
+        // --- armed: backward offender (finite forward) ---------------
+        clear();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.0, 1.0], &[2]));
+        let y = tape.sqrt(x); // finite forward; d/dx = 1/(2*sqrt(0)) = inf
+        let loss = tape.sum_all(y);
+        assert!(first().is_none(), "forward pass was finite");
+        let _grads = tape.backward(loss);
+        let report = take().expect("backward Inf captured");
+        assert_eq!(report.phase, "bwd");
+        assert_eq!(report.op, "sqrt");
+        assert_eq!(report.subject(), "bwd.sqrt");
+
+        set_enabled(false);
+        clear();
+    }
+}

@@ -73,6 +73,7 @@ impl Tape {
     fn record_op(&mut self, op: Op) -> Var {
         if !elda_obs::enabled() {
             let value = op.eval(&|v: Var| &self.nodes[v.0].value);
+            self.sentinel_check_fwd(&op, &value);
             return self.push(value, op);
         }
         let start = Instant::now();
@@ -81,7 +82,39 @@ impl Tape {
         let flops = op.flop_estimate(&|v: Var| &self.nodes[v.0].value, &value);
         elda_obs::global().record("fwd", op.name(), elapsed, flops);
         elda_obs::counter_add("flops.fwd", flops);
+        self.sentinel_check_fwd(&op, &value);
         self.push(value, op)
+    }
+
+    /// Reports `op` to the non-finite sentinel when its freshly evaluated
+    /// output contains NaN/±Inf. While the sentinel is disarmed this is a
+    /// single relaxed atomic load (short-circuit before `all_finite`).
+    #[inline]
+    fn sentinel_check_fwd(&self, op: &Op, value: &Tensor) {
+        if crate::sentinel::armed() && !value.all_finite() {
+            crate::sentinel::record("fwd", op.name(), self.operand_shapes(op));
+        }
+    }
+
+    /// Formats `op`'s operand shapes like `(4x37x8),(37x8)` for sentinel
+    /// reports; empty for leaves.
+    fn operand_shapes(&self, op: &Op) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for v in op.inputs() {
+            if !s.is_empty() {
+                s.push(',');
+            }
+            s.push('(');
+            for (i, d) in self.shape(v).iter().enumerate() {
+                if i > 0 {
+                    s.push('x');
+                }
+                let _ = write!(s, "{d}");
+            }
+            s.push(')');
+        }
+        s
     }
 
     /// The forward value of `v`.
@@ -371,6 +404,18 @@ impl Tape {
             } else {
                 node.op.backward(&value_of, &node.value, &grad)
             };
+            if crate::sentinel::armed() {
+                for (_, g) in &contributions {
+                    if !g.all_finite() {
+                        crate::sentinel::record(
+                            "bwd",
+                            node.op.name(),
+                            self.operand_shapes(&node.op),
+                        );
+                        break;
+                    }
+                }
+            }
             // Re-store this node's grad so callers can inspect intermediates.
             grads[idx] = Some(grad);
             for (var, g) in contributions {

@@ -179,6 +179,7 @@ impl Cli {
                 .unwrap_or(1),
             seed,
             verbose: self.flags.contains_key("verbose"),
+            health: None,
         }
     }
 }

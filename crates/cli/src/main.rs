@@ -5,10 +5,11 @@
 //! elda generate --out ./cohort --patients 600 [--seed 0] [--mimic]
 //! elda train    --data ./cohort --model model.json [--task mortality|los]
 //!               [--epochs 12] [--batch 64] [--variant full|time|fbi|ffm]
-//!               [--threads N] [--profile trace.jsonl]
+//!               [--threads N] [--lr 1e-3] [--profile trace.jsonl] [--health]
 //! elda evaluate --data ./cohort --model model.json
 //! elda predict  --model model.json --record patient.txt
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
+//! elda report   trace.jsonl
 //! elda help
 //! ```
 //!
@@ -17,6 +18,7 @@
 //! real credentialed datasets work as drop-in inputs.
 
 mod args;
+mod report;
 
 use args::Args;
 use elda_core::framework::FitConfig;
@@ -51,6 +53,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "evaluate" => cmd_evaluate(&args),
         "predict" => cmd_predict(&args),
         "interpret" => cmd_interpret(&args),
+        "report" => cmd_report(&args),
         other => Err(format!("unknown subcommand {other:?}; try `elda help`")),
     }
 }
@@ -61,12 +64,16 @@ fn print_help() {
          subcommands:\n\
          \x20 generate   --out DIR [--patients N] [--seed S] [--mimic] [--tlen T]\n\
          \x20 train      --data DIR --model FILE [--task mortality|los] [--epochs N]\n\
-         \x20            [--batch N] [--variant full|time|fbi|ffm] [--tlen T]\n\
-         \x20            [--threads N] [--profile FILE.jsonl]\n\
+         \x20            [--batch N] [--variant full|time|fbi|ffm] [--tlen T] [--lr LR]\n\
+         \x20            [--threads N] [--profile FILE.jsonl] [--health]\n\
          \x20 evaluate   --data DIR --model FILE\n\
          \x20 predict    --model FILE --record FILE\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
+         \x20 report     TRACE.jsonl\n\
          \x20 help\n\n\
+         `--health` turns on training-health monitoring (divergence, exploding\n\
+         gradients, dead parameters, first non-finite op); `report` analyzes a\n\
+         trace written by `--profile`.\n\
          cohort directories use the PhysioNet-2012 file layout."
     );
 }
@@ -135,6 +142,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         ..Default::default()
     };
     fit.threads = args.num_or("threads", fit.threads)?;
+    fit.lr = args.num_or("lr", fit.lr)?;
+    if args.flag("health") {
+        fit.health = Some(Default::default());
+    }
 
     if let Some(path) = &profile_path {
         elda_obs::install_sink_to_file(Path::new(path))
@@ -149,12 +160,48 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "test: BCE {:.4}  AUC-ROC {:.4}  AUC-PR {:.4}  ({} epochs)",
         report.test.bce, report.test.auc_roc, report.test.auc_pr, report.epochs_run
     );
+    if fit.health.is_some() {
+        print_health_summary(&report.health_incidents);
+    }
     if let Some(path) = &profile_path {
         elda_obs::set_enabled(false);
         finish_profile(path, variant.name(), &report, wall);
     }
     std::fs::write(model_path, elda.save()).map_err(|e| e.to_string())?;
     println!("saved model artifact to {model_path}");
+    Ok(())
+}
+
+/// Prints the `--health` verdicts collected over the run.
+fn print_health_summary(incidents: &[elda_obs::Incident]) {
+    if incidents.is_empty() {
+        println!("health: no incidents");
+        return;
+    }
+    println!("health: {} incident(s)", incidents.len());
+    for inc in incidents {
+        println!(
+            "  epoch {:>3}  {:<14} {}: {}",
+            inc.epoch,
+            inc.status.key(),
+            inc.subject,
+            inc.detail
+        );
+    }
+}
+
+/// `elda report TRACE.jsonl` — parses a profiling trace and prints the
+/// training-health analysis (see [`report::analyze`]).
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.options.get("trace").map(String::as_str))
+        .ok_or("usage: elda report TRACE.jsonl")?;
+    let events = report::load_trace(path)?;
+    println!("trace {path} ({} events)", events.len());
+    print!("{}", report::analyze(&events));
     Ok(())
 }
 
@@ -314,6 +361,10 @@ fn cmd_interpret(args: &Args) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    /// Tests that install the global trace sink / flip the global enabled
+    /// flag must not overlap; they run under this lock.
+    static OBS_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("elda-cli-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
@@ -382,6 +433,7 @@ mod tests {
 
     #[test]
     fn train_with_profile_writes_parseable_jsonl_trace() {
+        let _guard = OBS_TESTS.lock().unwrap_or_else(|p| p.into_inner());
         let dir = tmpdir("profile");
         let cohort_dir = dir.join("cohort");
         let model = dir.join("model.json");
@@ -410,14 +462,93 @@ mod tests {
         let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
         assert!(kinds.contains(&"epoch"), "no epoch event in {kinds:?}");
         assert!(kinds.contains(&"op"), "no op events in {kinds:?}");
-        assert_eq!(*kinds.last().unwrap(), "run", "trace must close with a run event");
+        assert_eq!(
+            *kinds.last().unwrap(),
+            "run",
+            "trace must close with a run event"
+        );
         // Per-op forward timings flow from the autodiff tape into the trace.
         assert!(
             events.iter().any(|e| e.kind == "op"
-                && e.fields.iter().any(|(k, v)| k == "kind"
-                    && matches!(v, elda_obs::Field::Str(s) if s == "fwd"))),
+                && e.fields.iter().any(
+                    |(k, v)| k == "kind" && matches!(v, elda_obs::Field::Str(s) if s == "fwd")
+                )),
             "no fwd op rows in trace"
         );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The two `--health` acceptance scenarios share one test fn because
+    /// both drive the process-global sink, registry and sentinel.
+    #[test]
+    fn health_flag_and_report_cover_healthy_and_diverging_runs() {
+        let _guard = OBS_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = tmpdir("health");
+        let cohort_dir = dir.join("cohort");
+        run(argv(&format!(
+            "generate --out {} --patients 40 --tlen 6 --seed 7",
+            cohort_dir.display()
+        )))
+        .unwrap();
+
+        // Scenario 1: a normal run is healthy — the report shows the loss
+        // curve, the per-epoch verdicts and zero incidents.
+        let model = dir.join("model.json");
+        let trace = dir.join("healthy.jsonl");
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 6 --epochs 2 --batch 16 --variant time \
+             --threads 1 --health --profile {}",
+            cohort_dir.display(),
+            model.display(),
+            trace.display()
+        )))
+        .unwrap();
+        let events = report::load_trace(trace.to_str().unwrap()).unwrap();
+        let rendered = report::analyze(&events);
+        assert!(rendered.contains("no incidents"), "{rendered}");
+        assert!(rendered.contains("healthy"), "{rendered}");
+        assert!(
+            rendered.contains("time.entropy"),
+            "attention trend missing: {rendered}"
+        );
+        assert!(
+            events.iter().any(|e| e.kind == "val"),
+            "no val events in healthy trace"
+        );
+        run(argv(&format!("report {}", trace.display()))).unwrap();
+
+        // Scenario 2: an absurd learning rate is flagged as diverging or
+        // non-finite, and the report names the first offending epoch.
+        let trace = dir.join("diverging.jsonl");
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 6 --epochs 3 --batch 16 --variant time \
+             --threads 1 --lr 10 --health --profile {}",
+            cohort_dir.display(),
+            dir.join("model2.json").display(),
+            trace.display()
+        )))
+        .unwrap();
+        let events = report::load_trace(trace.to_str().unwrap()).unwrap();
+        let incidents: Vec<elda_obs::Incident> = events
+            .iter()
+            .filter_map(elda_obs::Incident::from_event)
+            .collect();
+        assert!(
+            incidents.iter().any(|i| matches!(
+                i.status,
+                elda_obs::HealthStatus::Diverging | elda_obs::HealthStatus::NonFinite
+            )),
+            "no divergence flagged: {incidents:?}"
+        );
+        let rendered = report::analyze(&events);
+        assert!(
+            rendered.contains("diverging") || rendered.contains("non_finite"),
+            "{rendered}"
+        );
+        // the sentinel disarms with the run so later tests start clean
+        elda_autodiff::sentinel::set_enabled(false);
+        elda_autodiff::sentinel::clear();
 
         std::fs::remove_dir_all(&dir).ok();
     }

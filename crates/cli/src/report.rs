@@ -1,0 +1,309 @@
+//! `elda report` — offline analyzer for the JSONL traces written by
+//! `elda train --profile` (optionally with `--health`).
+//!
+//! The analyzer is a pure function over parsed [`TraceEvent`]s so it can be
+//! unit-tested without touching the filesystem or the global sink. It
+//! renders:
+//!
+//! * the closing `run` summary (model, epochs, validation score, wall time);
+//! * a per-epoch table joining `epoch`, `val` and per-epoch health verdicts;
+//! * every health incident, with the first offending epoch and — for
+//!   non-finite incidents — the first offending op and operand shapes;
+//! * the attention-entropy trend (first → last epoch, per series);
+//! * the top ops by total time.
+
+use elda_obs::{parse_json_line, Incident, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Reads and parses a JSONL trace file. Malformed lines abort with a
+/// message naming the line number.
+pub fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = parse_json_line(line)
+            .ok_or_else(|| format!("{path}:{}: malformed trace line", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// One epoch's joined view across `epoch`, `val` and health fields.
+#[derive(Default)]
+struct EpochRow {
+    loss: Option<f64>,
+    grad_norm: Option<f64>,
+    samples_per_s: Option<f64>,
+    val: Option<f64>,
+    health: Option<String>,
+}
+
+/// Renders the full report for a parsed trace.
+pub fn analyze(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    render_run_summary(events, &mut out);
+    render_epoch_table(events, &mut out);
+    render_incidents(events, &mut out);
+    render_attention_trend(events, &mut out);
+    render_top_ops(events, &mut out);
+    out
+}
+
+fn render_run_summary(events: &[TraceEvent], out: &mut String) {
+    match events.iter().rev().find(|e| e.kind == "run") {
+        Some(run) => {
+            let _ = write!(out, "run:");
+            if let Some(model) = run.str_field("model") {
+                let _ = write!(out, " model={model}");
+            }
+            if let Some(epochs) = run.num("epochs") {
+                let _ = write!(out, " epochs={epochs}");
+            }
+            if let Some(v) = run.num("val_auc_pr") {
+                let _ = write!(out, " val_auc_pr={v:.4}");
+            }
+            if let Some(ms) = run.num("wall_ms") {
+                let _ = write!(out, " wall={:.1}s", ms / 1e3);
+            }
+            let _ = writeln!(out);
+        }
+        None => {
+            let _ = writeln!(out, "run: (no closing run event — truncated trace?)");
+        }
+    }
+}
+
+fn render_epoch_table(events: &[TraceEvent], out: &mut String) {
+    let mut rows: BTreeMap<u64, EpochRow> = BTreeMap::new();
+    for ev in events {
+        let Some(epoch) = ev.num("epoch") else {
+            continue;
+        };
+        let row = rows.entry(epoch as u64).or_default();
+        match ev.kind.as_str() {
+            "epoch" => {
+                row.loss = ev.num("mean_loss");
+                row.grad_norm = ev.num("mean_grad_norm");
+                row.samples_per_s = ev.num("samples_per_s");
+                if let Some(h) = ev.str_field("health") {
+                    row.health = Some(h.to_string());
+                }
+            }
+            "val" => row.val = ev.num("score"),
+            _ => {}
+        }
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "\nepochs: none recorded");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\n{:>5} {:>10} {:>10} {:>10} {:>8}  health",
+        "epoch", "loss", "grad_norm", "samples/s", "val"
+    );
+    for (epoch, row) in &rows {
+        let _ = writeln!(
+            out,
+            "{epoch:>5} {:>10} {:>10} {:>10} {:>8}  {}",
+            fmt_opt(row.loss, 4),
+            fmt_opt(row.grad_norm, 3),
+            fmt_opt(row.samples_per_s, 0),
+            fmt_opt(row.val, 4),
+            row.health.as_deref().unwrap_or("-"),
+        );
+    }
+}
+
+fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(v) => format!("{v:.decimals$}"),
+        None => "-".to_string(),
+    }
+}
+
+fn render_incidents(events: &[TraceEvent], out: &mut String) {
+    let incidents: Vec<Incident> = events.iter().filter_map(Incident::from_event).collect();
+    if incidents.is_empty() {
+        let _ = writeln!(out, "\nhealth: no incidents");
+        return;
+    }
+    let _ = writeln!(out, "\nhealth: {} incident(s)", incidents.len());
+    for inc in &incidents {
+        let _ = writeln!(
+            out,
+            "  epoch {:>3}  {:<14} {}: {}",
+            inc.epoch,
+            inc.status.key(),
+            inc.subject,
+            inc.detail
+        );
+    }
+}
+
+fn render_attention_trend(events: &[TraceEvent], out: &mut String) {
+    // series name -> epoch -> mean entropy
+    let mut series: BTreeMap<String, BTreeMap<u64, f64>> = BTreeMap::new();
+    for ev in events {
+        if ev.kind != "attention" {
+            continue;
+        }
+        let (Some(name), Some(epoch), Some(mean)) =
+            (ev.str_field("name"), ev.num("epoch"), ev.num("mean"))
+        else {
+            continue;
+        };
+        if !name.ends_with("entropy") {
+            continue;
+        }
+        series
+            .entry(name.to_string())
+            .or_default()
+            .insert(epoch as u64, mean);
+    }
+    if series.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\nattention entropy trend (mean, first -> last epoch):"
+    );
+    for (name, by_epoch) in &series {
+        let (first_e, first) = by_epoch.iter().next().expect("non-empty");
+        let (last_e, last) = by_epoch.iter().next_back().expect("non-empty");
+        let _ = writeln!(
+            out,
+            "  {name:<18} {first:.4} (epoch {first_e}) -> {last:.4} (epoch {last_e})"
+        );
+    }
+}
+
+fn render_top_ops(events: &[TraceEvent], out: &mut String) {
+    let mut ops: Vec<(&str, &str, f64, f64)> = events
+        .iter()
+        .filter(|e| e.kind == "op")
+        .filter_map(|e| {
+            Some((
+                e.str_field("op")?,
+                e.str_field("kind").unwrap_or("-"),
+                e.num("total_ms")?,
+                e.num("calls").unwrap_or(0.0),
+            ))
+        })
+        .collect();
+    if ops.is_empty() {
+        return;
+    }
+    ops.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite total_ms"));
+    let _ = writeln!(out, "\ntop ops by total time:");
+    for (name, kind, total_ms, calls) in ops.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  {name:<24} {kind:<8} {total_ms:>9.2} ms  ({calls:.0} calls)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elda_obs::{HealthStatus, TraceEvent};
+
+    fn epoch_ev(epoch: usize, loss: f64, health: Option<&str>) -> TraceEvent {
+        let mut ev = TraceEvent::new("epoch")
+            .with("epoch", epoch)
+            .with("mean_loss", loss)
+            .with("mean_grad_norm", 1.25f64)
+            .with("samples_per_s", 100.0f64);
+        if let Some(h) = health {
+            ev = ev.with("health", h);
+        }
+        ev
+    }
+
+    #[test]
+    fn healthy_trace_renders_curves_and_no_incidents() {
+        let events = vec![
+            epoch_ev(0, 0.69, Some("healthy")),
+            TraceEvent::new("val")
+                .with("epoch", 0usize)
+                .with("score", 0.5f64),
+            epoch_ev(1, 0.55, Some("healthy")),
+            TraceEvent::new("val")
+                .with("epoch", 1usize)
+                .with("score", 0.625f64),
+            TraceEvent::new("attention")
+                .with("epoch", 0usize)
+                .with("name", "time.entropy")
+                .with("mean", 1.5f64),
+            TraceEvent::new("attention")
+                .with("epoch", 1usize)
+                .with("name", "time.entropy")
+                .with("mean", 1.25f64),
+            TraceEvent::new("op")
+                .with("kind", "fwd")
+                .with("op", "matmul")
+                .with("calls", 40u64)
+                .with("total_ms", 12.5f64),
+            TraceEvent::new("run")
+                .with("model", "elda-t")
+                .with("epochs", 2usize)
+                .with("wall_ms", 2000.0f64),
+        ];
+        let report = analyze(&events);
+        assert!(report.contains("model=elda-t"), "{report}");
+        assert!(report.contains("no incidents"), "{report}");
+        assert!(report.contains("0.6900"), "loss curve missing: {report}");
+        assert!(report.contains("0.6250"), "val curve missing: {report}");
+        assert!(
+            report.contains("time.entropy") && report.contains("1.5000 (epoch 0)"),
+            "entropy trend missing: {report}"
+        );
+        assert!(report.contains("matmul"), "top ops missing: {report}");
+        // every epoch row shows its health verdict
+        assert_eq!(report.matches("healthy").count(), 2, "{report}");
+    }
+
+    #[test]
+    fn diverging_trace_names_first_epoch_and_op() {
+        let incident = elda_obs::Incident {
+            epoch: 1,
+            status: HealthStatus::NonFinite,
+            subject: "fwd.exp".to_string(),
+            detail: "first non-finite value produced by exp (2x8)".to_string(),
+        };
+        let events = vec![
+            epoch_ev(0, 0.7, Some("healthy")),
+            epoch_ev(1, f64::NAN, Some("non_finite")),
+            incident.to_event(),
+            TraceEvent::new("health")
+                .with("epoch", 1usize)
+                .with("status", "diverging")
+                .with("subject", "loss")
+                .with("detail", "mean loss 312.0000 exceeded ceiling 20"),
+        ];
+        let report = analyze(&events);
+        assert!(report.contains("2 incident(s)"), "{report}");
+        assert!(
+            report.contains("non_finite") && report.contains("fwd.exp"),
+            "first offending op missing: {report}"
+        );
+        assert!(
+            report.contains("epoch   1") && report.contains("diverging"),
+            "first offending epoch missing: {report}"
+        );
+        assert!(report.contains("truncated trace"), "{report}");
+    }
+
+    #[test]
+    fn empty_trace_degrades_gracefully() {
+        let report = analyze(&[]);
+        assert!(report.contains("no closing run event"), "{report}");
+        assert!(report.contains("epochs: none recorded"), "{report}");
+        assert!(report.contains("no incidents"), "{report}");
+    }
+}

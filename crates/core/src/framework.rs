@@ -33,6 +33,10 @@ pub struct FitConfig {
     pub seed: u64,
     /// Print per-epoch progress.
     pub verbose: bool,
+    /// Health-monitoring thresholds; `Some` enables the trainer's per-epoch
+    /// health telemetry and the autodiff non-finite sentinel (the CLI's
+    /// `--health` flag sets the defaults).
+    pub health: Option<elda_obs::HealthConfig>,
 }
 
 impl Default for FitConfig {
@@ -48,6 +52,7 @@ impl Default for FitConfig {
                 .max(1),
             seed: 0,
             verbose: false,
+            health: None,
         }
     }
 }
@@ -69,6 +74,9 @@ pub struct ModelRunResult {
     pub predict_ms_per_sample: f32,
     /// Trainable scalar count.
     pub num_params: usize,
+    /// Health incidents recorded during training (always empty when
+    /// [`FitConfig::health`] is unset).
+    pub health_incidents: Vec<elda_obs::Incident>,
 }
 
 /// Trains any [`SequenceModel`] on pre-processed samples under the paper's
@@ -91,6 +99,7 @@ pub fn train_sequence_model(
         threads: cfg.threads,
         patience: cfg.patience,
         verbose: cfg.verbose,
+        health: cfg.health.clone(),
     });
     let mut opt = Adam::new(cfg.lr);
 
@@ -142,6 +151,7 @@ pub fn train_sequence_model(
         train_s_per_batch: train_elapsed / batches_timed.max(1) as f32,
         predict_ms_per_sample: predict_elapsed * 1000.0 / split.test.len().max(1) as f32,
         num_params: ps.num_scalars(),
+        health_incidents: trainer.health_incidents(),
     }
 }
 
@@ -205,6 +215,9 @@ pub struct TrainReport {
     pub test: EvalSummary,
     /// Epochs run (≤ configured maximum under early stopping).
     pub epochs_run: usize,
+    /// Health incidents recorded during training (always empty when
+    /// [`FitConfig::health`] is unset).
+    pub health_incidents: Vec<elda_obs::Incident>,
 }
 
 /// The end-to-end ELDA framework of §III: owns the network, its
@@ -285,6 +298,7 @@ impl Elda {
             val_auc_pr: result.val_auc_pr,
             test: result.test,
             epochs_run: result.epochs_run,
+            health_incidents: result.health_incidents,
         }
     }
 

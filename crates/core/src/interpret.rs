@@ -84,6 +84,48 @@ pub fn interpret_sample(
     }
 }
 
+/// Mean Shannon entropy (nats) over the rows of a flat stack of attention
+/// distributions: `data` holds consecutive rows of length `row_len`, each a
+/// probability vector (the feature maps' `(B·C)` rows of `α`, or β's `B`
+/// rows). Zero entries contribute `0·ln 0 = 0`. Low entropy means the
+/// attention concentrates on few partners; `ln(row_len)` is the uniform
+/// ceiling. Returns NaN for empty input.
+pub fn mean_row_entropy(data: &[f32], row_len: usize) -> f32 {
+    if data.is_empty() || row_len == 0 {
+        return f32::NAN;
+    }
+    let rows = data.len() / row_len;
+    let mut total = 0.0f64;
+    for r in 0..rows {
+        let row = &data[r * row_len..(r + 1) * row_len];
+        let mut h = 0.0f64;
+        for &p in row {
+            if p > 0.0 {
+                let p = p as f64;
+                h -= p * p.ln();
+            }
+        }
+        total += h;
+    }
+    (total / rows as f64) as f32
+}
+
+/// Mean of each row's largest weight — the concentration twin of
+/// [`mean_row_entropy`]: 1.0 means every row is one-hot, `1/row_len` means
+/// uniform. Returns NaN for empty input.
+pub fn mean_row_max(data: &[f32], row_len: usize) -> f32 {
+    if data.is_empty() || row_len == 0 {
+        return f32::NAN;
+    }
+    let rows = data.len() / row_len;
+    let mut total = 0.0f64;
+    for r in 0..rows {
+        let row = &data[r * row_len..(r + 1) * row_len];
+        total += row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    }
+    (total / rows as f64) as f32
+}
+
 /// Group-level time-attention curves (the paper's Figure 8): one β-curve
 /// per patient plus the group mean.
 pub struct TimeAttentionSummary {
@@ -183,6 +225,39 @@ mod tests {
         };
         assert_eq!(interp.crucial_hours(2.0), vec![2]);
         assert_eq!(interp.crucial_hours(1.0), vec![2, 4]);
+    }
+
+    #[test]
+    fn row_entropy_and_max_match_hand_computed_values() {
+        // Two rows of length 4: uniform over 4, and one-hot.
+        let data = [0.25, 0.25, 0.25, 0.25, 0.0, 1.0, 0.0, 0.0];
+        let h = mean_row_entropy(&data, 4);
+        let expected = (4.0f32.ln() + 0.0) / 2.0;
+        assert!((h - expected).abs() < 1e-6, "{h} vs {expected}");
+        let m = mean_row_max(&data, 4);
+        assert!((m - (0.25 + 1.0) / 2.0).abs() < 1e-6, "{m}");
+        // Uniform over 2 of 4 entries (zero diagonal style): entropy ln 2.
+        let sparse = [0.5, 0.0, 0.5, 0.0];
+        assert!((mean_row_entropy(&sparse, 4) - 2.0f32.ln()).abs() < 1e-6);
+        assert!(mean_row_entropy(&[], 4).is_nan());
+        assert!(mean_row_max(&[], 4).is_nan());
+    }
+
+    #[test]
+    fn attention_entropies_of_a_real_forward_are_in_range() {
+        let (ps, net, samples) = setup(5);
+        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality);
+        let c = interp.feature_attention[0].shape()[1];
+        for att in &interp.feature_attention {
+            let h = mean_row_entropy(att.data(), c);
+            // rows are distributions over the C−1 off-diagonal partners
+            assert!(h >= 0.0 && h <= ((c - 1) as f32).ln() + 1e-4, "h = {h}");
+            let m = mean_row_max(att.data(), c);
+            assert!(m > 0.0 && m <= 1.0);
+        }
+        let t1 = interp.time_attention.len();
+        let hb = mean_row_entropy(&interp.time_attention, t1);
+        assert!(hb >= 0.0 && hb <= (t1 as f32).ln() + 1e-4, "hb = {hb}");
     }
 
     #[test]

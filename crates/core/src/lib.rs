@@ -38,7 +38,7 @@ pub mod time_interaction;
 
 pub use config::{EldaConfig, EldaVariant, EmbeddingKind};
 pub use framework::{Elda, TrainReport};
-pub use interpret::{Interpretation, TimeAttentionSummary};
+pub use interpret::{mean_row_entropy, mean_row_max, Interpretation, TimeAttentionSummary};
 pub use model::{EldaNet, SequenceModel};
 pub use population::{format_top_pairs, PopulationAttention};
 pub use regression::{predict_days, train_los_regressor, RegressionReport, TargetStats};

@@ -109,6 +109,19 @@ impl EldaNet {
                         };
                         let _t = elda_obs::scope("phase", "feature-interaction");
                         let (f_t, att) = inter.forward(ps, tape, e);
+                        if elda_obs::enabled() {
+                            // Per-epoch attention telemetry (drained into
+                            // `attention` trace events by the trainer).
+                            let c = att.shape()[2];
+                            elda_obs::stat_add(
+                                "attention.feature.entropy",
+                                crate::interpret::mean_row_entropy(att.data(), c) as f64,
+                            );
+                            elda_obs::stat_add(
+                                "attention.feature.max",
+                                crate::interpret::mean_row_max(att.data(), c) as f64,
+                            );
+                        }
                         if let Some(acc) = feature_attention.as_mut() {
                             acc.push(att);
                         }
@@ -130,6 +143,18 @@ impl EldaNet {
             Some(time) => {
                 let _t = elda_obs::scope("phase", "time-interaction");
                 let (h_tilde, beta) = time.forward(ps, tape, &hs);
+                if elda_obs::enabled() {
+                    let beta_v = tape.value(beta);
+                    let t1 = beta_v.shape()[1];
+                    elda_obs::stat_add(
+                        "attention.time.entropy",
+                        crate::interpret::mean_row_entropy(beta_v.data(), t1) as f64,
+                    );
+                    elda_obs::stat_add(
+                        "attention.time.max",
+                        crate::interpret::mean_row_max(beta_v.data(), t1) as f64,
+                    );
+                }
                 (h_tilde, Some(beta))
             }
             None => (*hs.last().expect("t_len >= 1"), None),

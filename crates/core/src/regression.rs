@@ -91,6 +91,7 @@ pub fn train_los_regressor(
         threads: 1,
         patience: Some(3),
         verbose: false,
+        health: None,
     });
     let mut opt = Adam::new(1e-3);
     let train_idx = &split.train;

@@ -4,11 +4,13 @@
 use crate::optim::{clip_global_norm, Optimizer};
 use crate::params::ParamStore;
 use elda_autodiff::ParamId;
+use elda_obs::{HealthConfig, HealthMonitor, HealthStatus, Incident, TensorStats};
 use elda_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Training-loop configuration.
@@ -29,6 +31,11 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// Print one line per epoch.
     pub verbose: bool,
+    /// Health-monitoring thresholds; `Some` turns on per-epoch loss /
+    /// gradient-norm / update-ratio / parameter-stats checks and the
+    /// autodiff non-finite sentinel. `None` (the default) keeps training
+    /// entirely un-monitored.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for TrainConfig {
@@ -41,6 +48,7 @@ impl Default for TrainConfig {
             threads: 1,
             patience: Some(5),
             verbose: false,
+            health: None,
         }
     }
 }
@@ -60,6 +68,21 @@ pub struct EpochStats {
     pub wall_s: f32,
     /// Training throughput: samples processed per wall-clock second.
     pub samples_per_s: f32,
+    /// Health verdict for this epoch; `None` when monitoring is off
+    /// ([`TrainConfig::health`] unset).
+    pub health: Option<HealthStatus>,
+}
+
+/// Throughput that saturates instead of overflowing: tiny cohorts in tests
+/// can finish an epoch in (rounded) zero wall time, which would otherwise
+/// divide to `inf` (or NaN for zero samples).
+fn saturating_throughput(n_samples: usize, wall_s: f32) -> f32 {
+    let raw = n_samples as f32 / wall_s;
+    if raw.is_finite() {
+        raw
+    } else {
+        f32::MAX
+    }
 }
 
 /// The loss closure contract: given the (read-only) parameter store and a
@@ -70,17 +93,42 @@ pub type LossFn<'a> = dyn Fn(&ParamStore, &[usize]) -> (f32, HashMap<ParamId, Te
 /// Drives epochs of mini-batch SGD-family training.
 pub struct Trainer {
     cfg: TrainConfig,
+    /// Present when [`TrainConfig::health`] is set. Mutex-wrapped because
+    /// `run_epoch` takes `&self`; only end-of-epoch code locks it.
+    monitor: Option<Mutex<HealthMonitor>>,
 }
 
 impl Trainer {
     /// A trainer with the given configuration.
     pub fn new(cfg: TrainConfig) -> Self {
-        Trainer { cfg }
+        let monitor = cfg
+            .health
+            .clone()
+            .map(|hc| Mutex::new(HealthMonitor::new(hc)));
+        Trainer { cfg, monitor }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &TrainConfig {
         &self.cfg
+    }
+
+    /// Health incidents recorded so far (empty when monitoring is off or
+    /// nothing was flagged).
+    pub fn health_incidents(&self) -> Vec<Incident> {
+        self.monitor
+            .as_ref()
+            .map(|m| m.lock().expect("health monitor lock").incidents().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Worst health verdict across the run ([`HealthStatus::Healthy`] when
+    /// monitoring is off or nothing was flagged).
+    pub fn health_overall(&self) -> HealthStatus {
+        self.monitor
+            .as_ref()
+            .map(|m| m.lock().expect("health monitor lock").overall())
+            .unwrap_or(HealthStatus::Healthy)
     }
 
     /// One pass over `n_samples` training samples.
@@ -103,6 +151,24 @@ impl Trainer {
         indices.shuffle(&mut rng);
 
         let profiling = elda_obs::enabled();
+        let monitoring = self.monitor.is_some();
+        if monitoring {
+            // Arm the tape's non-finite sentinel so the first NaN/Inf op is
+            // named instead of surfacing epochs later as a garbage loss.
+            elda_autodiff::sentinel::set_enabled(true);
+            if epoch == 0 {
+                elda_autodiff::sentinel::clear();
+            }
+        }
+        // Epoch-start parameter snapshot for update-ratio telemetry.
+        let param_start: Vec<(ParamId, String, Tensor)> = if monitoring {
+            ps.iter()
+                .map(|p| (p.id, p.name.to_string(), p.value.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut param_grad_norms: HashMap<ParamId, f64> = HashMap::new();
         let epoch_start = Instant::now();
         let mut total_loss = 0.0f64;
         let mut total_norm = 0.0f64;
@@ -110,6 +176,14 @@ impl Trainer {
         for batch in indices.chunks(self.cfg.batch_size) {
             let batch_start = profiling.then(Instant::now);
             let (loss, mut grads) = self.batch_gradients(ps, batch, loss_fn);
+            if monitoring {
+                // Pre-clip per-parameter norms: clipping caps the global
+                // norm, so post-clip values could never reveal an explosion.
+                for (id, g) in &grads {
+                    let sq: f64 = g.data().iter().map(|&x| (x as f64) * (x as f64)).sum();
+                    *param_grad_norms.entry(*id).or_insert(0.0) += sq.sqrt();
+                }
+            }
             let norm = match self.cfg.clip_norm {
                 Some(max) => clip_global_norm(&mut grads, max),
                 None => grads
@@ -136,24 +210,75 @@ impl Trainer {
             batches += 1;
         }
         let wall_s = epoch_start.elapsed().as_secs_f32();
-        let stats = EpochStats {
+        let mut stats = EpochStats {
             epoch,
             mean_loss: (total_loss / batches as f64) as f32,
             batches,
             mean_grad_norm: (total_norm / batches as f64) as f32,
             wall_s,
-            samples_per_s: n_samples as f32 / wall_s.max(f32::MIN_POSITIVE),
+            samples_per_s: saturating_throughput(n_samples, wall_s),
+            health: None,
         };
+        if let Some(monitor) = &self.monitor {
+            let mut mon = monitor.lock().expect("health monitor lock");
+            // First the sentinel: a named non-finite op is the most precise
+            // diagnosis, so it should precede the derived loss/grad checks.
+            if let Some(nf) = elda_autodiff::sentinel::take() {
+                mon.observe_nonfinite_op(epoch, &nf.subject(), &nf.operands);
+            }
+            mon.observe_loss(epoch, stats.mean_loss);
+            mon.observe_grad(epoch, "grad.global", stats.mean_grad_norm);
+            for (id, name, start_value) in &param_start {
+                if let Some(acc) = param_grad_norms.get(id) {
+                    let mean_norm = (acc / batches as f64) as f32;
+                    mon.observe_grad(epoch, &format!("grad.{name}"), mean_norm);
+                }
+                let current = ps.value(*id);
+                let mut delta_sq = 0.0f64;
+                let mut start_sq = 0.0f64;
+                for (&c, &s) in current.data().iter().zip(start_value.data()) {
+                    delta_sq += ((c - s) as f64) * ((c - s) as f64);
+                    start_sq += (s as f64) * (s as f64);
+                }
+                let ratio = (delta_sq.sqrt() / start_sq.sqrt().max(1e-12)) as f32;
+                mon.observe_update_ratio(epoch, name, ratio);
+                let tstats = TensorStats::compute(current.data());
+                mon.observe_stats(epoch, name, &tstats);
+                if profiling {
+                    elda_obs::emit(&tstats.to_event(name, epoch));
+                }
+            }
+            stats.health = Some(mon.status_at(epoch));
+        }
         if profiling {
-            elda_obs::emit(
-                &elda_obs::TraceEvent::new("epoch")
-                    .with("epoch", stats.epoch)
-                    .with("mean_loss", stats.mean_loss)
-                    .with("batches", stats.batches)
-                    .with("mean_grad_norm", stats.mean_grad_norm)
-                    .with("wall_ms", (wall_s as f64) * 1e3)
-                    .with("samples_per_s", stats.samples_per_s),
-            );
+            let mut ev = elda_obs::TraceEvent::new("epoch")
+                .with("epoch", stats.epoch)
+                .with("mean_loss", stats.mean_loss)
+                .with("batches", stats.batches)
+                .with("mean_grad_norm", stats.mean_grad_norm)
+                .with("wall_ms", (wall_s as f64) * 1e3)
+                .with("samples_per_s", stats.samples_per_s);
+            if let Some(health) = stats.health {
+                ev = ev.with("health", health.key());
+            }
+            elda_obs::emit(&ev);
+            // Per-epoch aggregates fed by model code via `elda_obs::stat_add`
+            // (e.g. attention entropy from elda-core) drain into one
+            // `attention` event per series, then reset for the next epoch.
+            for row in elda_obs::global().stat_take_prefix("attention.") {
+                elda_obs::emit(
+                    &elda_obs::TraceEvent::new("attention")
+                        .with("epoch", epoch)
+                        .with(
+                            "name",
+                            row.name.strip_prefix("attention.").unwrap_or(row.name),
+                        )
+                        .with("mean", row.acc.mean())
+                        .with("min", row.acc.min)
+                        .with("max", row.acc.max)
+                        .with("n", row.acc.count),
+                );
+            }
         }
         if self.cfg.verbose {
             eprintln!(
@@ -238,6 +363,19 @@ impl Trainer {
             let stats = self.run_epoch(ps, opt, n_samples, epoch, loss_fn);
             history.push(stats);
             let score = val_fn(ps);
+            if elda_obs::enabled() {
+                elda_obs::emit(
+                    &elda_obs::TraceEvent::new("val")
+                        .with("epoch", epoch)
+                        .with("score", score),
+                );
+            }
+            if let Some(monitor) = &self.monitor {
+                monitor
+                    .lock()
+                    .expect("health monitor lock")
+                    .observe_val(epoch, score);
+            }
             if score > best_score {
                 best_score = score;
                 best_checkpoint = Some(ps.to_json());
@@ -339,23 +477,125 @@ mod tests {
         let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
         let stats = trainer.run_epoch(&mut ps, &mut opt, xs.len(), 0, &loss_fn);
         assert!(
-            stats.wall_s > 0.0 && stats.wall_s.is_finite(),
-            "wall_s must be positive and finite: {}",
+            stats.wall_s >= 0.0 && stats.wall_s.is_finite(),
+            "wall_s must be non-negative and finite: {}",
             stats.wall_s
         );
         assert!(
             stats.samples_per_s > 0.0 && stats.samples_per_s.is_finite(),
-            "samples_per_s must be positive and finite: {}",
+            "samples_per_s must be positive and finite even when wall time \
+             rounds to zero: {}",
             stats.samples_per_s
         );
-        // Throughput and wall time must be mutually consistent.
-        let implied = xs.len() as f32 / stats.wall_s;
-        assert!(
-            (stats.samples_per_s - implied).abs() <= 1e-3 * implied,
-            "samples_per_s {} inconsistent with wall_s {}",
-            stats.samples_per_s,
-            stats.wall_s
+        // When the epoch took measurable time, throughput and wall time
+        // must be mutually consistent; on a zero-duration epoch the
+        // throughput saturates instead (covered separately below).
+        if stats.wall_s > 0.0 {
+            let implied = xs.len() as f32 / stats.wall_s;
+            assert!(
+                (stats.samples_per_s - implied).abs() <= 1e-3 * implied,
+                "samples_per_s {} inconsistent with wall_s {}",
+                stats.samples_per_s,
+                stats.wall_s
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_on_zero_wall_time() {
+        assert_eq!(saturating_throughput(64, 0.0), f32::MAX);
+        assert_eq!(
+            saturating_throughput(0, 0.0),
+            f32::MAX,
+            "0/0 must not be NaN"
         );
+        assert_eq!(saturating_throughput(10, 2.0), 5.0);
+        assert!(saturating_throughput(usize::MAX, f32::MIN_POSITIVE).is_finite());
+    }
+
+    // Health scenarios share the process-global autodiff sentinel, so they
+    // run inside ONE test fn, serially.
+    #[test]
+    fn health_monitor_flags_divergence_and_dead_params_but_not_healthy_runs() {
+        use crate::optim::Sgd;
+
+        // Healthy: a converging run produces zero incidents.
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            health: Some(HealthConfig::default()),
+            ..Default::default()
+        });
+        let mut opt = Adam::new(0.05);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        for e in 0..5 {
+            let stats = trainer.run_epoch(&mut ps, &mut opt, xs.len(), e, &loss_fn);
+            assert_eq!(stats.health, Some(HealthStatus::Healthy), "epoch {e}");
+        }
+        assert!(
+            trainer.health_incidents().is_empty(),
+            "healthy run flagged: {:?}",
+            trainer.health_incidents()
+        );
+        assert_eq!(trainer.health_overall(), HealthStatus::Healthy);
+
+        // Diverging: an absurd learning rate blows the loss past the
+        // ceiling within the first epochs.
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            health: Some(HealthConfig::default()),
+            ..Default::default()
+        });
+        let mut opt = Sgd::new(1.0e4);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        for e in 0..4 {
+            trainer.run_epoch(&mut ps, &mut opt, xs.len(), e, &loss_fn);
+        }
+        let overall = trainer.health_overall();
+        assert!(
+            matches!(overall, HealthStatus::Diverging | HealthStatus::NonFinite),
+            "absurd lr must be flagged, got {overall:?}: {:?}",
+            trainer.health_incidents()
+        );
+
+        // Dead params: lr = 0 freezes every weight; after `dead_patience`
+        // epochs each parameter is reported exactly once.
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            health: Some(HealthConfig::default()),
+            ..Default::default()
+        });
+        let mut opt = Sgd::new(0.0);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        let history: Vec<EpochStats> = (0..4)
+            .map(|e| trainer.run_epoch(&mut ps, &mut opt, xs.len(), e, &loss_fn))
+            .collect();
+        // Incidents attach to the epoch where the streak first crosses
+        // `dead_patience` (index 2 with the default of 3); afterwards the
+        // dedup keeps later epochs quiet.
+        assert_eq!(history[2].health, Some(HealthStatus::DeadParam));
+        assert_eq!(history[3].health, Some(HealthStatus::Healthy));
+        let incidents = trainer.health_incidents();
+        let dead: Vec<_> = incidents
+            .iter()
+            .filter(|i| i.status == HealthStatus::DeadParam)
+            .collect();
+        assert_eq!(
+            dead.len(),
+            2,
+            "one incident per frozen param: {incidents:?}"
+        );
+        // epochs are 0-based; default dead_patience = 3 → first flagged at
+        // epoch index 2.
+        assert!(dead.iter().all(|i| i.epoch == 2), "{dead:?}");
+
+        elda_autodiff::sentinel::set_enabled(false);
+        elda_autodiff::sentinel::clear();
     }
 
     #[test]

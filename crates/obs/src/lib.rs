@@ -37,12 +37,14 @@
 //! See `docs/PROFILING.md` for the end-to-end CLI workflow
 //! (`elda train --profile out.jsonl`) and the JSONL schema.
 
+pub mod health;
 pub mod registry;
 pub mod report;
 pub mod scope;
 pub mod trace;
 
-pub use registry::{global, CounterRow, Registry, Snapshot, TimerRow, TimerStat};
+pub use health::{HealthConfig, HealthMonitor, HealthStatus, Incident, TensorStats};
+pub use registry::{global, CounterRow, Registry, Snapshot, StatAcc, StatRow, TimerRow, TimerStat};
 pub use report::render_table;
 pub use scope::{scope, Scope};
 pub use trace::{
@@ -77,6 +79,16 @@ pub fn set_enabled(on: bool) {
 pub fn counter_add(name: &'static str, n: u64) {
     if enabled() {
         global().counter_add(name, n);
+    }
+}
+
+/// Records one float sample into the named stat series (no-op while
+/// profiling is off — same single-relaxed-load contract as
+/// [`counter_add`]).
+#[inline]
+pub fn stat_add(name: &'static str, sample: f64) {
+    if enabled() {
+        global().stat_add(name, sample);
     }
 }
 

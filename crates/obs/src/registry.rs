@@ -36,6 +36,41 @@ pub struct CounterRow {
     pub value: u64,
 }
 
+/// Accumulated floating-point series statistics (count, sum, min, max) —
+/// the float analogue of a counter, used for telemetry like per-step
+/// attention entropies where the mean and range matter, not a sum alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatAcc {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl StatAcc {
+    /// Mean of the recorded samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One float-stat line of a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct StatRow {
+    /// Stat name (e.g. `"attention.feature.entropy"`).
+    pub name: &'static str,
+    /// The accumulated statistics.
+    pub acc: StatAcc,
+}
+
 /// A consistent copy of the registry's contents, timers sorted by total
 /// time descending and counters by name.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +79,8 @@ pub struct Snapshot {
     pub timers: Vec<TimerRow>,
     /// All counters, by name.
     pub counters: Vec<CounterRow>,
+    /// All float stats, by name.
+    pub stats: Vec<StatRow>,
 }
 
 impl Snapshot {
@@ -76,6 +113,7 @@ impl Snapshot {
 pub struct Registry {
     timers: Mutex<HashMap<(&'static str, &'static str), TimerStat>>,
     counters: Mutex<HashMap<&'static str, u64>>,
+    stats: Mutex<HashMap<&'static str, StatAcc>>,
 }
 
 impl Registry {
@@ -100,6 +138,60 @@ impl Registry {
         let mut counters = self.counters.lock().expect("obs counter lock");
         let v = counters.entry(name).or_insert(0);
         *v = v.saturating_add(n);
+    }
+
+    /// Records one float sample into the named stat series. Non-finite
+    /// samples are dropped so a single NaN cannot poison an aggregate —
+    /// non-finite *detection* is the sentinel/monitor's job, not the
+    /// accumulator's.
+    pub fn stat_add(&self, name: &'static str, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        let mut stats = self.stats.lock().expect("obs stat lock");
+        match stats.entry(name) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let acc = e.get_mut();
+                acc.count += 1;
+                acc.sum += sample;
+                acc.min = acc.min.min(sample);
+                acc.max = acc.max.max(sample);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(StatAcc {
+                    count: 1,
+                    sum: sample,
+                    min: sample,
+                    max: sample,
+                });
+            }
+        }
+    }
+
+    /// The accumulated series for `name`, if any sample was recorded.
+    pub fn stat(&self, name: &str) -> Option<StatAcc> {
+        self.stats.lock().expect("obs stat lock").get(name).copied()
+    }
+
+    /// Removes and returns every stat series whose name starts with
+    /// `prefix`, sorted by name — used to drain per-epoch telemetry (e.g.
+    /// `"attention."`) so each epoch's aggregates start fresh.
+    pub fn stat_take_prefix(&self, prefix: &str) -> Vec<StatRow> {
+        let mut stats = self.stats.lock().expect("obs stat lock");
+        let names: Vec<&'static str> = stats
+            .keys()
+            .copied()
+            .filter(|n| n.starts_with(prefix))
+            .collect();
+        let mut rows: Vec<StatRow> = names
+            .into_iter()
+            .map(|name| StatRow {
+                name,
+                acc: stats.remove(name).expect("present"),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(b.name));
+        rows
     }
 
     /// The accumulated stat for `(kind, name)`, if any interval was
@@ -146,14 +238,27 @@ impl Registry {
             .map(|(&name, &value)| CounterRow { name, value })
             .collect();
         counters.sort_by(|a, b| a.name.cmp(b.name));
-        Snapshot { timers, counters }
+        let mut stats: Vec<StatRow> = self
+            .stats
+            .lock()
+            .expect("obs stat lock")
+            .iter()
+            .map(|(&name, &acc)| StatRow { name, acc })
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(b.name));
+        Snapshot {
+            timers,
+            counters,
+            stats,
+        }
     }
 
-    /// Clears all timers and counters (e.g. between profiled runs in one
-    /// process).
+    /// Clears all timers, counters and stats (e.g. between profiled runs in
+    /// one process).
     pub fn reset(&self) {
         self.timers.lock().expect("obs timer lock").clear();
         self.counters.lock().expect("obs counter lock").clear();
+        self.stats.lock().expect("obs stat lock").clear();
     }
 }
 
@@ -232,6 +337,40 @@ mod tests {
         assert_eq!(stat.total_ns, threads * per_thread * 3);
         assert_eq!(stat.units, threads * per_thread * 2);
         assert_eq!(r.counter("n"), threads * per_thread);
+    }
+
+    #[test]
+    fn stats_accumulate_mean_min_max_and_drop_nonfinite() {
+        let r = Registry::new();
+        assert!(r.stat("attention.feature.entropy").is_none());
+        r.stat_add("attention.feature.entropy", 2.0);
+        r.stat_add("attention.feature.entropy", 4.0);
+        r.stat_add("attention.feature.entropy", f64::NAN);
+        r.stat_add("attention.feature.entropy", f64::INFINITY);
+        let acc = r.stat("attention.feature.entropy").unwrap();
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.mean(), 3.0);
+        assert_eq!(acc.min, 2.0);
+        assert_eq!(acc.max, 4.0);
+    }
+
+    #[test]
+    fn stat_take_prefix_drains_only_matching_series_sorted() {
+        let r = Registry::new();
+        r.stat_add("attention.time.entropy", 1.0);
+        r.stat_add("attention.feature.entropy", 2.0);
+        r.stat_add("grad.norm", 3.0);
+        let rows = r.stat_take_prefix("attention.");
+        let names: Vec<&str> = rows.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["attention.feature.entropy", "attention.time.entropy"]
+        );
+        assert!(r.stat("attention.time.entropy").is_none(), "drained");
+        assert!(r.stat("grad.norm").is_some(), "non-matching stays");
+        assert_eq!(r.snapshot().stats.len(), 1);
+        r.reset();
+        assert!(r.stat("grad.norm").is_none());
     }
 
     #[test]

@@ -48,6 +48,20 @@ pub fn render_table(snap: &Snapshot, wall: Duration) -> String {
             let _ = writeln!(out, "{:<name_w$} {:>10}", c.name, c.value);
         }
     }
+    if !snap.stats.is_empty() {
+        let _ = writeln!(out, "--");
+        for s in &snap.stats {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>10} mean {:>9.4} min {:>9.4} max {:>9.4}",
+                s.name,
+                s.acc.count,
+                s.acc.mean(),
+                s.acc.min,
+                s.acc.max
+            );
+        }
+    }
     let _ = write!(out, "wall: {:.1} ms", wall_ns / 1e6);
     out
 }
@@ -84,10 +98,7 @@ mod tests {
     #[test]
     fn mean_column_divides_by_calls() {
         let table = render_table(&sample_snapshot(), Duration::from_millis(200));
-        let row = table
-            .lines()
-            .find(|l| l.starts_with("fwd.matmul"))
-            .unwrap();
+        let row = table.lines().find(|l| l.starts_with("fwd.matmul")).unwrap();
         // 100 ms over 2 calls → mean 50 ms
         assert!(row.contains("50.0000"), "{row}");
     }
@@ -97,5 +108,19 @@ mod tests {
         let table = render_table(&Snapshot::default(), Duration::from_millis(3));
         assert_eq!(table.lines().count(), 2);
         assert!(table.ends_with("wall: 3.0 ms"));
+    }
+
+    #[test]
+    fn stats_section_prints_mean_and_range() {
+        let r = Registry::new();
+        r.stat_add("attention.feature.entropy", 2.0);
+        r.stat_add("attention.feature.entropy", 4.0);
+        let table = render_table(&r.snapshot(), Duration::from_millis(1));
+        let row = table
+            .lines()
+            .find(|l| l.starts_with("attention.feature.entropy"))
+            .expect("stats row present");
+        assert!(row.contains("mean") && row.contains("3.0000"), "{row}");
+        assert!(row.contains("2.0000") && row.contains("4.0000"), "{row}");
     }
 }

@@ -82,7 +82,9 @@ mod tests {
             assert!(t.elapsed() >= Duration::from_millis(2));
         }
         crate::set_enabled(false);
-        let stat = global().timer("scope-test", "timed-block").expect("recorded");
+        let stat = global()
+            .timer("scope-test", "timed-block")
+            .expect("recorded");
         assert!(stat.calls >= 1);
         assert!(stat.total_ns >= 2_000_000, "recorded {}ns", stat.total_ns);
         assert!(stat.units >= 7);
@@ -100,8 +102,12 @@ mod tests {
             }
         }
         crate::set_enabled(false);
-        let outer = global().timer("nest-test", "outer").expect("outer recorded");
-        let inner = global().timer("nest-test", "inner").expect("inner recorded");
+        let outer = global()
+            .timer("nest-test", "outer")
+            .expect("outer recorded");
+        let inner = global()
+            .timer("nest-test", "inner")
+            .expect("inner recorded");
         assert!(outer.calls >= 1 && inner.calls >= 1);
         // The parent interval contains the child's.
         assert!(outer.total_ns >= inner.total_ns);

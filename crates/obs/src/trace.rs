@@ -16,12 +16,16 @@
 //! | `op` | `elda-cli` (registry dump) | `kind`, `op`, `calls`, `total_ms`, `mean_us`, `units` |
 //! | `counter` | `elda-cli` (registry dump) | `name`, `value` |
 //! | `run` | `elda-cli` | `wall_ms`, plus run metadata (`model`, `epochs`, ...) |
+//! | `val` | `elda-nn::train` | `epoch`, `score` |
+//! | `health` | `elda-obs::health` | `epoch`, `status`, `subject`, `detail` |
+//! | `tensor_stats` | `elda-nn::train` | `epoch`, `name`, `n`, `nan`, `inf`, `min`, `max`, `mean`, `std`, `hist` |
+//! | `attention` | `elda-nn::train` (stats from `elda-core`) | `epoch`, `name`, `mean`, `min`, `max`, `n` |
 
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// A scalar field value of a trace event.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +111,31 @@ impl TraceEvent {
         self
     }
 
+    /// The value of the first field named `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Reads field `key` as a number, converting any numeric [`Field`]
+    /// variant to `f64`; `None` when missing or non-numeric.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Field::U64(n) => Some(*n as f64),
+            Field::I64(n) => Some(*n as f64),
+            Field::F64(x) => Some(*x),
+            Field::F32(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Reads field `key` as a string; `None` when missing or non-string.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Field::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
     /// Serializes to one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64);
@@ -166,9 +195,13 @@ fn write_json_str(out: &mut String, s: &str) {
 
 /// A JSONL writer around any `Write` destination.
 ///
-/// Lines are buffered; [`TraceSink::flush`] (or dropping the sink) flushes
-/// them. The sink is internally locked, so concurrent [`emit`]s interleave
-/// at line granularity — JSONL stays well-formed under threaded training.
+/// Lines are buffered; [`TraceSink::flush`] flushes them explicitly, and
+/// the sink also **flushes on drop** (poison-tolerant), so a run that exits
+/// early or unwinds after [`close_sink`]-less usage still leaves complete
+/// lines behind. For panics that never drop the global sink (statics don't
+/// unwind), [`install_sink`] registers a panic hook that flushes it. The
+/// sink is internally locked, so concurrent [`emit`]s interleave at line
+/// granularity — JSONL stays well-formed under threaded training.
 pub struct TraceSink {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
 }
@@ -193,17 +226,63 @@ impl TraceSink {
         let _ = writeln!(out, "{}", ev.to_json());
     }
 
-    /// Flushes buffered lines to the destination.
+    /// Flushes buffered lines to the destination. Tolerates a poisoned
+    /// lock (a writer thread that panicked mid-line) — flushing whatever
+    /// made it into the buffer beats losing the trace.
     pub fn flush(&self) {
-        let _ = self.out.lock().expect("trace sink lock").flush();
+        let mut out = match self.out.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = out.flush();
+    }
+
+    /// Best-effort flush that never blocks: used from the panic hook, where
+    /// waiting on a lock the panicking thread may hold would deadlock.
+    fn try_flush(&self) {
+        if let Ok(mut out) = self.out.try_lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        // `get_mut` needs no locking (we hold `&mut self`) and hands the
+        // buffer back even when the mutex was poisoned.
+        let out = match self.out.get_mut() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = out.flush();
     }
 }
 
 static SINK: Mutex<Option<TraceSink>> = Mutex::new(None);
+static PANIC_FLUSH: Once = Once::new();
+
+/// Registers (once per process) a panic hook that flushes the installed
+/// global sink before delegating to the previous hook, so traces from
+/// panicking runs are not truncated mid-buffer.
+fn install_panic_flush() {
+    PANIC_FLUSH.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(slot) = SINK.try_lock() {
+                if let Some(sink) = slot.as_ref() {
+                    sink.try_flush();
+                }
+            }
+            prev(info);
+        }));
+    });
+}
 
 /// Installs `sink` as the process-global trace destination, replacing (and
-/// flushing) any previous one.
+/// flushing) any previous one. Also registers a panic hook that flushes
+/// the global sink, so even a panicking run leaves a readable trace.
 pub fn install_sink(sink: TraceSink) {
+    install_panic_flush();
     let mut slot = SINK.lock().expect("trace sink slot");
     if let Some(old) = slot.take() {
         old.flush();
@@ -345,7 +424,10 @@ impl Parser<'_> {
             b'n' => self.literal(b"null").map(|()| None),
             _ => {
                 let start = self.pos;
-                while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
                     self.pos += 1;
                 }
                 let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
@@ -408,7 +490,9 @@ mod tests {
 
     #[test]
     fn non_finite_floats_become_null() {
-        let ev = TraceEvent::new("x").with("nan", f64::NAN).with("ok", 1.5f64);
+        let ev = TraceEvent::new("x")
+            .with("nan", f64::NAN)
+            .with("ok", 1.5f64);
         assert_eq!(ev.to_json(), r#"{"ev":"x","nan":null,"ok":1.5}"#);
     }
 
@@ -465,8 +549,12 @@ mod tests {
         let cap = Capture::default();
         let sink = TraceSink::new(Box::new(cap.clone()));
         let events = [
-            TraceEvent::new("epoch").with("epoch", 0usize).with("wall_ms", 10.5f64),
-            TraceEvent::new("epoch").with("epoch", 1usize).with("wall_ms", 9.25f64),
+            TraceEvent::new("epoch")
+                .with("epoch", 0usize)
+                .with("wall_ms", 10.5f64),
+            TraceEvent::new("epoch")
+                .with("epoch", 1usize)
+                .with("wall_ms", 9.25f64),
             TraceEvent::new("run").with("wall_ms", 19.5f64),
         ];
         for ev in &events {
@@ -481,15 +569,76 @@ mod tests {
         }
     }
 
+    /// Tests touching the process-global sink must not interleave, or one
+    /// test's events land in another's destination.
+    static GLOBAL_SINK_TESTS: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn field_accessors_read_numbers_and_strings() {
+        let ev = TraceEvent::new("epoch")
+            .with("epoch", 3usize)
+            .with("delta", -2i64)
+            .with("loss", 0.5f32)
+            .with("wall_ms", 10.25f64)
+            .with("name", "w")
+            .with("flag", true);
+        assert_eq!(ev.num("epoch"), Some(3.0));
+        assert_eq!(ev.num("delta"), Some(-2.0));
+        assert_eq!(ev.num("loss"), Some(0.5));
+        assert_eq!(ev.num("wall_ms"), Some(10.25));
+        assert_eq!(ev.num("name"), None);
+        assert_eq!(ev.num("missing"), None);
+        assert_eq!(ev.str_field("name"), Some("w"));
+        assert_eq!(ev.str_field("epoch"), None);
+        assert_eq!(ev.get("flag"), Some(&Field::Bool(true)));
+    }
+
+    #[test]
+    fn dropping_a_sink_flushes_buffered_lines() {
+        let cap = Capture::default();
+        {
+            let sink = TraceSink::new(Box::new(cap.clone()));
+            sink.write_event(&TraceEvent::new("epoch").with("epoch", 0usize));
+            // no explicit flush — Drop must do it
+        }
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(parse_json_line(text.lines().next().unwrap()).is_some());
+    }
+
+    #[test]
+    fn panic_hook_flushes_the_installed_sink() {
+        let _serial = GLOBAL_SINK_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        let cap = Capture::default();
+        install_sink(TraceSink::new(Box::new(cap.clone())));
+        emit(&TraceEvent::new("epoch").with("epoch", 7usize));
+        assert!(
+            cap.0.lock().unwrap().is_empty(),
+            "line should still sit in the BufWriter"
+        );
+        let unwound = std::panic::catch_unwind(|| panic!("boom"));
+        assert!(unwound.is_err());
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        close_sink();
+        assert_eq!(text.lines().count(), 1, "panic hook flushed the buffer");
+        let ev = parse_json_line(text.lines().next().unwrap()).unwrap();
+        assert_eq!(ev.num("epoch"), Some(7.0));
+    }
+
     #[test]
     fn file_sink_roundtrips_via_install_emit_close() {
+        let _serial = GLOBAL_SINK_TESTS.lock().unwrap_or_else(|p| p.into_inner());
         let path = std::env::temp_dir().join(format!(
             "elda-obs-trace-{}-{:?}.jsonl",
             std::process::id(),
             std::thread::current().id()
         ));
         install_sink_to_file(&path).unwrap();
-        emit(&TraceEvent::new("run").with("model", "ELDA-Net").with("epochs", 2usize));
+        emit(
+            &TraceEvent::new("run")
+                .with("model", "ELDA-Net")
+                .with("epochs", 2usize),
+        );
         close_sink();
         // After close, emits are dropped silently.
         emit(&TraceEvent::new("run").with("ignored", true));

@@ -175,7 +175,12 @@ impl Tensor {
 
     /// Vector dot product of two rank-1 tensors of equal length.
     pub fn dot(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.rank(), 1, "dot lhs must be rank-1, got {:?}", self.shape());
+        assert_eq!(
+            self.rank(),
+            1,
+            "dot lhs must be rank-1, got {:?}",
+            self.shape()
+        );
         assert_eq!(
             self.shape(),
             other.shape(),

@@ -113,3 +113,69 @@ fn alert_threshold_partitions_the_cohort_consistently() {
     let expected = risks.iter().filter(|&&r| r >= elda.alert_threshold).count();
     assert_eq!(alerts, expected);
 }
+
+/// ISSUE 2 acceptance: training-health telemetry end to end. Both fits run
+/// in one test fn because the non-finite sentinel the monitored trainer
+/// arms is process-global.
+#[test]
+fn health_monitor_passes_normal_runs_and_flags_absurd_learning_rates() {
+    use elda_obs::{HealthConfig, HealthStatus};
+
+    let mut cc = CohortConfig::small(80, 42);
+    cc.t_len = 8;
+    let cohort = Cohort::generate(cc);
+    let cfg = EldaConfig::variant(EldaVariant::TimeOnly, 8);
+
+    // A normal run stays healthy: zero incidents.
+    let mut elda = Elda::with_config(cfg.clone(), Task::Mortality, 42);
+    let report = elda.fit(
+        &cohort,
+        &FitConfig {
+            epochs: 3,
+            batch_size: 16,
+            patience: None,
+            threads: 1,
+            health: Some(HealthConfig::default()),
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.health_incidents.is_empty(),
+        "healthy run flagged: {:?}",
+        report.health_incidents
+    );
+
+    // An absurd learning rate is flagged as diverging or non-finite, with
+    // the first offending epoch recorded on the incident.
+    let mut elda = Elda::with_config(cfg, Task::Mortality, 42);
+    let report = elda.fit(
+        &cohort,
+        &FitConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 10.0,
+            patience: None,
+            threads: 1,
+            health: Some(HealthConfig::default()),
+            ..Default::default()
+        },
+    );
+    let flagged: Vec<_> = report
+        .health_incidents
+        .iter()
+        .filter(|i| matches!(i.status, HealthStatus::Diverging | HealthStatus::NonFinite))
+        .collect();
+    assert!(
+        !flagged.is_empty(),
+        "lr=10 not flagged: {:?}",
+        report.health_incidents
+    );
+    assert!(
+        flagged.iter().all(|i| i.epoch < 4),
+        "incident epoch out of range: {flagged:?}"
+    );
+
+    // leave the process-global sentinel disarmed for other tests
+    elda_autodiff::sentinel::set_enabled(false);
+    elda_autodiff::sentinel::clear();
+}
