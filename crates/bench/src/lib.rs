@@ -180,6 +180,8 @@ impl Cli {
             seed,
             verbose: self.flags.contains_key("verbose"),
             health: None,
+            checkpoint: None,
+            recovery: None,
         }
     }
 }

@@ -6,6 +6,8 @@
 //! elda train    --data ./cohort --model model.json [--task mortality|los]
 //!               [--epochs 12] [--batch 64] [--variant full|time|fbi|ffm]
 //!               [--threads N] [--lr 1e-3] [--profile trace.jsonl] [--health]
+//!               [--checkpoint-dir DIR [--checkpoint-every N] [--keep-last K]
+//!               [--resume]] [--recover] [--fault SPEC]
 //! elda evaluate --data ./cohort --model model.json
 //! elda predict  --model model.json --record patient.txt
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
@@ -21,8 +23,9 @@ mod args;
 mod report;
 
 use args::Args;
-use elda_core::framework::FitConfig;
+use elda_core::framework::{CheckpointOptions, FitConfig};
 use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_nn::faults;
 use elda_emr::io::{
     parse_record, patient_from_grid, read_physionet_dir, write_physionet_dir, Outcome,
 };
@@ -66,6 +69,8 @@ fn print_help() {
          \x20 train      --data DIR --model FILE [--task mortality|los] [--epochs N]\n\
          \x20            [--batch N] [--variant full|time|fbi|ffm] [--tlen T] [--lr LR]\n\
          \x20            [--threads N] [--profile FILE.jsonl] [--health]\n\
+         \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--keep-last K]\n\
+         \x20            [--resume] [--recover] [--fault SPEC]\n\
          \x20 evaluate   --data DIR --model FILE\n\
          \x20 predict    --model FILE --record FILE\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
@@ -74,6 +79,12 @@ fn print_help() {
          `--health` turns on training-health monitoring (divergence, exploding\n\
          gradients, dead parameters, first non-finite op); `report` analyzes a\n\
          trace written by `--profile`.\n\
+         `--checkpoint-dir` writes durable training checkpoints (atomic, CRC32\n\
+         integrity footer, keep-last-K); `--resume` continues bit-for-bit from\n\
+         the newest intact one. `--recover` rolls back to the last good\n\
+         checkpoint with a halved learning rate when an epoch goes bad.\n\
+         `--fault SPEC` (or ELDA_FAULTS) injects test faults, e.g.\n\
+         `nan_grad@2`, `panic@1`, `abort@3`, `truncate_ckpt`.\n\
          cohort directories use the PhysioNet-2012 file layout."
     );
 }
@@ -124,6 +135,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let task = parse_task(args)?;
     let variant = parse_variant(args)?;
     let profile_path = args.options.get("profile").cloned();
+    // Validate flag combinations before the (potentially slow) data load.
+    if args.flag("resume") && !args.options.contains_key("checkpoint-dir") {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    // Fault injection (drills and tests): --fault wins over ELDA_FAULTS.
+    if let Some(spec) = args.options.get("fault") {
+        faults::install(elda_nn::FaultPlan::parse(spec)?);
+    } else {
+        faults::install_from_env()?;
+    }
     let cohort = read_physionet_dir(Path::new(data), t_len).map_err(|e| e.to_string())?;
     println!("loaded {} admissions from {data}", cohort.len());
 
@@ -146,6 +167,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     if args.flag("health") {
         fit.health = Some(Default::default());
     }
+    if let Some(dir) = args.options.get("checkpoint-dir") {
+        fit.checkpoint = Some(CheckpointOptions {
+            dir: dir.into(),
+            every: args.num_or("checkpoint-every", 1usize)?,
+            keep_last: args.num_or("keep-last", 3usize)?,
+            resume: args.flag("resume"),
+        });
+    }
+    if args.flag("recover") {
+        fit.recovery = Some(Default::default());
+    }
 
     if let Some(path) = &profile_path {
         elda_obs::install_sink_to_file(Path::new(path))
@@ -163,13 +195,35 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     if fit.health.is_some() {
         print_health_summary(&report.health_incidents);
     }
+    print_recovery_summary(&report.recoveries);
     if let Some(path) = &profile_path {
         elda_obs::set_enabled(false);
         finish_profile(path, variant.name(), &report, wall);
     }
-    std::fs::write(model_path, elda.save()).map_err(|e| e.to_string())?;
+    faults::clear();
+    // Atomic write: a crash mid-save leaves the previous artifact (or
+    // nothing), never a torn half-written model.
+    elda_nn::write_atomic(Path::new(model_path), elda.save().as_bytes())?;
     println!("saved model artifact to {model_path}");
     Ok(())
+}
+
+/// Prints the auto-recovery rollback history (`--recover`), if any.
+fn print_recovery_summary(recoveries: &[elda_nn::RecoveryEvent]) {
+    if recoveries.is_empty() {
+        return;
+    }
+    println!("recovery: {} rollback(s)", recoveries.len());
+    for r in recoveries {
+        let target = match r.rollback_to {
+            Some(e) => format!("epoch {e}"),
+            None => "initial state".to_string(),
+        };
+        println!(
+            "  epoch {:>3}  retry {}  rolled back to {target}  lr {} -> {}  ({})",
+            r.epoch, r.retry, r.old_lr, r.new_lr, r.cause
+        );
+    }
 }
 
 /// Prints the `--health` verdicts collected over the run.
@@ -249,9 +303,8 @@ fn finish_profile(
 }
 
 fn load_model(args: &Args) -> Result<Elda, String> {
-    let model_path = args.require("model")?;
-    let json = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
-    Elda::load(&json)
+    // load_file prefixes every failure with the offending path.
+    Elda::load_file(args.require("model")?)
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
@@ -564,6 +617,77 @@ mod tests {
     #[test]
     fn predict_with_missing_model_file_fails_cleanly() {
         let err = run(argv("predict --model /nonexistent/m.json --record r.txt")).unwrap_err();
-        assert!(!err.is_empty());
+        assert!(
+            err.contains("/nonexistent/m.json"),
+            "error must name the offending path: {err}"
+        );
+    }
+
+    /// One test fn for the checkpoint/resume/recover flags: the fault plan
+    /// and profiling sink are process-global, so the scenarios must not
+    /// interleave with other tests (or each other).
+    #[test]
+    fn checkpoint_resume_and_recovery_flags_work_end_to_end() {
+        let _guard = OBS_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = tmpdir("ckpt");
+        let cohort_dir = dir.join("cohort");
+        let ckpts = dir.join("ckpts");
+        run(argv(&format!(
+            "generate --out {} --patients 40 --tlen 6 --seed 5",
+            cohort_dir.display()
+        )))
+        .unwrap();
+
+        // Two epochs with durable checkpointing on.
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 6 --epochs 2 --batch 16 --variant time \
+             --threads 1 --checkpoint-dir {}",
+            cohort_dir.display(),
+            dir.join("m1.json").display(),
+            ckpts.display()
+        )))
+        .unwrap();
+        assert!(ckpts.join("ckpt-00001.json").exists());
+
+        // Resume picks up at epoch 2 and runs to 4.
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 6 --epochs 4 --batch 16 --variant time \
+             --threads 1 --checkpoint-dir {} --resume",
+            cohort_dir.display(),
+            dir.join("m2.json").display(),
+            ckpts.display()
+        )))
+        .unwrap();
+
+        // A NaN-gradient fault under --recover rolls back, retries, and the
+        // rollback is visible in the profile trace / `elda report`.
+        let trace = dir.join("recover.jsonl");
+        run(argv(&format!(
+            "train --data {} --model {} --tlen 6 --epochs 2 --batch 16 --variant time \
+             --threads 1 --recover --fault nan_grad@1 --profile {}",
+            cohort_dir.display(),
+            dir.join("m3.json").display(),
+            trace.display()
+        )))
+        .unwrap();
+        let events = report::load_trace(trace.to_str().unwrap()).unwrap();
+        assert!(
+            events.iter().any(|e| e.kind == "recovery"),
+            "no recovery event in trace"
+        );
+        let rendered = report::analyze(&events);
+        assert!(rendered.contains("rollback"), "{rendered}");
+        // the loaded artifact is finite and predicts
+        assert!(Elda::load_file(dir.join("m3.json")).is_ok());
+
+        elda_autodiff::sentinel::set_enabled(false);
+        elda_autodiff::sentinel::clear();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_rejected() {
+        let err = run(argv("train --data x --model y --resume")).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
     }
 }

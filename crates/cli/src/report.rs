@@ -9,6 +9,7 @@
 //! * a per-epoch table joining `epoch`, `val` and per-epoch health verdicts;
 //! * every health incident, with the first offending epoch and — for
 //!   non-finite incidents — the first offending op and operand shapes;
+//! * the auto-recovery rollback history (`recovery` events from `--recover`);
 //! * the attention-entropy trend (first → last epoch, per series);
 //! * the top ops by total time.
 
@@ -48,6 +49,7 @@ pub fn analyze(events: &[TraceEvent]) -> String {
     render_run_summary(events, &mut out);
     render_epoch_table(events, &mut out);
     render_incidents(events, &mut out);
+    render_recoveries(events, &mut out);
     render_attention_trend(events, &mut out);
     render_top_ops(events, &mut out);
     out
@@ -141,6 +143,28 @@ fn render_incidents(events: &[TraceEvent], out: &mut String) {
             inc.status.key(),
             inc.subject,
             inc.detail
+        );
+    }
+}
+
+fn render_recoveries(events: &[TraceEvent], out: &mut String) {
+    let recoveries: Vec<elda_nn::RecoveryEvent> = events
+        .iter()
+        .filter_map(elda_nn::RecoveryEvent::from_event)
+        .collect();
+    if recoveries.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nrecovery: {} rollback(s)", recoveries.len());
+    for r in &recoveries {
+        let target = match r.rollback_to {
+            Some(e) => format!("epoch {e}"),
+            None => "initial state".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  epoch {:>3}  retry {}  rolled back to {target}  lr {} -> {}  ({})",
+            r.epoch, r.retry, r.old_lr, r.new_lr, r.cause
         );
     }
 }
@@ -297,6 +321,30 @@ mod tests {
             "first offending epoch missing: {report}"
         );
         assert!(report.contains("truncated trace"), "{report}");
+    }
+
+    #[test]
+    fn recovery_events_render_rollback_history() {
+        let rollback = elda_nn::RecoveryEvent {
+            epoch: 2,
+            rollback_to: Some(1),
+            old_lr: 0.05,
+            new_lr: 0.025,
+            retry: 1,
+            cause: "non-finite mean loss NaN".to_string(),
+        };
+        let events = vec![
+            epoch_ev(0, 0.7, Some("healthy")),
+            rollback.to_event(),
+            epoch_ev(2, 0.65, Some("healthy")),
+        ];
+        let report = analyze(&events);
+        assert!(report.contains("recovery: 1 rollback(s)"), "{report}");
+        assert!(
+            report.contains("rolled back to epoch 1") && report.contains("0.05 -> 0.025"),
+            "{report}"
+        );
+        assert!(report.contains("non-finite mean loss"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Process-level crash-and-resume smoke drill against the real `elda`
+//! binary: a training process hard-killed mid-epoch (injected abort) is
+//! restarted with `--resume` and must report exactly the metrics of an
+//! uninterrupted run; a NaN-gradient run under `--recover` exits cleanly
+//! with the rollback visible in `elda report`.
+//!
+//! Gated behind the `fault-smoke` feature because it spawns ~5 full train
+//! processes: `cargo test -p elda-cli --features fault-smoke`.
+#![cfg(feature = "fault-smoke")]
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn elda(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_elda"))
+        .args(args)
+        .output()
+        .expect("spawn elda")
+}
+
+fn assert_ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "elda failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The `test: BCE ... AUC-PR ...` metrics, without the trailing
+/// `(N epochs)` — a resumed run reports only its own epochs.
+fn metrics_of(stdout: &str) -> String {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("test:"))
+        .unwrap_or_else(|| panic!("no metrics line in output:\n{stdout}"));
+    line.split("  (").next().unwrap().to_string()
+}
+
+#[test]
+fn killed_training_resumes_to_identical_metrics_and_recovery_reports() {
+    let dir = std::env::temp_dir().join(format!("elda-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cohort = dir.join("cohort");
+    let ckpts = dir.join("ckpts");
+    let path = |p: &Path| p.to_str().unwrap().to_string();
+
+    assert_ok(&elda(&[
+        "generate",
+        "--out",
+        &path(&cohort),
+        "--patients",
+        "40",
+        "--tlen",
+        "6",
+        "--seed",
+        "3",
+    ]));
+
+    let train_common = |extra: &[&str]| -> Output {
+        let mut args = vec![
+            "train",
+            "--data",
+            &path(&cohort),
+            "--tlen",
+            "6",
+            "--epochs",
+            "4",
+            "--batch",
+            "16",
+            "--variant",
+            "time",
+            "--threads",
+            "1",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>();
+        args.extend(extra.iter().map(|s| s.to_string()));
+        Command::new(env!("CARGO_BIN_EXE_elda"))
+            .args(&args)
+            .output()
+            .expect("spawn elda train")
+    };
+
+    // Uninterrupted reference run.
+    let m_ref = dir.join("ref.json");
+    let reference = metrics_of(&assert_ok(&train_common(&["--model", &path(&m_ref)])));
+
+    // Crash: injected hard abort (exit 134) mid-epoch 2. The checkpoint
+    // directory keeps the durable state; the model artifact is never
+    // written.
+    let m_crash = dir.join("crashed.json");
+    let out = train_common(&[
+        "--model",
+        &path(&m_crash),
+        "--checkpoint-dir",
+        &path(&ckpts),
+        "--fault",
+        "abort@2",
+    ]);
+    assert!(
+        !out.status.success(),
+        "injected abort did not kill the training process"
+    );
+    assert!(!m_crash.exists(), "crashed run must not write an artifact");
+    assert!(
+        ckpts.join("ckpt-00001.json").exists(),
+        "no durable checkpoint survived the crash"
+    );
+
+    // Restart with --resume: picks up at epoch 2, finishes, and reports
+    // exactly the reference metrics.
+    let m_res = dir.join("resumed.json");
+    let stdout = assert_ok(&train_common(&[
+        "--model",
+        &path(&m_res),
+        "--checkpoint-dir",
+        &path(&ckpts),
+        "--resume",
+    ]));
+    assert_eq!(metrics_of(&stdout), reference, "resumed metrics diverged");
+    assert!(m_res.exists());
+
+    // NaN-gradient fault under --recover: exits 0, prints the rollback,
+    // and `elda report` shows it from the trace.
+    let trace = dir.join("recover.jsonl");
+    let m_rec = dir.join("recovered.json");
+    let stdout = assert_ok(&train_common(&[
+        "--model",
+        &path(&m_rec),
+        "--recover",
+        "--fault",
+        "nan_grad@1",
+        "--profile",
+        &path(&trace),
+    ]));
+    assert!(
+        stdout.contains("recovery: 1 rollback(s)"),
+        "no rollback summary:\n{stdout}"
+    );
+    let stdout = assert_ok(&elda(&["report", &path(&trace)]));
+    assert!(
+        stdout.contains("rolled back to"),
+        "report does not show the rollback:\n{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

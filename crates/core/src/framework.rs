@@ -10,10 +10,42 @@ use elda_emr::{
     split_indices, Batch, Cohort, Patient, Pipeline, ProcessedSample, SplitIndices, Task,
 };
 use elda_metrics::{auc_pr, evaluate, EvalSummary};
-use elda_nn::{Adam, EpochStats, ParamStore, TrainConfig, Trainer};
+use elda_nn::{
+    Adam, CheckpointConfig, EpochStats, ParamStore, RecoveryEvent, RecoveryPolicy, TrainConfig,
+    Trainer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// Durable-checkpointing options for the harness; the config fingerprint
+/// is derived automatically from the model and run configuration (see
+/// [`train_sequence_model`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory holding `ckpt-*.json` files (created if missing).
+    pub dir: PathBuf,
+    /// Write every N completed epochs (plus every best-val improvement).
+    pub every: usize,
+    /// Checkpoint files to retain.
+    pub keep_last: usize,
+    /// Resume from the newest intact checkpoint before training.
+    pub resume: bool,
+}
+
+impl CheckpointOptions {
+    /// Checkpoint into `dir` every epoch, keeping the last 3 files.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            dir: dir.into(),
+            every: 1,
+            keep_last: 3,
+            resume: false,
+        }
+    }
+}
 
 /// Training configuration for the harness (paper §V-A: Adam, lr 1e-3,
 /// batch 64).
@@ -37,6 +69,12 @@ pub struct FitConfig {
     /// health telemetry and the autodiff non-finite sentinel (the CLI's
     /// `--health` flag sets the defaults).
     pub health: Option<elda_obs::HealthConfig>,
+    /// Durable checkpoint/resume (the CLI's `--checkpoint-dir`,
+    /// `--checkpoint-every`, `--keep-last` and `--resume` flags).
+    pub checkpoint: Option<CheckpointOptions>,
+    /// Health-triggered auto-recovery: roll back + lower the learning rate
+    /// when an epoch goes bad (the CLI's `--recover` flag).
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for FitConfig {
@@ -53,6 +91,8 @@ impl Default for FitConfig {
             seed: 0,
             verbose: false,
             health: None,
+            checkpoint: None,
+            recovery: None,
         }
     }
 }
@@ -77,6 +117,39 @@ pub struct ModelRunResult {
     /// Health incidents recorded during training (always empty when
     /// [`FitConfig::health`] is unset).
     pub health_incidents: Vec<elda_obs::Incident>,
+    /// Auto-recovery rollbacks performed during training (always empty when
+    /// [`FitConfig::recovery`] is unset).
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+/// Fingerprint of everything a checkpoint must agree on to be resumable:
+/// the model identity and parameter schema (names + shapes) plus the parts
+/// of the run configuration that change the optimization trajectory.
+/// Resuming under a different fingerprint is refused rather than silently
+/// producing a diverged run.
+pub fn run_fingerprint(
+    model: &dyn SequenceModel,
+    ps: &ParamStore,
+    t_len: usize,
+    task: Task,
+    cfg: &FitConfig,
+) -> String {
+    let mut schema = String::new();
+    let mut names: Vec<_> = ps.iter().map(|p| (p.name.to_string(), p.value.shape().to_vec())).collect();
+    names.sort();
+    for (name, shape) in names {
+        let _ = write!(schema, "{name}:{shape:?};");
+    }
+    elda_nn::fingerprint_of(&format!(
+        "model={};task={:?};tlen={};seed={};lr={};batch={};schema={}",
+        model.name(),
+        task,
+        t_len,
+        cfg.seed,
+        cfg.lr,
+        cfg.batch_size,
+        schema,
+    ))
 }
 
 /// Trains any [`SequenceModel`] on pre-processed samples under the paper's
@@ -91,6 +164,16 @@ pub fn train_sequence_model(
     task: Task,
     cfg: &FitConfig,
 ) -> ModelRunResult {
+    let checkpoint = cfg.checkpoint.as_ref().map(|opts| {
+        let mut ck = CheckpointConfig::new(
+            opts.dir.clone(),
+            run_fingerprint(model, ps, t_len, task, cfg),
+        );
+        ck.every = opts.every;
+        ck.keep_last = opts.keep_last;
+        ck.resume = opts.resume;
+        ck
+    });
     let trainer = Trainer::new(TrainConfig {
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,
@@ -100,6 +183,8 @@ pub fn train_sequence_model(
         patience: cfg.patience,
         verbose: cfg.verbose,
         health: cfg.health.clone(),
+        checkpoint,
+        recovery: cfg.recovery.clone(),
     });
     let mut opt = Adam::new(cfg.lr);
 
@@ -152,6 +237,7 @@ pub fn train_sequence_model(
         predict_ms_per_sample: predict_elapsed * 1000.0 / split.test.len().max(1) as f32,
         num_params: ps.num_scalars(),
         health_incidents: trainer.health_incidents(),
+        recoveries: trainer.recoveries(),
     }
 }
 
@@ -218,6 +304,9 @@ pub struct TrainReport {
     /// Health incidents recorded during training (always empty when
     /// [`FitConfig::health`] is unset).
     pub health_incidents: Vec<elda_obs::Incident>,
+    /// Auto-recovery rollbacks performed during training (always empty when
+    /// [`FitConfig::recovery`] is unset).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 /// The end-to-end ELDA framework of §III: owns the network, its
@@ -299,6 +388,7 @@ impl Elda {
             test: result.test,
             epochs_run: result.epochs_run,
             health_incidents: result.health_incidents,
+            recoveries: result.recoveries,
         }
     }
 
@@ -381,6 +471,8 @@ impl Elda {
     }
 
     /// Reconstructs a framework instance from [`Elda::save`] output.
+    /// Parameter loading is strict: an artifact containing NaN/Inf weights
+    /// is rejected rather than silently deployed.
     pub fn load(json: &str) -> Result<Elda, String> {
         let doc: serde_json::Value =
             serde_json::from_str(json).map_err(|e| format!("artifact parse error: {e}"))?;
@@ -396,10 +488,19 @@ impl Elda {
         let alert_threshold = doc["alert_threshold"].as_f64().unwrap_or(0.5) as f32;
         let mut elda = Elda::with_config(cfg, task, 0);
         let params = serde_json::to_string(&doc["params"]).expect("re-serialize params");
-        elda.ps.load_json(&params)?;
+        elda.ps.load_json_strict(&params)?;
         elda.pipeline = pipeline;
         elda.alert_threshold = alert_threshold;
         Ok(elda)
+    }
+
+    /// [`Elda::load`] from a file on disk; every error names the offending
+    /// path so a bad `--load` target is diagnosable from the message alone.
+    pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Elda, String> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read model artifact: {e}", path.display()))?;
+        Elda::load(&json).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
@@ -500,6 +601,106 @@ mod tests {
         assert!(Elda::load("{}").is_err());
         assert!(Elda::load("not json").is_err());
         assert!(Elda::load(r#"{"format":"elda/v1","config":{}}"#).is_err());
+    }
+
+    #[test]
+    fn load_rejects_nonfinite_weights_and_load_file_names_path() {
+        let mut cc = CohortConfig::small(20, 43);
+        cc.t_len = 4;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(4), Task::Mortality, 11);
+        elda.fit(
+            &cohort,
+            &FitConfig {
+                epochs: 1,
+                batch_size: 8,
+                threads: 1,
+                patience: None,
+                ..Default::default()
+            },
+        );
+
+        // Overwrite the first weight of the first param record with a
+        // literal that overflows f32 to infinity on deserialization.
+        let artifact = elda.save();
+        let i = artifact.find("\"data\":[").unwrap() + "\"data\":[".len();
+        let j = i + artifact[i..].find(|c| c == ',' || c == ']').unwrap();
+        let poisoned = format!("{}1e39{}", &artifact[..i], &artifact[j..]);
+        let err = Elda::load(&poisoned)
+            .err()
+            .expect("poisoned artifact must be rejected");
+        assert!(err.contains("non-finite"), "unexpected error: {err}");
+
+        // File-level loading names the offending path.
+        let missing = "/no/such/dir/elda-model.json";
+        let err = Elda::load_file(missing)
+            .err()
+            .expect("missing file must be rejected");
+        assert!(err.contains(missing), "path missing from error: {err}");
+    }
+
+    #[test]
+    fn harness_checkpoint_resume_matches_uninterrupted() {
+        let dir = std::env::temp_dir().join(format!("elda-fw-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cc = CohortConfig::small(40, 41);
+        cc.t_len = 6;
+        let cohort = Cohort::generate(cc);
+        let base = FitConfig {
+            epochs: 4,
+            batch_size: 16,
+            threads: 1,
+            patience: None,
+            ..Default::default()
+        };
+
+        let mut reference = Elda::with_config(tiny_cfg(6), Task::Mortality, 7);
+        let ref_report = reference.fit(&cohort, &base);
+
+        // Interrupted run: two epochs with checkpointing on...
+        let mut first = Elda::with_config(tiny_cfg(6), Task::Mortality, 7);
+        let mut cfg = base.clone();
+        cfg.epochs = 2;
+        cfg.checkpoint = Some(CheckpointOptions::new(&dir));
+        first.fit(&cohort, &cfg);
+
+        // ...then a brand-new instance (fresh params, fresh optimizer, as
+        // after a process restart) picks up at epoch 2 and must land
+        // bit-for-bit where the uninterrupted run did.
+        let mut resumed = Elda::with_config(tiny_cfg(6), Task::Mortality, 7);
+        let mut cfg = base.clone();
+        cfg.checkpoint = Some(CheckpointOptions {
+            resume: true,
+            ..CheckpointOptions::new(&dir)
+        });
+        let report = resumed.fit(&cohort, &cfg);
+
+        assert_eq!(report.epochs_run, 2, "resume should only run epochs 2..4");
+        assert_eq!(report.val_auc_pr, ref_report.val_auc_pr);
+        assert_eq!(
+            resumed.params().to_json(),
+            reference.params().to_json(),
+            "resumed weights diverged from the uninterrupted run"
+        );
+        let p = &cohort.patients[1];
+        assert_eq!(resumed.predict_proba(p), reference.predict_proba(p));
+        assert!(report.recoveries.is_empty());
+
+        // A different run configuration must be refused, not silently
+        // resumed: same directory, different learning rate.
+        let mut other = Elda::with_config(tiny_cfg(6), Task::Mortality, 7);
+        let mut cfg = base.clone();
+        cfg.lr = 5e-4;
+        cfg.checkpoint = Some(CheckpointOptions {
+            resume: true,
+            ..CheckpointOptions::new(&dir)
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            other.fit(&cohort, &cfg);
+        }));
+        assert!(outcome.is_err(), "foreign fingerprint was not refused");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

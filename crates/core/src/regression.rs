@@ -92,6 +92,8 @@ pub fn train_los_regressor(
         patience: Some(3),
         verbose: false,
         health: None,
+        checkpoint: None,
+        recovery: None,
     });
     let mut opt = Adam::new(1e-3);
     let train_idx = &split.train;

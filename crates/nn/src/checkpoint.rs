@@ -1,0 +1,496 @@
+//! Durable training checkpoints: a versioned on-disk format with CRC32
+//! integrity footer, atomic writes (tmp + fsync + rename), keep-last-K
+//! rotation and a corrupt-tolerant resume scan.
+//!
+//! ## On-disk format (`elda-ckpt/v1`)
+//!
+//! One file per checkpoint, named `ckpt-<epoch:05>.json`, containing a
+//! single JSON document followed by an integrity footer on its own line:
+//!
+//! ```text
+//! {"format":"elda-ckpt/v1","fingerprint":...,"epoch":...,...}
+//! elda-ckpt-crc32:xxxxxxxx
+//! ```
+//!
+//! The footer is the IEEE CRC32 of every byte before the footer line's
+//! leading newline, in lowercase hex. A partial write (power loss between
+//! `write` and `fsync`, injected truncation, manual tampering) fails the
+//! CRC check and the resume scan skips the file with a warning instead of
+//! aborting the run.
+//!
+//! The document carries the full training state needed to continue
+//! bit-for-bit: parameter tensors (the [`ParamStore`] schema), the
+//! optimizer snapshot ([`OptimizerState`], including Adam's step counter
+//! and moment buffers), the completed-epoch counter, the shuffle seed (the
+//! trainer derives each epoch's permutation from `seed + epoch`, so no
+//! separate RNG state is needed), early-stopping state (best validation
+//! score, stale count, best-epoch parameters) and a config fingerprint
+//! that refuses resumption under a different model/data/hyperparameter
+//! configuration.
+
+use crate::optim::{Optimizer, OptimizerState};
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Format tag stored in (and required of) every checkpoint document.
+pub const CKPT_FORMAT: &str = "elda-ckpt/v1";
+
+/// Prefix of the integrity footer line.
+const CRC_PREFIX: &str = "elda-ckpt-crc32:";
+
+/// IEEE CRC32 (the zlib/PNG polynomial), bitwise implementation — the
+/// workspace is offline-friendly and takes no checksum crate for this.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Stable 8-hex-digit fingerprint of a configuration description string.
+/// Both sides (writer and resumer) build the same description; equality of
+/// fingerprints is what licenses continuing a run from disk.
+pub fn fingerprint_of(text: &str) -> String {
+    format!("{:08x}", crc32(text.as_bytes()))
+}
+
+/// Writes `bytes` to `path` atomically: write a sibling `.tmp` file, fsync
+/// it, rename over the target, fsync the directory. A crash at any point
+/// leaves either the old file or the new one, never a torn mix.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| format!("{}: create failed: {e}", tmp.display()))?;
+    f.write_all(bytes)
+        .map_err(|e| format!("{}: write failed: {e}", tmp.display()))?;
+    f.sync_all()
+        .map_err(|e| format!("{}: fsync failed: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("{}: rename failed: {e}", path.display()))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Persist the rename itself; ignore platforms/filesystems where
+        // directories cannot be fsynced.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Checkpointing policy, carried by `TrainConfig`.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `ckpt-*.json` files (created if missing).
+    pub dir: PathBuf,
+    /// Write a checkpoint every `every` completed epochs (in addition to
+    /// every best-validation improvement). 0 disables the periodic writes.
+    pub every: usize,
+    /// How many checkpoint files to retain (oldest rotated out first).
+    pub keep_last: usize,
+    /// Resume from the newest intact checkpoint in `dir` before epoch 0.
+    pub resume: bool,
+    /// Expected config fingerprint (see [`fingerprint_of`]).
+    pub fingerprint: String,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` after every epoch, keeping the last 3 files.
+    pub fn new(dir: impl Into<PathBuf>, fingerprint: impl Into<String>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: 1,
+            keep_last: 3,
+            resume: false,
+            fingerprint: fingerprint.into(),
+        }
+    }
+}
+
+/// One durable training checkpoint (see the module docs for the format).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format tag, always [`CKPT_FORMAT`].
+    pub format: String,
+    /// Config fingerprint the run was started with.
+    pub fingerprint: String,
+    /// Last *completed* epoch (0-based); resume continues at `epoch + 1`.
+    pub epoch: usize,
+    /// Shuffle seed — recorded for post-mortem debugging (the fingerprint
+    /// already guards against resuming with a different seed).
+    pub shuffle_seed: u64,
+    /// Parameter tensors ([`ParamStore::to_json`] schema).
+    pub params: serde_json::Value,
+    /// Full optimizer snapshot.
+    pub optimizer: OptimizerState,
+    /// Best validation score so far (`None` before the first finite score).
+    pub best_score: Option<f32>,
+    /// Epochs since the best score improved (early-stopping state).
+    pub stale: usize,
+    /// Parameters at the best-scoring epoch, when different from `params`.
+    pub best_params: Option<serde_json::Value>,
+}
+
+impl Checkpoint {
+    /// Snapshots the complete training state after `epoch` finished.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture(
+        ps: &ParamStore,
+        opt: &dyn Optimizer,
+        epoch: usize,
+        cfg: &CheckpointConfig,
+        shuffle_seed: u64,
+        best_score: f32,
+        stale: usize,
+        best_params_json: Option<&str>,
+    ) -> Checkpoint {
+        let params = serde_json::from_str(&ps.to_json()).expect("param store JSON is valid");
+        let best_params = best_params_json
+            .map(|j| serde_json::from_str(j).expect("best-checkpoint JSON is valid"));
+        Checkpoint {
+            format: CKPT_FORMAT.to_string(),
+            fingerprint: cfg.fingerprint.clone(),
+            epoch,
+            shuffle_seed,
+            params,
+            optimizer: opt.export_state(ps),
+            best_score: best_score.is_finite().then_some(best_score),
+            stale,
+            best_params,
+        }
+    }
+
+    /// Restores parameters and optimizer state into `ps`/`opt`. Parameter
+    /// loading is strict: a checkpoint with NaN/Inf weights is refused.
+    pub fn apply(&self, ps: &mut ParamStore, opt: &mut dyn Optimizer) -> Result<(), String> {
+        if self.format != CKPT_FORMAT {
+            return Err(format!(
+                "unsupported checkpoint format {:?} (expected {CKPT_FORMAT:?})",
+                self.format
+            ));
+        }
+        let params =
+            serde_json::to_string(&self.params).map_err(|e| format!("checkpoint params: {e}"))?;
+        ps.load_json_strict(&params)?;
+        opt.import_state(ps, &self.optimizer)?;
+        Ok(())
+    }
+
+    /// The best-epoch parameter JSON, for seeding the trainer's in-memory
+    /// early-stopping restore.
+    pub fn best_params_json(&self) -> Option<String> {
+        self.best_params
+            .as_ref()
+            .map(|v| serde_json::to_string(v).expect("checkpoint JSON is serializable"))
+    }
+
+    /// The full file contents: document + CRC32 footer.
+    pub fn to_file_string(&self) -> String {
+        let body = serde_json::to_string(self).expect("checkpoint is serializable");
+        format!("{body}\n{CRC_PREFIX}{:08x}\n", crc32(body.as_bytes()))
+    }
+
+    /// Parses and integrity-checks checkpoint file contents. `path` is only
+    /// used to make error messages actionable.
+    pub fn from_file_string(text: &str, path: &Path) -> Result<Checkpoint, String> {
+        let shown = path.display();
+        let Some(idx) = text.rfind(&format!("\n{CRC_PREFIX}")) else {
+            return Err(format!(
+                "{shown}: missing integrity footer (truncated or not a checkpoint)"
+            ));
+        };
+        let body = &text[..idx];
+        let footer = text[idx + 1 + CRC_PREFIX.len()..].trim_end();
+        let stored = u32::from_str_radix(footer, 16)
+            .map_err(|_| format!("{shown}: malformed integrity footer {footer:?}"))?;
+        let actual = crc32(body.as_bytes());
+        if stored != actual {
+            return Err(format!(
+                "{shown}: CRC mismatch (stored {stored:08x}, computed {actual:08x}) — \
+                 file is corrupt or truncated"
+            ));
+        }
+        let ckpt: Checkpoint =
+            serde_json::from_str(body).map_err(|e| format!("{shown}: parse error: {e}"))?;
+        if ckpt.format != CKPT_FORMAT {
+            return Err(format!(
+                "{shown}: unsupported checkpoint format {:?} (expected {CKPT_FORMAT:?})",
+                ckpt.format
+            ));
+        }
+        Ok(ckpt)
+    }
+
+    /// Atomically writes this checkpoint into `cfg.dir` (created if
+    /// missing) and rotates old files down to `cfg.keep_last`. Returns the
+    /// written path.
+    pub fn save(&self, cfg: &CheckpointConfig) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| format!("{}: cannot create checkpoint dir: {e}", cfg.dir.display()))?;
+        let path = cfg.dir.join(format!("ckpt-{:05}.json", self.epoch));
+        write_atomic(&path, self.to_file_string().as_bytes())?;
+        crate::faults::maybe_truncate_checkpoint(&path);
+        rotate(&cfg.dir, cfg.keep_last.max(1));
+        Ok(path)
+    }
+}
+
+/// Epochs of the checkpoint files present in `dir`, newest first.
+fn list_epochs(dir: &Path) -> Vec<usize> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut epochs: Vec<usize> = entries
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            let rest = name.strip_prefix("ckpt-")?.strip_suffix(".json")?;
+            rest.parse().ok()
+        })
+        .collect();
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    epochs
+}
+
+/// Removes all but the `keep` newest checkpoint files. Best-effort: an
+/// unremovable file only costs disk, never correctness.
+fn rotate(dir: &Path, keep: usize) {
+    for epoch in list_epochs(dir).into_iter().skip(keep) {
+        let _ = std::fs::remove_file(dir.join(format!("ckpt-{epoch:05}.json")));
+    }
+}
+
+/// Outcome of a resume scan over a checkpoint directory.
+#[derive(Debug)]
+pub struct ResumeScan {
+    /// The newest intact, fingerprint-matching checkpoint, with its path.
+    pub found: Option<(Checkpoint, PathBuf)>,
+    /// One warning per corrupt/unreadable file that was skipped.
+    pub skipped: Vec<String>,
+}
+
+/// Finds the newest intact checkpoint in `dir`, skipping corrupt or
+/// truncated files (each skip produces a warning in
+/// [`ResumeScan::skipped`]). A structurally *valid* checkpoint written by a
+/// different configuration is an error, not a skip: resuming across config
+/// changes silently trains the wrong model.
+pub fn scan_resume(dir: &Path, fingerprint: &str) -> Result<ResumeScan, String> {
+    let mut skipped = Vec::new();
+    for epoch in list_epochs(dir) {
+        let path = dir.join(format!("ckpt-{epoch:05}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                skipped.push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        match Checkpoint::from_file_string(&text, &path) {
+            Ok(ckpt) => {
+                if ckpt.fingerprint != fingerprint {
+                    return Err(format!(
+                        "{}: config fingerprint {} does not match this run's {} — \
+                         refusing to resume a different configuration \
+                         (use a fresh --checkpoint-dir)",
+                        path.display(),
+                        ckpt.fingerprint,
+                        fingerprint
+                    ));
+                }
+                return Ok(ResumeScan {
+                    found: Some((ckpt, path)),
+                    skipped,
+                });
+            }
+            Err(e) => skipped.push(e),
+        }
+    }
+    Ok(ResumeScan {
+        found: None,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use elda_tensor::Tensor;
+    use std::collections::HashMap;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("elda-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn store_and_opt() -> (ParamStore, Adam) {
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Tensor::from_vec(vec![0.5, -1.5], &[2]));
+        ps.register("b", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(0.01);
+        let mut grads = HashMap::new();
+        grads.insert(w, Tensor::from_vec(vec![0.1, -0.2], &[2]));
+        opt.step(&mut ps, &grads);
+        (ps, opt)
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The classic IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!dir.join("out.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_params_and_optimizer_state() {
+        let (ps, opt) = store_and_opt();
+        let cfg = CheckpointConfig::new(tmpdir("roundtrip"), "fp1");
+        let ckpt = Checkpoint::capture(&ps, &opt, 4, &cfg, 7, 0.75, 1, Some(&ps.to_json()));
+        let path = ckpt.save(&cfg).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let loaded = Checkpoint::from_file_string(&text, &path).unwrap();
+        assert_eq!(loaded.epoch, 4);
+        assert_eq!(loaded.shuffle_seed, 7);
+        assert_eq!(loaded.best_score, Some(0.75));
+        assert_eq!(loaded.stale, 1);
+
+        // Restore into a fresh store/optimizer and compare exactly.
+        let mut ps2 = ParamStore::new();
+        ps2.register("w", Tensor::zeros(&[2]));
+        ps2.register("b", Tensor::zeros(&[1]));
+        let mut opt2 = Adam::new(0.9);
+        loaded.apply(&mut ps2, &mut opt2).unwrap();
+        assert_eq!(ps2.to_json(), ps.to_json());
+        assert_eq!(opt2.export_state(&ps2), opt.export_state(&ps));
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected_with_the_path_in_the_error() {
+        let (ps, opt) = store_and_opt();
+        let cfg = CheckpointConfig::new(tmpdir("corrupt"), "fp1");
+        let ckpt = Checkpoint::capture(&ps, &opt, 0, &cfg, 0, f32::NEG_INFINITY, 0, None);
+        let path = ckpt.save(&cfg).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Flipped byte inside the document → CRC mismatch.
+        let flipped = good.replacen("\"format\"", "\"fxrmat\"", 1);
+        let err = Checkpoint::from_file_string(&flipped, &path).unwrap_err();
+        assert!(err.contains("CRC mismatch"), "{err}");
+        assert!(err.contains(path.to_str().unwrap()), "{err}");
+
+        // Truncation → footer gone entirely.
+        let truncated = &good[..good.len() / 2];
+        let err = Checkpoint::from_file_string(truncated, &path).unwrap_err();
+        assert!(err.contains("missing integrity footer"), "{err}");
+
+        // Garbage footer digits.
+        let mut bad_footer = good.clone();
+        bad_footer.truncate(good.len() - 9);
+        bad_footer.push_str("zzzzzzzz\n");
+        let err = Checkpoint::from_file_string(&bad_footer, &path).unwrap_err();
+        assert!(err.contains("malformed integrity footer"), "{err}");
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn scan_skips_corrupt_newest_and_finds_previous_intact() {
+        let (ps, opt) = store_and_opt();
+        let cfg = CheckpointConfig::new(tmpdir("scan"), "fp1");
+        for epoch in 0..3 {
+            Checkpoint::capture(&ps, &opt, epoch, &cfg, 0, 0.5, 0, None)
+                .save(&cfg)
+                .unwrap();
+        }
+        // Truncate the newest file mid-document.
+        let newest = cfg.dir.join("ckpt-00002.json");
+        let text = std::fs::read_to_string(&newest).unwrap();
+        std::fs::write(&newest, &text[..text.len() / 3]).unwrap();
+
+        let scan = scan_resume(&cfg.dir, "fp1").unwrap();
+        let (found, path) = scan.found.expect("older checkpoint must be found");
+        assert_eq!(found.epoch, 1, "skips to the previous intact file");
+        assert!(path.ends_with("ckpt-00001.json"));
+        assert_eq!(scan.skipped.len(), 1);
+        assert!(scan.skipped[0].contains("ckpt-00002.json"), "{:?}", scan.skipped);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn scan_refuses_foreign_fingerprints_and_handles_empty_dirs() {
+        let (ps, opt) = store_and_opt();
+        let cfg = CheckpointConfig::new(tmpdir("fp"), "fp1");
+        Checkpoint::capture(&ps, &opt, 0, &cfg, 0, 0.5, 0, None)
+            .save(&cfg)
+            .unwrap();
+        let err = scan_resume(&cfg.dir, "OTHER").unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+
+        let empty = tmpdir("fp-empty");
+        let scan = scan_resume(&empty, "fp1").unwrap();
+        assert!(scan.found.is_none() && scan.skipped.is_empty());
+        // A directory that does not exist at all is also a clean "nothing".
+        let scan = scan_resume(&empty.join("nope"), "fp1").unwrap();
+        assert!(scan.found.is_none());
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_only_the_newest_k() {
+        let (ps, opt) = store_and_opt();
+        let mut cfg = CheckpointConfig::new(tmpdir("rotate"), "fp1");
+        cfg.keep_last = 2;
+        for epoch in 0..5 {
+            Checkpoint::capture(&ps, &opt, epoch, &cfg, 0, 0.5, 0, None)
+                .save(&cfg)
+                .unwrap();
+        }
+        assert_eq!(list_epochs(&cfg.dir), vec![4, 3]);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn apply_refuses_nan_weights() {
+        let (ps, opt) = store_and_opt();
+        let cfg = CheckpointConfig::new(tmpdir("nan"), "fp1");
+        let mut ckpt = Checkpoint::capture(&ps, &opt, 0, &cfg, 0, 0.5, 0, None);
+        // Poison one weight in the document (1e39 overflows f32 to +Inf).
+        ckpt.params = serde_json::from_str(
+            r#"[{"name":"w","shape":[2],"data":[1e39,0.0]},{"name":"b","shape":[1],"data":[0.0]}]"#,
+        )
+        .unwrap();
+        let mut ps2 = ParamStore::new();
+        ps2.register("w", Tensor::zeros(&[2]));
+        ps2.register("b", Tensor::zeros(&[1]));
+        let err = ckpt.apply(&mut ps2, &mut Adam::new(0.01)).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        assert_eq!(fingerprint_of("a"), fingerprint_of("a"));
+        assert_ne!(fingerprint_of("lr=0.001"), fingerprint_of("lr=0.01"));
+        assert_eq!(fingerprint_of("a").len(), 8);
+    }
+}

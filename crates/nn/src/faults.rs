@@ -1,0 +1,201 @@
+//! Deterministic fault injection for exercising the fault-tolerance layer.
+//!
+//! A [`FaultPlan`] describes *where* to break a training run: poison the
+//! gradients of one epoch with NaN, panic or hard-abort mid-epoch, or
+//! truncate every checkpoint right after it is written. Plans are
+//! installed process-globally — from tests via [`install`], or from the
+//! CLI via `--fault SPEC` / the `ELDA_FAULTS` environment variable — and
+//! the trainer calls the `maybe_*` hooks at the matching points.
+//!
+//! The surface is test-only by intent but compiled unconditionally: with
+//! no plan installed every hook is a single relaxed atomic load, so the
+//! hot path pays nothing and release binaries can run the same
+//! crash-and-resume drills CI does.
+//!
+//! Spec grammar (comma-separated, e.g. `"nan_grad@2,abort@3"`):
+//!
+//! | clause | effect |
+//! |---|---|
+//! | `nan_grad@K` | first batch of epoch K computes NaN gradients (once) |
+//! | `panic@K` | panic after the first batch of epoch K (unwinds) |
+//! | `abort@K` | hard process exit (code 134) after the first batch of epoch K |
+//! | `truncate_ckpt` | every checkpoint file is truncated after writing |
+
+use elda_autodiff::ParamId;
+use elda_tensor::Tensor;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Replace the gradients of the first batch of this epoch with NaN
+    /// (fires once per installed plan).
+    pub nan_grad_epoch: Option<usize>,
+    /// Panic (unwinding — catchable in-process) after the first batch of
+    /// this epoch.
+    pub panic_epoch: Option<usize>,
+    /// Hard process exit with code 134 after the first batch of this
+    /// epoch, simulating an OOM-kill mid-epoch.
+    pub abort_epoch: Option<usize>,
+    /// Truncate every checkpoint file immediately after it is written.
+    pub truncate_checkpoints: bool,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Parses the spec grammar described in the module docs.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            if clause == "truncate_ckpt" {
+                plan.truncate_checkpoints = true;
+                continue;
+            }
+            let (kind, epoch) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("fault clause {clause:?}: expected KIND@EPOCH"))?;
+            let epoch: usize = epoch
+                .parse()
+                .map_err(|_| format!("fault clause {clause:?}: bad epoch {epoch:?}"))?;
+            match kind {
+                "nan_grad" => plan.nan_grad_epoch = Some(epoch),
+                "panic" => plan.panic_epoch = Some(epoch),
+                "abort" => plan.abort_epoch = Some(epoch),
+                other => return Err(format!("unknown fault kind {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Fast-path gate: hooks return immediately while this is false.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct Armed {
+    plan: FaultPlan,
+    nan_fired: bool,
+}
+
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+
+/// Installs `plan` process-globally (replacing any previous plan). An
+/// empty plan is equivalent to [`clear`].
+pub fn install(plan: FaultPlan) {
+    let mut armed = ARMED.lock().expect("fault plan lock");
+    ACTIVE.store(!plan.is_empty(), Ordering::Release);
+    *armed = Some(Armed {
+        plan,
+        nan_fired: false,
+    });
+}
+
+/// Removes the installed plan; all hooks become no-ops again.
+pub fn clear() {
+    let mut armed = ARMED.lock().expect("fault plan lock");
+    ACTIVE.store(false, Ordering::Release);
+    *armed = None;
+}
+
+/// Installs a plan from the `ELDA_FAULTS` environment variable if set.
+/// Returns the parsed plan (`None` when the variable is unset).
+pub fn install_from_env() -> Result<Option<FaultPlan>, String> {
+    match std::env::var("ELDA_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan = FaultPlan::parse(&spec).map_err(|e| format!("ELDA_FAULTS: {e}"))?;
+            install(plan.clone());
+            Ok(Some(plan))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn with_plan<R>(f: impl FnOnce(&mut Armed) -> R) -> Option<R> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    ARMED.lock().expect("fault plan lock").as_mut().map(f)
+}
+
+/// Trainer hook, called at the top of every batch. Fires the `panic@K` /
+/// `abort@K` faults on the *second* batch of epoch K, so at least one
+/// optimizer step has happened and the crash is genuinely mid-epoch.
+pub fn maybe_crash(epoch: usize, batch: usize) {
+    let crash = with_plan(|a| {
+        if batch != 1 {
+            return (false, false);
+        }
+        (
+            a.plan.panic_epoch == Some(epoch),
+            a.plan.abort_epoch == Some(epoch),
+        )
+    });
+    match crash {
+        Some((true, _)) => panic!("fault injection: panic at epoch {epoch}, batch {batch}"),
+        Some((_, true)) => {
+            eprintln!("fault injection: aborting at epoch {epoch}, batch {batch}");
+            std::process::exit(134);
+        }
+        _ => {}
+    }
+}
+
+/// Trainer hook, called on each batch's freshly computed gradients.
+/// Poisons every gradient's first element with NaN on the first batch of
+/// the configured epoch (once), returning true when it fired.
+pub fn maybe_corrupt_grads(epoch: usize, grads: &mut HashMap<ParamId, Tensor>) -> bool {
+    with_plan(|a| {
+        if a.nan_fired || a.plan.nan_grad_epoch != Some(epoch) {
+            return false;
+        }
+        a.nan_fired = true;
+        for g in grads.values_mut() {
+            if let Some(x) = g.data_mut().first_mut() {
+                *x = f32::NAN;
+            }
+        }
+        true
+    })
+    .unwrap_or(false)
+}
+
+/// Checkpoint hook: truncates the just-written file to half its length
+/// when the plan asks for checkpoint corruption.
+pub fn maybe_truncate_checkpoint(path: &Path) {
+    let truncate = with_plan(|a| a.plan.truncate_checkpoints).unwrap_or(false);
+    if truncate {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let _ = std::fs::write(path, &text[..text.len() / 2]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_roundtrips_and_rejects_garbage() {
+        let plan = FaultPlan::parse("nan_grad@2, abort@3,truncate_ckpt").unwrap();
+        assert_eq!(plan.nan_grad_epoch, Some(2));
+        assert_eq!(plan.abort_epoch, Some(3));
+        assert!(plan.truncate_checkpoints);
+        assert!(plan.panic_epoch.is_none());
+        assert!(!plan.is_empty());
+
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("nan_grad").is_err());
+        assert!(FaultPlan::parse("nan_grad@x").is_err());
+        assert!(FaultPlan::parse("meteor@1").is_err());
+    }
+
+    // Installation/firing tests live with the trainer tests (which already
+    // serialize on the process-global state); here we only cover the pure
+    // parts to keep this module's globals quiet under parallel testing.
+}

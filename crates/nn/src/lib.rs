@@ -16,7 +16,13 @@
 //! * [`train::Trainer`] runs epochs: shuffle, shard, differentiate shards on
 //!   worker threads (tapes are independent; the store is read-only during
 //!   the pass), sum gradients, step.
+//! * [`checkpoint`] persists the full training state durably (CRC32
+//!   integrity footer, atomic writes, keep-last-K rotation) so runs
+//!   survive crashes; [`faults`] injects deterministic failures to prove
+//!   they do.
 
+pub mod checkpoint;
+pub mod faults;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -24,6 +30,8 @@ pub mod params;
 pub mod schedule;
 pub mod train;
 
+pub use checkpoint::{fingerprint_of, write_atomic, Checkpoint, CheckpointConfig};
+pub use faults::FaultPlan;
 pub use init::Init;
 pub use layers::attention::{additive_attention_scores, dot_attention_pool};
 pub use layers::dense::Dense;
@@ -31,7 +39,7 @@ pub use layers::dropout::Dropout;
 pub use layers::gru::{Gru, GruCell};
 pub use layers::lstm::{Lstm, LstmCell};
 pub use layers::positional::positional_encoding;
-pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_global_norm, Adam, Optimizer, OptimizerState, Sgd};
 pub use params::{ParamStore, ParamView};
 pub use schedule::LrSchedule;
-pub use train::{EpochStats, TrainConfig, Trainer};
+pub use train::{EpochStats, RecoveryEvent, RecoveryPolicy, TrainConfig, Trainer};

@@ -1,9 +1,107 @@
-//! Optimizers: SGD (with momentum) and Adam, plus global-norm clipping.
+//! Optimizers: SGD (with momentum) and Adam, plus global-norm clipping and
+//! serializable optimizer state for checkpoint/resume.
 
 use crate::params::ParamStore;
 use elda_autodiff::ParamId;
 use elda_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// One per-parameter moment buffer inside an [`OptimizerState`]. Buffers
+/// are keyed by parameter *name* (the checkpoint schema), not [`ParamId`],
+/// so state survives a process restart where ids are reassigned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Which buffer: `"velocity"` (SGD), `"m"` or `"v"` (Adam).
+    pub slot: String,
+    /// Name of the parameter this buffer belongs to.
+    pub param: String,
+    /// Buffer shape (must match the parameter's shape).
+    pub shape: Vec<usize>,
+    /// Buffer contents.
+    pub data: Vec<f32>,
+}
+
+/// Serializable snapshot of an optimizer's internal state — everything a
+/// resumed run needs to continue bit-for-bit: hyperparameters (including a
+/// learning rate possibly lowered by recovery backoff), the step counter
+/// driving Adam's bias correction, and all moment buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerState {
+    /// Optimizer family: `"sgd"` or `"adam"`.
+    pub kind: String,
+    /// Current learning rate.
+    pub lr: f32,
+    /// Update steps taken so far (Adam bias correction; 0 for SGD).
+    pub step: u64,
+    /// SGD momentum coefficient (0 when unused).
+    pub momentum: f32,
+    /// Adam β₁ (0 for SGD).
+    pub beta1: f32,
+    /// Adam β₂ (0 for SGD).
+    pub beta2: f32,
+    /// Adam ε (0 for SGD).
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Moment buffers, keyed by parameter name.
+    pub slots: Vec<SlotRecord>,
+}
+
+impl OptimizerState {
+    /// Validates `slots` against `ps` and rebuilds the id-keyed buffer map
+    /// for slot `slot`. Rejects unknown parameters, shape mismatches and
+    /// non-finite buffer contents — resuming from poisoned moments would
+    /// silently corrupt every subsequent step.
+    fn slot_map(&self, ps: &ParamStore, slot: &str) -> Result<HashMap<ParamId, Tensor>, String> {
+        let mut out = HashMap::new();
+        for rec in self.slots.iter().filter(|r| r.slot == slot) {
+            let Some(view) = ps.by_name(&rec.param) else {
+                return Err(format!(
+                    "optimizer state references unknown parameter {:?}",
+                    rec.param
+                ));
+            };
+            if view.value.shape() != rec.shape.as_slice() {
+                return Err(format!(
+                    "optimizer {slot:?} buffer for {:?} has shape {:?}, parameter is {:?}",
+                    rec.param,
+                    rec.shape,
+                    view.value.shape()
+                ));
+            }
+            let bad = rec.data.iter().filter(|x| !x.is_finite()).count();
+            if bad > 0 {
+                return Err(format!(
+                    "optimizer {slot:?} buffer for {:?} contains {bad} non-finite value(s)",
+                    rec.param
+                ));
+            }
+            let t = Tensor::try_from_vec(rec.data.clone(), &rec.shape)
+                .map_err(|e| format!("optimizer {slot:?} buffer for {:?}: {e}", rec.param))?;
+            out.insert(view.id, t);
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes an id-keyed buffer map as named slot records, sorted by
+/// parameter name for deterministic output.
+fn slots_of(ps: &ParamStore, slot: &str, map: &HashMap<ParamId, Tensor>) -> Vec<SlotRecord> {
+    let mut out: Vec<SlotRecord> = ps
+        .iter()
+        .filter_map(|p| {
+            map.get(&p.id).map(|t| SlotRecord {
+                slot: slot.to_string(),
+                param: p.name.to_string(),
+                shape: t.shape().to_vec(),
+                data: t.data().to_vec(),
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.param.cmp(&b.param));
+    out
+}
 
 /// A first-order optimizer consuming id-keyed gradients.
 pub trait Optimizer {
@@ -15,6 +113,16 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (used by schedules and benches).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Snapshots the full internal state for checkpointing. Buffers are
+    /// keyed by parameter name via `ps`.
+    fn export_state(&self, ps: &ParamStore) -> OptimizerState;
+
+    /// Restores a snapshot produced by [`Optimizer::export_state`].
+    /// Validates the optimizer kind, buffer shapes and finiteness before
+    /// mutating anything; afterwards the optimizer continues exactly where
+    /// the exporting instance left off.
+    fn import_state(&mut self, ps: &ParamStore, state: &OptimizerState) -> Result<(), String>;
 }
 
 /// Stochastic gradient descent with optional classical momentum and
@@ -85,6 +193,35 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self, ps: &ParamStore) -> OptimizerState {
+        OptimizerState {
+            kind: "sgd".to_string(),
+            lr: self.lr,
+            step: 0,
+            momentum: self.momentum,
+            beta1: 0.0,
+            beta2: 0.0,
+            eps: 0.0,
+            weight_decay: self.weight_decay,
+            slots: slots_of(ps, "velocity", &self.velocity),
+        }
+    }
+
+    fn import_state(&mut self, ps: &ParamStore, state: &OptimizerState) -> Result<(), String> {
+        if state.kind != "sgd" {
+            return Err(format!(
+                "optimizer state is {:?}, this optimizer is \"sgd\"",
+                state.kind
+            ));
+        }
+        let velocity = state.slot_map(ps, "velocity")?;
+        self.lr = state.lr;
+        self.momentum = state.momentum;
+        self.weight_decay = state.weight_decay;
+        self.velocity = velocity;
+        Ok(())
     }
 }
 
@@ -175,6 +312,43 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self, ps: &ParamStore) -> OptimizerState {
+        OptimizerState {
+            kind: "adam".to_string(),
+            lr: self.lr,
+            step: self.t,
+            momentum: 0.0,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+            slots: slots_of(ps, "m", &self.m)
+                .into_iter()
+                .chain(slots_of(ps, "v", &self.v))
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, ps: &ParamStore, state: &OptimizerState) -> Result<(), String> {
+        if state.kind != "adam" {
+            return Err(format!(
+                "optimizer state is {:?}, this optimizer is \"adam\"",
+                state.kind
+            ));
+        }
+        let m = state.slot_map(ps, "m")?;
+        let v = state.slot_map(ps, "v")?;
+        self.lr = state.lr;
+        self.t = state.step;
+        self.beta1 = state.beta1;
+        self.beta2 = state.beta2;
+        self.eps = state.eps;
+        self.weight_decay = state.weight_decay;
+        self.m = m;
+        self.v = v;
+        Ok(())
     }
 }
 
@@ -272,6 +446,105 @@ mod tests {
         opt.step(&mut ps, &grads);
         // decay first: 2.0 * (1 - 0.1) = 1.8; then step: 1.8 - 0.1 = 1.7
         assert!((ps.value(id).data()[0] - 1.7).abs() < 1e-6);
+    }
+
+    /// Runs `steps` quadratic-descent steps on a 2-param problem, returning
+    /// the store and grads used (deterministic, so two optimizers fed the
+    /// same store diverge only through their own state).
+    fn descend(ps: &mut ParamStore, opt: &mut dyn Optimizer, steps: usize) {
+        let w = ps.by_name("w").unwrap().id;
+        let b = ps.by_name("b").unwrap().id;
+        for _ in 0..steps {
+            let gw = 2.0 * (ps.value(w).data()[0] - 3.0);
+            let gb = 2.0 * (ps.value(b).data()[0] + 1.0);
+            let mut grads = HashMap::new();
+            grads.insert(w, Tensor::from_vec(vec![gw], &[1]));
+            grads.insert(b, Tensor::from_vec(vec![gb], &[1]));
+            opt.step(ps, &grads);
+        }
+    }
+
+    fn two_param_store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::zeros(&[1]));
+        ps.register("b", Tensor::zeros(&[1]));
+        ps
+    }
+
+    #[test]
+    fn adam_state_roundtrip_continues_bit_for_bit() {
+        // Reference: 10 uninterrupted steps.
+        let mut ps_ref = two_param_store();
+        let mut opt_ref = Adam::new(0.05).with_weight_decay(0.01);
+        descend(&mut ps_ref, &mut opt_ref, 10);
+
+        // Interrupted: 4 steps, export, rebuild a *fresh* optimizer with
+        // different hypers, import, 6 more steps.
+        let mut ps = two_param_store();
+        let mut opt = Adam::new(0.05).with_weight_decay(0.01);
+        descend(&mut ps, &mut opt, 4);
+        let state = opt.export_state(&ps);
+        assert_eq!(state.kind, "adam");
+        assert_eq!(state.step, 4);
+        let mut resumed = Adam::new(0.9); // wrong lr on purpose — import fixes it
+        resumed.import_state(&ps, &state).unwrap();
+        descend(&mut ps, &mut resumed, 6);
+
+        assert_eq!(ps_ref.to_json(), ps.to_json(), "trajectories must match");
+        assert_eq!(resumed.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn sgd_momentum_state_roundtrip_continues_bit_for_bit() {
+        let mut ps_ref = two_param_store();
+        let mut opt_ref = Sgd::with_momentum(0.01, 0.9);
+        descend(&mut ps_ref, &mut opt_ref, 10);
+
+        let mut ps = two_param_store();
+        let mut opt = Sgd::with_momentum(0.01, 0.9);
+        descend(&mut ps, &mut opt, 7);
+        let state = opt.export_state(&ps);
+        let mut resumed = Sgd::new(1.0);
+        resumed.import_state(&ps, &state).unwrap();
+        descend(&mut ps, &mut resumed, 3);
+
+        assert_eq!(ps_ref.to_json(), ps.to_json());
+    }
+
+    #[test]
+    fn import_rejects_wrong_kind_shape_and_nonfinite_moments() {
+        let mut ps = two_param_store();
+        let mut adam = Adam::new(0.05);
+        descend(&mut ps, &mut adam, 2);
+        let state = adam.export_state(&ps);
+
+        // Kind mismatch.
+        let err = Sgd::new(0.05).import_state(&ps, &state).unwrap_err();
+        assert!(err.contains("\"adam\""), "{err}");
+
+        // Shape mismatch.
+        let mut bad = state.clone();
+        bad.slots[0].shape = vec![2];
+        bad.slots[0].data = vec![0.0, 0.0];
+        let err = Adam::new(0.05).import_state(&ps, &bad).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+
+        // Unknown parameter.
+        let mut bad = state.clone();
+        bad.slots[0].param = "ghost".to_string();
+        let err = Adam::new(0.05).import_state(&ps, &bad).unwrap_err();
+        assert!(err.contains("unknown parameter"), "{err}");
+
+        // NaN moment buffers must be refused, not resumed from.
+        let mut bad = state.clone();
+        bad.slots[0].data[0] = f32::NAN;
+        let err = Adam::new(0.05).import_state(&ps, &bad).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+
+        // A failed import must not have clobbered the target's state.
+        let mut target = Adam::new(0.07);
+        assert!(target.import_state(&ps, &bad).is_err());
+        assert_eq!(target.learning_rate(), 0.07);
     }
 
     #[test]

@@ -139,6 +139,20 @@ impl ParamStore {
     /// unknown names, missing names or shape mismatches, leaving the store
     /// partially updated only on success (validation happens first).
     pub fn load_json(&mut self, json: &str) -> Result<(), String> {
+        self.load_json_impl(json, false)
+    }
+
+    /// Like [`ParamStore::load_json`], but additionally rejects checkpoints
+    /// containing NaN/Inf values. Durable-checkpoint resume and model-file
+    /// loading go through this path — silently training from poisoned
+    /// weights is the failure mode the fault-tolerance layer exists to
+    /// prevent. (The plain loader stays lenient: the trainer's in-memory
+    /// best-epoch restore must work even for runs that later diverged.)
+    pub fn load_json_strict(&mut self, json: &str) -> Result<(), String> {
+        self.load_json_impl(json, true)
+    }
+
+    fn load_json_impl(&mut self, json: &str, reject_non_finite: bool) -> Result<(), String> {
         let records: Vec<ParamRecord> =
             serde_json::from_str(json).map_err(|e| format!("checkpoint parse error: {e}"))?;
         // Validate everything before mutating anything.
@@ -158,6 +172,16 @@ impl ParamStore {
                     self.values[idx].shape(),
                     rec.shape
                 ));
+            }
+            if reject_non_finite {
+                let bad = rec.data.iter().filter(|x| !x.is_finite()).count();
+                if bad > 0 {
+                    return Err(format!(
+                        "parameter {:?} contains {bad} non-finite value(s) — \
+                         refusing to load NaN/Inf weights",
+                        rec.name
+                    ));
+                }
             }
             let t = Tensor::try_from_vec(rec.data.clone(), &rec.shape)
                 .map_err(|e| format!("parameter {:?}: {e}", rec.name))?;
@@ -236,6 +260,21 @@ mod tests {
         b.register("w", Tensor::ones(&[2]));
         b.register("extra", Tensor::ones(&[1]));
         assert!(b.load_json(&json).is_err());
+    }
+
+    #[test]
+    fn strict_load_rejects_non_finite_values() {
+        // 1e39 overflows f32 to +Inf during deserialization; the lenient
+        // loader accepts it (in-memory best-epoch restore must not fail on
+        // a diverged run), the strict one refuses with a clear message.
+        let json = r#"[{"name":"w","shape":[1],"data":[1e39]}]"#;
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Tensor::zeros(&[1]));
+        let err = ps.load_json_strict(json).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        assert_eq!(ps.value(id).data(), &[0.0], "store untouched on error");
+        ps.load_json(json).unwrap();
+        assert!(ps.value(id).data()[0].is_infinite());
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! Mini-batch training loop with optional shard-parallel gradients and
-//! validation-based early stopping.
+//! Mini-batch training loop with optional shard-parallel gradients,
+//! validation-based early stopping, durable checkpoint/resume and
+//! health-triggered auto-recovery.
 
-use crate::optim::{clip_global_norm, Optimizer};
+use crate::checkpoint::{scan_resume, Checkpoint, CheckpointConfig};
+use crate::faults;
+use crate::optim::{clip_global_norm, Optimizer, OptimizerState};
 use crate::params::ParamStore;
 use elda_autodiff::ParamId;
 use elda_obs::{HealthConfig, HealthMonitor, HealthStatus, Incident, TensorStats};
@@ -34,8 +37,16 @@ pub struct TrainConfig {
     /// Health-monitoring thresholds; `Some` turns on per-epoch loss /
     /// gradient-norm / update-ratio / parameter-stats checks and the
     /// autodiff non-finite sentinel. `None` (the default) keeps training
-    /// entirely un-monitored.
+    /// entirely un-monitored — unless `recovery` is set, which arms the
+    /// monitor with default thresholds (recovery consumes its verdicts).
     pub health: Option<HealthConfig>,
+    /// Durable checkpointing (write every N epochs + on best-val
+    /// improvement, resume from the newest intact file). `None` keeps
+    /// training purely in-memory.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Health-triggered auto-recovery: roll back to the last good state
+    /// and retry with a lowered learning rate when an epoch goes bad.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for TrainConfig {
@@ -49,7 +60,84 @@ impl Default for TrainConfig {
             patience: Some(5),
             verbose: false,
             health: None,
+            checkpoint: None,
+            recovery: None,
         }
+    }
+}
+
+/// What [`Trainer::fit`] does when the health monitor (or a non-finite
+/// mean loss) condemns an epoch: restore the last good parameters and
+/// optimizer state, multiply the learning rate by `lr_factor`, and retry
+/// the same epoch — at most `max_retries` times per run and never below
+/// `min_lr`.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Total rollbacks allowed per run.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on each rollback (backoff).
+    pub lr_factor: f32,
+    /// Give up instead of retrying below this learning rate.
+    pub min_lr: f32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            lr_factor: 0.5,
+            min_lr: 1e-6,
+        }
+    }
+}
+
+/// One recovery rollback, as recorded by [`Trainer::fit`] and emitted as a
+/// `recovery` trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// The epoch whose attempt was condemned and retried.
+    pub epoch: usize,
+    /// Last good epoch rolled back to (`None` = the pre-training state).
+    pub rollback_to: Option<usize>,
+    /// Learning rate before the backoff.
+    pub old_lr: f32,
+    /// Learning rate after the backoff.
+    pub new_lr: f32,
+    /// 1-based rollback count within the run.
+    pub retry: usize,
+    /// What condemned the epoch (non-finite loss or a health verdict).
+    pub cause: String,
+}
+
+impl RecoveryEvent {
+    /// Builds the `recovery` trace event for this rollback.
+    pub fn to_event(&self) -> elda_obs::TraceEvent {
+        let mut ev = elda_obs::TraceEvent::new("recovery")
+            .with("epoch", self.epoch)
+            .with("retry", self.retry)
+            .with("old_lr", self.old_lr)
+            .with("new_lr", self.new_lr)
+            .with("cause", self.cause.as_str());
+        if let Some(to) = self.rollback_to {
+            ev = ev.with("rollback_to", to);
+        }
+        ev
+    }
+
+    /// Reads a rollback back from a `recovery` trace event (the inverse of
+    /// [`RecoveryEvent::to_event`]); `None` for other event kinds.
+    pub fn from_event(ev: &elda_obs::TraceEvent) -> Option<RecoveryEvent> {
+        if ev.kind != "recovery" {
+            return None;
+        }
+        Some(RecoveryEvent {
+            epoch: ev.num("epoch")? as usize,
+            rollback_to: ev.num("rollback_to").map(|e| e as usize),
+            old_lr: ev.num("old_lr")? as f32,
+            new_lr: ev.num("new_lr")? as f32,
+            retry: ev.num("retry")? as usize,
+            cause: ev.str_field("cause").unwrap_or_default().to_string(),
+        })
     }
 }
 
@@ -96,16 +184,31 @@ pub struct Trainer {
     /// Present when [`TrainConfig::health`] is set. Mutex-wrapped because
     /// `run_epoch` takes `&self`; only end-of-epoch code locks it.
     monitor: Option<Mutex<HealthMonitor>>,
+    /// Rollbacks performed by [`Trainer::fit`]'s recovery policy.
+    recoveries: Mutex<Vec<RecoveryEvent>>,
 }
 
 impl Trainer {
-    /// A trainer with the given configuration.
+    /// A trainer with the given configuration. A recovery policy without
+    /// explicit health thresholds arms the monitor with defaults — recovery
+    /// is driven by its verdicts.
     pub fn new(cfg: TrainConfig) -> Self {
         let monitor = cfg
             .health
             .clone()
+            .or_else(|| cfg.recovery.as_ref().map(|_| HealthConfig::default()))
             .map(|hc| Mutex::new(HealthMonitor::new(hc)));
-        Trainer { cfg, monitor }
+        Trainer {
+            cfg,
+            monitor,
+            recoveries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Recovery rollbacks performed so far (empty without a
+    /// [`TrainConfig::recovery`] policy or when nothing went wrong).
+    pub fn recoveries(&self) -> Vec<RecoveryEvent> {
+        self.recoveries.lock().expect("recovery log lock").clone()
     }
 
     /// The active configuration.
@@ -174,8 +277,10 @@ impl Trainer {
         let mut total_norm = 0.0f64;
         let mut batches = 0usize;
         for batch in indices.chunks(self.cfg.batch_size) {
+            faults::maybe_crash(epoch, batches);
             let batch_start = profiling.then(Instant::now);
             let (loss, mut grads) = self.batch_gradients(ps, batch, loss_fn);
+            faults::maybe_corrupt_grads(epoch, &mut grads);
             if monitoring {
                 // Pre-clip per-parameter norms: clipping caps the global
                 // norm, so post-clip values could never reveal an explosion.
@@ -347,6 +452,14 @@ impl Trainer {
     /// after each (higher is better), keeping the best checkpoint and
     /// restoring it at the end. Stops early after `cfg.patience` epochs
     /// without improvement. Returns `(epoch stats, best validation score)`.
+    ///
+    /// With [`TrainConfig::checkpoint`] set, the full training state is
+    /// written durably every `every` epochs and on each best-val
+    /// improvement; with `resume` also set, training continues bit-for-bit
+    /// from the newest intact checkpoint (corrupt files are skipped with a
+    /// warning). With [`TrainConfig::recovery`] set, an epoch condemned by
+    /// the health monitor (or a non-finite mean loss) is rolled back to the
+    /// last good state and retried with a lowered learning rate.
     pub fn fit(
         &self,
         ps: &mut ParamStore,
@@ -359,9 +472,62 @@ impl Trainer {
         let mut best_score = f32::NEG_INFINITY;
         let mut best_checkpoint: Option<String> = None;
         let mut stale = 0usize;
-        for epoch in 0..self.cfg.epochs {
+        let mut start_epoch = 0usize;
+
+        if let Some(ck) = self.cfg.checkpoint.as_ref().filter(|ck| ck.resume) {
+            let scan = scan_resume(&ck.dir, &ck.fingerprint)
+                .unwrap_or_else(|e| panic!("cannot resume: {e}"));
+            for warning in &scan.skipped {
+                eprintln!("warning: skipping checkpoint: {warning}");
+            }
+            if let Some((ckpt, path)) = scan.found {
+                ckpt.apply(ps, opt).unwrap_or_else(|e| {
+                    panic!("cannot resume from {}: {e}", path.display());
+                });
+                start_epoch = ckpt.epoch + 1;
+                best_score = ckpt.best_score.unwrap_or(f32::NEG_INFINITY);
+                stale = ckpt.stale;
+                best_checkpoint = ckpt.best_params_json();
+                if self.cfg.verbose {
+                    eprintln!(
+                        "resuming from {} (epoch {}, lr {:.2e})",
+                        path.display(),
+                        ckpt.epoch,
+                        opt.learning_rate()
+                    );
+                }
+            } else if self.cfg.verbose {
+                eprintln!(
+                    "no intact checkpoint in {} — starting from scratch",
+                    ck.dir.display()
+                );
+            }
+        }
+
+        // In-memory rollback point for recovery: (params, optimizer state,
+        // last good epoch). Maintained only when a policy is configured —
+        // snapshotting every epoch is not free.
+        let mut last_good: Option<(String, OptimizerState, Option<usize>)> = self
+            .cfg
+            .recovery
+            .as_ref()
+            .map(|_| (ps.to_json(), opt.export_state(ps), start_epoch.checked_sub(1)));
+        let mut retries_used = 0usize;
+
+        let mut epoch = start_epoch;
+        while epoch < self.cfg.epochs {
             let stats = self.run_epoch(ps, opt, n_samples, epoch, loss_fn);
-            history.push(stats);
+            let verdict = stats.health.unwrap_or(HealthStatus::Healthy);
+            let condemned = !stats.mean_loss.is_finite() || verdict >= HealthStatus::Diverging;
+            if condemned {
+                if let Some(policy) = &self.cfg.recovery {
+                    if self.try_rollback(ps, opt, policy, &stats, last_good.as_ref(), &mut retries_used)
+                    {
+                        continue; // retry the same epoch at the lowered lr
+                    }
+                }
+            }
+            history.push(stats.clone());
             let score = val_fn(ps);
             if elda_obs::enabled() {
                 elda_obs::emit(
@@ -376,23 +542,133 @@ impl Trainer {
                     .expect("health monitor lock")
                     .observe_val(epoch, score);
             }
-            if score > best_score {
+            let improved = score > best_score;
+            if improved {
                 best_score = score;
                 best_checkpoint = Some(ps.to_json());
                 stale = 0;
             } else {
                 stale += 1;
+            }
+            if let Some(ck) = &self.cfg.checkpoint {
+                let periodic = ck.every > 0 && (epoch + 1) % ck.every == 0;
+                // Never checkpoint a condemned epoch (recovery off or
+                // exhausted): a durable file full of NaN weights could not
+                // be resumed from anyway.
+                if (periodic || improved) && !condemned {
+                    let ckpt = Checkpoint::capture(
+                        ps,
+                        &*opt,
+                        epoch,
+                        ck,
+                        self.cfg.shuffle_seed,
+                        best_score,
+                        stale,
+                        best_checkpoint.as_deref(),
+                    );
+                    match ckpt.save(ck) {
+                        Ok(path) => {
+                            if self.cfg.verbose {
+                                eprintln!("checkpoint written: {}", path.display());
+                            }
+                        }
+                        // Checkpointing failures degrade durability, not
+                        // training — warn and continue.
+                        Err(e) => eprintln!("warning: checkpoint write failed: {e}"),
+                    }
+                }
+            }
+            if !condemned {
+                if let Some(slot) = last_good.as_mut() {
+                    *slot = (ps.to_json(), opt.export_state(ps), Some(epoch));
+                }
+            }
+            if !improved {
                 if let Some(patience) = self.cfg.patience {
                     if stale >= patience {
                         break;
                     }
                 }
             }
+            epoch += 1;
         }
         if let Some(ckpt) = best_checkpoint {
             ps.load_json(&ckpt).expect("restoring best checkpoint");
         }
         (history, best_score)
+    }
+
+    /// Attempts one recovery rollback for a condemned epoch. Returns true
+    /// when the rollback happened (the caller retries the epoch), false
+    /// when the retry budget or learning-rate floor is exhausted.
+    fn try_rollback(
+        &self,
+        ps: &mut ParamStore,
+        opt: &mut dyn Optimizer,
+        policy: &RecoveryPolicy,
+        stats: &EpochStats,
+        last_good: Option<&(String, OptimizerState, Option<usize>)>,
+        retries_used: &mut usize,
+    ) -> bool {
+        let Some((params, opt_state, good_epoch)) = last_good else {
+            return false;
+        };
+        let old_lr = opt.learning_rate();
+        let new_lr = old_lr * policy.lr_factor;
+        if *retries_used >= policy.max_retries || new_lr < policy.min_lr {
+            eprintln!(
+                "warning: epoch {} unhealthy but recovery exhausted \
+                 ({} retries used, lr {old_lr:.2e})",
+                stats.epoch, retries_used
+            );
+            return false;
+        }
+        *retries_used += 1;
+        ps.load_json(params)
+            .expect("recovery rollback: last-good params must load");
+        opt.import_state(ps, opt_state)
+            .expect("recovery rollback: last-good optimizer state must load");
+        opt.set_learning_rate(new_lr);
+        let cause = if !stats.mean_loss.is_finite() {
+            format!("non-finite mean loss {}", stats.mean_loss)
+        } else {
+            format!(
+                "health verdict {}",
+                stats.health.unwrap_or(HealthStatus::Healthy).key()
+            )
+        };
+        let event = RecoveryEvent {
+            epoch: stats.epoch,
+            rollback_to: *good_epoch,
+            old_lr,
+            new_lr,
+            retry: *retries_used,
+            cause,
+        };
+        elda_obs::emit(&event.to_event());
+        if self.cfg.verbose {
+            eprintln!(
+                "recovery: epoch {} condemned ({}); rolled back to {} \
+                 and retrying at lr {new_lr:.2e}",
+                event.epoch,
+                event.cause,
+                match event.rollback_to {
+                    Some(e) => format!("epoch {e}"),
+                    None => "the initial state".to_string(),
+                }
+            );
+        }
+        if let Some(monitor) = &self.monitor {
+            monitor
+                .lock()
+                .expect("health monitor lock")
+                .begin_retry(event.epoch);
+        }
+        self.recoveries
+            .lock()
+            .expect("recovery log lock")
+            .push(event);
+        true
     }
 }
 
@@ -400,6 +676,7 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::optim::Adam;
+    use crate::FaultPlan;
     use elda_autodiff::Tape;
 
     /// Builds a linearly separable 2-feature dataset and a logistic
@@ -646,6 +923,142 @@ mod tests {
         assert_eq!(best, 10.0);
         // The store must equal the epoch-3 (index 2) snapshot.
         assert_eq!(ps.to_json(), snapshots[2]);
+    }
+
+    /// Deterministic validation scorer: negative full-dataset loss, so the
+    /// interrupted and uninterrupted runs see identical scores.
+    fn full_loss_score(ps: &ParamStore, xs: &[Tensor], ys: &[f32]) -> f32 {
+        let all: Vec<usize> = (0..xs.len()).collect();
+        -logistic_loss(ps, &all, xs, ys).0
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("elda-train-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    // Checkpoint/recovery scenarios share the process-global fault plan (and
+    // partly the autodiff sentinel), so they run inside ONE test fn.
+    #[test]
+    fn resume_is_bit_for_bit_and_recovery_rolls_back() {
+        // --- Uninterrupted reference: 6 epochs, no checkpointing. --------
+        let (mut ps_ref, xs, ys) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            patience: None,
+            ..Default::default()
+        };
+        let trainer = Trainer::new(cfg.clone());
+        let mut opt_ref = Adam::new(0.05);
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        let (hist_ref, best_ref) =
+            trainer.fit(&mut ps_ref, &mut opt_ref, xs.len(), &loss_fn, &mut |ps| {
+                full_loss_score(ps, &xs, &ys)
+            });
+
+        // --- Interrupted run: 3 epochs with checkpoints, then a fresh
+        // trainer/store/optimizer resumes to 6. ---------------------------
+        let dir = ckpt_dir("resume");
+        let (mut ps, _, _) = toy_problem();
+        let partial = Trainer::new(TrainConfig {
+            epochs: 3,
+            checkpoint: Some(CheckpointConfig::new(&dir, "fp-toy")),
+            ..cfg.clone()
+        });
+        let mut opt = Adam::new(0.05);
+        partial.fit(&mut ps, &mut opt, xs.len(), &loss_fn, &mut |ps| {
+            full_loss_score(ps, &xs, &ys)
+        });
+
+        let (mut ps2, _, _) = toy_problem();
+        let mut opt2 = Adam::new(0.05);
+        let resumed = Trainer::new(TrainConfig {
+            epochs: 6,
+            checkpoint: Some(CheckpointConfig {
+                resume: true,
+                ..CheckpointConfig::new(&dir, "fp-toy")
+            }),
+            ..cfg.clone()
+        });
+        let (hist, best) = resumed.fit(&mut ps2, &mut opt2, xs.len(), &loss_fn, &mut |ps| {
+            full_loss_score(ps, &xs, &ys)
+        });
+
+        assert_eq!(hist.len(), 3, "resume continues at epoch 3");
+        assert_eq!(hist[0].epoch, 3);
+        assert_eq!(best, best_ref, "best score must match the reference");
+        assert_eq!(
+            ps2.to_json(),
+            ps_ref.to_json(),
+            "resumed parameters must be bit-for-bit identical"
+        );
+        // Losses of the overlapping epochs match exactly too.
+        for (a, b) in hist_ref[3..].iter().zip(&hist) {
+            assert_eq!(a.mean_loss, b.mean_loss, "epoch {}", b.epoch);
+        }
+
+        // --- Resume skips a corrupt newest checkpoint. -------------------
+        // Corrupt every file except the oldest; resume must fall back to it.
+        let mut epochs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        epochs.sort();
+        for path in &epochs[1..] {
+            let text = std::fs::read_to_string(path).unwrap();
+            std::fs::write(path, &text[..text.len() / 2]).unwrap();
+        }
+        let scan = crate::checkpoint::scan_resume(&dir, "fp-toy").unwrap();
+        let (found, _) = scan.found.expect("oldest checkpoint still intact");
+        assert_eq!(scan.skipped.len(), epochs.len() - 1);
+        assert!(found.epoch < 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // --- Recovery: NaN gradients at epoch 2 trigger a rollback. ------
+        faults::install(FaultPlan::parse("nan_grad@2").unwrap());
+        let (mut ps, xs, ys) = toy_problem();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            patience: None,
+            recovery: Some(RecoveryPolicy::default()),
+            ..Default::default()
+        });
+        let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
+        let mut opt = Adam::new(0.05);
+        let (hist, _) = trainer.fit(&mut ps, &mut opt, xs.len(), &loss_fn, &mut |ps| {
+            full_loss_score(ps, &xs, &ys)
+        });
+        faults::clear();
+        let recoveries = trainer.recoveries();
+        assert_eq!(recoveries.len(), 1, "{recoveries:?}");
+        assert_eq!(recoveries[0].epoch, 2);
+        assert_eq!(recoveries[0].rollback_to, Some(1));
+        assert!(recoveries[0].new_lr < recoveries[0].old_lr);
+        assert_eq!(opt.learning_rate(), 0.025, "lr halved once");
+        assert_eq!(hist.len(), 5, "all epochs completed after the retry");
+        assert!(
+            hist.iter().all(|s| s.mean_loss.is_finite()),
+            "recorded history contains only the healthy attempts: {hist:?}"
+        );
+        for p in ps.iter() {
+            assert!(
+                p.value.data().iter().all(|x| x.is_finite()),
+                "weights must end finite"
+            );
+        }
+        // The recovery event round-trips through the trace schema.
+        let ev = recoveries[0].to_event();
+        let parsed = elda_obs::parse_json_line(&ev.to_json()).unwrap();
+        assert_eq!(RecoveryEvent::from_event(&parsed), Some(recoveries[0].clone()));
+
+        // --- Recovery budget: unrecoverable divergence gives up. ---------
+        faults::clear();
+        elda_autodiff::sentinel::set_enabled(false);
+        elda_autodiff::sentinel::clear();
     }
 
     #[test]

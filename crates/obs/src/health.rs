@@ -447,6 +447,22 @@ impl HealthMonitor {
         self.incidents.push(incident);
     }
 
+    /// Rearms the monitor for a retry of `epoch` after a recovery rollback.
+    ///
+    /// Drops the incidents recorded for that epoch (the failed attempt is
+    /// preserved in the trace stream and in the trainer's recovery log) and
+    /// clears the per-run dedup plus streak counters, so that a *repeat*
+    /// failure of the same kind is flagged again instead of being swallowed
+    /// by the once-per-run reporting. Without this, a retried epoch would
+    /// inherit the failed attempt's verdict via [`HealthMonitor::status_at`]
+    /// and recovery would loop forever.
+    pub fn begin_retry(&mut self, epoch: usize) {
+        self.incidents.retain(|i| i.epoch != epoch);
+        self.reported.clear();
+        self.rising = 0;
+        self.dead_streaks.clear();
+    }
+
     /// All incidents recorded so far, in observation order.
     pub fn incidents(&self) -> &[Incident] {
         &self.incidents
@@ -608,6 +624,22 @@ mod tests {
         assert_eq!(inc.subject, "fwd.matmul");
         assert!(inc.detail.contains("(64x37),(37x16)"));
         assert_eq!(m.status_at(4), HealthStatus::NonFinite);
+    }
+
+    #[test]
+    fn begin_retry_rearms_dedup_and_drops_the_failed_attempt() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        m.observe_loss(3, f32::NAN);
+        assert_eq!(m.status_at(3), HealthStatus::NonFinite);
+        m.begin_retry(3);
+        // The failed attempt no longer poisons the retried epoch's verdict.
+        assert_eq!(m.status_at(3), HealthStatus::Healthy);
+        assert!(m.healthy());
+        // A repeat failure at the same epoch is reported again (dedup was
+        // cleared), so a second recovery can trigger.
+        m.observe_loss(3, f32::NAN);
+        assert_eq!(m.status_at(3), HealthStatus::NonFinite);
+        assert_eq!(m.incidents().len(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | `health` | `elda-obs::health` | `epoch`, `status`, `subject`, `detail` |
 //! | `tensor_stats` | `elda-nn::train` | `epoch`, `name`, `n`, `nan`, `inf`, `min`, `max`, `mean`, `std`, `hist` |
 //! | `attention` | `elda-nn::train` (stats from `elda-core`) | `epoch`, `name`, `mean`, `min`, `max`, `n` |
+//! | `recovery` | `elda-nn::train` | `epoch`, `retry`, `old_lr`, `new_lr`, `cause`, optional `rollback_to` |
 
 use std::fmt::Write as _;
 use std::fs::File;

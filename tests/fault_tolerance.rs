@@ -1,0 +1,147 @@
+//! Fault-tolerance drills over the full framework stack: a training run
+//! killed mid-epoch resumes from its durable checkpoints to exactly the
+//! state an uninterrupted run reaches, corrupt checkpoint files are skipped
+//! with a warning, and NaN-gradient faults trigger rollback + learning-rate
+//! backoff instead of shipping non-finite weights.
+//!
+//! Everything lives in one test fn: the fault plan is process-global, so
+//! scenarios must not interleave.
+
+use elda_core::framework::{CheckpointOptions, FitConfig};
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::{Cohort, CohortConfig, Task};
+use elda_nn::{faults, FaultPlan, RecoveryPolicy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn tiny_cfg(t_len: usize) -> EldaConfig {
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    cfg
+}
+
+fn fit_cfg(epochs: usize) -> FitConfig {
+    FitConfig {
+        epochs,
+        batch_size: 16,
+        threads: 1,
+        patience: None,
+        seed: 0,
+        ..Default::default()
+    }
+}
+
+fn fresh(cohort_t_len: usize) -> Elda {
+    Elda::with_config(tiny_cfg(cohort_t_len), Task::Mortality, 7)
+}
+
+#[test]
+fn kill_at_epoch_k_resume_and_auto_recovery_drill() {
+    let tmp: PathBuf = std::env::temp_dir().join(format!("elda-ft-{}", std::process::id()));
+    let ckpts = tmp.join("ckpts");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let mut cc = CohortConfig::small(40, 13);
+    cc.t_len = 6;
+    let cohort = Cohort::generate(cc);
+
+    // --- Uninterrupted reference: 5 epochs, no faults. --------------------
+    let mut reference = fresh(6);
+    let ref_report = reference.fit(&cohort, &fit_cfg(5));
+    let probe = &cohort.patients[2];
+    let ref_risk = reference.predict_proba(probe);
+
+    // --- Kill at epoch 2: an injected mid-epoch panic takes the run down
+    // after one optimizer step of epoch 2; checkpoints for epochs 0 and 1
+    // are already durable on disk. ----------------------------------------
+    faults::install(FaultPlan::parse("panic@2").unwrap());
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        let mut elda = fresh(6);
+        let mut cfg = fit_cfg(5);
+        cfg.checkpoint = Some(CheckpointOptions::new(&ckpts));
+        elda.fit(&cohort, &cfg);
+    }));
+    assert!(crashed.is_err(), "injected panic did not fire");
+    faults::clear();
+    assert!(
+        ckpts.join("ckpt-00001.json").exists(),
+        "no durable checkpoint survived the crash"
+    );
+
+    // --- Resume: a brand-new instance (fresh weights, fresh optimizer, as
+    // after a process restart) must land bit-for-bit on the reference. ----
+    let mut resumed = fresh(6);
+    let mut cfg = fit_cfg(5);
+    cfg.checkpoint = Some(CheckpointOptions {
+        resume: true,
+        ..CheckpointOptions::new(&ckpts)
+    });
+    let report = resumed.fit(&cohort, &cfg);
+    assert_eq!(report.epochs_run, 3, "resume should run epochs 2..5 only");
+    assert_eq!(report.val_auc_pr, ref_report.val_auc_pr);
+    assert_eq!(
+        resumed.params().to_json(),
+        reference.params().to_json(),
+        "killed-and-resumed weights diverged from the uninterrupted run"
+    );
+    assert_eq!(resumed.predict_proba(probe), ref_risk);
+    assert!(
+        (report.test.bce - ref_report.test.bce).abs() == 0.0,
+        "final test loss differs: {} vs {}",
+        report.test.bce,
+        ref_report.test.bce
+    );
+
+    // --- Corrupt checkpoints are skipped, not trusted: truncate the newest
+    // file; resume falls back to the previous epoch, replays it, and still
+    // reaches the identical final state. ----------------------------------
+    let newest = ckpts.join("ckpt-00004.json");
+    let text = std::fs::read_to_string(&newest).unwrap();
+    std::fs::write(&newest, &text[..text.len() / 2]).unwrap();
+    let mut resumed2 = fresh(6);
+    let mut cfg = fit_cfg(5);
+    cfg.checkpoint = Some(CheckpointOptions {
+        resume: true,
+        ..CheckpointOptions::new(&ckpts)
+    });
+    let report2 = resumed2.fit(&cohort, &cfg);
+    assert_eq!(
+        report2.epochs_run, 1,
+        "should fall back to the epoch-3 checkpoint and replay epoch 4"
+    );
+    assert_eq!(
+        resumed2.params().to_json(),
+        reference.params().to_json(),
+        "resume after checkpoint corruption diverged"
+    );
+
+    // --- NaN gradients auto-recover: rollback + halved lr, finite model. --
+    faults::install(FaultPlan::parse("nan_grad@1").unwrap());
+    let mut recovered = fresh(6);
+    let mut cfg = fit_cfg(3);
+    cfg.recovery = Some(RecoveryPolicy::default());
+    let report = recovered.fit(&cohort, &cfg);
+    faults::clear();
+    elda_autodiff::sentinel::set_enabled(false);
+    elda_autodiff::sentinel::clear();
+
+    assert_eq!(report.recoveries.len(), 1, "{:?}", report.recoveries);
+    let r = &report.recoveries[0];
+    assert_eq!(r.epoch, 1);
+    assert_eq!(r.rollback_to, Some(0));
+    assert_eq!(r.new_lr, r.old_lr * 0.5);
+    assert_eq!(report.epochs_run, 3, "condemned attempt must be retried");
+    let risk = recovered.predict_proba(probe);
+    assert!(risk.is_finite(), "recovered model predicts non-finite risk");
+    assert!(
+        recovered
+            .params()
+            .iter()
+            .all(|p| p.value.data().iter().all(|x| x.is_finite())),
+        "non-finite weights survived auto-recovery"
+    );
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
