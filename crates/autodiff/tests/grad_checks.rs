@@ -127,6 +127,68 @@ fn matmul_batched_shared_rhs_grads() {
     );
 }
 
+/// Batched matmul big enough that every slice routes through the packed
+/// cache-blocked microkernel (`m*k*n >= MATMUL_BLOCKED_MIN_FLOPS`) instead
+/// of the naive loop the small-shape tests above exercise.
+#[test]
+fn matmul_batched_blocked_kernel_grads() {
+    const _: () = assert!(
+        16 * 32 * 64 >= elda_tensor::ops::MATMUL_BLOCKED_MIN_FLOPS,
+        "shape no longer crosses the blocked-dispatch threshold"
+    );
+    // Shared rank-2 rhs: forward packs the rhs once for all slices.
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.matmul_batched(v[0], v[1]);
+            let sq = t.square(s);
+            t.mean_all(sq)
+        },
+        &[signed(&[1, 16, 32], 50), signed(&[32, 64], 51)],
+        H,
+        TOL,
+    );
+    // Per-batch rank-3 rhs: forward uses the serial blocked kernel per slice.
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let s = t.matmul_batched(v[0], v[1]);
+            let sq = t.square(s);
+            t.mean_all(sq)
+        },
+        &[signed(&[1, 16, 32], 52), signed(&[1, 32, 64], 53)],
+        H,
+        TOL,
+    );
+}
+
+/// Softmax backward routed through the row-parallel forward kernel: the
+/// softmax input has `>= SOFTMAX_PAR_MIN_LEN` elements, so the forward
+/// (both in the analytic pass and in every finite-difference evaluation)
+/// takes the pool-parallel path. The leaf stays small — it is tiled up by
+/// concatenation, whose gradient accumulates across the copies — so the
+/// per-element central differences stay tractable and well-conditioned.
+#[test]
+fn softmax_parallel_kernel_grads() {
+    const COPIES: usize = 512;
+    const _: () = assert!(
+        COPIES * 8 * 4 >= elda_tensor::ops::SOFTMAX_PAR_MIN_LEN,
+        "shape no longer crosses the softmax parallel threshold"
+    );
+    assert_grad_check(
+        &|t: &mut Tape, v: &[Var]| {
+            let copies = vec![v[0]; COPIES];
+            let big = t.concat(&copies, 0); // [4096, 4]
+            let s = t.softmax_lastdim(big);
+            // weighted mean so the gradient is non-trivial per element
+            let w = t.constant(Tensor::arange(4).add_scalar(1.0).reshape(&[1, 4]));
+            let ws = t.mul(s, w);
+            t.mean_all(ws)
+        },
+        &[signed(&[8, 4], 54)],
+        H,
+        TOL,
+    );
+}
+
 #[test]
 fn unary_map_grads() {
     // exp, ln, sqrt, square, sigmoid, tanh, neg chained through sums

@@ -1,0 +1,211 @@
+//! Kernel micro-benchmarks: optimized (blocked/parallel) tensor kernels
+//! against their `*_naive` oracles across shapes and thread counts.
+//!
+//! Writes a JSON report (default `BENCH_kernels.json`, override with
+//! `--json PATH`) with per-configuration wall times, GFLOP/s for the
+//! matmul family, and the optimized-over-naive speedup. `--quick` shrinks
+//! the shape set and measurement budget for CI smoke runs.
+//!
+//! ```text
+//! cargo run --release --bin bench_kernels -- [--quick] [--json PATH]
+//! ```
+
+use elda_bench::Cli;
+use elda_tensor::{pool, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Mean wall milliseconds per call: one warmup call, then repeats until the
+/// budget is spent (or the rep cap is hit) so fast kernels are averaged
+/// over many calls while slow ones don't blow up the run time.
+fn time_ms(budget_s: f64, max_reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: page in operands, prime the pool
+    let start = Instant::now();
+    let mut reps = 0usize;
+    loop {
+        f();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_s || reps >= max_reps {
+            return elapsed * 1e3 / reps as f64;
+        }
+    }
+}
+
+struct Case {
+    kernel: &'static str,
+    shape: Vec<usize>,
+    /// Multiply-add-counted flops per call (0 = not flop-meaningful).
+    flops: usize,
+    opt: Box<dyn FnMut()>,
+    naive: Box<dyn FnMut()>,
+}
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(dims, -1.0, 1.0, &mut rng)
+}
+
+fn matmul_case(m: usize, k: usize, n: usize) -> Case {
+    let a = rand_tensor(&[m, k], 1);
+    let b = rand_tensor(&[k, n], 2);
+    let (a2, b2) = (a.clone(), b.clone());
+    Case {
+        kernel: "matmul",
+        shape: vec![m, k, n],
+        flops: 2 * m * k * n,
+        opt: Box::new(move || {
+            std::hint::black_box(a.matmul(&b));
+        }),
+        naive: Box::new(move || {
+            std::hint::black_box(a2.matmul_naive(&b2));
+        }),
+    }
+}
+
+fn matmul_batched_case(b: usize, m: usize, k: usize, n: usize) -> Case {
+    let lhs = rand_tensor(&[b, m, k], 3);
+    let rhs = rand_tensor(&[k, n], 4); // shared rhs: the hot model path
+    let (l2, r2) = (lhs.clone(), rhs.clone());
+    Case {
+        kernel: "matmul_batched",
+        shape: vec![b, m, k, n],
+        flops: 2 * b * m * k * n,
+        opt: Box::new(move || {
+            std::hint::black_box(lhs.matmul_batched(&rhs));
+        }),
+        naive: Box::new(move || {
+            std::hint::black_box(l2.matmul_batched_naive(&r2));
+        }),
+    }
+}
+
+fn elementwise_case(len: usize) -> Case {
+    let a = rand_tensor(&[len], 5);
+    let b = rand_tensor(&[len], 6);
+    let (a2, b2) = (a.clone(), b.clone());
+    Case {
+        kernel: "add",
+        shape: vec![len],
+        flops: len,
+        opt: Box::new(move || {
+            std::hint::black_box(a.add(&b));
+        }),
+        naive: Box::new(move || {
+            std::hint::black_box(a2.zip_with_naive(&b2, |x, y| x + y));
+        }),
+    }
+}
+
+fn softmax_case(rows: usize, inner: usize) -> Case {
+    let t = rand_tensor(&[rows, inner], 7);
+    let t2 = t.clone();
+    Case {
+        kernel: "softmax",
+        shape: vec![rows, inner],
+        // exp + subtract + accumulate + divide per element, roughly.
+        flops: 4 * rows * inner,
+        opt: Box::new(move || {
+            std::hint::black_box(t.softmax_lastdim());
+        }),
+        naive: Box::new(move || {
+            std::hint::black_box(t2.softmax_lastdim_naive());
+        }),
+    }
+}
+
+fn sum_axis_case(outer: usize, mid: usize, inner: usize) -> Case {
+    let t = rand_tensor(&[outer, mid, inner], 8);
+    let t2 = t.clone();
+    Case {
+        kernel: "sum_axis",
+        shape: vec![outer, mid, inner],
+        flops: outer * mid * inner,
+        opt: Box::new(move || {
+            std::hint::black_box(t.sum_axis(1, false));
+        }),
+        naive: Box::new(move || {
+            std::hint::black_box(t2.sum_axis_naive(1, false));
+        }),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let quick = cli.flags.contains_key("quick");
+    let (budget_s, max_reps) = if quick { (0.05, 5) } else { (0.25, 50) };
+    let out_path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let mut cases: Vec<Case> = vec![
+        matmul_case(64, 64, 64),
+        matmul_case(128, 128, 128),
+        matmul_case(256, 256, 256),
+        matmul_case(2048, 48, 48), // tall/skinny: GRU-style step stacked over a batch
+        matmul_batched_case(32, 48, 64, 64),
+        elementwise_case(1 << 20),
+        softmax_case(4096, 64),
+        sum_axis_case(64, 256, 128),
+    ];
+    if !quick {
+        cases.push(matmul_case(512, 512, 512));
+    }
+
+    let thread_counts: &[usize] = &[1, 2, 4];
+    println!(
+        "{:<16} {:<20} {:>7} {:>11} {:>11} {:>9} {:>9}",
+        "kernel", "shape", "threads", "naive ms", "opt ms", "GFLOP/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for case in &mut cases {
+        // The naive oracles are single-threaded by definition: time once.
+        let naive_ms = time_ms(budget_s, max_reps, &mut case.naive);
+        for &threads in thread_counts {
+            pool::set_threads(threads);
+            let opt_ms = time_ms(budget_s, max_reps, &mut case.opt);
+            let speedup = naive_ms / opt_ms;
+            let gflops = if case.flops > 0 {
+                Some(case.flops as f64 / (opt_ms * 1e6))
+            } else {
+                None
+            };
+            println!(
+                "{:<16} {:<20} {:>7} {:>11.3} {:>11.3} {:>9} {:>9.2}x",
+                case.kernel,
+                format!("{:?}", case.shape),
+                threads,
+                naive_ms,
+                opt_ms,
+                gflops.map_or_else(|| "-".into(), |g| format!("{g:.2}")),
+                speedup,
+            );
+            rows.push(serde_json::json!({
+                "kernel": case.kernel,
+                "shape": case.shape,
+                "threads": threads,
+                "naive_ms": naive_ms,
+                "opt_ms": opt_ms,
+                "gflops": gflops,
+                "speedup": speedup,
+            }));
+        }
+    }
+    pool::set_threads(0);
+
+    let payload = serde_json::json!({
+        "bench": "kernels",
+        "quick": quick,
+        "host_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "target_fma": cfg!(target_feature = "fma"),
+        "results": rows,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&payload).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -174,9 +174,7 @@ impl Cli {
             batch_size: self.scale.batch_size,
             lr: 1e-3,
             patience,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: 0, // auto-detect; governs gradient shards and the kernel pool
             seed,
             verbose: self.flags.contains_key("verbose"),
             health: None,

@@ -25,11 +25,11 @@ mod report;
 use args::Args;
 use elda_core::framework::{CheckpointOptions, FitConfig};
 use elda_core::{Elda, EldaConfig, EldaVariant};
-use elda_nn::faults;
 use elda_emr::io::{
     parse_record, patient_from_grid, read_physionet_dir, write_physionet_dir, Outcome,
 };
 use elda_emr::{cohort_stats, feature_by_name, Cohort, CohortPreset, Task, FEATURES};
+use elda_nn::faults;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -85,6 +85,9 @@ fn print_help() {
          checkpoint with a halved learning rate when an epoch goes bad.\n\
          `--fault SPEC` (or ELDA_FAULTS) injects test faults, e.g.\n\
          `nan_grad@2`, `panic@1`, `abort@3`, `truncate_ckpt`.\n\
+         `--threads N` bounds BOTH parallelism layers — shard-parallel\n\
+         gradients and the tensor kernel pool; 0 = auto-detect cores.\n\
+         Results are bit-identical at any setting.\n\
          cohort directories use the PhysioNet-2012 file layout."
     );
 }
@@ -163,6 +166,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         ..Default::default()
     };
     fit.threads = args.num_or("threads", fit.threads)?;
+    // --threads governs both parallelism layers (shard-parallel gradients
+    // and the tensor kernel pool); 0 = auto-detect. Configure the pool here
+    // so kernels outside the training loop (evaluation, prediction) see the
+    // same setting.
+    elda_tensor::pool::set_threads(fit.threads);
     fit.lr = args.num_or("lr", fit.lr)?;
     if args.flag("health") {
         fit.health = Some(Default::default());

@@ -59,7 +59,11 @@ pub struct FitConfig {
     pub lr: f32,
     /// Early-stopping patience on validation AUC-PR.
     pub patience: Option<usize>,
-    /// Worker threads for shard-parallel gradients.
+    /// Maximum worker threads for shard-parallel gradients *and* the tensor
+    /// kernel pool; `0` (the default) auto-detects from the machine via
+    /// `std::thread::available_parallelism`. Shard structure and kernel
+    /// dispatch depend only on data sizes, so any value gives bit-identical
+    /// results — this knob trades wall clock, never numbers.
     pub threads: usize,
     /// Shuffle seed.
     pub seed: u64,
@@ -84,10 +88,7 @@ impl Default for FitConfig {
             batch_size: 64,
             lr: 1e-3,
             patience: Some(4),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get().saturating_sub(1))
-                .unwrap_or(1)
-                .max(1),
+            threads: 0,
             seed: 0,
             verbose: false,
             health: None,
@@ -135,7 +136,10 @@ pub fn run_fingerprint(
     cfg: &FitConfig,
 ) -> String {
     let mut schema = String::new();
-    let mut names: Vec<_> = ps.iter().map(|p| (p.name.to_string(), p.value.shape().to_vec())).collect();
+    let mut names: Vec<_> = ps
+        .iter()
+        .map(|p| (p.name.to_string(), p.value.shape().to_vec()))
+        .collect();
     names.sort();
     for (name, shape) in names {
         let _ = write!(schema, "{name}:{shape:?};");
@@ -164,6 +168,9 @@ pub fn train_sequence_model(
     task: Task,
     cfg: &FitConfig,
 ) -> ModelRunResult {
+    // One knob governs both parallelism layers: shard-parallel gradients
+    // (via TrainConfig::threads below) and the tensor kernel pool.
+    elda_tensor::pool::set_threads(cfg.threads);
     let checkpoint = cfg.checkpoint.as_ref().map(|opts| {
         let mut ck = CheckpointConfig::new(
             opts.dir.clone(),
@@ -624,7 +631,7 @@ mod tests {
         // literal that overflows f32 to infinity on deserialization.
         let artifact = elda.save();
         let i = artifact.find("\"data\":[").unwrap() + "\"data\":[".len();
-        let j = i + artifact[i..].find(|c| c == ',' || c == ']').unwrap();
+        let j = i + artifact[i..].find([',', ']']).unwrap();
         let poisoned = format!("{}1e39{}", &artifact[..i], &artifact[j..]);
         let err = Elda::load(&poisoned)
             .err()

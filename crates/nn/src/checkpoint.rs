@@ -73,8 +73,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
     f.sync_all()
         .map_err(|e| format!("{}: fsync failed: {e}", tmp.display()))?;
     drop(f);
-    std::fs::rename(&tmp, path)
-        .map_err(|e| format!("{}: rename failed: {e}", path.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: rename failed: {e}", path.display()))?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         // Persist the rename itself; ignore platforms/filesystems where
         // directories cannot be fsynced.
@@ -431,7 +430,11 @@ mod tests {
         assert_eq!(found.epoch, 1, "skips to the previous intact file");
         assert!(path.ends_with("ckpt-00001.json"));
         assert_eq!(scan.skipped.len(), 1);
-        assert!(scan.skipped[0].contains("ckpt-00002.json"), "{:?}", scan.skipped);
+        assert!(
+            scan.skipped[0].contains("ckpt-00002.json"),
+            "{:?}",
+            scan.skipped
+        );
         std::fs::remove_dir_all(&cfg.dir).unwrap();
     }
 

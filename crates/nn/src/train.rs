@@ -8,13 +8,22 @@ use crate::optim::{clip_global_norm, Optimizer, OptimizerState};
 use crate::params::ParamStore;
 use elda_autodiff::ParamId;
 use elda_obs::{HealthConfig, HealthMonitor, HealthStatus, Incident, TensorStats};
-use elda_tensor::Tensor;
+use elda_tensor::{pool, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Fixed shard width (in samples) for shard-parallel gradient computation.
+///
+/// A batch is always split into `ceil(len / GRAD_SHARD)` shards regardless
+/// of the configured thread count — threads only bound how many shards are
+/// differentiated *concurrently*. Combined with the fixed shard-order
+/// weighted average in the combine step, this makes training bit-identical
+/// at any [`TrainConfig::threads`] setting.
+pub const GRAD_SHARD: usize = 16;
 
 /// Training-loop configuration.
 #[derive(Debug, Clone)]
@@ -27,7 +36,10 @@ pub struct TrainConfig {
     pub shuffle_seed: u64,
     /// Optional global-norm gradient clipping.
     pub clip_norm: Option<f32>,
-    /// Worker threads for shard-parallel gradient computation; 1 = serial.
+    /// Maximum worker threads for shard-parallel gradient computation;
+    /// `0` = auto-detect from the machine, `1` = serial. Shard *structure*
+    /// is fixed by [`GRAD_SHARD`] independent of this setting, so changing
+    /// it never changes the numbers — only the wall clock.
     pub threads: usize,
     /// Early-stopping patience in epochs (None = run all epochs). Applies
     /// only to [`Trainer::fit`] with a validation scorer.
@@ -236,10 +248,11 @@ impl Trainer {
 
     /// One pass over `n_samples` training samples.
     ///
-    /// The loss closure is invoked per shard; with `threads > 1` shards of
-    /// each batch are differentiated on scoped worker threads (the store is
-    /// only read during the pass) and their gradients combined by
-    /// shard-size-weighted average before a single optimizer step.
+    /// The loss closure is invoked per fixed-width shard (see
+    /// [`GRAD_SHARD`]); with `threads > 1` (or `0` = auto) shards of each
+    /// batch are differentiated on the shared worker pool (the store is
+    /// only read during the pass) and their gradients combined in shard
+    /// order by shard-size-weighted average before a single optimizer step.
     pub fn run_epoch(
         &self,
         ps: &mut ParamStore,
@@ -401,35 +414,31 @@ impl Trainer {
 
     /// Computes the (possibly shard-parallel) mean loss and gradients for
     /// one batch of indices.
+    ///
+    /// The batch splits into fixed [`GRAD_SHARD`]-sample shards — a
+    /// function of the batch alone, never of `cfg.threads` — and the shard
+    /// results are combined in shard order, so the output is bit-identical
+    /// at any thread count.
     fn batch_gradients(
         &self,
         ps: &ParamStore,
         batch: &[usize],
         loss_fn: &LossFn<'_>,
     ) -> (f32, HashMap<ParamId, Tensor>) {
-        let threads = self.cfg.threads.max(1).min(batch.len());
-        if threads == 1 {
+        let shards: Vec<&[usize]> = batch.chunks(GRAD_SHARD).collect();
+        if shards.len() <= 1 {
             return loss_fn(ps, batch);
         }
-        let shard_size = batch.len().div_ceil(threads);
-        let shards: Vec<&[usize]> = batch.chunks(shard_size).collect();
-        let results: Vec<(usize, f32, HashMap<ParamId, Tensor>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let (loss, grads) = loss_fn(ps, shard);
-                        (shard.len(), loss, grads)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        // Shard-size-weighted combination: each shard reports the mean over
-        // its samples, so the batch mean is Σ (n_i / N) · shard_i.
+        let workers = pool::resolve(self.cfg.threads);
+        let results: Vec<(usize, f32, HashMap<ParamId, Tensor>)> =
+            pool::map_jobs_n(workers, shards.len(), |i| {
+                let shard = shards[i];
+                let (loss, grads) = loss_fn(ps, shard);
+                (shard.len(), loss, grads)
+            });
+        // Shard-size-weighted combination in fixed shard order: each shard
+        // reports the mean over its samples, so the batch mean is
+        // Σ (n_i / N) · shard_i.
         let total: usize = results.iter().map(|(n, _, _)| n).sum();
         let mut loss = 0.0f32;
         let mut combined: HashMap<ParamId, Tensor> = HashMap::new();
@@ -507,11 +516,14 @@ impl Trainer {
         // In-memory rollback point for recovery: (params, optimizer state,
         // last good epoch). Maintained only when a policy is configured —
         // snapshotting every epoch is not free.
-        let mut last_good: Option<(String, OptimizerState, Option<usize>)> = self
-            .cfg
-            .recovery
-            .as_ref()
-            .map(|_| (ps.to_json(), opt.export_state(ps), start_epoch.checked_sub(1)));
+        let mut last_good: Option<(String, OptimizerState, Option<usize>)> =
+            self.cfg.recovery.as_ref().map(|_| {
+                (
+                    ps.to_json(),
+                    opt.export_state(ps),
+                    start_epoch.checked_sub(1),
+                )
+            });
         let mut retries_used = 0usize;
 
         let mut epoch = start_epoch;
@@ -521,8 +533,14 @@ impl Trainer {
             let condemned = !stats.mean_loss.is_finite() || verdict >= HealthStatus::Diverging;
             if condemned {
                 if let Some(policy) = &self.cfg.recovery {
-                    if self.try_rollback(ps, opt, policy, &stats, last_good.as_ref(), &mut retries_used)
-                    {
+                    if self.try_rollback(
+                        ps,
+                        opt,
+                        policy,
+                        &stats,
+                        last_good.as_ref(),
+                        &mut retries_used,
+                    ) {
                         continue; // retry the same epoch at the lowered lr
                     }
                 }
@@ -551,7 +569,7 @@ impl Trainer {
                 stale += 1;
             }
             if let Some(ck) = &self.cfg.checkpoint {
-                let periodic = ck.every > 0 && (epoch + 1) % ck.every == 0;
+                let periodic = ck.every > 0 && (epoch + 1).is_multiple_of(ck.every);
                 // Never checkpoint a condemned epoch (recovery off or
                 // exhausted): a durable file full of NaN weights could not
                 // be resumed from anyway.
@@ -876,23 +894,36 @@ mod tests {
     }
 
     #[test]
-    fn parallel_shards_match_serial_gradients() {
+    fn parallel_shards_are_bit_identical_to_serial() {
+        // Sharding is fixed by GRAD_SHARD, so thread count may only change
+        // scheduling — the loss and every gradient must match *bitwise*.
         let (ps, xs, ys) = toy_problem();
         let loss_fn = |ps: &ParamStore, idx: &[usize]| logistic_loss(ps, idx, &xs, &ys);
-        let batch: Vec<usize> = (0..32).collect();
+        let batch: Vec<usize> = (0..37).collect(); // 3 shards, last one ragged
         let serial = Trainer::new(TrainConfig {
             threads: 1,
             ..Default::default()
         });
-        let parallel = Trainer::new(TrainConfig {
-            threads: 4,
-            ..Default::default()
-        });
         let (l1, g1) = serial.batch_gradients(&ps, &batch, &loss_fn);
-        let (l2, g2) = parallel.batch_gradients(&ps, &batch, &loss_fn);
-        assert!((l1 - l2).abs() < 1e-6, "{l1} vs {l2}");
-        for (id, g) in &g1 {
-            elda_tensor::testutil::assert_allclose(g, &g2[id], 1e-4, 1e-6);
+        for threads in [2, 4, 0] {
+            let parallel = Trainer::new(TrainConfig {
+                threads,
+                ..Default::default()
+            });
+            let (l2, g2) = parallel.batch_gradients(&ps, &batch, &loss_fn);
+            assert_eq!(
+                l1.to_bits(),
+                l2.to_bits(),
+                "loss differs at threads={threads}"
+            );
+            assert_eq!(g1.len(), g2.len());
+            for (id, g) in &g1 {
+                assert_eq!(
+                    g.data(),
+                    g2[id].data(),
+                    "gradient {id:?} differs at threads={threads}"
+                );
+            }
         }
     }
 
@@ -1053,7 +1084,10 @@ mod tests {
         // The recovery event round-trips through the trace schema.
         let ev = recoveries[0].to_event();
         let parsed = elda_obs::parse_json_line(&ev.to_json()).unwrap();
-        assert_eq!(RecoveryEvent::from_event(&parsed), Some(recoveries[0].clone()));
+        assert_eq!(
+            RecoveryEvent::from_event(&parsed),
+            Some(recoveries[0].clone())
+        );
 
         // --- Recovery budget: unrecoverable divergence gives up. ---------
         faults::clear();

@@ -30,6 +30,7 @@
 pub mod broadcast;
 pub mod error;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

@@ -1,22 +1,37 @@
 //! Elementwise kernels: broadcasting binary ops, unary maps, scalar ops.
+//!
+//! Same-shape binary ops, unary maps and the in-place axpy split into
+//! fixed-length chunks dispatched on the [`crate::pool`] above
+//! [`super::ELEMWISE_PAR_MIN_LEN`] elements. Chunking never changes any
+//! per-element computation, so the parallel paths are *exactly* equal to
+//! the [`Tensor::zip_with_naive`]/[`Tensor::map_naive`] oracles — the
+//! kernel-equivalence tests assert bitwise identity for this family.
 
+use super::{ELEMWISE_PAR_MIN_LEN, PAR_CHUNK_LEN};
 use crate::broadcast::{broadcast_shapes, BroadcastIter};
+use crate::pool;
 use crate::Tensor;
 
 impl Tensor {
     /// Applies `f` to every pair of broadcast elements.
     ///
     /// The workhorse behind [`Tensor::add`]/[`Tensor::mul`]/... A fast path
-    /// handles identical shapes without the odometer iterator.
-    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    /// handles identical shapes without the odometer iterator, splitting
+    /// into pool-parallel chunks on large tensors.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape() == other.shape() {
-            let data = self
-                .data()
-                .iter()
-                .zip(other.data())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Tensor::from_vec(data, self.shape());
+            if self.len() >= ELEMWISE_PAR_MIN_LEN {
+                let (a, b) = (self.data(), other.data());
+                let mut data = vec![0.0f32; a.len()];
+                pool::run_chunks_mut(&mut data, PAR_CHUNK_LEN, |ci, chunk| {
+                    let base = ci * PAR_CHUNK_LEN;
+                    for (j, o) in chunk.iter_mut().enumerate() {
+                        *o = f(a[base + j], b[base + j]);
+                    }
+                });
+                return Tensor::from_vec(data, self.shape());
+            }
+            return self.zip_with_naive(other, f);
         }
         let out_shape = broadcast_shapes(self.shape(), other.shape())
             .unwrap_or_else(|e| panic!("elementwise op: {e}"));
@@ -25,6 +40,28 @@ impl Tensor {
             data.push(f(self.data()[lo], other.data()[ro]));
         }
         Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Reference same-shape elementwise combine: a single-threaded pass in
+    /// flat order. The oracle for [`Tensor::zip_with`]'s parallel path.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ (no broadcasting here).
+    pub fn zip_with_naive(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_with_naive requires identical shapes: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.shape())
     }
 
     /// Elementwise addition with broadcasting.
@@ -57,8 +94,25 @@ impl Tensor {
         self.zip_with(other, f32::min)
     }
 
-    /// Applies `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    /// Applies `f` to every element (pool-parallel on large tensors).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        if self.len() >= ELEMWISE_PAR_MIN_LEN {
+            let src = self.data();
+            let mut data = vec![0.0f32; src.len()];
+            pool::run_chunks_mut(&mut data, PAR_CHUNK_LEN, |ci, chunk| {
+                let base = ci * PAR_CHUNK_LEN;
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = f(src[base + j]);
+                }
+            });
+            return Tensor::from_vec(data, self.shape());
+        }
+        self.map_naive(f)
+    }
+
+    /// Reference unary map: a single-threaded pass in flat order. The
+    /// oracle for [`Tensor::map`]'s parallel path.
+    pub fn map_naive(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor::from_vec(self.data().iter().map(|&v| f(v)).collect(), self.shape())
     }
 
@@ -141,6 +195,16 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        if self.len() >= ELEMWISE_PAR_MIN_LEN {
+            let src = other.data();
+            pool::run_chunks_mut(self.data_mut(), PAR_CHUNK_LEN, |ci, chunk| {
+                let base = ci * PAR_CHUNK_LEN;
+                for (j, a) in chunk.iter_mut().enumerate() {
+                    *a += alpha * src[base + j];
+                }
+            });
+            return;
+        }
         for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += alpha * b;
         }

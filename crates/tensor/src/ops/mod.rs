@@ -4,9 +4,48 @@
 //! Shape violations panic with descriptive messages (programmer errors);
 //! the broadcast resolver itself is fallible and reused by the autodiff
 //! layer for shape inference.
+//!
+//! # Dispatch thresholds
+//!
+//! Large tensors route to cache-blocked and/or pool-parallel kernel
+//! variants; small ones stay on the single-threaded naive paths (`*_naive`
+//! methods, which double as the oracles for the kernel-equivalence tests).
+//! Every threshold below is a function of tensor *sizes only* — never of
+//! the configured thread count — so a given input always takes the same
+//! algorithm and produces bit-identical output at any `--threads` setting
+//! (parallelism only redistributes fixed work units; see [`crate::pool`]).
 
 pub mod elementwise;
 pub mod matmul;
 pub mod reduce;
 pub mod shape_ops;
 pub mod softmax;
+
+/// Minimum `m*k*n` multiply-adds before `matmul` switches from the naive
+/// i-k-j kernel to the packed cache-blocked microkernel.
+pub const MATMUL_BLOCKED_MIN_FLOPS: usize = 32 * 32 * 32;
+
+/// Minimum total multiply-adds before a matmul fans row blocks (or batch
+/// slices) out to the worker pool.
+pub const MATMUL_PAR_MIN_FLOPS: usize = 4 * 1024 * 1024;
+
+/// Minimum element count before elementwise kernels (same-shape binary
+/// ops, unary maps, in-place axpy) split into pool-parallel chunks.
+pub const ELEMWISE_PAR_MIN_LEN: usize = 128 * 1024;
+
+/// Minimum element count before the last-axis softmax family fans rows out
+/// to the worker pool.
+pub const SOFTMAX_PAR_MIN_LEN: usize = 16 * 1024;
+
+/// Fixed accumulation-block length for full reductions (`sum_all`). Blocks
+/// are a function of the length only, so the reduction order — and the
+/// result — is identical at any thread count.
+pub const REDUCE_BLOCK_LEN: usize = 16 * 1024;
+
+/// Minimum element count before reductions dispatch their fixed blocks /
+/// output rows to the worker pool.
+pub const REDUCE_PAR_MIN_LEN: usize = 128 * 1024;
+
+/// Chunk length (output elements) for pool-parallel elementwise and
+/// per-axis-reduction dispatch.
+pub(crate) const PAR_CHUNK_LEN: usize = 8 * 1024;

@@ -1,12 +1,43 @@
 //! Reduction kernels: full and per-axis sums, means, maxima, and the
 //! broadcast-inverse reduction used by autodiff.
+//!
+//! `sum_all` accumulates fixed [`super::REDUCE_BLOCK_LEN`]-element blocks
+//! (in f64) whose partials fold in block order — the block grid depends on
+//! the length only, so the result is bit-identical whether the blocks run
+//! serially or on the [`crate::pool`]. Per-axis reductions parallelize
+//! over independent output elements whose per-element fold order never
+//! changes, so they match [`Tensor::sum_axis_naive`] exactly.
 
+use super::{PAR_CHUNK_LEN, REDUCE_BLOCK_LEN, REDUCE_PAR_MIN_LEN};
+use crate::pool;
 use crate::Tensor;
 
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements (blocked f64 accumulation; pool-parallel blocks
+    /// on large tensors).
     pub fn sum_all(&self) -> f32 {
-        // Pairwise-ish accumulation in f64 keeps long reductions accurate.
+        let d = self.data();
+        if d.len() < REDUCE_BLOCK_LEN {
+            return self.sum_all_naive();
+        }
+        let blocks = d.len().div_ceil(REDUCE_BLOCK_LEN);
+        let block_sum = |i: usize| -> f64 {
+            let lo = i * REDUCE_BLOCK_LEN;
+            let hi = (lo + REDUCE_BLOCK_LEN).min(d.len());
+            d[lo..hi].iter().map(|&v| v as f64).sum::<f64>()
+        };
+        let partials: Vec<f64> = if d.len() >= REDUCE_PAR_MIN_LEN {
+            pool::map_jobs(blocks, block_sum)
+        } else {
+            (0..blocks).map(block_sum).collect()
+        };
+        partials.into_iter().sum::<f64>() as f32
+    }
+
+    /// Reference full sum: one sequential f64 accumulation over the flat
+    /// data. The oracle for [`Tensor::sum_all`]'s blocked path.
+    pub fn sum_all_naive(&self) -> f32 {
+        // Accumulation in f64 keeps long reductions accurate.
         self.data().iter().map(|&v| v as f64).sum::<f64>() as f32
     }
 
@@ -36,6 +67,13 @@ impl Tensor {
     /// otherwise it is removed.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
         self.reduce_axis(axis, keepdim, 0.0, |acc, v| acc + v)
+    }
+
+    /// Reference per-axis sum: the purely sequential fold. The oracle for
+    /// [`Tensor::sum_axis`]'s parallel dispatch (which matches it exactly —
+    /// parallelism splits over output elements, never within a fold).
+    pub fn sum_axis_naive(&self, axis: usize, keepdim: bool) -> Tensor {
+        self.reduce_axis_serial(axis, keepdim, 0.0, &|acc, v| acc + v)
     }
 
     /// Means along `axis`.
@@ -70,16 +108,70 @@ impl Tensor {
         Tensor::from_vec(out, &self.shape()[..r - 1])
     }
 
-    /// Generic single-axis fold.
+    /// Generic single-axis fold, with pool-parallel dispatch over output
+    /// elements on large tensors. Each output element's fold over the
+    /// reduced axis stays sequential, so every path is bitwise equal to
+    /// [`Tensor::reduce_axis_serial`].
     fn reduce_axis(
         &self,
         axis: usize,
         keepdim: bool,
         init: f32,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Tensor {
         let r = self.rank();
         assert!(axis < r, "reduce axis {axis} out of range for rank {r}");
+        let dims = self.shape();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let volume = outer * mid * inner;
+        let data = self.data();
+        let out_dims = reduced_dims(dims, axis, keepdim);
+        if volume < REDUCE_PAR_MIN_LEN || inner == 0 {
+            return self.reduce_axis_serial(axis, keepdim, init, &f);
+        }
+        let mut out = vec![init; outer * inner];
+        if outer >= 2 {
+            // Chunk whole output rows (`inner` elements each) so a chunk
+            // index maps to a fixed run of `o` values.
+            let rows_per_chunk = (PAR_CHUNK_LEN / inner).max(1);
+            pool::run_chunks_mut(&mut out, rows_per_chunk * inner, |ci, chunk| {
+                let o0 = ci * rows_per_chunk;
+                for (row_idx, row) in chunk.chunks_mut(inner).enumerate() {
+                    let o = o0 + row_idx;
+                    for m in 0..mid {
+                        let src = &data[(o * mid + m) * inner..(o * mid + m + 1) * inner];
+                        for (ov, &sv) in row.iter_mut().zip(src) {
+                            *ov = f(*ov, sv);
+                        }
+                    }
+                }
+            });
+        } else {
+            // Single outer row: chunk the inner axis; each output element
+            // still folds over `m` in ascending order.
+            pool::run_chunks_mut(&mut out, PAR_CHUNK_LEN, |ci, chunk| {
+                let base = ci * PAR_CHUNK_LEN;
+                for m in 0..mid {
+                    let src = &data[m * inner + base..m * inner + base + chunk.len()];
+                    for (ov, &sv) in chunk.iter_mut().zip(src) {
+                        *ov = f(*ov, sv);
+                    }
+                }
+            });
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// The reference single-threaded axis fold.
+    fn reduce_axis_serial(
+        &self,
+        axis: usize,
+        keepdim: bool,
+        init: f32,
+        f: &dyn Fn(f32, f32) -> f32,
+    ) -> Tensor {
         let dims = self.shape();
         let outer: usize = dims[..axis].iter().product();
         let mid = dims[axis];
@@ -94,13 +186,7 @@ impl Tensor {
                 }
             }
         }
-        let mut out_dims: Vec<usize> = dims.to_vec();
-        if keepdim {
-            out_dims[axis] = 1;
-        } else {
-            out_dims.remove(axis);
-        }
-        Tensor::from_vec(out, &out_dims)
+        Tensor::from_vec(out, &reduced_dims(dims, axis, keepdim))
     }
 
     /// Reduces `self` to `target` by summing over every axis in which
@@ -136,6 +222,17 @@ impl Tensor {
         }
         t.reshaped(target)
     }
+}
+
+/// Output dims after reducing `axis` (kept with extent 1 or removed).
+fn reduced_dims(dims: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
+    let mut out_dims: Vec<usize> = dims.to_vec();
+    if keepdim {
+        out_dims[axis] = 1;
+    } else {
+        out_dims.remove(axis);
+    }
+    out_dims
 }
 
 #[cfg(test)]

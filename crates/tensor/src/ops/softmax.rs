@@ -1,42 +1,126 @@
 //! Softmax-family kernels over the last axis.
+//!
+//! Rows are independent, so above [`super::SOFTMAX_PAR_MIN_LEN`] elements
+//! the row loop fans out to the [`crate::pool`]; each row's computation is
+//! byte-for-byte the same as the serial [`Tensor::softmax_lastdim_naive`]
+//! oracle, so outputs are bit-identical at any thread count.
 
+use super::SOFTMAX_PAR_MIN_LEN;
+use crate::pool;
 use crate::Tensor;
+
+/// Rows per parallel work unit, sized so a chunk stays around
+/// [`super::PAR_CHUNK_LEN`] elements.
+fn rows_per_chunk(inner: usize) -> usize {
+    (super::PAR_CHUNK_LEN / inner).max(1)
+}
+
+/// One stable softmax row: max-subtraction, exponentiate into `out`,
+/// normalize in place.
+#[inline]
+fn softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut denom = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(row) {
+        let e = (v - max).exp();
+        denom += e;
+        *o = e;
+    }
+    for o in out.iter_mut() {
+        *o /= denom;
+    }
+}
+
+/// One stable log-softmax row.
+#[inline]
+fn log_softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+    for (o, &v) in out.iter_mut().zip(row) {
+        *o = v - lse;
+    }
+}
 
 impl Tensor {
     /// Softmax along the last axis, computed with the max-subtraction trick
-    /// so arbitrarily large logits stay finite.
+    /// so arbitrarily large logits stay finite. Row-parallel on large
+    /// tensors.
     pub fn softmax_lastdim(&self) -> Tensor {
         let r = self.rank();
         assert!(r >= 1, "softmax on a scalar");
         let inner = self.shape()[r - 1];
         assert!(inner > 0, "softmax over empty axis");
-        let mut out = Vec::with_capacity(self.len());
-        for row in self.data().chunks_exact(inner) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            let exps: Vec<f32> = row
-                .iter()
-                .map(|&v| {
-                    let e = (v - max).exp();
-                    denom += e;
-                    e
-                })
-                .collect();
-            out.extend(exps.into_iter().map(|e| e / denom));
+        let mut timer = elda_obs::scope("kernel", "softmax");
+        if let Some(t) = timer.as_mut() {
+            t.add_units(self.len() as u64);
+        }
+        if self.len() < SOFTMAX_PAR_MIN_LEN {
+            return self.softmax_lastdim_naive();
+        }
+        let data = self.data();
+        let mut out = vec![0.0f32; data.len()];
+        let rpc = rows_per_chunk(inner);
+        pool::run_chunks_mut(&mut out, rpc * inner, |ci, chunk| {
+            let base = ci * rpc * inner;
+            for (j, out_row) in chunk.chunks_mut(inner).enumerate() {
+                softmax_row(&data[base + j * inner..base + (j + 1) * inner], out_row);
+            }
+        });
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Reference last-axis softmax: the sequential row loop. The oracle
+    /// for [`Tensor::softmax_lastdim`]'s parallel path.
+    pub fn softmax_lastdim_naive(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 1, "softmax on a scalar");
+        let inner = self.shape()[r - 1];
+        assert!(inner > 0, "softmax over empty axis");
+        let mut out = vec![0.0f32; self.len()];
+        for (row, out_row) in self
+            .data()
+            .chunks_exact(inner)
+            .zip(out.chunks_mut(inner.max(1)))
+        {
+            softmax_row(row, out_row);
         }
         Tensor::from_vec(out, self.shape())
     }
 
-    /// Log-softmax along the last axis (numerically stable).
+    /// Log-softmax along the last axis (numerically stable; row-parallel
+    /// on large tensors).
     pub fn log_softmax_lastdim(&self) -> Tensor {
         let r = self.rank();
         assert!(r >= 1, "log_softmax on a scalar");
         let inner = self.shape()[r - 1];
-        let mut out = Vec::with_capacity(self.len());
-        for row in self.data().chunks_exact(inner) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
-            out.extend(row.iter().map(|&v| v - lse));
+        if inner == 0 || self.len() < SOFTMAX_PAR_MIN_LEN {
+            return self.log_softmax_lastdim_naive();
+        }
+        let data = self.data();
+        let mut out = vec![0.0f32; data.len()];
+        let rpc = rows_per_chunk(inner);
+        pool::run_chunks_mut(&mut out, rpc * inner, |ci, chunk| {
+            let base = ci * rpc * inner;
+            for (j, out_row) in chunk.chunks_mut(inner).enumerate() {
+                log_softmax_row(&data[base + j * inner..base + (j + 1) * inner], out_row);
+            }
+        });
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Reference last-axis log-softmax (sequential row loop): the oracle
+    /// for [`Tensor::log_softmax_lastdim`]'s parallel path.
+    pub fn log_softmax_lastdim_naive(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 1, "log_softmax on a scalar");
+        let inner = self.shape()[r - 1];
+        let mut out = vec![0.0f32; self.len()];
+        for (row, out_row) in self
+            .data()
+            .chunks_exact(inner.max(1))
+            .zip(out.chunks_mut(inner.max(1)))
+        {
+            log_softmax_row(row, out_row);
         }
         Tensor::from_vec(out, self.shape())
     }
@@ -114,6 +198,22 @@ mod tests {
             &t.softmax_lastdim().ln(),
             1e-5,
             1e-6,
+        );
+    }
+
+    #[test]
+    fn parallel_softmax_is_bitwise_equal_to_naive() {
+        // 64 * 512 = 32768 elements: above SOFTMAX_PAR_MIN_LEN.
+        let n = 64 * 512;
+        let vals: Vec<f32> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 997) as f32 / 99.7)
+            .collect();
+        let t = Tensor::from_vec(vals, &[64, 512]);
+        assert!(t.len() >= SOFTMAX_PAR_MIN_LEN);
+        assert_eq!(t.softmax_lastdim().data(), t.softmax_lastdim_naive().data());
+        assert_eq!(
+            t.log_softmax_lastdim().data(),
+            t.log_softmax_lastdim_naive().data()
         );
     }
 

@@ -1,0 +1,267 @@
+//! Std-only scoped worker pool behind every parallel kernel.
+//!
+//! The pool is a process-wide *thread-count policy*, not a set of
+//! long-lived threads: each parallel region spawns scoped workers
+//! (`std::thread::scope`), so borrows flow in naturally and nothing
+//! outlives the call. One global setting — [`set_threads`] — governs every
+//! consumer: the cache-blocked kernels in this crate and the shard-parallel
+//! gradient trainer in `elda-nn` (the CLI's `--threads` flag writes it).
+//!
+//! # Determinism contract
+//!
+//! Every function here distributes *fixed* units of work (chunks of a
+//! fixed length, job indices) over however many workers are available.
+//! Which worker executes a unit never changes what the unit computes, so
+//! **kernel outputs are bit-identical at any thread count** — the property
+//! `tests/reproducibility.rs` locks in for whole training runs. Kernels
+//! must therefore gate *algorithm* choices (blocked vs naive, block sizes)
+//! on tensor sizes only, never on [`threads`].
+//!
+//! # Nesting
+//!
+//! Workers record themselves in a thread-local; parallel calls made from
+//! inside a worker run serially instead of spawning a second generation of
+//! threads. This keeps shard-parallel training (which calls kernels from
+//! pool workers) from oversubscribing the machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured thread count; 0 = auto-detect (the default).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the process-wide worker count. `0` means auto-detect via
+/// [`std::thread::available_parallelism`]; `1` disables kernel parallelism
+/// entirely. Takes effect for every subsequent parallel region.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The raw configured value (0 = auto-detect).
+pub fn configured_threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Resolves a thread-count setting: `0` becomes the detected hardware
+/// parallelism (at least 1), anything else passes through.
+pub fn resolve(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// The effective worker count for the next parallel region.
+pub fn threads() -> usize {
+    resolve(configured_threads())
+}
+
+/// True while running on a pool worker thread (parallel calls made here
+/// execute serially instead of nesting).
+pub fn is_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Marks the current thread as a pool worker for the guard's lifetime.
+struct WorkerGuard {
+    prev: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        let prev = IN_WORKER.with(|w| w.replace(true));
+        WorkerGuard { prev }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|w| w.set(prev));
+    }
+}
+
+/// Splits `data` into fixed-length chunks (the last may be short) and runs
+/// `f(chunk_index, chunk)` for every chunk, distributing *contiguous runs
+/// of chunks* over up to [`threads`] scoped workers.
+///
+/// Chunk boundaries depend only on `data.len()` and `chunk_len`, never on
+/// the worker count, so any `f` whose output depends only on its chunk
+/// index produces bit-identical results at every thread setting.
+///
+/// Runs serially when one worker suffices or when called from inside a
+/// pool worker (no nested spawning).
+///
+/// # Panics
+/// Panics when `chunk_len == 0`, or propagates a worker panic.
+pub fn run_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "pool chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = threads().min(n_chunks);
+    if workers <= 1 || is_worker() {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    // Segment = a contiguous run of whole chunks, one segment per worker.
+    let chunks_per_worker = n_chunks.div_ceil(workers);
+    let seg_len = chunks_per_worker * chunk_len;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = seg_len.min(rest.len());
+            let (seg, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let base = first_chunk;
+            scope.spawn(move || {
+                let _g = WorkerGuard::enter();
+                for (j, chunk) in seg.chunks_mut(chunk_len).enumerate() {
+                    f(base + j, chunk);
+                }
+            });
+            first_chunk += chunks_per_worker;
+        }
+    });
+}
+
+/// Runs `f(job)` for every job in `0..jobs` and returns the results in job
+/// order, distributing contiguous job ranges over up to `max_workers`
+/// scoped workers (`0` = auto-detect). Serial when one worker suffices or
+/// when called from inside a pool worker.
+///
+/// # Panics
+/// Propagates a worker panic.
+pub fn map_jobs_n<T, F>(max_workers: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve(max_workers).min(jobs);
+    if workers <= 1 || is_worker() {
+        return (0..jobs).map(f).collect();
+    }
+    let per_worker = jobs.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * per_worker;
+                let hi = ((w + 1) * per_worker).min(jobs);
+                scope.spawn(move || {
+                    let _g = WorkerGuard::enter();
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+}
+
+/// [`map_jobs_n`] at the process-wide [`threads`] setting.
+pub fn map_jobs<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_jobs_n(configured_threads(), jobs, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn resolve_zero_is_auto() {
+        assert!(resolve(0) >= 1);
+        assert_eq!(resolve(3), 3);
+    }
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        let mut data = vec![0u32; 10_000];
+        run_chunks_mut(&mut data, 333, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 333 + j) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1, "element {i} touched wrongly");
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_global() {
+        let mut data = vec![0usize; 100];
+        run_chunks_mut(&mut data, 7, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 7);
+        }
+    }
+
+    #[test]
+    fn empty_data_is_a_noop() {
+        let mut data: Vec<f32> = Vec::new();
+        run_chunks_mut(&mut data, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn map_jobs_preserves_order() {
+        let out = map_jobs_n(4, 57, |i| i * i);
+        assert_eq!(out.len(), 57);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn map_jobs_zero_jobs() {
+        let out: Vec<u8> = map_jobs_n(4, 0, |_| panic!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let spawned = AtomicU64::new(0);
+        let out = map_jobs_n(4, 8, |i| {
+            assert!(is_worker() || threads() == 1);
+            // A nested parallel call must not spawn another generation.
+            let inner = map_jobs_n(4, 3, |j| {
+                spawned.fetch_add(1, Ordering::Relaxed);
+                j
+            });
+            assert_eq!(inner, vec![0, 1, 2]);
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(spawned.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let serial = map_jobs_n(1, 100, |i| (i as f32).sin());
+        let parallel = map_jobs_n(8, 100, |i| (i as f32).sin());
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,307 @@
+//! Kernel equivalence harness: every optimized (blocked and/or
+//! pool-parallel) kernel in `elda-tensor` must agree with its single-
+//! threaded `*_naive` oracle.
+//!
+//! Two levels of agreement are asserted:
+//!
+//! * **Bitwise** for every kernel whose optimized path performs the exact
+//!   same per-element arithmetic in the same order (elementwise ops, maps,
+//!   axpy, per-axis reductions, softmax): parallelism only redistributes
+//!   fixed work units, so even f32 rounding cannot differ.
+//! * **Within 1e-5** for matmul, where the packed microkernel may contract
+//!   multiplies and adds into FMAs and therefore rounds differently than
+//!   the naive i-k-j loop.
+//!
+//! A final sweep re-runs representative kernels under thread counts
+//! {1, 2, 4} and asserts *bitwise* identical outputs — the determinism
+//! contract documented in `elda_tensor::ops`.
+
+use elda_tensor::ops::{
+    ELEMWISE_PAR_MIN_LEN, MATMUL_BLOCKED_MIN_FLOPS, MATMUL_PAR_MIN_FLOPS, REDUCE_PAR_MIN_LEN,
+    SOFTMAX_PAR_MIN_LEN,
+};
+use elda_tensor::testutil::assert_allclose;
+use elda_tensor::{pool, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Matmul tolerance: FMA contraction in the blocked microkernel rounds
+/// differently than the naive two-op multiply-add.
+const MM_RTOL: f32 = 1e-5;
+const MM_ATOL: f32 = 1e-5;
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(dims, -1.0, 1.0, &mut rng)
+}
+
+// ---------------------------------------------------------------------------
+// matmul family: naive oracle within 1e-5
+// ---------------------------------------------------------------------------
+
+/// Directed shape sweep crossing every dispatch boundary: 0-sized, size-1,
+/// tall/skinny, ragged tiles, exactly-at-threshold, and above the parallel
+/// threshold.
+#[test]
+fn matmul_matches_naive_across_dispatch_boundaries() {
+    let cases: &[(usize, usize, usize)] = &[
+        (0, 5, 3),      // zero rows
+        (4, 0, 3),      // zero inner extent (all-zero output)
+        (5, 4, 0),      // zero columns
+        (1, 1, 1),      // single element
+        (1, 64, 1),     // dot product shaped as matmul
+        (3, 7, 5),      // small: naive path
+        (31, 33, 31),   // just below the blocked threshold
+        (32, 32, 32),   // exactly at MATMUL_BLOCKED_MIN_FLOPS
+        (2048, 8, 8),   // tall/skinny, blocked, n < microkernel panel width
+        (4, 8, 2048),   // short/wide, blocked
+        (37, 53, 41),   // ragged in every dimension
+        (129, 65, 66),  // ragged just past the row-tile grid
+        (256, 256, 64), // above MATMUL_PAR_MIN_FLOPS: parallel row blocks
+    ];
+    for &(m, k, n) in cases {
+        let a = rand_tensor(&[m, k], 1000 + m as u64);
+        let b = rand_tensor(&[k, n], 2000 + n as u64);
+        let opt = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        assert_allclose(&opt, &naive, MM_RTOL, MM_ATOL);
+    }
+    // Confirm the sweep really crossed the boundaries it claims to cross.
+    const _: () = assert!(31 * 33 * 31 < MATMUL_BLOCKED_MIN_FLOPS);
+    const _: () = assert!(32 * 32 * 32 >= MATMUL_BLOCKED_MIN_FLOPS);
+    const _: () = assert!(256 * 256 * 64 >= MATMUL_PAR_MIN_FLOPS);
+}
+
+#[test]
+fn matmul_batched_matches_naive_across_dispatch_boundaries() {
+    // (b, m, k, n, shared rank-2 rhs?)
+    let cases: &[(usize, usize, usize, usize, bool)] = &[
+        (0, 3, 4, 5, false),   // zero batches
+        (2, 0, 4, 5, false),   // zero rows per slice
+        (3, 2, 0, 2, true),    // zero inner extent, shared rhs
+        (1, 1, 1, 1, true),    // single element
+        (4, 3, 5, 2, false),   // small per-batch rhs
+        (4, 3, 5, 2, true),    // small shared rhs
+        (2, 37, 53, 41, true), // blocked slices, ragged, shared (pre-packed)
+        (2, 37, 53, 41, false),
+        (8, 64, 64, 128, true), // above MATMUL_PAR_MIN_FLOPS total: parallel
+        (8, 64, 64, 128, false),
+    ];
+    for &(b, m, k, n, shared) in cases {
+        let lhs = rand_tensor(&[b, m, k], 31 * b as u64 + m as u64);
+        let rhs = if shared {
+            rand_tensor(&[k, n], 77 + n as u64)
+        } else {
+            rand_tensor(&[b, k, n], 99 + k as u64)
+        };
+        let opt = lhs.matmul_batched(&rhs);
+        let naive = lhs.matmul_batched_naive(&rhs);
+        assert_allclose(&opt, &naive, MM_RTOL, MM_ATOL);
+    }
+    const _: () = assert!(8 * 64 * 64 * 128 >= MATMUL_PAR_MIN_FLOPS);
+}
+
+proptest! {
+    /// Randomized matmul shapes, including degenerate extents, straddling
+    /// the blocked-dispatch threshold.
+    #[test]
+    fn matmul_matches_naive_on_random_shapes(
+        m in 0usize..48,
+        k in 0usize..48,
+        n in 0usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed.wrapping_add(1));
+        assert_allclose(&a.matmul(&b), &a.matmul_naive(&b), MM_RTOL, MM_ATOL);
+    }
+
+    /// Randomized batched shapes with both shared and per-batch rhs.
+    #[test]
+    fn matmul_batched_matches_naive_on_random_shapes(
+        b in 0usize..5,
+        m in 0usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let shared = seed % 2 == 0;
+        let lhs = rand_tensor(&[b, m, k], seed);
+        let rhs = if shared {
+            rand_tensor(&[k, n], seed.wrapping_add(2))
+        } else {
+            rand_tensor(&[b, k, n], seed.wrapping_add(2))
+        };
+        assert_allclose(
+            &lhs.matmul_batched(&rhs),
+            &lhs.matmul_batched_naive(&rhs),
+            MM_RTOL,
+            MM_ATOL,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// elementwise family: bitwise equal to the oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn elementwise_is_bitwise_equal_to_naive() {
+    // One shape below the parallel threshold, one exactly at it, one above
+    // with a ragged final chunk.
+    for dims in [
+        vec![0usize],
+        vec![1],
+        vec![513],
+        vec![2, 65_536],    // exactly ELEMWISE_PAR_MIN_LEN
+        vec![3, 5, 13_000], // above, not a multiple of the chunk length
+    ] {
+        let a = rand_tensor(&dims, 7);
+        let b = rand_tensor(&dims, 8);
+        assert_eq!(a.add(&b).data(), a.zip_with_naive(&b, |x, y| x + y).data());
+        assert_eq!(a.mul(&b).data(), a.zip_with_naive(&b, |x, y| x * y).data());
+        assert_eq!(a.exp().data(), a.map_naive(f32::exp).data());
+        assert_eq!(a.relu().data(), a.map_naive(|v| v.max(0.0)).data());
+        let mut acc = a.clone();
+        acc.axpy_assign(0.25, &b);
+        let mut acc_ref = a.clone();
+        for (o, &s) in acc_ref.data_mut().iter_mut().zip(b.data()) {
+            *o += 0.25 * s;
+        }
+        assert_eq!(acc.data(), acc_ref.data());
+    }
+    assert_eq!(2 * 65_536, ELEMWISE_PAR_MIN_LEN);
+}
+
+// ---------------------------------------------------------------------------
+// reductions: per-axis bitwise, full sum within rounding of its oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sum_axis_is_bitwise_equal_to_naive() {
+    // Shapes chosen so each axis exercises the serial path, the outer>=2
+    // parallel path, and the single-outer-row inner-chunked path.
+    for dims in [
+        vec![3usize, 4, 5],
+        vec![40, 50, 70],    // volume 140k >= REDUCE_PAR_MIN_LEN
+        vec![1, 2, 100_000], // axis 1: outer == 1 parallel path
+        vec![200_000, 2],    // axis 1: one element per output row
+    ] {
+        let t = rand_tensor(&dims, 11);
+        for axis in 0..dims.len() {
+            for keepdim in [false, true] {
+                let opt = t.sum_axis(axis, keepdim);
+                let naive = t.sum_axis_naive(axis, keepdim);
+                assert_eq!(opt.shape(), naive.shape());
+                assert_eq!(opt.data(), naive.data(), "dims {dims:?} axis {axis}");
+            }
+        }
+    }
+    const _: () = assert!(40 * 50 * 70 >= REDUCE_PAR_MIN_LEN);
+}
+
+#[test]
+fn sum_all_matches_naive_within_rounding() {
+    for (dims, seed) in [
+        (vec![100usize], 3u64),
+        (vec![16_384], 4),  // exactly one accumulation block
+        (vec![50_000], 5),  // blocked, serial fold
+        (vec![300_000], 6), // blocked, pool-parallel fold
+    ] {
+        let t = rand_tensor(&dims, seed);
+        let opt = t.sum_all();
+        let naive = t.sum_all_naive();
+        // Both accumulate in f64; only the f64 association differs across
+        // block boundaries, so they agree to ~f32 epsilon of the magnitude.
+        let scale = t.len().max(1) as f32;
+        assert!(
+            (opt - naive).abs() <= 1e-5 * scale,
+            "dims {dims:?}: {opt} vs {naive}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// softmax family: bitwise equal to the oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn softmax_is_bitwise_equal_to_naive() {
+    for dims in [
+        vec![1usize, 1],
+        vec![5, 9],
+        vec![0, 8],      // zero rows
+        vec![64, 512],   // above SOFTMAX_PAR_MIN_LEN, even rows
+        vec![129, 300],  // above, ragged chunking
+        vec![1, 40_000], // one giant row (single chunk)
+    ] {
+        let t = rand_tensor(&dims, 13).scale(6.0);
+        assert_eq!(
+            t.softmax_lastdim().data(),
+            t.softmax_lastdim_naive().data(),
+            "softmax dims {dims:?}"
+        );
+        assert_eq!(
+            t.log_softmax_lastdim().data(),
+            t.log_softmax_lastdim_naive().data(),
+            "log_softmax dims {dims:?}"
+        );
+    }
+    const _: () = assert!(64 * 512 >= SOFTMAX_PAR_MIN_LEN);
+}
+
+// ---------------------------------------------------------------------------
+// determinism: bit-identical outputs at any thread count
+// ---------------------------------------------------------------------------
+
+/// Runs `f` under each thread count and asserts all outputs are
+/// bit-identical to the first.
+fn assert_thread_invariant(name: &str, f: impl Fn() -> Vec<f32>) {
+    let before = pool::configured_threads();
+    pool::set_threads(1);
+    let reference = f();
+    for threads in [2usize, 4] {
+        pool::set_threads(threads);
+        let got = f();
+        assert_eq!(
+            reference.len(),
+            got.len(),
+            "{name}: length differs at {threads} threads"
+        );
+        for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: element {i} differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+    pool::set_threads(before);
+}
+
+#[test]
+fn kernels_are_bit_identical_across_thread_counts() {
+    let a = rand_tensor(&[256, 256], 21);
+    let b = rand_tensor(&[256, 64], 22);
+    assert_thread_invariant("matmul", || a.matmul(&b).data().to_vec());
+
+    let lhs = rand_tensor(&[8, 64, 64], 23);
+    let rhs = rand_tensor(&[64, 128], 24);
+    assert_thread_invariant("matmul_batched", || {
+        lhs.matmul_batched(&rhs).data().to_vec()
+    });
+
+    let x = rand_tensor(&[200_000], 25);
+    let y = rand_tensor(&[200_000], 26);
+    assert_thread_invariant("add", || x.add(&y).data().to_vec());
+    assert_thread_invariant("exp", || x.exp().data().to_vec());
+    assert_thread_invariant("sum_all", || vec![x.sum_all()]);
+
+    let t = rand_tensor(&[60, 50, 70], 27);
+    assert_thread_invariant("sum_axis", || t.sum_axis(1, false).data().to_vec());
+
+    let s = rand_tensor(&[129, 300], 28);
+    assert_thread_invariant("softmax", || s.softmax_lastdim().data().to_vec());
+    assert_thread_invariant("log_softmax", || s.log_softmax_lastdim().data().to_vec());
+}

@@ -69,6 +69,75 @@ fn same_seed_same_model_same_predictions() {
     assert_eq!(probs_a, probs_b);
 }
 
+/// The determinism contract of the parallel stack: thread count bounds
+/// concurrency but never changes shard structure or kernel dispatch, so a
+/// full train-then-predict run is *bit-identical* at `--threads 1`,
+/// `--threads 4`, and `--threads 0` (auto-detect).
+#[test]
+fn thread_count_never_changes_results() {
+    let s = Scale {
+        // batch_size 32 -> two GRAD_SHARD-sample shards per batch, so the
+        // shard-parallel combine path is genuinely exercised.
+        batch_size: 32,
+        ..scale()
+    };
+    let run = |threads: usize| {
+        let prep = prepare(CohortPreset::PhysioNet2012, &s, 11);
+        let mut ps = ParamStore::new();
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, s.t_len);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(11));
+        let fit = FitConfig {
+            epochs: 2,
+            batch_size: s.batch_size,
+            patience: None,
+            threads,
+            seed: 11,
+            ..Default::default()
+        };
+        let result = train_sequence_model(
+            &net,
+            &mut ps,
+            &prep.samples,
+            &prep.split,
+            s.t_len,
+            Task::Mortality,
+            &fit,
+        );
+        let probs = predict_probs(
+            &net,
+            &ps,
+            &prep.samples,
+            &prep.split.test,
+            s.t_len,
+            Task::Mortality,
+            16,
+        );
+        (ps.to_json(), probs, result.val_auc_pr, result.test.auc_pr)
+    };
+    let (params_1, probs_1, val_1, test_1) = run(1);
+    for threads in [4usize, 0] {
+        let (params_n, probs_n, val_n, test_n) = run(threads);
+        assert_eq!(
+            params_1, params_n,
+            "final parameters differ at threads={threads}"
+        );
+        assert_eq!(probs_1, probs_n, "predictions differ at threads={threads}");
+        assert_eq!(
+            val_1.to_bits(),
+            val_n.to_bits(),
+            "validation metric differs at threads={threads}"
+        );
+        assert_eq!(
+            test_1.to_bits(),
+            test_n.to_bits(),
+            "test metric differs at threads={threads}"
+        );
+    }
+}
+
 #[test]
 fn different_seed_different_model() {
     let (_, probs_a) = train_and_predict(7, 1);
