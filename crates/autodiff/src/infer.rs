@@ -1,0 +1,244 @@
+//! Inference plans: the liveness schedule behind the tape's grad-free
+//! replay mode.
+//!
+//! A retaining [`Tape`](crate::Tape) keeps every intermediate activation
+//! alive so a backward pass can revisit it. Serving-style prediction never
+//! runs backward, so all that retention is pure peak-memory overhead — at
+//! the paper's configuration the per-step `(B,C,C)` attention products and
+//! GRU gate activations dominate a forward's footprint.
+//!
+//! The fix is split into a *capture* pass and *replay* passes:
+//!
+//! 1. **Capture** ([`Tape::capturing`](crate::Tape::capturing)) runs a
+//!    normal retaining forward, additionally logging every external
+//!    [`Tape::value`](crate::Tape::value) read the model performs
+//!    mid-forward (models peek at values to build masks, clone attention
+//!    out, etc.).
+//! 2. [`Tape::finish_capture`](crate::Tape::finish_capture) turns the
+//!    recorded graph into an [`InferPlan`]: a last-use liveness analysis
+//!    over [`Op::inputs`](crate::op::Op::inputs) computes, for every node
+//!    index, which earlier nodes become dead once that node is evaluated.
+//!    Externally read nodes and the caller's outputs are pinned and never
+//!    freed.
+//! 3. **Replay** ([`Tape::replaying`](crate::Tape::replaying)) runs the
+//!    same forward against the plan, dropping each intermediate tensor at
+//!    its last use. Because replay evaluates the *identical op sequence
+//!    with identical kernels on identical inputs*, its outputs are
+//!    bit-for-bit equal to the retaining forward — the property the
+//!    `inference` golden tests lock in.
+//!
+//! A plan is only valid for forwards that record the exact same op
+//! sequence. Shapes are part of that contract, and so is every
+//! data-dependent branch in a model's forward (e.g. ELDA's all-zero
+//! `never`-flag fast path); callers key their plan caches accordingly and
+//! replay verifies the op-name sequence as a safety net.
+
+/// The replay schedule captured from one forward pass: the expected op
+/// sequence plus, per node, the earlier nodes whose values die once that
+/// node has been evaluated.
+#[derive(Debug, Clone)]
+pub struct InferPlan {
+    /// Expected op name per node index, used to detect divergence between
+    /// the captured graph and a replayed forward.
+    op_names: Vec<&'static str>,
+    /// `free_after[i]` = node indices whose tensors are dropped right after
+    /// node `i` is pushed (their last use is `i`, and they are not pinned).
+    free_after: Vec<Vec<u32>>,
+    /// Number of pinned nodes (outputs + externally read values).
+    pinned: usize,
+}
+
+impl InferPlan {
+    pub(crate) fn new(
+        op_names: Vec<&'static str>,
+        free_after: Vec<Vec<u32>>,
+        pinned: usize,
+    ) -> Self {
+        InferPlan {
+            op_names,
+            free_after,
+            pinned,
+        }
+    }
+
+    /// Number of nodes the captured forward recorded.
+    pub fn len(&self) -> usize {
+        self.op_names.len()
+    }
+
+    /// True when the plan covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.op_names.is_empty()
+    }
+
+    /// Number of nodes pinned alive for the whole replay (outputs plus
+    /// values the model reads mid-forward).
+    pub fn pinned(&self) -> usize {
+        self.pinned
+    }
+
+    /// Number of nodes the plan frees before the forward completes.
+    pub fn freed(&self) -> usize {
+        self.free_after.iter().map(Vec::len).sum()
+    }
+
+    /// Nodes to free right after pushing node `idx`.
+    pub(crate) fn free_after(&self, idx: usize) -> &[u32] {
+        &self.free_after[idx]
+    }
+
+    /// Verifies that the op recorded at `idx` matches the captured graph.
+    ///
+    /// # Panics
+    /// Panics with an actionable message when the replayed forward records
+    /// a different op (or more ops) than the capture did — the symptom of a
+    /// plan-cache key that misses a data-dependent branch in the model.
+    pub(crate) fn check(&self, idx: usize, name: &'static str) {
+        match self.op_names.get(idx) {
+            Some(&expected) if expected == name => {}
+            Some(&expected) => panic!(
+                "inference replay diverged at node {idx}: plan expects `{expected}`, model \
+                 recorded `{name}`. The plan was captured from a different graph — every \
+                 data-dependent branch in the model's forward must be part of the plan-cache \
+                 key (see SequenceModel::graph_key)."
+            ),
+            None => panic!(
+                "inference replay overran its plan ({} nodes): the model recorded more ops \
+                 than the captured forward. The plan was captured from a different graph — \
+                 check the plan-cache key (see SequenceModel::graph_key).",
+                self.op_names.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use elda_tensor::Tensor;
+    use std::sync::Arc;
+
+    /// A little graph with a dead intermediate, a pinned mid-forward read
+    /// and a diamond-shaped reuse.
+    fn forward(tape: &mut Tape, read_mid: bool) -> crate::Var {
+        let x = tape.leaf(Tensor::arange(6).reshape(&[2, 3]));
+        let a = tape.relu(x);
+        let b = tape.square(a); // a's last use
+        if read_mid {
+            // external read: must pin `b` in the plan
+            let _peek = tape.value(b).clone();
+        }
+        let c = tape.add(a, b); // diamond: `a` is reused, so its last use is here
+        let d = tape.exp(c);
+        tape.sum_all(d)
+    }
+
+    #[test]
+    fn replay_output_is_bitwise_identical_and_frees_intermediates() {
+        let mut cap = Tape::capturing();
+        let out = forward(&mut cap, false);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        assert!(plan.freed() > 0, "no intermediate was freed");
+
+        let mut rep = Tape::replaying(plan);
+        let out2 = forward(&mut rep, false);
+        assert_eq!(
+            cap.value(out).data(),
+            rep.value(out2).data(),
+            "replay must be bit-identical to the retaining forward"
+        );
+        // the pinned output is still readable after replay
+        assert_eq!(rep.value(out2).len(), 1);
+    }
+
+    #[test]
+    fn external_reads_stay_readable_during_replay() {
+        let mut cap = Tape::capturing();
+        let out = forward(&mut cap, true);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        let mut rep = Tape::replaying(plan);
+        let out2 = forward(&mut rep, true); // re-performs the mid-forward read
+        assert_eq!(cap.value(out).data(), rep.value(out2).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "freed")]
+    fn reading_a_freed_node_panics_clearly() {
+        let mut cap = Tape::capturing();
+        let out = forward(&mut cap, false);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        let mut rep = Tape::replaying(plan);
+        let x = rep.leaf(Tensor::arange(6).reshape(&[2, 3]));
+        let a = rep.relu(x);
+        let b = rep.square(a);
+        let c = rep.add(a, b);
+        let d = rep.exp(c);
+        let _ = rep.sum_all(d);
+        // `c` was never read during capture, so the plan freed it.
+        let _ = rep.value(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn divergent_op_sequence_panics() {
+        let mut cap = Tape::capturing();
+        let out = forward(&mut cap, false);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        let mut rep = Tape::replaying(plan);
+        let x = rep.leaf(Tensor::arange(6).reshape(&[2, 3]));
+        let _ = rep.tanh(x); // capture recorded `relu` here
+    }
+
+    #[test]
+    #[should_panic(expected = "overran")]
+    fn extra_ops_beyond_the_plan_panic() {
+        let mut cap = Tape::capturing();
+        let x = cap.leaf(Tensor::arange(3));
+        let out = cap.sum_all(x);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        let mut rep = Tape::replaying(plan);
+        let x = rep.leaf(Tensor::arange(3));
+        let out = rep.sum_all(x);
+        let _ = rep.square(out); // one op too many
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run backward")]
+    fn backward_on_a_replay_tape_panics() {
+        let mut cap = Tape::capturing();
+        let x = cap.leaf(Tensor::arange(3));
+        let out = cap.sum_all(x);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        let mut rep = Tape::replaying(plan);
+        let x = rep.leaf(Tensor::arange(3));
+        let out = rep.sum_all(x);
+        let _ = rep.backward(out);
+    }
+
+    #[test]
+    fn shape_survives_freeing() {
+        let mut cap = Tape::capturing();
+        let out = forward(&mut cap, false);
+        let plan = Arc::new(cap.finish_capture(&[out]));
+        let mut rep = Tape::replaying(plan);
+        let x = rep.leaf(Tensor::arange(6).reshape(&[2, 3]));
+        let a = rep.relu(x);
+        let b = rep.square(a);
+        let c = rep.add(a, b);
+        let d = rep.exp(c);
+        let _ = rep.sum_all(d);
+        assert_eq!(rep.shape(c), &[2, 3], "freed nodes keep their shape");
+    }
+
+    #[test]
+    fn capture_tape_still_supports_backward() {
+        // Capture is a *retaining* forward: gradients must still work, so
+        // the capture pass can double as a regular prediction pass.
+        let mut cap = Tape::capturing();
+        let x = cap.leaf(Tensor::arange(3));
+        let s = cap.square(x);
+        let out = cap.sum_all(s);
+        let grads = cap.backward(out);
+        assert_eq!(grads.wrt(x).unwrap().data(), &[0.0, 2.0, 4.0]);
+    }
+}

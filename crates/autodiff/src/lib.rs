@@ -21,6 +21,10 @@
 //! * Every op's backward is validated against central finite differences by
 //!   [`check::grad_check`]; the same utility is reused by downstream crates
 //!   to pin whole-model gradients.
+//! * For grad-free serving there is a capture/replay **inference mode**
+//!   ([`Tape::capturing`] / [`Tape::replaying`] + [`infer::InferPlan`])
+//!   that frees each intermediate tensor at its last forward use instead
+//!   of retaining it, with bit-identical outputs.
 //!
 //! ```
 //! use elda_autodiff::Tape;
@@ -37,6 +41,7 @@
 pub mod check;
 pub mod custom;
 pub mod grads;
+pub mod infer;
 pub mod op;
 pub mod sentinel;
 pub mod tape;
@@ -44,6 +49,7 @@ pub mod tape;
 pub use check::{grad_check, GradCheckReport};
 pub use custom::CustomOp;
 pub use grads::Gradients;
+pub use infer::InferPlan;
 pub use op::Op;
 pub use sentinel::NonFiniteOp;
 pub use tape::{ParamId, Tape, Var};

@@ -2,10 +2,13 @@
 
 use crate::custom::CustomOp;
 use crate::grads::Gradients;
+use crate::infer::InferPlan;
 use crate::op::Op;
 use elda_tensor::Tensor;
 use std::any::Any;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Identifier of a parameter managed outside the tape (by `elda-nn`'s
@@ -20,27 +23,145 @@ pub struct ParamId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
 
+/// A node's forward value: live, or dropped by inference replay (only the
+/// shape survives, for diagnostics and [`Tape::shape`]).
+enum Slot {
+    Live(Tensor),
+    Freed(Vec<usize>),
+}
+
 struct Node {
-    value: Tensor,
+    slot: Slot,
     op: Op,
+}
+
+impl Node {
+    /// Drops the tensor, keeping its shape.
+    fn free(&mut self) {
+        if let Slot::Live(t) = &self.slot {
+            self.slot = Slot::Freed(t.shape().to_vec());
+        }
+    }
+}
+
+/// What the tape does with intermediate values (see [`crate::infer`]).
+enum Mode {
+    /// Training default: retain everything for backward.
+    Retain,
+    /// Retaining forward that additionally logs external [`Tape::value`]
+    /// reads, so [`Tape::finish_capture`] can pin them in the plan.
+    Capture { reads: RefCell<HashSet<usize>> },
+    /// Grad-free forward: frees each intermediate at its planned last use
+    /// and verifies the op sequence against the captured plan.
+    Replay { plan: Arc<InferPlan> },
 }
 
 /// A single forward pass: append-only computation record.
 ///
 /// All building methods evaluate eagerly and return a [`Var`]. Call
 /// [`Tape::backward`] on a scalar output to obtain [`Gradients`].
-#[derive(Default)]
+///
+/// Besides the retaining default there are two grad-free *inference*
+/// modes, [`Tape::capturing`] and [`Tape::replaying`] — see
+/// [`crate::infer`] for the capture/replay lifecycle.
 pub struct Tape {
     nodes: Vec<Node>,
     /// param id → leaf var, so the same parameter used twice shares a node
     /// and its gradient accumulates naturally.
     param_leaves: HashMap<ParamId, Var>,
+    mode: Mode,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape {
+            nodes: Vec::new(),
+            param_leaves: HashMap::new(),
+            mode: Mode::Retain,
+        }
+    }
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// A retaining tape that also records which node values the caller
+    /// reads mid-forward, so [`Tape::finish_capture`] can build an
+    /// [`InferPlan`] that pins them.
+    pub fn capturing() -> Self {
+        Tape {
+            mode: Mode::Capture {
+                reads: RefCell::new(HashSet::new()),
+            },
+            ..Tape::default()
+        }
+    }
+
+    /// A grad-free tape that replays `plan`: each intermediate tensor is
+    /// dropped at its planned last use instead of being retained, and the
+    /// recorded op sequence is verified against the plan.
+    pub fn replaying(plan: Arc<InferPlan>) -> Self {
+        Tape {
+            mode: Mode::Replay { plan },
+            ..Tape::default()
+        }
+    }
+
+    /// True for the grad-free inference modes (capture/replay): model code
+    /// can skip retaining side outputs that only a backward pass (or an
+    /// interpretability caller) would consume.
+    pub fn is_inference(&self) -> bool {
+        !matches!(self.mode, Mode::Retain)
+    }
+
+    /// Builds the [`InferPlan`] for the forward recorded on a
+    /// [`Tape::capturing`] tape: a last-use liveness analysis over every
+    /// op's inputs, with `keep` (the caller's outputs) and every externally
+    /// read node pinned alive for the whole replay.
+    ///
+    /// # Panics
+    /// Panics when called on a non-capture tape.
+    pub fn finish_capture(&self, keep: &[Var]) -> InferPlan {
+        let Mode::Capture { reads } = &self.mode else {
+            panic!("finish_capture needs a tape built with Tape::capturing()")
+        };
+        let n = self.nodes.len();
+        let mut pinned = vec![false; n];
+        for &r in reads.borrow().iter() {
+            pinned[r] = true;
+        }
+        for v in keep {
+            pinned[v.0] = true;
+        }
+        // Last use of each node = the highest node index consuming it.
+        const NEVER: usize = usize::MAX;
+        let mut last_use = vec![NEVER; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for v in node.op.inputs() {
+                last_use[v.0] = i;
+            }
+        }
+        let mut free_after: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if pinned[v] {
+                continue;
+            }
+            match last_use[v] {
+                // Dead on arrival (never consumed, never read): free it
+                // right after its own evaluation.
+                NEVER => free_after[v].push(v as u32),
+                lu => free_after[lu].push(v as u32),
+            }
+        }
+        let pinned_count = pinned.iter().filter(|&&p| p).count();
+        InferPlan::new(
+            self.nodes.iter().map(|n| n.op.name()).collect(),
+            free_after,
+            pinned_count,
+        )
     }
 
     /// Number of recorded nodes.
@@ -53,13 +174,41 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// The forward value of `v`, panicking helpfully if inference replay
+    /// already freed it.
+    fn live_value(&self, v: Var) -> &Tensor {
+        match &self.nodes[v.0].slot {
+            Slot::Live(t) => t,
+            Slot::Freed(shape) => panic!(
+                "node {} (shape {:?}) was freed by inference replay but read again — the \
+                 inference plan disagrees with the executed graph; reads performed during \
+                 replay must also happen during capture so the plan pins them",
+                v.0, shape
+            ),
+        }
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         debug_assert!(
             !cfg!(feature = "strict-finite") || value.all_finite(),
             "non-finite value produced by op"
         );
-        self.nodes.push(Node { value, op });
-        Var(self.nodes.len() - 1)
+        let idx = self.nodes.len();
+        if let Mode::Replay { plan } = &self.mode {
+            plan.check(idx, op.name());
+        }
+        self.nodes.push(Node {
+            slot: Slot::Live(value),
+            op,
+        });
+        if let Mode::Replay { plan } = &self.mode {
+            // Drop every tensor whose last use was this node.
+            let plan = Arc::clone(plan);
+            for &f in plan.free_after(idx) {
+                self.nodes[f as usize].free();
+            }
+        }
+        Var(idx)
     }
 
     /// Evaluates `op` against the current arena and appends the result.
@@ -72,14 +221,14 @@ impl Tape {
     /// evaluation is one relaxed atomic load.
     fn record_op(&mut self, op: Op) -> Var {
         if !elda_obs::enabled() {
-            let value = op.eval(&|v: Var| &self.nodes[v.0].value);
+            let value = op.eval(&|v: Var| self.live_value(v));
             self.sentinel_check_fwd(&op, &value);
             return self.push(value, op);
         }
         let start = Instant::now();
-        let value = op.eval(&|v: Var| &self.nodes[v.0].value);
+        let value = op.eval(&|v: Var| self.live_value(v));
         let elapsed = start.elapsed();
-        let flops = op.flop_estimate(&|v: Var| &self.nodes[v.0].value, &value);
+        let flops = op.flop_estimate(&|v: Var| self.live_value(v), &value);
         elda_obs::global().record("fwd", op.name(), elapsed, flops);
         elda_obs::counter_add("flops.fwd", flops);
         self.sentinel_check_fwd(&op, &value);
@@ -118,13 +267,27 @@ impl Tape {
     }
 
     /// The forward value of `v`.
+    ///
+    /// On a [`Tape::capturing`] tape the read is logged so
+    /// [`Tape::finish_capture`] pins `v` alive in the plan.
+    ///
+    /// # Panics
+    /// Panics on a [`Tape::replaying`] tape when `v` was already freed —
+    /// which means the same read did not happen during capture.
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        if let Mode::Capture { reads } = &self.mode {
+            reads.borrow_mut().insert(v.0);
+        }
+        self.live_value(v)
     }
 
-    /// The shape of `v`'s value.
+    /// The shape of `v`'s value (available even after inference replay
+    /// freed the tensor itself).
     pub fn shape(&self, v: Var) -> &[usize] {
-        self.nodes[v.0].value.shape()
+        match &self.nodes[v.0].slot {
+            Slot::Live(t) => t.shape(),
+            Slot::Freed(shape) => shape,
+        }
     }
 
     /// Registers an input leaf (gradient retrievable via [`Gradients::wrt`]).
@@ -380,6 +543,11 @@ impl Tape {
     /// # Panics
     /// Panics when the seed's shape differs from the output's.
     pub fn backward_with_seed(&self, output: Var, seed: Tensor) -> Gradients {
+        assert!(
+            !matches!(self.mode, Mode::Replay { .. }),
+            "a replaying inference tape cannot run backward: intermediate values were freed \
+             at their last forward use — use Tape::new() (or Tape::capturing()) for gradients"
+        );
         assert_eq!(
             seed.shape(),
             self.shape(output),
@@ -395,14 +563,15 @@ impl Tape {
                 continue;
             };
             let node = &self.nodes[idx];
-            let value_of = |v: Var| -> &Tensor { &self.nodes[v.0].value };
+            let value_of = |v: Var| -> &Tensor { self.live_value(v) };
+            let out_value = self.live_value(Var(idx));
             let contributions = if profiling && !matches!(node.op, Op::Leaf) {
                 let start = Instant::now();
-                let c = node.op.backward(&value_of, &node.value, &grad);
+                let c = node.op.backward(&value_of, out_value, &grad);
                 elda_obs::global().record("bwd", node.op.name(), start.elapsed(), 0);
                 c
             } else {
-                node.op.backward(&value_of, &node.value, &grad)
+                node.op.backward(&value_of, out_value, &grad)
             };
             if crate::sentinel::armed() {
                 for (_, g) in &contributions {

@@ -1,0 +1,231 @@
+//! Inference-engine benchmark: the retaining-tape predict path against the
+//! capture/replay grad-free path on the same cohort and weights.
+//!
+//! Reports wall time per pass (throughput) **and** transient peak heap per
+//! pass, measured by a tracking global allocator — the replay path frees
+//! intermediates at their last use and skips the fused op's attention
+//! stash, so its peak predict memory must come in well under the tape's.
+//! Both paths are also checked for bitwise-identical probabilities before
+//! anything is timed.
+//!
+//! Writes a JSON report (default `BENCH_infer.json`, override with
+//! `--json PATH`). `--quick` shrinks the cohort and measurement budget for
+//! CI smoke runs.
+//!
+//! ```text
+//! cargo run --release --bin bench_infer -- [--quick] [--json PATH]
+//! ```
+
+use elda_baselines::gru::GruClassifier;
+use elda_bench::{prepare, Cli};
+use elda_core::framework::predict_probs_tape;
+use elda_core::infer::PlanCache;
+use elda_core::model::SequenceModel;
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{CohortPreset, Task, NUM_FEATURES};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Global allocator shim that tracks live bytes and the high-water mark.
+/// Relaxed atomics: the counters only need to be consistent at the
+/// single-threaded measurement points, not ordered against other memory.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = System.realloc(p, layout, new_size);
+        if !q.is_null() {
+            if new_size >= layout.size() {
+                let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        q
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Runs `f` and returns `(mean wall ms per call, peak transient bytes)` —
+/// the high-water mark above the heap already live when the section began.
+fn measure(budget_s: f64, max_reps: usize, mut f: impl FnMut()) -> (f64, usize) {
+    f(); // warmup: page in operands, prime pools and plan caches
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let start = Instant::now();
+    let mut reps = 0usize;
+    loop {
+        f();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_s || reps >= max_reps {
+            let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+            return (elapsed * 1e3 / reps as f64, peak);
+        }
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let quick = cli.flags.contains_key("quick");
+    let (budget_s, max_reps) = if quick { (0.2, 5) } else { (1.0, 50) };
+    let out_path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_infer.json".to_string());
+
+    let prep = prepare(
+        CohortPreset::PhysioNet2012,
+        &cli.scale,
+        cli.seed.wrapping_add(17),
+    );
+    let t_len = cli.scale.t_len;
+    let n = prep.samples.len();
+    let idx: Vec<usize> = (0..n).collect();
+    let batch_size = cli.scale.batch_size;
+
+    let mut elda_ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+    if quick {
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 16;
+        cfg.compression = 2;
+    }
+    let elda = EldaNet::new(&mut elda_ps, cfg, &mut StdRng::seed_from_u64(42));
+    let mut gru_ps = ParamStore::new();
+    let gru = GruClassifier::new(
+        &mut gru_ps,
+        NUM_FEATURES,
+        64,
+        &mut StdRng::seed_from_u64(43),
+    );
+    let models: [(&dyn SequenceModel, &ParamStore); 2] = [(&elda, &elda_ps), (&gru, &gru_ps)];
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>11} {:>11} {:>8} {:>12} {:>12} {:>7}",
+        "model", "n", "batch", "tape ms", "infer ms", "speedup", "tape peak", "infer peak", "mem"
+    );
+    let mut rows = Vec::new();
+    for (model, ps) in models {
+        // Golden check before timing: replay must be bitwise identical.
+        let want = predict_probs_tape(
+            model,
+            ps,
+            &prep.samples,
+            &idx,
+            t_len,
+            Task::Mortality,
+            batch_size,
+        );
+        let cache = PlanCache::new();
+        let got = elda_core::infer::predict_probs(
+            model,
+            ps,
+            &prep.samples,
+            &idx,
+            t_len,
+            Task::Mortality,
+            batch_size,
+            &cache,
+        );
+        assert_eq!(want.len(), got.len());
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: replay diverged from tape at sample {i}: {a} vs {b}",
+                model.name()
+            );
+        }
+
+        let (tape_ms, tape_peak) = measure(budget_s, max_reps, || {
+            std::hint::black_box(predict_probs_tape(
+                model,
+                ps,
+                &prep.samples,
+                &idx,
+                t_len,
+                Task::Mortality,
+                batch_size,
+            ));
+        });
+        let (infer_ms, infer_peak) = measure(budget_s, max_reps, || {
+            std::hint::black_box(elda_core::infer::predict_probs(
+                model,
+                ps,
+                &prep.samples,
+                &idx,
+                t_len,
+                Task::Mortality,
+                batch_size,
+                &cache,
+            ));
+        });
+        let speedup = tape_ms / infer_ms;
+        let mem_ratio = infer_peak as f64 / tape_peak.max(1) as f64;
+        println!(
+            "{:<10} {:>6} {:>6} {:>11.3} {:>11.3} {:>7.2}x {:>12} {:>12} {:>6.2}x",
+            model.name(),
+            n,
+            batch_size,
+            tape_ms,
+            infer_ms,
+            speedup,
+            tape_peak,
+            infer_peak,
+            mem_ratio
+        );
+        rows.push(serde_json::json!({
+            "model": model.name(),
+            "n_samples": n,
+            "t_len": t_len,
+            "batch_size": batch_size,
+            "tape_ms_per_pass": tape_ms,
+            "infer_ms_per_pass": infer_ms,
+            "speedup": speedup,
+            "tape_peak_bytes": tape_peak,
+            "infer_peak_bytes": infer_peak,
+            "mem_ratio": mem_ratio,
+            "bitwise_identical": true,
+        }));
+    }
+
+    let payload = serde_json::json!({
+        "bench": "infer",
+        "quick": quick,
+        "host_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "target_fma": cfg!(target_feature = "fma"),
+        "results": rows,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&payload).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

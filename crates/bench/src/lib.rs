@@ -114,7 +114,11 @@ impl Cli {
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--quick" | "--full" => {} // handled in pass 1
+                // Scale handled in pass 1; recorded in flags so binaries
+                // can also shrink measurement budgets on --quick runs.
+                "--quick" | "--full" => {
+                    flags.insert(args[i][2..].to_string(), "true".to_string());
+                }
                 "--seed" => {
                     seed = args[i + 1].parse().expect("--seed N");
                     i += 1;

@@ -10,6 +10,7 @@
 //!               [--resume]] [--recover] [--fault SPEC]
 //! elda evaluate --data ./cohort --model model.json
 //! elda predict  --model model.json --record patient.txt
+//! elda serve    --model model.json [--addr 127.0.0.1:7878] [--batch 64] [--wait-ms 5]
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
 //! elda report   trace.jsonl
 //! elda help
@@ -21,6 +22,7 @@
 
 mod args;
 mod report;
+mod serve;
 
 use args::Args;
 use elda_core::framework::{CheckpointOptions, FitConfig};
@@ -55,6 +57,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "predict" => cmd_predict(&args),
+        "serve" => cmd_serve(&args),
         "interpret" => cmd_interpret(&args),
         "report" => cmd_report(&args),
         other => Err(format!("unknown subcommand {other:?}; try `elda help`")),
@@ -73,6 +76,8 @@ fn print_help() {
          \x20            [--resume] [--recover] [--fault SPEC]\n\
          \x20 evaluate   --data DIR --model FILE\n\
          \x20 predict    --model FILE --record FILE\n\
+         \x20 serve      --model FILE [--addr HOST:PORT] [--batch N] [--wait-ms MS]\n\
+         \x20            [--threads N]\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
          \x20 report     TRACE.jsonl\n\
          \x20 help\n\n\
@@ -88,6 +93,9 @@ fn print_help() {
          `--threads N` bounds BOTH parallelism layers — shard-parallel\n\
          gradients and the tensor kernel pool; 0 = auto-detect cores.\n\
          Results are bit-identical at any setting.\n\
+         `serve` runs a newline-delimited-JSON TCP scoring server with\n\
+         request micro-batching on the grad-free inference engine; send\n\
+         {{\"cmd\":\"shutdown\"}} for a graceful drain-and-exit.\n\
          cohort directories use the PhysioNet-2012 file layout."
     );
 }
@@ -388,6 +396,22 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         if alert { "YES" } else { "no" }
     );
     Ok(())
+}
+
+/// `elda serve` — concurrent TCP/JSON scoring server on the grad-free
+/// batched inference engine (see [`serve`]).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let elda = load_model(args)?;
+    // Kernel-pool sizing for the batched forwards; 0 = auto-detect.
+    elda_tensor::pool::set_threads(args.num_or("threads", 0usize)?);
+    serve::run(
+        elda,
+        serve::ServeConfig {
+            addr: args.get_or("addr", "127.0.0.1:7878").to_string(),
+            batch_max: args.num_or("batch", 64usize)?,
+            wait_ms: args.num_or("wait-ms", 5u64)?,
+        },
+    )
 }
 
 fn cmd_interpret(args: &Args) -> Result<(), String> {

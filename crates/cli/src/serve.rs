@@ -1,0 +1,404 @@
+//! `elda serve` — a std-only concurrent TCP scoring server over the
+//! grad-free batched inference engine.
+//!
+//! The protocol is newline-delimited JSON (friendly to `nc`/`curl
+//! telnet://`): each request is one line, each reply is one line.
+//!
+//! ```text
+//! {"id": 7, "values": [v, v, null, ...]}   -> {"id":7,"risk":0.8312,"alert":true}
+//! {"cmd": "ping"}                          -> {"ok":"pong"}
+//! {"cmd": "stats"}                         -> {"requests":N,"errors":E,"batches":B,"queue_depth":D}
+//! {"cmd": "shutdown"}                      -> {"ok":"shutting down"} and the server drains + exits
+//! anything malformed                       -> {"error":"..."}        (connection stays open)
+//! ```
+//!
+//! `values` is the patient's hourly measurement grid, row-major `t_len ×
+//! 37` features in [`elda_emr::FEATURES`] order, `null` for missing slots
+//! (exactly what `elda_emr::io::parse_record` produces from a
+//! PhysioNet-layout record file). `id` is echoed back verbatim so clients
+//! can pipeline requests.
+//!
+//! Concurrency model: one reader thread per connection parses requests and
+//! enqueues them; a single scorer thread micro-batches the queue (up to
+//! `--batch` requests per forward, waiting up to `--wait-ms` for
+//! stragglers to coalesce) and answers through per-connection writer
+//! locks. Scoring runs on [`Elda::predict_batch`]'s replay path, so served
+//! risks are bit-identical to offline `elda predict`. Per-request latency,
+//! batch sizes and queue depth flow through `elda-obs`
+//! (`serve.latency_ms`, `serve.batch_size`, `serve.queue_depth`) when
+//! profiling is enabled; the `stats` command always works.
+
+use elda_core::Elda;
+use elda_emr::io::{patient_from_grid, Outcome};
+use elda_emr::{Patient, NUM_FEATURES};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server options (`elda serve` flags).
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Micro-batch cap: at most this many requests per forward pass.
+    pub batch_max: usize,
+    /// Micro-batch wait window in milliseconds: after the first request
+    /// arrives, wait up to this long for more to coalesce.
+    pub wait_ms: u64,
+}
+
+/// One parsed client line.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server-side counters.
+    Stats,
+    /// Graceful shutdown: drain the queue, answer everything, exit.
+    Shutdown,
+    /// Score one patient grid.
+    Score {
+        /// Client-chosen correlation id, echoed back verbatim.
+        id: serde_json::Value,
+        /// The decoded patient.
+        patient: Patient,
+    },
+}
+
+/// Parses one request line. Every failure is a client error that gets a
+/// `{"error": ...}` reply — never a server crash.
+pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("empty request body".into());
+    }
+    let doc: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if let Some(cmd) = doc.get("cmd").and_then(|c| c.as_str()) {
+        return match cmd {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd {other:?} (ping|stats|shutdown)")),
+        };
+    }
+    let values = doc
+        .get("values")
+        .and_then(|v| v.as_array())
+        .ok_or("request needs a `values` array (or a `cmd`)")?;
+    let expect = t_len * NUM_FEATURES;
+    if values.len() != expect {
+        return Err(format!(
+            "`values` must hold t_len x features = {t_len} x {NUM_FEATURES} = {expect} entries \
+             (row-major hours x features, null = missing), got {}",
+            values.len()
+        ));
+    }
+    let mut grid = Vec::with_capacity(expect);
+    for v in values {
+        match v.as_f64() {
+            Some(x) => grid.push(x as f32),
+            None if *v == serde_json::Value::Null => grid.push(f32::NAN),
+            None => return Err("`values` entries must be numbers or null".into()),
+        }
+    }
+    let id = doc.get("id").cloned().unwrap_or(serde_json::Value::Null);
+    let patient = patient_from_grid(
+        0,
+        grid,
+        t_len,
+        Outcome {
+            los_days: 0.0,
+            died: false,
+        },
+    );
+    Ok(Request::Score { id, patient })
+}
+
+/// A scored-but-unanswered request parked in the micro-batch queue.
+struct Pending {
+    id: serde_json::Value,
+    patient: Patient,
+    enqueued: Instant,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared between connection readers, the scorer and the acceptor.
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    arrived: Condvar,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Pops the next micro-batch: at most `batch_max` requests, oldest first.
+fn take_batch<T>(queue: &mut VecDeque<T>, batch_max: usize) -> Vec<T> {
+    let n = queue.len().min(batch_max.max(1));
+    queue.drain(..n).collect()
+}
+
+/// Writes one reply line under the connection's writer lock. A dead
+/// client (broken pipe) is ignored — the reader side tears the
+/// connection down.
+fn write_line(out: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut stream = out.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// The single scorer thread: waits for requests, coalesces a micro-batch,
+/// runs one grad-free batched forward, answers everyone. Exits once
+/// shutdown is flagged *and* the queue is drained, so every accepted
+/// request is answered.
+fn scorer_loop(elda: &Elda, shared: &Shared, cfg: &ServeConfig) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            while q.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                let (guard, _) = shared
+                    .arrived
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+            if q.is_empty() {
+                return; // shutdown with nothing left to answer
+            }
+            // Wait window: give concurrent clients `wait_ms` to coalesce
+            // into one forward, bounded by the batch cap.
+            let deadline = Instant::now() + Duration::from_millis(cfg.wait_ms);
+            while q.len() < cfg.batch_max && !shared.shutdown.load(Ordering::SeqCst) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .arrived
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+            elda_obs::stat_add("serve.queue_depth", q.len() as f64);
+            take_batch(&mut q, cfg.batch_max)
+        };
+        let patients: Vec<Patient> = batch.iter().map(|p| p.patient.clone()).collect();
+        let risks = elda.predict_batch(&patients);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        elda_obs::stat_add("serve.batch_size", batch.len() as f64);
+        for (pending, risk) in batch.into_iter().zip(risks) {
+            elda_obs::stat_add(
+                "serve.latency_ms",
+                pending.enqueued.elapsed().as_secs_f64() * 1e3,
+            );
+            let reply = serde_json::json!({
+                "id": pending.id,
+                "risk": risk,
+                "alert": risk >= elda.alert_threshold,
+            });
+            write_line(
+                &pending.out,
+                &serde_json::to_string(&reply).expect("reply json"),
+            );
+        }
+    }
+}
+
+/// One reader thread per connection: parse lines, enqueue scores, answer
+/// commands and errors inline.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, t_len: usize) {
+    let out = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        match parse_request(&line, t_len) {
+            Ok(Request::Ping) => write_line(&out, r#"{"ok":"pong"}"#),
+            Ok(Request::Stats) => {
+                let reply = serde_json::json!({
+                    "requests": shared.requests.load(Ordering::Relaxed),
+                    "errors": shared.errors.load(Ordering::Relaxed),
+                    "batches": shared.batches.load(Ordering::Relaxed),
+                    "queue_depth": shared
+                        .queue
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .len(),
+                });
+                write_line(&out, &serde_json::to_string(&reply).expect("stats json"));
+            }
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.arrived.notify_all();
+                write_line(&out, r#"{"ok":"shutting down"}"#);
+                break;
+            }
+            Ok(Request::Score { id, patient }) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                elda_obs::counter_add("serve.requests", 1);
+                let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+                q.push_back(Pending {
+                    id,
+                    patient,
+                    enqueued: Instant::now(),
+                    out: Arc::clone(&out),
+                });
+                drop(q);
+                shared.arrived.notify_all();
+            }
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                elda_obs::counter_add("serve.errors", 1);
+                let reply = serde_json::json!({ "error": e });
+                write_line(&out, &serde_json::to_string(&reply).expect("error json"));
+            }
+        }
+    }
+}
+
+/// Runs the server until a client sends `{"cmd":"shutdown"}`. Prints
+/// `listening on ADDR` (with the resolved port) once ready.
+pub fn run(elda: Elda, cfg: ServeConfig) -> Result<(), String> {
+    if elda.pipeline().is_none() {
+        return Err("model artifact has no fitted pipeline; retrain with `elda train`".into());
+    }
+    let t_len = elda.net().config().t_len;
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?;
+    println!("listening on {local}");
+    println!(
+        "protocol: one JSON request per line; t_len {t_len}, {NUM_FEATURES} features, \
+         batch <= {}, wait window {} ms",
+        cfg.batch_max, cfg.wait_ms
+    );
+    let _ = std::io::stdout().flush();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking accept unsupported: {e}"))?;
+
+    let shared = Arc::new(Shared::default());
+    let scorer = {
+        let elda = Arc::new(elda);
+        let shared = Arc::clone(&shared);
+        let cfg = ServeConfig {
+            addr: String::new(),
+            ..cfg
+        };
+        std::thread::spawn(move || scorer_loop(&elda, &shared, &cfg))
+    };
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(stream, shared, t_len));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+    // Graceful shutdown: the scorer drains and answers everything queued
+    // before it returns; reader threads die with the process.
+    shared.arrived.notify_all();
+    scorer.join().map_err(|_| "scorer thread panicked")?;
+    println!(
+        "shutdown complete ({} requests, {} errors, {} batches)",
+        shared.requests.load(Ordering::Relaxed),
+        shared.errors.load(Ordering::Relaxed),
+        shared.batches.load(Ordering::Relaxed),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_LEN: usize = 4;
+
+    fn grid_json(n: usize) -> String {
+        let vals: Vec<&str> = (0..n)
+            .map(|i| if i % 3 == 0 { "null" } else { "0.5" })
+            .collect();
+        format!(r#"{{"id": 1, "values": [{}]}}"#, vals.join(","))
+    }
+
+    #[test]
+    fn empty_body_is_a_client_error() {
+        assert!(parse_request("", T_LEN).unwrap_err().contains("empty"));
+        assert!(parse_request("   ", T_LEN).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn malformed_json_is_a_client_error_not_a_crash() {
+        for bad in [
+            "{not json",
+            "[1,2,3",
+            "\"just a string\"",
+            "{\"values\": 3}",
+        ] {
+            assert!(parse_request(bad, T_LEN).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_grids_are_rejected_with_the_expected_count() {
+        let expect = T_LEN * NUM_FEATURES;
+        for n in [0, 1, expect - 1, expect + 1, 10 * expect] {
+            let err = parse_request(&grid_json(n), T_LEN).unwrap_err();
+            assert!(err.contains(&expect.to_string()), "{err}");
+        }
+    }
+
+    #[test]
+    fn well_formed_request_decodes_nulls_as_missing() {
+        let expect = T_LEN * NUM_FEATURES;
+        let req = parse_request(&grid_json(expect), T_LEN).unwrap();
+        let Request::Score { id, patient } = req else {
+            panic!("expected a score request")
+        };
+        assert_eq!(id.as_u64(), Some(1));
+        assert!(patient.values[0].is_nan(), "null must decode to missing");
+        assert_eq!(patient.values[1], 0.5);
+        assert_eq!(patient.values.len(), expect);
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"ping"}"#, T_LEN),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#, T_LEN),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#, T_LEN),
+            Ok(Request::Shutdown)
+        ));
+        assert!(parse_request(r#"{"cmd":"reboot"}"#, T_LEN).is_err());
+    }
+
+    #[test]
+    fn micro_batches_respect_the_cap_and_preserve_order() {
+        let mut q: VecDeque<usize> = (0..10).collect();
+        assert_eq!(take_batch(&mut q, 4), vec![0, 1, 2, 3]);
+        assert_eq!(take_batch(&mut q, 4), vec![4, 5, 6, 7]);
+        assert_eq!(take_batch(&mut q, 4), vec![8, 9], "partial final batch");
+        assert!(take_batch(&mut q, 4).is_empty());
+        // a zero cap still makes progress
+        let mut q: VecDeque<usize> = (0..2).collect();
+        assert_eq!(take_batch(&mut q, 0), vec![0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end smoke test for `elda serve`: train a tiny model with the
+//! real binary, start the server, fire concurrent clients, and assert
+//! that served risks match offline prediction and that
+//! `{"cmd":"shutdown"}` drains and exits cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn elda_cmd(args: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_elda"));
+    c.args(args);
+    c
+}
+
+fn run_ok(args: &[&str]) {
+    let out = elda_cmd(args).output().expect("spawn elda");
+    assert!(
+        out.status.success(),
+        "elda {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// JSON request line for one patient grid (NaN → null).
+fn score_request(id: usize, values: &[f32]) -> String {
+    let vals: Vec<String> = values
+        .iter()
+        .map(|v| {
+            if v.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect();
+    format!(r#"{{"id": {id}, "values": [{}]}}"#, vals.join(","))
+}
+
+/// Sends one line and reads one reply line.
+fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send request");
+    stream.flush().expect("flush request");
+    let mut reply = String::new();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(!reply.is_empty(), "server closed the connection");
+    reply
+}
+
+/// Extracts `"risk":<f32>` from a reply line.
+fn risk_of(reply: &str) -> f32 {
+    let doc: serde_json::Value = serde_json::from_str(reply.trim())
+        .unwrap_or_else(|e| panic!("unparseable reply {reply:?}: {e}"));
+    doc.get("risk")
+        .and_then(|r| r.as_f64())
+        .unwrap_or_else(|| panic!("no risk in reply {reply:?}")) as f32
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start(model: &str) -> Server {
+        let mut child = elda_cmd(&[
+            "serve",
+            "--model",
+            model,
+            "--addr",
+            "127.0.0.1:0",
+            "--batch",
+            "8",
+            "--wait-ms",
+            "5",
+            "--threads",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn elda serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before listening")
+                .expect("read server stdout");
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.trim().to_string();
+            }
+        };
+        // keep draining stdout so the server never blocks on a full pipe
+        std::thread::spawn(move || for _ in lines {});
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn concurrent_clients_match_offline_predictions_and_shutdown_is_clean() {
+    let dir = std::env::temp_dir().join(format!("elda-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cohort_dir = dir.join("cohort");
+    let model = dir.join("model.json");
+    let t_len = 6usize;
+
+    run_ok(&[
+        "generate",
+        "--out",
+        cohort_dir.to_str().unwrap(),
+        "--patients",
+        "30",
+        "--tlen",
+        "6",
+        "--seed",
+        "21",
+    ]);
+    run_ok(&[
+        "train",
+        "--data",
+        cohort_dir.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--tlen",
+        "6",
+        "--epochs",
+        "1",
+        "--batch",
+        "16",
+        "--variant",
+        "time",
+        "--threads",
+        "1",
+    ]);
+
+    // Offline reference: the deployed artifact scoring the same grids.
+    let elda = elda_core::Elda::load_file(&model).expect("load model");
+    let cohort = elda_emr::io::read_physionet_dir(&cohort_dir, t_len).expect("reload cohort");
+    let patients: Vec<elda_emr::Patient> = cohort.patients.iter().take(8).cloned().collect();
+    let expected = elda.predict_batch(&patients);
+
+    let server = Server::start(model.to_str().unwrap());
+
+    // Four concurrent clients, two patients each. Served risks must match
+    // the offline replay path to the same tolerance the batching-
+    // transparency test uses: micro-batch composition depends on request
+    // timing, and on FMA targets the matmul flops-threshold dispatch picks
+    // fused vs unfused kernels by batch size, so risks can differ by an
+    // ULP across batch shapes. The JSON f32 round-trip itself is exact.
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let server = &server;
+            let patients = &patients;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut stream = server.connect();
+                let pong = roundtrip(&mut stream, r#"{"cmd":"ping"}"#);
+                assert!(pong.contains("pong"), "bad ping reply: {pong}");
+                for k in 0..2 {
+                    let idx = client * 2 + k;
+                    let reply = roundtrip(&mut stream, &score_request(idx, &patients[idx].values));
+                    let served = risk_of(&reply);
+                    assert!(
+                        (served - expected[idx]).abs() < 1e-5,
+                        "served risk diverged from offline predict for patient {idx}: \
+                         {served} vs {}: {reply}",
+                        expected[idx]
+                    );
+                }
+            });
+        }
+    });
+
+    // Malformed input gets an error reply on a live connection — the
+    // server must survive it.
+    let mut stream = server.connect();
+    let err_reply = roundtrip(&mut stream, "{this is not json");
+    assert!(err_reply.contains("error"), "no error reply: {err_reply}");
+    let pong = roundtrip(&mut stream, r#"{"cmd":"ping"}"#);
+    assert!(pong.contains("pong"), "server died after bad input: {pong}");
+
+    // Stats saw all eight scoring requests and no crashes.
+    let stats = roundtrip(&mut stream, r#"{"cmd":"stats"}"#);
+    let doc: serde_json::Value = serde_json::from_str(stats.trim()).expect("stats json");
+    assert_eq!(
+        doc.get("requests").and_then(|v| v.as_u64()),
+        Some(8),
+        "{stats}"
+    );
+    assert!(
+        doc.get("errors").and_then(|v| v.as_u64()) >= Some(1),
+        "{stats}"
+    );
+
+    // Graceful shutdown: acknowledged, then the process exits 0.
+    let bye = roundtrip(&mut stream, r#"{"cmd":"shutdown"}"#);
+    assert!(bye.contains("shutting down"), "bad shutdown reply: {bye}");
+    let mut server = server;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match server.child.try_wait().expect("wait server") {
+            Some(status) => break status,
+            None if std::time::Instant::now() > deadline => {
+                panic!("server did not exit within 30s of shutdown")
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert!(status.success(), "server exited with {status:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -196,6 +196,11 @@ pub fn train_sequence_model(
     let mut opt = Adam::new(cfg.lr);
 
     let train_idx = &split.train;
+    // One replay-plan cache for the whole run: per-epoch validation and the
+    // final test evaluation replay grad-free plans instead of allocating a
+    // fresh retaining tape per batch (satellite fix for the eval-path
+    // memory regression).
+    let plan_cache = crate::infer::PlanCache::new();
     let loss_fn = |ps: &ParamStore, shard: &[usize]| {
         // shard indexes into train_idx
         let abs: Vec<usize> = shard.iter().map(|&i| train_idx[i]).collect();
@@ -211,7 +216,16 @@ pub fn train_sequence_model(
     let started = Instant::now();
     let (history, best_val): (Vec<EpochStats>, f32) = {
         let mut val_scorer = |ps: &ParamStore| {
-            let probs = predict_probs(model, ps, samples, &split.val, t_len, task, cfg.batch_size);
+            let probs = crate::infer::predict_probs(
+                model,
+                ps,
+                samples,
+                &split.val,
+                t_len,
+                task,
+                cfg.batch_size,
+                &plan_cache,
+            );
             let labels = labels_of(samples, &split.val, task);
             if labels.iter().all(|&y| y == labels[0]) {
                 // Degenerate (single-class) fold: AUC-PR is undefined. Fall
@@ -230,7 +244,16 @@ pub fn train_sequence_model(
 
     // Test evaluation + prediction timing.
     let pred_started = Instant::now();
-    let probs = predict_probs(model, ps, samples, &split.test, t_len, task, cfg.batch_size);
+    let probs = crate::infer::predict_probs(
+        model,
+        ps,
+        samples,
+        &split.test,
+        t_len,
+        task,
+        cfg.batch_size,
+        &plan_cache,
+    );
     let predict_elapsed = pred_started.elapsed().as_secs_f32();
     let labels = labels_of(samples, &split.test, task);
     let test = safe_evaluate(&probs, &labels);
@@ -248,24 +271,38 @@ pub fn train_sequence_model(
     }
 }
 
-/// [`evaluate`] that tolerates degenerate (single-class) folds — possible
-/// on very small cohorts — by reporting `NaN` AUCs instead of panicking.
-/// BCE is always well-defined and always computed.
+/// [`evaluate`] under its historical name: since the metrics themselves
+/// degrade (single-class folds and NaN scores report `NaN` AUCs with a
+/// warning instead of panicking — see `elda_metrics::auc`), this is now a
+/// plain delegation kept for API stability.
 pub fn safe_evaluate(probs: &[f32], labels: &[f32]) -> EvalSummary {
-    let single_class = labels.iter().all(|&y| y == labels[0]);
-    if single_class {
-        EvalSummary {
-            bce: elda_metrics::bce_loss(probs, labels),
-            auc_roc: f32::NAN,
-            auc_pr: f32::NAN,
-        }
-    } else {
-        evaluate(probs, labels)
-    }
+    evaluate(probs, labels)
 }
 
-/// Predicted probabilities for `indices`, batched.
+/// Predicted probabilities for `indices`, batched, on the grad-free
+/// replay path (bit-identical to [`predict_probs_tape`]; see
+/// [`crate::infer`]). Callers that predict repeatedly should hold their
+/// own [`crate::infer::PlanCache`] and call
+/// [`crate::infer::predict_probs`] directly to reuse captured plans
+/// across calls.
 pub fn predict_probs(
+    model: &dyn SequenceModel,
+    ps: &ParamStore,
+    samples: &[ProcessedSample],
+    indices: &[usize],
+    t_len: usize,
+    task: Task,
+    batch_size: usize,
+) -> Vec<f32> {
+    let cache = crate::infer::PlanCache::new();
+    crate::infer::predict_probs(model, ps, samples, indices, t_len, task, batch_size, &cache)
+}
+
+/// Predicted probabilities for `indices` on the classic retaining-tape
+/// forward (a fresh [`Tape::new`] per batch, sequential). Kept as the
+/// reference implementation the golden tests and the predict bench
+/// compare the grad-free engine against.
+pub fn predict_probs_tape(
     model: &dyn SequenceModel,
     ps: &ParamStore,
     samples: &[ProcessedSample],
@@ -325,6 +362,10 @@ pub struct Elda {
     ps: ParamStore,
     pipeline: Option<Pipeline>,
     task: Task,
+    /// Replay-plan cache for the grad-free prediction path; plans depend
+    /// on the architecture (not the weights), so one cache lives as long
+    /// as the instance.
+    infer: crate::infer::PlanCache,
     /// Alert threshold for [`Elda::should_alert`].
     pub alert_threshold: f32,
 }
@@ -340,6 +381,7 @@ impl Elda {
             ps,
             pipeline: None,
             task,
+            infer: crate::infer::PlanCache::new(),
             alert_threshold: 0.5,
         }
     }
@@ -354,6 +396,7 @@ impl Elda {
             ps,
             pipeline: None,
             task,
+            infer: crate::infer::PlanCache::new(),
             alert_threshold: 0.5,
         }
     }
@@ -423,23 +466,40 @@ impl Elda {
 
     /// Predicted risk for one raw patient.
     pub fn predict_proba(&self, patient: &Patient) -> f32 {
-        let sample = self.process(patient);
-        let probs = predict_probs(
+        self.predict_batch(std::slice::from_ref(patient))[0]
+    }
+
+    /// Predicted risks for a panel of raw patients, batched (64 per
+    /// forward) and sharded across the tensor worker pool on the
+    /// grad-free replay path. Results are in input order and identical to
+    /// calling [`Elda::predict_proba`] per patient.
+    pub fn predict_batch(&self, patients: &[Patient]) -> Vec<f32> {
+        let samples: Vec<ProcessedSample> = patients.iter().map(|p| self.process(p)).collect();
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        crate::infer::predict_probs(
             &self.net,
             &self.ps,
-            std::slice::from_ref(&sample),
-            &[0],
+            &samples,
+            &indices,
             self.net.config().t_len,
             self.task,
-            1,
-        );
-        probs[0]
+            64,
+            &self.infer,
+        )
     }
 
     /// §III "Predictive Analytics": true when the predicted risk crosses
     /// the alert threshold and clinicians should be notified.
     pub fn should_alert(&self, patient: &Patient) -> bool {
         self.predict_proba(patient) >= self.alert_threshold
+    }
+
+    /// [`Elda::should_alert`] for a whole panel in one batched pass.
+    pub fn should_alert_batch(&self, patients: &[Patient]) -> Vec<bool> {
+        self.predict_batch(patients)
+            .into_iter()
+            .map(|risk| risk >= self.alert_threshold)
+            .collect()
     }
 
     /// §III "Interaction Interpretation": full attention read-out for one

@@ -1,0 +1,148 @@
+//! The grad-free batched inference engine.
+//!
+//! Training forwards retain every intermediate on the tape for backward;
+//! prediction never runs backward, so retention is pure peak-memory
+//! overhead. This module drives the autodiff capture/replay mode
+//! ([`elda_autodiff::Tape::capturing`] /
+//! [`elda_autodiff::Tape::replaying`]) from the framework level:
+//!
+//! * [`PlanCache`] captures one replay plan per distinct forward graph —
+//!   keyed on batch shape, the model's
+//!   [`SequenceModel::graph_key`](crate::model::SequenceModel::graph_key)
+//!   (data-dependent branches) and whether observability is on (obs
+//!   telemetry performs extra mid-forward value reads that must be
+//!   pinned) — then replays it for every following batch of that shape,
+//!   freeing each intermediate tensor at its last use.
+//! * [`predict_probs`] shards the batches of one prediction call across
+//!   the tensor worker pool. `elda_tensor::pool` guarantees in-order
+//!   results and serializes nested parallelism, and replay is bit-identical
+//!   to the retaining forward, so predictions match the sequential
+//!   retaining path exactly at any thread count — the property the
+//!   `inference` golden tests lock in.
+//!
+//! Replay evaluates the identical op sequence with identical kernels on
+//! identical inputs, so there is no accuracy/performance trade-off here:
+//! only peak memory and (on multicore hosts) wall clock change.
+
+use crate::model::SequenceModel;
+use elda_autodiff::{InferPlan, Tape};
+use elda_emr::{Batch, ProcessedSample, Task};
+use elda_nn::ParamStore;
+use elda_tensor::pool;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything that must agree for two forwards to record the same op
+/// sequence (and hence legally share a replay plan).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    /// Batch tensor dims `(B, T, C)` — shapes drive every kernel size.
+    dims: Vec<usize>,
+    /// The model's data-dependent-branch discriminator.
+    graph_key: u64,
+    /// Observability gates extra `tape.value` reads (attention stats,
+    /// time-attention stats) that change what a plan must pin.
+    obs: bool,
+}
+
+/// A concurrency-safe cache of captured [`InferPlan`]s, one per distinct
+/// forward graph. Create one per deployed model (plans embed the model's
+/// op sequence, not its weights — weight updates do *not* invalidate
+/// plans, architecture changes do, so keep the cache tied to the model
+/// instance).
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<InferPlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache; the first batch of each shape captures its plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct forward graphs captured so far.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// True when no plan has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.lock().is_empty()
+    }
+
+    /// Grad-free forward for one batch: sigmoid(logits) as a plain vector.
+    ///
+    /// Cache miss → a capturing (retaining) forward that records the
+    /// replay plan; cache hit → a replaying forward that frees
+    /// intermediates at their last use. Outputs are bit-identical either
+    /// way.
+    pub fn forward_probs(
+        &self,
+        model: &dyn SequenceModel,
+        ps: &ParamStore,
+        batch: &Batch,
+    ) -> Vec<f32> {
+        let key = PlanKey {
+            dims: batch.x.shape().to_vec(),
+            graph_key: model.graph_key(batch),
+            obs: elda_obs::enabled(),
+        };
+        let plan = self.plans.lock().get(&key).cloned();
+        match plan {
+            Some(plan) => {
+                elda_obs::counter_add("infer.replay", 1);
+                let mut tape = Tape::replaying(plan);
+                let logits = model.forward_logits(ps, &mut tape, batch);
+                tape.value(logits).sigmoid().data().to_vec()
+            }
+            None => {
+                elda_obs::counter_add("infer.capture", 1);
+                let mut tape = Tape::capturing();
+                let logits = model.forward_logits(ps, &mut tape, batch);
+                let plan = Arc::new(tape.finish_capture(&[logits]));
+                self.plans.lock().insert(key, plan);
+                tape.value(logits).sigmoid().data().to_vec()
+            }
+        }
+    }
+}
+
+/// Predicted probabilities for `indices`, batched and sharded across the
+/// tensor worker pool, on the grad-free replay path.
+///
+/// Batch 0 runs inline so the dominant plan is captured exactly once
+/// before workers fan out; the remaining batches run on the pool and
+/// replay it (a differently shaped final partial batch captures its own
+/// plan). Results are returned in index order and are bit-identical to a
+/// sequential retaining forward at any `pool::set_threads` setting.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_probs(
+    model: &dyn SequenceModel,
+    ps: &ParamStore,
+    samples: &[ProcessedSample],
+    indices: &[usize],
+    t_len: usize,
+    task: Task,
+    batch_size: usize,
+    cache: &PlanCache,
+) -> Vec<f32> {
+    let mut scope = elda_obs::scope("framework", "predict");
+    let chunks: Vec<&[usize]> = indices.chunks(batch_size.max(1)).collect();
+    let run = |chunk: &[usize]| -> Vec<f32> {
+        let batch = Batch::gather(samples, chunk, t_len, task);
+        cache.forward_probs(model, ps, &batch)
+    };
+    let mut probs = Vec::with_capacity(indices.len());
+    if let Some((first, rest)) = chunks.split_first() {
+        probs.extend(run(first));
+        for part in pool::map_jobs(rest.len(), |i| run(rest[i])) {
+            probs.extend(part);
+        }
+    }
+    if let Some(s) = scope.as_mut() {
+        s.add_units(indices.len() as u64);
+    }
+    probs
+}

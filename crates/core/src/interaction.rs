@@ -47,15 +47,35 @@ const NEG_INF: f32 = -1.0e30;
 /// interpretability and reused by the analytic backward.
 pub struct FusedFeatureInteractionOp {
     /// Attention weights of the last forward pass, `(B, C, C)` with zero
-    /// diagonal; rows sum to 1 over `j ≠ i`.
+    /// diagonal; rows sum to 1 over `j ≠ i`. `None` until forward runs —
+    /// and always `None` for [`FusedFeatureInteractionOp::without_stash`]
+    /// instances.
     pub attention: Mutex<Option<Tensor>>,
+    /// Whether forward materializes and stashes the full `(B,C,C)`
+    /// attention tensor. The analytic backward requires it, so training
+    /// tapes must keep this on; grad-free inference turns it off and works
+    /// with one `(C,C)` scratch row instead.
+    stash: bool,
 }
 
 impl FusedFeatureInteractionOp {
-    /// A fresh op instance (one per tape node).
+    /// A fresh op instance (one per tape node), stashing attention for the
+    /// analytic backward and interpretability read-outs.
     pub fn new() -> Self {
         FusedFeatureInteractionOp {
             attention: Mutex::new(None),
+            stash: true,
+        }
+    }
+
+    /// Inference-only instance: never materializes the batch-level
+    /// `(B,C,C)` attention tensor (the dominant term in predict memory at
+    /// the paper's configuration). Calling `backward` on such an instance
+    /// panics — grad-free tapes never do.
+    pub fn without_stash() -> Self {
+        FusedFeatureInteractionOp {
+            attention: Mutex::new(None),
+            stash: false,
         }
     }
 }
@@ -77,7 +97,15 @@ impl CustomOp for FusedFeatureInteractionOp {
         };
         let (b, c, ed) = unpack_dims(e, wa, ba);
         let mut out = vec![0.0f32; b * c * ed];
-        let mut attention = vec![0.0f32; b * c * c];
+        // Only the stashing (training/interpretability) path materializes
+        // the whole (B,C,C) attention tensor; inference reuses one (C,C)
+        // scratch row per sample.
+        let mut attention = self.stash.then(|| vec![0.0f32; b * c * c]);
+        let mut a_scratch = if self.stash {
+            Vec::new()
+        } else {
+            vec![0.0f32; c * c]
+        };
         let mut logits = vec![0.0f32; c * c];
         let mut u = vec![0.0f32; c * ed];
         let mut m = vec![0.0f32; c * ed];
@@ -96,14 +124,19 @@ impl CustomOp for FusedFeatureInteractionOp {
                     };
                 }
             }
-            let a_s = &mut attention[s * c * c..(s + 1) * c * c];
+            let a_s = match attention.as_mut() {
+                Some(att) => &mut att[s * c * c..(s + 1) * c * c],
+                None => &mut a_scratch[..],
+            };
             softmax_rows(&logits, a_s, c);
             // m = A @ E ; out[i,:] = e_i ⊙ m_i
             matmul_nn(a_s, es, &mut m, c, c, ed);
             let out_s = &mut out[s * c * ed..(s + 1) * c * ed];
             hadamard(&m, es, out_s);
         }
-        *self.attention.lock() = Some(Tensor::from_vec(attention, &[b, c, c]));
+        if let Some(attention) = attention {
+            *self.attention.lock() = Some(Tensor::from_vec(attention, &[b, c, c]));
+        }
         Tensor::from_vec(out, &[b, c, ed])
     }
 
@@ -376,13 +409,43 @@ impl FeatureInteraction {
             let att = tape.value(att_var).clone();
             (c_out, att)
         };
-        // Eq. 6: f_i = pᵀ ReLU([e_i ; c_i]), shared p, per feature.
+        let out = self.compress(ps, tape, e, c_out, b);
+        (out, attention)
+    }
+
+    /// [`FeatureInteraction::forward`] without the attention read-out: the
+    /// grad-free prediction path, which never needs `A` for
+    /// interpretability. On inference tapes the fused kernel additionally
+    /// skips materializing the `(B,C,C)` attention stash; the recorded op
+    /// sequence (and hence the output bits) is identical either way.
+    pub fn forward_lean(&self, ps: &ParamStore, tape: &mut Tape, e: Var) -> Var {
+        let dims = tape.shape(e).to_vec();
+        assert_eq!(dims.len(), 3, "expects (B,C,e)");
+        assert_eq!(dims[1], self.num_features);
+        assert_eq!(dims[2], self.embed_dim);
+        let b = dims[0];
+        let wa = ps.bind(tape, self.wa);
+        let ba = ps.bind(tape, self.ba);
+        let c_out = if self.fused {
+            let op = if tape.is_inference() {
+                FusedFeatureInteractionOp::without_stash()
+            } else {
+                FusedFeatureInteractionOp::new()
+            };
+            tape.custom(Box::new(op), &[e, wa, ba])
+        } else {
+            feature_interaction_naive(tape, e, wa, ba).0
+        };
+        self.compress(ps, tape, e, c_out, b)
+    }
+
+    /// Eq. 6: `f_i = pᵀ ReLU([e_i ; c_i])`, shared `p`, per feature.
+    fn compress(&self, ps: &ParamStore, tape: &mut Tape, e: Var, c_out: Var, b: usize) -> Var {
         let z = tape.concat(&[e, c_out], 2); // (B,C,2e)
         let z = tape.relu(z);
         let p = ps.bind(tape, self.p);
         let f = tape.matmul_batched(z, p); // (B,C,d)
-        let out = tape.reshape(f, &[b, self.num_features * self.compression]);
-        (out, attention)
+        tape.reshape(f, &[b, self.num_features * self.compression])
     }
 }
 

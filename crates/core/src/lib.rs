@@ -23,12 +23,16 @@
 //!   trait every baseline implements too;
 //! * [`framework`] — the **ELDA framework** of §III: train / predict /
 //!   alert / interpret on cohorts, with checkpointing;
+//! * [`infer`] — the grad-free batched inference engine: replay-plan
+//!   cache plus pool-sharded prediction, bit-identical to the retaining
+//!   tape forward;
 //! * [`interpret`] — extraction of the feature-level and time-level
 //!   attention weights that drive the paper's Figures 8–10.
 
 pub mod config;
 pub mod embedding;
 pub mod framework;
+pub mod infer;
 pub mod interaction;
 pub mod interpret;
 pub mod model;
@@ -38,6 +42,7 @@ pub mod time_interaction;
 
 pub use config::{EldaConfig, EldaVariant, EmbeddingKind};
 pub use framework::{Elda, TrainReport};
+pub use infer::PlanCache;
 pub use interpret::{mean_row_entropy, mean_row_max, Interpretation, TimeAttentionSummary};
 pub use model::{EldaNet, SequenceModel};
 pub use population::{format_top_pairs, PopulationAttention};

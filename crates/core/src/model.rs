@@ -24,6 +24,15 @@ pub trait SequenceModel: Sync {
 
     /// Records the forward pass, returning logits `(B, 1)`.
     fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var;
+
+    /// Discriminates data-dependent branches in the forward graph: two
+    /// batches with equal shapes **and** equal graph keys must record the
+    /// exact same op sequence. The grad-free prediction path keys its
+    /// replay-plan cache on this (see `elda_core::infer`); models whose op
+    /// sequence depends only on batch shape keep the default.
+    fn graph_key(&self, _batch: &Batch) -> u64 {
+        0
+    }
 }
 
 /// Detailed forward outputs of ELDA-Net, including the attention weights
@@ -87,6 +96,16 @@ impl EldaNet {
 
     /// Full forward pass with attention extraction.
     pub fn forward_detailed(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> EldaForward {
+        self.forward_inner(ps, tape, batch, true)
+    }
+
+    fn forward_inner(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        batch: &Batch,
+        want_attention: bool,
+    ) -> EldaForward {
         let dims = batch.x.shape();
         assert_eq!(dims.len(), 3, "batch.x must be (B,T,C)");
         let (_b, t_len, c) = (dims[0], dims[1], dims[2]);
@@ -94,7 +113,7 @@ impl EldaNet {
         assert_eq!(c, self.cfg.num_features, "batch feature-count mismatch");
 
         let x = tape.leaf(batch.x.clone());
-        let mut feature_attention = self.cfg.feature_module.then(Vec::new);
+        let mut feature_attention = (want_attention && self.cfg.feature_module).then(Vec::new);
 
         // Per-step representation: feature module or raw features.
         let steps: Vec<Var> =
@@ -108,24 +127,31 @@ impl EldaNet {
                             embed.forward(ps, tape, x_t, never)
                         };
                         let _t = elda_obs::scope("phase", "feature-interaction");
-                        let (f_t, att) = inter.forward(ps, tape, e);
-                        if elda_obs::enabled() {
-                            // Per-epoch attention telemetry (drained into
-                            // `attention` trace events by the trainer).
-                            let c = att.shape()[2];
-                            elda_obs::stat_add(
-                                "attention.feature.entropy",
-                                crate::interpret::mean_row_entropy(att.data(), c) as f64,
-                            );
-                            elda_obs::stat_add(
-                                "attention.feature.max",
-                                crate::interpret::mean_row_max(att.data(), c) as f64,
-                            );
+                        // The lean path skips the attention read-out (and
+                        // the fused kernel's (B,C,C) stash on inference
+                        // tapes); obs telemetry still needs the matrix.
+                        if want_attention || elda_obs::enabled() {
+                            let (f_t, att) = inter.forward(ps, tape, e);
+                            if elda_obs::enabled() {
+                                // Per-epoch attention telemetry (drained into
+                                // `attention` trace events by the trainer).
+                                let c = att.shape()[2];
+                                elda_obs::stat_add(
+                                    "attention.feature.entropy",
+                                    crate::interpret::mean_row_entropy(att.data(), c) as f64,
+                                );
+                                elda_obs::stat_add(
+                                    "attention.feature.max",
+                                    crate::interpret::mean_row_max(att.data(), c) as f64,
+                                );
+                            }
+                            if let Some(acc) = feature_attention.as_mut() {
+                                acc.push(att);
+                            }
+                            f_t
+                        } else {
+                            inter.forward_lean(ps, tape, e)
                         }
-                        if let Some(acc) = feature_attention.as_mut() {
-                            acc.push(att);
-                        }
-                        f_t
                     })
                     .collect()
             } else {
@@ -190,7 +216,14 @@ impl SequenceModel for EldaNet {
     }
 
     fn forward_logits(&self, ps: &ParamStore, tape: &mut Tape, batch: &Batch) -> Var {
-        self.forward_detailed(ps, tape, batch).logits
+        self.forward_inner(ps, tape, batch, false).logits
+    }
+
+    fn graph_key(&self, batch: &Batch) -> u64 {
+        // The embedding takes an all-zero `never` fast path
+        // (`BiDirectionalEmbedding::forward`), changing the recorded op
+        // sequence for batches whose never-event flags are all zero.
+        (self.cfg.feature_module && batch.never.data().iter().all(|&v| v == 0.0)) as u64
     }
 }
 

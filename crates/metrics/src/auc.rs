@@ -1,22 +1,51 @@
 //! Area-under-curve metrics: ROC (rank-based, tie-aware) and PR
 //! (Davis–Goadrich step interpolation).
+//!
+//! Degenerate evaluations — a single-class split (possible on tiny
+//! cohorts) or NaN scores (a diverged model) — are real runtime
+//! conditions on the per-epoch validation path, so the AUCs *degrade* to
+//! `NaN` with a logged warning (mirroring `safe_evaluate`'s treatment of
+//! empty splits) instead of panicking mid-training. Malformed inputs
+//! (length mismatch, non-binary labels) still panic: those are caller
+//! bugs, not data conditions.
 
 use crate::validate_inputs;
+
+/// Reports an undefined-metric condition (stderr warning + the
+/// `metrics.undefined` obs counter) and returns the NaN the metric
+/// degrades to.
+fn undefined_metric(metric: &str, why: &str) -> f32 {
+    eprintln!("[elda-metrics] warning: {metric} is undefined ({why}); reporting NaN");
+    elda_obs::counter_add("metrics.undefined", 1);
+    f32::NAN
+}
+
+fn has_nan(scores: &[f32]) -> bool {
+    scores.iter().any(|s| s.is_nan())
+}
 
 /// AUC-ROC computed via the Mann–Whitney U statistic with midranks, so tied
 /// scores contribute 0.5 — identical to scikit-learn's `roc_auc_score`.
 ///
+/// Returns `NaN` (with a warning) when only one class is present or any
+/// score is NaN — ranking is undefined in both cases.
+///
 /// # Panics
-/// Panics when inputs are invalid or only one class is present.
+/// Panics when inputs are malformed (see [`crate::evaluate`]).
 pub fn auc_roc(scores: &[f32], labels: &[f32]) -> f32 {
     validate_inputs(scores, labels);
+    if has_nan(scores) {
+        return undefined_metric("AUC-ROC", "NaN scores");
+    }
     let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
     let n_neg = labels.len() - n_pos;
-    assert!(n_pos > 0 && n_neg > 0, "AUC-ROC needs both classes present");
+    if n_pos == 0 || n_neg == 0 {
+        return undefined_metric("AUC-ROC", "only one class present");
+    }
 
     // Sort indices by score ascending, then assign midranks over tie groups.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
     while i < order.len() {
@@ -50,12 +79,19 @@ pub struct RocPoint {
 
 /// The ROC curve swept over all distinct thresholds, from the strictest
 /// (predict nothing positive) to the loosest.
+///
+/// Returns an empty curve (with a warning) when any score is NaN —
+/// thresholding NaN scores is meaningless.
 pub fn roc_curve(scores: &[f32], labels: &[f32]) -> Vec<RocPoint> {
     validate_inputs(scores, labels);
+    if has_nan(scores) {
+        undefined_metric("ROC curve", "NaN scores");
+        return Vec::new();
+    }
     let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
     let n_neg = labels.len() - n_pos;
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut curve = vec![RocPoint {
         fpr: 0.0,
         tpr: 0.0,
@@ -94,12 +130,22 @@ pub struct PrPoint {
 }
 
 /// The PR curve swept over all distinct thresholds, highest first.
+///
+/// Returns an empty curve (with a warning) when there are no positives or
+/// any score is NaN — precision/recall are undefined in both cases.
 pub fn pr_curve(scores: &[f32], labels: &[f32]) -> Vec<PrPoint> {
     validate_inputs(scores, labels);
+    if has_nan(scores) {
+        undefined_metric("PR curve", "NaN scores");
+        return Vec::new();
+    }
     let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
-    assert!(n_pos > 0, "PR curve needs at least one positive");
+    if n_pos == 0 {
+        undefined_metric("PR curve", "no positive labels");
+        return Vec::new();
+    }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut curve = Vec::new();
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0;
@@ -126,8 +172,14 @@ pub fn pr_curve(scores: &[f32], labels: &[f32]) -> Vec<PrPoint> {
 /// `AP = Σ (R_k − R_{k−1}) · P_k`, matching scikit-learn's
 /// `average_precision_score` (no linear interpolation, which would be
 /// optimistic — Davis & Goadrich 2006).
+///
+/// Returns `NaN` (with a warning) when the PR curve is undefined — no
+/// positive labels or NaN scores.
 pub fn auc_pr(scores: &[f32], labels: &[f32]) -> f32 {
     let curve = pr_curve(scores, labels);
+    if curve.is_empty() {
+        return f32::NAN; // pr_curve already warned
+    }
     let mut ap = 0.0f64;
     let mut prev_recall = 0.0f64;
     for p in &curve {
@@ -227,8 +279,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "both classes")]
-    fn single_class_roc_panics() {
-        auc_roc(&[0.5, 0.6], &[1.0, 1.0]);
+    fn single_class_degrades_to_nan_instead_of_panicking() {
+        // Regression: degenerate validation folds used to abort training.
+        assert!(auc_roc(&[0.5, 0.6], &[1.0, 1.0]).is_nan());
+        assert!(auc_roc(&[0.5, 0.6], &[0.0, 0.0]).is_nan());
+        assert!(auc_pr(&[0.5, 0.6], &[0.0, 0.0]).is_nan());
+        assert!(pr_curve(&[0.5, 0.6], &[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_degrade_to_nan_instead_of_panicking() {
+        // Regression: a diverged model's NaN scores used to panic the
+        // rank sort (`.expect("NaN score")`) during per-epoch validation.
+        let scores = [0.9, f32::NAN, 0.2, 0.4];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!(auc_roc(&scores, &labels).is_nan());
+        assert!(auc_pr(&scores, &labels).is_nan());
+        assert!(roc_curve(&scores, &labels).is_empty());
+        assert!(pr_curve(&scores, &labels).is_empty());
     }
 }

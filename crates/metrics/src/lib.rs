@@ -40,6 +40,11 @@ pub struct EvalSummary {
 /// assert_eq!(s.auc_roc, 1.0);
 /// ```
 ///
+/// Degenerate evaluations degrade rather than abort: with a single-class
+/// split or NaN probabilities the AUCs come back `NaN` (with a logged
+/// warning; see [`auc`]), while BCE stays well-defined whenever the
+/// probabilities are.
+///
 /// # Panics
 /// Panics when lengths differ, inputs are empty, or labels are not `{0,1}`.
 pub fn evaluate(probs: &[f32], labels: &[f32]) -> EvalSummary {

@@ -21,7 +21,8 @@ pub struct OperatingPoint {
 
 fn candidate_thresholds(scores: &[f32]) -> Vec<f32> {
     let mut t: Vec<f32> = scores.to_vec();
-    t.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    // total_cmp: NaN scores sort last instead of panicking the tuner.
+    t.sort_by(|a, b| a.total_cmp(b));
     t.dedup();
     t
 }

@@ -1,0 +1,170 @@
+//! Golden tests for the tape-free inference engine: the capture/replay
+//! path in `elda_core::infer` must reproduce the retaining-tape forward
+//! **bitwise** — same kernels, same shapes, same accumulation order — for
+//! ELDA-Net and the baselines, across batch splits (including a partial
+//! last chunk), thread counts, and both sides of the never-flag graph
+//! branch.
+
+use elda_baselines::gru::GruClassifier;
+use elda_baselines::retain::Retain;
+use elda_bench::{prepare, Scale};
+use elda_core::framework::{predict_probs, predict_probs_tape};
+use elda_core::infer::PlanCache;
+use elda_core::model::SequenceModel;
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{CohortPreset, Task, NUM_FEATURES};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_scale() -> Scale {
+    Scale {
+        n_patients: 60,
+        t_len: 8,
+        epochs: 1,
+        seeds: 1,
+        batch_size: 16,
+    }
+}
+
+fn tiny_elda(t_len: usize, seed: u64) -> (ParamStore, EldaNet) {
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(EldaVariant::Full, t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 8;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(seed));
+    (ps, net)
+}
+
+fn assert_bitwise(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: sample {i} diverged: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn grad_free_forward_is_bitwise_identical_to_tape_forward() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 11);
+    let idx: Vec<usize> = (0..20).collect();
+
+    // ELDA-Net plus two architecturally different baselines; a partial
+    // last chunk (20 % 7 != 0) and a single full batch both covered.
+    let (elda_ps, elda_net) = tiny_elda(scale.t_len, 3);
+    let mut gru_ps = ParamStore::new();
+    let gru = GruClassifier::new(&mut gru_ps, NUM_FEATURES, 8, &mut StdRng::seed_from_u64(4));
+    let mut retain_ps = ParamStore::new();
+    let retain = Retain::new(
+        &mut retain_ps,
+        NUM_FEATURES,
+        6,
+        &mut StdRng::seed_from_u64(5),
+    );
+    let models: [(&dyn SequenceModel, &ParamStore); 3] = [
+        (&elda_net, &elda_ps),
+        (&gru, &gru_ps),
+        (&retain, &retain_ps),
+    ];
+
+    for (model, ps) in models {
+        for batch_size in [7, 20] {
+            let tape = predict_probs_tape(
+                model,
+                ps,
+                &prep.samples,
+                &idx,
+                scale.t_len,
+                Task::Mortality,
+                batch_size,
+            );
+            let replay = predict_probs(
+                model,
+                ps,
+                &prep.samples,
+                &idx,
+                scale.t_len,
+                Task::Mortality,
+                batch_size,
+            );
+            let what = format!("{} batch_size={batch_size}", model.name());
+            assert_bitwise(&tape, &replay, &what);
+        }
+    }
+}
+
+#[test]
+fn replay_is_bitwise_stable_across_calls_and_thread_counts() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 12);
+    let (ps, net) = tiny_elda(scale.t_len, 6);
+    let idx: Vec<usize> = (0..20).collect();
+
+    let cache = PlanCache::new();
+    let run = |cache: &PlanCache| {
+        elda_core::infer::predict_probs(
+            &net,
+            &ps,
+            &prep.samples,
+            &idx,
+            scale.t_len,
+            Task::Mortality,
+            7,
+            cache,
+        )
+    };
+    let first = run(&cache); // captures
+                             // chunks of 7,7,6 → two distinct batch shapes → two plans
+    assert_eq!(cache.len(), 2, "one plan per distinct batch shape");
+    let second = run(&cache); // replays
+    assert_bitwise(&first, &second, "capture vs replay");
+    assert_eq!(cache.len(), 2, "replay must not re-capture");
+
+    let prev = elda_tensor::pool::threads();
+    elda_tensor::pool::set_threads(4);
+    let wide = run(&cache);
+    elda_tensor::pool::set_threads(prev);
+    assert_bitwise(&first, &wide, "1 thread vs 4 threads");
+}
+
+#[test]
+fn never_flag_branch_is_plan_keyed_and_bitwise_identical() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 13);
+    let (ps, net) = tiny_elda(scale.t_len, 7);
+
+    // Force both sides of the embedding's data-dependent branch: one copy
+    // of the cohort with every never flag cleared (fast path), one with a
+    // guaranteed never-observed feature (slow path).
+    let mut all_observed = prep.samples[..12].to_vec();
+    for s in &mut all_observed {
+        s.never = vec![0.0; NUM_FEATURES];
+    }
+    let mut with_missing = prep.samples[..12].to_vec();
+    with_missing[0].never[0] = 1.0;
+
+    let idx: Vec<usize> = (0..12).collect();
+    let cache = PlanCache::new();
+    for (samples, what) in [(&all_observed, "never=0"), (&with_missing, "never!=0")] {
+        let tape = predict_probs_tape(&net, &ps, samples, &idx, scale.t_len, Task::Mortality, 12);
+        let replay = elda_core::infer::predict_probs(
+            &net,
+            &ps,
+            samples,
+            &idx,
+            scale.t_len,
+            Task::Mortality,
+            12,
+            &cache,
+        );
+        assert_bitwise(&tape, &replay, what);
+    }
+    // Same dims, different graph_key → the cache must hold both plans
+    // rather than replaying the wrong op sequence.
+    assert_eq!(cache.len(), 2, "both graph keys cached separately");
+}
