@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # elda-cli
+//!
+//! Library backing the `elda` command-line binary: argument parsing
+//! ([`args`]), the subcommand implementations ([`commands`]), the trace
+//! analyzer behind `elda report` ([`report`]), and the production scoring
+//! tier behind `elda serve` ([`serve`]).
+//!
+//! The crate is a library so that out-of-process consumers — the
+//! `bench_serve` load generator, the serve integration drills — can embed
+//! the real TCP server ([`serve::Server`]) in-process instead of
+//! shell-scripting the binary. The `elda` binary itself is a thin wrapper
+//! over [`commands::run`].
+
+pub mod args;
+pub mod commands;
+pub mod report;
+pub mod serve;
+
+pub use commands::run;

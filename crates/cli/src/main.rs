@@ -1,725 +1,17 @@
 //! `elda` — command-line interface to the ELDA healthcare-analytics
-//! framework.
-//!
-//! ```text
-//! elda generate --out ./cohort --patients 600 [--seed 0] [--mimic]
-//! elda train    --data ./cohort --model model.json [--task mortality|los]
-//!               [--epochs 12] [--batch 64] [--variant full|time|fbi|ffm]
-//!               [--threads N] [--lr 1e-3] [--profile trace.jsonl] [--health]
-//!               [--checkpoint-dir DIR [--checkpoint-every N] [--keep-last K]
-//!               [--resume]] [--recover] [--fault SPEC]
-//! elda evaluate --data ./cohort --model model.json
-//! elda predict  --model model.json --record patient.txt
-//! elda serve    --model model.json [--addr 127.0.0.1:7878] [--batch 64] [--wait-ms 5]
-//! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
-//! elda report   trace.jsonl
-//! elda help
-//! ```
-//!
-//! Cohort directories use the PhysioNet Challenge 2012 layout (one
-//! `Time,Parameter,Value` file per admission plus `Outcomes.txt`), so the
-//! real credentialed datasets work as drop-in inputs.
+//! framework. All logic lives in the `elda_cli` library (see
+//! [`elda_cli::commands`]); this binary only maps process arguments to
+//! [`elda_cli::run`] and its result to an exit code.
 
-mod args;
-mod report;
-mod serve;
-
-use args::Args;
-use elda_core::framework::{CheckpointOptions, FitConfig};
-use elda_core::{Elda, EldaConfig, EldaVariant};
-use elda_emr::io::{
-    parse_record, patient_from_grid, read_physionet_dir, write_physionet_dir, Outcome,
-};
-use elda_emr::{cohort_stats, feature_by_name, Cohort, CohortPreset, Task, FEATURES};
-use elda_nn::faults;
-use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(argv) {
+    match elda_cli::run(argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-fn run(argv: Vec<String>) -> Result<(), String> {
-    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
-        print_help();
-        return Ok(());
-    }
-    let args = Args::parse(argv)?;
-    match args.command.as_str() {
-        "generate" => cmd_generate(&args),
-        "train" => cmd_train(&args),
-        "evaluate" => cmd_evaluate(&args),
-        "predict" => cmd_predict(&args),
-        "serve" => cmd_serve(&args),
-        "interpret" => cmd_interpret(&args),
-        "report" => cmd_report(&args),
-        other => Err(format!("unknown subcommand {other:?}; try `elda help`")),
-    }
-}
-
-fn print_help() {
-    println!(
-        "elda — explicit dual-interaction learning for healthcare analytics\n\n\
-         subcommands:\n\
-         \x20 generate   --out DIR [--patients N] [--seed S] [--mimic] [--tlen T]\n\
-         \x20 train      --data DIR --model FILE [--task mortality|los] [--epochs N]\n\
-         \x20            [--batch N] [--variant full|time|fbi|ffm] [--tlen T] [--lr LR]\n\
-         \x20            [--threads N] [--profile FILE.jsonl] [--health]\n\
-         \x20            [--checkpoint-dir DIR] [--checkpoint-every N] [--keep-last K]\n\
-         \x20            [--resume] [--recover] [--fault SPEC]\n\
-         \x20 evaluate   --data DIR --model FILE\n\
-         \x20 predict    --model FILE --record FILE\n\
-         \x20 serve      --model FILE [--addr HOST:PORT] [--batch N] [--wait-ms MS]\n\
-         \x20            [--threads N]\n\
-         \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
-         \x20 report     TRACE.jsonl\n\
-         \x20 help\n\n\
-         `--health` turns on training-health monitoring (divergence, exploding\n\
-         gradients, dead parameters, first non-finite op); `report` analyzes a\n\
-         trace written by `--profile`.\n\
-         `--checkpoint-dir` writes durable training checkpoints (atomic, CRC32\n\
-         integrity footer, keep-last-K); `--resume` continues bit-for-bit from\n\
-         the newest intact one. `--recover` rolls back to the last good\n\
-         checkpoint with a halved learning rate when an epoch goes bad.\n\
-         `--fault SPEC` (or ELDA_FAULTS) injects test faults, e.g.\n\
-         `nan_grad@2`, `panic@1`, `abort@3`, `truncate_ckpt`.\n\
-         `--threads N` bounds BOTH parallelism layers — shard-parallel\n\
-         gradients and the tensor kernel pool; 0 = auto-detect cores.\n\
-         Results are bit-identical at any setting.\n\
-         `serve` runs a newline-delimited-JSON TCP scoring server with\n\
-         request micro-batching on the grad-free inference engine; send\n\
-         {{\"cmd\":\"shutdown\"}} for a graceful drain-and-exit.\n\
-         cohort directories use the PhysioNet-2012 file layout."
-    );
-}
-
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    let out = args.require("out")?;
-    let patients = args.num_or("patients", 600usize)?;
-    let seed = args.num_or("seed", 0u64)?;
-    let t_len = args.num_or("tlen", 48usize)?;
-    let preset = if args.flag("mimic") {
-        CohortPreset::MimicIii
-    } else {
-        CohortPreset::PhysioNet2012
-    };
-    let mut config = preset.config(seed, Some(patients));
-    config.t_len = t_len;
-    let cohort = Cohort::generate(config);
-    write_physionet_dir(&cohort, Path::new(out)).map_err(|e| e.to_string())?;
-    println!("{}", cohort_stats(&cohort));
-    println!("\nwrote {} admissions to {out}", cohort.len());
-    Ok(())
-}
-
-fn parse_task(args: &Args) -> Result<Task, String> {
-    match args.get_or("task", "mortality") {
-        "mortality" => Ok(Task::Mortality),
-        "los" => Ok(Task::LosGt7),
-        other => Err(format!("--task must be mortality or los, got {other:?}")),
-    }
-}
-
-fn parse_variant(args: &Args) -> Result<EldaVariant, String> {
-    match args.get_or("variant", "full") {
-        "full" => Ok(EldaVariant::Full),
-        "time" => Ok(EldaVariant::TimeOnly),
-        "fbi" => Ok(EldaVariant::FeatureBi),
-        "ffm" => Ok(EldaVariant::FeatureFm),
-        other => Err(format!(
-            "--variant must be full|time|fbi|ffm, got {other:?}"
-        )),
-    }
-}
-
-fn cmd_train(args: &Args) -> Result<(), String> {
-    let data = args.require("data")?;
-    let model_path = args.require("model")?;
-    let t_len = args.num_or("tlen", 48usize)?;
-    let task = parse_task(args)?;
-    let variant = parse_variant(args)?;
-    let profile_path = args.options.get("profile").cloned();
-    // Validate flag combinations before the (potentially slow) data load.
-    if args.flag("resume") && !args.options.contains_key("checkpoint-dir") {
-        return Err("--resume requires --checkpoint-dir".into());
-    }
-    // Fault injection (drills and tests): --fault wins over ELDA_FAULTS.
-    if let Some(spec) = args.options.get("fault") {
-        faults::install(elda_nn::FaultPlan::parse(spec)?);
-    } else {
-        faults::install_from_env()?;
-    }
-    let cohort = read_physionet_dir(Path::new(data), t_len).map_err(|e| e.to_string())?;
-    println!("loaded {} admissions from {data}", cohort.len());
-
-    let cfg = EldaConfig::variant(variant, t_len);
-    let mut elda = Elda::with_config(cfg, task, args.num_or("seed", 0u64)?);
-    println!(
-        "training {} ({} parameters)...",
-        variant.name(),
-        elda.params().num_scalars()
-    );
-    let mut fit = FitConfig {
-        epochs: args.num_or("epochs", 12usize)?,
-        batch_size: args.num_or("batch", 64usize)?,
-        verbose: args.flag("verbose"),
-        seed: args.num_or("seed", 0u64)?,
-        ..Default::default()
-    };
-    fit.threads = args.num_or("threads", fit.threads)?;
-    // --threads governs both parallelism layers (shard-parallel gradients
-    // and the tensor kernel pool); 0 = auto-detect. Configure the pool here
-    // so kernels outside the training loop (evaluation, prediction) see the
-    // same setting.
-    elda_tensor::pool::set_threads(fit.threads);
-    fit.lr = args.num_or("lr", fit.lr)?;
-    if args.flag("health") {
-        fit.health = Some(Default::default());
-    }
-    if let Some(dir) = args.options.get("checkpoint-dir") {
-        fit.checkpoint = Some(CheckpointOptions {
-            dir: dir.into(),
-            every: args.num_or("checkpoint-every", 1usize)?,
-            keep_last: args.num_or("keep-last", 3usize)?,
-            resume: args.flag("resume"),
-        });
-    }
-    if args.flag("recover") {
-        fit.recovery = Some(Default::default());
-    }
-
-    if let Some(path) = &profile_path {
-        elda_obs::install_sink_to_file(Path::new(path))
-            .map_err(|e| format!("cannot open --profile {path}: {e}"))?;
-        elda_obs::global().reset();
-        elda_obs::set_enabled(true);
-    }
-    let started = std::time::Instant::now();
-    let report = elda.fit(&cohort, &fit);
-    let wall = started.elapsed();
-    println!(
-        "test: BCE {:.4}  AUC-ROC {:.4}  AUC-PR {:.4}  ({} epochs)",
-        report.test.bce, report.test.auc_roc, report.test.auc_pr, report.epochs_run
-    );
-    if fit.health.is_some() {
-        print_health_summary(&report.health_incidents);
-    }
-    print_recovery_summary(&report.recoveries);
-    if let Some(path) = &profile_path {
-        elda_obs::set_enabled(false);
-        finish_profile(path, variant.name(), &report, wall);
-    }
-    faults::clear();
-    // Atomic write: a crash mid-save leaves the previous artifact (or
-    // nothing), never a torn half-written model.
-    elda_nn::write_atomic(Path::new(model_path), elda.save().as_bytes())?;
-    println!("saved model artifact to {model_path}");
-    Ok(())
-}
-
-/// Prints the auto-recovery rollback history (`--recover`), if any.
-fn print_recovery_summary(recoveries: &[elda_nn::RecoveryEvent]) {
-    if recoveries.is_empty() {
-        return;
-    }
-    println!("recovery: {} rollback(s)", recoveries.len());
-    for r in recoveries {
-        let target = match r.rollback_to {
-            Some(e) => format!("epoch {e}"),
-            None => "initial state".to_string(),
-        };
-        println!(
-            "  epoch {:>3}  retry {}  rolled back to {target}  lr {} -> {}  ({})",
-            r.epoch, r.retry, r.old_lr, r.new_lr, r.cause
-        );
-    }
-}
-
-/// Prints the `--health` verdicts collected over the run.
-fn print_health_summary(incidents: &[elda_obs::Incident]) {
-    if incidents.is_empty() {
-        println!("health: no incidents");
-        return;
-    }
-    println!("health: {} incident(s)", incidents.len());
-    for inc in incidents {
-        println!(
-            "  epoch {:>3}  {:<14} {}: {}",
-            inc.epoch,
-            inc.status.key(),
-            inc.subject,
-            inc.detail
-        );
-    }
-}
-
-/// `elda report TRACE.jsonl` — parses a profiling trace and prints the
-/// training-health analysis (see [`report::analyze`]).
-fn cmd_report(args: &Args) -> Result<(), String> {
-    let path = args
-        .positional
-        .first()
-        .map(String::as_str)
-        .or_else(|| args.options.get("trace").map(String::as_str))
-        .ok_or("usage: elda report TRACE.jsonl")?;
-    let events = report::load_trace(path)?;
-    println!("trace {path} ({} events)", events.len());
-    print!("{}", report::analyze(&events));
-    Ok(())
-}
-
-/// Dumps the aggregated registry into the trace file (one `op` event per
-/// timer, one `counter` event per counter, one closing `run` event), closes
-/// the sink and prints the aggregate table.
-fn finish_profile(
-    path: &str,
-    model: &str,
-    report: &elda_core::framework::TrainReport,
-    wall: std::time::Duration,
-) {
-    let snap = elda_obs::global().snapshot();
-    for row in &snap.timers {
-        elda_obs::emit(
-            &elda_obs::TraceEvent::new("op")
-                .with("kind", row.kind)
-                .with("op", row.name)
-                .with("calls", row.stat.calls)
-                .with("total_ms", row.stat.total_ns as f64 / 1e6)
-                .with(
-                    "mean_us",
-                    row.stat.total_ns as f64 / 1e3 / row.stat.calls.max(1) as f64,
-                )
-                .with("units", row.stat.units),
-        );
-    }
-    for c in &snap.counters {
-        elda_obs::emit(
-            &elda_obs::TraceEvent::new("counter")
-                .with("name", c.name)
-                .with("value", c.value),
-        );
-    }
-    elda_obs::emit(
-        &elda_obs::TraceEvent::new("run")
-            .with("model", model)
-            .with("epochs", report.epochs_run)
-            .with("val_auc_pr", report.val_auc_pr)
-            .with("wall_ms", wall.as_secs_f64() * 1e3),
-    );
-    elda_obs::close_sink();
-    println!("\nprofile ({} timers, wrote {path}):", snap.timers.len());
-    println!("{}", elda_obs::render_table(&snap, wall));
-}
-
-fn load_model(args: &Args) -> Result<Elda, String> {
-    // load_file prefixes every failure with the offending path.
-    Elda::load_file(args.require("model")?)
-}
-
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let data = args.require("data")?;
-    let elda = load_model(args)?;
-    let t_len = elda.net().config().t_len;
-    let cohort = read_physionet_dir(Path::new(data), t_len).map_err(|e| e.to_string())?;
-    let mut probs = Vec::with_capacity(cohort.len());
-    let mut labels = Vec::with_capacity(cohort.len());
-    for p in &cohort.patients {
-        probs.push(elda.predict_proba(p));
-        // score against the task the artifact was trained for
-        labels.push(match elda.task() {
-            Task::Mortality => {
-                if p.mortality {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            Task::LosGt7 => {
-                if p.los_gt7 {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-        });
-    }
-    let single_class = labels.iter().all(|&y| y == labels[0]);
-    if single_class {
-        println!(
-            "BCE {:.4} (single-class data; AUCs undefined)",
-            elda_metrics::bce_loss(&probs, &labels)
-        );
-    } else {
-        let s = elda_metrics::evaluate(&probs, &labels);
-        println!(
-            "BCE {:.4}  AUC-ROC {:.4}  AUC-PR {:.4}  (n={})",
-            s.bce,
-            s.auc_roc,
-            s.auc_pr,
-            probs.len()
-        );
-    }
-    Ok(())
-}
-
-fn read_one_record(path: &str, t_len: usize) -> Result<elda_emr::Patient, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let grid = parse_record(path, &text, t_len).map_err(|e| e.to_string())?;
-    Ok(patient_from_grid(
-        0,
-        grid,
-        t_len,
-        Outcome {
-            los_days: 0.0,
-            died: false,
-        },
-    ))
-}
-
-fn cmd_predict(args: &Args) -> Result<(), String> {
-    let elda = load_model(args)?;
-    let record = args.require("record")?;
-    let t_len = elda.net().config().t_len;
-    let patient = read_one_record(record, t_len)?;
-    let risk = elda.predict_proba(&patient);
-    let alert = risk >= elda.alert_threshold;
-    println!(
-        "risk {risk:.4}  threshold {:.2}  alert {}",
-        elda.alert_threshold,
-        if alert { "YES" } else { "no" }
-    );
-    Ok(())
-}
-
-/// `elda serve` — concurrent TCP/JSON scoring server on the grad-free
-/// batched inference engine (see [`serve`]).
-fn cmd_serve(args: &Args) -> Result<(), String> {
-    let elda = load_model(args)?;
-    // Kernel-pool sizing for the batched forwards; 0 = auto-detect.
-    elda_tensor::pool::set_threads(args.num_or("threads", 0usize)?);
-    serve::run(
-        elda,
-        serve::ServeConfig {
-            addr: args.get_or("addr", "127.0.0.1:7878").to_string(),
-            batch_max: args.num_or("batch", 64usize)?,
-            wait_ms: args.num_or("wait-ms", 5u64)?,
-        },
-    )
-}
-
-fn cmd_interpret(args: &Args) -> Result<(), String> {
-    let elda = load_model(args)?;
-    let record = args.require("record")?;
-    let t_len = elda.net().config().t_len;
-    let patient = read_one_record(record, t_len)?;
-    let interp = elda.interpret(&patient);
-    println!("risk {:.4}", interp.risk);
-    if !interp.time_attention.is_empty() {
-        println!(
-            "crucial hours (>2x uniform attention): {:?}",
-            interp.crucial_hours(2.0)
-        );
-    }
-    if !interp.feature_attention.is_empty() {
-        let hour = args.num_or("hour", t_len - 1)?.min(t_len - 1);
-        let feature = args.get_or("feature", "Glucose");
-        let fid = feature_by_name(feature).ok_or_else(|| format!("unknown feature {feature:?}"))?;
-        let row = interp.feature_row_percent(hour, fid);
-        let mut ranked: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        println!("{feature}'s interaction attention at hour {hour}:");
-        for (j, w) in ranked.iter().take(8) {
-            println!("  {:>10}  {w:.2}%", FEATURES[*j].name);
-        }
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Tests that install the global trace sink / flip the global enabled
-    /// flag must not overlap; they run under this lock.
-    static OBS_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-    fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!("elda-cli-{tag}-{}", std::process::id()));
-        std::fs::create_dir_all(&d).unwrap();
-        d
-    }
-
-    fn argv(s: &str) -> Vec<String> {
-        s.split_whitespace().map(String::from).collect()
-    }
-
-    #[test]
-    fn help_and_unknown_subcommand() {
-        assert!(run(argv("help")).is_ok());
-        assert!(run(argv("frobnicate")).is_err());
-    }
-
-    #[test]
-    fn generate_train_predict_interpret_pipeline() {
-        let dir = tmpdir("e2e");
-        let cohort_dir = dir.join("cohort");
-        let model = dir.join("model.json");
-
-        run(argv(&format!(
-            "generate --out {} --patients 40 --tlen 6 --seed 3",
-            cohort_dir.display()
-        )))
-        .unwrap();
-        assert!(cohort_dir.join("Outcomes.txt").exists());
-
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 6 --epochs 1 --batch 16 --variant time",
-            cohort_dir.display(),
-            model.display()
-        )))
-        .unwrap();
-        assert!(model.exists());
-
-        // pick any record file as the prediction target
-        let record = std::fs::read_dir(&cohort_dir)
-            .unwrap()
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .find(|p| p.extension().is_some_and(|x| x == "txt") && !p.ends_with("Outcomes.txt"))
-            .unwrap();
-        run(argv(&format!(
-            "predict --model {} --record {}",
-            model.display(),
-            record.display()
-        )))
-        .unwrap();
-        run(argv(&format!(
-            "evaluate --data {} --model {}",
-            cohort_dir.display(),
-            model.display()
-        )))
-        .unwrap();
-        run(argv(&format!(
-            "interpret --model {} --record {} --hour 3",
-            model.display(),
-            record.display()
-        )))
-        .unwrap();
-
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn train_with_profile_writes_parseable_jsonl_trace() {
-        let _guard = OBS_TESTS.lock().unwrap_or_else(|p| p.into_inner());
-        let dir = tmpdir("profile");
-        let cohort_dir = dir.join("cohort");
-        let model = dir.join("model.json");
-        let trace = dir.join("trace.jsonl");
-
-        run(argv(&format!(
-            "generate --out {} --patients 30 --tlen 5 --seed 11",
-            cohort_dir.display()
-        )))
-        .unwrap();
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 5 --epochs 1 --batch 16 --variant time \
-             --threads 1 --profile {}",
-            cohort_dir.display(),
-            model.display(),
-            trace.display()
-        )))
-        .unwrap();
-
-        let text = std::fs::read_to_string(&trace).unwrap();
-        let events: Vec<elda_obs::TraceEvent> = text
-            .lines()
-            .map(|l| elda_obs::parse_json_line(l).expect("well-formed JSONL line"))
-            .collect();
-        assert!(!events.is_empty());
-        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
-        assert!(kinds.contains(&"epoch"), "no epoch event in {kinds:?}");
-        assert!(kinds.contains(&"op"), "no op events in {kinds:?}");
-        assert_eq!(
-            *kinds.last().unwrap(),
-            "run",
-            "trace must close with a run event"
-        );
-        // Per-op forward timings flow from the autodiff tape into the trace.
-        assert!(
-            events.iter().any(|e| e.kind == "op"
-                && e.fields.iter().any(
-                    |(k, v)| k == "kind" && matches!(v, elda_obs::Field::Str(s) if s == "fwd")
-                )),
-            "no fwd op rows in trace"
-        );
-
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    /// The two `--health` acceptance scenarios share one test fn because
-    /// both drive the process-global sink, registry and sentinel.
-    #[test]
-    fn health_flag_and_report_cover_healthy_and_diverging_runs() {
-        let _guard = OBS_TESTS.lock().unwrap_or_else(|p| p.into_inner());
-        let dir = tmpdir("health");
-        let cohort_dir = dir.join("cohort");
-        run(argv(&format!(
-            "generate --out {} --patients 40 --tlen 6 --seed 7",
-            cohort_dir.display()
-        )))
-        .unwrap();
-
-        // Scenario 1: a normal run is healthy — the report shows the loss
-        // curve, the per-epoch verdicts and zero incidents.
-        let model = dir.join("model.json");
-        let trace = dir.join("healthy.jsonl");
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 6 --epochs 2 --batch 16 --variant time \
-             --threads 1 --health --profile {}",
-            cohort_dir.display(),
-            model.display(),
-            trace.display()
-        )))
-        .unwrap();
-        let events = report::load_trace(trace.to_str().unwrap()).unwrap();
-        let rendered = report::analyze(&events);
-        assert!(rendered.contains("no incidents"), "{rendered}");
-        assert!(rendered.contains("healthy"), "{rendered}");
-        assert!(
-            rendered.contains("time.entropy"),
-            "attention trend missing: {rendered}"
-        );
-        assert!(
-            events.iter().any(|e| e.kind == "val"),
-            "no val events in healthy trace"
-        );
-        run(argv(&format!("report {}", trace.display()))).unwrap();
-
-        // Scenario 2: an absurd learning rate is flagged as diverging or
-        // non-finite, and the report names the first offending epoch.
-        let trace = dir.join("diverging.jsonl");
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 6 --epochs 3 --batch 16 --variant time \
-             --threads 1 --lr 10 --health --profile {}",
-            cohort_dir.display(),
-            dir.join("model2.json").display(),
-            trace.display()
-        )))
-        .unwrap();
-        let events = report::load_trace(trace.to_str().unwrap()).unwrap();
-        let incidents: Vec<elda_obs::Incident> = events
-            .iter()
-            .filter_map(elda_obs::Incident::from_event)
-            .collect();
-        assert!(
-            incidents.iter().any(|i| matches!(
-                i.status,
-                elda_obs::HealthStatus::Diverging | elda_obs::HealthStatus::NonFinite
-            )),
-            "no divergence flagged: {incidents:?}"
-        );
-        let rendered = report::analyze(&events);
-        assert!(
-            rendered.contains("diverging") || rendered.contains("non_finite"),
-            "{rendered}"
-        );
-        // the sentinel disarms with the run so later tests start clean
-        elda_autodiff::sentinel::set_enabled(false);
-        elda_autodiff::sentinel::clear();
-
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn train_rejects_bad_variant_and_task() {
-        let a = Args::parse(argv("train --data x --model y --variant bogus")).unwrap();
-        assert!(parse_variant(&a).is_err());
-        let a = Args::parse(argv("train --data x --model y --task bogus")).unwrap();
-        assert!(parse_task(&a).is_err());
-    }
-
-    #[test]
-    fn predict_with_missing_model_file_fails_cleanly() {
-        let err = run(argv("predict --model /nonexistent/m.json --record r.txt")).unwrap_err();
-        assert!(
-            err.contains("/nonexistent/m.json"),
-            "error must name the offending path: {err}"
-        );
-    }
-
-    /// One test fn for the checkpoint/resume/recover flags: the fault plan
-    /// and profiling sink are process-global, so the scenarios must not
-    /// interleave with other tests (or each other).
-    #[test]
-    fn checkpoint_resume_and_recovery_flags_work_end_to_end() {
-        let _guard = OBS_TESTS.lock().unwrap_or_else(|p| p.into_inner());
-        let dir = tmpdir("ckpt");
-        let cohort_dir = dir.join("cohort");
-        let ckpts = dir.join("ckpts");
-        run(argv(&format!(
-            "generate --out {} --patients 40 --tlen 6 --seed 5",
-            cohort_dir.display()
-        )))
-        .unwrap();
-
-        // Two epochs with durable checkpointing on.
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 6 --epochs 2 --batch 16 --variant time \
-             --threads 1 --checkpoint-dir {}",
-            cohort_dir.display(),
-            dir.join("m1.json").display(),
-            ckpts.display()
-        )))
-        .unwrap();
-        assert!(ckpts.join("ckpt-00001.json").exists());
-
-        // Resume picks up at epoch 2 and runs to 4.
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 6 --epochs 4 --batch 16 --variant time \
-             --threads 1 --checkpoint-dir {} --resume",
-            cohort_dir.display(),
-            dir.join("m2.json").display(),
-            ckpts.display()
-        )))
-        .unwrap();
-
-        // A NaN-gradient fault under --recover rolls back, retries, and the
-        // rollback is visible in the profile trace / `elda report`.
-        let trace = dir.join("recover.jsonl");
-        run(argv(&format!(
-            "train --data {} --model {} --tlen 6 --epochs 2 --batch 16 --variant time \
-             --threads 1 --recover --fault nan_grad@1 --profile {}",
-            cohort_dir.display(),
-            dir.join("m3.json").display(),
-            trace.display()
-        )))
-        .unwrap();
-        let events = report::load_trace(trace.to_str().unwrap()).unwrap();
-        assert!(
-            events.iter().any(|e| e.kind == "recovery"),
-            "no recovery event in trace"
-        );
-        let rendered = report::analyze(&events);
-        assert!(rendered.contains("rollback"), "{rendered}");
-        // the loaded artifact is finite and predicts
-        assert!(Elda::load_file(dir.join("m3.json")).is_ok());
-
-        elda_autodiff::sentinel::set_enabled(false);
-        elda_autodiff::sentinel::clear();
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn resume_without_checkpoint_dir_is_rejected() {
-        let err = run(argv("train --data x --model y --resume")).unwrap_err();
-        assert!(err.contains("--checkpoint-dir"), "{err}");
     }
 }

@@ -1,0 +1,217 @@
+//! Admission control for the serving tier: a bounded micro-batch queue
+//! that sheds on overload instead of buffering unboundedly.
+//!
+//! The queue is the only hand-off point between connection reader threads
+//! (producers) and the scorer worker pool (consumers). `AdmissionQueue::offer` refuses
+//! new work once the configured capacity is reached — the caller answers
+//! the client with a [`super::protocol::CODE_SHED`] error reply and the
+//! request is dropped without ever holding scorer time or memory. That
+//! keeps worst-case memory at `queue_cap × request size` and keeps
+//! latency for *admitted* requests bounded no matter how hard clients
+//! push.
+//!
+//! `AdmissionQueue::next_batch` ports the micro-batching discipline of the original
+//! single-scorer server: block until work arrives, then hold the batch
+//! open up to the straggler window so concurrent clients coalesce into
+//! one forward pass, capped at `batch_max`.
+//!
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bounded MPMC hand-off between connection readers and scorer workers.
+/// Generic over the queued item so the shedding and batching logic is
+/// unit-testable without sockets.
+pub(crate) struct AdmissionQueue<T> {
+    cap: usize,
+    inner: Mutex<VecDeque<T>>,
+    arrived: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Pops the next micro-batch: at most `batch_max` items, oldest first.
+fn take_batch<T>(queue: &mut VecDeque<T>, batch_max: usize) -> Vec<T> {
+    let n = queue.len().min(batch_max.max(1));
+    queue.drain(..n).collect()
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `cap` items (clamped to at least 1).
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured admission capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Admits `item`, returning the queue depth after the push — or gives
+    /// it back as `Err` when the queue is at capacity (overload shed) or
+    /// shutting down, so the caller can answer the client directly.
+    pub fn offer(&self, item: T) -> Result<usize, T> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(item);
+        }
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() >= self.cap {
+            return Err(item);
+        }
+        q.push_back(item);
+        let depth = q.len();
+        drop(q);
+        elda_obs::gauge_set("serve.queue.depth", depth as f64);
+        self.arrived.notify_all();
+        Ok(depth)
+    }
+
+    /// Blocks until work is available, coalesces stragglers for up to
+    /// `wait` (bounded by `batch_max`), and returns the batch in arrival
+    /// order. Returns an empty vec only when the queue is shut down *and*
+    /// fully drained — every admitted request gets answered.
+    pub fn next_batch(&self, batch_max: usize, wait: Duration) -> Vec<T> {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        while q.is_empty() && !self.shutdown.load(Ordering::SeqCst) {
+            let (guard, _) = self
+                .arrived
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+        }
+        if q.is_empty() {
+            return Vec::new(); // shutdown with nothing left to answer
+        }
+        // Straggler window: give concurrent clients `wait` to coalesce
+        // into one forward, bounded by the batch cap.
+        let deadline = Instant::now() + wait;
+        while q.len() < batch_max && !self.shutdown.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .arrived
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+        }
+        elda_obs::stat_add("serve.queue_depth", q.len() as f64);
+        let batch = take_batch(&mut q, batch_max);
+        let depth = q.len();
+        drop(q);
+        elda_obs::gauge_set("serve.queue.depth", depth as f64);
+        batch
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Flags shutdown and wakes every blocked worker. New [`offer`]s are
+    /// refused; queued items still get drained by [`next_batch`].
+    ///
+    /// [`offer`]: AdmissionQueue::offer
+    /// [`next_batch`]: AdmissionQueue::next_batch
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.arrived.notify_all();
+    }
+
+    /// True once [`AdmissionQueue::shutdown`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_batches_respect_the_cap_and_preserve_order() {
+        let mut q: VecDeque<usize> = (0..10).collect();
+        assert_eq!(take_batch(&mut q, 4), vec![0, 1, 2, 3]);
+        assert_eq!(take_batch(&mut q, 4), vec![4, 5, 6, 7]);
+        assert_eq!(take_batch(&mut q, 4), vec![8, 9], "partial final batch");
+        assert!(take_batch(&mut q, 4).is_empty());
+        // a zero cap still makes progress
+        let mut q: VecDeque<usize> = (0..2).collect();
+        assert_eq!(take_batch(&mut q, 0), vec![0]);
+    }
+
+    #[test]
+    fn offer_sheds_at_capacity_and_returns_the_item() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.offer(1), Ok(1));
+        assert_eq!(q.offer(2), Ok(2));
+        assert_eq!(q.offer(3), Err(3), "third item must be shed, not queued");
+        assert_eq!(q.depth(), 2, "shed items never occupy queue memory");
+        // draining frees capacity again
+        assert_eq!(q.next_batch(2, Duration::ZERO), vec![1, 2]);
+        assert_eq!(q.offer(4), Ok(1));
+    }
+
+    #[test]
+    fn next_batch_drains_after_shutdown_then_reports_empty() {
+        let q = AdmissionQueue::new(8);
+        q.offer(1).unwrap();
+        q.offer(2).unwrap();
+        q.shutdown();
+        assert_eq!(q.offer(3), Err(3), "no admissions after shutdown");
+        assert_eq!(
+            q.next_batch(8, Duration::from_millis(5)),
+            vec![1, 2],
+            "queued work still drains"
+        );
+        assert!(q.next_batch(8, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything_exactly_once() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(1024));
+        let total: usize = 200;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..total / 4 {
+                        q.offer(p * total / 4 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let batch = q.next_batch(16, Duration::from_millis(1));
+                        if batch.is_empty() {
+                            return got;
+                        }
+                        got.extend(batch);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.shutdown();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+}

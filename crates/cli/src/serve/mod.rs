@@ -1,0 +1,493 @@
+//! `elda serve` — the production scoring tier: a std-only TCP server
+//! answering newline-delimited JSON over a pool of scorer workers, with
+//! zero-downtime weight reloads and admission control.
+//!
+//! ```text
+//! {"id": 7, "values": [v, v, null, ...]}  -> {"id":7,"risk":0.8312,"alert":true}
+//! {"cmd": "ping"}                          -> {"ok":"pong"}
+//! {"cmd": "stats"}                          -> {"requests":N,"errors":E,...}
+//! {"cmd": "reload", "path": "new.json"}    -> {"ok":"reloaded","version":2,...}
+//! {"cmd": "shutdown"}                       -> {"ok":"shutting down"} and the server drains + exits
+//! anything malformed                        -> {"error":"...","code":"bad_request"}
+//! queue at capacity                         -> {"id":...,"error":"...","code":"shed"}
+//! ```
+//!
+//! `values` is the patient's hourly measurement grid, row-major `t_len ×
+//! 37` features in [`elda_emr::FEATURES`] order, `null` for missing slots
+//! (exactly what `elda_emr::io::parse_record` produces from a
+//! PhysioNet-layout record file). `id` is echoed back verbatim so clients
+//! can pipeline requests.
+//!
+//! # Architecture
+//!
+//! One reader thread per connection parses requests and offers them to a
+//! bounded `admission::AdmissionQueue`; `--workers` scorer threads
+//! ([`worker`]) pull micro-batches (up to `--batch` requests, coalescing
+//! stragglers for `--wait-ms`) and score them on an immutable
+//! `Arc<Elda>` snapshot from the `snapshot::SnapshotCell`, each through
+//! its own plan cache. Scoring runs on the grad-free replay path, so
+//! served risks are bit-identical to offline `elda predict`.
+//!
+//! * **Reload** (`{"cmd":"reload","path":...}`): the new weights are
+//!   read and validated off the hot path, then swapped in atomically —
+//!   in-flight batches finish on the old snapshot, no request is ever
+//!   dropped or scored against a half-loaded model. Incompatible
+//!   checkpoints are refused (see [`snapshot`]).
+//! * **Admission control**: once `--queue-cap` requests are waiting,
+//!   further scores are answered immediately with a
+//!   `{"code":"shed"}` error instead of growing the queue — worst-case
+//!   memory and queued latency stay bounded under overload.
+//!
+//! Per-request latency, batch sizes, queue depth, per-worker utilization
+//! and connection counts flow through `elda-obs` (`serve.latency_ms`,
+//! `serve.batch_size`, `serve.queue.depth`, `serve.worker.<i>.util`,
+//! `serve.connections`) when profiling is enabled; the `stats` command
+//! always works. See `docs/SERVING.md` for the operations runbook.
+
+pub mod admission;
+pub mod protocol;
+pub mod snapshot;
+pub mod worker;
+
+use elda_core::Elda;
+use elda_emr::{Patient, NUM_FEATURES};
+use protocol::{Request, CODE_BAD_REQUEST, CODE_RELOAD, CODE_SHED};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server options (`elda serve` flags).
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Micro-batch cap: at most this many requests per forward pass.
+    pub batch_max: usize,
+    /// Micro-batch wait window in milliseconds: after the first request
+    /// arrives, a worker waits up to this long for more to coalesce.
+    pub wait_ms: u64,
+    /// Scorer worker threads pulling from the shared queue.
+    pub workers: usize,
+    /// Admission cap: requests queued beyond this are shed with a
+    /// `{"code":"shed"}` error instead of buffered.
+    pub queue_cap: usize,
+}
+
+/// Monotonic counters behind the `stats` command. All relaxed — they are
+/// diagnostics, not synchronization.
+#[derive(Default)]
+pub(crate) struct ServeStats {
+    /// Score requests admitted or shed (commands and parse errors are
+    /// not requests).
+    pub requests: AtomicU64,
+    /// Malformed lines and refused reloads.
+    pub errors: AtomicU64,
+    /// Score requests refused by admission control.
+    pub shed: AtomicU64,
+    /// Micro-batches scored across all workers.
+    pub batches: AtomicU64,
+    /// Successful weight swaps.
+    pub reloads: AtomicU64,
+    /// Connections currently open.
+    pub connections: AtomicU64,
+    /// Connections closed over the server's lifetime.
+    pub disconnects: AtomicU64,
+}
+
+/// A parsed-but-unanswered score request parked in the admission queue.
+pub(crate) struct Pending {
+    /// Client correlation id, echoed in the reply.
+    pub id: serde_json::Value,
+    /// The decoded patient grid.
+    pub patient: Patient,
+    /// Admission time, for the `serve.latency_ms` stat.
+    pub enqueued: Instant,
+    /// The owning connection's writer lock.
+    pub out: Arc<Mutex<TcpStream>>,
+}
+
+/// Everything the acceptor, connection readers and scorer workers share.
+pub(crate) struct Shared {
+    /// Bounded request queue (admission control lives here).
+    pub queue: admission::AdmissionQueue<Pending>,
+    /// The swappable weight snapshot.
+    pub snapshot: snapshot::SnapshotCell,
+    /// `stats` command counters.
+    pub stats: ServeStats,
+    /// Per-worker cumulative busy time, for utilization reporting.
+    pub worker_busy_ns: Vec<AtomicU64>,
+    /// Server start time (utilization denominator).
+    pub started: Instant,
+}
+
+impl Shared {
+    fn new(elda: Elda, cfg: &ServeConfig) -> Shared {
+        Shared {
+            queue: admission::AdmissionQueue::new(cfg.queue_cap),
+            snapshot: snapshot::SnapshotCell::new(elda),
+            stats: ServeStats::default(),
+            worker_busy_ns: (0..cfg.workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Writes one reply line under the connection's writer lock. A dead
+/// client (broken pipe) is ignored — the reader side tears the
+/// connection down.
+pub(crate) fn write_line(out: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut stream = out.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// Renders the `stats` reply from the shared counters.
+fn stats_json(shared: &Shared) -> String {
+    let wall = shared.started.elapsed().as_secs_f64().max(1e-9);
+    let worker_util: Vec<f64> = shared
+        .worker_busy_ns
+        .iter()
+        .map(|b| (b.load(Ordering::Relaxed) as f64 / 1e9 / wall * 1000.0).round() / 1000.0)
+        .collect();
+    let reply = serde_json::json!({
+        "requests": shared.stats.requests.load(Ordering::Relaxed),
+        "errors": shared.stats.errors.load(Ordering::Relaxed),
+        "shed": shared.stats.shed.load(Ordering::Relaxed),
+        "batches": shared.stats.batches.load(Ordering::Relaxed),
+        "reloads": shared.stats.reloads.load(Ordering::Relaxed),
+        "connections": shared.stats.connections.load(Ordering::Relaxed),
+        "disconnects": shared.stats.disconnects.load(Ordering::Relaxed),
+        "queue_depth": shared.queue.depth(),
+        "queue_cap": shared.queue.cap(),
+        "workers": worker_util.len(),
+        "worker_util": worker_util,
+        "snapshot_version": shared.snapshot.version(),
+    });
+    serde_json::to_string(&reply).expect("stats json")
+}
+
+/// Loads, validates and publishes a reload candidate; the whole load
+/// happens on the requesting connection's reader thread, never blocking
+/// the scorer workers.
+fn handle_reload(shared: &Shared, path: &str, out: &Arc<Mutex<TcpStream>>) {
+    let running = shared.snapshot.load();
+    match snapshot::load_reload_source(path, &running) {
+        Ok(next) => {
+            let fingerprint = next.serving_fingerprint();
+            let version = shared.snapshot.swap(Arc::new(next));
+            shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+            elda_obs::counter_add("serve.reloads", 1);
+            let reply = serde_json::json!({
+                "ok": "reloaded",
+                "version": version,
+                "fingerprint": fingerprint,
+            });
+            write_line(out, &serde_json::to_string(&reply).expect("reload json"));
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            elda_obs::counter_add("serve.errors", 1);
+            write_line(out, &protocol::error_reply(None, CODE_RELOAD, &e));
+        }
+    }
+}
+
+/// One reader thread per connection: parse lines, offer scores to the
+/// admission queue, answer commands and errors inline. Logs the
+/// disconnect (EOF, half-close or read error) on the way out and keeps
+/// the connection gauge honest.
+fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t_len: usize) {
+    // Replies are whole lines and latency-sensitive; never let Nagle +
+    // delayed ACK put a 40ms stall in the middle of a round-trip.
+    stream.set_nodelay(true).ok();
+    let out = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let open = shared.stats.connections.fetch_add(1, Ordering::Relaxed) + 1;
+    elda_obs::gauge_set("serve.connections", open as f64);
+
+    let mut close_reason = "client closed the connection";
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF / half-closed socket
+            Ok(_) => {}
+            Err(_) => {
+                close_reason = "read error";
+                break;
+            }
+        }
+        match protocol::parse_request(&line, t_len) {
+            Ok(Request::Ping) => write_line(&out, r#"{"ok":"pong"}"#),
+            Ok(Request::Stats) => write_line(&out, &stats_json(&shared)),
+            Ok(Request::Reload { path }) => handle_reload(&shared, &path, &out),
+            Ok(Request::Shutdown) => {
+                shared.queue.shutdown();
+                write_line(&out, r#"{"ok":"shutting down"}"#);
+                close_reason = "shutdown requested";
+                break;
+            }
+            Ok(Request::Score { id, patient }) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                elda_obs::counter_add("serve.requests", 1);
+                let pending = Pending {
+                    id,
+                    patient,
+                    enqueued: Instant::now(),
+                    out: Arc::clone(&out),
+                };
+                if let Err(refused) = shared.queue.offer(pending) {
+                    // Admission control: answer now, hold nothing.
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    elda_obs::counter_add("serve.shed", 1);
+                    write_line(
+                        &out,
+                        &protocol::error_reply(
+                            Some(&refused.id),
+                            CODE_SHED,
+                            &format!(
+                                "server overloaded: admission queue full \
+                                 (cap {}); retry with backoff",
+                                shared.queue.cap()
+                            ),
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                elda_obs::counter_add("serve.errors", 1);
+                write_line(&out, &protocol::error_reply(None, CODE_BAD_REQUEST, &e));
+            }
+        }
+    }
+
+    let open = shared.stats.connections.fetch_sub(1, Ordering::Relaxed) - 1;
+    shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+    elda_obs::gauge_set("serve.connections", open as f64);
+    elda_obs::counter_add("serve.disconnects", 1);
+    if !shared.queue.is_shutdown() {
+        // Half-closed sockets used to vanish silently; keep an audit
+        // trail on stderr so operators can correlate client churn.
+        eprintln!("serve: {peer} disconnected ({close_reason}; {open} open)");
+    }
+}
+
+/// Validates the model and binds the listener (shared by [`run`] and
+/// [`Server::start`]).
+fn bind(elda: &Elda, cfg: &ServeConfig) -> Result<TcpListener, String> {
+    if elda.pipeline().is_none() {
+        return Err("model artifact has no fitted pipeline; retrain with `elda train`".into());
+    }
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking accept unsupported: {e}"))?;
+    Ok(listener)
+}
+
+/// The accept loop: runs until a client sends `{"cmd":"shutdown"}`, then
+/// joins the worker pool (which drains the queue first) so every
+/// admitted request is answered before returning.
+fn serve_on(listener: TcpListener, elda: Elda, cfg: ServeConfig) -> Result<(), String> {
+    let t_len = elda.net().config().t_len;
+    let shared = Arc::new(Shared::new(elda, &cfg));
+    let workers = worker::spawn_workers(&shared, cfg.workers, cfg.batch_max, cfg.wait_ms);
+
+    while !shared.queue.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(stream, peer, shared, t_len));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+    // Graceful shutdown: workers drain and answer everything queued
+    // before they return; reader threads die with the process.
+    for w in workers {
+        w.join().map_err(|_| "scorer worker panicked")?;
+    }
+    println!(
+        "shutdown complete ({} requests, {} errors, {} shed, {} batches, {} reloads)",
+        shared.stats.requests.load(Ordering::Relaxed),
+        shared.stats.errors.load(Ordering::Relaxed),
+        shared.stats.shed.load(Ordering::Relaxed),
+        shared.stats.batches.load(Ordering::Relaxed),
+        shared.stats.reloads.load(Ordering::Relaxed),
+    );
+    Ok(())
+}
+
+/// Runs the server on the calling thread until a client sends
+/// `{"cmd":"shutdown"}`. Prints `listening on ADDR` (with the resolved
+/// port) once ready.
+pub fn run(elda: Elda, cfg: ServeConfig) -> Result<(), String> {
+    let t_len = elda.net().config().t_len;
+    let listener = bind(&elda, &cfg)?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?;
+    println!("listening on {local}");
+    println!(
+        "protocol: one JSON request per line; t_len {t_len}, {NUM_FEATURES} features, \
+         {} worker(s), batch <= {}, wait window {} ms, queue cap {}",
+        cfg.workers.max(1),
+        cfg.batch_max,
+        cfg.wait_ms,
+        cfg.queue_cap.max(1),
+    );
+    let _ = std::io::stdout().flush();
+    serve_on(listener, elda, cfg)
+}
+
+/// An in-process server handle for tests and the `bench_serve` load
+/// generator: binds on [`Server::start`], serves on a background thread,
+/// reports the resolved address, and surfaces the serve loop's result on
+/// [`Server::join`] (after a client has sent `{"cmd":"shutdown"}`).
+pub struct Server {
+    local: SocketAddr,
+    handle: std::thread::JoinHandle<Result<(), String>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` (use port `:0` for an ephemeral port) and starts
+    /// serving `elda` on a background thread.
+    pub fn start(elda: Elda, cfg: ServeConfig) -> Result<Server, String> {
+        let listener = bind(&elda, &cfg)?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("no local addr: {e}"))?;
+        let handle = std::thread::Builder::new()
+            .name("elda-serve".into())
+            .spawn(move || serve_on(listener, elda, cfg))
+            .map_err(|e| format!("cannot spawn server thread: {e}"))?;
+        Ok(Server { local, handle })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Waits for the serve loop to exit and returns its result. Blocks
+    /// until some client sends `{"cmd":"shutdown"}`.
+    pub fn join(self) -> Result<(), String> {
+        self.handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elda_core::framework::FitConfig;
+    use elda_core::{EldaConfig, EldaVariant};
+    use elda_emr::{Cohort, CohortConfig, Task};
+    use std::io::BufRead;
+
+    fn tiny_trained() -> Elda {
+        let mut cc = CohortConfig::small(30, 17);
+        cc.t_len = 4;
+        let cohort = Cohort::generate(cc);
+        let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, 4);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        let mut elda = Elda::with_config(cfg, Task::Mortality, 1);
+        let fit = FitConfig {
+            epochs: 1,
+            batch_size: 16,
+            threads: 1,
+            patience: None,
+            ..Default::default()
+        };
+        elda.fit(&cohort, &fit);
+        elda
+    }
+
+    fn send(w: &mut impl std::io::Write, r: &mut impl BufRead, line: &str) -> serde_json::Value {
+        writeln!(w, "{line}").unwrap();
+        w.flush().unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        serde_json::from_str(&reply).unwrap()
+    }
+
+    #[test]
+    fn in_process_server_answers_ping_score_stats_and_shuts_down() {
+        let elda = tiny_trained();
+        let grid = 4 * NUM_FEATURES;
+        let server = Server::start(
+            elda,
+            ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                batch_max: 4,
+                wait_ms: 1,
+                workers: 2,
+                queue_cap: 64,
+            },
+        )
+        .unwrap();
+
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+
+        let pong = send(&mut writer, &mut reader, r#"{"cmd":"ping"}"#);
+        assert_eq!(pong["ok"].as_str(), Some("pong"));
+
+        let vals = vec!["0.5"; grid].join(",");
+        let scored = send(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"id":42,"values":[{vals}]}}"#),
+        );
+        assert_eq!(scored["id"].as_u64(), Some(42));
+        let risk = scored["risk"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&risk), "risk {risk}");
+
+        let bad = send(&mut writer, &mut reader, "{broken");
+        assert_eq!(bad["code"].as_str(), Some("bad_request"));
+
+        let stats = send(&mut writer, &mut reader, r#"{"cmd":"stats"}"#);
+        assert_eq!(stats["requests"].as_u64(), Some(1));
+        assert_eq!(stats["errors"].as_u64(), Some(1));
+        assert_eq!(stats["shed"].as_u64(), Some(0));
+        assert_eq!(stats["workers"].as_u64(), Some(2));
+        assert_eq!(stats["snapshot_version"].as_u64(), Some(1));
+        assert_eq!(stats["connections"].as_u64(), Some(1));
+
+        let bye = send(&mut writer, &mut reader, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(bye["ok"].as_str(), Some("shutting down"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn server_without_a_fitted_pipeline_is_refused_at_start() {
+        let cfg = EldaConfig::variant(EldaVariant::TimeOnly, 4);
+        let raw = Elda::with_config(cfg, Task::Mortality, 1);
+        let err = Server::start(
+            raw,
+            ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                batch_max: 4,
+                wait_ms: 1,
+                workers: 1,
+                queue_cap: 4,
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("pipeline"), "{err}");
+    }
+}

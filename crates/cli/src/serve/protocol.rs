@@ -1,0 +1,225 @@
+//! Wire protocol for `elda serve`: newline-delimited JSON requests and
+//! the reply builders every server component answers through.
+//!
+//! One request per line, one reply per line (friendly to `nc`):
+//!
+//! ```text
+//! {"id": 7, "values": [v, v, null, ...]}  -> {"id":7,"risk":0.8312,"alert":true}
+//! {"cmd": "ping"}                          -> {"ok":"pong"}
+//! {"cmd": "stats"}                         -> {"requests":N,...}
+//! {"cmd": "reload", "path": "m.json"}      -> {"ok":"reloaded","version":V}
+//! {"cmd": "shutdown"}                      -> {"ok":"shutting down"}
+//! ```
+//!
+//! Every failure reply carries a machine-readable `code` alongside the
+//! human-readable `error` text so clients can dispatch without parsing
+//! prose: [`CODE_BAD_REQUEST`] for malformed input, [`CODE_SHED`] for
+//! admission-control rejections, [`CODE_RELOAD`] for refused hot swaps.
+
+use elda_emr::io::{patient_from_grid, Outcome};
+use elda_emr::{Patient, NUM_FEATURES};
+
+/// `code` on replies rejecting malformed requests.
+pub const CODE_BAD_REQUEST: &str = "bad_request";
+/// `code` on replies shed by admission control (queue at capacity).
+/// Clients should back off and retry; the request was *not* scored.
+pub const CODE_SHED: &str = "shed";
+/// `code` on replies refusing a `reload` (unreadable file, failed
+/// integrity check, or a checkpoint for a different architecture).
+pub const CODE_RELOAD: &str = "reload";
+
+/// One parsed client line.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server-side counters.
+    Stats,
+    /// Zero-downtime weight swap from a model artifact or training
+    /// checkpoint on the server's filesystem.
+    Reload {
+        /// Path (as seen by the *server* process) to an `elda/v1` model
+        /// artifact or `elda-ckpt/v1` training checkpoint.
+        path: String,
+    },
+    /// Graceful shutdown: drain the queue, answer everything, exit.
+    Shutdown,
+    /// Score one patient grid.
+    Score {
+        /// Client-chosen correlation id, echoed back verbatim.
+        id: serde_json::Value,
+        /// The decoded patient.
+        patient: Patient,
+    },
+}
+
+/// Parses one request line. Every failure is a client error that gets a
+/// `{"error": ...}` reply — never a server crash.
+pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("empty request body".into());
+    }
+    let doc: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if let Some(cmd) = doc.get("cmd").and_then(|c| c.as_str()) {
+        return match cmd {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "reload" => {
+                let path = doc
+                    .get("path")
+                    .and_then(|p| p.as_str())
+                    .ok_or("reload needs a `path` string (server-side file path)")?;
+                Ok(Request::Reload {
+                    path: path.to_string(),
+                })
+            }
+            other => Err(format!(
+                "unknown cmd {other:?} (ping|stats|reload|shutdown)"
+            )),
+        };
+    }
+    let values = doc
+        .get("values")
+        .and_then(|v| v.as_array())
+        .ok_or("request needs a `values` array (or a `cmd`)")?;
+    let expect = t_len * NUM_FEATURES;
+    if values.len() != expect {
+        return Err(format!(
+            "`values` must hold t_len x features = {t_len} x {NUM_FEATURES} = {expect} entries \
+             (row-major hours x features, null = missing), got {}",
+            values.len()
+        ));
+    }
+    let mut grid = Vec::with_capacity(expect);
+    for v in values {
+        match v.as_f64() {
+            Some(x) => grid.push(x as f32),
+            None if *v == serde_json::Value::Null => grid.push(f32::NAN),
+            None => return Err("`values` entries must be numbers or null".into()),
+        }
+    }
+    let id = doc.get("id").cloned().unwrap_or(serde_json::Value::Null);
+    let patient = patient_from_grid(
+        0,
+        grid,
+        t_len,
+        Outcome {
+            los_days: 0.0,
+            died: false,
+        },
+    );
+    Ok(Request::Score { id, patient })
+}
+
+/// Builds a scored reply: `{"id":...,"risk":...,"alert":...}`.
+pub(crate) fn score_reply(id: &serde_json::Value, risk: f32, alert: bool) -> String {
+    let reply = serde_json::json!({ "id": id, "risk": risk, "alert": alert });
+    serde_json::to_string(&reply).expect("reply json")
+}
+
+/// Builds an error reply with a machine-readable `code`. `id` is echoed
+/// back when the failing request carried one, so pipelining clients can
+/// correlate sheds with the request they belong to.
+pub(crate) fn error_reply(id: Option<&serde_json::Value>, code: &str, msg: &str) -> String {
+    let reply = match id {
+        Some(id) => serde_json::json!({ "id": id, "error": msg, "code": code }),
+        None => serde_json::json!({ "error": msg, "code": code }),
+    };
+    serde_json::to_string(&reply).expect("error json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_LEN: usize = 4;
+
+    fn grid_json(n: usize) -> String {
+        let vals: Vec<&str> = (0..n)
+            .map(|i| if i % 3 == 0 { "null" } else { "0.5" })
+            .collect();
+        format!(r#"{{"id": 1, "values": [{}]}}"#, vals.join(","))
+    }
+
+    #[test]
+    fn empty_body_is_a_client_error() {
+        assert!(parse_request("", T_LEN).unwrap_err().contains("empty"));
+        assert!(parse_request("   ", T_LEN).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn malformed_json_is_a_client_error_not_a_crash() {
+        for bad in [
+            "{not json",
+            "[1,2,3",
+            "\"just a string\"",
+            "{\"values\": 3}",
+        ] {
+            assert!(parse_request(bad, T_LEN).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_grids_are_rejected_with_the_expected_count() {
+        let expect = T_LEN * NUM_FEATURES;
+        for n in [0, 1, expect - 1, expect + 1, 10 * expect] {
+            let err = parse_request(&grid_json(n), T_LEN).unwrap_err();
+            assert!(err.contains(&expect.to_string()), "{err}");
+        }
+    }
+
+    #[test]
+    fn well_formed_request_decodes_nulls_as_missing() {
+        let expect = T_LEN * NUM_FEATURES;
+        let req = parse_request(&grid_json(expect), T_LEN).unwrap();
+        let Request::Score { id, patient } = req else {
+            panic!("expected a score request")
+        };
+        assert_eq!(id.as_u64(), Some(1));
+        assert!(patient.values[0].is_nan(), "null must decode to missing");
+        assert_eq!(patient.values[1], 0.5);
+        assert_eq!(patient.values.len(), expect);
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"ping"}"#, T_LEN),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#, T_LEN),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#, T_LEN),
+            Ok(Request::Shutdown)
+        ));
+        assert!(parse_request(r#"{"cmd":"reboot"}"#, T_LEN).is_err());
+    }
+
+    #[test]
+    fn reload_requires_a_path() {
+        let req = parse_request(r#"{"cmd":"reload","path":"/tmp/m.json"}"#, T_LEN).unwrap();
+        assert!(matches!(req, Request::Reload { path } if path == "/tmp/m.json"));
+        let err = parse_request(r#"{"cmd":"reload"}"#, T_LEN).unwrap_err();
+        assert!(err.contains("path"), "{err}");
+    }
+
+    #[test]
+    fn error_replies_carry_a_machine_readable_code_and_echo_the_id() {
+        let with_id = error_reply(Some(&serde_json::json!(9)), CODE_SHED, "queue full");
+        let doc: serde_json::Value = serde_json::from_str(&with_id).unwrap();
+        assert_eq!(doc["id"].as_u64(), Some(9));
+        assert_eq!(doc["code"].as_str(), Some(CODE_SHED));
+        assert!(doc["error"].as_str().unwrap().contains("queue full"));
+
+        let without = error_reply(None, CODE_BAD_REQUEST, "nope");
+        let doc: serde_json::Value = serde_json::from_str(&without).unwrap();
+        assert!(doc.get("id").is_none());
+        assert_eq!(doc["code"].as_str(), Some(CODE_BAD_REQUEST));
+    }
+}

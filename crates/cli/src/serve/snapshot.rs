@@ -1,0 +1,208 @@
+//! Zero-downtime model reload: the immutable weight snapshot the worker
+//! pool scores against, and the validated loader behind `{"cmd":"reload"}`.
+//!
+//! Workers never hold a lock while scoring — they clone an `Arc<Elda>`
+//! out of the `SnapshotCell` once per micro-batch and run the whole
+//! forward on that immutable snapshot. A reload builds and validates the
+//! replacement *entirely off the hot path* (file read, CRC/schema checks,
+//! fingerprint comparison all happen on the requesting connection's
+//! reader thread), then swaps the pointer in one short critical section.
+//! In-flight batches finish on the old weights; the next batch picks up
+//! the new ones. Nothing is ever scored against a half-loaded model.
+//!
+//! Two file formats are accepted, auto-detected by content:
+//!
+//! * **`elda/v1` model artifacts** (`elda train` output) — loaded with
+//!   the full strict artifact loader, then the candidate's
+//!   [`Elda::serving_fingerprint`] must equal the running model's.
+//!   A checkpoint of a *different* architecture, task or window length
+//!   is refused with the fingerprints named in the error.
+//! * **`elda-ckpt/v1` training checkpoints** (`--checkpoint-dir`
+//!   output) — CRC-validated by [`elda_nn::Checkpoint::from_file_string`],
+//!   then the best-epoch parameters (falling back to last-epoch) are
+//!   installed into a clone of the *running* model via
+//!   [`Elda::restore_strict`], which refuses NaN/Inf weights and any
+//!   schema drift (unknown, missing or reshaped tensors). The clone
+//!   keeps the running pipeline and alert threshold, so a mid-training
+//!   checkpoint can be put in front of traffic safely.
+
+use elda_core::Elda;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The atomically swappable weight snapshot (an ArcSwap with std-only
+/// parts: loads and swaps go through a `Mutex` that is held only for the
+/// pointer copy, never during scoring or file IO).
+pub(crate) struct SnapshotCell {
+    current: Mutex<Arc<Elda>>,
+    version: AtomicU64,
+}
+
+impl SnapshotCell {
+    /// Wraps the initially served model as version 1.
+    pub fn new(elda: Elda) -> Self {
+        SnapshotCell {
+            current: Mutex::new(Arc::new(elda)),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// Clones out the current snapshot. Called once per micro-batch by
+    /// each worker; the critical section is a single `Arc::clone`.
+    pub fn load(&self) -> Arc<Elda> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Publishes `next` and returns the new version number. In-flight
+    /// batches keep their old `Arc` and finish on the old weights.
+    pub fn swap(&self, next: Arc<Elda>) -> u64 {
+        let mut cur = self.current.lock().unwrap_or_else(|p| p.into_inner());
+        *cur = next;
+        self.version.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Monotonic snapshot version, starting at 1 and incremented by every
+    /// successful reload. Exposed by the `stats` command.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+}
+
+/// Loads and fully validates a reload candidate from `path` without
+/// touching the serving hot path. See the module docs for the two
+/// accepted formats and their validation contracts.
+pub(crate) fn load_reload_source(path: &str, running: &Elda) -> Result<Elda, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if text.contains(elda_nn::CRC_PREFIX) {
+        // Training checkpoint: CRC + format validation, then strict
+        // parameter restore into a clone of the running model.
+        let ckpt = elda_nn::Checkpoint::from_file_string(&text, std::path::Path::new(path))?;
+        let params = match ckpt.best_params_json() {
+            Some(best) => best,
+            None => serde_json::to_string(&ckpt.params)
+                .map_err(|e| format!("{path}: checkpoint params: {e}"))?,
+        };
+        let mut next = Elda::load(&running.save())
+            .expect("running model round-trips through its own artifact");
+        next.restore_strict(&params)
+            .map_err(|e| format!("{path}: checkpoint rejected: {e}"))?;
+        Ok(next)
+    } else {
+        // Model artifact: strict loader (schema + finite weights), then
+        // the hot-swap compatibility gate.
+        let next = Elda::load_file(path)?;
+        let (want, got) = (running.serving_fingerprint(), next.serving_fingerprint());
+        if want != got {
+            return Err(format!(
+                "{path}: serving fingerprint {got} does not match the running model's {want} \
+                 (different architecture, task or window length); refusing hot swap"
+            ));
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elda_core::framework::FitConfig;
+    use elda_core::{EldaConfig, EldaVariant};
+    use elda_emr::{Cohort, CohortConfig, Task};
+
+    fn tiny_cfg(t_len: usize) -> EldaConfig {
+        let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, t_len);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        cfg
+    }
+
+    fn tiny_trained_at(t_len: usize, seed: u64, epochs: usize) -> Elda {
+        let mut cc = CohortConfig::small(30, 17);
+        cc.t_len = t_len;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(t_len), Task::Mortality, seed);
+        let fit = FitConfig {
+            epochs,
+            batch_size: 16,
+            threads: 1,
+            patience: None,
+            ..Default::default()
+        };
+        elda.fit(&cohort, &fit);
+        elda
+    }
+
+    fn tiny_trained(seed: u64, epochs: usize) -> Elda {
+        tiny_trained_at(4, seed, epochs)
+    }
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("elda-snap-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn swap_bumps_the_version_and_inflight_arcs_keep_old_weights() {
+        let a = tiny_trained(1, 1);
+        let cell = SnapshotCell::new(a);
+        assert_eq!(cell.version(), 1);
+        let held = cell.load(); // an in-flight batch's snapshot
+        let before = held.params().num_scalars();
+
+        let b = tiny_trained(2, 1);
+        assert_eq!(cell.swap(Arc::new(b)), 2);
+        assert_eq!(cell.version(), 2);
+        // the held Arc is untouched; new loads see the replacement
+        assert_eq!(held.params().num_scalars(), before);
+        assert!(!Arc::ptr_eq(&held, &cell.load()));
+    }
+
+    #[test]
+    fn artifact_reload_accepts_same_architecture_and_refuses_foreign() {
+        let running = tiny_trained(1, 1);
+
+        // same architecture, different weights: accepted
+        let same = tmpfile("same");
+        std::fs::write(&same, tiny_trained(2, 2).save()).unwrap();
+        let next = load_reload_source(same.to_str().unwrap(), &running).unwrap();
+        assert_eq!(next.serving_fingerprint(), running.serving_fingerprint());
+
+        // different window length: refused, error names both fingerprints
+        let foreign = tmpfile("foreign");
+        let other = tiny_trained_at(6, 1, 1);
+        std::fs::write(&foreign, other.save()).unwrap();
+        let err = load_reload_source(foreign.to_str().unwrap(), &running)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        assert!(err.contains(&running.serving_fingerprint()), "{err}");
+
+        std::fs::remove_file(&same).ok();
+        std::fs::remove_file(&foreign).ok();
+    }
+
+    #[test]
+    fn unreadable_and_corrupt_sources_are_refused() {
+        let running = tiny_trained(1, 1);
+        assert!(load_reload_source("/nonexistent/m.json", &running)
+            .map(|_| ())
+            .unwrap_err()
+            .contains("/nonexistent/m.json"));
+
+        // a corrupted checkpoint fails its CRC check
+        let path = tmpfile("corrupt");
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"format\":\"elda-ckpt/v1\"}}\n{}deadbeef\n",
+                elda_nn::CRC_PREFIX
+            ),
+        )
+        .unwrap();
+        let err = load_reload_source(path.to_str().unwrap(), &running)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(!err.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,88 @@
+//! The scorer worker pool: N identical threads pulling micro-batches
+//! from the shared `AdmissionQueue` and answering
+//! through per-connection writer locks.
+//!
+//! Each worker owns a private [`elda_core::infer::PlanCache`], so plan
+//! lookups never contend across workers, and clones the current
+//! `SnapshotCell` snapshot once per batch — scoring
+//! itself is lock-free. On a multi-core host the workers overlap their
+//! forward passes; even on one core, several workers pay the micro-batch
+//! straggler window (`--wait-ms`, a condvar sleep) concurrently instead
+//! of serially, which is where the multi-worker throughput win comes
+//! from under closed-loop load.
+//!
+//! Per-worker observability: each worker publishes a
+//! `serve.worker.<i>.util` gauge (busy wall-clock fraction since start)
+//! through `elda-obs`, and accumulates busy nanoseconds in
+//! `Shared` so the `stats` command can report utilization even
+//! when profiling is off.
+
+use super::{protocol, Shared};
+use elda_core::infer::PlanCache;
+use elda_emr::Patient;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spawns the scorer pool. Workers exit once the queue is shut down and
+/// drained; join the returned handles to guarantee every admitted
+/// request was answered.
+pub(crate) fn spawn_workers(
+    shared: &Arc<Shared>,
+    workers: usize,
+    batch_max: usize,
+    wait_ms: u64,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|wid| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("elda-scorer-{wid}"))
+                .spawn(move || worker_loop(wid, &shared, batch_max, wait_ms))
+                .expect("spawn scorer worker")
+        })
+        .collect()
+}
+
+/// One scorer worker: block on the admission queue, clone the weight
+/// snapshot, run one grad-free batched forward, answer everyone.
+fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) {
+    let cache = PlanCache::new();
+    // Gauge names are &'static str; one leaked allocation per worker for
+    // the process lifetime is the std-only price of dynamic labels.
+    let util_gauge: &'static str = Box::leak(format!("serve.worker.{wid}.util").into_boxed_str());
+    let started = Instant::now();
+    let mut busy = Duration::ZERO;
+    loop {
+        let batch = shared
+            .queue
+            .next_batch(batch_max, Duration::from_millis(wait_ms));
+        if batch.is_empty() {
+            return; // shutdown and fully drained
+        }
+        let t0 = Instant::now();
+        // One pointer clone per batch: in-flight batches keep scoring on
+        // their snapshot across a concurrent reload.
+        let model = shared.snapshot.load();
+        let patients: Vec<Patient> = batch.iter().map(|p| p.patient.clone()).collect();
+        let risks = model.predict_batch_with(&patients, &cache);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        elda_obs::stat_add("serve.batch_size", batch.len() as f64);
+        for (pending, risk) in batch.into_iter().zip(risks) {
+            elda_obs::stat_add(
+                "serve.latency_ms",
+                pending.enqueued.elapsed().as_secs_f64() * 1e3,
+            );
+            super::write_line(
+                &pending.out,
+                &protocol::score_reply(&pending.id, risk, risk >= model.alert_threshold),
+            );
+        }
+        busy += t0.elapsed();
+        shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
+        let wall = started.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            elda_obs::gauge_set(util_gauge, busy.as_secs_f64() / wall);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Serving-tier drills: zero-downtime reload under live traffic, and
+//! admission-control behavior under deliberate overload.
+//!
+//! Both drills run the real server (`elda_cli::serve::Server`) over real
+//! TCP sockets in-process, so they exercise the exact production code
+//! path — reader threads, the bounded admission queue, the scorer worker
+//! pool and the snapshot swap — without shelling out to the binary.
+
+use elda_cli::serve::{ServeConfig, Server};
+use elda_core::framework::{CheckpointOptions, FitConfig};
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::{Cohort, CohortConfig, Patient, Task};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T_LEN: usize = 4;
+
+fn tiny_cfg() -> EldaConfig {
+    let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, T_LEN);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    cfg
+}
+
+fn cohort() -> Cohort {
+    let mut cc = CohortConfig::small(40, 17);
+    cc.t_len = T_LEN;
+    Cohort::generate(cc)
+}
+
+fn train(seed: u64, epochs: usize, checkpoint_dir: Option<&std::path::Path>) -> Elda {
+    let mut elda = Elda::with_config(tiny_cfg(), Task::Mortality, seed);
+    let fit = FitConfig {
+        epochs,
+        batch_size: 16,
+        threads: 1,
+        patience: None,
+        checkpoint: checkpoint_dir.map(|dir| CheckpointOptions {
+            dir: dir.into(),
+            every: 1,
+            keep_last: 3,
+            resume: false,
+        }),
+        ..Default::default()
+    };
+    elda.fit(&cohort(), &fit);
+    elda
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("elda-drill-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Renders a patient's measurement grid as a score-request line.
+fn score_line(id: usize, patient: &Patient) -> String {
+    let vals: Vec<String> = patient
+        .values
+        .iter()
+        .map(|v| {
+            if v.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect();
+    format!(r#"{{"id":{id},"values":[{}]}}"#, vals.join(","))
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> serde_json::Value {
+        writeln!(self.writer, "{line}").expect("send");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> serde_json::Value {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        serde_json::from_str(&reply).unwrap_or_else(|e| panic!("bad reply {reply:?}: {e}"))
+    }
+}
+
+/// Reload drill: clients score continuously through two hot swaps (a
+/// model artifact, then a training checkpoint) and a refused foreign
+/// artifact. Every reply across the swaps must be a valid score, and
+/// post-swap scores must match the new weights' offline predictions.
+#[test]
+fn reload_drill_swaps_weights_under_live_traffic() {
+    let dir = tmpdir("reload");
+    let ckpt_dir = dir.join("ckpts");
+    let model_a = train(1, 1, None);
+    let model_b = train(2, 2, Some(&ckpt_dir));
+    let b_path = dir.join("b.json");
+    std::fs::write(&b_path, model_b.save()).unwrap();
+
+    // a foreign artifact: same family, different window length
+    let mut foreign_cfg = tiny_cfg();
+    foreign_cfg.t_len = T_LEN + 2;
+    let mut foreign = Elda::with_config(foreign_cfg, Task::Mortality, 3);
+    let mut cc = CohortConfig::small(40, 17);
+    cc.t_len = T_LEN + 2;
+    foreign.fit(
+        &Cohort::generate(cc),
+        &FitConfig {
+            epochs: 1,
+            batch_size: 16,
+            threads: 1,
+            patience: None,
+            ..Default::default()
+        },
+    );
+    let foreign_path = dir.join("foreign.json");
+    std::fs::write(&foreign_path, foreign.save()).unwrap();
+
+    let probe = cohort().patients[0].clone();
+    let b_offline = model_b.predict_batch(std::slice::from_ref(&probe))[0];
+
+    let server = Server::start(
+        model_a,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 8,
+            wait_ms: 2,
+            workers: 2,
+            queue_cap: 256,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // continuous traffic: closed-loop clients scoring throughout the swaps
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let patient = cohort().patients[1].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut n = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let reply = client.send(&score_line(n, &patient));
+                    let risk = reply["risk"]
+                        .as_f64()
+                        .unwrap_or_else(|| panic!("non-score reply mid-reload: {reply:?}"));
+                    assert!((0.0..=1.0).contains(&risk), "risk {risk}");
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    let mut ctl = Client::connect(addr);
+    // let traffic flow on the old weights first
+    std::thread::sleep(Duration::from_millis(50));
+
+    // swap 1: compatible artifact
+    let reply = ctl.send(&format!(
+        r#"{{"cmd":"reload","path":{}}}"#,
+        serde_json::to_string(&serde_json::json!(b_path.to_str().unwrap())).unwrap()
+    ));
+    assert_eq!(reply["ok"].as_str(), Some("reloaded"), "{reply:?}");
+    assert_eq!(reply["version"].as_u64(), Some(2));
+
+    // refused swap: foreign architecture, traffic unaffected
+    let reply = ctl.send(&format!(
+        r#"{{"cmd":"reload","path":{}}}"#,
+        serde_json::to_string(&serde_json::json!(foreign_path.to_str().unwrap())).unwrap()
+    ));
+    assert_eq!(reply["code"].as_str(), Some("reload"), "{reply:?}");
+    assert!(
+        reply["error"].as_str().unwrap().contains("fingerprint"),
+        "{reply:?}"
+    );
+
+    // swap 2: a CRC-checked training checkpoint
+    let newest_ckpt = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .max()
+        .expect("a checkpoint was written");
+    let reply = ctl.send(&format!(
+        r#"{{"cmd":"reload","path":{}}}"#,
+        serde_json::to_string(&serde_json::json!(newest_ckpt.to_str().unwrap())).unwrap()
+    ));
+    assert_eq!(reply["ok"].as_str(), Some("reloaded"), "{reply:?}");
+    assert_eq!(reply["version"].as_u64(), Some(3));
+
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+    let served: usize = traffic.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(served > 0, "traffic threads never scored");
+
+    // roll back to the B artifact and check served == offline on the new
+    // weights (same replay path, same pipeline, bit-identical f32)
+    let reply = ctl.send(&format!(
+        r#"{{"cmd":"reload","path":{}}}"#,
+        serde_json::to_string(&serde_json::json!(b_path.to_str().unwrap())).unwrap()
+    ));
+    assert_eq!(reply["ok"].as_str(), Some("reloaded"), "{reply:?}");
+    let scored = ctl.send(&score_line(9999, &probe));
+    let served_risk = scored["risk"].as_f64().unwrap();
+    assert!(
+        (served_risk - b_offline as f64).abs() < 1e-9,
+        "served {served_risk} != offline {b_offline} on the reloaded weights"
+    );
+
+    let stats = ctl.send(r#"{"cmd":"stats"}"#);
+    assert_eq!(stats["reloads"].as_u64(), Some(3), "{stats:?}");
+    assert_eq!(stats["snapshot_version"].as_u64(), Some(4), "{stats:?}");
+    assert_eq!(
+        stats["errors"].as_u64(),
+        Some(1),
+        "the refused reload counts: {stats:?}"
+    );
+
+    ctl.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Overload drill: offer far more than capacity into a tiny admission
+/// queue. Sheds must be answered immediately with `code:"shed"`, every
+/// request must get exactly one reply, queue depth stays bounded, and
+/// the server keeps serving afterwards.
+#[test]
+fn overload_drill_sheds_excess_and_survives() {
+    const QUEUE_CAP: usize = 4;
+    const BURST: usize = 30;
+    let server = Server::start(
+        train(1, 1, None),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 16,
+            // long straggler window: the worker holds its batch open while
+            // the burst lands, so the tiny queue must overflow
+            wait_ms: 500,
+            workers: 1,
+            queue_cap: QUEUE_CAP,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let patient = cohort().patients[2].clone();
+
+    let mut client = Client::connect(addr);
+    for i in 0..BURST {
+        writeln!(client.writer, "{}", score_line(i, &patient)).unwrap();
+    }
+    client.writer.flush().unwrap();
+
+    let mut scored = 0usize;
+    let mut shed = 0usize;
+    let mut seen = [false; BURST];
+    for _ in 0..BURST {
+        let reply = client.recv();
+        let id = reply["id"].as_u64().expect("every reply echoes its id") as usize;
+        assert!(!seen[id], "duplicate reply for {id}");
+        seen[id] = true;
+        if reply.get("risk").is_some() {
+            scored += 1;
+        } else {
+            assert_eq!(reply["code"].as_str(), Some("shed"), "{reply:?}");
+            shed += 1;
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "every request gets exactly one reply"
+    );
+    assert!(scored >= 1, "admitted requests must still be scored");
+    assert!(
+        shed >= BURST - 2 * QUEUE_CAP.max(1),
+        "a {BURST}-deep burst into a {QUEUE_CAP}-cap queue must shed \
+         (scored {scored}, shed {shed})"
+    );
+
+    // the server is healthy after the storm
+    let pong = client.send(r#"{"cmd":"ping"}"#);
+    assert_eq!(pong["ok"].as_str(), Some("pong"));
+    let stats = client.send(r#"{"cmd":"stats"}"#);
+    assert_eq!(stats["requests"].as_u64().unwrap(), BURST as u64);
+    assert_eq!(stats["shed"].as_u64().unwrap(), shed as u64);
+    assert_eq!(stats["queue_cap"].as_u64().unwrap(), QUEUE_CAP as u64);
+    assert!(
+        stats["queue_depth"].as_u64().unwrap() <= QUEUE_CAP as u64,
+        "queue depth must stay bounded: {stats:?}"
+    );
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}

@@ -135,15 +135,7 @@ pub fn run_fingerprint(
     task: Task,
     cfg: &FitConfig,
 ) -> String {
-    let mut schema = String::new();
-    let mut names: Vec<_> = ps
-        .iter()
-        .map(|p| (p.name.to_string(), p.value.shape().to_vec()))
-        .collect();
-    names.sort();
-    for (name, shape) in names {
-        let _ = write!(schema, "{name}:{shape:?};");
-    }
+    let schema = param_schema(ps);
     elda_nn::fingerprint_of(&format!(
         "model={};task={:?};tlen={};seed={};lr={};batch={};schema={}",
         model.name(),
@@ -154,6 +146,22 @@ pub fn run_fingerprint(
         cfg.batch_size,
         schema,
     ))
+}
+
+/// Canonical `name:shape;...` description of a parameter store, sorted by
+/// name — the schema component shared by [`run_fingerprint`] and
+/// [`Elda::serving_fingerprint`].
+fn param_schema(ps: &ParamStore) -> String {
+    let mut schema = String::new();
+    let mut names: Vec<_> = ps
+        .iter()
+        .map(|p| (p.name.to_string(), p.value.shape().to_vec()))
+        .collect();
+    names.sort();
+    for (name, shape) in names {
+        let _ = write!(schema, "{name}:{shape:?};");
+    }
+    schema
 }
 
 /// Trains any [`SequenceModel`] on pre-processed samples under the paper's
@@ -474,6 +482,22 @@ impl Elda {
     /// grad-free replay path. Results are in input order and identical to
     /// calling [`Elda::predict_proba`] per patient.
     pub fn predict_batch(&self, patients: &[Patient]) -> Vec<f32> {
+        self.predict_batch_with(patients, &self.infer)
+    }
+
+    /// [`Elda::predict_batch`] replaying through a caller-owned
+    /// [`crate::infer::PlanCache`] instead of the instance's internal one.
+    ///
+    /// Concurrent scorers (e.g. the `elda serve` worker pool) each hold
+    /// their own cache so plan lookups never contend on a shared lock.
+    /// Plans embed the op sequence, not the weights, so a cache outlives
+    /// weight swaps as long as the architecture is unchanged (which
+    /// [`Elda::serving_fingerprint`] guards).
+    pub fn predict_batch_with(
+        &self,
+        patients: &[Patient],
+        cache: &crate::infer::PlanCache,
+    ) -> Vec<f32> {
         let samples: Vec<ProcessedSample> = patients.iter().map(|p| self.process(p)).collect();
         let indices: Vec<usize> = (0..samples.len()).collect();
         crate::infer::predict_probs(
@@ -484,8 +508,24 @@ impl Elda {
             self.net.config().t_len,
             self.task,
             64,
-            &self.infer,
+            cache,
         )
+    }
+
+    /// Fingerprint of everything two instances must agree on to be
+    /// *hot-swappable* behind a running scoring service: the model
+    /// identity, prediction task, window length and full parameter schema
+    /// (names + shapes). Unlike [`run_fingerprint`] it deliberately
+    /// excludes training hyperparameters — serving does not care how the
+    /// weights were obtained, only that they fit the same architecture.
+    pub fn serving_fingerprint(&self) -> String {
+        elda_nn::fingerprint_of(&format!(
+            "model={};task={:?};tlen={};schema={}",
+            self.net.name(),
+            self.task,
+            self.net.config().t_len,
+            param_schema(&self.ps),
+        ))
     }
 
     /// §III "Predictive Analytics": true when the predicted risk crosses
@@ -518,6 +558,15 @@ impl Elda {
     /// Restores parameters from [`Elda::checkpoint`] output.
     pub fn restore(&mut self, json: &str) -> Result<(), String> {
         self.ps.load_json(json)
+    }
+
+    /// Like [`Elda::restore`], but refuses NaN/Inf weights — the loading
+    /// contract deployment paths (model-file load, `elda serve` reload)
+    /// use so a poisoned checkpoint is never silently put in front of
+    /// traffic. Schema validation is strict either way: unknown, missing
+    /// or reshaped parameters are errors.
+    pub fn restore_strict(&mut self, json: &str) -> Result<(), String> {
+        self.ps.load_json_strict(json)
     }
 
     /// Serializes the complete deployable artifact — architecture config,
@@ -768,6 +817,42 @@ mod tests {
         assert!(outcome.is_err(), "foreign fingerprint was not refused");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serving_fingerprint_tracks_architecture_not_weights() {
+        let a = Elda::with_config(tiny_cfg(6), Task::Mortality, 1);
+        let b = Elda::with_config(tiny_cfg(6), Task::Mortality, 99);
+        // different weights (different seed), same architecture
+        assert_eq!(a.serving_fingerprint(), b.serving_fingerprint());
+        // restoring a's weights into b is a legal hot swap
+        let mut b = b;
+        b.restore_strict(&a.checkpoint()).unwrap();
+        assert_eq!(a.serving_fingerprint(), b.serving_fingerprint());
+        // different task, window length or shape => different fingerprint
+        let c = Elda::with_config(tiny_cfg(6), Task::LosGt7, 1);
+        assert_ne!(a.serving_fingerprint(), c.serving_fingerprint());
+        let d = Elda::with_config(tiny_cfg(8), Task::Mortality, 1);
+        assert_ne!(a.serving_fingerprint(), d.serving_fingerprint());
+        let mut wider = tiny_cfg(6);
+        wider.embed_dim = 8;
+        let e = Elda::with_config(wider, Task::Mortality, 1);
+        assert_ne!(a.serving_fingerprint(), e.serving_fingerprint());
+    }
+
+    #[test]
+    fn predict_batch_with_external_cache_matches_internal() {
+        let mut cc = CohortConfig::small(30, 13);
+        cc.t_len = 6;
+        let cohort = Cohort::generate(cc);
+        let mut elda = Elda::with_config(tiny_cfg(6), Task::Mortality, 2);
+        elda.fit(&cohort, &quick_fit_config());
+        let panel: Vec<Patient> = cohort.patients.iter().take(5).cloned().collect();
+        let internal = elda.predict_batch(&panel);
+        let cache = crate::infer::PlanCache::new();
+        let external = elda.predict_batch_with(&panel, &cache);
+        assert_eq!(internal, external);
+        assert!(!cache.is_empty(), "external cache captured the plan");
     }
 
     #[test]

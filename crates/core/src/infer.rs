@@ -8,7 +8,7 @@
 //!
 //! * [`PlanCache`] captures one replay plan per distinct forward graph —
 //!   keyed on batch shape, the model's
-//!   [`SequenceModel::graph_key`](crate::model::SequenceModel::graph_key)
+//!   [`SequenceModel::graph_key`]
 //!   (data-dependent branches) and whether observability is on (obs
 //!   telemetry performs extra mid-forward value reads that must be
 //!   pinned) — then replays it for every following batch of that shape,

@@ -38,7 +38,11 @@ use std::path::{Path, PathBuf};
 pub const CKPT_FORMAT: &str = "elda-ckpt/v1";
 
 /// Prefix of the integrity footer line.
-const CRC_PREFIX: &str = "elda-ckpt-crc32:";
+/// Footer prefix of every checkpoint file (`elda-ckpt-crc32:xxxxxxxx`).
+/// Its presence distinguishes an `elda-ckpt/v1` file from an `elda/v1`
+/// model artifact — deployment paths (e.g. `elda serve` reload) sniff it
+/// to pick the right loader.
+pub const CRC_PREFIX: &str = "elda-ckpt-crc32:";
 
 /// IEEE CRC32 (the zlib/PNG polynomial), bitwise implementation — the
 /// workspace is offline-friendly and takes no checksum crate for this.

@@ -44,7 +44,9 @@ pub mod scope;
 pub mod trace;
 
 pub use health::{HealthConfig, HealthMonitor, HealthStatus, Incident, TensorStats};
-pub use registry::{global, CounterRow, Registry, Snapshot, StatAcc, StatRow, TimerRow, TimerStat};
+pub use registry::{
+    global, CounterRow, GaugeRow, Registry, Snapshot, StatAcc, StatRow, TimerRow, TimerStat,
+};
 pub use report::render_table;
 pub use scope::{scope, Scope};
 pub use trace::{
@@ -89,6 +91,17 @@ pub fn counter_add(name: &'static str, n: u64) {
 pub fn stat_add(name: &'static str, sample: f64) {
     if enabled() {
         global().stat_add(name, sample);
+    }
+}
+
+/// Sets the named gauge — a last-value instrument for quantities that go
+/// up *and* down, like a queue depth or a worker's utilization (no-op
+/// while profiling is off — same single-relaxed-load contract as
+/// [`counter_add`]).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() {
+        global().gauge_set(name, value);
     }
 }
 

@@ -71,6 +71,17 @@ pub struct StatRow {
     pub acc: StatAcc,
 }
 
+/// One gauge line of a [`Snapshot`]. A gauge is a *last-value* instrument
+/// (current queue depth, per-worker utilization): unlike counters it can go
+/// down, and unlike stats only the most recent sample matters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeRow {
+    /// Gauge name (e.g. `"serve.queue_depth"`).
+    pub name: &'static str,
+    /// The most recently set value.
+    pub value: f64,
+}
+
 /// A consistent copy of the registry's contents, timers sorted by total
 /// time descending and counters by name.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +92,8 @@ pub struct Snapshot {
     pub counters: Vec<CounterRow>,
     /// All float stats, by name.
     pub stats: Vec<StatRow>,
+    /// All gauges (last-value instruments), by name.
+    pub gauges: Vec<GaugeRow>,
 }
 
 impl Snapshot {
@@ -114,6 +127,7 @@ pub struct Registry {
     timers: Mutex<HashMap<(&'static str, &'static str), TimerStat>>,
     counters: Mutex<HashMap<&'static str, u64>>,
     stats: Mutex<HashMap<&'static str, StatAcc>>,
+    gauges: Mutex<HashMap<&'static str, f64>>,
 }
 
 impl Registry {
@@ -171,6 +185,28 @@ impl Registry {
     /// The accumulated series for `name`, if any sample was recorded.
     pub fn stat(&self, name: &str) -> Option<StatAcc> {
         self.stats.lock().expect("obs stat lock").get(name).copied()
+    }
+
+    /// Sets the named gauge to `value` (last write wins). Non-finite
+    /// values are dropped for the same reason [`Registry::stat_add`] drops
+    /// them: one NaN must not poison a dashboard read-out.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.gauges
+            .lock()
+            .expect("obs gauge lock")
+            .insert(name, value);
+    }
+
+    /// The current value of the named gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("obs gauge lock")
+            .get(name)
+            .copied()
     }
 
     /// Removes and returns every stat series whose name starts with
@@ -246,19 +282,29 @@ impl Registry {
             .map(|(&name, &acc)| StatRow { name, acc })
             .collect();
         stats.sort_by(|a, b| a.name.cmp(b.name));
+        let mut gauges: Vec<GaugeRow> = self
+            .gauges
+            .lock()
+            .expect("obs gauge lock")
+            .iter()
+            .map(|(&name, &value)| GaugeRow { name, value })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(b.name));
         Snapshot {
             timers,
             counters,
             stats,
+            gauges,
         }
     }
 
-    /// Clears all timers, counters and stats (e.g. between profiled runs in
-    /// one process).
+    /// Clears all timers, counters, stats and gauges (e.g. between
+    /// profiled runs in one process).
     pub fn reset(&self) {
         self.timers.lock().expect("obs timer lock").clear();
         self.counters.lock().expect("obs counter lock").clear();
         self.stats.lock().expect("obs stat lock").clear();
+        self.gauges.lock().expect("obs gauge lock").clear();
     }
 }
 
@@ -371,6 +417,26 @@ mod tests {
         assert_eq!(r.snapshot().stats.len(), 1);
         r.reset();
         assert!(r.stat("grad.norm").is_none());
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value_and_drop_nonfinite() {
+        let r = Registry::new();
+        assert!(r.gauge("serve.queue_depth").is_none());
+        r.gauge_set("serve.queue_depth", 4.0);
+        r.gauge_set("serve.queue_depth", 2.0);
+        assert_eq!(r.gauge("serve.queue_depth"), Some(2.0));
+        // a gauge can go back down to zero — it is not a counter
+        r.gauge_set("serve.queue_depth", 0.0);
+        assert_eq!(r.gauge("serve.queue_depth"), Some(0.0));
+        r.gauge_set("serve.queue_depth", f64::NAN);
+        assert_eq!(r.gauge("serve.queue_depth"), Some(0.0), "NaN dropped");
+        r.gauge_set("serve.worker.0.util", 0.5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.gauges.iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["serve.queue_depth", "serve.worker.0.util"]);
+        r.reset();
+        assert!(r.gauge("serve.queue_depth").is_none());
     }
 
     #[test]
