@@ -2,7 +2,7 @@
 //! (in-process, real sockets) and reports sustained throughput, tail
 //! latency and shed behavior.
 //!
-//! Three phases:
+//! Four phases:
 //!
 //! 1. **Closed-loop probe** — clients that each keep one request in
 //!    flight, against a single worker. This measures the unloaded
@@ -22,6 +22,16 @@
 //!    shed rate at each step. The 2× step demonstrates admission
 //!    control: overload turns into fast `{"code":"shed"}` replies and
 //!    bounded queued latency, not collapse.
+//! 4. **Telemetry overhead** — closed-loop saturation against the best
+//!    configuration, telemetry off vs on (`--metrics-addr` endpoint
+//!    being scraped live every 100 ms plus `--trace-sample` span
+//!    construction). Enough closed-loop clients run (one request in
+//!    flight each, two full batches per worker) to hold the pool at
+//!    capacity with no pacing or shed dynamics, so the comparison is
+//!    far less noisy than an open-loop step; the runs are interleaved
+//!    off/on/off/on/... and each side is reported as the median of its
+//!    runs. The delta is the cost of serving-grade observability; it
+//!    belongs under ~3%.
 //!
 //! Writes a JSON report (default `BENCH_serve.json`, override with
 //! `--json PATH`). `--quick` shrinks the measurement budget for CI smoke
@@ -89,9 +99,25 @@ fn start_server(elda: Elda, workers: usize, queue_cap: usize) -> Server {
             wait_ms: WAIT_MS,
             workers,
             queue_cap,
+            ..ServeConfig::default()
         },
     )
     .expect("server start")
+}
+
+/// One blocking scrape of the Prometheus endpoint (read to EOF; the
+/// server closes the connection). Returns the response size in bytes.
+fn scrape_metrics(addr: std::net::SocketAddr) -> usize {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect metrics");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send scrape");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read scrape");
+    assert!(body.starts_with("HTTP/1.1 200"), "bad scrape: {body}");
+    body.len()
 }
 
 fn shutdown(addr: std::net::SocketAddr, server: Server) {
@@ -111,11 +137,13 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-/// Closed loop: each client keeps exactly one request in flight for
-/// `duration`. Returns (throughput rps, sorted latencies in ms).
-fn closed_loop(addr: std::net::SocketAddr, duration: Duration) -> (f64, Vec<f64>) {
+/// Closed loop: `clients` connections each keep exactly one request in
+/// flight for `duration`. Returns (throughput rps, sorted latencies in
+/// ms). With few clients this measures the unloaded round-trip; with
+/// enough in flight to cover every worker's batch it measures capacity.
+fn closed_loop(addr: std::net::SocketAddr, clients: usize, duration: Duration) -> (f64, Vec<f64>) {
     let started = Instant::now();
-    let handles: Vec<_> = (0..CLIENTS)
+    let handles: Vec<_> = (0..clients)
         .map(|_| {
             std::thread::spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
@@ -302,8 +330,8 @@ fn main() {
     // the anchor for the sweep's saturating offered rate.
     let server = start_server(model(), 1, BATCH_MAX * 16);
     let addr = server.addr();
-    closed_loop(addr, budget / 4); // warmup: prime plan caches
-    let (probe_rps, probe_lat) = closed_loop(addr, budget);
+    closed_loop(addr, CLIENTS, budget / 4); // warmup: prime plan caches
+    let (probe_rps, probe_lat) = closed_loop(addr, CLIENTS, budget);
     shutdown(addr, server);
     let probe_p50 = percentile(&probe_lat, 0.50);
     println!("closed-loop probe (1 worker): {probe_rps:.1} rps, p50 {probe_p50:.2} ms");
@@ -403,6 +431,100 @@ fn main() {
     }
     shutdown(addr, server);
 
+    // Phase 4: telemetry overhead — closed-loop saturation against the
+    // best worker count, with the full telemetry stack (Prometheus
+    // endpoint + a live scraper every 100 ms + span sampling) versus the
+    // same server with telemetry off. Enough clients keep one request in
+    // flight each to cover every worker's batch, so the pool runs at
+    // capacity but nothing is shed and there are no pacing dynamics;
+    // interleaving off/on pairs + taking medians cancels the slow drift
+    // a shared host adds, so the delta isolates the instrumentation.
+    const TRACE_SAMPLE: u64 = 64;
+    let sat_clients = best_workers * BATCH_MAX * 2;
+    let pairs = if quick { 1 } else { 3 };
+    println!(
+        "\ntelemetry overhead (closed loop, {best_workers} workers, \
+         {sat_clients} clients, {pairs} pair(s)):"
+    );
+    let mut telemetry_rows = Vec::new();
+    let mut rps_samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for pair in 0..pairs {
+        for enabled in [false, true] {
+            // each run opts in (or not) through its own config; reset the
+            // process-global obs level so "off" really is off
+            elda_obs::set_level(elda_obs::Level::Off);
+            let server = Server::start(
+                model(),
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    batch_max: BATCH_MAX,
+                    wait_ms: WAIT_MS,
+                    workers: best_workers,
+                    queue_cap: BATCH_MAX * 16,
+                    metrics_addr: enabled.then(|| "127.0.0.1:0".to_string()),
+                    trace_sample: if enabled { TRACE_SAMPLE } else { 0 },
+                },
+            )
+            .expect("server start");
+            let addr = server.addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let scraper = server.metrics_addr().map(|m| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scrapes = 0usize;
+                    while !stop.load(Ordering::SeqCst) {
+                        scrape_metrics(m);
+                        scrapes += 1;
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    scrapes
+                })
+            });
+            closed_loop(addr, sat_clients, budget / 4); // warmup: prime plan caches
+            let (rps, lat) = closed_loop(addr, sat_clients, budget);
+            stop.store(true, Ordering::SeqCst);
+            let scrapes = scraper.map(|h| h.join().expect("scraper thread"));
+            shutdown(addr, server);
+            rps_samples[enabled as usize].push(rps);
+            let (p50, p95, p99) = (
+                percentile(&lat, 0.50),
+                percentile(&lat, 0.95),
+                percentile(&lat, 0.99),
+            );
+            println!(
+                "  pair {pair}  telemetry {:<4} {rps:>10.1} rps  p50 {p50:>7.2} ms  \
+                 p95 {p95:>7.2} ms  p99 {p99:>7.2} ms{}",
+                if enabled { "on" } else { "off" },
+                match scrapes {
+                    Some(n) => format!("  ({n} live scrapes)"),
+                    None => String::new(),
+                }
+            );
+            telemetry_rows.push(serde_json::json!({
+                "pair": pair,
+                "telemetry": enabled,
+                "throughput_rps": rps,
+                "p50_ms": p50,
+                "p95_ms": p95,
+                "p99_ms": p99,
+                "scored": lat.len(),
+                "scrapes": scrapes,
+            }));
+        }
+    }
+    elda_obs::set_level(elda_obs::Level::Off);
+    let median = |xs: &[f64]| {
+        let mut xs = xs.to_vec();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite rps"));
+        xs[xs.len() / 2]
+    };
+    let (off_rps, on_rps) = (median(&rps_samples[0]), median(&rps_samples[1]));
+    let overhead_pct = (off_rps - on_rps) / off_rps.max(1e-9) * 100.0;
+    println!(
+        "  medians: off {off_rps:.1} rps, on {on_rps:.1} rps \
+         -> overhead {overhead_pct:.2}% of telemetry-off throughput"
+    );
+
     let payload = serde_json::json!({
         "bench": "serve",
         "quick": quick,
@@ -423,6 +545,17 @@ fn main() {
             "queue_cap": queue_cap,
             "capacity_rps": capacity,
             "steps": step_rows,
+        },
+        "telemetry": {
+            "mode": "closed_loop",
+            "workers": best_workers,
+            "clients": sat_clients,
+            "trace_sample": TRACE_SAMPLE,
+            "pairs": pairs,
+            "off_rps": off_rps,
+            "on_rps": on_rps,
+            "overhead_pct": overhead_pct,
+            "runs": telemetry_rows,
         },
     });
     std::fs::write(

@@ -11,6 +11,8 @@
 //! elda predict  --model model.json --record patient.txt
 //! elda serve    --model model.json [--addr 127.0.0.1:7878] [--workers N]
 //!               [--queue-cap N] [--batch 64] [--wait-ms 5] [--threads N]
+//!               [--metrics-addr 127.0.0.1:9898] [--trace serve.jsonl]
+//!               [--trace-sample N]
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
 //! elda report   trace.jsonl
 //! elda help
@@ -68,6 +70,7 @@ fn print_help() {
          \x20 predict    --model FILE --record FILE\n\
          \x20 serve      --model FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20            [--batch N] [--wait-ms MS] [--threads N]\n\
+         \x20            [--metrics-addr HOST:PORT] [--trace FILE.jsonl] [--trace-sample N]\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
          \x20 report     TRACE.jsonl\n\
          \x20 help\n\n\
@@ -89,7 +92,11 @@ fn print_help() {
          (`--queue-cap`, default 16x batch; overload is shed with an error\n\
          reply, never queued unboundedly); {{\"cmd\":\"reload\",\"path\":\"...\"}}\n\
          hot-swaps weights with zero downtime; {{\"cmd\":\"shutdown\"}} drains\n\
-         and exits. See docs/SERVING.md for the operations runbook.\n\
+         and exits. `--metrics-addr` exposes Prometheus text metrics at\n\
+         GET /metrics (latency/stage histograms, counters, gauges) plus a\n\
+         /healthz probe; `--trace FILE --trace-sample N` writes every Nth\n\
+         request's per-stage span to a JSONL trace for `elda report`.\n\
+         See docs/SERVING.md for the operations runbook.\n\
          cohort directories use the PhysioNet-2012 file layout."
     );
 }
@@ -270,8 +277,9 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 }
 
 /// Dumps the aggregated registry into the trace file (one `op` event per
-/// timer, one `counter` event per counter, one closing `run` event), closes
-/// the sink and prints the aggregate table.
+/// timer, one `counter` per counter, one `stat` per value accumulator,
+/// one `hist` per histogram, one closing `run` event), closes the sink
+/// and prints the aggregate table.
 fn finish_profile(
     path: &str,
     model: &str,
@@ -290,6 +298,8 @@ fn finish_profile(
                     "mean_us",
                     row.stat.total_ns as f64 / 1e3 / row.stat.calls.max(1) as f64,
                 )
+                .with("min_us", row.stat.min_ns as f64 / 1e3)
+                .with("max_us", row.stat.max_ns as f64 / 1e3)
                 .with("units", row.stat.units),
         );
     }
@@ -298,6 +308,32 @@ fn finish_profile(
             &elda_obs::TraceEvent::new("counter")
                 .with("name", c.name)
                 .with("value", c.value),
+        );
+    }
+    for s in &snap.stats {
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("stat")
+                .with("name", s.name)
+                .with("n", s.acc.count)
+                .with("mean", s.acc.mean())
+                .with("min", s.acc.min)
+                .with("max", s.acc.max),
+        );
+    }
+    for h in &snap.hists {
+        if h.hist.count == 0 {
+            continue; // registered but never recorded; nothing to say
+        }
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("hist")
+                .with("name", h.name)
+                .with("n", h.hist.count)
+                .with("mean", h.hist.mean())
+                .with("min", h.hist.min)
+                .with("max", h.hist.max)
+                .with("p50", h.hist.quantile(0.5))
+                .with("p95", h.hist.quantile(0.95))
+                .with("p99", h.hist.quantile(0.99)),
         );
     }
     elda_obs::emit(
@@ -412,7 +448,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         None => 0,
     };
     elda_tensor::pool::set_threads(threads);
-    serve::run(
+    // --trace installs the JSONL sink that `--trace-sample` spans land
+    // in; without it sampling is a no-op (events are dropped unsunk).
+    let traced = if let Some(path) = args.options.get("trace") {
+        elda_obs::install_sink_to_file(Path::new(path))
+            .map_err(|e| format!("cannot open --trace {path}: {e}"))?;
+        // Metrics, not Profile: spans and serve counters need the
+        // aggregate tier only; per-op timers would tax every forward.
+        elda_obs::raise_level(elda_obs::Level::Metrics);
+        true
+    } else {
+        false
+    };
+    let result = serve::run(
         elda,
         serve::ServeConfig {
             addr: args.get_or("addr", "127.0.0.1:7878").to_string(),
@@ -421,8 +469,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             workers,
             // Bounded admission queue; overflow is shed, not buffered.
             queue_cap: args.num_or("queue-cap", batch_max.saturating_mul(16).max(1))?,
+            metrics_addr: args.options.get("metrics-addr").cloned(),
+            trace_sample: args.num_or("trace-sample", 0u64)?,
         },
-    )
+    );
+    if traced {
+        // serve_on flushed on shutdown; close finalizes the file.
+        elda_obs::close_sink();
+    }
+    result
 }
 
 fn cmd_interpret(args: &Args) -> Result<(), String> {

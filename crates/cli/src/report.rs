@@ -11,7 +11,12 @@
 //!   non-finite incidents — the first offending op and operand shapes;
 //! * the auto-recovery rollback history (`recovery` events from `--recover`);
 //! * the attention-entropy trend (first → last epoch, per series);
-//! * the top ops by total time.
+//! * the top ops by total time;
+//! * value distributions (`stat`/`hist` events: n, mean, min/max and
+//!   histogram percentiles);
+//! * the serving span section (`span` events from `elda serve
+//!   --trace-sample N`): per-stage latency percentiles and the slowest
+//!   sampled requests.
 
 use elda_obs::{parse_json_line, Incident, TraceEvent};
 use std::collections::BTreeMap;
@@ -52,6 +57,8 @@ pub fn analyze(events: &[TraceEvent]) -> String {
     render_recoveries(events, &mut out);
     render_attention_trend(events, &mut out);
     render_top_ops(events, &mut out);
+    render_distributions(events, &mut out);
+    render_serve_spans(events, &mut out);
     out
 }
 
@@ -232,6 +239,122 @@ fn render_top_ops(events: &[TraceEvent], out: &mut String) {
     }
 }
 
+/// Value distributions dumped at the end of a profiled run: `stat`
+/// events (mean/min/max accumulators) and `hist` events (log-bucket
+/// histograms with their quantile estimates).
+fn render_distributions(events: &[TraceEvent], out: &mut String) {
+    let stats: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "stat").collect();
+    let hists: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "hist").collect();
+    if stats.is_empty() && hists.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\ndistributions:");
+    for ev in stats {
+        let Some(name) = ev.str_field("name") else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  {name:<24} n={:<7} mean {:>9.4}  min {:>9.4}  max {:>9.4}",
+            fmt_opt(ev.num("n"), 0),
+            ev.num("mean").unwrap_or(f64::NAN),
+            ev.num("min").unwrap_or(f64::NAN),
+            ev.num("max").unwrap_or(f64::NAN),
+        );
+    }
+    for ev in hists {
+        let Some(name) = ev.str_field("name") else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  {name:<24} n={:<7} p50 {:>9.3}  p95 {:>9.3}  p99 {:>9.3}  max {:>9.3}",
+            fmt_opt(ev.num("n"), 0),
+            ev.num("p50").unwrap_or(f64::NAN),
+            ev.num("p95").unwrap_or(f64::NAN),
+            ev.num("p99").unwrap_or(f64::NAN),
+            ev.num("max").unwrap_or(f64::NAN),
+        );
+    }
+}
+
+/// Exact percentile over a small sorted sample. The sampled spans are
+/// few (every Nth request), so no estimation is needed here.
+fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The per-stage serving latency breakdown and slow-request exemplars
+/// from `span` events (`elda serve --trace FILE --trace-sample N`).
+fn render_serve_spans(events: &[TraceEvent], out: &mut String) {
+    const STAGES: [&str; 6] = [
+        "admission_ms",
+        "queue_ms",
+        "batch_ms",
+        "score_ms",
+        "reply_ms",
+        "total_ms",
+    ];
+    let spans: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "span").collect();
+    if spans.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nserve spans ({} sampled):", spans.len());
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "mean ms", "p50 ms", "p95 ms", "max ms"
+    );
+    for stage in STAGES {
+        let mut vals: Vec<f64> = spans.iter().filter_map(|e| e.num(stage)).collect();
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite stage latency"));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let _ = writeln!(
+            out,
+            "  {:<14} {mean:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            stage.trim_end_matches("_ms"),
+            exact_percentile(&vals, 0.5),
+            exact_percentile(&vals, 0.95),
+            vals[vals.len() - 1],
+        );
+    }
+    let mut slowest: Vec<&&TraceEvent> = spans
+        .iter()
+        .filter(|e| e.num("total_ms").is_some())
+        .collect();
+    slowest.sort_by(|a, b| {
+        b.num("total_ms")
+            .partial_cmp(&a.num("total_ms"))
+            .expect("finite total_ms")
+    });
+    if slowest.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "  slowest sampled requests:");
+    for ev in slowest.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "    seq {:>7}  total {:>8.3} ms  queue {:.3}  batch {:.3}  score {:.3}  \
+             reply {:.3}  (worker {}, batch size {})",
+            fmt_opt(ev.num("seq"), 0),
+            ev.num("total_ms").unwrap_or(f64::NAN),
+            ev.num("queue_ms").unwrap_or(f64::NAN),
+            ev.num("batch_ms").unwrap_or(f64::NAN),
+            ev.num("score_ms").unwrap_or(f64::NAN),
+            ev.num("reply_ms").unwrap_or(f64::NAN),
+            fmt_opt(ev.num("worker"), 0),
+            fmt_opt(ev.num("batch"), 0),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +476,72 @@ mod tests {
         assert!(report.contains("no closing run event"), "{report}");
         assert!(report.contains("epochs: none recorded"), "{report}");
         assert!(report.contains("no incidents"), "{report}");
+        assert!(!report.contains("serve spans"), "{report}");
+        assert!(!report.contains("distributions"), "{report}");
+    }
+
+    fn span_ev(seq: u64, queue_ms: f64, score_ms: f64) -> TraceEvent {
+        TraceEvent::new("span")
+            .with("seq", seq)
+            .with("worker", 0u64)
+            .with("batch", 4u64)
+            .with("admission_ms", 0.01f64)
+            .with("queue_ms", queue_ms)
+            .with("batch_ms", 1.0f64)
+            .with("score_ms", score_ms)
+            .with("reply_ms", 0.05f64)
+            .with("total_ms", queue_ms + 1.0 + score_ms + 0.06)
+    }
+
+    #[test]
+    fn serve_spans_render_stage_table_and_slowest_requests() {
+        let events: Vec<TraceEvent> = (0..20).map(|i| span_ev(i, 0.5 + i as f64, 2.0)).collect();
+        let report = analyze(&events);
+        assert!(report.contains("serve spans (20 sampled)"), "{report}");
+        for stage in ["admission", "queue", "batch", "score", "reply", "total"] {
+            assert!(
+                report.lines().any(|l| l.trim().starts_with(stage)),
+                "stage {stage} row missing: {report}"
+            );
+        }
+        // the slowest request is seq 19 (largest queue wait)
+        assert!(report.contains("slowest sampled requests"), "{report}");
+        let slow_line = report
+            .lines()
+            .find(|l| l.trim().starts_with("seq"))
+            .expect("slowest exemplar line");
+        assert!(slow_line.contains("seq      19"), "{slow_line}");
+        assert!(slow_line.contains("worker 0"), "{slow_line}");
+    }
+
+    #[test]
+    fn stat_and_hist_events_render_distributions() {
+        let events = vec![
+            TraceEvent::new("stat")
+                .with("name", "serve.queue_depth")
+                .with("n", 120u64)
+                .with("mean", 3.5f64)
+                .with("min", 0.0f64)
+                .with("max", 9.0f64),
+            TraceEvent::new("hist")
+                .with("name", "serve.latency_ms")
+                .with("n", 120u64)
+                .with("mean", 4.1f64)
+                .with("min", 1.0f64)
+                .with("max", 50.0f64)
+                .with("p50", 3.8f64)
+                .with("p95", 11.0f64)
+                .with("p99", 42.0f64),
+        ];
+        let report = analyze(&events);
+        assert!(report.contains("distributions:"), "{report}");
+        assert!(
+            report.contains("serve.queue_depth") && report.contains("9.0000"),
+            "stat row missing min/max: {report}"
+        );
+        assert!(
+            report.contains("serve.latency_ms") && report.contains("42.000"),
+            "hist row missing p99: {report}"
+        );
     }
 }

@@ -37,6 +37,18 @@ fn take_batch<T>(queue: &mut VecDeque<T>, batch_max: usize) -> Vec<T> {
     queue.drain(..n).collect()
 }
 
+/// A micro-batch plus its assembly timestamps, from
+/// [`AdmissionQueue::next_batch_traced`].
+pub(crate) struct TracedBatch<T> {
+    /// The batch, in arrival order (empty only at drained shutdown).
+    pub items: Vec<T>,
+    /// When the pulling worker first saw a non-empty queue.
+    pub opened: Instant,
+    /// When the batch was sealed (window expired, batch filled, or
+    /// shutdown).
+    pub closed: Instant,
+}
+
 impl<T> AdmissionQueue<T> {
     /// A queue admitting at most `cap` items (clamped to at least 1).
     pub fn new(cap: usize) -> Self {
@@ -76,7 +88,21 @@ impl<T> AdmissionQueue<T> {
     /// `wait` (bounded by `batch_max`), and returns the batch in arrival
     /// order. Returns an empty vec only when the queue is shut down *and*
     /// fully drained — every admitted request gets answered.
+    /// (The worker pool pulls [`AdmissionQueue::next_batch_traced`] for
+    /// stage attribution; this untraced form remains the plain API.)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn next_batch(&self, batch_max: usize, wait: Duration) -> Vec<T> {
+        self.next_batch_traced(batch_max, wait).items
+    }
+
+    /// [`AdmissionQueue::next_batch`] with the micro-batch lifecycle
+    /// timestamps request-scoped tracing needs: when the batch *opened*
+    /// (the worker saw its first item) and when it *closed* (the
+    /// straggler window expired or the batch filled). Per-request stage
+    /// attribution follows: queue time is `opened - enqueued`, assembly
+    /// time is `closed - max(enqueued, opened)` — a straggler that
+    /// arrived mid-window pays no queue time, only the remaining window.
+    pub fn next_batch_traced(&self, batch_max: usize, wait: Duration) -> TracedBatch<T> {
         let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         while q.is_empty() && !self.shutdown.load(Ordering::SeqCst) {
             let (guard, _) = self
@@ -86,11 +112,17 @@ impl<T> AdmissionQueue<T> {
             q = guard;
         }
         if q.is_empty() {
-            return Vec::new(); // shutdown with nothing left to answer
+            let now = Instant::now();
+            return TracedBatch {
+                items: Vec::new(),
+                opened: now,
+                closed: now,
+            }; // shutdown with nothing left to answer
         }
+        let opened = Instant::now();
         // Straggler window: give concurrent clients `wait` to coalesce
         // into one forward, bounded by the batch cap.
-        let deadline = Instant::now() + wait;
+        let deadline = opened + wait;
         while q.len() < batch_max && !self.shutdown.load(Ordering::SeqCst) {
             let now = Instant::now();
             if now >= deadline {
@@ -102,12 +134,15 @@ impl<T> AdmissionQueue<T> {
                 .unwrap_or_else(|p| p.into_inner());
             q = guard;
         }
-        elda_obs::stat_add("serve.queue_depth", q.len() as f64);
-        let batch = take_batch(&mut q, batch_max);
+        let items = take_batch(&mut q, batch_max);
         let depth = q.len();
         drop(q);
         elda_obs::gauge_set("serve.queue.depth", depth as f64);
-        batch
+        TracedBatch {
+            items,
+            opened,
+            closed: Instant::now(),
+        }
     }
 
     /// Items currently queued.
@@ -172,6 +207,27 @@ mod tests {
             "queued work still drains"
         );
         assert!(q.next_batch(8, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn traced_batches_order_their_lifecycle_timestamps() {
+        let q = AdmissionQueue::new(8);
+        let before = Instant::now();
+        q.offer(1).unwrap();
+        q.offer(2).unwrap();
+        let traced = q.next_batch_traced(8, Duration::from_millis(5));
+        assert_eq!(traced.items, vec![1, 2]);
+        assert!(traced.opened >= before, "opened after enqueue");
+        assert!(traced.closed >= traced.opened, "closed after opened");
+        // a full batch seals without waiting out the whole window
+        q.offer(3).unwrap();
+        q.offer(4).unwrap();
+        let traced = q.next_batch_traced(2, Duration::from_secs(5));
+        assert_eq!(traced.items, vec![3, 4]);
+        assert!(
+            traced.closed.duration_since(traced.opened) < Duration::from_secs(1),
+            "a filled batch must not sit out the straggler window"
+        );
     }
 
     #[test]

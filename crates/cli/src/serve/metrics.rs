@@ -1,0 +1,182 @@
+//! The Prometheus exposition endpoint: a std-only HTTP listener serving
+//! `GET /metrics` (text format 0.0.4) and `GET /healthz` next to the
+//! JSON scoring port.
+//!
+//! Scrapes are rare (seconds apart) and tiny, so the implementation is
+//! deliberately minimal: one thread, serial request handling, a
+//! hand-rolled request-line parser that understands exactly what a
+//! scraper sends. Anything that is not `GET /metrics` or `GET /healthz`
+//! gets a 404; non-GET methods get a 405.
+//!
+//! ## What a scrape returns
+//!
+//! The registry's counters, gauges, stats and histograms rendered by
+//! `elda_obs::render_prometheus` — including the always-on serve
+//! histograms (`serve.latency_ms`, `serve.stage.*`, ...) — plus
+//! **rolling-window quantile gauges**: for every histogram, the endpoint
+//! diffs the current snapshot against the previous scrape's and emits
+//! `elda_<name>_p50` / `_p95` / `_p99` over just that window (first
+//! scrape: lifetime). Cumulative `_bucket` series remain the source of
+//! truth for PromQL (`histogram_quantile` over `rate()`); the window
+//! gauges are for humans hitting the endpoint with `curl`.
+
+use super::Shared;
+use elda_obs::HistSnapshot;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spawns the exposition thread on a pre-bound listener (bound by
+/// `serve::bind` so the resolved address is known before the serve loop
+/// starts). The thread polls the serve queue's shutdown flag, so it
+/// exits with the rest of the server.
+pub(crate) fn spawn_metrics(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking metrics accept unsupported: {e}"))?;
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("elda-metrics".into())
+        .spawn(move || {
+            let mut last_scrape: HashMap<&'static str, HistSnapshot> = HashMap::new();
+            while !shared.queue.is_shutdown() {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_scrape(stream, &mut last_scrape),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+        .map_err(|e| format!("cannot spawn metrics thread: {e}"))
+}
+
+/// Serves one HTTP exchange. Scrapers send one request per connection;
+/// the reply always closes the connection.
+fn handle_scrape(stream: TcpStream, last_scrape: &mut HashMap<&'static str, HistSnapshot>) {
+    // The accept loop is nonblocking; the accepted socket must not be,
+    // but a stalled scraper must not wedge the endpoint either.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers so the peer's send buffer is empty before we
+    // write (keeps naive clients that expect lockstep happy).
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header.trim_end().is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return,
+    };
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_scrape(last_scrape),
+            ),
+            "/healthz" | "/health" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "try /metrics or /healthz\n".to_string(),
+            ),
+        }
+    };
+    respond(stream, status, content_type, &body);
+}
+
+/// Renders the exposition body: the registry snapshot plus the
+/// rolling-window quantile gauges for every histogram.
+fn render_scrape(last_scrape: &mut HashMap<&'static str, HistSnapshot>) -> String {
+    let snap = elda_obs::global().snapshot();
+    let mut body = elda_obs::render_prometheus(&snap);
+    for row in &snap.hists {
+        let window = match last_scrape.get(row.name) {
+            Some(prev) => row.hist.delta_since(prev),
+            None => row.hist.clone(),
+        };
+        let base = elda_obs::metric_name(row.name);
+        for (suffix, p) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            let q = window.quantile(p);
+            if q.is_finite() {
+                body.push_str(&format!(
+                    "# TYPE {base}_{suffix} gauge\n{base}_{suffix} {q}\n"
+                ));
+            }
+        }
+        last_scrape.insert(row.name, row.hist.clone());
+    }
+    body
+}
+
+/// Writes one minimal HTTP/1.1 response and closes.
+fn respond(mut stream: TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_quantiles_reset_between_scrapes() {
+        let mut last: HashMap<&'static str, HistSnapshot> = HashMap::new();
+        let hist = std::sync::Arc::new(elda_obs::Histogram::new());
+        elda_obs::global().hist_register("metrics.test.window_ms", Arc::clone(&hist));
+        hist.record(4.0);
+        let first = render_scrape(&mut last);
+        assert!(
+            first.contains("elda_metrics_test_window_ms_p50 "),
+            "{first}"
+        );
+        // nothing recorded since: the window is empty, so no p50 gauge
+        let second = render_scrape(&mut last);
+        assert!(
+            !second.contains("elda_metrics_test_window_ms_p50 "),
+            "{second}"
+        );
+        // new samples repopulate the window with only the new data
+        hist.record(1024.0);
+        let third = render_scrape(&mut last);
+        let p50_line = third
+            .lines()
+            .find(|l| l.starts_with("elda_metrics_test_window_ms_p50 "))
+            .expect("window p50 present again");
+        let v: f64 = p50_line.split(' ').nth(1).unwrap().parse().unwrap();
+        assert!(
+            (v - 1024.0).abs() / 1024.0 <= elda_obs::RELATIVE_ERROR,
+            "window p50 {v} should reflect only the new sample"
+        );
+    }
+}

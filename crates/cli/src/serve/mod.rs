@@ -38,19 +38,33 @@
 //!   `{"code":"shed"}` error instead of growing the queue — worst-case
 //!   memory and queued latency stay bounded under overload.
 //!
-//! Per-request latency, batch sizes, queue depth, per-worker utilization
-//! and connection counts flow through `elda-obs` (`serve.latency_ms`,
-//! `serve.batch_size`, `serve.queue.depth`, `serve.worker.<i>.util`,
-//! `serve.connections`) when profiling is enabled; the `stats` command
-//! always works. See `docs/SERVING.md` for the operations runbook.
+//! # Telemetry
+//!
+//! Every scored request flows through an implicit span: stage timestamps
+//! are taken at wire read, admission, batch open/close (via
+//! `AdmissionQueue::next_batch_traced`), forward pass and reply write,
+//! and the per-stage durations land in always-on log-bucket histograms
+//! (`serve.latency_ms`, `serve.stage.*`, `serve.batch_size`,
+//! `serve.queue_depth.on_admit` — see `ServeHists`). The `stats` command reports
+//! true p50/p95/p99 from them even with profiling off. With
+//! `--metrics-addr` set, a std-only HTTP listener (the `metrics` submodule) exposes
+//! everything as Prometheus text at `GET /metrics` (plus `GET /healthz`),
+//! and with `--trace-sample N` every Nth request's span is written to the
+//! installed JSONL trace sink for `elda report`'s stage breakdown.
+//! Counters and gauges (`serve.queue.depth`, `serve.worker.<i>.util`,
+//! `serve.connections`, ...) flow through `elda-obs` when profiling is
+//! enabled; the `stats` command always works. See `docs/SERVING.md` for
+//! the operations runbook.
 
 pub mod admission;
+pub mod metrics;
 pub mod protocol;
 pub mod snapshot;
 pub mod worker;
 
 use elda_core::Elda;
 use elda_emr::{Patient, NUM_FEATURES};
+use elda_obs::Histogram;
 use protocol::{Request, CODE_BAD_REQUEST, CODE_RELOAD, CODE_SHED};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +73,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server options (`elda serve` flags).
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
     pub addr: String,
@@ -72,6 +87,29 @@ pub struct ServeConfig {
     /// Admission cap: requests queued beyond this are shed with a
     /// `{"code":"shed"}` error instead of buffered.
     pub queue_cap: usize,
+    /// Optional Prometheus exposition address (`--metrics-addr`): when
+    /// set, a std-only HTTP listener answers `GET /metrics` with the
+    /// text exposition and `GET /healthz` with a liveness probe.
+    /// Enables `elda-obs` globally so counters/gauges flow too.
+    pub metrics_addr: Option<String>,
+    /// Span sampling rate (`--trace-sample N`): every Nth accepted
+    /// request emits a `span` trace event (per-stage latencies) to the
+    /// installed JSONL sink; `0` disables sampling.
+    pub trace_sample: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            batch_max: 64,
+            wait_ms: 5,
+            workers: 1,
+            queue_cap: 1024,
+            metrics_addr: None,
+            trace_sample: 0,
+        }
+    }
 }
 
 /// Monotonic counters behind the `stats` command. All relaxed — they are
@@ -101,10 +139,65 @@ pub(crate) struct Pending {
     pub id: serde_json::Value,
     /// The decoded patient grid.
     pub patient: Patient,
-    /// Admission time, for the `serve.latency_ms` stat.
+    /// When the request line came off the wire — the span's t0 and the
+    /// origin of the end-to-end `serve.latency_ms` measurement.
+    pub recv: Instant,
+    /// When the request entered the admission queue (admission stage
+    /// boundary).
     pub enqueued: Instant,
+    /// Monotonic accepted-request sequence number, for `--trace-sample`.
+    pub seq: u64,
     /// The owning connection's writer lock.
     pub out: Arc<Mutex<TcpStream>>,
+}
+
+/// The serving tier's latency/size distributions. Recorded
+/// *unconditionally* — a record is a few relaxed atomic RMWs, cheap
+/// enough to pay always, which keeps the `stats` percentiles honest even
+/// with `elda-obs` disabled. The histograms are also registered into the
+/// global obs registry, so `/metrics` and profile dumps render them.
+pub(crate) struct ServeHists {
+    /// End-to-end request latency (wire read → reply written), ms.
+    pub latency_ms: Arc<Histogram>,
+    /// Scored micro-batch sizes.
+    pub batch_size: Arc<Histogram>,
+    /// Queue depth sampled at each admission. Registered as
+    /// `serve.queue_depth.on_admit` so its Prometheus family stays
+    /// distinct from the instantaneous `serve.queue.depth` gauge (both
+    /// would otherwise sanitize to `elda_serve_queue_depth`).
+    pub queue_depth: Arc<Histogram>,
+    /// Stage: line parse + admission offer, ms.
+    pub stage_admission_ms: Arc<Histogram>,
+    /// Stage: waiting in the queue before a worker opened the batch, ms.
+    pub stage_queue_ms: Arc<Histogram>,
+    /// Stage: micro-batch assembly (straggler window share), ms.
+    pub stage_batch_ms: Arc<Histogram>,
+    /// Stage: batched forward pass, ms.
+    pub stage_score_ms: Arc<Histogram>,
+    /// Stage: reply serialization + socket write, ms.
+    pub stage_reply_ms: Arc<Histogram>,
+}
+
+impl ServeHists {
+    /// Builds the family and registers every member in the global obs
+    /// registry under its `serve.*` name.
+    fn new() -> ServeHists {
+        let make = |name: &'static str| {
+            let h = Arc::new(Histogram::new());
+            elda_obs::global().hist_register(name, Arc::clone(&h));
+            h
+        };
+        ServeHists {
+            latency_ms: make("serve.latency_ms"),
+            batch_size: make("serve.batch_size"),
+            queue_depth: make("serve.queue_depth.on_admit"),
+            stage_admission_ms: make("serve.stage.admission_ms"),
+            stage_queue_ms: make("serve.stage.queue_ms"),
+            stage_batch_ms: make("serve.stage.batch_ms"),
+            stage_score_ms: make("serve.stage.score_ms"),
+            stage_reply_ms: make("serve.stage.reply_ms"),
+        }
+    }
 }
 
 /// Everything the acceptor, connection readers and scorer workers share.
@@ -115,6 +208,12 @@ pub(crate) struct Shared {
     pub snapshot: snapshot::SnapshotCell,
     /// `stats` command counters.
     pub stats: ServeStats,
+    /// Latency/size histograms (always recorded; see [`ServeHists`]).
+    pub hists: ServeHists,
+    /// Accepted-request sequence numbers (span sampling).
+    pub seq: AtomicU64,
+    /// Emit a `span` trace event every Nth accepted request (0 = off).
+    pub trace_sample: u64,
     /// Per-worker cumulative busy time, for utilization reporting.
     pub worker_busy_ns: Vec<AtomicU64>,
     /// Server start time (utilization denominator).
@@ -127,6 +226,9 @@ impl Shared {
             queue: admission::AdmissionQueue::new(cfg.queue_cap),
             snapshot: snapshot::SnapshotCell::new(elda),
             stats: ServeStats::default(),
+            hists: ServeHists::new(),
+            seq: AtomicU64::new(0),
+            trace_sample: cfg.trace_sample,
             worker_busy_ns: (0..cfg.workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             started: Instant::now(),
         }
@@ -142,7 +244,7 @@ pub(crate) fn write_line(out: &Arc<Mutex<TcpStream>>, line: &str) {
     let _ = stream.flush();
 }
 
-/// Renders the `stats` reply from the shared counters.
+/// Renders the `stats` reply from the shared counters and histograms.
 fn stats_json(shared: &Shared) -> String {
     let wall = shared.started.elapsed().as_secs_f64().max(1e-9);
     let worker_util: Vec<f64> = shared
@@ -150,6 +252,8 @@ fn stats_json(shared: &Shared) -> String {
         .iter()
         .map(|b| (b.load(Ordering::Relaxed) as f64 / 1e9 / wall * 1000.0).round() / 1000.0)
         .collect();
+    let lat = shared.hists.latency_ms.snapshot();
+    let batch = shared.hists.batch_size.snapshot();
     let reply = serde_json::json!({
         "requests": shared.stats.requests.load(Ordering::Relaxed),
         "errors": shared.stats.errors.load(Ordering::Relaxed),
@@ -163,6 +267,12 @@ fn stats_json(shared: &Shared) -> String {
         "workers": worker_util.len(),
         "worker_util": worker_util,
         "snapshot_version": shared.snapshot.version(),
+        // true percentiles off the log-bucket histograms (±6.25%
+        // relative; null until the first request is scored)
+        "latency_p50_ms": protocol::round3_or_null(lat.quantile(0.5)),
+        "latency_p95_ms": protocol::round3_or_null(lat.quantile(0.95)),
+        "latency_p99_ms": protocol::round3_or_null(lat.quantile(0.99)),
+        "batch_p50": protocol::round3_or_null(batch.quantile(0.5)),
     });
     serde_json::to_string(&reply).expect("stats json")
 }
@@ -193,6 +303,25 @@ fn handle_reload(shared: &Shared, path: &str, out: &Arc<Mutex<TcpStream>>) {
     }
 }
 
+/// Answers a request the admission queue refused: immediate
+/// `code:"shed"` reply, nothing held.
+fn handle_shed(shared: &Shared, refused: Pending) {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.shed", 1);
+    write_line(
+        &refused.out,
+        &protocol::error_reply(
+            Some(&refused.id),
+            CODE_SHED,
+            &format!(
+                "server overloaded: admission queue full \
+                 (cap {}); retry with backoff",
+                shared.queue.cap()
+            ),
+        ),
+    );
+}
+
 /// One reader thread per connection: parse lines, offer scores to the
 /// admission queue, answer commands and errors inline. Logs the
 /// disconnect (EOF, half-close or read error) on the way out and keeps
@@ -221,6 +350,7 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
                 break;
             }
         }
+        let recv = Instant::now();
         match protocol::parse_request(&line, t_len) {
             Ok(Request::Ping) => write_line(&out, r#"{"ok":"pong"}"#),
             Ok(Request::Stats) => write_line(&out, &stats_json(&shared)),
@@ -234,28 +364,24 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
             Ok(Request::Score { id, patient }) => {
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 elda_obs::counter_add("serve.requests", 1);
+                let enqueued = Instant::now();
                 let pending = Pending {
                     id,
                     patient,
-                    enqueued: Instant::now(),
+                    recv,
+                    enqueued,
+                    seq: shared.seq.fetch_add(1, Ordering::Relaxed),
                     out: Arc::clone(&out),
                 };
-                if let Err(refused) = shared.queue.offer(pending) {
-                    // Admission control: answer now, hold nothing.
-                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                    elda_obs::counter_add("serve.shed", 1);
-                    write_line(
-                        &out,
-                        &protocol::error_reply(
-                            Some(&refused.id),
-                            CODE_SHED,
-                            &format!(
-                                "server overloaded: admission queue full \
-                                 (cap {}); retry with backoff",
-                                shared.queue.cap()
-                            ),
-                        ),
-                    );
+                match shared.queue.offer(pending) {
+                    Ok(depth) => {
+                        shared
+                            .hists
+                            .stage_admission_ms
+                            .record(enqueued.duration_since(recv).as_secs_f64() * 1e3);
+                        shared.hists.queue_depth.record(depth as f64);
+                    }
+                    Err(refused) => handle_shed(&shared, refused),
                 }
             }
             Err(e) => {
@@ -277,9 +403,11 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
     }
 }
 
-/// Validates the model and binds the listener (shared by [`run`] and
-/// [`Server::start`]).
-fn bind(elda: &Elda, cfg: &ServeConfig) -> Result<TcpListener, String> {
+/// Validates the model and binds the scoring listener plus (when
+/// `--metrics-addr` is set) the Prometheus exposition listener, so both
+/// resolved addresses are known before the serve loop starts (shared by
+/// [`run`] and [`Server::start`]).
+fn bind(elda: &Elda, cfg: &ServeConfig) -> Result<(TcpListener, Option<TcpListener>), String> {
     if elda.pipeline().is_none() {
         return Err("model artifact has no fitted pipeline; retrain with `elda train`".into());
     }
@@ -288,15 +416,39 @@ fn bind(elda: &Elda, cfg: &ServeConfig) -> Result<TcpListener, String> {
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("nonblocking accept unsupported: {e}"))?;
-    Ok(listener)
+    let metrics = match &cfg.metrics_addr {
+        Some(addr) => Some(
+            TcpListener::bind(addr).map_err(|e| format!("cannot bind metrics addr {addr}: {e}"))?,
+        ),
+        None => None,
+    };
+    Ok((listener, metrics))
 }
 
 /// The accept loop: runs until a client sends `{"cmd":"shutdown"}`, then
 /// joins the worker pool (which drains the queue first) so every
 /// admitted request is answered before returning.
-fn serve_on(listener: TcpListener, elda: Elda, cfg: ServeConfig) -> Result<(), String> {
+fn serve_on(
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    elda: Elda,
+    cfg: ServeConfig,
+) -> Result<(), String> {
     let t_len = elda.net().config().t_len;
     let shared = Arc::new(Shared::new(elda, &cfg));
+    let metrics = match metrics_listener {
+        Some(l) => {
+            // A scrape without counters/gauges would be misleading, so
+            // /metrics arms the aggregate tier — but only that tier:
+            // Profile would hang per-op timers on every forward pass
+            // (measured ~19% throughput at saturation vs ~1% for
+            // Metrics). raise_level keeps an embedder's explicit
+            // Profile setting intact.
+            elda_obs::raise_level(elda_obs::Level::Metrics);
+            Some(metrics::spawn_metrics(l, &shared)?)
+        }
+        None => None,
+    };
     let workers = worker::spawn_workers(&shared, cfg.workers, cfg.batch_max, cfg.wait_ms);
 
     while !shared.queue.is_shutdown() {
@@ -316,6 +468,13 @@ fn serve_on(listener: TcpListener, elda: Elda, cfg: ServeConfig) -> Result<(), S
     for w in workers {
         w.join().map_err(|_| "scorer worker panicked")?;
     }
+    if let Some(m) = metrics {
+        m.join().map_err(|_| "metrics thread panicked")?;
+    }
+    // The global sink (if any) outlives this server; push sampled spans
+    // and other tail events to disk now — a clean shutdown must not lose
+    // the end of the trace.
+    elda_obs::flush_sink();
     println!(
         "shutdown complete ({} requests, {} errors, {} shed, {} batches, {} reloads)",
         shared.stats.requests.load(Ordering::Relaxed),
@@ -332,10 +491,15 @@ fn serve_on(listener: TcpListener, elda: Elda, cfg: ServeConfig) -> Result<(), S
 /// port) once ready.
 pub fn run(elda: Elda, cfg: ServeConfig) -> Result<(), String> {
     let t_len = elda.net().config().t_len;
-    let listener = bind(&elda, &cfg)?;
+    let (listener, metrics_listener) = bind(&elda, &cfg)?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("no local addr: {e}"))?;
+    if let Some(m) = &metrics_listener {
+        if let Ok(bound) = m.local_addr() {
+            println!("metrics on http://{bound}/metrics");
+        }
+    }
     println!("listening on {local}");
     println!(
         "protocol: one JSON request per line; t_len {t_len}, {NUM_FEATURES} features, \
@@ -346,7 +510,7 @@ pub fn run(elda: Elda, cfg: ServeConfig) -> Result<(), String> {
         cfg.queue_cap.max(1),
     );
     let _ = std::io::stdout().flush();
-    serve_on(listener, elda, cfg)
+    serve_on(listener, metrics_listener, elda, cfg)
 }
 
 /// An in-process server handle for tests and the `bench_serve` load
@@ -355,6 +519,7 @@ pub fn run(elda: Elda, cfg: ServeConfig) -> Result<(), String> {
 /// [`Server::join`] (after a client has sent `{"cmd":"shutdown"}`).
 pub struct Server {
     local: SocketAddr,
+    metrics: Option<SocketAddr>,
     handle: std::thread::JoinHandle<Result<(), String>>,
 }
 
@@ -362,20 +527,37 @@ impl Server {
     /// Binds `cfg.addr` (use port `:0` for an ephemeral port) and starts
     /// serving `elda` on a background thread.
     pub fn start(elda: Elda, cfg: ServeConfig) -> Result<Server, String> {
-        let listener = bind(&elda, &cfg)?;
+        let (listener, metrics_listener) = bind(&elda, &cfg)?;
         let local = listener
             .local_addr()
             .map_err(|e| format!("no local addr: {e}"))?;
+        let metrics = match &metrics_listener {
+            Some(m) => Some(
+                m.local_addr()
+                    .map_err(|e| format!("no metrics local addr: {e}"))?,
+            ),
+            None => None,
+        };
         let handle = std::thread::Builder::new()
             .name("elda-serve".into())
-            .spawn(move || serve_on(listener, elda, cfg))
+            .spawn(move || serve_on(listener, metrics_listener, elda, cfg))
             .map_err(|e| format!("cannot spawn server thread: {e}"))?;
-        Ok(Server { local, handle })
+        Ok(Server {
+            local,
+            metrics,
+            handle,
+        })
     }
 
     /// The bound address (with the resolved port).
     pub fn addr(&self) -> SocketAddr {
         self.local
+    }
+
+    /// The bound Prometheus exposition address, when the config asked
+    /// for one (`metrics_addr`).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics
     }
 
     /// Waits for the serve loop to exit and returns its result. Blocks
@@ -435,6 +617,7 @@ mod tests {
                 wait_ms: 1,
                 workers: 2,
                 queue_cap: 64,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -466,6 +649,10 @@ mod tests {
         assert_eq!(stats["workers"].as_u64(), Some(2));
         assert_eq!(stats["snapshot_version"].as_u64(), Some(1));
         assert_eq!(stats["connections"].as_u64(), Some(1));
+        let p50 = stats["latency_p50_ms"].as_f64().unwrap();
+        let p99 = stats["latency_p99_ms"].as_f64().unwrap();
+        assert!(p50 > 0.0 && p99 >= p50, "histogram percentiles: {stats:?}");
+        assert_eq!(stats["batch_p50"].as_f64(), Some(1.0), "{stats:?}");
 
         let bye = send(&mut writer, &mut reader, r#"{"cmd":"shutdown"}"#);
         assert_eq!(bye["ok"].as_str(), Some("shutting down"));
@@ -484,6 +671,7 @@ mod tests {
                 wait_ms: 1,
                 workers: 1,
                 queue_cap: 4,
+                ..ServeConfig::default()
             },
         )
         .map(|_| ())

@@ -131,6 +131,17 @@ pub(crate) fn error_reply(id: Option<&serde_json::Value>, code: &str, msg: &str)
     serde_json::to_string(&reply).expect("error json")
 }
 
+/// Renders an estimated quantile for the `stats` reply: rounded to 3
+/// decimals, or JSON `null` when the backing histogram is still empty
+/// (a NaN would corrupt the reply line).
+pub(crate) fn round3_or_null(v: f64) -> serde_json::Value {
+    if v.is_finite() {
+        serde_json::json!((v * 1000.0).round() / 1000.0)
+    } else {
+        serde_json::Value::Null
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +218,14 @@ mod tests {
         assert!(matches!(req, Request::Reload { path } if path == "/tmp/m.json"));
         let err = parse_request(r#"{"cmd":"reload"}"#, T_LEN).unwrap_err();
         assert!(err.contains("path"), "{err}");
+    }
+
+    #[test]
+    fn quantile_fields_render_rounded_or_null() {
+        assert_eq!(round3_or_null(1.23456), serde_json::json!(1.235));
+        assert_eq!(round3_or_null(0.0), serde_json::json!(0.0));
+        assert_eq!(round3_or_null(f64::NAN), serde_json::Value::Null);
+        assert_eq!(round3_or_null(f64::INFINITY), serde_json::Value::Null);
     }
 
     #[test]

@@ -58,7 +58,12 @@ impl SnapshotCell {
     pub fn swap(&self, next: Arc<Elda>) -> u64 {
         let mut cur = self.current.lock().unwrap_or_else(|p| p.into_inner());
         *cur = next;
-        self.version.fetch_add(1, Ordering::SeqCst) + 1
+        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        drop(cur);
+        // Scrapable alongside serve.reloads: a dashboard can alert on
+        // "version didn't advance after a rollout".
+        elda_obs::gauge_set("serve.snapshot.version", version as f64);
+        version
     }
 
     /// Monotonic snapshot version, starting at 1 and incremented by every

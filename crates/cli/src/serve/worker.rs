@@ -15,7 +15,11 @@
 //! `serve.worker.<i>.util` gauge (busy wall-clock fraction since start)
 //! through `elda-obs`, and accumulates busy nanoseconds in
 //! `Shared` so the `stats` command can report utilization even
-//! when profiling is off.
+//! when profiling is off. Every scored request's stage durations
+//! (queue wait, batch assembly, forward, reply write) land in the
+//! always-on `ServeHists` histograms, and every
+//! `trace_sample`-th request emits a `span` trace event with the full
+//! per-stage breakdown for `elda report`.
 
 use super::{protocol, Shared};
 use elda_core::infer::PlanCache;
@@ -45,7 +49,9 @@ pub(crate) fn spawn_workers(
 }
 
 /// One scorer worker: block on the admission queue, clone the weight
-/// snapshot, run one grad-free batched forward, answer everyone.
+/// snapshot, run one grad-free batched forward, answer everyone —
+/// recording each request's per-stage durations into the serve
+/// histograms and emitting a sampled `span` trace event on the way.
 fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) {
     let cache = PlanCache::new();
     // Gauge names are &'static str; one leaked allocation per worker for
@@ -54,9 +60,10 @@ fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) {
     let started = Instant::now();
     let mut busy = Duration::ZERO;
     loop {
-        let batch = shared
+        let traced = shared
             .queue
-            .next_batch(batch_max, Duration::from_millis(wait_ms));
+            .next_batch_traced(batch_max, Duration::from_millis(wait_ms));
+        let batch = traced.items;
         if batch.is_empty() {
             return; // shutdown and fully drained
         }
@@ -66,17 +73,62 @@ fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) {
         let model = shared.snapshot.load();
         let patients: Vec<Patient> = batch.iter().map(|p| p.patient.clone()).collect();
         let risks = model.predict_batch_with(&patients, &cache);
+        let scored = Instant::now();
+        let score_ms = scored
+            .saturating_duration_since(traced.closed)
+            .as_secs_f64()
+            * 1e3;
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        elda_obs::stat_add("serve.batch_size", batch.len() as f64);
+        let batch_len = batch.len();
+        shared.hists.batch_size.record(batch_len as f64);
+        shared.hists.stage_score_ms.record(score_ms);
         for (pending, risk) in batch.into_iter().zip(risks) {
-            elda_obs::stat_add(
-                "serve.latency_ms",
-                pending.enqueued.elapsed().as_secs_f64() * 1e3,
-            );
+            // Stage attribution (see `AdmissionQueue::next_batch_traced`):
+            // a straggler that arrived inside the open window pays no
+            // queue time, only its share of the remaining assembly wait.
+            let queue_ms = traced
+                .opened
+                .saturating_duration_since(pending.enqueued)
+                .as_secs_f64()
+                * 1e3;
+            let joined = pending.enqueued.max(traced.opened);
+            let batch_ms = traced
+                .closed
+                .saturating_duration_since(joined)
+                .as_secs_f64()
+                * 1e3;
+            shared.hists.stage_queue_ms.record(queue_ms);
+            shared.hists.stage_batch_ms.record(batch_ms);
+            let write_start = Instant::now();
             super::write_line(
                 &pending.out,
                 &protocol::score_reply(&pending.id, risk, risk >= model.alert_threshold),
             );
+            let reply_ms = write_start.elapsed().as_secs_f64() * 1e3;
+            let total_ms = pending.recv.elapsed().as_secs_f64() * 1e3;
+            shared.hists.stage_reply_ms.record(reply_ms);
+            shared.hists.latency_ms.record(total_ms);
+            if shared.trace_sample > 0 && pending.seq % shared.trace_sample == 0 {
+                elda_obs::emit(
+                    &elda_obs::TraceEvent::new("span")
+                        .with("seq", pending.seq)
+                        .with("worker", wid)
+                        .with("batch", batch_len)
+                        .with(
+                            "admission_ms",
+                            pending
+                                .enqueued
+                                .saturating_duration_since(pending.recv)
+                                .as_secs_f64()
+                                * 1e3,
+                        )
+                        .with("queue_ms", queue_ms)
+                        .with("batch_ms", batch_ms)
+                        .with("score_ms", score_ms)
+                        .with("reply_ms", reply_ms)
+                        .with("total_ms", total_ms),
+                );
+            }
         }
         busy += t0.elapsed();
         shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);

@@ -73,6 +73,94 @@ fn score_line(id: usize, patient: &Patient) -> String {
     format!(r#"{{"id":{id},"values":[{}]}}"#, vals.join(","))
 }
 
+/// Minimal HTTP/1.1 GET against the metrics endpoint (what `curl`
+/// sends); the server closes the connection, so read-to-EOF terminates.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: */*\r\n\r\n"
+    )
+    .expect("send scrape");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read scrape");
+    out
+}
+
+/// Asserts `scrape` is a 200 with a well-formed Prometheus text body:
+/// every sample line parses as `name[{labels}] value`, every named
+/// metric carries a `# TYPE` header, and the per-stage serve histograms
+/// are present with cumulative buckets.
+fn assert_valid_exposition(scrape: &str) {
+    assert!(scrape.starts_with("HTTP/1.1 200"), "{scrape}");
+    assert!(
+        scrape.contains("text/plain; version=0.0.4"),
+        "wrong content type: {scrape}"
+    );
+    let body = scrape
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response carries a body");
+    assert!(body.ends_with('\n'), "exposition must end with a newline");
+    let mut typed: Vec<String> = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE names a metric");
+            let kind = parts.next().expect("TYPE carries a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram" | "summary"),
+                "bad TYPE kind: {line}"
+            );
+            assert!(
+                !typed.iter().any(|t| t == name),
+                "duplicate metric family {name} — two registry entries \
+                 sanitize to the same Prometheus name"
+            );
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.starts_with("elda_"),
+            "unprefixed metric {name}: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN"),
+            "unparseable value in {line:?}"
+        );
+        assert!(
+            typed.iter().any(|t| {
+                name == t
+                    || ["_bucket", "_sum", "_count", "_min", "_max"]
+                        .iter()
+                        .any(|s| name.strip_suffix(s) == Some(t))
+            }),
+            "sample {name} has no TYPE header"
+        );
+    }
+    // the tentpole: per-stage serve histograms are scrapeable
+    for metric in [
+        "elda_serve_latency_ms_bucket",
+        "elda_serve_stage_admission_ms_count",
+        "elda_serve_stage_queue_ms_bucket",
+        "elda_serve_stage_batch_ms_count",
+        "elda_serve_stage_score_ms_bucket",
+        "elda_serve_stage_reply_ms_count",
+        "elda_serve_batch_size_sum",
+    ] {
+        assert!(body.contains(metric), "missing {metric} in:\n{body}");
+    }
+}
+
 struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -143,10 +231,13 @@ fn reload_drill_swaps_weights_under_live_traffic() {
             wait_ms: 2,
             workers: 2,
             queue_cap: 256,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            trace_sample: 0,
         },
     )
     .unwrap();
     let addr = server.addr();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
 
     // continuous traffic: closed-loop clients scoring throughout the swaps
     let stop = Arc::new(AtomicBool::new(false));
@@ -191,6 +282,19 @@ fn reload_drill_swaps_weights_under_live_traffic() {
     assert!(
         reply["error"].as_str().unwrap().contains("fingerprint"),
         "{reply:?}"
+    );
+
+    // mid-drill scrape: live traffic plus a swap and a refused swap have
+    // happened; the exposition must be valid and show the reload counter
+    let scrape = http_get(metrics_addr, "/metrics");
+    assert_valid_exposition(&scrape);
+    assert!(
+        scrape.contains("elda_serve_reloads"),
+        "reload counter missing: {scrape}"
+    );
+    assert!(
+        scrape.contains("elda_serve_snapshot_version 2"),
+        "snapshot version gauge missing: {scrape}"
     );
 
     // swap 2: a CRC-checked training checkpoint
@@ -259,9 +363,12 @@ fn overload_drill_sheds_excess_and_survives() {
             wait_ms: 500,
             workers: 1,
             queue_cap: QUEUE_CAP,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            trace_sample: 0,
         },
     )
     .unwrap();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
     let addr = server.addr();
     let patient = cohort().patients[2].clone();
 
@@ -295,6 +402,15 @@ fn overload_drill_sheds_excess_and_survives() {
         shed >= BURST - 2 * QUEUE_CAP.max(1),
         "a {BURST}-deep burst into a {QUEUE_CAP}-cap queue must shed \
          (scored {scored}, shed {shed})"
+    );
+
+    // the exposition stays valid and scrapeable right after the storm,
+    // with the shed counter visible for alerting
+    let scrape = http_get(metrics_addr, "/metrics");
+    assert_valid_exposition(&scrape);
+    assert!(
+        scrape.contains("elda_serve_shed"),
+        "shed counter missing under overload: {scrape}"
     );
 
     // the server is healthy after the storm

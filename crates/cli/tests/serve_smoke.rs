@@ -50,6 +50,25 @@ fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
     reply
 }
 
+/// Minimal HTTP/1.1 GET (what `curl` sends), returning the raw response.
+/// The server replies `Connection: close`, so read-to-EOF terminates.
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nUser-Agent: smoke-test\r\nAccept: */*\r\n\r\n"
+    )
+    .expect("send request");
+    stream.flush().expect("flush request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
 /// Extracts `"risk":<f32>` from a reply line.
 fn risk_of(reply: &str) -> f32 {
     let doc: serde_json::Value = serde_json::from_str(reply.trim())
@@ -62,6 +81,7 @@ fn risk_of(reply: &str) -> f32 {
 struct Server {
     child: Child,
     addr: String,
+    metrics_addr: String,
 }
 
 impl Server {
@@ -71,6 +91,8 @@ impl Server {
             "--model",
             model,
             "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
             "127.0.0.1:0",
             "--batch",
             "8",
@@ -85,18 +107,31 @@ impl Server {
         .expect("spawn elda serve");
         let stdout = child.stdout.take().expect("piped stdout");
         let mut lines = BufReader::new(stdout).lines();
+        // `metrics on http://ADDR/metrics` prints before `listening on`.
+        let mut metrics_addr = String::new();
         let addr = loop {
             let line = lines
                 .next()
                 .expect("server exited before listening")
                 .expect("read server stdout");
+            if let Some(url) = line.strip_prefix("metrics on http://") {
+                metrics_addr = url.trim().trim_end_matches("/metrics").to_string();
+            }
             if let Some(addr) = line.strip_prefix("listening on ") {
                 break addr.trim().to_string();
             }
         };
+        assert!(
+            !metrics_addr.is_empty(),
+            "server never announced its metrics endpoint"
+        );
         // keep draining stdout so the server never blocks on a full pipe
         std::thread::spawn(move || for _ in lines {});
-        Server { child, addr }
+        Server {
+            child,
+            addr,
+            metrics_addr,
+        }
     }
 
     fn connect(&self) -> TcpStream {
@@ -198,6 +233,31 @@ fn concurrent_clients_match_offline_predictions_and_shutdown_is_clean() {
     assert!(err_reply.contains("error"), "no error reply: {err_reply}");
     let pong = roundtrip(&mut stream, r#"{"cmd":"ping"}"#);
     assert!(pong.contains("pong"), "server died after bad input: {pong}");
+
+    // The Prometheus endpoint serves a valid text exposition with the
+    // per-stage serve histograms, and the health probe answers.
+    let scrape = http_get(&server.metrics_addr, "/metrics");
+    assert!(scrape.starts_with("HTTP/1.1 200"), "{scrape}");
+    assert!(
+        scrape.contains("text/plain; version=0.0.4"),
+        "wrong content type: {scrape}"
+    );
+    for metric in [
+        "elda_serve_latency_ms_bucket{le=\"+Inf\"}",
+        "elda_serve_latency_ms_count 8",
+        "elda_serve_stage_score_ms_bucket",
+        "elda_serve_stage_queue_ms_count",
+        "elda_serve_requests 8",
+    ] {
+        assert!(scrape.contains(metric), "missing {metric} in:\n{scrape}");
+    }
+    let probe = http_get(&server.metrics_addr, "/healthz");
+    assert!(
+        probe.starts_with("HTTP/1.1 200") && probe.ends_with("ok\n"),
+        "{probe}"
+    );
+    let missing = http_get(&server.metrics_addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
 
     // Stats saw all eight scoring requests and no crashes.
     let stats = roundtrip(&mut stream, r#"{"cmd":"stats"}"#);

@@ -1,0 +1,254 @@
+//! Prometheus text exposition (format 0.0.4) for registry snapshots.
+//!
+//! [`render_prometheus`] turns a [`Snapshot`] into the plain-text format
+//! every Prometheus-compatible scraper understands: counters and gauges
+//! as single samples, [`crate::hist::Histogram`]s as native histogram
+//! metrics (cumulative `_bucket{le="..."}` series plus `_sum`/`_count`),
+//! and float stats as `summary`-style `_sum`/`_count` pairs with exact
+//! `_min`/`_max` companions. Only non-empty buckets are emitted — a
+//! 514-bucket histogram typically renders as a few dozen lines — which
+//! is valid exposition: cumulative counts at omitted boundaries equal
+//! the previous emitted value.
+//!
+//! Metric names are prefixed `elda_` and sanitized to the
+//! `[a-zA-Z0-9_]` alphabet (`serve.latency_ms` → `elda_serve_latency_ms`).
+//! The per-worker utilization gauges (`serve.worker.<i>.util`) are the
+//! one labelled family: they render as
+//! `elda_serve_worker_util{worker="<i>"}` so dashboards can aggregate
+//! across workers instead of pattern-matching metric names.
+
+use crate::hist::HistSnapshot;
+use crate::registry::Snapshot;
+
+/// Sanitizes a registry name into a Prometheus metric name with the
+/// `elda_` prefix: every character outside `[a-zA-Z0-9_]` becomes `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("elda_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Splits a `serve.worker.<i>.util` gauge name into its worker index,
+/// when it is one.
+fn worker_util_index(name: &str) -> Option<&str> {
+    let idx = name.strip_prefix("serve.worker.")?.strip_suffix(".util")?;
+    (!idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit())).then_some(idx)
+}
+
+/// Formats a sample value: finite shortest-round-trip, `+Inf`/`-Inf`
+/// and `NaN` in the spelling the text format requires.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one histogram family: cumulative non-empty buckets, `+Inf`,
+/// `_sum` and `_count`.
+fn render_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    let base = metric_name(name);
+    out.push_str(&format!("# TYPE {base} histogram\n"));
+    let mut cum = 0u64;
+    for (idx, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        let (_, hi) = crate::hist::bucket_bounds(idx);
+        if hi.is_finite() {
+            out.push_str(&format!(
+                "{base}_bucket{{le=\"{}\"}} {cum}\n",
+                fmt_value(hi)
+            ));
+        }
+    }
+    out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{base}_sum {}\n", fmt_value(h.sum)));
+    out.push_str(&format!("{base}_count {}\n", h.count));
+}
+
+/// Renders a registry snapshot as Prometheus text exposition. Families
+/// appear in a stable order (counters, gauges, stats, histograms, each
+/// sorted by name inside the snapshot), so diffs between scrapes are
+/// line-stable.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let name = metric_name(c.name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+    }
+    // gauges: the worker-util family renders labelled, everything else 1:1
+    let mut util_header = false;
+    for g in &snap.gauges {
+        if let Some(idx) = worker_util_index(g.name) {
+            if !util_header {
+                out.push_str("# TYPE elda_serve_worker_util gauge\n");
+                util_header = true;
+            }
+            out.push_str(&format!(
+                "elda_serve_worker_util{{worker=\"{idx}\"}} {}\n",
+                fmt_value(g.value)
+            ));
+        } else {
+            let name = metric_name(g.name);
+            out.push_str(&format!(
+                "# TYPE {name} gauge\n{name} {}\n",
+                fmt_value(g.value)
+            ));
+        }
+    }
+    for s in &snap.stats {
+        let name = metric_name(s.name);
+        out.push_str(&format!(
+            "# TYPE {name} summary\n{name}_sum {}\n{name}_count {}\n",
+            fmt_value(s.acc.sum),
+            s.acc.count
+        ));
+        out.push_str(&format!(
+            "# TYPE {name}_min gauge\n{name}_min {}\n# TYPE {name}_max gauge\n{name}_max {}\n",
+            fmt_value(s.acc.min),
+            fmt_value(s.acc.max)
+        ));
+    }
+    for h in &snap.hists {
+        render_hist(&mut out, h.name, &h.hist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::registry::Registry;
+
+    /// A minimal validity check for the 0.0.4 text format: every
+    /// non-comment line is `name[{labels}] value`, every sample's family
+    /// has a preceding `# TYPE`, histogram buckets are cumulative and
+    /// end at `+Inf == _count`.
+    fn validate(text: &str) {
+        assert!(text.ends_with('\n'), "exposition must end with a newline");
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                typed.push(parts.next().unwrap().to_string());
+                let kind = parts.next().unwrap();
+                assert!(
+                    ["counter", "gauge", "histogram", "summary"].contains(&kind),
+                    "bad TYPE {kind}"
+                );
+                continue;
+            }
+            assert!(!line.starts_with('#'), "only TYPE comments are emitted");
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'),
+                "bad metric name {name}"
+            );
+            assert!(name.starts_with("elda_"), "unprefixed {name}");
+            assert!(
+                typed.iter().any(|t| name == *t
+                    || name
+                        .strip_prefix(t.as_str())
+                        .is_some_and(|suf| ["_bucket", "_sum", "_count"].contains(&suf))),
+                "sample {name} has no TYPE header"
+            );
+            if value != "+Inf" && value != "-Inf" && value != "NaN" {
+                value
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("bad value {value}"));
+            }
+        }
+    }
+
+    #[test]
+    fn renders_counters_gauges_stats_and_histograms_validly() {
+        let r = Registry::new();
+        r.counter_add("serve.requests", 42);
+        r.gauge_set("serve.queue.depth", 3.0);
+        r.gauge_set("serve.worker.0.util", 0.5);
+        r.gauge_set("serve.worker.1.util", 0.75);
+        r.stat_add("train.loss", 1.25);
+        r.stat_add("train.loss", 0.75);
+        let h = r.histogram("serve.latency_ms");
+        for v in [0.5, 1.0, 2.0, 2.5, 50.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&r.snapshot());
+        validate(&text);
+        assert!(text.contains("# TYPE elda_serve_requests counter\n"));
+        assert!(text.contains("elda_serve_requests 42\n"));
+        assert!(text.contains("elda_serve_queue_depth 3\n"));
+        assert!(text.contains("elda_serve_worker_util{worker=\"0\"} 0.5\n"));
+        assert!(text.contains("elda_serve_worker_util{worker=\"1\"} 0.75\n"));
+        assert!(text.contains("elda_train_loss_sum 2\n"));
+        assert!(text.contains("elda_train_loss_count 2\n"));
+        assert!(text.contains("elda_train_loss_min 0.75\n"));
+        assert!(text.contains("# TYPE elda_serve_latency_ms histogram\n"));
+        assert!(text.contains("elda_serve_latency_ms_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("elda_serve_latency_ms_sum 56\n"));
+        assert!(text.contains("elda_serve_latency_ms_count 5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotonic() {
+        let h = Histogram::new();
+        for v in [1.0, 1.0, 2.0, 4.0, 800.0] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        render_hist(&mut out, "x", &h.snapshot());
+        let mut last_cum = 0u64;
+        let mut last_le = f64::NEG_INFINITY;
+        let mut bucket_lines = 0;
+        for line in out.lines().filter(|l| l.contains("_bucket")) {
+            bucket_lines += 1;
+            let le_str = line
+                .split("le=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
+            let le = if le_str == "+Inf" {
+                f64::INFINITY
+            } else {
+                le_str.parse::<f64>().unwrap()
+            };
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(le > last_le, "le must increase: {line}");
+            assert!(cum >= last_cum, "cumulative count fell: {line}");
+            last_le = le;
+            last_cum = cum;
+        }
+        assert!(bucket_lines >= 4, "non-empty buckets + +Inf expected");
+        assert_eq!(last_cum, 5, "+Inf bucket equals count");
+        // only non-empty buckets are rendered: far fewer than the grid
+        assert!(bucket_lines < 10, "sparse rendering expected: {out}");
+    }
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        assert_eq!(metric_name("serve.latency_ms"), "elda_serve_latency_ms");
+        assert_eq!(metric_name("a-b.c/d"), "elda_a_b_c_d");
+        assert_eq!(worker_util_index("serve.worker.12.util"), Some("12"));
+        assert_eq!(worker_util_index("serve.worker..util"), None);
+        assert_eq!(worker_util_index("serve.worker.x.util"), None);
+        assert_eq!(worker_util_index("serve.queue.depth"), None);
+    }
+}

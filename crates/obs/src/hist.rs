@@ -1,0 +1,571 @@
+//! Lock-light log-bucket histograms for runtime latency telemetry.
+//!
+//! [`Histogram`] is a fixed-size array of atomic bucket counters laid out
+//! on a log-linear grid: each power-of-two octave is split into 8 equal
+//! sub-buckets, so bucket boundaries are `2^e · (1 + s/8)` for sub-bucket
+//! `s ∈ 0..8`. Bucket lookup is pure f64 bit manipulation (biased
+//! exponent + top 3 mantissa bits) — no `log`, no division, no branches
+//! beyond range clamps — so recording costs a handful of relaxed atomic
+//! RMWs and is safe to call from every scorer worker concurrently.
+//!
+//! The grid covers `[2^-20, 2^44)` (~1e-6 to ~1.8e13), with explicit
+//! underflow and overflow buckets outside it, which spans nanoseconds to
+//! hours when recording milliseconds. Exact `min`/`max`/`sum` are kept
+//! alongside the buckets (CAS loops over f64 bit patterns), so the range
+//! read-outs are precise even though quantiles are bucketed.
+//!
+//! ## Error bound
+//!
+//! A quantile estimate returns its bucket's midpoint. A bucket
+//! `[2^e(1+s/8), 2^e(1+(s+1)/8))` has width `2^e/8`, so the midpoint is
+//! within `(2^e/16) / 2^e(1+s/8) ≤ 1/16` of any value in the bucket:
+//! **relative error ≤ 6.25%** ([`RELATIVE_ERROR`]), tightening toward
+//! 5.6% at the top of each octave. Estimates are additionally clamped to
+//! the exact recorded `[min, max]`, so degenerate distributions (all
+//! samples equal) report exact quantiles.
+//!
+//! Histograms are mergeable ([`Histogram::merge_into`]) and snapshots are
+//! subtractable ([`HistSnapshot::delta_since`]) for rolling-window
+//! quantiles between two scrapes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest representable octave: values below `2^EXP_MIN` land in the
+/// underflow bucket.
+const EXP_MIN: i32 = -20;
+/// Largest representable octave: values at or above `2^(EXP_MAX+1)` land
+/// in the overflow bucket.
+const EXP_MAX: i32 = 43;
+/// Sub-buckets per octave (a power of two; lookups read `log2` of it
+/// mantissa bits).
+const SUBS: usize = 8;
+/// Regular (non-under/overflow) bucket count.
+const REGULAR: usize = ((EXP_MAX - EXP_MIN + 1) as usize) * SUBS;
+
+/// Total bucket count: underflow + regular grid + overflow.
+pub const NUM_BUCKETS: usize = REGULAR + 2;
+
+/// Documented worst-case relative error of [`HistSnapshot::quantile`]
+/// (the half-width of a sub-bucket over its lower bound).
+pub const RELATIVE_ERROR: f64 = 1.0 / 16.0;
+
+/// Maps a finite sample to its bucket index. Negative, zero and subnormal
+/// values clamp into the underflow bucket (index 0); values at or beyond
+/// the top octave clamp into the overflow bucket (index `NUM_BUCKETS-1`).
+#[inline]
+pub fn bucket_index(v: f64) -> usize {
+    if !(v >= f64::MIN_POSITIVE) {
+        // catches negatives, ±0, subnormals (and NaN, filtered earlier)
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < EXP_MIN {
+        return 0;
+    }
+    if exp > EXP_MAX {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((bits >> 49) & 0x7) as usize; // top 3 mantissa bits
+    1 + (exp - EXP_MIN) as usize * SUBS + sub
+}
+
+/// The `[lo, hi)` value range of bucket `idx`. The underflow bucket is
+/// `[0, 2^EXP_MIN)`; the overflow bucket is `[2^(EXP_MAX+1), +inf)`.
+pub fn bucket_bounds(idx: usize) -> (f64, f64) {
+    assert!(idx < NUM_BUCKETS, "bucket index {idx} out of range");
+    if idx == 0 {
+        return (0.0, (EXP_MIN as f64).exp2());
+    }
+    if idx == NUM_BUCKETS - 1 {
+        return (((EXP_MAX + 1) as f64).exp2(), f64::INFINITY);
+    }
+    let oct = (idx - 1) / SUBS;
+    let sub = (idx - 1) % SUBS;
+    let base = ((EXP_MIN + oct as i32) as f64).exp2();
+    (
+        base * (1.0 + sub as f64 / SUBS as f64),
+        base * (1.0 + (sub + 1) as f64 / SUBS as f64),
+    )
+}
+
+/// A concurrent log-bucket histogram (see the module docs for the grid
+/// and error bound). All operations are lock-free; `record` is a handful
+/// of relaxed atomic RMWs.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    /// f64 bit pattern, CAS-accumulated.
+    sum_bits: AtomicU64,
+    /// f64 bit pattern; starts at `+inf`.
+    min_bits: AtomicU64,
+    /// f64 bit pattern; starts at `-inf`.
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.try_into().expect("bucket count"),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one sample. Non-finite samples are dropped (same contract
+    /// as `Registry::stat_add`: one NaN must not poison an aggregate).
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Exact sum/min/max via CAS over bit patterns. Contention is
+        // bounded by worker count; the loops almost always succeed first
+        // try.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.min_bits.load(Ordering::Relaxed);
+        while v < f64::from_bits(cur) {
+            match self.min_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Adds every recorded sample of `self` into `target` (used to fold
+    /// per-worker histograms into one). Bucket-exact; `sum`/`min`/`max`
+    /// are folded exactly too.
+    pub fn merge_into(&self, target: &Histogram) {
+        for (src, dst) in self.buckets.iter().zip(target.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        target.count.fetch_add(n, Ordering::Relaxed);
+        let s = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let mut cur = target.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + s).to_bits();
+            match target.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        for (theirs, ours, down) in [
+            (&self.min_bits, &target.min_bits, true),
+            (&self.max_bits, &target.max_bits, false),
+        ] {
+            let v = f64::from_bits(theirs.load(Ordering::Relaxed));
+            let mut cur = ours.load(Ordering::Relaxed);
+            while (down && v < f64::from_bits(cur)) || (!down && v > f64::from_bits(cur)) {
+                match ours.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy. Taken with relaxed loads while writers keep
+    /// recording, so a snapshot under fire can be off by the handful of
+    /// samples in flight — fine for telemetry, documented here so nobody
+    /// expects a linearizable cut.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes every bucket and the exact aggregates.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// An owned point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (length [`NUM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: f64,
+    /// Exact smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Exact largest sample (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mean of the recorded samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `p`-quantile (`p ∈ [0, 1]`): the midpoint of the
+    /// bucket holding the `⌈p·count⌉`-th smallest sample, clamped to the
+    /// exact recorded `[min, max]`. Relative error ≤ [`RELATIVE_ERROR`]
+    /// (6.25%); see the module docs for the derivation. Returns NaN when
+    /// empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 1.0 {
+            return self.max;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let mid = if idx == 0 {
+                    // underflow: below grid resolution; the exact min is
+                    // the best point estimate we have
+                    self.min
+                } else if idx == NUM_BUCKETS - 1 {
+                    // overflow: above the grid; exact max likewise
+                    self.max
+                } else {
+                    (lo + hi) * 0.5
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max // unreachable when bucket sums match count
+    }
+
+    /// The samples recorded between `earlier` and `self` (both snapshots
+    /// of the *same* histogram, `earlier` taken first): bucket-wise and
+    /// count/sum differences for rolling-window quantiles. `min`/`max`
+    /// keep `self`'s lifetime extremes — exact window extremes are not
+    /// recoverable from two cumulative snapshots, and lifetime bounds are
+    /// still valid clamps for window quantiles.
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(&now, &was)| now.saturating_sub(was))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        HistSnapshot {
+            buckets,
+            count,
+            sum: if count == 0 {
+                0.0
+            } else {
+                self.sum - earlier.sum
+            },
+            min: if count == 0 { f64::INFINITY } else { self.min },
+            max: if count == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.max
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_places_values_inside_their_bounds() {
+        // directed probes across the grid, incl. exact octave boundaries
+        for v in [
+            1e-9, 0.001, 0.5, 1.0, 1.0625, 1.5, 2.0, 3.0, 7.99, 8.0, 100.0, 1e6, 1e12, 1e13,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                (lo..hi).contains(&v),
+                "{v} -> bucket {idx} [{lo}, {hi}) misses"
+            );
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0, "negatives clamp to underflow");
+        assert_eq!(bucket_index(1e300), NUM_BUCKETS - 1, "overflow clamps");
+        // boundaries are half-open: an exact lower bound is in its bucket
+        let (lo, _) = bucket_bounds(bucket_index(2.0));
+        assert_eq!(lo, 2.0);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_grid_contiguously() {
+        for idx in 1..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo < hi);
+            let (prev_lo, prev_hi) = bucket_bounds(idx - 1);
+            assert!(prev_lo < prev_hi);
+            assert_eq!(prev_hi, lo, "gap/overlap between {} and {idx}", idx - 1);
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_count_sum_min_max() {
+        let h = Histogram::new();
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 14.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean(), 2.8);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantiles_hit_the_documented_relative_error_bound() {
+        // LCG-driven pseudo-random samples across 6 orders of magnitude;
+        // compare the histogram's quantile against the exact one.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // map to (0, 1), then spread across [1e-3, 1e3)
+            let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            1e-3 * 1e6f64.powf(u)
+        };
+        let h = Histogram::new();
+        let mut exact: Vec<f64> = (0..10_000).map(|_| next()).collect();
+        for &v in &exact {
+            h.record(v);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = h.snapshot();
+        for p in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((p * exact.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = exact[rank];
+            let est = s.quantile(p);
+            assert!(
+                (est - truth).abs() / truth <= RELATIVE_ERROR + 1e-12,
+                "p{p}: est {est} vs exact {truth} (rel {})",
+                (est - truth).abs() / truth
+            );
+        }
+        // extremes are exact, not bucketed
+        assert_eq!(s.quantile(0.0), s.min);
+        assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn degenerate_distribution_reports_exact_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7.25);
+        }
+        let s = h.snapshot();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(p), 7.25, "clamp to exact min/max");
+        }
+        assert!(Histogram::new().snapshot().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn concurrent_recording_equals_sequential() {
+        let threads = 8usize;
+        let per_thread = 5_000usize;
+        let concurrent = Histogram::new();
+        let sequential = Histogram::new();
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let h = &concurrent;
+                sc.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record((t * per_thread + i) as f64 * 0.01 + 0.005);
+                    }
+                });
+            }
+        });
+        for t in 0..threads {
+            for i in 0..per_thread {
+                sequential.record((t * per_thread + i) as f64 * 0.01 + 0.005);
+            }
+        }
+        let c = concurrent.snapshot();
+        let s = sequential.snapshot();
+        assert_eq!(c.buckets, s.buckets, "bucket counts are lossless");
+        assert_eq!(c.count, s.count);
+        assert_eq!(c.min, s.min);
+        assert_eq!(c.max, s.max);
+        // the sum is an f64 CAS-add: associativity differs across
+        // interleavings, so allow float slack proportional to the total
+        assert!((c.sum - s.sum).abs() <= s.sum * 1e-9);
+    }
+
+    #[test]
+    fn merge_across_threads_equals_recording_into_one() {
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        let reference = Histogram::new();
+        std::thread::scope(|sc| {
+            for (t, shard) in shards.iter().enumerate() {
+                sc.spawn(move || {
+                    let mut state = (t as u64 + 1) * 0x2545f4914f6cdd1d;
+                    for _ in 0..2_000 {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let v = (state >> 40) as f64 * 1e-3 + 1e-4;
+                        shard.record(v);
+                    }
+                });
+            }
+        });
+        for (t, _) in shards.iter().enumerate() {
+            let mut state = (t as u64 + 1) * 0x2545f4914f6cdd1d;
+            for _ in 0..2_000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = (state >> 40) as f64 * 1e-3 + 1e-4;
+                reference.record(v);
+            }
+        }
+        let merged = Histogram::new();
+        for shard in &shards {
+            shard.merge_into(&merged);
+        }
+        let m = merged.snapshot();
+        let r = reference.snapshot();
+        assert_eq!(m.buckets, r.buckets);
+        assert_eq!(m.count, r.count);
+        assert_eq!(m.min, r.min);
+        assert_eq!(m.max, r.max);
+        assert!((m.sum - r.sum).abs() <= r.sum.abs() * 1e-9);
+    }
+
+    #[test]
+    fn delta_since_windows_between_snapshots() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for v in [8.0, 8.0, 8.0, 8.0] {
+            h.record(v);
+        }
+        let window = h.snapshot().delta_since(&before);
+        assert_eq!(window.count, 4);
+        assert_eq!(window.sum, 32.0);
+        assert_eq!(window.quantile(0.5), 8.0, "window p50 sees only new data");
+        // unchanged histogram -> empty window
+        let empty = h.snapshot().delta_since(&h.snapshot());
+        assert_eq!(empty.count, 0);
+        assert!(empty.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn reset_empties_the_histogram() {
+        let h = Histogram::new();
+        h.record(1.0);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 0);
+        assert!(s.quantile(0.5).is_nan());
+    }
+}

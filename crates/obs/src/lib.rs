@@ -8,17 +8,28 @@
 //!
 //! ## Design contract
 //!
-//! Profiling is **off by default** and gated by one global flag. When it is
-//! off, every instrumentation site costs exactly one relaxed atomic load
-//! ([`enabled`]) and nothing else: [`scope()`] returns `None` without reading
-//! the clock, and [`counter_add`] / [`TraceEvent`] emission return
-//! immediately. Hot loops (the autodiff tape records one timer per op) stay
-//! unmeasurably close to their uninstrumented speed.
+//! Instrumentation is **off by default** and gated by one global
+//! [`Level`]. While off, every instrumentation site costs exactly one
+//! relaxed atomic load and nothing else: [`scope()`] returns `None`
+//! without reading the clock, and [`counter_add`] / [`TraceEvent`]
+//! emission return immediately. Hot loops (the autodiff tape records one
+//! timer per op) stay unmeasurably close to their uninstrumented speed.
 //!
-//! When profiling is on ([`set_enabled`]), timings and counters accumulate
-//! in the global [`Registry`] (a mutex-guarded map — profiling runs accept
-//! that overhead in exchange for exact call counts), and structured events
-//! can be streamed to a JSONL file via [`install_sink`] / [`emit`].
+//! The level splits what arms into two tiers with very different costs:
+//!
+//! * [`Level::Metrics`] arms the cheap aggregate instruments —
+//!   [`counter_add`], [`gauge_set`], [`stat_add`], [`hist_record`] — a
+//!   few atomic ops or one short registry lock per call, paid *per
+//!   event*. This is what a production scorer runs with
+//!   (`elda serve --metrics-addr`): live counters and histograms without
+//!   touching the per-op hot path.
+//! * [`Level::Profile`] ([`set_enabled`]) additionally arms the scoped
+//!   timers, which fire on *every recorded tensor op* — a clock pair
+//!   plus a mutex push each. Profiling runs accept that overhead in
+//!   exchange for exact call counts; serving tiers should not.
+//!
+//! Structured events stream to a JSONL file via [`install_sink`] /
+//! [`emit`] whenever a sink is installed, independent of the level.
 //!
 //! ## Typical session
 //!
@@ -37,71 +48,143 @@
 //! See `docs/PROFILING.md` for the end-to-end CLI workflow
 //! (`elda train --profile out.jsonl`) and the JSONL schema.
 
+pub mod expo;
 pub mod health;
+pub mod hist;
 pub mod registry;
 pub mod report;
 pub mod scope;
 pub mod trace;
 
+pub use expo::{metric_name, render_prometheus};
 pub use health::{HealthConfig, HealthMonitor, HealthStatus, Incident, TensorStats};
+pub use hist::{HistSnapshot, Histogram, RELATIVE_ERROR};
 pub use registry::{
-    global, CounterRow, GaugeRow, Registry, Snapshot, StatAcc, StatRow, TimerRow, TimerStat,
+    global, CounterRow, GaugeRow, HistRow, Registry, Snapshot, StatAcc, StatRow, TimerRow,
+    TimerStat,
 };
 pub use report::render_table;
 pub use scope::{scope, Scope};
 pub use trace::{
-    close_sink, emit, install_sink, install_sink_to_file, parse_json_line, Field, TraceEvent,
-    TraceSink,
+    close_sink, emit, flush_sink, install_sink, install_sink_to_file, parse_json_line, Field,
+    TraceEvent, TraceSink,
 };
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// How much instrumentation is armed, globally.
+///
+/// Ordered: each level arms everything below it. See the crate docs for
+/// the cost model behind the `Metrics` / `Profile` split.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing armed; every instrumentation site costs one relaxed
+    /// atomic load.
+    Off = 0,
+    /// Aggregate instruments armed: counters, gauges, stats and named
+    /// histograms record; scoped timers stay off. The serving-tier
+    /// setting.
+    Metrics = 1,
+    /// Everything armed, including the per-op scoped timers
+    /// ([`scope()`]). The `--profile` setting.
+    Profile = 2,
+}
 
-/// True when profiling is globally enabled.
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// The current global instrumentation [`Level`].
+#[inline]
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        2 => Level::Profile,
+        1 => Level::Metrics,
+        _ => Level::Off,
+    }
+}
+
+/// Sets the global instrumentation [`Level`].
+///
+/// Changing it mid-run is safe: instruments simply start (or stop)
+/// accumulating from that point. Lowering it does not clear the registry
+/// — call [`Registry::reset`] explicitly when reusing the process.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Raises the global level to at least `floor`; never lowers it. Use
+/// this from subsystems that need a minimum (the metrics endpoint needs
+/// `Metrics`) without clobbering a stronger setting such as an
+/// already-active `--profile`.
+pub fn raise_level(floor: Level) {
+    LEVEL.fetch_max(floor as u8, Ordering::Relaxed);
+}
+
+/// True when profiling is globally enabled ([`Level::Profile`]) — the
+/// gate for scoped timers and other per-op instrumentation.
 ///
 /// This is the *only* cost instrumented hot paths pay while profiling is
 /// off: a single relaxed atomic load.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    LEVEL.load(Ordering::Relaxed) == Level::Profile as u8
 }
 
-/// Turns global profiling on or off.
+/// True when the aggregate instruments (counters, gauges, stats, named
+/// histograms) are armed — at [`Level::Metrics`] and above.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Metrics as u8
+}
+
+/// Turns global profiling on or off: [`Level::Profile`] / [`Level::Off`].
 ///
 /// Enabling mid-run is safe: stats simply start accumulating from that
 /// point. Disabling does not clear the registry — call
 /// [`Registry::reset`] explicitly when reusing the process.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_level(if on { Level::Profile } else { Level::Off });
 }
 
-/// Adds `n` to the named monotonic counter (no-op while profiling is off).
+/// Adds `n` to the named monotonic counter (no-op below
+/// [`Level::Metrics`]).
 #[inline]
 pub fn counter_add(name: &'static str, n: u64) {
-    if enabled() {
+    if metrics_enabled() {
         global().counter_add(name, n);
     }
 }
 
-/// Records one float sample into the named stat series (no-op while
-/// profiling is off — same single-relaxed-load contract as
+/// Records one float sample into the named stat series (no-op below
+/// [`Level::Metrics`] — same single-relaxed-load contract as
 /// [`counter_add`]).
 #[inline]
 pub fn stat_add(name: &'static str, sample: f64) {
-    if enabled() {
+    if metrics_enabled() {
         global().stat_add(name, sample);
     }
 }
 
 /// Sets the named gauge — a last-value instrument for quantities that go
 /// up *and* down, like a queue depth or a worker's utilization (no-op
-/// while profiling is off — same single-relaxed-load contract as
+/// below [`Level::Metrics`] — same single-relaxed-load contract as
 /// [`counter_add`]).
 #[inline]
 pub fn gauge_set(name: &'static str, value: f64) {
-    if enabled() {
+    if metrics_enabled() {
         global().gauge_set(name, value);
+    }
+}
+
+/// Records one sample into the named global histogram (no-op below
+/// [`Level::Metrics`] — same single-relaxed-load contract as
+/// [`counter_add`]). Resolving the name takes the registry lock; hot
+/// paths that record on every request should hold the
+/// `Arc<Histogram>` from [`Registry::histogram`] instead.
+#[inline]
+pub fn hist_record(name: &'static str, sample: f64) {
+    if metrics_enabled() {
+        global().histogram(name).record(sample);
     }
 }
 
@@ -116,7 +199,24 @@ mod tests {
         // flag itself back-to-back.
         set_enabled(true);
         assert!(enabled());
+        assert!(metrics_enabled(), "Profile arms the aggregate tier too");
         set_enabled(false);
         assert!(!enabled());
+        assert!(!metrics_enabled());
+    }
+
+    #[test]
+    fn metrics_level_arms_aggregates_but_not_timers() {
+        set_level(Level::Metrics);
+        assert!(metrics_enabled());
+        assert!(!enabled(), "Metrics must not arm per-op timers");
+        assert_eq!(level(), Level::Metrics);
+        // raise_level never lowers
+        raise_level(Level::Off);
+        assert_eq!(level(), Level::Metrics);
+        raise_level(Level::Profile);
+        assert_eq!(level(), Level::Profile);
+        set_level(Level::Off);
+        assert_eq!(level(), Level::Off);
     }
 }

@@ -1,7 +1,8 @@
 //! The thread-safe accumulation registry behind the global profiling state.
 
+use crate::hist::{HistSnapshot, Histogram};
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Accumulated statistics for one named timer.
@@ -11,6 +12,11 @@ pub struct TimerStat {
     pub calls: u64,
     /// Total recorded nanoseconds.
     pub total_ns: u64,
+    /// Shortest recorded interval in nanoseconds (0 until the first
+    /// record — check `calls` before trusting it).
+    pub min_ns: u64,
+    /// Longest recorded interval in nanoseconds.
+    pub max_ns: u64,
     /// Accumulated work units (e.g. flop estimates); 0 when unused.
     pub units: u64,
 }
@@ -82,6 +88,16 @@ pub struct GaugeRow {
     pub value: f64,
 }
 
+/// One histogram line of a [`Snapshot`] — a point-in-time copy of a
+/// registered [`Histogram`] (see [`crate::hist`]).
+#[derive(Debug, Clone)]
+pub struct HistRow {
+    /// Histogram name (e.g. `"serve.latency_ms"`).
+    pub name: &'static str,
+    /// The bucketed distribution copy.
+    pub hist: HistSnapshot,
+}
+
 /// A consistent copy of the registry's contents, timers sorted by total
 /// time descending and counters by name.
 #[derive(Debug, Clone, Default)]
@@ -94,6 +110,8 @@ pub struct Snapshot {
     pub stats: Vec<StatRow>,
     /// All gauges (last-value instruments), by name.
     pub gauges: Vec<GaugeRow>,
+    /// All registered histograms, by name.
+    pub hists: Vec<HistRow>,
 }
 
 impl Snapshot {
@@ -128,6 +146,10 @@ pub struct Registry {
     counters: Mutex<HashMap<&'static str, u64>>,
     stats: Mutex<HashMap<&'static str, StatAcc>>,
     gauges: Mutex<HashMap<&'static str, f64>>,
+    // The map is mutex-guarded but recording is not: callers hold an
+    // `Arc<Histogram>` and record through its atomics without touching
+    // this lock.
+    hists: Mutex<HashMap<&'static str, Arc<Histogram>>>,
 }
 
 impl Registry {
@@ -142,6 +164,12 @@ impl Registry {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let mut timers = self.timers.lock().expect("obs timer lock");
         let stat = timers.entry((kind, name)).or_default();
+        stat.min_ns = if stat.calls == 0 {
+            ns
+        } else {
+            stat.min_ns.min(ns)
+        };
+        stat.max_ns = stat.max_ns.max(ns);
         stat.calls += 1;
         stat.total_ns = stat.total_ns.saturating_add(ns);
         stat.units = stat.units.saturating_add(units);
@@ -198,6 +226,36 @@ impl Registry {
             .lock()
             .expect("obs gauge lock")
             .insert(name, value);
+    }
+
+    /// The registered histogram named `name`, creating an empty one on
+    /// first use. The returned `Arc` records through lock-free atomics;
+    /// keep it around instead of re-resolving per sample.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.hists
+                .lock()
+                .expect("obs hist lock")
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Registers an externally owned histogram under `name` (last
+    /// registration wins), so subsystems that record unconditionally into
+    /// their own `Arc<Histogram>` — like the serving tier — still show up
+    /// in snapshots and the `/metrics` exposition.
+    pub fn hist_register(&self, name: &'static str, hist: Arc<Histogram>) {
+        self.hists.lock().expect("obs hist lock").insert(name, hist);
+    }
+
+    /// A point-in-time copy of the named histogram, if registered.
+    pub fn hist(&self, name: &str) -> Option<HistSnapshot> {
+        self.hists
+            .lock()
+            .expect("obs hist lock")
+            .get(name)
+            .map(|h| h.snapshot())
     }
 
     /// The current value of the named gauge, if it was ever set.
@@ -290,21 +348,36 @@ impl Registry {
             .map(|(&name, &value)| GaugeRow { name, value })
             .collect();
         gauges.sort_by(|a, b| a.name.cmp(b.name));
+        let mut hists: Vec<HistRow> = self
+            .hists
+            .lock()
+            .expect("obs hist lock")
+            .iter()
+            .map(|(&name, h)| HistRow {
+                name,
+                hist: h.snapshot(),
+            })
+            .collect();
+        hists.sort_by(|a, b| a.name.cmp(b.name));
         Snapshot {
             timers,
             counters,
             stats,
             gauges,
+            hists,
         }
     }
 
-    /// Clears all timers, counters, stats and gauges (e.g. between
-    /// profiled runs in one process).
+    /// Clears all timers, counters, stats, gauges and histograms (e.g.
+    /// between profiled runs in one process). Registered histograms are
+    /// dropped from the registry, not zeroed — holders of the `Arc` keep
+    /// recording into their own copy and can re-register.
     pub fn reset(&self) {
         self.timers.lock().expect("obs timer lock").clear();
         self.counters.lock().expect("obs counter lock").clear();
         self.stats.lock().expect("obs stat lock").clear();
         self.gauges.lock().expect("obs gauge lock").clear();
+        self.hists.lock().expect("obs hist lock").clear();
     }
 }
 
@@ -327,6 +400,8 @@ mod tests {
         let s = r.timer("fwd", "matmul").unwrap();
         assert_eq!(s.calls, 2);
         assert_eq!(s.total_ns, 12_000);
+        assert_eq!(s.min_ns, 5_000);
+        assert_eq!(s.max_ns, 7_000);
         assert_eq!(s.units, 150);
         assert!(r.timer("bwd", "matmul").is_none());
     }
@@ -437,6 +512,31 @@ mod tests {
         assert_eq!(names, vec!["serve.queue_depth", "serve.worker.0.util"]);
         r.reset();
         assert!(r.gauge("serve.queue_depth").is_none());
+    }
+
+    #[test]
+    fn histograms_register_snapshot_and_reset() {
+        let r = Registry::new();
+        assert!(r.hist("serve.latency_ms").is_none());
+        let h = r.histogram("serve.latency_ms");
+        h.record(2.0);
+        h.record(8.0);
+        // get-or-create resolves to the same underlying histogram
+        r.histogram("serve.latency_ms").record(4.0);
+        let snap = r.hist("serve.latency_ms").unwrap();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.min, 2.0);
+        assert_eq!(snap.max, 8.0);
+        // externally owned histograms surface through hist_register
+        let own = Arc::new(Histogram::new());
+        own.record(1.5);
+        r.hist_register("serve.batch_size", Arc::clone(&own));
+        let names: Vec<&str> = r.snapshot().hists.iter().map(|h| h.name).collect();
+        assert_eq!(names, vec!["serve.batch_size", "serve.latency_ms"]);
+        r.reset();
+        assert!(r.hist("serve.latency_ms").is_none());
+        // the owner's Arc survives a registry reset
+        assert_eq!(own.count(), 1);
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Renders the aggregate profile table: one row per timer — kind, op,
-/// calls, total ms, mean ms and share of `wall` — hottest first, followed
-/// by the counters.
+/// calls, total ms, mean/min/max ms and share of `wall` — hottest first,
+/// followed by the counters, value stats and histograms.
 ///
 /// `wall` should be the measured wall-clock duration of the profiled
 /// region (e.g. the whole `fit` call). Because scopes nest (a `"phase"`
@@ -25,8 +25,8 @@ pub fn render_table(snap: &Snapshot, wall: Duration) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<name_w$} {:>10} {:>12} {:>11} {:>7}",
-        "op", "calls", "total ms", "mean ms", "% wall"
+        "{:<name_w$} {:>10} {:>12} {:>11} {:>11} {:>11} {:>7}",
+        "op", "calls", "total ms", "mean ms", "min ms", "max ms", "% wall"
     );
     for row in &snap.timers {
         let total_ms = row.stat.total_ns as f64 / 1e6;
@@ -34,11 +34,13 @@ pub fn render_table(snap: &Snapshot, wall: Duration) -> String {
         let pct = row.stat.total_ns as f64 / wall_ns * 100.0;
         let _ = writeln!(
             out,
-            "{:<name_w$} {:>10} {:>12.3} {:>11.4} {:>6.1}%",
+            "{:<name_w$} {:>10} {:>12.3} {:>11.4} {:>11.4} {:>11.4} {:>6.1}%",
             format!("{}.{}", row.kind, row.name),
             row.stat.calls,
             total_ms,
             mean_ms,
+            row.stat.min_ns as f64 / 1e6,
+            row.stat.max_ns as f64 / 1e6,
             pct
         );
     }
@@ -59,6 +61,24 @@ pub fn render_table(snap: &Snapshot, wall: Duration) -> String {
                 s.acc.mean(),
                 s.acc.min,
                 s.acc.max
+            );
+        }
+    }
+    if snap.hists.iter().any(|h| h.hist.count > 0) {
+        let _ = writeln!(out, "--");
+        for h in &snap.hists {
+            if h.hist.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>10} p50 {:>9.4} p95 {:>9.4} p99 {:>9.4} max {:>9.4}",
+                h.name,
+                h.hist.count,
+                h.hist.quantile(0.5),
+                h.hist.quantile(0.95),
+                h.hist.quantile(0.99),
+                h.hist.max
             );
         }
     }
@@ -108,6 +128,31 @@ mod tests {
         let table = render_table(&Snapshot::default(), Duration::from_millis(3));
         assert_eq!(table.lines().count(), 2);
         assert!(table.ends_with("wall: 3.0 ms"));
+    }
+
+    #[test]
+    fn timer_rows_show_min_and_max() {
+        let table = render_table(&sample_snapshot(), Duration::from_millis(200));
+        let row = table.lines().find(|l| l.starts_with("fwd.matmul")).unwrap();
+        // calls of 80 ms and 20 ms: min 20, max 80
+        assert!(row.contains("20.0000") && row.contains("80.0000"), "{row}");
+        assert!(table.lines().next().unwrap().contains("min ms"), "{table}");
+    }
+
+    #[test]
+    fn histogram_section_prints_percentiles_and_exact_max() {
+        let r = Registry::new();
+        let h = r.histogram("serve.latency_ms");
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        let table = render_table(&r.snapshot(), Duration::from_millis(1));
+        let row = table
+            .lines()
+            .find(|l| l.starts_with("serve.latency_ms"))
+            .expect("hist row present");
+        assert!(row.contains("p50") && row.contains("p99"), "{row}");
+        assert!(row.contains("4.0000"), "exact max: {row}");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! | `tensor_stats` | `elda-nn::train` | `epoch`, `name`, `n`, `nan`, `inf`, `min`, `max`, `mean`, `std`, `hist` |
 //! | `attention` | `elda-nn::train` (stats from `elda-core`) | `epoch`, `name`, `mean`, `min`, `max`, `n` |
 //! | `recovery` | `elda-nn::train` | `epoch`, `retry`, `old_lr`, `new_lr`, `cause`, optional `rollback_to` |
+//! | `stat` | `elda-cli` (registry dump) | `name`, `n`, `mean`, `min`, `max` |
+//! | `hist` | `elda-cli` (registry dump) | `name`, `n`, `mean`, `min`, `max`, `p50`, `p95`, `p99` |
+//! | `span` | `elda-cli::serve` (sampled) | `seq`, `worker`, `batch`, `admission_ms`, `queue_ms`, `batch_ms`, `score_ms`, `reply_ms`, `total_ms` |
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -311,6 +314,17 @@ pub fn emit(ev: &TraceEvent) {
 pub fn close_sink() {
     let mut slot = SINK.lock().expect("trace sink slot");
     if let Some(sink) = slot.take() {
+        sink.flush();
+    }
+}
+
+/// Flushes the installed sink without removing it. Long-lived processes
+/// (the serving tier) call this at quiescent points — e.g. the serve
+/// `shutdown` command — so tail events reach disk even though the global
+/// sink itself is never dropped.
+pub fn flush_sink() {
+    let slot = SINK.lock().expect("trace sink slot");
+    if let Some(sink) = slot.as_ref() {
         sink.flush();
     }
 }
@@ -624,6 +638,22 @@ mod tests {
         assert_eq!(text.lines().count(), 1, "panic hook flushed the buffer");
         let ev = parse_json_line(text.lines().next().unwrap()).unwrap();
         assert_eq!(ev.num("epoch"), Some(7.0));
+    }
+
+    #[test]
+    fn flush_sink_persists_without_uninstalling() {
+        let _serial = GLOBAL_SINK_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        let cap = Capture::default();
+        install_sink(TraceSink::new(Box::new(cap.clone())));
+        emit(&TraceEvent::new("span").with("seq", 1usize));
+        flush_sink();
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "flush pushed the buffered line");
+        // the sink is still installed: later events keep flowing
+        emit(&TraceEvent::new("span").with("seq", 2usize));
+        close_sink();
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
     }
 
     #[test]
