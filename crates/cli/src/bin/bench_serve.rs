@@ -463,6 +463,7 @@ fn main() {
                     queue_cap: BATCH_MAX * 16,
                     metrics_addr: enabled.then(|| "127.0.0.1:0".to_string()),
                     trace_sample: if enabled { TRACE_SAMPLE } else { 0 },
+                    ..ServeConfig::default()
                 },
             )
             .expect("server start");

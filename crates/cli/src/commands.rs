@@ -12,7 +12,8 @@
 //! elda serve    --model model.json [--addr 127.0.0.1:7878] [--workers N]
 //!               [--queue-cap N] [--batch 64] [--wait-ms 5] [--threads N]
 //!               [--metrics-addr 127.0.0.1:9898] [--trace serve.jsonl]
-//!               [--trace-sample N]
+//!               [--trace-sample N] [--deadline-ms MS] [--restart-budget N]
+//!               [--restart-window-s S] [--chaos SPEC]
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
 //! elda report   trace.jsonl
 //! elda help
@@ -71,6 +72,8 @@ fn print_help() {
          \x20 serve      --model FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20            [--batch N] [--wait-ms MS] [--threads N]\n\
          \x20            [--metrics-addr HOST:PORT] [--trace FILE.jsonl] [--trace-sample N]\n\
+         \x20            [--deadline-ms MS] [--restart-budget N] [--restart-window-s S]\n\
+         \x20            [--chaos SPEC]\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
          \x20 report     TRACE.jsonl\n\
          \x20 help\n\n\
@@ -94,8 +97,17 @@ fn print_help() {
          hot-swaps weights with zero downtime; {{\"cmd\":\"shutdown\"}} drains\n\
          and exits. `--metrics-addr` exposes Prometheus text metrics at\n\
          GET /metrics (latency/stage histograms, counters, gauges) plus a\n\
-         /healthz probe; `--trace FILE --trace-sample N` writes every Nth\n\
-         request's per-stage span to a JSONL trace for `elda report`.\n\
+         /healthz readiness probe; `--trace FILE --trace-sample N` writes every\n\
+         Nth request's per-stage span to a JSONL trace for `elda report`.\n\
+         Scorer workers are supervised: panics are caught, the batch is\n\
+         salvaged by bisection (poison inputs quarantined), and the worker is\n\
+         respawned up to `--restart-budget` times per `--restart-window-s`\n\
+         seconds (beyond that the server degrades and /healthz reports 503).\n\
+         `--deadline-ms MS` answers requests that expire in the queue with\n\
+         code \"deadline\" instead of scoring them. `--chaos SPEC` (or\n\
+         ELDA_CHAOS) injects deterministic serve faults for drills, e.g.\n\
+         `panic_worker@req=2`, `slow_score@0:400`, `poison_scores@3`,\n\
+         `drop_reply@1`.\n\
          See docs/SERVING.md for the operations runbook.\n\
          cohort directories use the PhysioNet-2012 file layout."
     );
@@ -460,6 +472,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     } else {
         false
     };
+    // Serve-side chaos injection (drills and tests): --chaos wins over
+    // ELDA_CHAOS, mirroring cmd_train's --fault / ELDA_FAULTS.
+    if let Some(spec) = args.options.get("chaos") {
+        faults::install_chaos(elda_nn::ChaosPlan::parse(spec)?);
+    } else {
+        faults::install_chaos_from_env()?;
+    }
     let result = serve::run(
         elda,
         serve::ServeConfig {
@@ -471,8 +490,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             queue_cap: args.num_or("queue-cap", batch_max.saturating_mul(16).max(1))?,
             metrics_addr: args.options.get("metrics-addr").cloned(),
             trace_sample: args.num_or("trace-sample", 0u64)?,
+            deadline_ms: args.num_or("deadline-ms", 0u64)?,
+            restart_budget: args.num_or("restart-budget", 5usize)?,
+            restart_window_s: args.num_or("restart-window-s", 60u64)?,
         },
     );
+    faults::clear_chaos();
     if traced {
         // serve_on flushed on shutdown; close finalizes the file.
         elda_obs::close_sink();

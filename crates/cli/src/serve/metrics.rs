@@ -8,6 +8,14 @@
 //! scraper sends. Anything that is not `GET /metrics` or `GET /healthz`
 //! gets a 404; non-GET methods get a 405.
 //!
+//! `/healthz` is a **readiness** probe, not bare liveness: it answers
+//! `200 ok` only while the server is not degraded (restart budget not
+//! exhausted — see [`super::supervisor`]) *and* the admission queue has
+//! headroom. Otherwise it answers `503` with the reason, so load
+//! balancers stop routing new traffic — while `/metrics` (and the JSON
+//! `stats` command on the scoring port) stay reachable for diagnosis.
+//! The same signal is exported as the `elda_serve_degraded` gauge.
+//!
 //! ## What a scrape returns
 //!
 //! The registry's counters, gauges, stats and histograms rendered by
@@ -25,6 +33,7 @@ use elda_obs::HistSnapshot;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,7 +55,7 @@ pub(crate) fn spawn_metrics(
             let mut last_scrape: HashMap<&'static str, HistSnapshot> = HashMap::new();
             while !shared.queue.is_shutdown() {
                 match listener.accept() {
-                    Ok((stream, _)) => handle_scrape(stream, &mut last_scrape),
+                    Ok((stream, _)) => handle_scrape(stream, &shared, &mut last_scrape),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(25));
                     }
@@ -59,7 +68,11 @@ pub(crate) fn spawn_metrics(
 
 /// Serves one HTTP exchange. Scrapers send one request per connection;
 /// the reply always closes the connection.
-fn handle_scrape(stream: TcpStream, last_scrape: &mut HashMap<&'static str, HistSnapshot>) {
+fn handle_scrape(
+    stream: TcpStream,
+    shared: &Shared,
+    last_scrape: &mut HashMap<&'static str, HistSnapshot>,
+) {
     // The accept loop is nonblocking; the accepted socket must not be,
     // but a stalled scraper must not wedge the endpoint either.
     let _ = stream.set_nonblocking(false);
@@ -99,7 +112,7 @@ fn handle_scrape(stream: TcpStream, last_scrape: &mut HashMap<&'static str, Hist
                 "text/plain; version=0.0.4; charset=utf-8",
                 render_scrape(last_scrape),
             ),
-            "/healthz" | "/health" => ("200 OK", "text/plain", "ok\n".to_string()),
+            "/healthz" | "/health" => healthz(shared),
             _ => (
                 "404 Not Found",
                 "text/plain",
@@ -108,6 +121,28 @@ fn handle_scrape(stream: TcpStream, last_scrape: &mut HashMap<&'static str, Hist
         }
     };
     respond(stream, status, content_type, &body);
+}
+
+/// Readiness verdict for `/healthz`: 200 only while the server can
+/// actually absorb new traffic (not degraded, queue below cap).
+fn healthz(shared: &Shared) -> (&'static str, &'static str, String) {
+    let depth = shared.queue.depth();
+    let cap = shared.queue.cap();
+    if shared.degraded.load(Ordering::Relaxed) {
+        (
+            "503 Service Unavailable",
+            "text/plain",
+            "degraded: scorer restart budget exhausted\n".to_string(),
+        )
+    } else if depth >= cap {
+        (
+            "503 Service Unavailable",
+            "text/plain",
+            format!("not ready: admission queue full ({depth}/{cap})\n"),
+        )
+    } else {
+        ("200 OK", "text/plain", "ok\n".to_string())
+    }
 }
 
 /// Renders the exposition body: the registry snapshot plus the

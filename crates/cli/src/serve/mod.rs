@@ -10,6 +10,8 @@
 //! {"cmd": "shutdown"}                       -> {"ok":"shutting down"} and the server drains + exits
 //! anything malformed                        -> {"error":"...","code":"bad_request"}
 //! queue at capacity                         -> {"id":...,"error":"...","code":"shed"}
+//! scoring crashed / input quarantined       -> {"id":...,"error":"...","code":"internal"}
+//! expired before scoring (--deadline-ms)    -> {"id":...,"error":"...","code":"deadline"}
 //! ```
 //!
 //! `values` is the patient's hourly measurement grid, row-major `t_len ×
@@ -37,6 +39,14 @@
 //!   further scores are answered immediately with a
 //!   `{"code":"shed"}` error instead of growing the queue — worst-case
 //!   memory and queued latency stay bounded under overload.
+//! * **Self-healing**: workers are supervised ([`supervisor`]) — a
+//!   scorer panic is caught, its batch salvaged by bisection
+//!   ([`worker`]), poison inputs quarantined ([`quarantine`]), and the
+//!   worker respawned within a restart budget; past the budget the
+//!   server degrades loudly (`/healthz` 503) instead of limping
+//!   silently. `--deadline-ms` sheds work nobody is waiting for, and
+//!   `--chaos` / `ELDA_CHAOS` inject deterministic serve-side faults
+//!   (`elda_nn::faults::ChaosPlan`) so all of this stays drill-tested.
 //!
 //! # Telemetry
 //!
@@ -59,16 +69,18 @@
 pub mod admission;
 pub mod metrics;
 pub mod protocol;
+pub mod quarantine;
 pub mod snapshot;
+pub mod supervisor;
 pub mod worker;
 
 use elda_core::Elda;
 use elda_emr::{Patient, NUM_FEATURES};
 use elda_obs::Histogram;
-use protocol::{Request, CODE_BAD_REQUEST, CODE_RELOAD, CODE_SHED};
-use std::io::{BufRead, BufReader, Write};
+use protocol::{LineRead, Request, CODE_BAD_REQUEST, CODE_INTERNAL, CODE_RELOAD, CODE_SHED};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -96,6 +108,18 @@ pub struct ServeConfig {
     /// request emits a `span` trace event (per-stage latencies) to the
     /// installed JSONL sink; `0` disables sampling.
     pub trace_sample: u64,
+    /// Per-request deadline in milliseconds (`--deadline-ms`), attached
+    /// at admission. Requests still queued past their deadline are
+    /// answered `code:"deadline"` instead of scored. `0` disables
+    /// deadlines.
+    pub deadline_ms: u64,
+    /// Worker restart budget (`--restart-budget`): at most this many
+    /// panicked-worker respawns per [`ServeConfig::restart_window_s`]
+    /// window before the server enters the degraded state.
+    pub restart_budget: usize,
+    /// Sliding window (seconds) the restart budget is measured over
+    /// (`--restart-window-s`).
+    pub restart_window_s: u64,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +132,9 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             metrics_addr: None,
             trace_sample: 0,
+            deadline_ms: 0,
+            restart_budget: 5,
+            restart_window_s: 60,
         }
     }
 }
@@ -131,6 +158,19 @@ pub(crate) struct ServeStats {
     pub connections: AtomicU64,
     /// Connections closed over the server's lifetime.
     pub disconnects: AtomicU64,
+    /// Scorer panics caught by the worker supervision wrapper.
+    pub worker_panics: AtomicU64,
+    /// Panicked workers respawned by the supervisor.
+    pub restarts: AtomicU64,
+    /// Requests answered `code:"deadline"` because they expired in the
+    /// queue before a worker reached them.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests isolated as panic/non-finite-score causes and
+    /// fingerprint-quarantined.
+    pub quarantined: AtomicU64,
+    /// Requests refused at admission because their fingerprint was
+    /// already quarantined.
+    pub quarantine_rejected: AtomicU64,
 }
 
 /// A parsed-but-unanswered score request parked in the admission queue.
@@ -145,8 +185,16 @@ pub(crate) struct Pending {
     /// When the request entered the admission queue (admission stage
     /// boundary).
     pub enqueued: Instant,
-    /// Monotonic accepted-request sequence number, for `--trace-sample`.
+    /// Monotonic accepted-request sequence number, for `--trace-sample`
+    /// and the chaos hooks.
     pub seq: u64,
+    /// Admission-time deadline (`recv + --deadline-ms`); `None` when
+    /// deadlines are disabled. Workers answer expired requests
+    /// `code:"deadline"` instead of scoring them.
+    pub deadline: Option<Instant>,
+    /// Fingerprint of the decoded feature grid (see [`quarantine`]),
+    /// computed at admission so the poison path never re-hashes.
+    pub fp: u64,
     /// The owning connection's writer lock.
     pub out: Arc<Mutex<TcpStream>>,
 }
@@ -176,6 +224,9 @@ pub(crate) struct ServeHists {
     pub stage_score_ms: Arc<Histogram>,
     /// Stage: reply serialization + socket write, ms.
     pub stage_reply_ms: Arc<Histogram>,
+    /// How far past its deadline an expired request was when a worker
+    /// finally saw it, ms (distribution of deadline overruns).
+    pub deadline_lag_ms: Arc<Histogram>,
 }
 
 impl ServeHists {
@@ -196,6 +247,7 @@ impl ServeHists {
             stage_batch_ms: make("serve.stage.batch_ms"),
             stage_score_ms: make("serve.stage.score_ms"),
             stage_reply_ms: make("serve.stage.reply_ms"),
+            deadline_lag_ms: make("serve.deadline.lag_ms"),
         }
     }
 }
@@ -215,9 +267,23 @@ pub(crate) struct Shared {
     /// Emit a `span` trace event every Nth accepted request (0 = off).
     pub trace_sample: u64,
     /// Per-worker cumulative busy time, for utilization reporting.
+    /// Survives supervisor respawns (a fresh worker resumes its slot's
+    /// counter).
     pub worker_busy_ns: Vec<AtomicU64>,
     /// Server start time (utilization denominator).
     pub started: Instant,
+    /// Per-request deadline attached at admission (`--deadline-ms`);
+    /// `None` disables deadline enforcement.
+    pub deadline: Option<Duration>,
+    /// Fingerprints of inputs that crashed or poisoned scoring; repeat
+    /// offenders are refused at admission.
+    pub quarantine: quarantine::Quarantine,
+    /// Set once the supervisor exhausts the restart budget: `/healthz`
+    /// flips to 503-not-ready, no further respawns. `stats` and
+    /// `/metrics` stay live for diagnosis.
+    pub degraded: AtomicBool,
+    /// Scorer workers currently alive (supervisor-maintained).
+    pub live_workers: AtomicU64,
 }
 
 impl Shared {
@@ -231,6 +297,10 @@ impl Shared {
             trace_sample: cfg.trace_sample,
             worker_busy_ns: (0..cfg.workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             started: Instant::now(),
+            deadline: (cfg.deadline_ms > 0).then(|| Duration::from_millis(cfg.deadline_ms)),
+            quarantine: quarantine::Quarantine::new(1024),
+            degraded: AtomicBool::new(false),
+            live_workers: AtomicU64::new(0),
         }
     }
 }
@@ -262,6 +332,14 @@ fn stats_json(shared: &Shared) -> String {
         "reloads": shared.stats.reloads.load(Ordering::Relaxed),
         "connections": shared.stats.connections.load(Ordering::Relaxed),
         "disconnects": shared.stats.disconnects.load(Ordering::Relaxed),
+        "worker_panics": shared.stats.worker_panics.load(Ordering::Relaxed),
+        "restarts": shared.stats.restarts.load(Ordering::Relaxed),
+        "deadline_exceeded": shared.stats.deadline_exceeded.load(Ordering::Relaxed),
+        "quarantined": shared.stats.quarantined.load(Ordering::Relaxed),
+        "quarantine_rejected": shared.stats.quarantine_rejected.load(Ordering::Relaxed),
+        "quarantine_size": shared.quarantine.len(),
+        "degraded": shared.degraded.load(Ordering::Relaxed),
+        "workers_live": shared.live_workers.load(Ordering::Relaxed),
         "queue_depth": shared.queue.depth(),
         "queue_cap": shared.queue.cap(),
         "workers": worker_util.len(),
@@ -342,9 +420,27 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF / half-closed socket
-            Ok(_) => {}
+        match protocol::read_line_bounded(&mut reader, &mut line, protocol::MAX_LINE_BYTES) {
+            Ok(LineRead::Eof) => break, // EOF / half-closed socket
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Overlong) => {
+                // The oversized line was consumed (bounded memory, never
+                // buffered whole); the connection stays usable.
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                elda_obs::counter_add("serve.errors", 1);
+                write_line(
+                    &out,
+                    &protocol::error_reply(
+                        None,
+                        CODE_BAD_REQUEST,
+                        &format!(
+                            "request line exceeds {} bytes; split or shrink the payload",
+                            protocol::MAX_LINE_BYTES
+                        ),
+                    ),
+                );
+                continue;
+            }
             Err(_) => {
                 close_reason = "read error";
                 break;
@@ -364,6 +460,24 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
             Ok(Request::Score { id, patient }) => {
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 elda_obs::counter_add("serve.requests", 1);
+                let fp = quarantine::fingerprint(&patient.values);
+                if shared.quarantine.contains(fp) {
+                    shared
+                        .stats
+                        .quarantine_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    elda_obs::counter_add("serve.poison.rejected", 1);
+                    write_line(
+                        &out,
+                        &protocol::error_reply(
+                            Some(&id),
+                            CODE_INTERNAL,
+                            "this input previously crashed scoring and is quarantined; \
+                             fix the payload before retrying",
+                        ),
+                    );
+                    continue;
+                }
                 let enqueued = Instant::now();
                 let pending = Pending {
                     id,
@@ -371,6 +485,8 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
                     recv,
                     enqueued,
                     seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+                    deadline: shared.deadline.map(|d| recv + d),
+                    fp,
                     out: Arc::clone(&out),
                 };
                 match shared.queue.offer(pending) {
@@ -449,7 +565,10 @@ fn serve_on(
         }
         None => None,
     };
-    let workers = worker::spawn_workers(&shared, cfg.workers, cfg.batch_max, cfg.wait_ms);
+    // Publish the degraded gauge at 0 up front so the `elda_serve_degraded`
+    // family exists on the very first scrape, not only after an incident.
+    elda_obs::gauge_set("serve.degraded", 0.0);
+    let supervisor = supervisor::spawn_supervisor(&shared, &cfg);
 
     while !shared.queue.is_shutdown() {
         match listener.accept() {
@@ -463,11 +582,12 @@ fn serve_on(
             Err(e) => return Err(format!("accept failed: {e}")),
         }
     }
-    // Graceful shutdown: workers drain and answer everything queued
-    // before they return; reader threads die with the process.
-    for w in workers {
-        w.join().map_err(|_| "scorer worker panicked")?;
-    }
+    // Graceful shutdown: the supervisor joins its workers (which drain
+    // and answer everything queued) before it returns; reader threads
+    // die with the process.
+    supervisor
+        .join()
+        .map_err(|_| "supervisor thread panicked")?;
     if let Some(m) = metrics {
         m.join().map_err(|_| "metrics thread panicked")?;
     }

@@ -14,10 +14,14 @@
 //! Every failure reply carries a machine-readable `code` alongside the
 //! human-readable `error` text so clients can dispatch without parsing
 //! prose: [`CODE_BAD_REQUEST`] for malformed input, [`CODE_SHED`] for
-//! admission-control rejections, [`CODE_RELOAD`] for refused hot swaps.
+//! admission-control rejections, [`CODE_RELOAD`] for refused hot swaps,
+//! [`CODE_INTERNAL`] for server-side scoring failures (including
+//! quarantined poison inputs), [`CODE_DEADLINE`] for requests that
+//! expired in the queue before a worker reached them.
 
 use elda_emr::io::{patient_from_grid, Outcome};
 use elda_emr::{Patient, NUM_FEATURES};
+use std::io::BufRead;
 
 /// `code` on replies rejecting malformed requests.
 pub const CODE_BAD_REQUEST: &str = "bad_request";
@@ -27,6 +31,21 @@ pub const CODE_SHED: &str = "shed";
 /// `code` on replies refusing a `reload` (unreadable file, failed
 /// integrity check, or a checkpoint for a different architecture).
 pub const CODE_RELOAD: &str = "reload";
+/// `code` on replies for server-side scoring failures: the forward pass
+/// panicked or produced a non-finite risk, or the input's fingerprint
+/// is quarantined from an earlier failure, or the server is degraded
+/// with no live scorer workers. Retrying the *same* payload will not
+/// help; a different payload may.
+pub const CODE_INTERNAL: &str = "internal";
+/// `code` on replies for requests whose `--deadline-ms` deadline passed
+/// while they waited in the queue. The request was *not* scored — by
+/// the time a worker freed up, nobody was waiting for the answer.
+pub const CODE_DEADLINE: &str = "deadline";
+
+/// Reader threads refuse request lines longer than this (1 MiB) — an
+/// order of magnitude above any legitimate grid — so one client cannot
+/// balloon server memory by streaming a newline-free body.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// One parsed client line.
 #[derive(Debug)]
@@ -96,7 +115,19 @@ pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String>
     let mut grid = Vec::with_capacity(expect);
     for v in values {
         match v.as_f64() {
-            Some(x) => grid.push(x as f32),
+            Some(x) => {
+                // Checked *after* the f32 cast: a finite f64 like 1e39
+                // still overflows to Inf in f32 and would poison the
+                // normalization pipeline downstream. Missing values are
+                // spelled `null`, never NaN/Inf.
+                let x = x as f32;
+                if !x.is_finite() {
+                    return Err(
+                        "`values` entries must be finite numbers (use null for missing)".into(),
+                    );
+                }
+                grid.push(x);
+            }
             None if *v == serde_json::Value::Null => grid.push(f32::NAN),
             None => return Err("`values` entries must be numbers or null".into()),
         }
@@ -129,6 +160,73 @@ pub(crate) fn error_reply(id: Option<&serde_json::Value>, code: &str, msg: &str)
         None => serde_json::json!({ "error": msg, "code": code }),
     };
     serde_json::to_string(&reply).expect("error json")
+}
+
+/// Outcome of one bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum LineRead {
+    /// Clean end of stream (no pending bytes).
+    Eof,
+    /// One complete line landed in the caller's buffer.
+    Line,
+    /// The line exceeded the byte cap. Its bytes were consumed (through
+    /// the terminating newline, or EOF) but **never accumulated**, so
+    /// memory stays bounded and the next read starts on a fresh line.
+    Overlong,
+}
+
+/// `BufRead::read_line` with a memory cap: accumulates at most `max`
+/// bytes. An overlong line is drained from the stream without being
+/// buffered and reported as [`LineRead::Overlong`] — the connection
+/// survives, the caller replies `bad_request` and moves on. Invalid
+/// UTF-8 is replaced rather than rejected (the JSON parse will fail
+/// with a better message).
+pub(crate) fn read_line_bounded(
+    r: &mut impl BufRead,
+    buf: &mut String,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut overlong = false;
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF: whatever we were holding is the final (unterminated)
+            // line, matching read_line semantics.
+            if overlong {
+                return Ok(LineRead::Overlong);
+            }
+            if bytes.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            *buf = String::from_utf8_lossy(&bytes).into_owned();
+            return Ok(LineRead::Line);
+        }
+        let (take, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (available.len(), false),
+        };
+        if !overlong {
+            if bytes.len() + take > max {
+                overlong = true;
+                bytes = Vec::new(); // drop, and stop accumulating
+            } else {
+                bytes.extend_from_slice(&available[..take]);
+            }
+        }
+        r.consume(take);
+        if done {
+            if overlong {
+                return Ok(LineRead::Overlong);
+            }
+            *buf = String::from_utf8_lossy(&bytes).into_owned();
+            return Ok(LineRead::Line);
+        }
+    }
 }
 
 /// Renders an estimated quantile for the `stats` reply: rounded to 3
@@ -218,6 +316,88 @@ mod tests {
         assert!(matches!(req, Request::Reload { path } if path == "/tmp/m.json"));
         let err = parse_request(r#"{"cmd":"reload"}"#, T_LEN).unwrap_err();
         assert!(err.contains("path"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_at_decode() {
+        let expect = T_LEN * NUM_FEATURES;
+        // 1e39 is a perfectly finite f64 but overflows to Inf as f32 —
+        // the exact hole the finiteness check must cover.
+        for poison in ["1e39", "-1e39", "1e308"] {
+            let mut vals = vec!["0.5".to_string(); expect];
+            vals[7] = poison.to_string();
+            let line = format!(r#"{{"id":1,"values":[{}]}}"#, vals.join(","));
+            let err = parse_request(&line, T_LEN).unwrap_err();
+            assert!(err.contains("finite"), "{poison}: {err}");
+        }
+        // null stays the one blessed missing-value spelling
+        let req = parse_request(&grid_json(expect), T_LEN);
+        assert!(req.is_ok());
+    }
+
+    #[test]
+    fn bounded_read_returns_lines_eof_and_overlong() {
+        use std::io::Cursor;
+        let mut buf = String::new();
+
+        // normal lines, then EOF
+        let mut r = Cursor::new(b"hello\nworld\n".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, "hello\n");
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, "world\n");
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Eof
+        );
+
+        // unterminated final line still comes through
+        let mut r = Cursor::new(b"tail".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, "tail");
+
+        // an overlong line is consumed whole; the next line survives
+        let mut big = vec![b'x'; 100];
+        big.push(b'\n');
+        big.extend_from_slice(b"next\n");
+        let mut r = Cursor::new(big);
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 16).unwrap(),
+            LineRead::Overlong
+        );
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 16).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, "next\n");
+
+        // overlong line truncated by EOF (half-open client)
+        let mut r = Cursor::new(vec![b'y'; 100]);
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 16).unwrap(),
+            LineRead::Overlong
+        );
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 16).unwrap(),
+            LineRead::Eof
+        );
+
+        // a line of exactly max bytes (newline included) is accepted
+        let mut r = Cursor::new(b"abc\n".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut r, &mut buf, 4).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, "abc\n");
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Poison-request quarantine: remembers fingerprints of inputs that made
+//! the model panic or produce non-finite scores, so repeat offenders are
+//! rejected at admission instead of taking another batch down.
+//!
+//! A *poison request* is one whose feature values deterministically break
+//! scoring. The worker's bisection salvage (see [`super::worker`])
+//! isolates such requests from their batch-mates, answers them
+//! `code:"internal"`, and inserts their fingerprint here. From then on,
+//! an identical grid is refused at admission time — one reply, zero
+//! scorer work, no chance to poison a fresh batch.
+//!
+//! The fingerprint is a 64-bit FNV-1a hash over the decoded feature
+//! grid's bit patterns, with every NaN canonicalized to one bit pattern
+//! first (the missing-value encoding must hash identically however the
+//! NaN was produced). The set is bounded: beyond `Quarantine::cap`
+//! entries the oldest fingerprint is evicted, so a pathological client
+//! cannot balloon server memory by submitting endless distinct poisons.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a over the grid's f32 bit patterns, NaN-canonicalized.
+pub(crate) fn fingerprint(values: &[f32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for v in values {
+        // All NaNs mean "missing"; hash them identically regardless of
+        // payload bits.
+        let bits = if v.is_nan() {
+            f32::NAN.to_bits()
+        } else {
+            v.to_bits()
+        };
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Bounded FIFO set of quarantined input fingerprints.
+pub(crate) struct Quarantine {
+    cap: usize,
+    inner: Mutex<(HashSet<u64>, VecDeque<u64>)>,
+}
+
+impl Quarantine {
+    /// A quarantine remembering at most `cap` fingerprints (clamped to at
+    /// least 1); the oldest is evicted beyond that.
+    pub fn new(cap: usize) -> Quarantine {
+        Quarantine {
+            cap: cap.max(1),
+            inner: Mutex::new((HashSet::new(), VecDeque::new())),
+        }
+    }
+
+    /// Records `fp` as poisonous. Returns true when it was newly added
+    /// (false for an already-quarantined repeat).
+    pub fn insert(&self, fp: u64) -> bool {
+        let mut guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let (set, order) = &mut *guard;
+        if !set.insert(fp) {
+            return false;
+        }
+        order.push_back(fp);
+        if order.len() > self.cap {
+            if let Some(old) = order.pop_front() {
+                set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// True when `fp` is currently quarantined.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .0
+            .contains(&fp)
+    }
+
+    /// Fingerprints currently held (the `stats` command reports this).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_canonicalizes_nans_and_separates_values() {
+        let a = [1.0f32, f32::NAN, 3.0];
+        // a NaN with different payload bits must hash identically
+        let weird_nan = f32::from_bits(0x7fc0_1234);
+        assert!(weird_nan.is_nan());
+        let b = [1.0f32, weird_nan, 3.0];
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+
+        let c = [1.0f32, 2.0, 3.0];
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        // +0.0 and -0.0 have different bits and are honestly distinct
+        assert_ne!(fingerprint(&[0.0f32]), fingerprint(&[-0.0f32]));
+    }
+
+    #[test]
+    fn insert_contains_and_bounded_eviction() {
+        let q = Quarantine::new(2);
+        assert!(q.insert(1));
+        assert!(!q.insert(1), "repeat insert reports already-known");
+        assert!(q.insert(2));
+        assert!(q.contains(1) && q.contains(2));
+        assert_eq!(q.len(), 2);
+        // third entry evicts the oldest
+        assert!(q.insert(3));
+        assert!(!q.contains(1), "oldest fingerprint evicted at cap");
+        assert!(q.contains(2) && q.contains(3));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Worker supervision: spawns the scorer pool, respawns panicked
+//! workers with fresh state, and degrades loudly instead of limping
+//! silently when panics keep coming.
+//!
+//! The supervisor thread owns one slot per configured worker. A worker
+//! that returns `WorkerExit::Shutdown` is
+//! retired (the queue drained); one that returns `Panicked` — its batch
+//! already salvaged by bisection, every request answered — is replaced
+//! by a fresh thread *if the restart budget allows*.
+//!
+//! The budget is a token bucket over a sliding window
+//! (`--restart-budget` restarts per `--restart-window-s` seconds). A
+//! healthy server absorbs a transient panic invisibly: one
+//! `serve.worker.panics` increment, one `serve.worker.restarts`
+//! increment, scoring continues. A server whose workers crash in a loop
+//! exhausts the budget and enters the **degraded** state instead of
+//! thrashing: no further respawns, the `serve.degraded` gauge flips to
+//! 1, and `/healthz` answers 503-not-ready so load balancers stop
+//! routing new traffic — while the `stats` command and `/metrics` stay
+//! fully reachable for diagnosis.
+//!
+//! Even fully degraded, **no request is ever black-holed**: when the
+//! last worker dies, the supervisor itself drains the admission queue
+//! and answers everything (queued and still arriving) with
+//! `code:"internal"` until shutdown.
+
+use super::worker::{self, WorkerExit};
+use super::{protocol, write_line, ServeConfig, Shared};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Token bucket over a sliding window: at most `max` grants per
+/// `window`. Time is passed in by the caller so the policy is testable
+/// without sleeping.
+pub(crate) struct RestartBudget {
+    max: usize,
+    window: Duration,
+    grants: Mutex<VecDeque<Instant>>,
+}
+
+impl RestartBudget {
+    pub fn new(max: usize, window: Duration) -> RestartBudget {
+        RestartBudget {
+            max,
+            window,
+            grants: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Takes one restart token if fewer than `max` were granted inside
+    /// the trailing window ending at `now`.
+    pub fn try_acquire(&self, now: Instant) -> bool {
+        let mut grants = self.grants.lock().unwrap_or_else(|p| p.into_inner());
+        while let Some(&front) = grants.front() {
+            if now.saturating_duration_since(front) >= self.window {
+                grants.pop_front();
+            } else {
+                break;
+            }
+        }
+        if grants.len() < self.max {
+            grants.push_back(now);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Spawns the supervisor thread, which in turn spawns the scorer pool.
+/// Joining the returned handle guarantees every admitted request was
+/// answered (scored, `internal`, `deadline`, or `shed`) — even when
+/// every worker died along the way.
+pub(crate) fn spawn_supervisor(
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let workers = cfg.workers.max(1);
+    let batch_max = cfg.batch_max;
+    let wait_ms = cfg.wait_ms;
+    let budget = RestartBudget::new(
+        cfg.restart_budget,
+        Duration::from_secs(cfg.restart_window_s.max(1)),
+    );
+    std::thread::Builder::new()
+        .name("elda-supervisor".into())
+        .spawn(move || {
+            let mut slots: Vec<Option<std::thread::JoinHandle<WorkerExit>>> = (0..workers)
+                .map(|wid| Some(worker::spawn_one(&shared, wid, batch_max, wait_ms)))
+                .collect();
+            shared.live_workers.store(workers as u64, Ordering::Relaxed);
+            loop {
+                let mut live = 0usize;
+                for (wid, slot) in slots.iter_mut().enumerate() {
+                    let finished = slot.as_ref().is_some_and(|h| h.is_finished());
+                    if finished {
+                        let handle = slot.take().expect("finished slot");
+                        // Err(join) = the thread died outside the scoring
+                        // catch_unwind (reply path, queue). Same remedy.
+                        let exit = handle.join().unwrap_or(WorkerExit::Panicked);
+                        if exit == WorkerExit::Panicked && !shared.queue.is_shutdown() {
+                            if budget.try_acquire(Instant::now()) {
+                                shared.stats.restarts.fetch_add(1, Ordering::Relaxed);
+                                elda_obs::counter_add("serve.worker.restarts", 1);
+                                eprintln!("serve: respawning scorer worker {wid} with fresh state");
+                                *slot = Some(worker::spawn_one(&shared, wid, batch_max, wait_ms));
+                            } else if !shared.degraded.swap(true, Ordering::Relaxed) {
+                                elda_obs::gauge_set("serve.degraded", 1.0);
+                                eprintln!(
+                                    "serve: restart budget exhausted; worker {wid} stays down \
+                                     and the server is DEGRADED (/healthz now 503; `stats` and \
+                                     /metrics stay live)"
+                                );
+                            }
+                        }
+                    }
+                    if slot.is_some() {
+                        live += 1;
+                    }
+                }
+                shared.live_workers.store(live as u64, Ordering::Relaxed);
+                if live == 0 {
+                    if shared.queue.is_shutdown() {
+                        return;
+                    }
+                    // Last worker down, budget spent: answer everything
+                    // ourselves so nothing is black-holed. Returns once
+                    // the queue is shut down and drained.
+                    drain_as_internal(&shared);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+        .expect("spawn supervisor")
+}
+
+/// Degraded-mode request path: every queued (and still-arriving)
+/// request is answered `code:"internal"` immediately. Blocks until the
+/// queue is shut down and fully drained — the same answered-before-exit
+/// guarantee the worker pool gives on the healthy path.
+fn drain_as_internal(shared: &Shared) {
+    eprintln!(
+        "serve: no scorer workers alive; answering all requests with code \"internal\" \
+         until shutdown"
+    );
+    loop {
+        let batch = shared.queue.next_batch(64, Duration::from_millis(5));
+        if batch.is_empty() {
+            return; // shutdown and drained
+        }
+        for pending in batch {
+            write_line(
+                &pending.out,
+                &protocol::error_reply(
+                    Some(&pending.id),
+                    protocol::CODE_INTERNAL,
+                    "server degraded: no scorer workers available (restart budget exhausted)",
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_budget_grants_then_refuses_then_refills_after_the_window() {
+        let t0 = Instant::now();
+        let budget = RestartBudget::new(2, Duration::from_secs(60));
+        assert!(budget.try_acquire(t0));
+        assert!(budget.try_acquire(t0 + Duration::from_secs(1)));
+        assert!(
+            !budget.try_acquire(t0 + Duration::from_secs(2)),
+            "third restart inside the window must be refused"
+        );
+        // 61s on, both original grants have aged out of the window
+        assert!(budget.try_acquire(t0 + Duration::from_secs(61)));
+        assert!(budget.try_acquire(t0 + Duration::from_secs(62)));
+        assert!(
+            !budget.try_acquire(t0 + Duration::from_secs(63)),
+            "refilled bucket still enforces the cap"
+        );
+    }
+
+    #[test]
+    fn zero_budget_never_grants() {
+        let budget = RestartBudget::new(0, Duration::from_secs(60));
+        assert!(!budget.try_acquire(Instant::now()));
+    }
+}

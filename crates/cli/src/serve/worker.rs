@@ -11,130 +11,348 @@
 //! of serially, which is where the multi-worker throughput win comes
 //! from under closed-loop load.
 //!
+//! # Failure containment
+//!
+//! The batch loop is *supervised* (see [`super::supervisor`]): every
+//! forward pass runs under [`std::panic::catch_unwind`], so a panic in
+//! scoring never silently kills the worker with a batch of unanswered
+//! requests in hand. On a caught panic the worker
+//!
+//! 1. records the incident (`serve.worker.panics` counter, a
+//!    `worker_panic` trace event, a stderr line),
+//! 2. **salvages the batch by bisection** with a fresh plan cache:
+//!    sub-batches that score cleanly are answered normally; requests
+//!    isolated as the cause are answered `code:"internal"` and their
+//!    input fingerprint is quarantined (see [`super::quarantine`]) so
+//!    repeat offenders are refused at admission,
+//! 3. returns `WorkerExit::Panicked` so the supervisor can respawn a
+//!    replacement with fresh state (the panicking cache and any other
+//!    thread-local state are discarded wholesale).
+//!
+//! Non-finite risks are handled the same way minus the panic machinery:
+//! a NaN/Inf score is never written to a client; the offending request
+//! gets `code:"internal"` and is quarantined.
+//!
+//! When the server runs with `--deadline-ms`, each batch is filtered
+//! against the requests' admission-time deadlines first: expired
+//! requests are answered `code:"deadline"` instead of burning a forward
+//! pass on scores nobody is waiting for.
+//!
 //! Per-worker observability: each worker publishes a
 //! `serve.worker.<i>.util` gauge (busy wall-clock fraction since start)
 //! through `elda-obs`, and accumulates busy nanoseconds in
 //! `Shared` so the `stats` command can report utilization even
-//! when profiling is off. Every scored request's stage durations
-//! (queue wait, batch assembly, forward, reply write) land in the
-//! always-on `ServeHists` histograms, and every
+//! when profiling is off (the counter survives respawns). Every scored
+//! request's stage durations (queue wait, batch assembly, forward,
+//! reply write) land in the always-on `ServeHists` histograms, and every
 //! `trace_sample`-th request emits a `span` trace event with the full
 //! per-stage breakdown for `elda report`.
 
-use super::{protocol, Shared};
+use super::{protocol, Pending, Shared};
 use elda_core::infer::PlanCache;
+use elda_core::Elda;
 use elda_emr::Patient;
+use elda_nn::faults;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Spawns the scorer pool. Workers exit once the queue is shut down and
-/// drained; join the returned handles to guarantee every admitted
-/// request was answered.
-pub(crate) fn spawn_workers(
-    shared: &Arc<Shared>,
-    workers: usize,
-    batch_max: usize,
-    wait_ms: u64,
-) -> Vec<std::thread::JoinHandle<()>> {
-    (0..workers.max(1))
-        .map(|wid| {
-            let shared = Arc::clone(shared);
-            std::thread::Builder::new()
-                .name(format!("elda-scorer-{wid}"))
-                .spawn(move || worker_loop(wid, &shared, batch_max, wait_ms))
-                .expect("spawn scorer worker")
-        })
-        .collect()
+/// Why a scorer worker's loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// The queue shut down and drained; normal retirement.
+    Shutdown,
+    /// A forward pass panicked. The batch was salvaged (every request
+    /// answered), but the worker's state is suspect — the supervisor
+    /// should respawn a replacement if the restart budget allows.
+    Panicked,
 }
 
-/// One scorer worker: block on the admission queue, clone the weight
-/// snapshot, run one grad-free batched forward, answer everyone —
-/// recording each request's per-stage durations into the serve
-/// histograms and emitting a sampled `span` trace event on the way.
-fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) {
+/// Spawns scorer worker `wid`. The supervisor owns the returned handle;
+/// a worker exits with [`WorkerExit::Shutdown`] only once the queue is
+/// shut down and drained, so joining the pool guarantees every admitted
+/// request was answered.
+pub(crate) fn spawn_one(
+    shared: &Arc<Shared>,
+    wid: usize,
+    batch_max: usize,
+    wait_ms: u64,
+) -> std::thread::JoinHandle<WorkerExit> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("elda-scorer-{wid}"))
+        .spawn(move || worker_loop(wid, &shared, batch_max, wait_ms))
+        .expect("spawn scorer worker")
+}
+
+/// Per-batch context threaded through the reply helpers: stage
+/// timestamps and identity shared by every request in one micro-batch.
+struct BatchCtx {
+    wid: usize,
+    batch_len: usize,
+    opened: Instant,
+    closed: Instant,
+    score_ms: f64,
+}
+
+/// One scorer worker: block on the admission queue, drop expired
+/// requests, clone the weight snapshot, run one supervised grad-free
+/// batched forward, answer everyone — salvaging by bisection when the
+/// forward panics.
+fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) -> WorkerExit {
     let cache = PlanCache::new();
-    // Gauge names are &'static str; one leaked allocation per worker for
-    // the process lifetime is the std-only price of dynamic labels.
+    // Gauge names are &'static str; one leaked allocation per worker
+    // (re)spawn for the process lifetime is the std-only price of
+    // dynamic labels.
     let util_gauge: &'static str = Box::leak(format!("serve.worker.{wid}.util").into_boxed_str());
-    let started = Instant::now();
-    let mut busy = Duration::ZERO;
+    // Busy time resumes from the shared counter so utilization stays
+    // honest across supervisor respawns.
+    let mut busy = Duration::from_nanos(shared.worker_busy_ns[wid].load(Ordering::Relaxed));
     loop {
         let traced = shared
             .queue
             .next_batch_traced(batch_max, Duration::from_millis(wait_ms));
-        let batch = traced.items;
+        let mut batch = traced.items;
         if batch.is_empty() {
-            return; // shutdown and fully drained
+            return WorkerExit::Shutdown; // shutdown and fully drained
         }
         let t0 = Instant::now();
+        if shared.deadline.is_some() {
+            batch = expire_overdue(shared, batch, t0);
+            if batch.is_empty() {
+                continue;
+            }
+        }
         // One pointer clone per batch: in-flight batches keep scoring on
         // their snapshot across a concurrent reload.
         let model = shared.snapshot.load();
         let patients: Vec<Patient> = batch.iter().map(|p| p.patient.clone()).collect();
-        let risks = model.predict_batch_with(&patients, &cache);
+        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+        let outcome = score_batch(&model, &cache, &patients, &seqs);
         let scored = Instant::now();
-        let score_ms = scored
-            .saturating_duration_since(traced.closed)
-            .as_secs_f64()
-            * 1e3;
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        let batch_len = batch.len();
-        shared.hists.batch_size.record(batch_len as f64);
-        shared.hists.stage_score_ms.record(score_ms);
-        for (pending, risk) in batch.into_iter().zip(risks) {
-            // Stage attribution (see `AdmissionQueue::next_batch_traced`):
-            // a straggler that arrived inside the open window pays no
-            // queue time, only its share of the remaining assembly wait.
-            let queue_ms = traced
-                .opened
-                .saturating_duration_since(pending.enqueued)
+        shared.hists.batch_size.record(batch.len() as f64);
+        let ctx = BatchCtx {
+            wid,
+            batch_len: batch.len(),
+            opened: traced.opened,
+            closed: traced.closed,
+            score_ms: scored
+                .saturating_duration_since(traced.closed)
                 .as_secs_f64()
-                * 1e3;
-            let joined = pending.enqueued.max(traced.opened);
-            let batch_ms = traced
-                .closed
-                .saturating_duration_since(joined)
-                .as_secs_f64()
-                * 1e3;
-            shared.hists.stage_queue_ms.record(queue_ms);
-            shared.hists.stage_batch_ms.record(batch_ms);
-            let write_start = Instant::now();
-            super::write_line(
-                &pending.out,
-                &protocol::score_reply(&pending.id, risk, risk >= model.alert_threshold),
-            );
-            let reply_ms = write_start.elapsed().as_secs_f64() * 1e3;
-            let total_ms = pending.recv.elapsed().as_secs_f64() * 1e3;
-            shared.hists.stage_reply_ms.record(reply_ms);
-            shared.hists.latency_ms.record(total_ms);
-            if shared.trace_sample > 0 && pending.seq % shared.trace_sample == 0 {
-                elda_obs::emit(
-                    &elda_obs::TraceEvent::new("span")
-                        .with("seq", pending.seq)
-                        .with("worker", wid)
-                        .with("batch", batch_len)
-                        .with(
-                            "admission_ms",
-                            pending
-                                .enqueued
-                                .saturating_duration_since(pending.recv)
-                                .as_secs_f64()
-                                * 1e3,
-                        )
-                        .with("queue_ms", queue_ms)
-                        .with("batch_ms", batch_ms)
-                        .with("score_ms", score_ms)
-                        .with("reply_ms", reply_ms)
-                        .with("total_ms", total_ms),
-                );
+                * 1e3,
+        };
+        match outcome {
+            Ok(risks) => {
+                shared.hists.stage_score_ms.record(ctx.score_ms);
+                for (pending, risk) in batch.into_iter().zip(risks) {
+                    if risk.is_finite() {
+                        reply_scored(shared, &ctx, pending, risk, risk >= model.alert_threshold);
+                    } else {
+                        quarantine_and_reply_internal(shared, pending);
+                    }
+                }
+            }
+            Err(()) => {
+                record_panic(shared, wid, ctx.batch_len);
+                salvage_by_bisection(shared, &model, &ctx, batch);
+                busy += t0.elapsed();
+                shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
+                // Fresh state beats optimism: even though the batch was
+                // salvaged, hand the slot back so the supervisor can
+                // respawn a worker whose caches never saw the panic.
+                return WorkerExit::Panicked;
             }
         }
         busy += t0.elapsed();
         shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
-        let wall = started.elapsed().as_secs_f64();
+        let wall = shared.started.elapsed().as_secs_f64();
         if wall > 0.0 {
             elda_obs::gauge_set(util_gauge, busy.as_secs_f64() / wall);
         }
     }
+}
+
+/// One supervised forward pass over `patients`, with the chaos hooks
+/// (`panic_worker`, `slow_score`, `poison_scores`) applied. `Err(())`
+/// means the pass panicked; the payload was already reported through the
+/// default panic hook.
+fn score_batch(
+    model: &Arc<Elda>,
+    cache: &PlanCache,
+    patients: &[Patient],
+    seqs: &[u64],
+) -> Result<Vec<f32>, ()> {
+    catch_unwind(AssertUnwindSafe(|| {
+        faults::chaos_panic_worker(seqs);
+        if let Some(delay) = faults::chaos_slow_score(seqs) {
+            std::thread::sleep(delay);
+        }
+        let mut risks = model.predict_batch_with(patients, cache);
+        for (i, seq) in seqs.iter().enumerate() {
+            if faults::chaos_poison_score(*seq) {
+                risks[i] = f32::NAN;
+            }
+        }
+        risks
+    }))
+    .map_err(|_| ())
+}
+
+/// Splits out and answers the requests whose deadline passed before a
+/// worker got to them: `code:"deadline"`, never scored.
+fn expire_overdue(shared: &Shared, batch: Vec<Pending>, now: Instant) -> Vec<Pending> {
+    let (live, expired): (Vec<Pending>, Vec<Pending>) = batch
+        .into_iter()
+        .partition(|p| p.deadline.is_none_or(|d| now < d));
+    for pending in expired {
+        shared
+            .stats
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        elda_obs::counter_add("serve.deadline_exceeded", 1);
+        if let Some(d) = pending.deadline {
+            shared
+                .hists
+                .deadline_lag_ms
+                .record(now.saturating_duration_since(d).as_secs_f64() * 1e3);
+        }
+        super::write_line(
+            &pending.out,
+            &protocol::error_reply(
+                Some(&pending.id),
+                protocol::CODE_DEADLINE,
+                "deadline exceeded before scoring; the request was not scored",
+            ),
+        );
+    }
+    live
+}
+
+/// Answers one scored request: stage histograms, the reply line, and the
+/// sampled `span` trace event. Honors the `drop_reply` chaos hook (the
+/// reply line is suppressed to simulate a lost write).
+fn reply_scored(shared: &Shared, ctx: &BatchCtx, pending: Pending, risk: f32, alert: bool) {
+    // Stage attribution (see `AdmissionQueue::next_batch_traced`):
+    // a straggler that arrived inside the open window pays no
+    // queue time, only its share of the remaining assembly wait.
+    let queue_ms = ctx
+        .opened
+        .saturating_duration_since(pending.enqueued)
+        .as_secs_f64()
+        * 1e3;
+    let joined = pending.enqueued.max(ctx.opened);
+    let batch_ms = ctx.closed.saturating_duration_since(joined).as_secs_f64() * 1e3;
+    shared.hists.stage_queue_ms.record(queue_ms);
+    shared.hists.stage_batch_ms.record(batch_ms);
+    if faults::chaos_drop_reply(pending.seq) {
+        eprintln!(
+            "serve: chaos drop_reply suppressing the reply to request seq {}",
+            pending.seq
+        );
+        return;
+    }
+    let write_start = Instant::now();
+    super::write_line(
+        &pending.out,
+        &protocol::score_reply(&pending.id, risk, alert),
+    );
+    let reply_ms = write_start.elapsed().as_secs_f64() * 1e3;
+    let total_ms = pending.recv.elapsed().as_secs_f64() * 1e3;
+    shared.hists.stage_reply_ms.record(reply_ms);
+    shared.hists.latency_ms.record(total_ms);
+    if shared.trace_sample > 0 && pending.seq.is_multiple_of(shared.trace_sample) {
+        elda_obs::emit(
+            &elda_obs::TraceEvent::new("span")
+                .with("seq", pending.seq)
+                .with("worker", ctx.wid)
+                .with("batch", ctx.batch_len)
+                .with(
+                    "admission_ms",
+                    pending
+                        .enqueued
+                        .saturating_duration_since(pending.recv)
+                        .as_secs_f64()
+                        * 1e3,
+                )
+                .with("queue_ms", queue_ms)
+                .with("batch_ms", batch_ms)
+                .with("score_ms", ctx.score_ms)
+                .with("reply_ms", reply_ms)
+                .with("total_ms", total_ms),
+        );
+    }
+}
+
+/// Records a caught scorer panic: counter, trace event, stderr line.
+fn record_panic(shared: &Shared, wid: usize, batch_len: usize) {
+    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.worker.panics", 1);
+    elda_obs::emit(
+        &elda_obs::TraceEvent::new("worker_panic")
+            .with("worker", wid)
+            .with("batch", batch_len),
+    );
+    eprintln!(
+        "serve: worker {wid} panicked scoring a batch of {batch_len}; \
+         salvaging the batch by bisection"
+    );
+}
+
+/// Answers every request of a panicked batch by bisection. Sub-batches
+/// are retried with a fresh plan cache (the worker's own cache may be
+/// poisoned mid-build); groups that keep panicking are split until the
+/// offending singletons are isolated, quarantined and answered
+/// `code:"internal"`, while everyone else is scored normally. A
+/// *transient* panic (e.g. the `panic_worker` chaos hook, which fires
+/// once) salvages with zero quarantined requests — only inputs that
+/// deterministically fail get fingerprinted.
+fn salvage_by_bisection(shared: &Shared, model: &Arc<Elda>, ctx: &BatchCtx, batch: Vec<Pending>) {
+    let fresh = PlanCache::new();
+    let mut stack = vec![batch];
+    while let Some(mut group) = stack.pop() {
+        let patients: Vec<Patient> = group.iter().map(|p| p.patient.clone()).collect();
+        let seqs: Vec<u64> = group.iter().map(|p| p.seq).collect();
+        match score_batch(model, &fresh, &patients, &seqs) {
+            Ok(risks) => {
+                for (pending, risk) in group.into_iter().zip(risks) {
+                    if risk.is_finite() {
+                        reply_scored(shared, ctx, pending, risk, risk >= model.alert_threshold);
+                    } else {
+                        quarantine_and_reply_internal(shared, pending);
+                    }
+                }
+            }
+            Err(()) if group.len() == 1 => {
+                let pending = group.pop().expect("singleton");
+                quarantine_and_reply_internal(shared, pending);
+            }
+            Err(()) => {
+                let right = group.split_off(group.len() / 2);
+                stack.push(group);
+                stack.push(right);
+            }
+        }
+    }
+}
+
+/// Answers a request isolated as the cause of a panic or non-finite
+/// score: fingerprint goes into the quarantine (repeat offenders are
+/// refused at admission), the client gets `code:"internal"`.
+fn quarantine_and_reply_internal(shared: &Shared, pending: Pending) {
+    if shared.quarantine.insert(pending.fp) {
+        shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        elda_obs::counter_add("serve.poison.quarantined", 1);
+        elda_obs::emit(&elda_obs::TraceEvent::new("quarantine").with("seq", pending.seq));
+    }
+    super::write_line(
+        &pending.out,
+        &protocol::error_reply(
+            Some(&pending.id),
+            protocol::CODE_INTERNAL,
+            "scoring failed for this request; its input is quarantined \
+             (identical payloads will be refused at admission)",
+        ),
+    );
 }

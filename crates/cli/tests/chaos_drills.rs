@@ -1,0 +1,570 @@
+//! Self-healing serving-tier drills, driven by the deterministic
+//! serve-side chaos hooks (`elda_nn::faults::ChaosPlan`): worker panic →
+//! salvage → respawn, restart-budget exhaustion → degraded state,
+//! per-request deadlines, poison-input quarantine, dropped replies, and
+//! the reader-thread robustness satellites (half-open connections,
+//! oversized request lines).
+//!
+//! Every drill runs the real server (`elda_cli::serve::Server`) over
+//! real TCP sockets in-process — the exact production code path. The
+//! chaos plan is process-global state, so the drills that install one
+//! serialize through [`CHAOS_LOCK`] and clear the plan on drop (panic
+//! included).
+
+use elda_cli::serve::{ServeConfig, Server};
+use elda_core::framework::FitConfig;
+use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::{Cohort, CohortConfig, Patient, Task};
+use elda_nn::faults;
+use elda_nn::ChaosPlan;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+const T_LEN: usize = 4;
+
+/// Serializes drills that install a chaos plan (process-global state).
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII chaos plan: installs on construction, clears on drop so a
+/// failing drill cannot leak its faults into the next one.
+struct Chaos {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Chaos {
+    fn install(spec: &str) -> Chaos {
+        let guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        faults::install_chaos(ChaosPlan::parse(spec).expect("chaos spec"));
+        Chaos { _guard: guard }
+    }
+}
+
+impl Drop for Chaos {
+    fn drop(&mut self) {
+        faults::clear_chaos();
+    }
+}
+
+fn tiny_cfg() -> EldaConfig {
+    let mut cfg = EldaConfig::variant(EldaVariant::TimeOnly, T_LEN);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    cfg
+}
+
+fn cohort() -> Cohort {
+    let mut cc = CohortConfig::small(40, 17);
+    cc.t_len = T_LEN;
+    Cohort::generate(cc)
+}
+
+fn train(seed: u64) -> Elda {
+    let mut elda = Elda::with_config(tiny_cfg(), Task::Mortality, seed);
+    let fit = FitConfig {
+        epochs: 1,
+        batch_size: 16,
+        threads: 1,
+        patience: None,
+        ..Default::default()
+    };
+    elda.fit(&cohort(), &fit);
+    elda
+}
+
+/// Renders a patient's measurement grid as a score-request line.
+fn score_line(id: usize, patient: &Patient) -> String {
+    let vals: Vec<String> = patient
+        .values
+        .iter()
+        .map(|v| {
+            if v.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect();
+    format!(r#"{{"id":{id},"values":[{}]}}"#, vals.join(","))
+}
+
+/// Minimal HTTP/1.1 GET against the metrics endpoint.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: */*\r\n\r\n"
+    )
+    .expect("send scrape");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read scrape");
+    out
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn send(&mut self, line: &str) -> serde_json::Value {
+        self.send_line(line);
+        self.recv()
+    }
+
+    fn recv(&mut self) -> serde_json::Value {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        serde_json::from_str(&reply).unwrap_or_else(|e| panic!("bad reply {reply:?}: {e}"))
+    }
+
+    fn stats(&mut self) -> serde_json::Value {
+        self.send(r#"{"cmd":"stats"}"#)
+    }
+}
+
+/// Polls `stats` until `pred` holds (or panics after ~10s) — the
+/// supervisor reacts on a 10ms cadence, so incident counters lag the
+/// triggering request slightly.
+fn wait_for_stats(client: &mut Client, what: &str, pred: impl Fn(&serde_json::Value) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats();
+        if pred(&stats) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last stats: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Tentpole drill: a worker panic under pipelined live traffic. Every
+/// request id gets exactly one reply, every reply is a *score* (the
+/// transient panic is salvaged by bisection, nobody is quarantined),
+/// served risks match offline `predict_batch` bit-for-bit, the panicked
+/// worker is respawned within budget, and the server stays ready.
+#[test]
+fn worker_panic_drill_answers_everyone_and_respawns_within_budget() {
+    let _chaos = Chaos::install("panic_worker@req=2");
+    let model = train(1);
+    let patients: Vec<Patient> = cohort().patients.into_iter().take(12).collect();
+    let offline: Vec<f32> = model.predict_batch(&patients);
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 4,
+            wait_ms: 2,
+            workers: 2,
+            queue_cap: 256,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            restart_budget: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let mut client = Client::connect(server.addr());
+
+    // Pipeline all 12 requests, then collect 12 replies (batch order is
+    // not arrival order once the panic reshuffles scoring).
+    for (id, p) in patients.iter().enumerate() {
+        client.send_line(&score_line(id, p));
+    }
+    let mut seen: Vec<Option<f64>> = vec![None; patients.len()];
+    for _ in 0..patients.len() {
+        let reply = client.recv();
+        let id = reply["id"].as_u64().expect("reply carries its id") as usize;
+        assert!(seen[id].is_none(), "request {id} answered twice: {reply:?}");
+        let risk = reply["risk"].as_f64().unwrap_or_else(|| {
+            panic!("request {id} not scored (transient panic must salvage clean): {reply:?}")
+        });
+        seen[id] = Some(risk);
+    }
+    for (id, (served, offline)) in seen.iter().zip(&offline).enumerate() {
+        let served = served.expect("every id answered exactly once");
+        assert!(
+            (served - *offline as f64).abs() < 1e-9,
+            "request {id}: served {served} != offline {offline}"
+        );
+    }
+
+    // The incident was recorded and the worker respawned — within
+    // budget, so the server never degrades.
+    wait_for_stats(&mut client, "panic + respawn", |s| {
+        s["worker_panics"].as_u64() == Some(1) && s["restarts"].as_u64() == Some(1)
+    });
+    let stats = client.stats();
+    assert_eq!(stats["degraded"].as_bool(), Some(false), "{stats:?}");
+    assert_eq!(stats["workers_live"].as_u64(), Some(2), "{stats:?}");
+    assert_eq!(stats["quarantined"].as_u64(), Some(0), "{stats:?}");
+    let health = http_get(metrics_addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    // Post-drill traffic scores normally on the respawned pool.
+    let post = client.send(&score_line(99, &patients[0]));
+    let risk = post["risk"].as_f64().expect("post-drill score");
+    assert!((risk - offline[0] as f64).abs() < 1e-9);
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
+/// Exhausting the restart budget flips the server to degraded: no
+/// respawn, `/healthz` 503-not-ready, `elda_serve_degraded 1` on
+/// `/metrics` — while `stats` and `/metrics` stay reachable and
+/// late requests are still answered (`internal`, never black-holed).
+#[test]
+fn budget_exhaustion_degrades_instead_of_thrashing() {
+    let _chaos = Chaos::install("panic_worker@req=0");
+    let model = train(2);
+    let patients: Vec<Patient> = cohort().patients.into_iter().take(2).collect();
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 4,
+            wait_ms: 1,
+            workers: 1,
+            queue_cap: 64,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            restart_budget: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let mut client = Client::connect(server.addr());
+
+    // Request 0 panics its worker. The batch is still salvaged — the
+    // singleton retry scores clean (the chaos panic fires once).
+    let reply = client.send(&score_line(0, &patients[0]));
+    assert!(reply["risk"].as_f64().is_some(), "salvaged: {reply:?}");
+
+    // Budget 0 refuses the respawn: degraded, loudly.
+    wait_for_stats(&mut client, "degraded state", |s| {
+        s["degraded"].as_bool() == Some(true)
+    });
+    let stats = client.stats();
+    assert_eq!(stats["worker_panics"].as_u64(), Some(1), "{stats:?}");
+    assert_eq!(stats["restarts"].as_u64(), Some(0), "{stats:?}");
+    assert_eq!(stats["workers_live"].as_u64(), Some(0), "{stats:?}");
+
+    // Readiness flips; metrics stay reachable with the degraded gauge up.
+    let health = http_get(metrics_addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 503"), "{health}");
+    assert!(health.contains("degraded"), "{health}");
+    let scrape = http_get(metrics_addr, "/metrics");
+    assert!(scrape.starts_with("HTTP/1.1 200"), "{scrape}");
+    assert!(
+        scrape.contains("elda_serve_degraded 1"),
+        "degraded gauge missing:\n{scrape}"
+    );
+
+    // No scorer alive, yet nothing is black-holed: the supervisor
+    // answers queued traffic with code "internal".
+    let reply = client.send(&score_line(1, &patients[1]));
+    assert_eq!(reply["code"].as_str(), Some("internal"), "{reply:?}");
+    assert_eq!(reply["id"].as_u64(), Some(1), "{reply:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
+/// `--deadline-ms`: requests that expire while a slow batch hogs the
+/// only worker are answered `code:"deadline"` instead of scored.
+#[test]
+fn deadline_drill_sheds_expired_requests_without_scoring_them() {
+    let _chaos = Chaos::install("slow_score@0:400");
+    let model = train(3);
+    let patients: Vec<Patient> = cohort().patients.into_iter().take(5).collect();
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 1, // one request per batch: ids 1..5 must queue
+            wait_ms: 1,
+            workers: 1,
+            queue_cap: 64,
+            deadline_ms: 100,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    for (id, p) in patients.iter().enumerate() {
+        client.send_line(&score_line(id, p));
+    }
+    let mut scored = 0u32;
+    let mut expired = 0u32;
+    for _ in 0..patients.len() {
+        let reply = client.recv();
+        let id = reply["id"].as_u64().expect("id echoed") as usize;
+        if id == 0 {
+            // Picked up before its deadline; the chaos sleep lands *after*
+            // the deadline check, so it still scores.
+            assert!(reply["risk"].as_f64().is_some(), "{reply:?}");
+            scored += 1;
+        } else {
+            assert_eq!(reply["code"].as_str(), Some("deadline"), "{reply:?}");
+            expired += 1;
+        }
+    }
+    assert_eq!((scored, expired), (1, 4));
+
+    let stats = client.stats();
+    assert_eq!(stats["deadline_exceeded"].as_u64(), Some(4), "{stats:?}");
+    assert_eq!(stats["degraded"].as_bool(), Some(false), "{stats:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
+/// Poison quarantine: a request that deterministically poisons its
+/// batch's scores is isolated (batch-mates score normally), answered
+/// `internal`, and an identical payload is refused at admission.
+#[test]
+fn poison_drill_quarantines_the_offender_and_rejects_repeats() {
+    let _chaos = Chaos::install("poison_scores@2");
+    let model = train(4);
+    let patients: Vec<Patient> = cohort().patients.into_iter().take(5).collect();
+    let offline: Vec<f32> = model.predict_batch(&patients);
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 8,
+            wait_ms: 50, // coalesce the pipelined burst into one batch
+            workers: 1,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    for (id, p) in patients.iter().enumerate() {
+        client.send_line(&score_line(id, p));
+    }
+    for _ in 0..patients.len() {
+        let reply = client.recv();
+        let id = reply["id"].as_u64().expect("id echoed") as usize;
+        if id == 2 {
+            assert_eq!(reply["code"].as_str(), Some("internal"), "{reply:?}");
+            assert!(
+                reply["error"].as_str().unwrap().contains("quarantine"),
+                "{reply:?}"
+            );
+        } else {
+            let risk = reply["risk"].as_f64().expect("batch-mates score");
+            assert!((risk - offline[id] as f64).abs() < 1e-9, "{reply:?}");
+        }
+    }
+
+    let stats = client.stats();
+    assert_eq!(stats["quarantined"].as_u64(), Some(1), "{stats:?}");
+    assert_eq!(stats["quarantine_size"].as_u64(), Some(1), "{stats:?}");
+
+    // The identical payload (request 2's grid, fresh id) is refused at
+    // admission — no worker ever sees it again.
+    let repeat = client.send(&score_line(99, &patients[2]));
+    assert_eq!(repeat["code"].as_str(), Some("internal"), "{repeat:?}");
+    assert!(
+        repeat["error"].as_str().unwrap().contains("quarantined"),
+        "{repeat:?}"
+    );
+    let stats = client.stats();
+    assert_eq!(stats["quarantine_rejected"].as_u64(), Some(1), "{stats:?}");
+    assert_eq!(
+        stats["worker_panics"].as_u64(),
+        Some(0),
+        "poisoned scores are contained without any panic: {stats:?}"
+    );
+
+    // A *different* payload still scores.
+    let fine = client.send(&score_line(100, &patients[3]));
+    assert!(fine["risk"].as_f64().is_some(), "{fine:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
+/// `drop_reply@K` suppresses exactly one reply — the drill for
+/// lost-write handling proves the server neither crashes nor double
+/// answers, and subsequent traffic flows.
+#[test]
+fn drop_reply_chaos_loses_exactly_one_reply() {
+    let _chaos = Chaos::install("drop_reply@1");
+    let model = train(5);
+    let patients: Vec<Patient> = cohort().patients.into_iter().take(3).collect();
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 8,
+            wait_ms: 20,
+            workers: 1,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    for (id, p) in patients.iter().enumerate() {
+        client.send_line(&score_line(id, p));
+    }
+    // Only ids 0 and 2 ever answer; the ping fences the stream and
+    // proves reply 1 was dropped, not delayed.
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let reply = client.recv();
+        assert!(reply["risk"].as_f64().is_some(), "{reply:?}");
+        ids.push(reply["id"].as_u64().unwrap());
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 2]);
+    let pong = client.send(r#"{"cmd":"ping"}"#);
+    assert_eq!(pong["ok"].as_str(), Some("pong"), "{pong:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
+/// Satellite: a half-open client (partial line, then gone) and a
+/// disappear-mid-reply client neither leak the connection gauge nor
+/// wedge reader threads.
+#[test]
+fn half_open_connections_do_not_leak_gauges_or_wedge_readers() {
+    // No chaos here, but hold the lock anyway: another drill's armed
+    // plan keys on *global* request seqs and could fire on our traffic.
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let model = train(6);
+    let patient = cohort().patients[0].clone();
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 4,
+            wait_ms: 1,
+            workers: 1,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+    let pong = client.send(r#"{"cmd":"ping"}"#);
+    assert_eq!(pong["ok"].as_str(), Some("pong"));
+
+    // Rogue 1: partial request line, then vanish.
+    {
+        let mut rogue = TcpStream::connect(server.addr()).expect("rogue connect");
+        rogue
+            .write_all(br#"{"id": 7, "values": ["#)
+            .expect("partial write");
+        rogue.flush().ok();
+        // dropped here: RST/FIN mid-line
+    }
+    wait_for_stats(&mut client, "rogue 1 torn down", |s| {
+        s["connections"].as_u64() == Some(1) && s["disconnects"].as_u64() >= Some(1)
+    });
+
+    // Rogue 2: complete request, then vanish before reading the reply —
+    // the worker's write hits a dead socket and must shrug it off.
+    {
+        let mut rogue = TcpStream::connect(server.addr()).expect("rogue connect");
+        writeln!(rogue, "{}", score_line(8, &patient)).expect("full write");
+        rogue.flush().ok();
+    }
+    wait_for_stats(&mut client, "rogue 2 torn down", |s| {
+        s["connections"].as_u64() == Some(1) && s["disconnects"].as_u64() >= Some(2)
+    });
+
+    // The surviving connection still works and the gauge is honest.
+    let stats = client.stats();
+    assert_eq!(stats["connections"].as_u64(), Some(1), "{stats:?}");
+    let scored = client.send(&score_line(9, &patient));
+    assert!(scored["risk"].as_f64().is_some(), "{scored:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
+/// Satellite: an oversized request line is refused with `bad_request`
+/// (naming the limit) while the connection — and the server — survive.
+#[test]
+fn oversized_request_line_is_rejected_and_the_connection_survives() {
+    // Serialized for the same reason as the half-open drill: the chaos
+    // hooks key on global request seqs.
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let model = train(7);
+    let patient = cohort().patients[0].clone();
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 4,
+            wait_ms: 1,
+            workers: 1,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    // 2 MiB of garbage on one line: double the reader's cap.
+    let mut big = vec![b'x'; 2 << 20];
+    big.push(b'\n');
+    client.writer.write_all(&big).expect("send oversized line");
+    client.writer.flush().expect("flush");
+    let reply = client.recv();
+    assert_eq!(reply["code"].as_str(), Some("bad_request"), "{reply:?}");
+    assert!(
+        reply["error"].as_str().unwrap().contains("exceeds"),
+        "{reply:?}"
+    );
+
+    // Same connection keeps working.
+    let pong = client.send(r#"{"cmd":"ping"}"#);
+    assert_eq!(pong["ok"].as_str(), Some("pong"), "{pong:?}");
+    let scored = client.send(&score_line(1, &patient));
+    assert!(scored["risk"].as_f64().is_some(), "{scored:?}");
+    let stats = client.stats();
+    assert!(stats["errors"].as_u64() >= Some(1), "{stats:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}

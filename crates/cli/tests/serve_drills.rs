@@ -233,6 +233,7 @@ fn reload_drill_swaps_weights_under_live_traffic() {
             queue_cap: 256,
             metrics_addr: Some("127.0.0.1:0".into()),
             trace_sample: 0,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -365,6 +366,7 @@ fn overload_drill_sheds_excess_and_survives() {
             queue_cap: QUEUE_CAP,
             metrics_addr: Some("127.0.0.1:0".into()),
             trace_sample: 0,
+            ..ServeConfig::default()
         },
     )
     .unwrap();

@@ -20,6 +20,25 @@
 //! | `panic@K` | panic after the first batch of epoch K (unwinds) |
 //! | `abort@K` | hard process exit (code 134) after the first batch of epoch K |
 //! | `truncate_ckpt` | every checkpoint file is truncated after writing |
+//!
+//! # Serve-side chaos
+//!
+//! [`ChaosPlan`] is the serving tier's counterpart: it keys faults on
+//! the server's *accepted-request sequence number* (the `seq` counter
+//! `elda serve` assigns on admission, starting at 0) instead of the
+//! epoch, and is installed via `--chaos SPEC` / the `ELDA_CHAOS`
+//! environment variable. The scorer workers call the `chaos_*` hooks at
+//! the matching points, so worker-panic recovery, deadline expiry,
+//! poison quarantine and lost-reply handling are all drill-testable
+//! against the release binary the way `ELDA_FAULTS` crash-and-resume
+//! drills are.
+//!
+//! | clause | effect |
+//! |---|---|
+//! | `panic_worker@req=K` | the worker scoring the batch containing request K panics mid-score (once — a *transient* crash) |
+//! | `slow_score@K:MS` | the batch containing request K sleeps MS ms before scoring (once) |
+//! | `poison_scores@K` | request K's score becomes NaN (every time — a *deterministic* poison input) |
+//! | `drop_reply@K` | the reply to request K is never written (once — a lost write) |
 
 use elda_autodiff::ParamId;
 use elda_tensor::Tensor;
@@ -176,6 +195,180 @@ pub fn maybe_truncate_checkpoint(path: &Path) {
     }
 }
 
+/// A deterministic schedule of injected *serving* faults, keyed on the
+/// server's accepted-request sequence number (see the module docs).
+///
+/// Transient faults (`panic_worker`, `slow_score`, `drop_reply`) fire
+/// once per installed plan — they model one-off infrastructure failures
+/// that a retry survives. `poison_scores` fires every time request K is
+/// scored — it models an *input* that deterministically breaks the
+/// model, which is exactly what the quarantine bisection must isolate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// `panic_worker@req=K`: the worker scoring the batch containing
+    /// accepted request K panics mid-score (fires once).
+    pub panic_worker_req: Option<u64>,
+    /// `slow_score@K:MS`: the batch containing request K sleeps MS
+    /// milliseconds before scoring (fires once).
+    pub slow_score: Option<(u64, u64)>,
+    /// `poison_scores@K`: request K's score is replaced with NaN (fires
+    /// every time K is scored, including on bisection retries).
+    pub poison_scores_req: Option<u64>,
+    /// `drop_reply@K`: the reply to request K is silently never written
+    /// (fires once).
+    pub drop_reply_req: Option<u64>,
+}
+
+impl ChaosPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == ChaosPlan::default()
+    }
+
+    /// Parses the serve-side spec grammar described in the module docs
+    /// (comma-separated clauses, e.g.
+    /// `"panic_worker@req=3,slow_score@7:250"`).
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        fn req(clause: &str, v: &str) -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("chaos clause {clause:?}: bad request number {v:?}"))
+        }
+        let mut plan = ChaosPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind, rest) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("chaos clause {clause:?}: expected KIND@..."))?;
+            match kind {
+                "panic_worker" => {
+                    let k = rest.strip_prefix("req=").ok_or_else(|| {
+                        format!("chaos clause {clause:?}: expected panic_worker@req=K")
+                    })?;
+                    plan.panic_worker_req = Some(req(clause, k)?);
+                }
+                "slow_score" => {
+                    let (k, ms) = rest.split_once(':').ok_or_else(|| {
+                        format!("chaos clause {clause:?}: expected slow_score@K:MS")
+                    })?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("chaos clause {clause:?}: bad duration {ms:?}"))?;
+                    plan.slow_score = Some((req(clause, k)?, ms));
+                }
+                "poison_scores" => plan.poison_scores_req = Some(req(clause, rest)?),
+                "drop_reply" => plan.drop_reply_req = Some(req(clause, rest)?),
+                other => return Err(format!("unknown chaos kind {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Fast-path gate for the serve-side hooks, independent of the training
+/// [`FaultPlan`] gate so the two drill families never interfere.
+static CHAOS_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct ArmedChaos {
+    plan: ChaosPlan,
+    panic_fired: bool,
+    slow_fired: bool,
+    drop_fired: bool,
+}
+
+static CHAOS_ARMED: Mutex<Option<ArmedChaos>> = Mutex::new(None);
+
+/// Installs `plan` process-globally (replacing any previous chaos plan).
+/// An empty plan is equivalent to [`clear_chaos`].
+pub fn install_chaos(plan: ChaosPlan) {
+    let mut armed = CHAOS_ARMED.lock().expect("chaos plan lock");
+    CHAOS_ACTIVE.store(!plan.is_empty(), Ordering::Release);
+    *armed = Some(ArmedChaos {
+        plan,
+        panic_fired: false,
+        slow_fired: false,
+        drop_fired: false,
+    });
+}
+
+/// Removes the installed chaos plan; all `chaos_*` hooks become no-ops.
+pub fn clear_chaos() {
+    let mut armed = CHAOS_ARMED.lock().expect("chaos plan lock");
+    CHAOS_ACTIVE.store(false, Ordering::Release);
+    *armed = None;
+}
+
+/// Installs a chaos plan from the `ELDA_CHAOS` environment variable if
+/// set. Returns the parsed plan (`None` when the variable is unset).
+pub fn install_chaos_from_env() -> Result<Option<ChaosPlan>, String> {
+    match std::env::var("ELDA_CHAOS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan = ChaosPlan::parse(&spec).map_err(|e| format!("ELDA_CHAOS: {e}"))?;
+            install_chaos(plan.clone());
+            Ok(Some(plan))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn with_chaos<R>(f: impl FnOnce(&mut ArmedChaos) -> R) -> Option<R> {
+    if !CHAOS_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    CHAOS_ARMED.lock().expect("chaos plan lock").as_mut().map(f)
+}
+
+/// Scorer-worker hook, called at the top of every batch forward with the
+/// batch's accepted-request sequence numbers. Panics (unwinding —
+/// catchable by the worker's supervision wrapper) when the armed plan's
+/// `panic_worker` request is in the batch; fires once, so bisection
+/// retries after the caught panic score clean.
+pub fn chaos_panic_worker(seqs: &[u64]) {
+    let fire = with_chaos(|a| match a.plan.panic_worker_req {
+        Some(k) if !a.panic_fired && seqs.contains(&k) => {
+            a.panic_fired = true;
+            true
+        }
+        _ => false,
+    })
+    .unwrap_or(false);
+    if fire {
+        panic!("chaos injection: worker panic (batch contains request {seqs:?})");
+    }
+}
+
+/// Scorer-worker hook: how long the batch containing the armed
+/// `slow_score` request should stall before scoring (fires once).
+pub fn chaos_slow_score(seqs: &[u64]) -> Option<std::time::Duration> {
+    with_chaos(|a| match a.plan.slow_score {
+        Some((k, ms)) if !a.slow_fired && seqs.contains(&k) => {
+            a.slow_fired = true;
+            Some(std::time::Duration::from_millis(ms))
+        }
+        _ => None,
+    })
+    .flatten()
+}
+
+/// Scorer-worker hook: true when request `seq`'s freshly computed score
+/// must be replaced with NaN. Deterministic (fires on every scoring of
+/// `seq`), so the quarantine bisection can isolate it like a real poison
+/// input.
+pub fn chaos_poison_score(seq: u64) -> bool {
+    with_chaos(|a| a.plan.poison_scores_req == Some(seq)).unwrap_or(false)
+}
+
+/// Reply-path hook: true when the reply to request `seq` must be
+/// dropped instead of written (fires once).
+pub fn chaos_drop_reply(seq: u64) -> bool {
+    with_chaos(|a| match a.plan.drop_reply_req {
+        Some(k) if !a.drop_fired && k == seq => {
+            a.drop_fired = true;
+            true
+        }
+        _ => false,
+    })
+    .unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +388,29 @@ mod tests {
         assert!(FaultPlan::parse("meteor@1").is_err());
     }
 
+    #[test]
+    fn chaos_spec_grammar_roundtrips_and_rejects_garbage() {
+        let plan =
+            ChaosPlan::parse("panic_worker@req=3, slow_score@7:250,poison_scores@9,drop_reply@1")
+                .unwrap();
+        assert_eq!(plan.panic_worker_req, Some(3));
+        assert_eq!(plan.slow_score, Some((7, 250)));
+        assert_eq!(plan.poison_scores_req, Some(9));
+        assert_eq!(plan.drop_reply_req, Some(1));
+        assert!(!plan.is_empty());
+
+        assert!(ChaosPlan::parse("").unwrap().is_empty());
+        assert!(ChaosPlan::parse("panic_worker@3").is_err(), "needs req=");
+        assert!(ChaosPlan::parse("panic_worker@req=x").is_err());
+        assert!(ChaosPlan::parse("slow_score@3").is_err(), "needs :MS");
+        assert!(ChaosPlan::parse("slow_score@3:fast").is_err());
+        assert!(ChaosPlan::parse("poison_scores").is_err());
+        assert!(ChaosPlan::parse("meteor@1").is_err());
+    }
+
     // Installation/firing tests live with the trainer tests (which already
     // serialize on the process-global state); here we only cover the pure
     // parts to keep this module's globals quiet under parallel testing.
+    // ChaosPlan firing semantics (once vs every-time) are exercised by the
+    // serve-tier chaos drills in crates/cli/tests/chaos_drills.rs.
 }

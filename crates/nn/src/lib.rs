@@ -31,7 +31,7 @@ pub mod schedule;
 pub mod train;
 
 pub use checkpoint::{fingerprint_of, write_atomic, Checkpoint, CheckpointConfig, CRC_PREFIX};
-pub use faults::FaultPlan;
+pub use faults::{ChaosPlan, FaultPlan};
 pub use init::Init;
 pub use layers::attention::{additive_attention_scores, dot_attention_pool};
 pub use layers::dense::Dense;

@@ -54,7 +54,7 @@ pub const RELATIVE_ERROR: f64 = 1.0 / 16.0;
 /// the top octave clamp into the overflow bucket (index `NUM_BUCKETS-1`).
 #[inline]
 pub fn bucket_index(v: f64) -> usize {
-    if !(v >= f64::MIN_POSITIVE) {
+    if v.is_nan() || v < f64::MIN_POSITIVE {
         // catches negatives, ±0, subnormals (and NaN, filtered earlier)
         return 0;
     }

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Chaos-drill client for the release `elda serve` binary (CI `chaos` job).
+
+Drives a server started with ELDA_CHAOS over real sockets and asserts the
+self-healing contract end to end:
+
+    chaos_drill_client.py panic    HOST:PORT METRICS_HOST:PORT
+    chaos_drill_client.py degraded HOST:PORT METRICS_HOST:PORT
+
+`panic` (run the server with ELDA_CHAOS=panic_worker@req=2 and a restart
+budget): pipelines 12 score requests, asserts every id is answered exactly
+once with a score (the panicked batch must be salvaged), that stats report
+the panic and the respawn, and that /healthz stays ready.
+
+`degraded` (ELDA_CHAOS=panic_worker@req=0 and --restart-budget 0): the
+first request still scores (salvage), then the supervisor must refuse the
+respawn — /healthz flips to 503 while stats and /metrics stay reachable,
+and a late request is answered code "internal", never black-holed.
+
+Both modes finish with a clean {"cmd":"shutdown"} so the caller can
+`wait` on the server process and check its exit code.
+"""
+
+import json
+import socket
+import sys
+import time
+
+T_LEN = 6
+NUM_FEATURES = 37  # elda_emr::FEATURES order
+
+
+def connect(addr, timeout=30.0):
+    """TCP-connects with retries while the server is still binding."""
+    host, port = addr.rsplit(":", 1)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, int(port)), timeout=10)
+            sock.settimeout(30)
+            return sock
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def http_get(addr, path):
+    """Minimal HTTP GET; returns (status_code, body)."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+        sock.settimeout(10)
+        sock.sendall(f"GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n".encode())
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode("utf-8", "replace")
+
+
+def score_line(i):
+    """A valid t_len x features grid, varied per request id."""
+    vals = [round(0.1 + 0.01 * ((i + j) % 50), 3) for j in range(T_LEN * NUM_FEATURES)]
+    return json.dumps({"id": i, "values": vals})
+
+
+def rpc(f, line):
+    f.write(line + "\n")
+    f.flush()
+    reply = f.readline()
+    assert reply, "server closed the connection mid-conversation"
+    return json.loads(reply)
+
+
+def poll(what, pred, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        got = pred()
+        if got is not None:
+            return got
+        assert time.monotonic() < deadline, f"timed out waiting for {what}"
+        time.sleep(0.1)
+
+
+def drill_panic(f, metrics_addr):
+    n = 12
+    for i in range(n):
+        f.write(score_line(i) + "\n")
+    f.flush()
+    seen = {}
+    for _ in range(n):
+        reply = json.loads(f.readline())
+        rid = reply["id"]
+        assert rid not in seen, f"request {rid} answered twice: {reply}"
+        assert "risk" in reply, f"request {rid} not scored: {reply}"
+        seen[rid] = reply["risk"]
+    assert sorted(seen) == list(range(n)), f"ids answered: {sorted(seen)}"
+
+    def respawned():
+        stats = rpc(f, '{"cmd":"stats"}')
+        ok = stats["worker_panics"] >= 1 and stats["restarts"] >= 1
+        return stats if ok else None
+
+    stats = poll("panic + respawn in stats", respawned)
+    assert stats["degraded"] is False, stats
+    assert stats["quarantined"] == 0, f"transient panic must not quarantine: {stats}"
+    status, body = http_get(metrics_addr, "/healthz")
+    assert status == 200 and "ok" in body, (status, body)
+    # post-drill traffic flows on the respawned pool
+    reply = rpc(f, score_line(99))
+    assert "risk" in reply, reply
+    print(f"panic drill ok: {n} ids answered once each, "
+          f"panics={stats['worker_panics']} restarts={stats['restarts']}")
+
+
+def drill_degraded(f, metrics_addr):
+    reply = rpc(f, score_line(0))
+    assert "risk" in reply, f"salvaged singleton must still score: {reply}"
+
+    def not_ready():
+        status, body = http_get(metrics_addr, "/healthz")
+        return (status, body) if status == 503 else None
+
+    status, body = poll("/healthz 503", not_ready)
+    assert "degraded" in body, (status, body)
+    stats = rpc(f, '{"cmd":"stats"}')  # stats stay live while degraded
+    assert stats["degraded"] is True, stats
+    assert stats["restarts"] == 0, stats
+    assert stats["workers_live"] == 0, stats
+    status, exposition = http_get(metrics_addr, "/metrics")
+    assert status == 200, "metrics must stay reachable while degraded"
+    assert "elda_serve_degraded 1" in exposition, exposition[-500:]
+    # nothing is black-holed: the supervisor answers with code internal
+    reply = rpc(f, score_line(1))
+    assert reply.get("code") == "internal", reply
+    print("degraded drill ok: 503 not-ready, stats/metrics live, "
+          "late request answered internal")
+
+
+def main():
+    mode, addr, metrics_addr = sys.argv[1], sys.argv[2], sys.argv[3]
+    sock = connect(addr)
+    f = sock.makefile("rw", encoding="utf-8", newline="\n")
+    assert rpc(f, '{"cmd":"ping"}')["ok"] == "pong"
+    if mode == "panic":
+        drill_panic(f, metrics_addr)
+    elif mode == "degraded":
+        drill_degraded(f, metrics_addr)
+    else:
+        raise SystemExit(f"unknown drill {mode!r} (panic|degraded)")
+    bye = rpc(f, '{"cmd":"shutdown"}')
+    assert bye.get("ok") == "shutting down", bye
+
+
+if __name__ == "__main__":
+    main()
