@@ -2,7 +2,7 @@
 //! (in-process, real sockets) and reports sustained throughput, tail
 //! latency and shed behavior.
 //!
-//! Four phases:
+//! Five phases:
 //!
 //! 1. **Closed-loop probe** — clients that each keep one request in
 //!    flight, against a single worker. This measures the unloaded
@@ -32,6 +32,14 @@
 //!    off/on/off/on/... and each side is reported as the median of its
 //!    runs. The delta is the cost of serving-grade observability; it
 //!    belongs under ~3%.
+//! 5. **Streaming sessions** — the per-update cost of live monitoring,
+//!    both ways. A client that re-scores the whole observed window on
+//!    every new hour pays a full `T_LEN`-step forward per update; a
+//!    streaming session (`stream_open`/`stream_append`) pays one O(1)
+//!    incremental step for the bitwise-identical risk. Both sides run
+//!    closed-loop against the same server, so the round-trip gap is the
+//!    compute gap; the server-side `serve.stream.append_ms` histogram
+//!    (queueing excluded) is reported alongside.
 //!
 //! Writes a JSON report (default `BENCH_serve.json`, override with
 //! `--json PATH`). `--quick` shrinks the measurement budget for CI smoke
@@ -177,6 +185,103 @@ fn closed_loop(addr: std::net::SocketAddr, clients: usize, duration: Duration) -
     let elapsed = started.elapsed().as_secs_f64();
     all.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
     (all.len() as f64 / elapsed, all)
+}
+
+/// One pre-rendered streaming append (a single hour's row, same value
+/// pattern as [`request_line`] so both paths chew identical bits).
+fn append_line(id: usize, session: u64) -> String {
+    let vals: Vec<&str> = (0..NUM_FEATURES)
+        .map(|i| if i % 5 == 0 { "null" } else { "0.4" })
+        .collect();
+    format!(
+        r#"{{"cmd":"stream_append","id":{id},"session":{session},"values":[{}]}}"#,
+        vals.join(",")
+    )
+}
+
+fn open_session(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) -> u64 {
+    writeln!(writer, r#"{{"cmd":"stream_open"}}"#).expect("send open");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("open reply");
+    let doc: serde_json::Value = serde_json::from_str(&reply).expect("open json");
+    doc.get("session")
+        .and_then(|s| s.as_u64())
+        .unwrap_or_else(|| panic!("stream_open refused: {reply}"))
+}
+
+fn close_session(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, session: u64) {
+    writeln!(writer, r#"{{"cmd":"stream_close","session":{session}}}"#).expect("send close");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("close reply");
+}
+
+/// Closed-loop streaming: `clients` connections each hold one live
+/// session and keep exactly one append in flight. A session is closed
+/// and a fresh one opened every `T_LEN` appends, so every measured
+/// append stays in the O(1) prefix regime — the steady state of a
+/// monitor that opens a session per admission. The open/close
+/// round-trips are excluded from the append latencies.
+fn streaming_loop(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    duration: Duration,
+) -> (f64, Vec<f64>) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut session = open_session(&mut reader, &mut writer);
+                let mut step = 0usize;
+                let mut id = 0usize;
+                let mut latencies = Vec::new();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    if step == T_LEN {
+                        close_session(&mut reader, &mut writer, session);
+                        session = open_session(&mut reader, &mut writer);
+                        step = 0;
+                    }
+                    let line = append_line(id, session);
+                    let t0 = Instant::now();
+                    writeln!(writer, "{line}").expect("send append");
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).expect("append reply");
+                    assert!(
+                        reply.contains("\"risk\""),
+                        "append must never be refused: {reply}"
+                    );
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    step += 1;
+                    id += 1;
+                }
+                close_session(&mut reader, &mut writer, session);
+                latencies
+            })
+        })
+        .collect();
+    let mut all: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("streaming client thread"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    (all.len() as f64 / elapsed, all)
+}
+
+/// One `stats` round-trip, parsed.
+fn fetch_stats(addr: std::net::SocketAddr) -> serde_json::Value {
+    let mut stream = TcpStream::connect(addr).expect("connect stats");
+    stream.set_nodelay(true).ok();
+    writeln!(stream, r#"{{"cmd":"stats"}}"#).expect("send stats");
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .expect("stats reply");
+    serde_json::from_str(&reply).expect("stats json")
 }
 
 /// One open-loop step's merged outcome.
@@ -526,6 +631,42 @@ fn main() {
          -> overhead {overhead_pct:.2}% of telemetry-off throughput"
     );
 
+    // Phase 5: streaming sessions vs full-window re-score, closed loop
+    // on the same server. Re-score first, then streaming, so the
+    // streaming run's `stats` snapshot isn't polluted by warmup scores.
+    let server = start_server(model(), best_workers, BATCH_MAX * 16);
+    let addr = server.addr();
+    closed_loop(addr, CLIENTS, budget / 4); // warmup: prime plan caches
+    let (rescore_rps, rescore_lat) = closed_loop(addr, CLIENTS, budget);
+    streaming_loop(addr, CLIENTS, budget / 4); // warmup: prime step/head plans
+    let (append_rps, append_lat) = streaming_loop(addr, CLIENTS, budget);
+    let stats = fetch_stats(addr);
+    shutdown(addr, server);
+    let (rescore_p50, rescore_p95) = (
+        percentile(&rescore_lat, 0.50),
+        percentile(&rescore_lat, 0.95),
+    );
+    let (append_p50, append_p95) = (percentile(&append_lat, 0.50), percentile(&append_lat, 0.95));
+    let service_p50 = stats["stream_append_p50_ms"].as_f64().unwrap_or(f64::NAN);
+    let service_p95 = stats["stream_append_p95_ms"].as_f64().unwrap_or(f64::NAN);
+    let speedup_p50 = rescore_p50 / append_p50.max(1e-9);
+    println!(
+        "\nstreaming sessions ({best_workers} workers, {CLIENTS} clients, \
+         closed loop, {T_LEN}-step windows):"
+    );
+    println!(
+        "  full-window re-score {rescore_rps:>10.1} rps  p50 {rescore_p50:>7.2} ms  \
+         p95 {rescore_p95:>7.2} ms"
+    );
+    println!(
+        "  streaming append     {append_rps:>10.1} rps  p50 {append_p50:>7.2} ms  \
+         p95 {append_p95:>7.2} ms"
+    );
+    println!(
+        "  per-update gain {speedup_p50:.1}x at p50; server-side append service \
+         time p50 {service_p50:.3} ms, p95 {service_p95:.3} ms (queueing excluded)"
+    );
+
     let payload = serde_json::json!({
         "bench": "serve",
         "quick": quick,
@@ -557,6 +698,23 @@ fn main() {
             "on_rps": on_rps,
             "overhead_pct": overhead_pct,
             "runs": telemetry_rows,
+        },
+        "streaming": {
+            "mode": "closed_loop",
+            "workers": best_workers,
+            "clients": CLIENTS,
+            "session_window": T_LEN,
+            "rescore_rps": rescore_rps,
+            "rescore_p50_ms": rescore_p50,
+            "rescore_p95_ms": rescore_p95,
+            "rescored": rescore_lat.len(),
+            "append_rps": append_rps,
+            "append_p50_ms": append_p50,
+            "append_p95_ms": append_p95,
+            "appends": append_lat.len(),
+            "append_service_p50_ms": service_p50,
+            "append_service_p95_ms": service_p95,
+            "speedup_p50": speedup_p50,
         },
     });
     std::fs::write(

@@ -13,7 +13,8 @@
 //!               [--queue-cap N] [--batch 64] [--wait-ms 5] [--threads N]
 //!               [--metrics-addr 127.0.0.1:9898] [--trace serve.jsonl]
 //!               [--trace-sample N] [--deadline-ms MS] [--restart-budget N]
-//!               [--restart-window-s S] [--chaos SPEC]
+//!               [--restart-window-s S] [--sessions-cap N] [--session-ttl-s S]
+//!               [--chaos SPEC]
 //! elda interpret --model model.json --record patient.txt [--hour 13] [--feature Glucose]
 //! elda report   trace.jsonl
 //! elda help
@@ -73,7 +74,7 @@ fn print_help() {
          \x20            [--batch N] [--wait-ms MS] [--threads N]\n\
          \x20            [--metrics-addr HOST:PORT] [--trace FILE.jsonl] [--trace-sample N]\n\
          \x20            [--deadline-ms MS] [--restart-budget N] [--restart-window-s S]\n\
-         \x20            [--chaos SPEC]\n\
+         \x20            [--sessions-cap N] [--session-ttl-s S] [--chaos SPEC]\n\
          \x20 interpret  --model FILE --record FILE [--hour H] [--feature NAME]\n\
          \x20 report     TRACE.jsonl\n\
          \x20 help\n\n\
@@ -104,7 +105,12 @@ fn print_help() {
          respawned up to `--restart-budget` times per `--restart-window-s`\n\
          seconds (beyond that the server degrades and /healthz reports 503).\n\
          `--deadline-ms MS` answers requests that expire in the queue with\n\
-         code \"deadline\" instead of scoring them. `--chaos SPEC` (or\n\
+         code \"deadline\" instead of scoring them. Streaming sessions\n\
+         (stream_open / stream_append / stream_close) score a stay one hourly\n\
+         row at a time at O(1) cost per append, bitwise-equal to re-scoring\n\
+         the full window; `--sessions-cap N` bounds the session table and\n\
+         `--session-ttl-s S` evicts sessions idle longer than S seconds.\n\
+         `--chaos SPEC` (or\n\
          ELDA_CHAOS) injects deterministic serve faults for drills, e.g.\n\
          `panic_worker@req=2`, `slow_score@0:400`, `poison_scores@3`,\n\
          `drop_reply@1`.\n\
@@ -493,6 +499,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             deadline_ms: args.num_or("deadline-ms", 0u64)?,
             restart_budget: args.num_or("restart-budget", 5usize)?,
             restart_window_s: args.num_or("restart-window-s", 60u64)?,
+            sessions_cap: args.num_or("sessions-cap", 1024usize)?,
+            session_ttl_s: args.num_or("session-ttl-s", 600u64)?,
         },
     );
     faults::clear_chaos();

@@ -8,6 +8,10 @@
 //! {"cmd": "stats"}                          -> {"requests":N,"errors":E,...}
 //! {"cmd": "reload", "path": "new.json"}    -> {"ok":"reloaded","version":2,...}
 //! {"cmd": "shutdown"}                       -> {"ok":"shutting down"} and the server drains + exits
+//! {"cmd": "stream_open"}                    -> {"ok":"stream_open","session":S}
+//! {"cmd": "stream_append", "session": S,
+//!  "id": 8, "values": [one row]}            -> {"id":8,"session":S,"step":K,"risk":R,"alert":B}
+//! {"cmd": "stream_close", "session": S}     -> {"ok":"stream_close","session":S,"steps":K}
 //! anything malformed                        -> {"error":"...","code":"bad_request"}
 //! queue at capacity                         -> {"id":...,"error":"...","code":"shed"}
 //! scoring crashed / input quarantined       -> {"id":...,"error":"...","code":"internal"}
@@ -47,6 +51,15 @@
 //!   silently. `--deadline-ms` sheds work nobody is waiting for, and
 //!   `--chaos` / `ELDA_CHAOS` inject deterministic serve-side faults
 //!   (`elda_nn::faults::ChaosPlan`) so all of this stays drill-tested.
+//! * **Streaming sessions** ([`session`]): `stream_open` allocates a
+//!   stateful `elda_core::StreamSession` so a monitor can append one
+//!   hourly row at a time and get the risk over the stay's current
+//!   window at O(1) cost per step — bitwise what re-scoring the whole
+//!   window would return. The table is bounded (`--sessions-cap`),
+//!   idle sessions are evicted after `--session-ttl-s`, and sessions
+//!   survive worker respawns (state lives in the shared table); a
+//!   session caught in a panic is answered `code:"session_lost"`
+//!   exactly once per pending append instead of being black-holed.
 //!
 //! # Telemetry
 //!
@@ -70,6 +83,7 @@ pub mod admission;
 pub mod metrics;
 pub mod protocol;
 pub mod quarantine;
+pub mod session;
 pub mod snapshot;
 pub mod supervisor;
 pub mod worker;
@@ -120,6 +134,14 @@ pub struct ServeConfig {
     /// Sliding window (seconds) the restart budget is measured over
     /// (`--restart-window-s`).
     pub restart_window_s: u64,
+    /// Streaming-session table bound (`--sessions-cap`): `stream_open`
+    /// beyond this many concurrently open sessions is refused with
+    /// `code:"session_cap"`.
+    pub sessions_cap: usize,
+    /// Idle streaming-session TTL in seconds (`--session-ttl-s`): a
+    /// session with no append for this long is evicted by the
+    /// supervisor; `0` disables eviction.
+    pub session_ttl_s: u64,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +157,8 @@ impl Default for ServeConfig {
             deadline_ms: 0,
             restart_budget: 5,
             restart_window_s: 60,
+            sessions_cap: 1024,
+            session_ttl_s: 600,
         }
     }
 }
@@ -171,6 +195,17 @@ pub(crate) struct ServeStats {
     /// Requests refused at admission because their fingerprint was
     /// already quarantined.
     pub quarantine_rejected: AtomicU64,
+    /// Streaming sessions opened over the server's lifetime.
+    pub sessions_opened: AtomicU64,
+    /// Streaming sessions closed by `stream_close`.
+    pub sessions_closed: AtomicU64,
+    /// Streaming sessions evicted by the idle TTL.
+    pub sessions_evicted: AtomicU64,
+    /// Streaming sessions torn down after a mid-append worker panic
+    /// (every pending append answered `code:"session_lost"`).
+    pub sessions_lost: AtomicU64,
+    /// `stream_append` requests received (answered, shed, or refused).
+    pub stream_appends: AtomicU64,
 }
 
 /// A parsed-but-unanswered score request parked in the admission queue.
@@ -197,6 +232,18 @@ pub(crate) struct Pending {
     pub fp: u64,
     /// The owning connection's writer lock.
     pub out: Arc<Mutex<TcpStream>>,
+}
+
+/// One unit of work in the admission queue: either a classic score
+/// request (micro-batched across a worker's pull) or a streaming
+/// session with a non-empty inbox (drained serially by one worker —
+/// see [`session`]). Both compete for the same bounded capacity, so
+/// overload sheds streams and one-shot scores alike.
+pub(crate) enum Job {
+    /// A one-shot score request.
+    Score(Pending),
+    /// A streaming session scheduled for an inbox drain.
+    Stream(Arc<session::SessionEntry>),
 }
 
 /// The serving tier's latency/size distributions. Recorded
@@ -227,6 +274,9 @@ pub(crate) struct ServeHists {
     /// How far past its deadline an expired request was when a worker
     /// finally saw it, ms (distribution of deadline overruns).
     pub deadline_lag_ms: Arc<Histogram>,
+    /// End-to-end `stream_append` latency (wire read → reply written),
+    /// ms — the streaming analogue of `latency_ms`.
+    pub stream_append_ms: Arc<Histogram>,
 }
 
 impl ServeHists {
@@ -248,6 +298,7 @@ impl ServeHists {
             stage_score_ms: make("serve.stage.score_ms"),
             stage_reply_ms: make("serve.stage.reply_ms"),
             deadline_lag_ms: make("serve.deadline.lag_ms"),
+            stream_append_ms: make("serve.stream.append_ms"),
         }
     }
 }
@@ -255,7 +306,7 @@ impl ServeHists {
 /// Everything the acceptor, connection readers and scorer workers share.
 pub(crate) struct Shared {
     /// Bounded request queue (admission control lives here).
-    pub queue: admission::AdmissionQueue<Pending>,
+    pub queue: admission::AdmissionQueue<Job>,
     /// The swappable weight snapshot.
     pub snapshot: snapshot::SnapshotCell,
     /// `stats` command counters.
@@ -284,6 +335,8 @@ pub(crate) struct Shared {
     pub degraded: AtomicBool,
     /// Scorer workers currently alive (supervisor-maintained).
     pub live_workers: AtomicU64,
+    /// Open streaming sessions (`stream_open` table; see [`session`]).
+    pub sessions: session::SessionTable,
 }
 
 impl Shared {
@@ -301,6 +354,7 @@ impl Shared {
             quarantine: quarantine::Quarantine::new(1024),
             degraded: AtomicBool::new(false),
             live_workers: AtomicU64::new(0),
+            sessions: session::SessionTable::new(cfg.sessions_cap, cfg.session_ttl_s),
         }
     }
 }
@@ -324,6 +378,7 @@ fn stats_json(shared: &Shared) -> String {
         .collect();
     let lat = shared.hists.latency_ms.snapshot();
     let batch = shared.hists.batch_size.snapshot();
+    let append = shared.hists.stream_append_ms.snapshot();
     let reply = serde_json::json!({
         "requests": shared.stats.requests.load(Ordering::Relaxed),
         "errors": shared.stats.errors.load(Ordering::Relaxed),
@@ -345,6 +400,15 @@ fn stats_json(shared: &Shared) -> String {
         "workers": worker_util.len(),
         "worker_util": worker_util,
         "snapshot_version": shared.snapshot.version(),
+        "sessions_open": shared.sessions.len(),
+        "sessions_cap": shared.sessions.cap(),
+        "sessions_opened": shared.stats.sessions_opened.load(Ordering::Relaxed),
+        "sessions_closed": shared.stats.sessions_closed.load(Ordering::Relaxed),
+        "sessions_evicted": shared.stats.sessions_evicted.load(Ordering::Relaxed),
+        "sessions_lost": shared.stats.sessions_lost.load(Ordering::Relaxed),
+        "stream_appends": shared.stats.stream_appends.load(Ordering::Relaxed),
+        "stream_append_p50_ms": protocol::round3_or_null(append.quantile(0.5)),
+        "stream_append_p95_ms": protocol::round3_or_null(append.quantile(0.95)),
         // true percentiles off the log-bucket histograms (±6.25%
         // relative; null until the first request is scored)
         "latency_p50_ms": protocol::round3_or_null(lat.quantile(0.5)),
@@ -489,7 +553,7 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
                     fp,
                     out: Arc::clone(&out),
                 };
-                match shared.queue.offer(pending) {
+                match shared.queue.offer(Job::Score(pending)) {
                     Ok(depth) => {
                         shared
                             .hists
@@ -497,9 +561,16 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
                             .record(enqueued.duration_since(recv).as_secs_f64() * 1e3);
                         shared.hists.queue_depth.record(depth as f64);
                     }
-                    Err(refused) => handle_shed(&shared, refused),
+                    Err(Job::Score(refused)) => handle_shed(&shared, refused),
+                    // A freshly built Score job comes back as one.
+                    Err(Job::Stream(_)) => unreachable!("offered a score job"),
                 }
             }
+            Ok(Request::StreamOpen) => session::handle_open(&shared, &out),
+            Ok(Request::StreamAppend { session, id, row }) => {
+                session::handle_append(&shared, session, id, row, recv, &out)
+            }
+            Ok(Request::StreamClose { session }) => session::handle_close(&shared, session, &out),
             Err(e) => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 elda_obs::counter_add("serve.errors", 1);

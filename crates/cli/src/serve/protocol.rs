@@ -9,7 +9,16 @@
 //! {"cmd": "stats"}                         -> {"requests":N,...}
 //! {"cmd": "reload", "path": "m.json"}      -> {"ok":"reloaded","version":V}
 //! {"cmd": "shutdown"}                      -> {"ok":"shutting down"}
+//! {"cmd": "stream_open"}                   -> {"ok":"stream_open","session":S}
+//! {"cmd": "stream_append", "session": S,
+//!  "id": 8, "values": [v, null, ...]}      -> {"id":8,"session":S,"step":K,"risk":R,"alert":B}
+//! {"cmd": "stream_close", "session": S}    -> {"ok":"stream_close","session":S,"steps":K}
 //! ```
+//!
+//! A `stream_append` carries **one hourly row** (`NUM_FEATURES` entries,
+//! `null` = not measured this hour), not a whole grid: the server keeps
+//! the session's window state and answers with the risk over everything
+//! appended so far.
 //!
 //! Every failure reply carries a machine-readable `code` alongside the
 //! human-readable `error` text so clients can dispatch without parsing
@@ -17,7 +26,9 @@
 //! admission-control rejections, [`CODE_RELOAD`] for refused hot swaps,
 //! [`CODE_INTERNAL`] for server-side scoring failures (including
 //! quarantined poison inputs), [`CODE_DEADLINE`] for requests that
-//! expired in the queue before a worker reached them.
+//! expired in the queue before a worker reached them,
+//! [`CODE_NO_SESSION`] / [`CODE_SESSION_CAP`] / [`CODE_SESSION_LOST`]
+//! for streaming-session lifecycle failures.
 
 use elda_emr::io::{patient_from_grid, Outcome};
 use elda_emr::{Patient, NUM_FEATURES};
@@ -41,6 +52,20 @@ pub const CODE_INTERNAL: &str = "internal";
 /// while they waited in the queue. The request was *not* scored — by
 /// the time a worker freed up, nobody was waiting for the answer.
 pub const CODE_DEADLINE: &str = "deadline";
+/// `code` on `stream_append` / `stream_close` replies naming a session
+/// id that is not open on this server: never opened, already closed,
+/// evicted by the idle TTL, or torn down after a `session_lost`.
+pub const CODE_NO_SESSION: &str = "no_session";
+/// `code` on `stream_open` replies refused because the session table is
+/// at `--sessions-cap`. Close idle sessions (or raise the cap) and
+/// retry.
+pub const CODE_SESSION_CAP: &str = "session_cap";
+/// `code` answered **exactly once per pending append** when a worker
+/// panics mid-append and the session's incremental state can no longer
+/// be trusted: the session is torn down, later appends get
+/// [`CODE_NO_SESSION`]. Clients recover by re-opening and replaying
+/// their window.
+pub const CODE_SESSION_LOST: &str = "session_lost";
 
 /// Reader threads refuse request lines longer than this (1 MiB) — an
 /// order of magnitude above any legitimate grid — so one client cannot
@@ -70,6 +95,23 @@ pub(crate) enum Request {
         /// The decoded patient.
         patient: Patient,
     },
+    /// Open a streaming scoring session.
+    StreamOpen,
+    /// Append one hourly observation row to an open session (the reply
+    /// carries the risk over the session's current window).
+    StreamAppend {
+        /// The session id from `stream_open`.
+        session: u64,
+        /// Client-chosen correlation id, echoed back verbatim.
+        id: serde_json::Value,
+        /// One decoded row, `NUM_FEATURES` long, `NaN` = missing.
+        row: Vec<f32>,
+    },
+    /// Close a streaming session and free its slot.
+    StreamClose {
+        /// The session id from `stream_open`.
+        session: u64,
+    },
 }
 
 /// Parses one request line. Every failure is a client error that gets a
@@ -95,8 +137,30 @@ pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String>
                     path: path.to_string(),
                 })
             }
+            "stream_open" => Ok(Request::StreamOpen),
+            "stream_append" => {
+                let session = session_id(&doc)?;
+                let values = doc
+                    .get("values")
+                    .and_then(|v| v.as_array())
+                    .ok_or("stream_append needs a `values` array (one hourly row)")?;
+                if values.len() != NUM_FEATURES {
+                    return Err(format!(
+                        "stream_append `values` must hold one row of {NUM_FEATURES} features \
+                         (null = missing), got {}",
+                        values.len()
+                    ));
+                }
+                let row = decode_values(values)?;
+                let id = doc.get("id").cloned().unwrap_or(serde_json::Value::Null);
+                Ok(Request::StreamAppend { session, id, row })
+            }
+            "stream_close" => Ok(Request::StreamClose {
+                session: session_id(&doc)?,
+            }),
             other => Err(format!(
-                "unknown cmd {other:?} (ping|stats|reload|shutdown)"
+                "unknown cmd {other:?} \
+                 (ping|stats|reload|shutdown|stream_open|stream_append|stream_close)"
             )),
         };
     }
@@ -112,26 +176,7 @@ pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String>
             values.len()
         ));
     }
-    let mut grid = Vec::with_capacity(expect);
-    for v in values {
-        match v.as_f64() {
-            Some(x) => {
-                // Checked *after* the f32 cast: a finite f64 like 1e39
-                // still overflows to Inf in f32 and would poison the
-                // normalization pipeline downstream. Missing values are
-                // spelled `null`, never NaN/Inf.
-                let x = x as f32;
-                if !x.is_finite() {
-                    return Err(
-                        "`values` entries must be finite numbers (use null for missing)".into(),
-                    );
-                }
-                grid.push(x);
-            }
-            None if *v == serde_json::Value::Null => grid.push(f32::NAN),
-            None => return Err("`values` entries must be numbers or null".into()),
-        }
-    }
+    let grid = decode_values(values)?;
     let id = doc.get("id").cloned().unwrap_or(serde_json::Value::Null);
     let patient = patient_from_grid(
         0,
@@ -145,10 +190,59 @@ pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String>
     Ok(Request::Score { id, patient })
 }
 
+/// Extracts the `session` id a stream command addresses.
+fn session_id(doc: &serde_json::Value) -> Result<u64, String> {
+    doc.get("session")
+        .and_then(|s| s.as_u64())
+        .ok_or_else(|| "stream commands need a `session` id (from stream_open)".into())
+}
+
+/// Decodes a JSON `values` array into f32s, `null` → `NaN` (missing).
+/// Finiteness is checked *after* the f32 cast: a finite f64 like 1e39
+/// still overflows to Inf in f32 and would poison the normalization
+/// pipeline downstream. Missing values are spelled `null`, never
+/// NaN/Inf.
+fn decode_values(values: &[serde_json::Value]) -> Result<Vec<f32>, String> {
+    let mut out = Vec::with_capacity(values.len());
+    for v in values {
+        match v.as_f64() {
+            Some(x) => {
+                let x = x as f32;
+                if !x.is_finite() {
+                    return Err(
+                        "`values` entries must be finite numbers (use null for missing)".into(),
+                    );
+                }
+                out.push(x);
+            }
+            None if *v == serde_json::Value::Null => out.push(f32::NAN),
+            None => return Err("`values` entries must be numbers or null".into()),
+        }
+    }
+    Ok(out)
+}
+
 /// Builds a scored reply: `{"id":...,"risk":...,"alert":...}`.
 pub(crate) fn score_reply(id: &serde_json::Value, risk: f32, alert: bool) -> String {
     let reply = serde_json::json!({ "id": id, "risk": risk, "alert": alert });
     serde_json::to_string(&reply).expect("reply json")
+}
+
+/// Builds a streaming append reply:
+/// `{"id":...,"session":S,"step":K,"risk":R,"alert":B}` — `step` is the
+/// 1-based count of observations appended so far, `risk` the probability
+/// over the session's current window.
+pub(crate) fn append_reply(
+    id: &serde_json::Value,
+    session: u64,
+    step: u64,
+    risk: f32,
+    alert: bool,
+) -> String {
+    let reply = serde_json::json!({
+        "id": id, "session": session, "step": step, "risk": risk, "alert": alert,
+    });
+    serde_json::to_string(&reply).expect("append json")
 }
 
 /// Builds an error reply with a machine-readable `code`. `id` is echoed
@@ -406,6 +500,82 @@ mod tests {
         assert_eq!(round3_or_null(0.0), serde_json::json!(0.0));
         assert_eq!(round3_or_null(f64::NAN), serde_json::Value::Null);
         assert_eq!(round3_or_null(f64::INFINITY), serde_json::Value::Null);
+    }
+
+    #[test]
+    fn stream_commands_parse() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stream_open"}"#, T_LEN),
+            Ok(Request::StreamOpen)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stream_close","session":3}"#, T_LEN),
+            Ok(Request::StreamClose { session: 3 })
+        ));
+
+        let vals: Vec<&str> = (0..NUM_FEATURES)
+            .map(|i| if i % 4 == 0 { "null" } else { "1.5" })
+            .collect();
+        let line = format!(
+            r#"{{"cmd":"stream_append","session":9,"id":2,"values":[{}]}}"#,
+            vals.join(",")
+        );
+        let Ok(Request::StreamAppend { session, id, row }) = parse_request(&line, T_LEN) else {
+            panic!("expected a stream_append")
+        };
+        assert_eq!(session, 9);
+        assert_eq!(id.as_u64(), Some(2));
+        assert_eq!(row.len(), NUM_FEATURES);
+        assert!(row[0].is_nan(), "null must decode to missing");
+        assert_eq!(row[1], 1.5);
+    }
+
+    #[test]
+    fn stream_commands_reject_bad_shapes_and_missing_sessions() {
+        // append / close without a session id
+        for line in [
+            format!(
+                r#"{{"cmd":"stream_append","values":[{}]}}"#,
+                vec!["0.5"; NUM_FEATURES].join(",")
+            ),
+            r#"{"cmd":"stream_close"}"#.to_string(),
+            r#"{"cmd":"stream_append","session":"nine","values":[]}"#.to_string(),
+            r#"{"cmd":"stream_close","session":-1}"#.to_string(),
+        ] {
+            let err = parse_request(&line, T_LEN).unwrap_err();
+            assert!(err.contains("session"), "{line}: {err}");
+        }
+
+        // a whole grid where one row belongs
+        for n in [0, NUM_FEATURES - 1, NUM_FEATURES + 1, T_LEN * NUM_FEATURES] {
+            let line = format!(
+                r#"{{"cmd":"stream_append","session":1,"values":[{}]}}"#,
+                vec!["0.5"; n].join(",")
+            );
+            let err = parse_request(&line, T_LEN).unwrap_err();
+            assert!(err.contains(&NUM_FEATURES.to_string()), "{n}: {err}");
+        }
+
+        // the f32-overflow hole is covered on the streaming path too
+        let mut vals = vec!["0.5".to_string(); NUM_FEATURES];
+        vals[3] = "1e39".to_string();
+        let line = format!(
+            r#"{{"cmd":"stream_append","session":1,"values":[{}]}}"#,
+            vals.join(",")
+        );
+        let err = parse_request(&line, T_LEN).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn append_replies_carry_session_step_risk_and_alert() {
+        let line = append_reply(&serde_json::json!("row-4"), 7, 4, 0.25, false);
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["id"].as_str(), Some("row-4"));
+        assert_eq!(doc["session"].as_u64(), Some(7));
+        assert_eq!(doc["step"].as_u64(), Some(4));
+        assert_eq!(doc["risk"].as_f64(), Some(0.25));
+        assert_eq!(doc["alert"].as_bool(), Some(false));
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Streaming scoring sessions: the server-side state behind
+//! `stream_open` / `stream_append` / `stream_close`.
+//!
+//! Each open session owns one [`elda_core::StreamSession`] — the O(1)
+//! incremental engine — pinned to the weight snapshot that was current
+//! at `stream_open` (a mid-stay reload never mixes weights within one
+//! stay). Appends are tiny, so they do not ride the micro-batching
+//! score path; instead each session carries its own **inbox** of parsed
+//! appends and is scheduled into the shared admission queue as a single
+//! `Job::Stream` item at a time:
+//!
+//! * the reader thread pushes the parsed row into the session's inbox
+//!   and, if no drain is already scheduled, offers the session to the
+//!   queue — so the queue holds at most one entry per session no matter
+//!   how fast a client pipelines appends;
+//! * a worker that pulls the session drains the inbox in arrival order
+//!   (the single-drainer invariant: `scheduled` stays true until the
+//!   inbox is empty, so per-session appends are processed strictly
+//!   serially while different sessions score in parallel across
+//!   workers);
+//! * admission control still applies: when the queue refuses the
+//!   session, every queued append is shed (`code:"shed"`) immediately.
+//!
+//! # Lifecycle and failure semantics
+//!
+//! The table is bounded (`--sessions-cap`; beyond it `stream_open` is
+//! refused with `code:"session_cap"`) and idle sessions are evicted by
+//! the supervisor after `--session-ttl-s` without an append (later
+//! appends get `code:"no_session"`). A worker panic mid-append cannot
+//! leave a trustworthy incremental state, so the session is torn down:
+//! the append being processed **and** everything still queued behind it
+//! are each answered `code:"session_lost"` exactly once, the session
+//! leaves the table, and the worker slot is handed back to the
+//! supervisor for a respawn. Sessions *not* involved in the panic live
+//! in the shared table, not in worker state, so they keep scoring
+//! across the respawn.
+//!
+//! Lock order: table before inbox; the engine lock is only taken by the
+//! (single) drainer and by `stream_close`'s step-count read.
+
+use super::{protocol, write_line, Job, Shared};
+use elda_core::StreamSession;
+use elda_nn::faults;
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One parsed-but-unanswered `stream_append` waiting in its session's
+/// inbox.
+pub(crate) struct PendingAppend {
+    /// Client correlation id, echoed in the reply.
+    pub id: serde_json::Value,
+    /// The decoded hourly row (`NaN` = missing).
+    pub row: Vec<f32>,
+    /// Accepted-request sequence number (chaos hooks, tracing).
+    pub seq: u64,
+    /// Wire-read timestamp: origin of `serve.stream.append_ms`.
+    pub recv: Instant,
+    /// The owning connection's writer lock.
+    pub out: Arc<Mutex<TcpStream>>,
+}
+
+/// The mutable, reader-facing half of a session: its append queue and
+/// scheduling state.
+pub(crate) struct Inbox {
+    /// Appends parsed but not yet scored, in arrival order.
+    pub queue: VecDeque<PendingAppend>,
+    /// True while a `Job::Stream` for this session sits in the
+    /// admission queue or a worker is draining — at most one drainer
+    /// exists at any time.
+    pub scheduled: bool,
+    /// Set on teardown (panic or eviction): late appends holding a
+    /// stale `Arc` answer `code:"no_session"` instead of being
+    /// black-holed.
+    pub defunct: bool,
+    /// Last open/append activity, for idle-TTL eviction.
+    pub last_active: Instant,
+}
+
+/// One open streaming session.
+pub(crate) struct SessionEntry {
+    /// The id handed to the client by `stream_open`.
+    pub id: u64,
+    /// Append queue + scheduling state (lock after the table, never
+    /// before).
+    pub inbox: Mutex<Inbox>,
+    /// The incremental scoring engine (single-drainer: uncontended on
+    /// the healthy path).
+    pub engine: Mutex<StreamSession>,
+}
+
+/// The bounded id → session table shared by readers, workers and the
+/// supervisor.
+pub(crate) struct SessionTable {
+    entries: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+    cap: usize,
+    ttl: Option<Duration>,
+}
+
+impl SessionTable {
+    pub fn new(cap: usize, ttl_s: u64) -> SessionTable {
+        SessionTable {
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            cap: cap.max(1),
+            ttl: (ttl_s > 0).then(|| Duration::from_secs(ttl_s)),
+        }
+    }
+
+    /// Sessions currently open.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// The `--sessions-cap` bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id)
+    }
+}
+
+fn publish_open_gauge(shared: &Shared) {
+    elda_obs::gauge_set("serve.sessions.open", shared.sessions.len() as f64);
+}
+
+/// Answers `stream_open`: allocates a session over the *current* weight
+/// snapshot, or refuses with `code:"session_cap"` at the table bound.
+pub(crate) fn handle_open(shared: &Shared, out: &Arc<Mutex<TcpStream>>) {
+    let model = shared.snapshot.load();
+    let mut entries = shared
+        .sessions
+        .entries
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if entries.len() >= shared.sessions.cap {
+        drop(entries);
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        elda_obs::counter_add("serve.errors", 1);
+        write_line(
+            out,
+            &protocol::error_reply(
+                None,
+                protocol::CODE_SESSION_CAP,
+                &format!(
+                    "session table full (cap {}); close idle sessions and retry",
+                    shared.sessions.cap
+                ),
+            ),
+        );
+        return;
+    }
+    let id = shared.sessions.next_id.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new(SessionEntry {
+        id,
+        inbox: Mutex::new(Inbox {
+            queue: VecDeque::new(),
+            scheduled: false,
+            defunct: false,
+            last_active: Instant::now(),
+        }),
+        engine: Mutex::new(model.open_stream()),
+    });
+    entries.insert(id, entry);
+    drop(entries);
+    shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.sessions.opened", 1);
+    publish_open_gauge(shared);
+    let reply = serde_json::json!({ "ok": "stream_open", "session": id });
+    write_line(out, &serde_json::to_string(&reply).expect("open json"));
+}
+
+/// Answers `stream_append`: parks the row in the session's inbox and
+/// schedules the session into the admission queue unless a drain is
+/// already pending. Misses (`no_session`) and sheds are answered
+/// inline on the reader thread.
+pub(crate) fn handle_append(
+    shared: &Shared,
+    session: u64,
+    id: serde_json::Value,
+    row: Vec<f32>,
+    recv: Instant,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let Some(entry) = shared.sessions.get(session) else {
+        reply_no_session(shared, Some(&id), session, out);
+        return;
+    };
+    let pending = PendingAppend {
+        id,
+        row,
+        seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+        recv,
+        out: Arc::clone(out),
+    };
+    let offer = {
+        let mut inbox = entry.inbox.lock().unwrap_or_else(|p| p.into_inner());
+        if inbox.defunct {
+            let id = pending.id;
+            drop(inbox);
+            reply_no_session(shared, Some(&id), session, out);
+            return;
+        }
+        inbox.queue.push_back(pending);
+        inbox.last_active = Instant::now();
+        if inbox.scheduled {
+            false
+        } else {
+            inbox.scheduled = true;
+            true
+        }
+    };
+    shared.stats.stream_appends.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.stream.appends", 1);
+    if offer && shared.queue.offer(Job::Stream(Arc::clone(&entry))).is_err() {
+        shed_inbox(shared, &entry);
+    }
+}
+
+/// Answers `stream_close`: removes the session (appends already queued
+/// still score — the drainer holds its own `Arc`) and reports the step
+/// count reached so far.
+pub(crate) fn handle_close(shared: &Shared, session: u64, out: &Arc<Mutex<TcpStream>>) {
+    let Some(entry) = shared.sessions.remove(session) else {
+        reply_no_session(shared, None, session, out);
+        return;
+    };
+    shared.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.sessions.closed", 1);
+    publish_open_gauge(shared);
+    let steps = entry
+        .engine
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .steps() as u64;
+    let reply = serde_json::json!({ "ok": "stream_close", "session": entry.id, "steps": steps });
+    write_line(out, &serde_json::to_string(&reply).expect("close json"));
+}
+
+fn reply_no_session(
+    shared: &Shared,
+    id: Option<&serde_json::Value>,
+    session: u64,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.errors", 1);
+    write_line(
+        out,
+        &protocol::error_reply(
+            id,
+            protocol::CODE_NO_SESSION,
+            &format!(
+                "session {session} is not open on this server \
+                 (never opened, closed, evicted, or lost); re-open and replay"
+            ),
+        ),
+    );
+}
+
+/// Admission refused the session: shed every queued append right now and
+/// clear the scheduled flag so the next append can try again.
+fn shed_inbox(shared: &Shared, entry: &Arc<SessionEntry>) {
+    let drained: Vec<PendingAppend> = {
+        let mut inbox = entry.inbox.lock().unwrap_or_else(|p| p.into_inner());
+        inbox.scheduled = false;
+        inbox.queue.drain(..).collect()
+    };
+    for pending in drained {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        elda_obs::counter_add("serve.shed", 1);
+        write_line(
+            &pending.out,
+            &protocol::error_reply(
+                Some(&pending.id),
+                protocol::CODE_SHED,
+                &format!(
+                    "server overloaded: admission queue full (cap {}); retry with backoff",
+                    shared.queue.cap()
+                ),
+            ),
+        );
+    }
+}
+
+/// Drains one session's inbox on a worker thread: pops appends in
+/// arrival order, steps the incremental engine under `catch_unwind`,
+/// and answers each. Returns `true` when a step panicked — the session
+/// was torn down (`code:"session_lost"` to every pending append) and
+/// the worker should hand its slot back for a respawn.
+pub(crate) fn drain_stream(shared: &Shared, entry: &Arc<SessionEntry>) -> bool {
+    loop {
+        let pending = {
+            let mut inbox = entry.inbox.lock().unwrap_or_else(|p| p.into_inner());
+            match inbox.queue.pop_front() {
+                Some(p) => p,
+                None => {
+                    // Inbox empty: release the single-drainer slot. A
+                    // reader that pushes after this point re-offers the
+                    // session itself.
+                    inbox.scheduled = false;
+                    return false;
+                }
+            }
+        };
+        let outcome = {
+            let mut engine = entry.engine.lock().unwrap_or_else(|p| p.into_inner());
+            catch_unwind(AssertUnwindSafe(|| {
+                faults::chaos_panic_worker(&[pending.seq]);
+                if let Some(delay) = faults::chaos_slow_score(&[pending.seq]) {
+                    std::thread::sleep(delay);
+                }
+                let risk = engine.append(&pending.row);
+                let alert = risk >= engine.model().alert_threshold;
+                (risk, engine.steps() as u64, alert)
+            }))
+        };
+        match outcome {
+            Ok((risk, step, alert)) => {
+                shared
+                    .hists
+                    .stream_append_ms
+                    .record(pending.recv.elapsed().as_secs_f64() * 1e3);
+                write_line(
+                    &pending.out,
+                    &protocol::append_reply(&pending.id, entry.id, step, risk, alert),
+                );
+            }
+            Err(_) => {
+                teardown_lost(shared, entry, pending);
+                return true;
+            }
+        }
+    }
+}
+
+/// A step panicked mid-append: the incremental state can no longer be
+/// trusted. Answer the in-flight append and everything queued behind it
+/// `code:"session_lost"` (each exactly once), mark the session defunct
+/// and drop it from the table.
+fn teardown_lost(shared: &Shared, entry: &Arc<SessionEntry>, current: PendingAppend) {
+    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.worker.panics", 1);
+    eprintln!(
+        "serve: worker panicked stepping session {}; tearing the session down",
+        entry.id
+    );
+    let mut orphans = vec![current];
+    {
+        let mut inbox = entry.inbox.lock().unwrap_or_else(|p| p.into_inner());
+        inbox.defunct = true;
+        inbox.scheduled = false;
+        orphans.extend(inbox.queue.drain(..));
+    }
+    shared.sessions.remove(entry.id);
+    shared.stats.sessions_lost.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.sessions.lost", 1);
+    elda_obs::emit(&elda_obs::TraceEvent::new("session_lost").with("session", entry.id));
+    publish_open_gauge(shared);
+    for pending in orphans {
+        write_line(
+            &pending.out,
+            &protocol::error_reply(
+                Some(&pending.id),
+                protocol::CODE_SESSION_LOST,
+                "a worker crashed mid-append and this session's state was discarded; \
+                 re-open a session and replay the stay",
+            ),
+        );
+    }
+}
+
+/// Degraded-mode teardown (no scorer workers left): answer the inbox
+/// `code:"internal"` and release the scheduled flag.
+pub(crate) fn drain_inbox_internal(shared: &Shared, entry: &Arc<SessionEntry>) {
+    let drained: Vec<PendingAppend> = {
+        let mut inbox = entry.inbox.lock().unwrap_or_else(|p| p.into_inner());
+        inbox.scheduled = false;
+        inbox.queue.drain(..).collect()
+    };
+    for pending in drained {
+        write_line(
+            &pending.out,
+            &protocol::error_reply(
+                Some(&pending.id),
+                protocol::CODE_INTERNAL,
+                "server degraded: no scorer workers available (restart budget exhausted)",
+            ),
+        );
+    }
+    let _ = shared;
+}
+
+/// Supervisor tick: evicts sessions idle past the TTL. Only quiescent
+/// sessions (empty inbox, no drain scheduled) are eligible — a session
+/// with work in flight is by definition not idle.
+pub(crate) fn sweep_idle(shared: &Shared) {
+    let Some(ttl) = shared.sessions.ttl else {
+        return;
+    };
+    let now = Instant::now();
+    let expired: Vec<Arc<SessionEntry>> = {
+        let entries = shared
+            .sessions
+            .entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        entries
+            .values()
+            .filter(|e| {
+                let inbox = e.inbox.lock().unwrap_or_else(|p| p.into_inner());
+                inbox.queue.is_empty()
+                    && !inbox.scheduled
+                    && now.saturating_duration_since(inbox.last_active) >= ttl
+            })
+            .cloned()
+            .collect()
+    };
+    for entry in expired {
+        // Re-check under the inbox lock: an append may have landed
+        // between the scan and now.
+        let evict = {
+            let mut inbox = entry.inbox.lock().unwrap_or_else(|p| p.into_inner());
+            if inbox.queue.is_empty()
+                && !inbox.scheduled
+                && now.saturating_duration_since(inbox.last_active) >= ttl
+            {
+                inbox.defunct = true;
+                true
+            } else {
+                false
+            }
+        };
+        if evict && shared.sessions.remove(entry.id).is_some() {
+            shared
+                .stats
+                .sessions_evicted
+                .fetch_add(1, Ordering::Relaxed);
+            elda_obs::counter_add("serve.sessions.evicted", 1);
+            eprintln!(
+                "serve: evicting session {} (idle past the {}s TTL)",
+                entry.id,
+                ttl.as_secs()
+            );
+            publish_open_gauge(shared);
+        }
+    }
+}

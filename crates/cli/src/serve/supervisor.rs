@@ -25,7 +25,7 @@
 //! `code:"internal"` until shutdown.
 
 use super::worker::{self, WorkerExit};
-use super::{protocol, write_line, ServeConfig, Shared};
+use super::{protocol, session, write_line, Job, ServeConfig, Shared};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -92,7 +92,16 @@ pub(crate) fn spawn_supervisor(
                 .map(|wid| Some(worker::spawn_one(&shared, wid, batch_max, wait_ms)))
                 .collect();
             shared.live_workers.store(workers as u64, Ordering::Relaxed);
+            let mut last_sweep = Instant::now();
             loop {
+                // Idle streaming sessions age out on the supervisor's
+                // clock; a full table scan every 10ms tick would be
+                // wasteful, once a second is plenty for TTLs measured
+                // in minutes.
+                if last_sweep.elapsed() >= Duration::from_secs(1) {
+                    session::sweep_idle(&shared);
+                    last_sweep = Instant::now();
+                }
                 let mut live = 0usize;
                 for (wid, slot) in slots.iter_mut().enumerate() {
                     let finished = slot.as_ref().is_some_and(|h| h.is_finished());
@@ -152,15 +161,18 @@ fn drain_as_internal(shared: &Shared) {
         if batch.is_empty() {
             return; // shutdown and drained
         }
-        for pending in batch {
-            write_line(
-                &pending.out,
-                &protocol::error_reply(
-                    Some(&pending.id),
-                    protocol::CODE_INTERNAL,
-                    "server degraded: no scorer workers available (restart budget exhausted)",
+        for job in batch {
+            match job {
+                Job::Score(pending) => write_line(
+                    &pending.out,
+                    &protocol::error_reply(
+                        Some(&pending.id),
+                        protocol::CODE_INTERNAL,
+                        "server degraded: no scorer workers available (restart budget exhausted)",
+                    ),
                 ),
-            );
+                Job::Stream(entry) => session::drain_inbox_internal(shared, &entry),
+            }
         }
     }
 }

@@ -48,7 +48,7 @@
 //! `trace_sample`-th request emits a `span` trace event with the full
 //! per-stage breakdown for `elda report`.
 
-use super::{protocol, Pending, Shared};
+use super::{protocol, session, Job, Pending, Shared};
 use elda_core::infer::PlanCache;
 use elda_core::Elda;
 use elda_emr::Patient;
@@ -113,14 +113,39 @@ fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) -> W
         let traced = shared
             .queue
             .next_batch_traced(batch_max, Duration::from_millis(wait_ms));
-        let mut batch = traced.items;
-        if batch.is_empty() {
+        if traced.items.is_empty() {
             return WorkerExit::Shutdown; // shutdown and fully drained
         }
         let t0 = Instant::now();
+        // Streaming drains run before the score batch: a panic on the
+        // score path must never strand a session whose drain this
+        // worker already owns (the scheduled flag would stay stuck).
+        let mut batch: Vec<Pending> = Vec::new();
+        let mut streams: Vec<Arc<session::SessionEntry>> = Vec::new();
+        for job in traced.items {
+            match job {
+                Job::Score(p) => batch.push(p),
+                Job::Stream(e) => streams.push(e),
+            }
+        }
+        let mut stream_panicked = false;
+        for entry in &streams {
+            stream_panicked |= session::drain_stream(shared, entry);
+        }
+        if batch.is_empty() {
+            busy += t0.elapsed();
+            shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
+            if stream_panicked {
+                return WorkerExit::Panicked;
+            }
+            continue;
+        }
         if shared.deadline.is_some() {
             batch = expire_overdue(shared, batch, t0);
             if batch.is_empty() {
+                if stream_panicked {
+                    return WorkerExit::Panicked;
+                }
                 continue;
             }
         }
@@ -170,6 +195,12 @@ fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) -> W
         let wall = shared.started.elapsed().as_secs_f64();
         if wall > 0.0 {
             elda_obs::gauge_set(util_gauge, busy.as_secs_f64() / wall);
+        }
+        if stream_panicked {
+            // The batch was answered; hand the slot back so the
+            // supervisor can respawn fresh state (the panicking
+            // session was already torn down and answered).
+            return WorkerExit::Panicked;
         }
     }
 }

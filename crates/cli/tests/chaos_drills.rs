@@ -460,6 +460,166 @@ fn drop_reply_chaos_loses_exactly_one_reply() {
     server.join().unwrap();
 }
 
+/// Raw hourly rows (`NaN` = missing) for a simulated stay of `hours`
+/// rows — longer than the model window, so the drill reaches the
+/// sliding-window regime.
+fn stream_rows(hours: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut cc = CohortConfig::small(10, seed);
+    cc.t_len = hours.max(4);
+    let c = Cohort::generate(cc);
+    (0..hours)
+        .map(|t| {
+            (0..elda_emr::NUM_FEATURES)
+                .map(|f| c.patients[0].value(t, f))
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders one hourly row as a `stream_append` line.
+fn append_line(id: usize, session: u64, row: &[f32]) -> String {
+    let vals: Vec<String> = row
+        .iter()
+        .map(|v| {
+            if v.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect();
+    format!(
+        r#"{{"cmd":"stream_append","session":{session},"id":{id},"values":[{}]}}"#,
+        vals.join(",")
+    )
+}
+
+/// Streaming-session drill: a worker panic mid-append. The session whose
+/// append panicked is torn down — the in-flight append *and* everything
+/// queued behind it answer `code:"session_lost"` / `"no_session"`
+/// exactly once each, never silence — while the other open session keeps
+/// scoring bitwise-correctly across the worker respawn, and a session
+/// opened post-respawn streams clean.
+#[test]
+fn mid_stream_panic_loses_one_session_and_spares_the_rest() {
+    // Appends consume global request seqs in arrival order; seq 2 is
+    // session A's second append.
+    let _chaos = Chaos::install("panic_worker@req=2");
+    let model = train(8);
+    let reference = train(8); // identical weights: training is deterministic
+    let hours = T_LEN + 2; // two past the window: covers sliding eviction
+    let rows_a = stream_rows(hours, 21);
+    let rows_b = stream_rows(hours, 22);
+
+    // Expected per-step risks for stream B, straight off the core
+    // engine.
+    let reference = std::sync::Arc::new(reference);
+    let mut ref_session = reference.open_stream();
+    let expected: Vec<f32> = rows_b.iter().map(|row| ref_session.append(row)).collect();
+
+    let server = Server::start(
+        model,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 4,
+            wait_ms: 1,
+            workers: 2,
+            queue_cap: 256,
+            restart_budget: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    let a = client.send(r#"{"cmd":"stream_open"}"#)["session"]
+        .as_u64()
+        .expect("session a");
+    let b = client.send(r#"{"cmd":"stream_open"}"#)["session"]
+        .as_u64()
+        .expect("session b");
+
+    // seq 0, 1: one clean append per session.
+    let first = client.send(&append_line(0, a, &rows_a[0]));
+    assert_eq!(first["step"].as_u64(), Some(1), "{first:?}");
+    let first_b = client.send(&append_line(1, b, &rows_b[0]));
+    assert!((first_b["risk"].as_f64().unwrap() as f32).to_bits() == expected[0].to_bits());
+
+    // seq 2 panics its worker mid-append; id 3 is pipelined right
+    // behind it into the same session's inbox. Both must be answered —
+    // id 2 with session_lost, id 3 with session_lost (drained at
+    // teardown) or no_session (arrived just after) — and neither
+    // black-holed.
+    client.send_line(&format!(
+        "{}\n{}",
+        append_line(2, a, &rows_a[1]),
+        append_line(3, a, &rows_a[2])
+    ));
+    let mut codes = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let reply = client.recv();
+        let id = reply["id"].as_u64().expect("orphaned append echoes its id");
+        let code = reply["code"].as_str().expect("orphans get an error code");
+        codes.insert(id, code.to_string());
+    }
+    assert_eq!(codes.get(&2).map(String::as_str), Some("session_lost"));
+    assert!(
+        matches!(
+            codes.get(&3).map(String::as_str),
+            Some("session_lost" | "no_session")
+        ),
+        "{codes:?}"
+    );
+
+    // Session A is gone — exactly once means later appends miss.
+    let late = client.send(&append_line(4, a, &rows_a[3]));
+    assert_eq!(late["code"].as_str(), Some("no_session"), "{late:?}");
+
+    // The incident was recorded and the worker respawned within budget.
+    wait_for_stats(&mut client, "mid-stream panic + respawn", |s| {
+        s["worker_panics"].as_u64() == Some(1)
+            && s["restarts"].as_u64() == Some(1)
+            && s["sessions_lost"].as_u64() == Some(1)
+    });
+    let stats = client.stats();
+    assert_eq!(stats["degraded"].as_bool(), Some(false), "{stats:?}");
+    assert_eq!(stats["sessions_open"].as_u64(), Some(1), "{stats:?}");
+
+    // Session B survived the respawn *with its incremental state*:
+    // every remaining step matches the offline engine bit-for-bit,
+    // through the sliding-window regime.
+    for (t, want) in expected.iter().enumerate().take(hours).skip(1) {
+        let reply = client.send(&append_line(100 + t, b, &rows_b[t]));
+        assert_eq!(reply["step"].as_u64(), Some(t as u64 + 1), "{reply:?}");
+        let got = reply["risk"].as_f64().expect("b keeps scoring") as f32;
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "step {}: session b diverged after the respawn ({got} vs {want})",
+            t + 1
+        );
+    }
+
+    // A session opened after the incident streams clean on the fresh
+    // worker pool.
+    let c = client.send(r#"{"cmd":"stream_open"}"#)["session"]
+        .as_u64()
+        .expect("session c");
+    assert!(c > b, "ids are never recycled");
+    let reply = client.send(&append_line(200, c, &rows_b[0]));
+    assert_eq!(
+        (reply["risk"].as_f64().unwrap() as f32).to_bits(),
+        expected[0].to_bits(),
+        "fresh session must match the reference from step 1"
+    );
+
+    let closed = client.send(&format!(r#"{{"cmd":"stream_close","session":{b}}}"#));
+    assert_eq!(closed["steps"].as_u64(), Some(hours as u64), "{closed:?}");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+}
+
 /// Satellite: a half-open client (partial line, then gone) and a
 /// disappear-mid-reply client neither leak the connection gauge nor
 /// wedge reader threads.

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Durable-checkpointing options for the harness; the config fingerprint
@@ -510,6 +511,42 @@ impl Elda {
             64,
             cache,
         )
+    }
+
+    /// Opens a [`crate::stream::StreamSession`] that scores one stay
+    /// incrementally against this model. Sessions share the instance's
+    /// replay-plan cache, so step/head plans are captured once per model.
+    ///
+    /// # Panics
+    /// Panics when called before [`Elda::fit`] (or [`Elda::set_pipeline`]).
+    pub fn open_stream(self: &Arc<Self>) -> crate::stream::StreamSession {
+        crate::stream::StreamSession::new(Arc::clone(self))
+    }
+
+    /// A fresh instance with the same architecture, weights, fitted
+    /// statistics and alert threshold, but a different window length.
+    ///
+    /// Every parameter shape is `t_len`-independent (the time-attention
+    /// weights act per earlier step), so the checkpoint round-trips
+    /// losslessly. Used to build full-window reference models for
+    /// streaming prefixes: the streaming score after `k` appends equals
+    /// `resized(min(k, t_len))`'s batch score over the same rows.
+    pub fn resized(&self, t_len: usize) -> Elda {
+        let mut cfg = self.net.config().clone();
+        cfg.t_len = t_len;
+        let mut out = Elda::with_config(cfg, self.task, 0);
+        out.restore(&self.checkpoint())
+            .expect("same schema at any t_len");
+        if let Some(p) = &self.pipeline {
+            out.set_pipeline(p.with_t_len(t_len));
+        }
+        out.alert_threshold = self.alert_threshold;
+        out
+    }
+
+    /// The instance's replay-plan cache (shared with its stream sessions).
+    pub(crate) fn plan_cache(&self) -> &crate::infer::PlanCache {
+        &self.infer
     }
 
     /// Fingerprint of everything two instances must agree on to be

@@ -37,6 +37,10 @@ use std::sync::Arc;
 /// sequence (and hence legally share a replay plan).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
+    /// Which forward family recorded the plan: batch forwards, streaming
+    /// single-step forwards, and streaming head forwards have different
+    /// op sequences even at coincidentally equal dims.
+    tag: u8,
     /// Batch tensor dims `(B, T, C)` — shapes drive every kernel size.
     dims: Vec<usize>,
     /// The model's data-dependent-branch discriminator.
@@ -45,6 +49,13 @@ struct PlanKey {
     /// time-attention stats) that change what a plan must pin.
     obs: bool,
 }
+
+/// Plan namespace for whole-window batch forwards ([`PlanCache::forward_probs`]).
+pub(crate) const TAG_BATCH: u8 = 0;
+/// Plan namespace for streaming per-step forwards (`x_t, h_prev → h_t`).
+pub(crate) const TAG_STREAM_STEP: u8 = 1;
+/// Plan namespace for streaming head forwards (`h_1..h_W → logit`).
+pub(crate) const TAG_STREAM_HEAD: u8 = 2;
 
 /// A concurrency-safe cache of captured [`InferPlan`]s, one per distinct
 /// forward graph. Create one per deployed model (plans embed the model's
@@ -85,6 +96,7 @@ impl PlanCache {
         batch: &Batch,
     ) -> Vec<f32> {
         let key = PlanKey {
+            tag: TAG_BATCH,
             dims: batch.x.shape().to_vec(),
             graph_key: model.graph_key(batch),
             obs: elda_obs::enabled(),
@@ -104,6 +116,46 @@ impl PlanCache {
                 let plan = Arc::new(tape.finish_capture(&[logits]));
                 self.plans.lock().insert(key, plan);
                 tape.value(logits).sigmoid().data().to_vec()
+            }
+        }
+    }
+
+    /// Generic capture-or-replay runner for the streaming path: builds a
+    /// one-output graph with `build`, keyed by `(tag, dims, graph_key)`.
+    ///
+    /// `build` must record the exact same op sequence whenever the key
+    /// matches (the data-dependent branches it takes have to be folded
+    /// into `graph_key`, like [`SequenceModel::graph_key`] does for the
+    /// batch path); replay asserts op-by-op that it did. Returns the
+    /// value of the single kept output.
+    pub(crate) fn run(
+        &self,
+        tag: u8,
+        dims: &[usize],
+        graph_key: u64,
+        build: impl FnOnce(&mut Tape) -> elda_autodiff::Var,
+    ) -> elda_tensor::Tensor {
+        let key = PlanKey {
+            tag,
+            dims: dims.to_vec(),
+            graph_key,
+            obs: elda_obs::enabled(),
+        };
+        let plan = self.plans.lock().get(&key).cloned();
+        match plan {
+            Some(plan) => {
+                elda_obs::counter_add("infer.replay", 1);
+                let mut tape = Tape::replaying(plan);
+                let out = build(&mut tape);
+                tape.value(out).clone()
+            }
+            None => {
+                elda_obs::counter_add("infer.capture", 1);
+                let mut tape = Tape::capturing();
+                let out = build(&mut tape);
+                let plan = Arc::new(tape.finish_capture(&[out]));
+                self.plans.lock().insert(key, plan);
+                tape.value(out).clone()
             }
         }
     }

@@ -26,6 +26,9 @@
 //! * [`infer`] — the grad-free batched inference engine: replay-plan
 //!   cache plus pool-sharded prediction, bit-identical to the retaining
 //!   tape forward;
+//! * [`stream`] — stateful streaming inference: [`StreamSession`] scores
+//!   a stay one observation at a time at O(1) per step, bitwise-equal to
+//!   the batch path over the same window;
 //! * [`interpret`] — extraction of the feature-level and time-level
 //!   attention weights that drive the paper's Figures 8–10.
 
@@ -38,6 +41,7 @@ pub mod interpret;
 pub mod model;
 pub mod population;
 pub mod regression;
+pub mod stream;
 pub mod time_interaction;
 
 pub use config::{EldaConfig, EldaVariant, EmbeddingKind};
@@ -47,3 +51,4 @@ pub use interpret::{mean_row_entropy, mean_row_max, Interpretation, TimeAttentio
 pub use model::{EldaNet, SequenceModel};
 pub use population::{format_top_pairs, PopulationAttention};
 pub use regression::{predict_days, train_los_regressor, RegressionReport, TargetStats};
+pub use stream::StreamSession;

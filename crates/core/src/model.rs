@@ -166,6 +166,13 @@ impl EldaNet {
 
         // Head: time-level interactions or plain last state.
         let (h_tilde, time_attention) = match &self.time {
+            Some(_) if hs.len() < 2 => {
+                // A single-step window has no earlier states for h_T to
+                // interact with: the attention context g_T is an empty
+                // weighted sum, i.e. exactly zero. Keeps one-hour prefixes
+                // scorable by the same head (Eq. 12 concat shape intact).
+                (self.single_step_h_tilde(tape, &hs), None)
+            }
             Some(time) => {
                 let _t = elda_obs::scope("phase", "time-interaction");
                 let (h_tilde, beta) = time.forward(ps, tape, &hs);
@@ -198,6 +205,64 @@ impl EldaNet {
             feature_attention,
             time_attention,
         }
+    }
+
+    /// `h̃_T = [h_T ; 0]` — the time-interaction head degenerated to a
+    /// single-step window (no earlier states, zero context).
+    fn single_step_h_tilde(&self, tape: &mut Tape, hs: &[Var]) -> Var {
+        let h_t = *hs.last().expect("t_len >= 1");
+        let b = tape.shape(h_t)[0];
+        let zeros = tape.constant(Tensor::zeros(&[b, self.cfg.gru_hidden]));
+        tape.concat(&[h_t, zeros], 1)
+    }
+
+    /// One recurrence step for the streaming path: per-step feature
+    /// module (when configured) then one GRU cell update.
+    ///
+    /// `x_t` is one processed row `(B, C)`, `h_prev` the previous hidden
+    /// state `(B, l)`; `never` is required iff the feature module is on.
+    /// Value-equivalent to what [`Self::forward_inner`] computes for step
+    /// `t` of a window whose rows and never-flags match: the embedding,
+    /// fused interaction and GRU kernels all reduce with a fixed
+    /// summation order, so equal input bits give equal output bits even
+    /// though this records its own (shorter) op sequence.
+    pub(crate) fn forward_step(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        x_t: Var,
+        never: Option<Var>,
+        h_prev: Var,
+    ) -> Var {
+        let input = if let (Some(embed), Some(inter)) = (&self.embedding, &self.interaction) {
+            let never = never.expect("feature-module models need never flags");
+            let e = embed.forward(ps, tape, x_t, never);
+            inter.forward_lean(ps, tape, e)
+        } else {
+            x_t
+        };
+        self.gru.cell().step(ps, tape, input, h_prev)
+    }
+
+    /// Head forward for the streaming path: hidden states → logits.
+    /// Same time-interaction + prediction ops as [`Self::forward_inner`],
+    /// minus attention extraction and obs stat reads.
+    pub(crate) fn forward_head(&self, ps: &ParamStore, tape: &mut Tape, hs: &[Var]) -> Var {
+        let h_tilde = match &self.time {
+            Some(_) if hs.len() < 2 => self.single_step_h_tilde(tape, hs),
+            Some(time) => time.forward(ps, tape, hs).0,
+            None => *hs.last().expect("at least one step"),
+        };
+        let w = ps.bind(tape, self.pred_w);
+        let b = ps.bind(tape, self.pred_b);
+        let z = tape.matmul(h_tilde, w);
+        tape.add(z, b)
+    }
+
+    /// Whether this architecture consumes per-feature never-observed
+    /// flags (and hence branches on them — see [`SequenceModel::graph_key`]).
+    pub(crate) fn uses_feature_module(&self) -> bool {
+        self.embedding.is_some() && self.interaction.is_some()
     }
 }
 

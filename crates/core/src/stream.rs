@@ -1,0 +1,241 @@
+//! Stateful streaming inference: score a stay one observation at a time.
+//!
+//! The batch path re-runs the whole `t_len`-step window on every new
+//! observation, even though the GRU recurrence and the per-step feature
+//! interactions are strictly append-only. A [`StreamSession`] keeps the
+//! per-stay state between calls — raw rows, forward-fill state,
+//! never-observed flags and the GRU hidden states — so appending one
+//! hourly row costs one step forward plus one head forward instead of a
+//! full window.
+//!
+//! ## Equivalence contract
+//!
+//! After `k` appends, [`StreamSession::append`]'s return value is
+//! **bitwise identical** to `predict_batch` on a model resized to
+//! `W = min(k, t_len)` (see [`Elda::resized`]) scoring the last `W` raw
+//! rows as an independent patient. That holds because:
+//!
+//! * row preprocessing replicates `Pipeline::process` exactly (same
+//!   standardize → clamp → forward-fill arithmetic, fill restarting at
+//!   the window start);
+//! * the step/head forwards reuse the very same embedding, fused
+//!   interaction, GRU-cell and time-attention ops as the batch graph,
+//!   and every kernel reduces with a fixed, input-independent summation
+//!   order — equal input bits give equal output bits at any
+//!   `elda_tensor::pool::set_threads` setting and any batch size;
+//! * the data-dependent branch (the embedding's all-zero `never` fast
+//!   path) is folded into the replay-plan key, mirroring
+//!   `SequenceModel::graph_key` on the batch path.
+//!
+//! ## Cost regimes
+//!
+//! * **Prefix** (`k ≤ t_len`, no flag flip): O(1) — one step plan plus
+//!   one head plan, both replayed from the session model's [`PlanCache`].
+//! * **Never-flip**: a feature observed for the first time flips its
+//!   never-flag for the *whole* window, so cached hidden states embed
+//!   stale flags; the stored processed rows stay valid (their values
+//!   don't depend on the flags) and the recurrence is rebuilt from them.
+//!   At most `C` flips can ever happen per window.
+//! * **Sliding** (`k > t_len`): the oldest raw row is evicted and the
+//!   window reprocessed from raw — forward-fill legitimately restarts at
+//!   the new window start, which changes early-step values, so a rebuild
+//!   is inherent to the bitwise contract, not an implementation shortcut.
+//!
+//! [`PlanCache`]: crate::infer::PlanCache
+
+use crate::framework::Elda;
+use crate::infer::{TAG_STREAM_HEAD, TAG_STREAM_STEP};
+use elda_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Incremental scorer for one ICU stay. Create via [`Elda::open_stream`];
+/// feed one raw observation row per call to [`StreamSession::append`].
+///
+/// Sessions share the owning model's replay-plan cache, so the capture
+/// cost of the step/head plans is paid once per model, not per session —
+/// and survives whichever thread (or serving worker) drives the session.
+pub struct StreamSession {
+    model: Arc<Elda>,
+    /// Raw rows of the current window, oldest first (`NaN` = missing).
+    raw: VecDeque<Vec<f32>>,
+    /// Processed (standardized + forward-filled) rows, aligned with `raw`.
+    xs: Vec<Vec<f32>>,
+    /// Per-feature never-observed-in-window flags (1.0 = never).
+    never: Vec<f32>,
+    /// Forward-fill state: last standardized observation per feature.
+    fill: Vec<Option<f32>>,
+    /// GRU hidden states, one `(1, l)` tensor per window step.
+    hs: Vec<Tensor>,
+    /// Total observations appended over the stay's lifetime.
+    appended: usize,
+}
+
+impl StreamSession {
+    pub(crate) fn new(model: Arc<Elda>) -> StreamSession {
+        assert!(
+            model.pipeline().is_some(),
+            "fit() must run before inference: streaming needs a fitted pipeline"
+        );
+        let c = model.net().config().num_features;
+        StreamSession {
+            model,
+            raw: VecDeque::new(),
+            xs: Vec::new(),
+            never: vec![1.0; c],
+            fill: vec![None; c],
+            hs: Vec::new(),
+            appended: 0,
+        }
+    }
+
+    /// Total observations appended so far (monotonic; not capped at `t_len`).
+    pub fn steps(&self) -> usize {
+        self.appended
+    }
+
+    /// Current window length, `min(steps, t_len)`.
+    pub fn window_len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// The model this session scores against.
+    pub fn model(&self) -> &Arc<Elda> {
+        &self.model
+    }
+
+    /// Appends one raw observation row (`NaN` = not measured this step,
+    /// natural units otherwise) and returns the mortality probability
+    /// over the current window — bitwise what `predict_batch` on the
+    /// last `min(steps, t_len)` rows would return.
+    pub fn append(&mut self, row: &[f32]) -> f32 {
+        let cfg = self.model.net().config();
+        assert_eq!(
+            row.len(),
+            cfg.num_features,
+            "append row must carry one value per feature"
+        );
+        self.appended += 1;
+        if self.raw.len() == cfg.t_len {
+            // Sliding regime: evict the oldest hour, reprocess the window.
+            self.raw.pop_front();
+            self.raw.push_back(row.to_vec());
+            self.rebuild_window();
+        } else {
+            self.raw.push_back(row.to_vec());
+            let flipped = self.process_row_at(self.raw.len() - 1);
+            let must_rebuild =
+                flipped && self.model.net().uses_feature_module() && !self.hs.is_empty();
+            if must_rebuild {
+                // A first observation un-sets a never-flag for the whole
+                // window; earlier hidden states embedded the stale flag.
+                // The processed rows are flag-independent, so only the
+                // recurrence needs replaying.
+                self.rebuild_hs();
+            } else {
+                self.step(self.xs.len() - 1);
+            }
+        }
+        self.score()
+    }
+
+    /// Reprocesses the whole window from raw rows: forward-fill and
+    /// never-flags restart at the (new) window start, exactly like
+    /// `Pipeline::process` on an independent patient.
+    fn rebuild_window(&mut self) {
+        let c = self.model.net().config().num_features;
+        self.xs.clear();
+        self.never = vec![1.0; c];
+        self.fill = vec![None; c];
+        for t in 0..self.raw.len() {
+            self.process_row_at(t);
+        }
+        self.rebuild_hs();
+    }
+
+    /// Standardizes raw row `t` into `xs[t]`, updating fill state and
+    /// never-flags. Returns whether any never-flag flipped. Mirrors the
+    /// per-feature arithmetic of `Pipeline::process` bit for bit.
+    fn process_row_at(&mut self, t: usize) -> bool {
+        let pipeline = self.model.pipeline().expect("checked at open").clone();
+        let c = self.model.net().config().num_features;
+        let mut x_row = vec![0.0f32; c];
+        let mut flipped = false;
+        for (f, slot) in x_row.iter_mut().enumerate() {
+            let v = self.raw[t][f];
+            if v.is_nan() {
+                *slot = self.fill[f].unwrap_or(0.0);
+            } else {
+                let z = pipeline.standardize(f, v);
+                *slot = z;
+                self.fill[f] = Some(z);
+                if self.never[f] != 0.0 {
+                    self.never[f] = 0.0;
+                    flipped = true;
+                }
+            }
+        }
+        debug_assert!(t == self.xs.len(), "rows are processed in order");
+        self.xs.push(x_row);
+        flipped
+    }
+
+    /// Recomputes every hidden state from the processed rows under the
+    /// current never-flags.
+    fn rebuild_hs(&mut self) {
+        self.hs.clear();
+        for t in 0..self.xs.len() {
+            self.step(t);
+        }
+    }
+
+    /// Runs one GRU step (with the per-step feature module when
+    /// configured) for processed row `t`, appending `h_t` to `hs`.
+    /// Captured once per `(never-all-zero, obs)` key, replayed after.
+    fn step(&mut self, t: usize) {
+        debug_assert_eq!(t, self.hs.len(), "steps advance one at a time");
+        let cfg = self.model.net().config();
+        let (c, l) = (cfg.num_features, cfg.gru_hidden);
+        let feature_module = self.model.net().uses_feature_module();
+        // Same branch discriminator as `EldaNet::graph_key`: the embedding
+        // skips the V^m ops when no feature is flagged never-observed.
+        let graph_key = (feature_module && self.never.iter().all(|&v| v == 0.0)) as u64;
+        let x_row = Tensor::from_vec(self.xs[t].clone(), &[1, c]);
+        let never = Tensor::from_vec(self.never.clone(), &[1, c]);
+        let h_prev = match self.hs.last() {
+            Some(h) => h.clone(),
+            None => Tensor::zeros(&[1, l]),
+        };
+        let net = self.model.net();
+        let ps = self.model.params();
+        let h = self
+            .model
+            .plan_cache()
+            .run(TAG_STREAM_STEP, &[1, c], graph_key, |tape| {
+                let x_t = tape.leaf(x_row.clone());
+                let never = feature_module.then(|| tape.constant(never.clone()));
+                let h_prev = tape.leaf(h_prev.clone());
+                net.forward_step(ps, tape, x_t, never, h_prev)
+            });
+        self.hs.push(h);
+    }
+
+    /// Head forward over the current hidden states → probability.
+    /// One plan per window length; the sigmoid stays outside the tape,
+    /// matching `PlanCache::forward_probs`.
+    fn score(&self) -> f32 {
+        let cfg = self.model.net().config();
+        let (w, l) = (self.hs.len(), cfg.gru_hidden);
+        let net = self.model.net();
+        let ps = self.model.params();
+        let hs = &self.hs;
+        let logits = self
+            .model
+            .plan_cache()
+            .run(TAG_STREAM_HEAD, &[1, w, l], 0, |tape| {
+                let hvars: Vec<_> = hs.iter().map(|h| tape.leaf(h.clone())).collect();
+                net.forward_head(ps, tape, &hvars)
+            });
+        logits.sigmoid().data()[0]
+    }
+}

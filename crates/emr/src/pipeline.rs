@@ -129,6 +129,19 @@ impl Pipeline {
         ((v - self.means[f]) / self.stds[f]).clamp(self.clip.0, self.clip.1)
     }
 
+    /// Same fitted statistics, different window length. Used to build
+    /// reference models for streaming prefixes shorter (or longer) than
+    /// the window this pipeline was fitted for: standardization is
+    /// per-feature and window-independent, only the grid length changes.
+    pub fn with_t_len(&self, t_len: usize) -> Pipeline {
+        Pipeline {
+            t_len,
+            means: self.means.clone(),
+            stds: self.stds.clone(),
+            clip: self.clip,
+        }
+    }
+
     /// Applies the paper's three-type missing-data handling to one patient:
     ///
     /// 1. never observed in the stay → global mean (standardized 0) and the

@@ -6,6 +6,7 @@ self-healing contract end to end:
 
     chaos_drill_client.py panic    HOST:PORT METRICS_HOST:PORT
     chaos_drill_client.py degraded HOST:PORT METRICS_HOST:PORT
+    chaos_drill_client.py stream   HOST:PORT METRICS_HOST:PORT
 
 `panic` (run the server with ELDA_CHAOS=panic_worker@req=2 and a restart
 budget): pipelines 12 score requests, asserts every id is answered exactly
@@ -16,6 +17,13 @@ the panic and the respawn, and that /healthz stays ready.
 first request still scores (salvage), then the supervisor must refuse the
 respawn — /healthz flips to 503 while stats and /metrics stay reachable,
 and a late request is answered code "internal", never black-holed.
+
+`stream` (ELDA_CHAOS=panic_worker@req=2 and a restart budget): two
+streaming sessions; the third append panics the drainer mid-step. The
+session whose step panicked must be answered code "session_lost" exactly
+once (later appends miss with "no_session"), the *other* session must
+keep streaming across the worker respawn with its step counter intact,
+and fresh sessions must open cleanly on the respawned pool.
 
 Both modes finish with a clean {"cmd":"shutdown"} so the caller can
 `wait` on the server process and check its exit code.
@@ -141,6 +149,59 @@ def drill_degraded(f, metrics_addr):
           "late request answered internal")
 
 
+def append_line(i, session, step):
+    """One streaming append: a single hour's row, varied per step."""
+    vals = [None if (j + step) % 5 == 0 else round(0.1 * j - 0.07 * step, 3)
+            for j in range(NUM_FEATURES)]
+    return json.dumps({"cmd": "stream_append", "id": i, "session": session,
+                       "values": vals})
+
+
+def drill_stream(f, metrics_addr):
+    a = rpc(f, '{"cmd":"stream_open"}')["session"]
+    b = rpc(f, '{"cmd":"stream_open"}')["session"]
+    assert a != b, (a, b)
+    # opens consume no chaos sequence numbers; these two appends are
+    # req 0 and 1 and score normally
+    reply = rpc(f, append_line(0, a, 1))
+    assert "risk" in reply and reply["step"] == 1, reply
+    reply = rpc(f, append_line(1, b, 1))
+    assert "risk" in reply and reply["step"] == 1, reply
+    # req 2 panics the drainer mid-step: session A is torn down and the
+    # in-flight append answered "session_lost" — exactly once, never silence
+    reply = rpc(f, append_line(2, a, 2))
+    assert reply.get("code") == "session_lost", reply
+    # the loss is sticky: a later append to A misses cleanly
+    reply = rpc(f, append_line(3, a, 3))
+    assert reply.get("code") == "no_session", reply
+
+    def respawned():
+        stats = rpc(f, '{"cmd":"stats"}')
+        ok = (stats["worker_panics"] >= 1 and stats["restarts"] >= 1
+              and stats["sessions_lost"] == 1)
+        return stats if ok else None
+
+    stats = poll("panic + respawn + session_lost in stats", respawned)
+    assert stats["degraded"] is False, stats
+    assert stats["sessions_open"] == 1, stats  # B survived the respawn
+    # B's state lives in the shared session table, not the dead worker:
+    # it keeps streaming across the respawn, step counter intact
+    for step in range(2, T_LEN + 1):
+        reply = rpc(f, append_line(10 + step, b, step))
+        assert "risk" in reply and reply["step"] == step, reply
+    # fresh sessions open cleanly on the respawned pool
+    c = rpc(f, '{"cmd":"stream_open"}')["session"]
+    reply = rpc(f, append_line(40, c, 1))
+    assert "risk" in reply and reply["step"] == 1, reply
+    status, body = http_get(metrics_addr, "/healthz")
+    assert status == 200 and "ok" in body, (status, body)
+    closed = rpc(f, json.dumps({"cmd": "stream_close", "session": b}))
+    assert closed.get("steps") == T_LEN, closed
+    print(f"stream drill ok: lost session answered session_lost exactly once, "
+          f"survivor streamed {T_LEN} steps across the respawn, "
+          f"panics={stats['worker_panics']} restarts={stats['restarts']}")
+
+
 def main():
     mode, addr, metrics_addr = sys.argv[1], sys.argv[2], sys.argv[3]
     sock = connect(addr)
@@ -150,8 +211,10 @@ def main():
         drill_panic(f, metrics_addr)
     elif mode == "degraded":
         drill_degraded(f, metrics_addr)
+    elif mode == "stream":
+        drill_stream(f, metrics_addr)
     else:
-        raise SystemExit(f"unknown drill {mode!r} (panic|degraded)")
+        raise SystemExit(f"unknown drill {mode!r} (panic|degraded|stream)")
     bye = rpc(f, '{"cmd":"shutdown"}')
     assert bye.get("ok") == "shutting down", bye
 

@@ -2,10 +2,12 @@
 //! ICU admissions and raising alerts when the predicted mortality risk
 //! crosses a threshold.
 //!
-//! A trained framework scores each incoming admission hour by hour
-//! (truncating the record to what has been observed so far, padding the
-//! future with missing values) and triggers an alert the first time the
-//! risk exceeds the configured threshold.
+//! Each watched admission is scored with the **streaming engine**
+//! ([`elda_core::StreamSession`]): one `append` per observed hour, O(1)
+//! incremental cost per step, instead of re-scoring the whole grid every
+//! hour. At every 4-hour checkpoint the streamed risk is cross-checked —
+//! bit-for-bit — against a full re-score of the observed window through
+//! the batch path, the equivalence the streaming engine guarantees.
 //!
 //! ```sh
 //! cargo run --release --example mortality_monitoring
@@ -13,19 +15,36 @@
 
 use elda_core::framework::FitConfig;
 use elda_core::{Elda, EldaConfig, EldaVariant};
+use elda_emr::io::{patient_from_grid, Outcome};
 use elda_emr::{Cohort, CohortConfig, Patient, Task, NUM_FEATURES};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-/// A copy of `patient` with every hour from `from_hour` on turned into
-/// missing values — "the future has not happened yet".
-fn truncate_to(patient: &Patient, from_hour: usize) -> Patient {
-    let mut p = patient.clone();
-    let t_len = p.values.len() / NUM_FEATURES;
-    for t in from_hour..t_len {
+/// The batch path's verdict on the first `hours` rows of `patient`,
+/// scored as an independent stay on a model resized to that window.
+fn rescore_window(
+    resized: &mut HashMap<usize, Elda>,
+    elda: &Elda,
+    patient: &Patient,
+    hours: usize,
+) -> f32 {
+    let model = resized.entry(hours).or_insert_with(|| elda.resized(hours));
+    let mut grid = Vec::with_capacity(hours * NUM_FEATURES);
+    for t in 0..hours {
         for f in 0..NUM_FEATURES {
-            p.values[t * NUM_FEATURES + f] = f32::NAN;
+            grid.push(patient.value(t, f));
         }
     }
-    p
+    let window = patient_from_grid(
+        0,
+        grid,
+        hours,
+        Outcome {
+            los_days: 0.0,
+            died: false,
+        },
+    );
+    model.predict_batch(&[window])[0]
 }
 
 fn main() {
@@ -45,6 +64,7 @@ fn main() {
         },
     );
     elda.alert_threshold = 0.5;
+    let elda = Arc::new(elda);
 
     // Stream the four highest-risk and four lowest-risk test admissions.
     let mut scored: Vec<(usize, f32)> = (cohort.len() - 30..cohort.len())
@@ -57,6 +77,10 @@ fn main() {
         .map(|&(i, _)| i)
         .collect();
 
+    // Batch-path models resized per checkpoint window, built lazily and
+    // shared across patients (the cross-check, not the hot path).
+    let mut resized: HashMap<usize, Elda> = HashMap::new();
+
     println!("\nhour-by-hour monitoring (risk per 4h checkpoint, * = alert):");
     for &i in &watchlist {
         let patient = &cohort.patients[i];
@@ -65,10 +89,26 @@ fn main() {
             patient.archetype.name(),
             patient.mortality as u8
         );
+        // One stateful session per admission: each hour costs one
+        // incremental step, not a full 24-hour forward.
+        let mut session = elda.open_stream();
         let mut alerted = false;
-        for hour in (4..=cohort.t_len()).step_by(4) {
-            let so_far = truncate_to(patient, hour);
-            let risk = elda.predict_proba(&so_far);
+        for hour in 1..=cohort.t_len() {
+            let row: Vec<f32> = (0..NUM_FEATURES)
+                .map(|f| patient.value(hour - 1, f))
+                .collect();
+            let risk = session.append(&row);
+            if hour % 4 != 0 {
+                continue;
+            }
+            // The streamed risk must equal a from-scratch re-score of
+            // the observed window — bitwise, not approximately.
+            let reference = rescore_window(&mut resized, &elda, patient, hour);
+            assert_eq!(
+                risk.to_bits(),
+                reference.to_bits(),
+                "hour {hour}: streamed {risk} != batch re-score {reference}"
+            );
             let mark = if risk >= elda.alert_threshold && !alerted {
                 alerted = true;
                 "*"
@@ -79,5 +119,8 @@ fn main() {
         }
         println!();
     }
-    println!("\n(risks evolve as more of the stay is observed; '*' marks the first alert)");
+    println!(
+        "\n(risks evolve as more of the stay is observed; '*' marks the first alert;\n\
+         every checkpoint was verified bitwise against a full batch re-score)"
+    );
 }

@@ -1,0 +1,220 @@
+//! Equivalence suite for the streaming inference path: after `k` appends
+//! a [`StreamSession`] must return **bitwise** the probability that the
+//! batch path (`predict_batch` on a model resized to `W = min(k, t_len)`)
+//! assigns to the last `W` raw rows scored as an independent patient —
+//! for every prefix length (including one-hour stays and the `> t_len`
+//! sliding-window regime), with and without the feature / time modules,
+//! under missingness patterns that flip never-observed flags mid-stay,
+//! and at any thread-pool width.
+//!
+//! These tests pin the contract documented in `elda_core::stream`: the
+//! streaming engine records its own (shorter) replay plans, so the
+//! equality below is a statement about kernel determinism — equal input
+//! bits through the same fixed-order reductions — not about sharing the
+//! batch op sequence.
+
+use elda_core::{Elda, EldaConfig, EldaVariant, StreamSession};
+use elda_emr::io::{patient_from_grid, Outcome};
+use elda_emr::{Cohort, CohortConfig, Pipeline, Task, NUM_FEATURES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::sync::Arc;
+
+/// An untrained (random-init) model with a fitted pipeline — equivalence
+/// is a property of the forward graph, not of the weights, so skipping
+/// `fit` keeps the suite fast without weakening it.
+fn tiny_model(variant: EldaVariant, t_len: usize, seed: u64) -> Arc<Elda> {
+    let mut cfg = EldaConfig::variant(variant, t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 6;
+    cfg.compression = 2;
+    let mut elda = Elda::with_config(cfg, Task::Mortality, seed);
+    // The simulator refuses very short stays; fit at its minimum window
+    // and resize — the fitted statistics are per-feature, not per-step.
+    let mut cohort_cfg = CohortConfig::small(24, seed.wrapping_add(100));
+    cohort_cfg.t_len = t_len.max(4);
+    let cohort = Cohort::generate(cohort_cfg);
+    let idx: Vec<usize> = (0..cohort.patients.len()).collect();
+    elda.set_pipeline(Pipeline::fit(&cohort, &idx).with_t_len(t_len));
+    Arc::new(elda)
+}
+
+/// Raw hourly rows (`NaN` = missing) for a simulated stay of `hours`
+/// rows — generated independently of any model's window length.
+fn stay_rows(hours: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut cfg = CohortConfig::small(10, seed);
+    cfg.t_len = hours.max(4);
+    let cohort = Cohort::generate(cfg);
+    let p = &cohort.patients[0];
+    (0..hours)
+        .map(|t| (0..NUM_FEATURES).map(|f| p.value(t, f)).collect())
+        .collect()
+}
+
+/// The batch path's verdict on `window` scored as an independent patient.
+fn batch_score_window(model: &Elda, window: &[Vec<f32>]) -> f32 {
+    let w = window.len();
+    let mut grid = Vec::with_capacity(w * NUM_FEATURES);
+    for row in window {
+        grid.extend_from_slice(row);
+    }
+    let patient = patient_from_grid(
+        0,
+        grid,
+        w,
+        Outcome {
+            los_days: 0.0,
+            died: false,
+        },
+    );
+    model.resized(w).predict_batch(&[patient])[0]
+}
+
+/// Streams `rows` through one session, asserting every per-step score
+/// bitwise-equal to the batch reference over the same window. Returns
+/// the streamed scores for cross-run comparisons.
+fn assert_stream_matches_batch(model: &Arc<Elda>, rows: &[Vec<f32>], what: &str) -> Vec<f32> {
+    let t_len = model.net().config().t_len;
+    let mut session: StreamSession = model.open_stream();
+    let mut streamed_scores = Vec::with_capacity(rows.len());
+    for (k, row) in rows.iter().enumerate() {
+        let streamed = session.append(row);
+        let w = (k + 1).min(t_len);
+        let reference = batch_score_window(model, &rows[k + 1 - w..=k]);
+        assert_eq!(
+            streamed.to_bits(),
+            reference.to_bits(),
+            "{what}: step {} (window {w}) streamed {streamed} vs batch {reference}",
+            k + 1,
+        );
+        assert_eq!(session.steps(), k + 1);
+        assert_eq!(session.window_len(), w);
+        streamed_scores.push(streamed);
+    }
+    streamed_scores
+}
+
+#[test]
+fn full_variant_matches_batch_through_prefix_and_sliding_regimes() {
+    let model = tiny_model(EldaVariant::Full, 6, 3);
+    // 15 rows against a 6-step window: covers k < t_len, k == t_len and
+    // nine sliding-window evictions.
+    let rows = stay_rows(15, 7);
+    assert_stream_matches_batch(&model, &rows, "ELDA-Net full");
+}
+
+#[test]
+fn time_only_variant_matches_batch() {
+    let model = tiny_model(EldaVariant::TimeOnly, 5, 4);
+    let rows = stay_rows(12, 8);
+    assert_stream_matches_batch(&model, &rows, "ELDA-Net-T (no feature module)");
+}
+
+#[test]
+fn no_time_module_variants_match_batch() {
+    for (variant, what) in [
+        (EldaVariant::FeatureBi, "ELDA-Net-F_bi (no time module)"),
+        (
+            EldaVariant::FeatureBiStar,
+            "ELDA-Net-F_bi* (starred embedding)",
+        ),
+    ] {
+        let model = tiny_model(variant, 4, 5);
+        let rows = stay_rows(10, 9);
+        assert_stream_matches_batch(&model, &rows, what);
+    }
+}
+
+#[test]
+fn one_hour_stay_matches_batch_even_with_time_attention() {
+    // W = 1 exercises the degenerate time-interaction head (zero
+    // context) on both the streaming and the resized batch path.
+    let model = tiny_model(EldaVariant::Full, 6, 11);
+    let rows = stay_rows(1, 12);
+    assert_stream_matches_batch(&model, &rows, "one-hour stay");
+}
+
+#[test]
+fn late_first_observations_flip_never_flags_mid_stay() {
+    let model = tiny_model(EldaVariant::Full, 6, 13);
+    let mut rows = stay_rows(14, 14);
+    // Feature 5: unobserved for the first three hours, first seen at
+    // hour 4 — the flip invalidates cached hidden states mid-window.
+    for row in rows.iter_mut().take(3) {
+        row[5] = f32::NAN;
+    }
+    rows[3][5] = 80.0;
+    // Feature 7: never observed in the entire stay (V^m embedding on
+    // every step, and the never-flag graph branch stays off the
+    // all-zero fast path throughout).
+    for row in rows.iter_mut() {
+        row[7] = f32::NAN;
+    }
+    // Hour 1 entirely unobserved: forward-fill starts from nothing.
+    rows[0].fill(f32::NAN);
+    assert_stream_matches_batch(&model, &rows, "late/never observations");
+}
+
+#[test]
+fn streamed_scores_are_bitwise_stable_across_thread_counts() {
+    let model = tiny_model(EldaVariant::Full, 5, 17);
+    let rows = stay_rows(11, 18);
+    let prev = elda_tensor::pool::threads();
+    elda_tensor::pool::set_threads(1);
+    let narrow = assert_stream_matches_batch(&model, &rows, "1 thread");
+    elda_tensor::pool::set_threads(4);
+    let wide = assert_stream_matches_batch(&model, &rows, "4 threads");
+    elda_tensor::pool::set_threads(prev);
+    for (k, (a, b)) in narrow.iter().zip(&wide).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "step {}: 1-thread {a} vs 4-thread {b}",
+            k + 1
+        );
+    }
+}
+
+#[test]
+fn seeded_shape_and_missingness_sweep() {
+    // Property-style sweep: window lengths down to 1, stays from shorter
+    // than the window to 2×-plus-sliding, random extra missingness on
+    // top of the simulator's — every (t_len, stay, seed) cell must hold
+    // the bitwise contract for both module configurations.
+    for (t_len, variant) in [
+        (1, EldaVariant::Full),
+        (2, EldaVariant::TimeOnly),
+        (3, EldaVariant::Full),
+        (5, EldaVariant::FeatureBi),
+    ] {
+        for seed in 0..2u64 {
+            let model = tiny_model(variant, t_len, 20 + seed);
+            let hours = t_len * 2 + 1;
+            let mut rng = StdRng::seed_from_u64(40 + seed);
+            let mut rows = stay_rows(hours, 30 + seed);
+            for row in rows.iter_mut() {
+                for v in row.iter_mut() {
+                    if rng.gen_range(0..10u32) < 3 {
+                        *v = f32::NAN;
+                    }
+                }
+            }
+            let what = format!("sweep t_len={t_len} variant={variant:?} seed={seed}");
+            assert_stream_matches_batch(&model, &rows, &what);
+        }
+    }
+}
+
+#[test]
+fn sessions_share_the_model_plan_cache() {
+    // Two sessions on one model: the second must replay the first's
+    // step/head plans (the capture cost is per model, not per session).
+    let model = tiny_model(EldaVariant::Full, 4, 23);
+    let rows = stay_rows(6, 24);
+    let a = assert_stream_matches_batch(&model, &rows, "session a");
+    let b = assert_stream_matches_batch(&model, &rows, "session b");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "sessions diverged on equal input");
+    }
+}
