@@ -32,6 +32,13 @@
 //! data-dependent branch in a model's forward (e.g. ELDA's all-zero
 //! `never`-flag fast path); callers key their plan caches accordingly and
 //! replay verifies the op-name sequence as a safety net.
+//!
+//! The keep-set passed to `finish_capture` is what differentiates plan
+//! *variants* over one graph: a lean score plan pins only the logits,
+//! while an explanation plan (`elda_core::infer::PlanCache::
+//! explain_forward`) additionally pins the attention reads — same
+//! liveness machinery, different pinned frontier. Anything pinned
+//! survives the whole replay; everything else still frees at last use.
 
 /// The replay schedule captured from one forward pass: the expected op
 /// sequence plus, per node, the earlier nodes whose values die once that
@@ -159,6 +166,43 @@ mod tests {
         let mut rep = Tape::replaying(plan);
         let out2 = forward(&mut rep, true); // re-performs the mid-forward read
         assert_eq!(cap.value(out).data(), rep.value(out2).data());
+    }
+
+    #[test]
+    fn extra_keeps_pin_intermediates_a_lean_plan_would_free() {
+        // The explain-plan contract: capturing the same graph with a wider
+        // keep-set must leave the extra nodes readable after replay while
+        // still freeing unrelated intermediates.
+        let mut lean_cap = Tape::capturing();
+        let lean_out = forward(&mut lean_cap, false);
+        let lean = Arc::new(lean_cap.finish_capture(&[lean_out]));
+
+        let mut cap = Tape::capturing();
+        let x = cap.leaf(Tensor::arange(6).reshape(&[2, 3]));
+        let a = cap.relu(x);
+        let b = cap.square(a);
+        let c = cap.add(a, b);
+        let d = cap.exp(c);
+        let out = cap.sum_all(d);
+        let detailed = Arc::new(cap.finish_capture(&[out, b]));
+
+        assert_eq!(detailed.pinned(), lean.pinned() + 1, "one extra pin");
+        assert_eq!(
+            detailed.freed(),
+            lean.freed() - 1,
+            "the extra pin is carved out of the freed set, nothing else"
+        );
+
+        let mut rep = Tape::replaying(detailed);
+        let x = rep.leaf(Tensor::arange(6).reshape(&[2, 3]));
+        let a = rep.relu(x);
+        let b = rep.square(a);
+        let c = rep.add(a, b);
+        let d = rep.exp(c);
+        let out = rep.sum_all(d);
+        // both keeps are readable; `b` would be freed under the lean plan
+        assert_eq!(rep.value(out).len(), 1);
+        assert_eq!(rep.value(b).data(), cap.value(b).data());
     }
 
     #[test]

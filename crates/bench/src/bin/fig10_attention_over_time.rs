@@ -12,7 +12,7 @@
 use elda_bench::{maybe_write_json, prepare, Cli};
 use elda_core::framework::train_sequence_model;
 use elda_core::interpret::interpret_sample;
-use elda_core::{EldaConfig, EldaNet, EldaVariant, Interpretation};
+use elda_core::{EldaConfig, EldaNet, EldaVariant, Interpretation, PlanCache};
 use elda_emr::presets::patient_a;
 use elda_emr::{feature_by_name, CohortPreset, Task, FEATURES};
 use elda_nn::ParamStore;
@@ -29,7 +29,7 @@ fn trajectories(interp: &Interpretation, t_len: usize) -> Vec<(String, Vec<f32>)
         .map(|&name| {
             let j = feature_by_name(name).unwrap();
             let curve: Vec<f32> = (0..t_len)
-                .map(|t| interp.feature_row_percent(t, glu)[j])
+                .map(|t| interp.feature_row_percent(t, glu).expect("hour in window")[j])
                 .collect();
             (name.to_string(), curve)
         })
@@ -90,7 +90,7 @@ fn main() {
             Task::Mortality,
             &fit,
         );
-        let interp = interpret_sample(&net, &ps, &sample, Task::Mortality);
+        let interp = interpret_sample(&net, &ps, &sample, Task::Mortality, &PlanCache::new());
         let traj = trajectories(&interp, t_len);
         print_trajectories(label, &traj, &glucose_z);
 

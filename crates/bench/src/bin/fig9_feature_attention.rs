@@ -12,7 +12,7 @@
 use elda_bench::{maybe_write_json, prepare, Cli};
 use elda_core::framework::train_sequence_model;
 use elda_core::interpret::interpret_sample;
-use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_core::{EldaConfig, EldaNet, EldaVariant, PlanCache};
 use elda_emr::presets::{patient_a, with_feature_overridden};
 use elda_emr::{essential_features, feature_by_name, CohortPreset, Task, FEATURES};
 use elda_nn::ParamStore;
@@ -28,7 +28,7 @@ fn print_matrix(interp: &elda_core::Interpretation, hour: usize) {
     }
     println!();
     for &i in &ess {
-        let row = interp.feature_row_percent(hour, i);
+        let row = interp.feature_row_percent(hour, i).expect("hour in window");
         print!("{:<10}", FEATURES[i].name);
         for &j in &ess {
             print!(" {:>6.2}", row[j]);
@@ -40,7 +40,9 @@ fn print_matrix(interp: &elda_core::Interpretation, hour: usize) {
 /// Mean attention the Glucose row gives each essential partner at `hour`.
 fn glucose_row(interp: &elda_core::Interpretation, hour: usize) -> Vec<(String, f32)> {
     let glu = feature_by_name("Glucose").unwrap();
-    let row = interp.feature_row_percent(hour, glu);
+    let row = interp
+        .feature_row_percent(hour, glu)
+        .expect("hour in window");
     essential_features()
         .iter()
         .map(|&j| (FEATURES[j].name.to_string(), row[j]))
@@ -80,7 +82,8 @@ fn main() {
 
     let patient = patient_a(cli.seed + 42);
     let sample = prep.pipeline.process(&patient);
-    let interp = interpret_sample(&net, &ps, &sample, Task::Mortality);
+    let cache = PlanCache::new();
+    let interp = interpret_sample(&net, &ps, &sample, Task::Mortality, &cache);
 
     println!("== Figure 9a: Patient A feature-level attention (%), hour {acute_hour} ==");
     print_matrix(&interp, acute_hour);
@@ -92,7 +95,7 @@ fn main() {
     let lac_mean = prep.pipeline.means()[lac];
     let modified = with_feature_overridden(&patient, lac, lac_mean);
     let mod_sample = prep.pipeline.process(&modified);
-    let mod_interp = interpret_sample(&net, &ps, &mod_sample, Task::Mortality);
+    let mod_interp = interpret_sample(&net, &ps, &mod_sample, Task::Mortality, &cache);
 
     println!(
         "\n== Figure 9b: same patient, observed Lactate forced to normal — hour {acute_hour} =="
@@ -105,7 +108,7 @@ fn main() {
         essential_features()
             .iter()
             .filter(|&&i| i != lac)
-            .map(|&i| it.feature_row_percent(hour, i)[lac])
+            .map(|&i| it.feature_row_percent(hour, i).expect("hour in window")[lac])
             .sum::<f32>()
             / (essential_features().len() - 1) as f32
     };

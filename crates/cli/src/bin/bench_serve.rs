@@ -40,6 +40,15 @@
 //!    closed-loop against the same server, so the round-trip gap is the
 //!    compute gap; the server-side `serve.stream.append_ms` histogram
 //!    (queueing excluded) is reported alongside.
+//! 6. **Explanations** — the cost of serving `explain` beside `score`.
+//!    A closed-loop score run and a closed-loop explain run against the
+//!    same server give the round-trip comparison (explains run as
+//!    batch-of-one detailed forwards, so their p50 sits above the
+//!    batched score p50); then, offline in-process, the plan-backed
+//!    `interpret_sample` is measured against the retaining-tape oracle
+//!    with a tracking allocator — the transient peak heap per explain
+//!    must sit well below the training-tape footprint, which is the
+//!    point of the explain plan.
 //!
 //! Writes a JSON report (default `BENCH_serve.json`, override with
 //! `--json PATH`). `--quick` shrinks the measurement budget for CI smoke
@@ -51,13 +60,78 @@
 
 use elda_cli::serve::{ServeConfig, Server};
 use elda_core::framework::FitConfig;
-use elda_core::{Elda, EldaConfig, EldaVariant};
-use elda_emr::{Cohort, CohortConfig, Task, NUM_FEATURES};
+use elda_core::interpret::{interpret_sample, interpret_sample_tape};
+use elda_core::{Elda, EldaConfig, EldaNet, EldaVariant, PlanCache};
+use elda_emr::{Cohort, CohortConfig, Pipeline, Task, NUM_FEATURES};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Global allocator shim tracking live bytes and the high-water mark
+/// (the `bench_infer` idiom). Only read at the single-threaded phase-6
+/// measurement points, after every server is shut down.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = System.realloc(p, layout, new_size);
+        if !q.is_null() {
+            if new_size >= layout.size() {
+                let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        q
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Runs `f` and returns `(mean wall ms per call, peak transient bytes)` —
+/// the high-water mark above the heap already live when the section began.
+fn measure_heap(budget_s: f64, max_reps: usize, mut f: impl FnMut()) -> (f64, usize) {
+    f(); // warmup: page in operands, prime pools and plan caches
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let start = Instant::now();
+    let mut reps = 0usize;
+    loop {
+        f();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_s || reps >= max_reps {
+            let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+            return (elapsed * 1e3 / reps as f64, peak);
+        }
+    }
+}
 
 const T_LEN: usize = 48;
 const BATCH_MAX: usize = 32;
@@ -96,6 +170,58 @@ fn request_line(id: usize) -> String {
         .map(|i| if i % 5 == 0 { "null" } else { "0.4" })
         .collect();
     format!(r#"{{"id":{id},"values":[{}]}}"#, vals.join(","))
+}
+
+/// One pre-rendered explain request over the same grid as
+/// [`request_line`], so score and explain phases chew identical bits.
+fn explain_request_line(id: usize) -> String {
+    let vals: Vec<&str> = (0..T_LEN * NUM_FEATURES)
+        .map(|i| if i % 5 == 0 { "null" } else { "0.4" })
+        .collect();
+    format!(
+        r#"{{"cmd":"explain","id":{id},"values":[{}]}}"#,
+        vals.join(",")
+    )
+}
+
+/// Closed-loop explain traffic: like [`closed_loop`] but every request
+/// is an `explain`, and every reply must be a full explanation.
+fn explain_loop(addr: std::net::SocketAddr, clients: usize, duration: Duration) -> (f64, Vec<f64>) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut latencies = Vec::new();
+                let mut id = 0usize;
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    let line = explain_request_line(id);
+                    let t0 = Instant::now();
+                    writeln!(writer, "{line}").expect("send");
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).expect("reply");
+                    assert!(
+                        reply.contains("\"time_attention\""),
+                        "closed loop must always explain: {reply}"
+                    );
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    id += 1;
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("explain client thread"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    (all.len() as f64 / elapsed, all)
 }
 
 fn start_server(elda: Elda, workers: usize, queue_cap: usize) -> Server {
@@ -667,6 +793,89 @@ fn main() {
          time p50 {service_p50:.3} ms, p95 {service_p95:.3} ms (queueing excluded)"
     );
 
+    // Phase 6: explanations. Served round-trips first (score vs explain
+    // closed loop on one server), then the offline peak-heap comparison
+    // of the plan-backed interpret against the retaining-tape oracle.
+    let server = start_server(model(), best_workers, BATCH_MAX * 16);
+    let addr = server.addr();
+    closed_loop(addr, CLIENTS, budget / 4); // warmup: prime score plans
+    let (score_rps, score_lat) = closed_loop(addr, CLIENTS, budget);
+    explain_loop(addr, CLIENTS, budget / 4); // warmup: prime explain plans
+    let (explain_rps, explain_lat) = explain_loop(addr, CLIENTS, budget);
+    let stats = fetch_stats(addr);
+    shutdown(addr, server);
+    let (score_p50, score_p95) = (percentile(&score_lat, 0.50), percentile(&score_lat, 0.95));
+    let (explain_p50, explain_p95) = (
+        percentile(&explain_lat, 0.50),
+        percentile(&explain_lat, 0.95),
+    );
+    let explain_service_p50 = stats["explain_p50_ms"].as_f64().unwrap_or(f64::NAN);
+    assert!(
+        explain_p50.is_finite() && explain_p50 > 0.0 && explain_rps > 0.0,
+        "explain phase produced no latencies"
+    );
+    assert!(
+        explain_p50 < score_p50 * 100.0,
+        "explain p50 {explain_p50:.2} ms implausibly far above score p50 \
+         {score_p50:.2} ms — the explain plan path is not being replayed"
+    );
+
+    // Offline, single-threaded (every server is down): the same
+    // interpretation through the explain plan vs the retaining tape.
+    // Measured on the Full variant — the serving model ablates the
+    // feature module for training speed, but the memory claim is about
+    // the tape retaining every per-step C×C interaction intermediate,
+    // which only the Full path materialises. Footprint depends on
+    // shapes, not weight values, so an untrained net is representative.
+    let (heap_ps, heap_net) = {
+        let mut ps = ParamStore::new();
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, T_LEN);
+        cfg.embed_dim = 16;
+        cfg.gru_hidden = 32;
+        cfg.compression = 2;
+        let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(17));
+        (ps, net)
+    };
+    let sample = {
+        let mut cc = CohortConfig::small(60, 17);
+        cc.t_len = T_LEN;
+        let cohort = Cohort::generate(cc);
+        let idx: Vec<usize> = (0..cohort.patients.len()).collect();
+        Pipeline::fit(&cohort, &idx).process(&cohort.patients[0])
+    };
+    let (heap_budget, heap_reps) = if quick { (0.1, 5) } else { (0.5, 50) };
+    let (tape_ms, tape_peak) = measure_heap(heap_budget, heap_reps, || {
+        let _ = interpret_sample_tape(&heap_net, &heap_ps, &sample, Task::Mortality);
+    });
+    let explain_cache = PlanCache::new();
+    let (plan_ms, plan_peak) = measure_heap(heap_budget, heap_reps, || {
+        let _ = interpret_sample(
+            &heap_net,
+            &heap_ps,
+            &sample,
+            Task::Mortality,
+            &explain_cache,
+        );
+    });
+    assert!(
+        plan_peak * 2 < tape_peak,
+        "explain-plan peak heap {plan_peak} B is not well below the \
+         training-tape path's {tape_peak} B"
+    );
+    println!("\nexplanations ({best_workers} workers, {CLIENTS} clients, closed loop):");
+    println!("  score   {score_rps:>10.1} rps  p50 {score_p50:>7.2} ms  p95 {score_p95:>7.2} ms");
+    println!(
+        "  explain {explain_rps:>10.1} rps  p50 {explain_p50:>7.2} ms  \
+         p95 {explain_p95:>7.2} ms  (service p50 {explain_service_p50:.3} ms)"
+    );
+    println!(
+        "  per-explain transient peak heap: plan {:.1} KiB vs tape {:.1} KiB \
+         ({:.1}x smaller; {plan_ms:.3} ms vs {tape_ms:.3} ms per call)",
+        plan_peak as f64 / 1024.0,
+        tape_peak as f64 / 1024.0,
+        tape_peak as f64 / plan_peak.max(1) as f64,
+    );
+
     let payload = serde_json::json!({
         "bench": "serve",
         "quick": quick,
@@ -715,6 +924,24 @@ fn main() {
             "append_service_p50_ms": service_p50,
             "append_service_p95_ms": service_p95,
             "speedup_p50": speedup_p50,
+        },
+        "explain": {
+            "mode": "closed_loop",
+            "workers": best_workers,
+            "clients": CLIENTS,
+            "score_rps": score_rps,
+            "score_p50_ms": score_p50,
+            "score_p95_ms": score_p95,
+            "explain_rps": explain_rps,
+            "explain_p50_ms": explain_p50,
+            "explain_p95_ms": explain_p95,
+            "explains": explain_lat.len(),
+            "explain_service_p50_ms": explain_service_p50,
+            "plan_peak_bytes": plan_peak,
+            "tape_peak_bytes": tape_peak,
+            "plan_ms_per_call": plan_ms,
+            "tape_ms_per_call": tape_ms,
+            "peak_heap_ratio": tape_peak as f64 / plan_peak.max(1) as f64,
         },
     });
     std::fs::write(

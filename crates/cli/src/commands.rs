@@ -110,7 +110,10 @@ fn print_help() {
          row at a time at O(1) cost per append, bitwise-equal to re-scoring\n\
          the full window; `--sessions-cap N` bounds the session table and\n\
          `--session-ttl-s S` evicts sessions idle longer than S seconds.\n\
-         `--chaos SPEC` (or\n\
+         {{\"cmd\":\"explain\",\"id\":...,\"values\":[...],\"top_k\":K}} returns the\n\
+         prediction plus its attention explanation (full time-attention\n\
+         curve and the K strongest feature pairs), bitwise-equal to the\n\
+         offline `interpret` path. `--chaos SPEC` (or\n\
          ELDA_CHAOS) injects deterministic serve faults for drills, e.g.\n\
          `panic_worker@req=2`, `slow_score@0:400`, `poison_scores@3`,\n\
          `drop_reply@1`.\n\
@@ -525,10 +528,15 @@ fn cmd_interpret(args: &Args) -> Result<(), String> {
         );
     }
     if !interp.feature_attention.is_empty() {
-        let hour = args.num_or("hour", t_len - 1)?.min(t_len - 1);
+        let hour = args.num_or("hour", t_len - 1)?;
         let feature = args.get_or("feature", "Glucose");
         let fid = feature_by_name(feature).ok_or_else(|| format!("unknown feature {feature:?}"))?;
-        let row = interp.feature_row_percent(hour, fid);
+        let row = interp.feature_row_percent(hour, fid).ok_or_else(|| {
+            format!(
+                "--hour {hour} is out of range: this model's window covers hours 0..={}",
+                t_len - 1
+            )
+        })?;
         let mut ranked: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         println!("{feature}'s interaction attention at hour {hour}:");

@@ -16,7 +16,11 @@
 //!   histogram percentiles);
 //! * the serving span section (`span` events from `elda serve
 //!   --trace-sample N`): per-stage latency percentiles and the slowest
-//!   sampled requests.
+//!   sampled requests;
+//! * the explain cohort section (`explain` events from served explain
+//!   traffic): risk distribution, which hour the cohort's β leaned on,
+//!   the most frequent dominant feature pairs and mean attention
+//!   entropies — RetainVis-style cohort views from serving traces alone.
 
 use elda_obs::{parse_json_line, Incident, TraceEvent};
 use std::collections::BTreeMap;
@@ -59,6 +63,7 @@ pub fn analyze(events: &[TraceEvent]) -> String {
     render_top_ops(events, &mut out);
     render_distributions(events, &mut out);
     render_serve_spans(events, &mut out);
+    render_explain_cohort(events, &mut out);
     out
 }
 
@@ -355,6 +360,94 @@ fn render_serve_spans(events: &[TraceEvent], out: &mut String) {
     }
 }
 
+/// Cohort-level attention aggregation over sampled `explain` events
+/// (served explain traffic under `--trace FILE --trace-sample N`):
+/// where the cohort's time attention leans, which feature pairs
+/// dominate, and how concentrated the attention is. Each event carries
+/// only scalar summaries of one patient's α/β (see the worker's
+/// `explain` event), so the section aggregates counts and means — the
+/// serving-side counterpart of the paper's Figure 8–10 cohort views.
+fn render_explain_cohort(events: &[TraceEvent], out: &mut String) {
+    let explains: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "explain").collect();
+    if explains.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nexplain cohort ({} sampled):", explains.len());
+    let mut risks: Vec<f64> = explains.iter().filter_map(|e| e.num("risk")).collect();
+    if !risks.is_empty() {
+        risks.sort_by(|a, b| a.partial_cmp(b).expect("finite risk"));
+        let mean = risks.iter().sum::<f64>() / risks.len() as f64;
+        let _ = writeln!(
+            out,
+            "  risk: mean {mean:.4}  p50 {:.4}  p95 {:.4}",
+            exact_percentile(&risks, 0.5),
+            exact_percentile(&risks, 0.95),
+        );
+    }
+    // β: which earlier hour the predictions leaned on hardest.
+    let mut hours: BTreeMap<u64, usize> = BTreeMap::new();
+    for ev in &explains {
+        if let Some(h) = ev.num("top_hour") {
+            *hours.entry(h as u64).or_default() += 1;
+        }
+    }
+    if !hours.is_empty() {
+        let with_beta = hours.values().sum::<usize>();
+        let _ = writeln!(
+            out,
+            "  time attention (β over {} with a time module): mean top weight {}  \
+             mean entropy {}",
+            with_beta,
+            fmt_mean(&explains, "beta_top"),
+            fmt_mean(&explains, "beta_entropy"),
+        );
+        for (hour, n) in &hours {
+            let _ = writeln!(
+                out,
+                "    top hour {hour:>3}  {n:>5}  ({:.0}%)",
+                100.0 * *n as f64 / with_beta as f64
+            );
+        }
+    }
+    // α: the dominant feature pairs across the cohort.
+    let mut pairs: BTreeMap<&str, usize> = BTreeMap::new();
+    for ev in &explains {
+        if let Some(p) = ev.str_field("pair") {
+            *pairs.entry(p).or_default() += 1;
+        }
+    }
+    if !pairs.is_empty() {
+        let with_alpha = pairs.values().sum::<usize>();
+        let _ = writeln!(
+            out,
+            "  feature attention (α over {} with a feature module): mean top weight {}  \
+             mean entropy {}",
+            with_alpha,
+            fmt_mean(&explains, "alpha_top"),
+            fmt_mean(&explains, "alpha_entropy"),
+        );
+        let mut ranked: Vec<(&str, usize)> = pairs.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (pair, n) in ranked.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "    {pair:<32} dominant in {n:>5}  ({:.0}%)",
+                100.0 * *n as f64 / with_alpha as f64
+            );
+        }
+    }
+}
+
+/// Mean of field `key` over the events that carry it, 4 decimals, or
+/// `-` when none do.
+fn fmt_mean(events: &[&TraceEvent], key: &str) -> String {
+    let vals: Vec<f64> = events.iter().filter_map(|e| e.num(key)).collect();
+    if vals.is_empty() {
+        return "-".to_string();
+    }
+    format!("{:.4}", vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +605,60 @@ mod tests {
             .expect("slowest exemplar line");
         assert!(slow_line.contains("seq      19"), "{slow_line}");
         assert!(slow_line.contains("worker 0"), "{slow_line}");
+    }
+
+    fn explain_ev(risk: f64, top_hour: u64, pair: &str) -> TraceEvent {
+        TraceEvent::new("explain")
+            .with("seq", 7u64)
+            .with("worker", 0u64)
+            .with("risk", risk)
+            .with("total_ms", 3.0f64)
+            .with("top_hour", top_hour)
+            .with("beta_top", 0.6f32)
+            .with("beta_entropy", 0.9f32)
+            .with("pair", pair)
+            .with("alpha_top", 0.31f32)
+            .with("alpha_entropy", 2.1f32)
+    }
+
+    #[test]
+    fn explain_events_render_cohort_attention_section() {
+        let mut events: Vec<TraceEvent> = (0..8)
+            .map(|i| explain_ev(0.1 + 0.1 * i as f64, 2, "Lactate×Creatinine"))
+            .collect();
+        events.push(explain_ev(0.95, 5, "Heart rate×SpO2"));
+        events.push(explain_ev(0.9, 5, "Heart rate×SpO2"));
+        let report = analyze(&events);
+        assert!(report.contains("explain cohort (10 sampled)"), "{report}");
+        assert!(report.contains("risk: mean"), "{report}");
+        // hour 2 dominates 8/10 of the cohort's β curves
+        assert!(report.contains("top hour   2      8  (80%)"), "{report}");
+        assert!(report.contains("top hour   5      2  (20%)"), "{report}");
+        // most frequent dominant pair leads the α ranking
+        let lactate = report
+            .lines()
+            .position(|l| l.contains("Lactate×Creatinine"));
+        let hr = report.lines().position(|l| l.contains("Heart rate×SpO2"));
+        assert!(
+            lactate.is_some() && lactate < hr,
+            "pair ranking order: {report}"
+        );
+        assert!(report.contains("mean entropy 2.1000"), "{report}");
+    }
+
+    #[test]
+    fn explain_events_without_modules_degrade_gracefully() {
+        // A TimeOnly cohort: no pair/alpha fields at all.
+        let events = vec![TraceEvent::new("explain")
+            .with("seq", 1u64)
+            .with("risk", 0.4f64)
+            .with("top_hour", 1u64)
+            .with("beta_top", 0.5f32)
+            .with("beta_entropy", 1.0f32)];
+        let report = analyze(&events);
+        assert!(report.contains("explain cohort (1 sampled)"), "{report}");
+        assert!(report.contains("time attention"), "{report}");
+        assert!(!report.contains("feature attention"), "{report}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! {"cmd": "stream_append", "session": S,
 //!  "id": 8, "values": [one row]}            -> {"id":8,"session":S,"step":K,"risk":R,"alert":B}
 //! {"cmd": "stream_close", "session": S}     -> {"ok":"stream_close","session":S,"steps":K}
+//! {"cmd": "explain", "id": 9,
+//!  "top_k": 3, "values": [whole grid]}      -> {"id":9,"risk":R,"alert":B,"time_attention":[...],
+//!                                              "top_pairs":[{"hour":H,"feature":F,"partner":P,"alpha":A},...]}
 //! anything malformed                        -> {"error":"...","code":"bad_request"}
 //! queue at capacity                         -> {"id":...,"error":"...","code":"shed"}
 //! scoring crashed / input quarantined       -> {"id":...,"error":"...","code":"internal"}
@@ -51,6 +54,16 @@
 //!   silently. `--deadline-ms` sheds work nobody is waiting for, and
 //!   `--chaos` / `ELDA_CHAOS` inject deterministic serve-side faults
 //!   (`elda_nn::faults::ChaosPlan`) so all of this stays drill-tested.
+//! * **Explanations** (`{"cmd":"explain",...}`): the same worker pool
+//!   answers per-prediction dual-attention read-outs — the risk plus
+//!   the β curve and the `top_k` strongest feature-pair attentions α.
+//!   Explains ride the admission queue and quarantine/deadline/panic
+//!   machinery like scores but are never co-batched with them: each
+//!   runs a batch-of-one detailed forward on the worker's explain plan
+//!   (`elda_core::PlanCache::explain_forward`), which retains only the
+//!   attention tensors, so an explain costs inference memory — not
+//!   training-tape memory — and its output is bitwise the offline
+//!   `interpret_sample` oracle's.
 //! * **Streaming sessions** ([`session`]): `stream_open` allocates a
 //!   stateful `elda_core::StreamSession` so a monitor can append one
 //!   hourly row at a time and get the risk over the stay's current
@@ -167,8 +180,8 @@ impl Default for ServeConfig {
 /// diagnostics, not synchronization.
 #[derive(Default)]
 pub(crate) struct ServeStats {
-    /// Score requests admitted or shed (commands and parse errors are
-    /// not requests).
+    /// Score and explain requests admitted or shed (commands and parse
+    /// errors are not requests).
     pub requests: AtomicU64,
     /// Malformed lines and refused reloads.
     pub errors: AtomicU64,
@@ -206,9 +219,13 @@ pub(crate) struct ServeStats {
     pub sessions_lost: AtomicU64,
     /// `stream_append` requests received (answered, shed, or refused).
     pub stream_appends: AtomicU64,
+    /// `explain` requests received (admitted, shed, or refused at the
+    /// quarantine gate). Also counted in `requests`.
+    pub explains: AtomicU64,
 }
 
-/// A parsed-but-unanswered score request parked in the admission queue.
+/// A parsed-but-unanswered score or explain request parked in the
+/// admission queue.
 pub(crate) struct Pending {
     /// Client correlation id, echoed in the reply.
     pub id: serde_json::Value,
@@ -242,6 +259,10 @@ pub(crate) struct Pending {
 pub(crate) enum Job {
     /// A one-shot score request.
     Score(Pending),
+    /// A one-shot explanation request with its `top_k`; pulled in the
+    /// same micro-batches as scores but forwarded individually on the
+    /// worker's explain plan, never co-batched with score traffic.
+    Explain(Pending, usize),
     /// A streaming session scheduled for an inbox drain.
     Stream(Arc<session::SessionEntry>),
 }
@@ -277,6 +298,9 @@ pub(crate) struct ServeHists {
     /// End-to-end `stream_append` latency (wire read → reply written),
     /// ms — the streaming analogue of `latency_ms`.
     pub stream_append_ms: Arc<Histogram>,
+    /// End-to-end `explain` latency (wire read → reply written), ms —
+    /// the explanation analogue of `latency_ms`.
+    pub explain_ms: Arc<Histogram>,
 }
 
 impl ServeHists {
@@ -299,6 +323,7 @@ impl ServeHists {
             stage_reply_ms: make("serve.stage.reply_ms"),
             deadline_lag_ms: make("serve.deadline.lag_ms"),
             stream_append_ms: make("serve.stream.append_ms"),
+            explain_ms: make("serve.explain_ms"),
         }
     }
 }
@@ -379,6 +404,7 @@ fn stats_json(shared: &Shared) -> String {
     let lat = shared.hists.latency_ms.snapshot();
     let batch = shared.hists.batch_size.snapshot();
     let append = shared.hists.stream_append_ms.snapshot();
+    let explain = shared.hists.explain_ms.snapshot();
     let reply = serde_json::json!({
         "requests": shared.stats.requests.load(Ordering::Relaxed),
         "errors": shared.stats.errors.load(Ordering::Relaxed),
@@ -409,6 +435,9 @@ fn stats_json(shared: &Shared) -> String {
         "stream_appends": shared.stats.stream_appends.load(Ordering::Relaxed),
         "stream_append_p50_ms": protocol::round3_or_null(append.quantile(0.5)),
         "stream_append_p95_ms": protocol::round3_or_null(append.quantile(0.95)),
+        "explains": shared.stats.explains.load(Ordering::Relaxed),
+        "explain_p50_ms": protocol::round3_or_null(explain.quantile(0.5)),
+        "explain_p95_ms": protocol::round3_or_null(explain.quantile(0.95)),
         // true percentiles off the log-bucket histograms (±6.25%
         // relative; null until the first request is scored)
         "latency_p50_ms": protocol::round3_or_null(lat.quantile(0.5)),
@@ -462,6 +491,64 @@ fn handle_shed(shared: &Shared, refused: Pending) {
             ),
         ),
     );
+}
+
+/// The admission path score and explain requests share: total-requests
+/// accounting, the quarantine gate (a fingerprint that previously
+/// crashed scoring is refused up front, whichever request kind carries
+/// it), [`Pending`] construction, and the bounded queue offer with an
+/// immediate shed reply on refusal.
+fn admit_grid(
+    shared: &Arc<Shared>,
+    out: &Arc<Mutex<TcpStream>>,
+    recv: Instant,
+    id: serde_json::Value,
+    patient: Patient,
+    wrap: impl FnOnce(Pending) -> Job,
+) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.requests", 1);
+    let fp = quarantine::fingerprint(&patient.values);
+    if shared.quarantine.contains(fp) {
+        shared
+            .stats
+            .quarantine_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        elda_obs::counter_add("serve.poison.rejected", 1);
+        write_line(
+            out,
+            &protocol::error_reply(
+                Some(&id),
+                CODE_INTERNAL,
+                "this input previously crashed scoring and is quarantined; \
+                 fix the payload before retrying",
+            ),
+        );
+        return;
+    }
+    let enqueued = Instant::now();
+    let pending = Pending {
+        id,
+        patient,
+        recv,
+        enqueued,
+        seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+        deadline: shared.deadline.map(|d| recv + d),
+        fp,
+        out: Arc::clone(out),
+    };
+    match shared.queue.offer(wrap(pending)) {
+        Ok(depth) => {
+            shared
+                .hists
+                .stage_admission_ms
+                .record(enqueued.duration_since(recv).as_secs_f64() * 1e3);
+            shared.hists.queue_depth.record(depth as f64);
+        }
+        Err(Job::Score(refused)) | Err(Job::Explain(refused, _)) => handle_shed(shared, refused),
+        // A freshly built grid job comes back as the same kind.
+        Err(Job::Stream(_)) => unreachable!("offered a grid job"),
+    }
 }
 
 /// One reader thread per connection: parse lines, offer scores to the
@@ -522,49 +609,14 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>, t
                 break;
             }
             Ok(Request::Score { id, patient }) => {
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                elda_obs::counter_add("serve.requests", 1);
-                let fp = quarantine::fingerprint(&patient.values);
-                if shared.quarantine.contains(fp) {
-                    shared
-                        .stats
-                        .quarantine_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    elda_obs::counter_add("serve.poison.rejected", 1);
-                    write_line(
-                        &out,
-                        &protocol::error_reply(
-                            Some(&id),
-                            CODE_INTERNAL,
-                            "this input previously crashed scoring and is quarantined; \
-                             fix the payload before retrying",
-                        ),
-                    );
-                    continue;
-                }
-                let enqueued = Instant::now();
-                let pending = Pending {
-                    id,
-                    patient,
-                    recv,
-                    enqueued,
-                    seq: shared.seq.fetch_add(1, Ordering::Relaxed),
-                    deadline: shared.deadline.map(|d| recv + d),
-                    fp,
-                    out: Arc::clone(&out),
-                };
-                match shared.queue.offer(Job::Score(pending)) {
-                    Ok(depth) => {
-                        shared
-                            .hists
-                            .stage_admission_ms
-                            .record(enqueued.duration_since(recv).as_secs_f64() * 1e3);
-                        shared.hists.queue_depth.record(depth as f64);
-                    }
-                    Err(Job::Score(refused)) => handle_shed(&shared, refused),
-                    // A freshly built Score job comes back as one.
-                    Err(Job::Stream(_)) => unreachable!("offered a score job"),
-                }
+                admit_grid(&shared, &out, recv, id, patient, Job::Score);
+            }
+            Ok(Request::Explain { id, patient, top_k }) => {
+                shared.stats.explains.fetch_add(1, Ordering::Relaxed);
+                elda_obs::counter_add("serve.explains", 1);
+                admit_grid(&shared, &out, recv, id, patient, move |p| {
+                    Job::Explain(p, top_k)
+                });
             }
             Ok(Request::StreamOpen) => session::handle_open(&shared, &out),
             Ok(Request::StreamAppend { session, id, row }) => {
@@ -830,11 +882,40 @@ mod tests {
         let risk = scored["risk"].as_f64().unwrap();
         assert!((0.0..=1.0).contains(&risk), "risk {risk}");
 
+        // Explain round-trip on the same worker pool. The test model is
+        // the TimeOnly variant: β is present (t_len − 1 weights summing
+        // to 1), the pair ranking is legitimately empty.
+        let explained = send(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"cmd":"explain","id":43,"values":[{vals}]}}"#),
+        );
+        assert_eq!(explained["id"].as_u64(), Some(43));
+        assert_eq!(
+            explained["risk"].as_f64().unwrap(),
+            risk,
+            "explain risk is the score-path risk"
+        );
+        let beta = explained["time_attention"].as_array().unwrap();
+        assert_eq!(beta.len(), 3, "t_len 4 leaves 3 earlier hours");
+        let beta_sum: f64 = beta.iter().map(|v| v.as_f64().unwrap()).sum();
+        assert!((beta_sum - 1.0).abs() < 1e-4, "β sums to {beta_sum}");
+        assert_eq!(
+            explained["top_pairs"].as_array().unwrap().len(),
+            0,
+            "TimeOnly has no feature module"
+        );
+
         let bad = send(&mut writer, &mut reader, "{broken");
         assert_eq!(bad["code"].as_str(), Some("bad_request"));
 
         let stats = send(&mut writer, &mut reader, r#"{"cmd":"stats"}"#);
-        assert_eq!(stats["requests"].as_u64(), Some(1));
+        assert_eq!(stats["requests"].as_u64(), Some(2));
+        assert_eq!(stats["explains"].as_u64(), Some(1));
+        assert!(
+            stats["explain_p50_ms"].as_f64().unwrap() > 0.0,
+            "explain histogram recorded: {stats:?}"
+        );
         assert_eq!(stats["errors"].as_u64(), Some(1));
         assert_eq!(stats["shed"].as_u64(), Some(0));
         assert_eq!(stats["workers"].as_u64(), Some(2));

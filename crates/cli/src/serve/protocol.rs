@@ -13,7 +13,20 @@
 //! {"cmd": "stream_append", "session": S,
 //!  "id": 8, "values": [v, null, ...]}      -> {"id":8,"session":S,"step":K,"risk":R,"alert":B}
 //! {"cmd": "stream_close", "session": S}    -> {"ok":"stream_close","session":S,"steps":K}
+//! {"cmd": "explain", "id": 9, "top_k": 3,
+//!  "values": [whole grid]}                 -> {"id":9,"risk":R,"alert":B,
+//!                                             "time_attention":[b,...],
+//!                                             "top_pairs":[{"hour":H,"feature":F,
+//!                                                           "partner":P,"alpha":A},...]}
 //! ```
+//!
+//! An `explain` scores the same whole-window grid a bare score request
+//! carries, but the reply additionally surfaces the model's explicit
+//! dual attention: the full β curve over the window's earlier hours and
+//! the `top_k` strongest feature-pair attentions α across all hours.
+//! Attention values are serialized at full precision (not rounded), so a
+//! client reading them back gets bitwise what the offline
+//! interpretability path computes.
 //!
 //! A `stream_append` carries **one hourly row** (`NUM_FEATURES` entries,
 //! `null` = not measured this hour), not a whole grid: the server keeps
@@ -30,9 +43,16 @@
 //! [`CODE_NO_SESSION`] / [`CODE_SESSION_CAP`] / [`CODE_SESSION_LOST`]
 //! for streaming-session lifecycle failures.
 
+use elda_core::Interpretation;
 use elda_emr::io::{patient_from_grid, Outcome};
-use elda_emr::{Patient, NUM_FEATURES};
+use elda_emr::{Patient, FEATURES, NUM_FEATURES};
 use std::io::BufRead;
+
+/// `top_k` an `explain` request defaults to when it does not say.
+pub const DEFAULT_TOP_K: usize = 5;
+/// Hard ceiling on `top_k` — bounds the reply line, not the computation
+/// (the full attention is extracted either way).
+pub const MAX_TOP_K: usize = 100;
 
 /// `code` on replies rejecting malformed requests.
 pub const CODE_BAD_REQUEST: &str = "bad_request";
@@ -112,6 +132,17 @@ pub(crate) enum Request {
         /// The session id from `stream_open`.
         session: u64,
     },
+    /// Score one patient grid and return the dual-attention explanation
+    /// with the prediction.
+    Explain {
+        /// Client-chosen correlation id, echoed back verbatim.
+        id: serde_json::Value,
+        /// The decoded patient.
+        patient: Patient,
+        /// How many feature-pair attentions to surface, clamped to
+        /// `1..=`[`MAX_TOP_K`].
+        top_k: usize,
+    },
 }
 
 /// Parses one request line. Every failure is a client error that gets a
@@ -158,12 +189,34 @@ pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String>
             "stream_close" => Ok(Request::StreamClose {
                 session: session_id(&doc)?,
             }),
+            "explain" => {
+                let (id, patient) = grid_patient(&doc, t_len)?;
+                let top_k = match doc.get("top_k") {
+                    None => DEFAULT_TOP_K,
+                    Some(k) => k
+                        .as_u64()
+                        .filter(|&k| k >= 1)
+                        .ok_or("`top_k` must be a positive integer")?
+                        .min(MAX_TOP_K as u64) as usize,
+                };
+                Ok(Request::Explain { id, patient, top_k })
+            }
             other => Err(format!(
                 "unknown cmd {other:?} \
-                 (ping|stats|reload|shutdown|stream_open|stream_append|stream_close)"
+                 (ping|stats|reload|shutdown|explain|stream_open|stream_append|stream_close)"
             )),
         };
     }
+    let (id, patient) = grid_patient(&doc, t_len)?;
+    Ok(Request::Score { id, patient })
+}
+
+/// Decodes the whole-window `values` grid (plus the echoed `id`) that
+/// both a bare score request and an `explain` carry.
+fn grid_patient(
+    doc: &serde_json::Value,
+    t_len: usize,
+) -> Result<(serde_json::Value, Patient), String> {
     let values = doc
         .get("values")
         .and_then(|v| v.as_array())
@@ -187,7 +240,7 @@ pub(crate) fn parse_request(line: &str, t_len: usize) -> Result<Request, String>
             died: false,
         },
     );
-    Ok(Request::Score { id, patient })
+    Ok((id, patient))
 }
 
 /// Extracts the `session` id a stream command addresses.
@@ -243,6 +296,60 @@ pub(crate) fn append_reply(
         "id": id, "session": session, "step": step, "risk": risk, "alert": alert,
     });
     serde_json::to_string(&reply).expect("append json")
+}
+
+/// Builds an explanation reply from a scored [`Interpretation`]:
+/// `{"id":...,"risk":R,"alert":B,"time_attention":[...],"top_pairs":[...]}`.
+///
+/// `time_attention` is the full β curve over the `T−1` earlier hours
+/// (empty for variants without a time module); `top_pairs` the `top_k`
+/// strongest feature-pair attentions across every hour of the window,
+/// strongest first, each as `{"hour","feature","partner","alpha"}`
+/// (empty for variants without a feature module). Attention values and
+/// the risk are serialized unrounded: f32 → f64 widening is exact and
+/// the JSON text round-trips the f64, so clients recover the exact bits
+/// the model produced.
+pub(crate) fn explain_reply(
+    id: &serde_json::Value,
+    interp: &Interpretation,
+    alert: bool,
+    top_k: usize,
+) -> String {
+    let mut pairs: Vec<(usize, usize, usize, f32)> = Vec::new();
+    for (hour, att) in interp.feature_attention.iter().enumerate() {
+        let c = att.shape()[1];
+        for i in 0..c {
+            for j in 0..c {
+                if i != j {
+                    let a = att.at(&[i, j]);
+                    if a > 0.0 {
+                        pairs.push((hour, i, j, a));
+                    }
+                }
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("attention weights are finite"));
+    pairs.truncate(top_k);
+    let top_pairs: Vec<serde_json::Value> = pairs
+        .into_iter()
+        .map(|(hour, i, j, a)| {
+            serde_json::json!({
+                "hour": hour,
+                "feature": FEATURES[i].name,
+                "partner": FEATURES[j].name,
+                "alpha": a,
+            })
+        })
+        .collect();
+    let reply = serde_json::json!({
+        "id": id,
+        "risk": interp.risk,
+        "alert": alert,
+        "time_attention": interp.time_attention,
+        "top_pairs": top_pairs,
+    });
+    serde_json::to_string(&reply).expect("explain json")
 }
 
 /// Builds an error reply with a machine-readable `code`. `id` is echoed
@@ -576,6 +683,95 @@ mod tests {
         assert_eq!(doc["step"].as_u64(), Some(4));
         assert_eq!(doc["risk"].as_f64(), Some(0.25));
         assert_eq!(doc["alert"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn explain_requests_parse_with_default_and_clamped_top_k() {
+        let expect = T_LEN * NUM_FEATURES;
+        let vals = vec!["0.5"; expect].join(",");
+
+        let line = format!(r#"{{"cmd":"explain","id":3,"values":[{vals}]}}"#);
+        let Ok(Request::Explain { id, patient, top_k }) = parse_request(&line, T_LEN) else {
+            panic!("expected an explain request")
+        };
+        assert_eq!(id.as_u64(), Some(3));
+        assert_eq!(patient.values.len(), expect);
+        assert_eq!(top_k, DEFAULT_TOP_K);
+
+        let line = format!(r#"{{"cmd":"explain","top_k":9,"values":[{vals}]}}"#);
+        let Ok(Request::Explain { top_k, .. }) = parse_request(&line, T_LEN) else {
+            panic!("expected an explain request")
+        };
+        assert_eq!(top_k, 9);
+
+        let line = format!(r#"{{"cmd":"explain","top_k":100000,"values":[{vals}]}}"#);
+        let Ok(Request::Explain { top_k, .. }) = parse_request(&line, T_LEN) else {
+            panic!("expected an explain request")
+        };
+        assert_eq!(top_k, MAX_TOP_K, "oversized top_k clamps");
+
+        // bad top_k, bad grid, finiteness: same gates as a score request
+        for bad in [
+            format!(r#"{{"cmd":"explain","top_k":0,"values":[{vals}]}}"#),
+            format!(r#"{{"cmd":"explain","top_k":-3,"values":[{vals}]}}"#),
+            format!(r#"{{"cmd":"explain","top_k":"many","values":[{vals}]}}"#),
+            r#"{"cmd":"explain"}"#.to_string(),
+            format!(r#"{{"cmd":"explain","values":[{}]}}"#, ["0.5"; 3].join(",")),
+        ] {
+            assert!(parse_request(&bad, T_LEN).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn explain_replies_carry_beta_and_ranked_pairs_at_full_precision() {
+        use elda_tensor::Tensor;
+        let c = NUM_FEATURES;
+        // One synthetic hour: feature 0 attends 0.75 to feature 2,
+        // 0.25 to feature 1; everything else zero.
+        let mut att = vec![0.0f32; c * c];
+        att[2] = 0.75;
+        att[1] = 0.25;
+        let beta = vec![0.1f32, 0.2, 0.7];
+        let interp = Interpretation {
+            risk: 0.62500006,
+            feature_attention: vec![Tensor::from_vec(att, &[c, c])],
+            time_attention: beta.clone(),
+        };
+        let line = explain_reply(&serde_json::json!(11), &interp, true, 2);
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["id"].as_u64(), Some(11));
+        assert_eq!(doc["alert"].as_bool(), Some(true));
+        // full-precision round trip: parse back and compare bits
+        assert_eq!(
+            (doc["risk"].as_f64().unwrap() as f32).to_bits(),
+            0.62500006f32.to_bits()
+        );
+        let betas = doc["time_attention"].as_array().unwrap();
+        assert_eq!(betas.len(), 3);
+        for (v, want) in betas.iter().zip(&beta) {
+            assert_eq!((v.as_f64().unwrap() as f32).to_bits(), want.to_bits());
+        }
+        let pairs = doc["top_pairs"].as_array().unwrap();
+        assert_eq!(pairs.len(), 2, "top_k respected");
+        assert_eq!(pairs[0]["hour"].as_u64(), Some(0));
+        assert_eq!(pairs[0]["feature"].as_str(), Some(FEATURES[0].name));
+        assert_eq!(pairs[0]["partner"].as_str(), Some(FEATURES[2].name));
+        assert_eq!(
+            (pairs[0]["alpha"].as_f64().unwrap() as f32).to_bits(),
+            0.75f32.to_bits()
+        );
+        assert_eq!(pairs[1]["partner"].as_str(), Some(FEATURES[1].name));
+
+        // no modules → empty arrays, never missing fields
+        let bare = Interpretation {
+            risk: 0.5,
+            feature_attention: vec![],
+            time_attention: vec![],
+        };
+        let line = explain_reply(&serde_json::Value::Null, &bare, false, 5);
+        let doc: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc["time_attention"].as_array().unwrap().len(), 0);
+        assert_eq!(doc["top_pairs"].as_array().unwrap().len(), 0);
     }
 
     #[test]

@@ -163,7 +163,7 @@ fn drain_as_internal(shared: &Shared) {
         }
         for job in batch {
             match job {
-                Job::Score(pending) => write_line(
+                Job::Score(pending) | Job::Explain(pending, _) => write_line(
                     &pending.out,
                     &protocol::error_reply(
                         Some(&pending.id),

@@ -33,6 +33,26 @@
 //! a NaN/Inf score is never written to a client; the offending request
 //! gets `code:"internal"` and is quarantined.
 //!
+//! # Explain traffic
+//!
+//! `explain` requests ride the same queue and micro-batches as scores
+//! but are *processed* one at a time, each as its own supervised
+//! batch-of-one detailed forward on the worker's explain plan
+//! ([`Elda::interpret_with`]). Two reasons: the detailed forward
+//! retains per-request attention tensors (co-batching would multiply
+//! the transient footprint by the batch size for everyone, scores
+//! included), and per-request supervision means a poisoned explain
+//! takes down exactly one reply — there is nothing to bisect. A
+//! panicking or non-finite explain is quarantined and answered
+//! `code:"internal"`, the remaining explains of the batch continue on
+//! a fresh plan cache, and the worker retires after the batch like any
+//! panicked scorer. Explains share the stage histograms (queue, batch
+//! assembly, forward, reply) with scores; their end-to-end latency
+//! lands in the dedicated `serve.explain_ms` histogram instead of
+//! `serve.latency_ms`, and every `trace_sample`-th explain emits an
+//! `explain` trace event carrying the scalar attention summary that
+//! `elda report` aggregates cohort-wide.
+//!
 //! When the server runs with `--deadline-ms`, each batch is filtered
 //! against the requests' admission-time deadlines first: expired
 //! requests are answered `code:"deadline"` instead of burning a forward
@@ -50,8 +70,8 @@
 
 use super::{protocol, session, Job, Pending, Shared};
 use elda_core::infer::PlanCache;
-use elda_core::Elda;
-use elda_emr::Patient;
+use elda_core::{Elda, Interpretation};
+use elda_emr::{Patient, FEATURES};
 use elda_nn::faults;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -121,74 +141,99 @@ fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) -> W
         // score path must never strand a session whose drain this
         // worker already owns (the scheduled flag would stay stuck).
         let mut batch: Vec<Pending> = Vec::new();
+        let mut explains: Vec<(Pending, usize)> = Vec::new();
         let mut streams: Vec<Arc<session::SessionEntry>> = Vec::new();
         for job in traced.items {
             match job {
                 Job::Score(p) => batch.push(p),
+                Job::Explain(p, k) => explains.push((p, k)),
                 Job::Stream(e) => streams.push(e),
             }
         }
-        let mut stream_panicked = false;
+        let mut panicked = false;
         for entry in &streams {
-            stream_panicked |= session::drain_stream(shared, entry);
+            panicked |= session::drain_stream(shared, entry);
         }
-        if batch.is_empty() {
+        if shared.deadline.is_some() {
+            batch = expire_overdue(shared, batch, t0);
+            explains = expire_overdue_explains(shared, explains, t0);
+        }
+        if batch.is_empty() && explains.is_empty() {
             busy += t0.elapsed();
             shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
-            if stream_panicked {
+            if panicked {
                 return WorkerExit::Panicked;
             }
             continue;
         }
-        if shared.deadline.is_some() {
-            batch = expire_overdue(shared, batch, t0);
-            if batch.is_empty() {
-                if stream_panicked {
-                    return WorkerExit::Panicked;
-                }
-                continue;
-            }
-        }
         // One pointer clone per batch: in-flight batches keep scoring on
         // their snapshot across a concurrent reload.
         let model = shared.snapshot.load();
-        let patients: Vec<Patient> = batch.iter().map(|p| p.patient.clone()).collect();
-        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
-        let outcome = score_batch(&model, &cache, &patients, &seqs);
-        let scored = Instant::now();
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        shared.hists.batch_size.record(batch.len() as f64);
-        let ctx = BatchCtx {
-            wid,
-            batch_len: batch.len(),
-            opened: traced.opened,
-            closed: traced.closed,
-            score_ms: scored
-                .saturating_duration_since(traced.closed)
-                .as_secs_f64()
-                * 1e3,
-        };
-        match outcome {
-            Ok(risks) => {
-                shared.hists.stage_score_ms.record(ctx.score_ms);
-                for (pending, risk) in batch.into_iter().zip(risks) {
-                    if risk.is_finite() {
-                        reply_scored(shared, &ctx, pending, risk, risk >= model.alert_threshold);
-                    } else {
-                        quarantine_and_reply_internal(shared, pending);
+        if !batch.is_empty() {
+            let patients: Vec<Patient> = batch.iter().map(|p| p.patient.clone()).collect();
+            let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+            let outcome = score_batch(&model, &cache, &patients, &seqs);
+            let scored = Instant::now();
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            shared.hists.batch_size.record(batch.len() as f64);
+            let ctx = BatchCtx {
+                wid,
+                batch_len: batch.len(),
+                opened: traced.opened,
+                closed: traced.closed,
+                score_ms: scored
+                    .saturating_duration_since(traced.closed)
+                    .as_secs_f64()
+                    * 1e3,
+            };
+            match outcome {
+                Ok(risks) => {
+                    shared.hists.stage_score_ms.record(ctx.score_ms);
+                    for (pending, risk) in batch.into_iter().zip(risks) {
+                        if risk.is_finite() {
+                            reply_scored(
+                                shared,
+                                &ctx,
+                                pending,
+                                risk,
+                                risk >= model.alert_threshold,
+                            );
+                        } else {
+                            quarantine_and_reply_internal(shared, pending);
+                        }
                     }
                 }
+                Err(()) => {
+                    record_panic(
+                        shared,
+                        wid,
+                        ctx.batch_len,
+                        "salvaging the batch by bisection",
+                    );
+                    salvage_by_bisection(shared, &model, &ctx, batch);
+                    panicked = true;
+                }
             }
-            Err(()) => {
-                record_panic(shared, wid, ctx.batch_len);
-                salvage_by_bisection(shared, &model, &ctx, batch);
-                busy += t0.elapsed();
-                shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
-                // Fresh state beats optimism: even though the batch was
-                // salvaged, hand the slot back so the supervisor can
-                // respawn a worker whose caches never saw the panic.
-                return WorkerExit::Panicked;
-            }
+        }
+        if !explains.is_empty() {
+            // After a score-path panic the worker's cache is suspect;
+            // explains fall back to a fresh one, like the bisection does.
+            let fresh_after_panic;
+            let explain_cache = if panicked {
+                fresh_after_panic = PlanCache::new();
+                &fresh_after_panic
+            } else {
+                &cache
+            };
+            panicked |= process_explains(
+                shared,
+                &model,
+                explain_cache,
+                wid,
+                traced.opened,
+                traced.closed,
+                explains,
+            );
         }
         busy += t0.elapsed();
         shared.worker_busy_ns[wid].store(busy.as_nanos() as u64, Ordering::Relaxed);
@@ -196,10 +241,12 @@ fn worker_loop(wid: usize, shared: &Shared, batch_max: usize, wait_ms: u64) -> W
         if wall > 0.0 {
             elda_obs::gauge_set(util_gauge, busy.as_secs_f64() / wall);
         }
-        if stream_panicked {
-            // The batch was answered; hand the slot back so the
-            // supervisor can respawn fresh state (the panicking
-            // session was already torn down and answered).
+        if panicked {
+            // Every request of the batch was answered; hand the slot
+            // back so the supervisor can respawn fresh state (a
+            // panicking session was already torn down and answered,
+            // panicking scores salvaged, panicking explains
+            // quarantined).
             return WorkerExit::Panicked;
         }
     }
@@ -238,27 +285,49 @@ fn expire_overdue(shared: &Shared, batch: Vec<Pending>, now: Instant) -> Vec<Pen
         .into_iter()
         .partition(|p| p.deadline.is_none_or(|d| now < d));
     for pending in expired {
-        shared
-            .stats
-            .deadline_exceeded
-            .fetch_add(1, Ordering::Relaxed);
-        elda_obs::counter_add("serve.deadline_exceeded", 1);
-        if let Some(d) = pending.deadline {
-            shared
-                .hists
-                .deadline_lag_ms
-                .record(now.saturating_duration_since(d).as_secs_f64() * 1e3);
-        }
-        super::write_line(
-            &pending.out,
-            &protocol::error_reply(
-                Some(&pending.id),
-                protocol::CODE_DEADLINE,
-                "deadline exceeded before scoring; the request was not scored",
-            ),
-        );
+        expire_reply(shared, pending, now);
     }
     live
+}
+
+/// [`expire_overdue`] for the explain side of a micro-batch: same
+/// deadline contract, same `code:"deadline"` reply.
+fn expire_overdue_explains(
+    shared: &Shared,
+    explains: Vec<(Pending, usize)>,
+    now: Instant,
+) -> Vec<(Pending, usize)> {
+    let (live, expired): (Vec<_>, Vec<_>) = explains
+        .into_iter()
+        .partition(|(p, _)| p.deadline.is_none_or(|d| now < d));
+    for (pending, _) in expired {
+        expire_reply(shared, pending, now);
+    }
+    live
+}
+
+/// Answers one expired request: deadline counters, lag histogram, the
+/// `code:"deadline"` reply line.
+fn expire_reply(shared: &Shared, pending: Pending, now: Instant) {
+    shared
+        .stats
+        .deadline_exceeded
+        .fetch_add(1, Ordering::Relaxed);
+    elda_obs::counter_add("serve.deadline_exceeded", 1);
+    if let Some(d) = pending.deadline {
+        shared
+            .hists
+            .deadline_lag_ms
+            .record(now.saturating_duration_since(d).as_secs_f64() * 1e3);
+    }
+    super::write_line(
+        &pending.out,
+        &protocol::error_reply(
+            Some(&pending.id),
+            protocol::CODE_DEADLINE,
+            "deadline exceeded before scoring; the request was not scored",
+        ),
+    );
 }
 
 /// Answers one scored request: stage histograms, the reply line, and the
@@ -316,8 +385,10 @@ fn reply_scored(shared: &Shared, ctx: &BatchCtx, pending: Pending, risk: f32, al
     }
 }
 
-/// Records a caught scorer panic: counter, trace event, stderr line.
-fn record_panic(shared: &Shared, wid: usize, batch_len: usize) {
+/// Records a caught worker panic: counter, trace event, stderr line.
+/// `action` names the containment step that follows (bisection for a
+/// score batch, quarantine for a single explain).
+fn record_panic(shared: &Shared, wid: usize, batch_len: usize, action: &str) {
     shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
     elda_obs::counter_add("serve.worker.panics", 1);
     elda_obs::emit(
@@ -325,10 +396,7 @@ fn record_panic(shared: &Shared, wid: usize, batch_len: usize) {
             .with("worker", wid)
             .with("batch", batch_len),
     );
-    eprintln!(
-        "serve: worker {wid} panicked scoring a batch of {batch_len}; \
-         salvaging the batch by bisection"
-    );
+    eprintln!("serve: worker {wid} panicked on a batch of {batch_len}; {action}");
 }
 
 /// Answers every request of a panicked batch by bisection. Sub-batches
@@ -366,6 +434,178 @@ fn salvage_by_bisection(shared: &Shared, model: &Arc<Elda>, ctx: &BatchCtx, batc
             }
         }
     }
+}
+
+/// Runs the explain side of a micro-batch: each request is its own
+/// supervised batch-of-one detailed forward (see the module doc for why
+/// explains are never co-batched). A panicking explain is quarantined
+/// and answered `code:"internal"`; the remaining explains continue on a
+/// fresh plan cache, exactly like the score path's bisection retry.
+/// Returns whether any explain panicked — the worker should retire
+/// after the batch so the supervisor can respawn fresh state.
+fn process_explains(
+    shared: &Shared,
+    model: &Arc<Elda>,
+    cache: &PlanCache,
+    wid: usize,
+    opened: Instant,
+    closed: Instant,
+    explains: Vec<(Pending, usize)>,
+) -> bool {
+    let mut panicked = false;
+    let mut fresh: Option<PlanCache> = None;
+    for (pending, top_k) in explains {
+        let active = fresh.as_ref().unwrap_or(cache);
+        let started = Instant::now();
+        match explain_one(model, active, &pending) {
+            Ok(interp) if interp.risk.is_finite() => {
+                let forward_ms = started.elapsed().as_secs_f64() * 1e3;
+                reply_explained(
+                    shared, model, wid, opened, closed, forward_ms, pending, &interp, top_k,
+                );
+            }
+            Ok(_) => quarantine_and_reply_internal(shared, pending),
+            Err(()) => {
+                record_panic(
+                    shared,
+                    wid,
+                    1,
+                    "quarantining the offending explain and re-planning the rest",
+                );
+                panicked = true;
+                fresh = Some(PlanCache::new());
+                quarantine_and_reply_internal(shared, pending);
+            }
+        }
+    }
+    panicked
+}
+
+/// One supervised detailed forward for a single explain request, with
+/// the same chaos hooks as the score path (`panic_worker`, `slow_score`,
+/// `poison_scores` — the poison hook corrupts the risk, exercising the
+/// same non-finite containment scores get).
+fn explain_one(
+    model: &Arc<Elda>,
+    cache: &PlanCache,
+    pending: &Pending,
+) -> Result<Interpretation, ()> {
+    let seqs = [pending.seq];
+    catch_unwind(AssertUnwindSafe(|| {
+        faults::chaos_panic_worker(&seqs);
+        if let Some(delay) = faults::chaos_slow_score(&seqs) {
+            std::thread::sleep(delay);
+        }
+        let mut interp = model.interpret_with(&pending.patient, cache);
+        if faults::chaos_poison_score(pending.seq) {
+            interp.risk = f32::NAN;
+        }
+        interp
+    }))
+    .map_err(|_| ())
+}
+
+/// Answers one explained request: the stage histograms shared with the
+/// score path, the dedicated `serve.explain_ms` end-to-end histogram,
+/// the reply line, and the sampled `explain` trace event carrying the
+/// scalar attention summary `elda report` aggregates cohort-wide.
+/// Honors the `drop_reply` chaos hook like [`reply_scored`].
+#[allow(clippy::too_many_arguments)]
+fn reply_explained(
+    shared: &Shared,
+    model: &Arc<Elda>,
+    wid: usize,
+    opened: Instant,
+    closed: Instant,
+    forward_ms: f64,
+    pending: Pending,
+    interp: &Interpretation,
+    top_k: usize,
+) {
+    let queue_ms = opened
+        .saturating_duration_since(pending.enqueued)
+        .as_secs_f64()
+        * 1e3;
+    let joined = pending.enqueued.max(opened);
+    let batch_ms = closed.saturating_duration_since(joined).as_secs_f64() * 1e3;
+    shared.hists.stage_queue_ms.record(queue_ms);
+    shared.hists.stage_batch_ms.record(batch_ms);
+    shared.hists.stage_score_ms.record(forward_ms);
+    if faults::chaos_drop_reply(pending.seq) {
+        eprintln!(
+            "serve: chaos drop_reply suppressing the reply to request seq {}",
+            pending.seq
+        );
+        return;
+    }
+    let alert = interp.risk >= model.alert_threshold;
+    let write_start = Instant::now();
+    super::write_line(
+        &pending.out,
+        &protocol::explain_reply(&pending.id, interp, alert, top_k),
+    );
+    let reply_ms = write_start.elapsed().as_secs_f64() * 1e3;
+    let total_ms = pending.recv.elapsed().as_secs_f64() * 1e3;
+    shared.hists.stage_reply_ms.record(reply_ms);
+    shared.hists.explain_ms.record(total_ms);
+    if shared.trace_sample > 0 && pending.seq.is_multiple_of(shared.trace_sample) {
+        emit_explain_event(wid, &pending, interp, total_ms);
+    }
+}
+
+/// Emits the sampled `explain` trace event: scalar summaries of the β
+/// curve and the α matrices (never the matrices themselves), sized for
+/// cohort-level aggregation by `elda report`.
+fn emit_explain_event(wid: usize, pending: &Pending, interp: &Interpretation, total_ms: f64) {
+    let mut ev = elda_obs::TraceEvent::new("explain")
+        .with("seq", pending.seq)
+        .with("worker", wid)
+        .with("risk", interp.risk)
+        .with("total_ms", total_ms);
+    if !interp.time_attention.is_empty() {
+        let (top_hour, beta_top) = interp
+            .time_attention
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("attention weights are finite"))
+            .expect("non-empty");
+        ev = ev
+            .with("top_hour", top_hour)
+            .with("beta_top", *beta_top)
+            .with(
+                "beta_entropy",
+                elda_core::mean_row_entropy(&interp.time_attention, interp.time_attention.len()),
+            );
+    }
+    if !interp.feature_attention.is_empty() {
+        let c = interp.feature_attention[0].shape()[1];
+        let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+        let mut entropy_sum = 0.0f64;
+        for att in &interp.feature_attention {
+            entropy_sum += elda_core::mean_row_entropy(att.data(), c) as f64;
+            for i in 0..c {
+                for j in 0..c {
+                    if i != j {
+                        let a = att.at(&[i, j]);
+                        if a > best.2 {
+                            best = (i, j, a);
+                        }
+                    }
+                }
+            }
+        }
+        ev = ev
+            .with(
+                "pair",
+                format!("{}×{}", FEATURES[best.0].name, FEATURES[best.1].name),
+            )
+            .with("alpha_top", best.2)
+            .with(
+                "alpha_entropy",
+                (entropy_sum / interp.feature_attention.len() as f64) as f32,
+            );
+    }
+    elda_obs::emit(&ev);
 }
 
 /// Answers a request isolated as the cause of a panic or non-finite

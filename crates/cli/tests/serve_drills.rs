@@ -9,7 +9,7 @@
 use elda_cli::serve::{ServeConfig, Server};
 use elda_core::framework::{CheckpointOptions, FitConfig};
 use elda_core::{Elda, EldaConfig, EldaVariant};
-use elda_emr::{Cohort, CohortConfig, Patient, Task};
+use elda_emr::{Cohort, CohortConfig, Patient, Task, FEATURES};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +71,34 @@ fn score_line(id: usize, patient: &Patient) -> String {
         })
         .collect();
     format!(r#"{{"id":{id},"values":[{}]}}"#, vals.join(","))
+}
+
+/// Renders a patient's measurement grid as an explain-request line.
+fn explain_line(id: usize, patient: &Patient) -> String {
+    let vals: Vec<String> = patient
+        .values
+        .iter()
+        .map(|v| {
+            if v.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{v}")
+            }
+        })
+        .collect();
+    format!(
+        r#"{{"cmd":"explain","id":{id},"values":[{}]}}"#,
+        vals.join(",")
+    )
+}
+
+/// Feature id for a served pair name (the reply carries names, the
+/// offline `Interpretation` carries indices).
+fn feature_index(name: &str) -> usize {
+    FEATURES
+        .iter()
+        .position(|f| f.name == name)
+        .unwrap_or_else(|| panic!("unknown feature name {name:?}"))
 }
 
 /// Minimal HTTP/1.1 GET against the metrics endpoint (what `curl`
@@ -429,4 +457,139 @@ fn overload_drill_sheds_excess_and_survives() {
 
     client.send(r#"{"cmd":"shutdown"}"#);
     server.join().unwrap();
+}
+
+/// Explain drill: continuous explain traffic through a hot weight swap.
+/// Every mid-swap reply must be a well-formed explanation (risk, a full
+/// β curve, a non-empty pair ranking — the drill model is the Full
+/// variant), and a post-swap explain must match the new weights'
+/// offline `Elda::interpret` **bitwise**: the reply serializes f32
+/// values unrounded, and f32 → JSON f64 → f32 round-trips exactly.
+#[test]
+fn explain_drill_stays_consistent_under_live_reload() {
+    let dir = tmpdir("explain");
+    let full_cfg = || {
+        let mut cfg = EldaConfig::variant(EldaVariant::Full, T_LEN);
+        cfg.embed_dim = 4;
+        cfg.gru_hidden = 6;
+        cfg.compression = 2;
+        cfg
+    };
+    let train_full = |seed: u64| {
+        let mut elda = Elda::with_config(full_cfg(), Task::Mortality, seed);
+        elda.fit(
+            &cohort(),
+            &FitConfig {
+                epochs: 1,
+                batch_size: 16,
+                threads: 1,
+                patience: None,
+                ..Default::default()
+            },
+        );
+        elda
+    };
+    let model_a = train_full(5);
+    let model_b = train_full(6);
+    let b_path = dir.join("b.json");
+    std::fs::write(&b_path, model_b.save()).unwrap();
+    let probe = cohort().patients[3].clone();
+    let b_offline = model_b.interpret(&probe);
+
+    let server = Server::start(
+        model_a,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch_max: 8,
+            wait_ms: 2,
+            workers: 2,
+            queue_cap: 256,
+            trace_sample: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // continuous explain traffic across the swap
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let patient = cohort().patients[1].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut n = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let reply = client.send(&explain_line(n, &patient));
+                    let risk = reply["risk"]
+                        .as_f64()
+                        .unwrap_or_else(|| panic!("non-explain reply mid-reload: {reply:?}"));
+                    assert!((0.0..=1.0).contains(&risk), "risk {risk}");
+                    let beta = reply["time_attention"].as_array().unwrap();
+                    assert_eq!(beta.len(), T_LEN - 1, "β curve truncated mid-reload");
+                    assert!(
+                        !reply["top_pairs"].as_array().unwrap().is_empty(),
+                        "Full variant explains must rank pairs: {reply:?}"
+                    );
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    let mut ctl = Client::connect(addr);
+    std::thread::sleep(Duration::from_millis(50));
+    let reply = ctl.send(&format!(
+        r#"{{"cmd":"reload","path":{}}}"#,
+        serde_json::to_string(&serde_json::json!(b_path.to_str().unwrap())).unwrap()
+    ));
+    assert_eq!(reply["ok"].as_str(), Some("reloaded"), "{reply:?}");
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+    let explained: usize = traffic.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(explained > 0, "traffic threads never explained");
+
+    // post-swap: the served explanation is the offline interpretation of
+    // the reloaded weights, bit for bit
+    let reply = ctl.send(&explain_line(777, &probe));
+    assert_eq!(
+        (reply["risk"].as_f64().unwrap() as f32).to_bits(),
+        b_offline.risk.to_bits(),
+        "served risk != offline interpret on the reloaded weights"
+    );
+    let beta = reply["time_attention"].as_array().unwrap();
+    assert_eq!(beta.len(), b_offline.time_attention.len());
+    for (k, (v, off)) in beta.iter().zip(&b_offline.time_attention).enumerate() {
+        assert_eq!(
+            (v.as_f64().unwrap() as f32).to_bits(),
+            off.to_bits(),
+            "served β[{k}] != offline"
+        );
+    }
+    let pairs = reply["top_pairs"].as_array().unwrap();
+    assert!(!pairs.is_empty(), "{reply:?}");
+    for pair in pairs {
+        let hour = pair["hour"].as_u64().unwrap() as usize;
+        let i = feature_index(pair["feature"].as_str().unwrap());
+        let j = feature_index(pair["partner"].as_str().unwrap());
+        let served = pair["alpha"].as_f64().unwrap() as f32;
+        let offline = b_offline.feature_attention[hour].at(&[i, j]);
+        assert_eq!(
+            served.to_bits(),
+            offline.to_bits(),
+            "served α({hour},{i},{j}) != offline: {served} vs {offline}"
+        );
+    }
+
+    let stats = ctl.send(r#"{"cmd":"stats"}"#);
+    assert!(
+        stats["explains"].as_u64().unwrap() > 0,
+        "explain counter never moved: {stats:?}"
+    );
+
+    ctl.send(r#"{"cmd":"shutdown"}"#);
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }

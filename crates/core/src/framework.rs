@@ -580,10 +580,25 @@ impl Elda {
     }
 
     /// §III "Interaction Interpretation": full attention read-out for one
-    /// raw patient.
+    /// raw patient, on the explain-plan replay path through the
+    /// instance's internal cache.
     pub fn interpret(&self, patient: &Patient) -> Interpretation {
+        self.interpret_with(patient, &self.infer)
+    }
+
+    /// [`Elda::interpret`] replaying through a caller-owned
+    /// [`crate::infer::PlanCache`], mirroring
+    /// [`Elda::predict_batch_with`]: concurrent explainers (the `elda
+    /// serve` worker pool) each hold their own cache so explain-plan
+    /// lookups never contend, and explain plans live beside — never in
+    /// place of — the lean score plans keyed under a different tag.
+    pub fn interpret_with(
+        &self,
+        patient: &Patient,
+        cache: &crate::infer::PlanCache,
+    ) -> Interpretation {
         let sample = self.process(patient);
-        interpret_sample(&self.net, &self.ps, &sample, self.task)
+        interpret_sample(&self.net, &self.ps, &sample, self.task, cache)
     }
 
     /// Serializes parameters to JSON (the pipeline must be re-fitted or

@@ -13,6 +13,11 @@
 //!   telemetry performs extra mid-forward value reads that must be
 //!   pinned) — then replays it for every following batch of that shape,
 //!   freeing each intermediate tensor at its last use.
+//! * [`PlanCache::explain_forward`] is the third plan family beside the
+//!   lean batch and streaming plans: a detailed forward whose plan keeps
+//!   only the logits, the β output and the op-stashed α matrices alive,
+//!   so per-prediction explanations replay at inference memory instead of
+//!   paying the training tape.
 //! * [`predict_probs`] shards the batches of one prediction call across
 //!   the tensor worker pool. `elda_tensor::pool` guarantees in-order
 //!   results and serializes nested parallelism, and replay is bit-identical
@@ -24,11 +29,11 @@
 //! identical inputs, so there is no accuracy/performance trade-off here:
 //! only peak memory and (on multicore hosts) wall clock change.
 
-use crate::model::SequenceModel;
+use crate::model::{EldaNet, SequenceModel};
 use elda_autodiff::{InferPlan, Tape};
 use elda_emr::{Batch, ProcessedSample, Task};
 use elda_nn::ParamStore;
-use elda_tensor::pool;
+use elda_tensor::{pool, Tensor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -56,6 +61,27 @@ pub(crate) const TAG_BATCH: u8 = 0;
 pub(crate) const TAG_STREAM_STEP: u8 = 1;
 /// Plan namespace for streaming head forwards (`h_1..h_W → logit`).
 pub(crate) const TAG_STREAM_HEAD: u8 = 2;
+/// Plan namespace for explanation forwards ([`PlanCache::explain_forward`]):
+/// the detailed graph whose plan pins the attention outputs alongside the
+/// logits. Kept apart from [`TAG_BATCH`] because the detailed forward
+/// records extra ops (the α stash path and β read), so the two families
+/// can never legally share a plan even at equal dims.
+pub(crate) const TAG_EXPLAIN: u8 = 3;
+
+/// Maps raw head outputs to served predictions for `task` — the single
+/// output transform shared by the batch predict path
+/// ([`PlanCache::forward_probs`]), streaming scoring and the
+/// interpret/explain path. Both configured tasks are binary
+/// classification heads, so today this is the logistic sigmoid; a future
+/// regression head (see [`crate::regression`]) returns its raw
+/// (denormalizable) output here instead of a squashed logit, which is why
+/// callers must route through this function rather than hardcode a
+/// sigmoid.
+pub fn task_output(task: Task, raw: &Tensor) -> Vec<f32> {
+    match task {
+        Task::Mortality | Task::LosGt7 => raw.sigmoid().data().to_vec(),
+    }
+}
 
 /// A concurrency-safe cache of captured [`InferPlan`]s, one per distinct
 /// forward graph. Create one per deployed model (plans embed the model's
@@ -83,7 +109,8 @@ impl PlanCache {
         self.plans.lock().is_empty()
     }
 
-    /// Grad-free forward for one batch: sigmoid(logits) as a plain vector.
+    /// Grad-free forward for one batch: the task-transformed predictions
+    /// (see [`task_output`]) as a plain vector.
     ///
     /// Cache miss → a capturing (retaining) forward that records the
     /// replay plan; cache hit → a replaying forward that frees
@@ -94,6 +121,7 @@ impl PlanCache {
         model: &dyn SequenceModel,
         ps: &ParamStore,
         batch: &Batch,
+        task: Task,
     ) -> Vec<f32> {
         let key = PlanKey {
             tag: TAG_BATCH,
@@ -107,7 +135,7 @@ impl PlanCache {
                 elda_obs::counter_add("infer.replay", 1);
                 let mut tape = Tape::replaying(plan);
                 let logits = model.forward_logits(ps, &mut tape, batch);
-                tape.value(logits).sigmoid().data().to_vec()
+                task_output(task, tape.value(logits))
             }
             None => {
                 elda_obs::counter_add("infer.capture", 1);
@@ -115,8 +143,58 @@ impl PlanCache {
                 let logits = model.forward_logits(ps, &mut tape, batch);
                 let plan = Arc::new(tape.finish_capture(&[logits]));
                 self.plans.lock().insert(key, plan);
-                tape.value(logits).sigmoid().data().to_vec()
+                task_output(task, tape.value(logits))
             }
+        }
+    }
+
+    /// Grad-free *detailed* forward for one batch: predictions plus the
+    /// dual-attention tensors behind them, on a replay plan that retains
+    /// only what an explanation needs.
+    ///
+    /// The plan pins the logits and the β output; the per-hour α matrices
+    /// never live on the tape at all — the fused interaction op stashes
+    /// them inside the op object (the PR 5 `without_stash` split keeps the
+    /// stash out of the lean predict path), and ops execute at push time
+    /// in every tape mode, so the stash is populated under capture and
+    /// replay alike. Every other intermediate is freed at its last use,
+    /// which is why explain traffic never pays training-tape peak memory.
+    pub fn explain_forward(
+        &self,
+        net: &EldaNet,
+        ps: &ParamStore,
+        batch: &Batch,
+        task: Task,
+    ) -> ExplainOutput {
+        let key = PlanKey {
+            tag: TAG_EXPLAIN,
+            dims: batch.x.shape().to_vec(),
+            graph_key: net.graph_key(batch),
+            obs: elda_obs::enabled(),
+        };
+        let plan = self.plans.lock().get(&key).cloned();
+        let (tape, out) = match plan {
+            Some(plan) => {
+                elda_obs::counter_add("infer.replay", 1);
+                let mut tape = Tape::replaying(plan);
+                let out = net.forward_detailed(ps, &mut tape, batch);
+                (tape, out)
+            }
+            None => {
+                elda_obs::counter_add("infer.capture", 1);
+                let mut tape = Tape::capturing();
+                let out = net.forward_detailed(ps, &mut tape, batch);
+                let mut keep = vec![out.logits];
+                keep.extend(out.time_attention);
+                let plan = Arc::new(tape.finish_capture(&keep));
+                self.plans.lock().insert(key, plan);
+                (tape, out)
+            }
+        };
+        ExplainOutput {
+            probs: task_output(task, tape.value(out.logits)),
+            feature_attention: out.feature_attention,
+            time_attention: out.time_attention.map(|b| tape.value(b).clone()),
         }
     }
 
@@ -161,6 +239,20 @@ impl PlanCache {
     }
 }
 
+/// One batch's explanation forward ([`PlanCache::explain_forward`]):
+/// task-transformed predictions plus the attention tensors that produced
+/// them.
+pub struct ExplainOutput {
+    /// Task-transformed predictions, one per batch row.
+    pub probs: Vec<f32>,
+    /// Per-hour feature-level attention matrices `(B, C, C)`; `None` when
+    /// the variant has no feature module.
+    pub feature_attention: Option<Vec<Tensor>>,
+    /// Time-level attention `(B, T−1)`; `None` when the variant has no
+    /// time module or the window is a single step.
+    pub time_attention: Option<Tensor>,
+}
+
 /// Predicted probabilities for `indices`, batched and sharded across the
 /// tensor worker pool, on the grad-free replay path.
 ///
@@ -184,7 +276,7 @@ pub fn predict_probs(
     let chunks: Vec<&[usize]> = indices.chunks(batch_size.max(1)).collect();
     let run = |chunk: &[usize]| -> Vec<f32> {
         let batch = Batch::gather(samples, chunk, t_len, task);
-        cache.forward_probs(model, ps, &batch)
+        cache.forward_probs(model, ps, &batch, task)
     };
     let mut probs = Vec::with_capacity(indices.len());
     if let Some((first, rest)) = chunks.split_first() {

@@ -2,6 +2,7 @@
 //! weights behind the paper's Figures 8–10 and the §III functionality
 //! descriptions.
 
+use crate::infer::{task_output, ExplainOutput, PlanCache};
 use crate::model::EldaNet;
 use elda_autodiff::Tape;
 use elda_emr::{Batch, ProcessedSample, Task};
@@ -23,11 +24,31 @@ pub struct Interpretation {
 
 impl Interpretation {
     /// The attention row of feature `i` at hour `t` (the paper's Figure 9
-    /// rows), normalized percentages over partners `j ≠ i`.
-    pub fn feature_row_percent(&self, t: usize, i: usize) -> Vec<f32> {
-        let att = &self.feature_attention[t];
+    /// rows), normalized percentages over partners `j ≠ i`: the diagonal
+    /// entry is forced to zero and the remaining weights are rescaled to
+    /// sum to 100. (The fused interaction op already masks the diagonal
+    /// before its softmax, so the rescale is a no-op up to rounding — but
+    /// the contract no longer depends on that implementation detail.)
+    ///
+    /// Returns `None` when `t` is not a valid hour or `i` not a valid
+    /// feature id — out-of-range requests (e.g. a bad `elda interpret
+    /// --hour`) are a caller error to report, not a panic.
+    pub fn feature_row_percent(&self, t: usize, i: usize) -> Option<Vec<f32>> {
+        let att = self.feature_attention.get(t)?;
         let c = att.shape()[1];
-        (0..c).map(|j| att.at(&[i, j]) * 100.0).collect()
+        if i >= c {
+            return None;
+        }
+        let mut row: Vec<f32> = (0..c)
+            .map(|j| if j == i { 0.0 } else { att.at(&[i, j]) })
+            .collect();
+        let total: f32 = row.iter().sum();
+        if total > 0.0 {
+            for v in &mut row {
+                *v *= 100.0 / total;
+            }
+        }
+        Some(row)
     }
 
     /// The hours whose time-level attention exceeds `k×` the uniform
@@ -47,10 +68,35 @@ impl Interpretation {
     }
 }
 
-/// Runs a single processed admission through the network and extracts its
-/// interpretation. `task` only selects which label rides along in the
-/// batch; it does not affect the forward pass.
+/// Runs a single processed admission through the network on the
+/// explain-plan replay path ([`PlanCache::explain_forward`]) and extracts
+/// its interpretation. `task` selects which label rides along in the
+/// batch and which output transform maps the logit to `risk` — the same
+/// [`task_output`] the predict path uses, so `risk` is bitwise the
+/// predicted value, never a double-squashed logit.
+///
+/// The first call for a given window shape captures the explain plan into
+/// `cache`; every following call replays it at inference memory. The
+/// result is bitwise identical to [`interpret_sample_tape`], the
+/// retaining-tape oracle.
 pub fn interpret_sample(
+    net: &EldaNet,
+    ps: &ParamStore,
+    sample: &ProcessedSample,
+    task: Task,
+    cache: &PlanCache,
+) -> Interpretation {
+    let t_len = net.config().t_len;
+    let batch = Batch::gather(std::slice::from_ref(sample), &[0], t_len, task);
+    let out = cache.explain_forward(net, ps, &batch, task);
+    interpretation_of(out)
+}
+
+/// The tape-backed golden oracle for [`interpret_sample`]: an ordinary
+/// retaining forward that keeps every intermediate alive. Identical
+/// output, training-tape peak memory — kept for equivalence tests and as
+/// the reference the explain-plan path is verified against.
+pub fn interpret_sample_tape(
     net: &EldaNet,
     ps: &ParamStore,
     sample: &ProcessedSample,
@@ -60,8 +106,15 @@ pub fn interpret_sample(
     let batch = Batch::gather(std::slice::from_ref(sample), &[0], t_len, task);
     let mut tape = Tape::new();
     let out = net.forward_detailed(ps, &mut tape, &batch);
-    let risk = tape.value(out.logits).data()[0];
-    let risk = 1.0 / (1.0 + (-risk).exp());
+    interpretation_of(ExplainOutput {
+        probs: task_output(task, tape.value(out.logits)),
+        feature_attention: out.feature_attention,
+        time_attention: out.time_attention.map(|b| tape.value(b).clone()),
+    })
+}
+
+/// Converts a batch-of-one [`ExplainOutput`] into an [`Interpretation`].
+fn interpretation_of(out: ExplainOutput) -> Interpretation {
     let feature_attention = out
         .feature_attention
         .map(|atts| {
@@ -75,10 +128,10 @@ pub fn interpret_sample(
         .unwrap_or_default();
     let time_attention = out
         .time_attention
-        .map(|beta| tape.value(beta).data().to_vec())
+        .map(|beta| beta.data().to_vec())
         .unwrap_or_default();
     Interpretation {
-        risk,
+        risk: out.probs[0],
         feature_attention,
         time_attention,
     }
@@ -90,10 +143,21 @@ pub fn interpret_sample(
 /// rows). Zero entries contribute `0·ln 0 = 0`. Low entropy means the
 /// attention concentrates on few partners; `ln(row_len)` is the uniform
 /// ceiling. Returns NaN for empty input.
+///
+/// # Panics
+/// Panics when `data.len()` is not a whole number of rows — a ragged
+/// stack means the caller sliced the attention tensor wrong, and silently
+/// dropping the trailing partial row would hide that.
 pub fn mean_row_entropy(data: &[f32], row_len: usize) -> f32 {
     if data.is_empty() || row_len == 0 {
         return f32::NAN;
     }
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "ragged attention stack: {} values is not a whole number of rows of {row_len}",
+        data.len()
+    );
     let rows = data.len() / row_len;
     let mut total = 0.0f64;
     for r in 0..rows {
@@ -113,10 +177,19 @@ pub fn mean_row_entropy(data: &[f32], row_len: usize) -> f32 {
 /// Mean of each row's largest weight — the concentration twin of
 /// [`mean_row_entropy`]: 1.0 means every row is one-hot, `1/row_len` means
 /// uniform. Returns NaN for empty input.
+///
+/// # Panics
+/// Panics on a ragged stack, like [`mean_row_entropy`].
 pub fn mean_row_max(data: &[f32], row_len: usize) -> f32 {
     if data.is_empty() || row_len == 0 {
         return f32::NAN;
     }
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "ragged attention stack: {} values is not a whole number of rows of {row_len}",
+        data.len()
+    );
     let rows = data.len() / row_len;
     let mut total = 0.0f64;
     for r in 0..rows {
@@ -197,23 +270,92 @@ mod tests {
     #[test]
     fn interpretation_has_all_components() {
         let (ps, net, samples) = setup(6);
-        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality);
+        let cache = PlanCache::new();
+        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality, &cache);
         assert!((0.0..=1.0).contains(&interp.risk));
         assert_eq!(interp.feature_attention.len(), 6);
         assert_eq!(interp.feature_attention[0].shape(), &[37, 37]);
         assert_eq!(interp.time_attention.len(), 5);
         let sum: f32 = interp.time_attention.iter().sum();
         assert!((sum - 1.0).abs() < 1e-4);
+        assert_eq!(cache.len(), 1, "one explain plan captured");
+    }
+
+    #[test]
+    fn plan_backed_interpret_matches_tape_oracle_bitwise() {
+        let (ps, net, samples) = setup(6);
+        let cache = PlanCache::new();
+        for s in samples.iter().take(3) {
+            // First call per shape captures, later calls replay — both
+            // must match the retaining-tape oracle bit for bit.
+            let plan = interpret_sample(&net, &ps, s, Task::Mortality, &cache);
+            let oracle = interpret_sample_tape(&net, &ps, s, Task::Mortality);
+            assert_eq!(plan.risk.to_bits(), oracle.risk.to_bits());
+            assert_eq!(plan.feature_attention.len(), oracle.feature_attention.len());
+            for (a, b) in plan.feature_attention.iter().zip(&oracle.feature_attention) {
+                for (x, y) in a.data().iter().zip(b.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            for (x, y) in plan.time_attention.iter().zip(&oracle.time_attention) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]
     fn feature_row_percent_sums_to_100() {
         let (ps, net, samples) = setup(5);
-        let interp = interpret_sample(&net, &ps, &samples[1], Task::Mortality);
-        let row = interp.feature_row_percent(2, 11); // Glucose row
+        let cache = PlanCache::new();
+        let interp = interpret_sample(&net, &ps, &samples[1], Task::Mortality, &cache);
+        let row = interp.feature_row_percent(2, 11).expect("in range"); // Glucose row
         let total: f32 = row.iter().sum();
         assert!((total - 100.0).abs() < 0.1, "total {total}");
         assert_eq!(row[11], 0.0, "self-interaction excluded");
+    }
+
+    #[test]
+    fn feature_row_percent_rejects_out_of_range_instead_of_panicking() {
+        let (ps, net, samples) = setup(5);
+        let cache = PlanCache::new();
+        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality, &cache);
+        assert!(
+            interp.feature_row_percent(5, 0).is_none(),
+            "hour past window"
+        );
+        assert!(
+            interp.feature_row_percent(0, 37).is_none(),
+            "feature past C"
+        );
+        assert!(
+            interp.feature_row_percent(4, 36).is_some(),
+            "last valid pair"
+        );
+        // A variant without a feature module has no rows at all.
+        let empty = Interpretation {
+            risk: 0.5,
+            feature_attention: vec![],
+            time_attention: vec![],
+        };
+        assert!(empty.feature_row_percent(0, 0).is_none());
+    }
+
+    #[test]
+    fn interpret_risk_equals_predict_for_both_tasks() {
+        // The unconditional `1/(1+e^-x)` this path used to apply is not
+        // bitwise the predict path's stable sigmoid (they differ on
+        // negative logits) and would double-squash a future regression
+        // head; both paths must share `task_output`.
+        let (ps, net, samples) = setup(5);
+        let cache = PlanCache::new();
+        for task in [Task::Mortality, Task::LosGt7] {
+            let batch = Batch::gather(std::slice::from_ref(&samples[2]), &[0], 5, task);
+            let predicted = cache.forward_probs(&net, &ps, &batch, task)[0];
+            let interp = interpret_sample(&net, &ps, &samples[2], task, &cache);
+            let oracle = interpret_sample_tape(&net, &ps, &samples[2], task);
+            assert_eq!(interp.risk.to_bits(), predicted.to_bits());
+            assert_eq!(oracle.risk.to_bits(), predicted.to_bits());
+        }
     }
 
     #[test]
@@ -244,9 +386,24 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "ragged attention stack")]
+    fn row_entropy_rejects_ragged_input() {
+        // 5 values cannot be rows of 4: the old code silently dropped the
+        // trailing value and averaged over one row.
+        mean_row_entropy(&[0.25, 0.25, 0.25, 0.25, 1.0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged attention stack")]
+    fn row_max_rejects_ragged_input() {
+        mean_row_max(&[0.5, 0.5, 0.9], 2);
+    }
+
+    #[test]
     fn attention_entropies_of_a_real_forward_are_in_range() {
         let (ps, net, samples) = setup(5);
-        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality);
+        let cache = PlanCache::new();
+        let interp = interpret_sample(&net, &ps, &samples[0], Task::Mortality, &cache);
         let c = interp.feature_attention[0].shape()[1];
         for att in &interp.feature_attention {
             let h = mean_row_entropy(att.data(), c);

@@ -46,7 +46,7 @@ pub mod time_interaction;
 
 pub use config::{EldaConfig, EldaVariant, EmbeddingKind};
 pub use framework::{Elda, TrainReport};
-pub use infer::PlanCache;
+pub use infer::{task_output, ExplainOutput, PlanCache};
 pub use interpret::{mean_row_entropy, mean_row_max, Interpretation, TimeAttentionSummary};
 pub use model::{EldaNet, SequenceModel};
 pub use population::{format_top_pairs, PopulationAttention};

@@ -8,6 +8,7 @@
 //! interaction matrix, the top interacting pairs, and per-archetype
 //! contrasts.
 
+use crate::infer::PlanCache;
 use crate::interpret::interpret_sample;
 use crate::model::EldaNet;
 use elda_emr::{ProcessedSample, Task};
@@ -45,8 +46,11 @@ impl PopulationAttention {
         let t_len = net.config().t_len;
         let c = net.config().num_features;
         let mut acc = vec![0.0f64; c * c];
+        // All windows share one shape, so the first patient captures the
+        // explain plan and the rest replay it at inference memory.
+        let cache = PlanCache::new();
         for &i in indices {
-            let interp = interpret_sample(net, ps, &samples[i], task);
+            let interp = interpret_sample(net, ps, &samples[i], task, &cache);
             for att in &interp.feature_attention {
                 for (a, &v) in acc.iter_mut().zip(att.data()) {
                     *a += v as f64;

@@ -221,8 +221,8 @@ impl StreamSession {
     }
 
     /// Head forward over the current hidden states → probability.
-    /// One plan per window length; the sigmoid stays outside the tape,
-    /// matching `PlanCache::forward_probs`.
+    /// One plan per window length; the task output transform stays
+    /// outside the tape, matching `PlanCache::forward_probs`.
     fn score(&self) -> f32 {
         let cfg = self.model.net().config();
         let (w, l) = (self.hs.len(), cfg.gru_hidden);
@@ -236,6 +236,6 @@ impl StreamSession {
                 let hvars: Vec<_> = hs.iter().map(|h| tape.leaf(h.clone())).collect();
                 net.forward_head(ps, tape, &hvars)
             });
-        logits.sigmoid().data()[0]
+        crate::infer::task_output(self.model.task(), &logits)[0]
     }
 }

@@ -50,7 +50,9 @@ fn main() {
     // hour vs after stabilization.
     let glucose = feature_by_name("Glucose").unwrap();
     for hour in [13usize, 35] {
-        let row = interp.feature_row_percent(hour, glucose);
+        let row = interp
+            .feature_row_percent(hour, glucose)
+            .expect("hour in window");
         let mut ranked: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let top: Vec<String> = ranked

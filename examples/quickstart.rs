@@ -57,7 +57,9 @@ fn main() {
         interp.crucial_hours(2.0)
     );
     let glucose = elda_emr::feature_by_name("Glucose").unwrap();
-    let row = interp.feature_row_percent(cohort.t_len() - 1, glucose);
+    let row = interp
+        .feature_row_percent(cohort.t_len() - 1, glucose)
+        .expect("hour in window");
     let (top_j, top_w) = row
         .iter()
         .enumerate()

@@ -5,7 +5,7 @@
 use elda_bench::{prepare, Scale};
 use elda_core::framework::{train_sequence_model, FitConfig};
 use elda_core::interpret::interpret_sample;
-use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_core::{EldaConfig, EldaNet, EldaVariant, PlanCache};
 use elda_emr::{CohortPreset, Task};
 use elda_nn::ParamStore;
 use rand::rngs::StdRng;
@@ -107,7 +107,13 @@ fn trained_model_yields_interpretable_attention() {
         Task::Mortality,
         &fit,
     );
-    let interp = interpret_sample(&net, &ps, &prep.samples[0], Task::Mortality);
+    let interp = interpret_sample(
+        &net,
+        &ps,
+        &prep.samples[0],
+        Task::Mortality,
+        &PlanCache::new(),
+    );
     // attention structure invariants
     assert_eq!(interp.feature_attention.len(), scale.t_len);
     for att in &interp.feature_attention {

@@ -1,0 +1,210 @@
+//! Golden tests for the explain-plan path: `interpret_sample` replaying
+//! through `PlanCache::explain_forward` must reproduce the retaining-tape
+//! oracle `interpret_sample_tape` **bitwise** — risk, every α entry and
+//! every β weight — across model variants, thread counts and both sides
+//! of the never-flag graph branch. Plan-cache accounting rides along:
+//! explain plans are keyed under their own tag, living beside (never in
+//! place of) the lean score plans.
+
+use elda_bench::{prepare, Scale};
+use elda_core::infer::PlanCache;
+use elda_core::interpret::{interpret_sample, interpret_sample_tape, Interpretation};
+use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_emr::{CohortPreset, Task, NUM_FEATURES};
+use elda_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_scale() -> Scale {
+    Scale {
+        n_patients: 60,
+        t_len: 8,
+        epochs: 1,
+        seeds: 1,
+        batch_size: 16,
+    }
+}
+
+fn tiny_net(variant: EldaVariant, t_len: usize, seed: u64) -> (ParamStore, EldaNet) {
+    let mut ps = ParamStore::new();
+    let mut cfg = EldaConfig::variant(variant, t_len);
+    cfg.embed_dim = 4;
+    cfg.gru_hidden = 8;
+    cfg.compression = 2;
+    let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(seed));
+    (ps, net)
+}
+
+fn assert_interp_bitwise(plan: &Interpretation, oracle: &Interpretation, what: &str) {
+    assert_eq!(
+        plan.risk.to_bits(),
+        oracle.risk.to_bits(),
+        "{what}: risk diverged: {} vs {}",
+        plan.risk,
+        oracle.risk
+    );
+    assert_eq!(
+        plan.feature_attention.len(),
+        oracle.feature_attention.len(),
+        "{what}: α hour count"
+    );
+    for (t, (a, b)) in plan
+        .feature_attention
+        .iter()
+        .zip(&oracle.feature_attention)
+        .enumerate()
+    {
+        assert_eq!(a.shape(), b.shape(), "{what}: α shape at hour {t}");
+        for (k, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: α[{t}] entry {k} diverged: {x} vs {y}"
+            );
+        }
+    }
+    assert_eq!(
+        plan.time_attention.len(),
+        oracle.time_attention.len(),
+        "{what}: β length"
+    );
+    for (k, (x, y)) in plan
+        .time_attention
+        .iter()
+        .zip(&oracle.time_attention)
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: β[{k}] diverged: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn explain_plan_matches_tape_oracle_across_variants() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 21);
+    for variant in [
+        EldaVariant::Full,
+        EldaVariant::TimeOnly,
+        EldaVariant::FeatureBi,
+    ] {
+        let (ps, net) = tiny_net(variant, scale.t_len, 31);
+        let cache = PlanCache::new();
+        for (i, sample) in prep.samples.iter().take(4).enumerate() {
+            // First call per variant captures the explain plan; the rest
+            // replay. Both must match the retaining-tape oracle bitwise.
+            let plan = interpret_sample(&net, &ps, sample, Task::Mortality, &cache);
+            let oracle = interpret_sample_tape(&net, &ps, sample, Task::Mortality);
+            let what = format!("{} sample {i}", variant.name());
+            assert_interp_bitwise(&plan, &oracle, &what);
+            // the variant's ablated components stay absent on both paths
+            match variant {
+                EldaVariant::TimeOnly => assert!(plan.feature_attention.is_empty(), "{what}"),
+                EldaVariant::FeatureBi => assert!(plan.time_attention.is_empty(), "{what}"),
+                _ => {
+                    assert!(!plan.feature_attention.is_empty(), "{what}");
+                    assert!(!plan.time_attention.is_empty(), "{what}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_replay_is_bitwise_stable_across_thread_counts() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 22);
+    let (ps, net) = tiny_net(EldaVariant::Full, scale.t_len, 32);
+    let cache = PlanCache::new();
+    let sample = &prep.samples[0];
+
+    let first = interpret_sample(&net, &ps, sample, Task::Mortality, &cache); // captures
+    let prev = elda_tensor::pool::threads();
+    elda_tensor::pool::set_threads(4);
+    let wide = interpret_sample(&net, &ps, sample, Task::Mortality, &cache); // replays
+    elda_tensor::pool::set_threads(prev);
+    assert_interp_bitwise(&wide, &first, "1 thread vs 4 threads");
+    assert_eq!(cache.len(), 1, "replay must not re-capture");
+}
+
+#[test]
+fn never_flag_branch_keys_separate_explain_plans() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 23);
+    let (ps, net) = tiny_net(EldaVariant::Full, scale.t_len, 33);
+
+    // Both sides of the embedding's data-dependent branch: every flag
+    // cleared (fast path) and a guaranteed never-observed feature.
+    let mut all_observed = prep.samples[0].clone();
+    all_observed.never = vec![0.0; NUM_FEATURES];
+    let mut with_missing = prep.samples[0].clone();
+    with_missing.never[0] = 1.0;
+
+    let cache = PlanCache::new();
+    for (sample, what) in [(&all_observed, "never=0"), (&with_missing, "never!=0")] {
+        let plan = interpret_sample(&net, &ps, sample, Task::Mortality, &cache);
+        let oracle = interpret_sample_tape(&net, &ps, sample, Task::Mortality);
+        assert_interp_bitwise(&plan, &oracle, what);
+    }
+    assert_eq!(cache.len(), 2, "both graph keys cached separately");
+}
+
+#[test]
+fn explain_plans_live_beside_score_plans_without_eviction() {
+    let scale = small_scale();
+    let prep = prepare(CohortPreset::PhysioNet2012, &scale, 24);
+    let (ps, net) = tiny_net(EldaVariant::Full, scale.t_len, 34);
+    let idx: Vec<usize> = (0..20).collect();
+    let cache = PlanCache::new();
+
+    let score = |cache: &PlanCache| {
+        elda_core::infer::predict_probs(
+            &net,
+            &ps,
+            &prep.samples,
+            &idx,
+            scale.t_len,
+            Task::Mortality,
+            7,
+            cache,
+        )
+    };
+    // chunks of 7,7,6 → two score plans; plus a batch-of-1 score plan
+    // sharing its dims with the explain plan (tag is the discriminator).
+    let before = score(&cache);
+    let single = elda_core::infer::predict_probs(
+        &net,
+        &ps,
+        &prep.samples,
+        &[0],
+        scale.t_len,
+        Task::Mortality,
+        1,
+        &cache,
+    );
+    assert_eq!(cache.len(), 3, "score plans for shapes 7, 6 and 1");
+
+    let explained = interpret_sample(&net, &ps, &prep.samples[0], Task::Mortality, &cache);
+    assert_eq!(
+        cache.len(),
+        4,
+        "the explain plan is keyed under its own tag beside the \
+         batch-of-1 score plan, not in place of it"
+    );
+    assert_eq!(
+        explained.risk.to_bits(),
+        single[0].to_bits(),
+        "explain risk is the predict risk"
+    );
+
+    // score traffic after explain traffic replays the untouched lean
+    // plans: bitwise-identical output, no re-capture
+    let after = score(&cache);
+    for (i, (x, y)) in before.iter().zip(&after).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "score {i} diverged after explain");
+    }
+    assert_eq!(cache.len(), 4, "no plan was evicted or re-captured");
+}

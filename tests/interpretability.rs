@@ -5,7 +5,7 @@
 use elda_bench::{prepare, Scale};
 use elda_core::framework::{train_sequence_model, FitConfig};
 use elda_core::interpret::interpret_sample;
-use elda_core::{EldaConfig, EldaNet, EldaVariant};
+use elda_core::{EldaConfig, EldaNet, EldaVariant, PlanCache};
 use elda_emr::presets::{patient_a, with_feature_overridden};
 use elda_emr::{essential_features, feature_by_name, CohortPreset, Task};
 use elda_nn::ParamStore;
@@ -62,11 +62,11 @@ fn feature_attention_is_state_dependent_over_the_stay() {
     let net = EldaNet::new(&mut ps, cfg, &mut StdRng::seed_from_u64(9));
     let patient = patient_a(4242);
     let sample = prep.pipeline.process(&patient);
-    let interp = interpret_sample(&net, &ps, &sample, Task::Mortality);
+    let interp = interpret_sample(&net, &ps, &sample, Task::Mortality, &PlanCache::new());
 
     let glu = feature_by_name("Glucose").unwrap();
-    let admission = interp.feature_row_percent(2, glu);
-    let acute = interp.feature_row_percent(22, glu);
+    let admission = interp.feature_row_percent(2, glu).expect("hour in window");
+    let acute = interp.feature_row_percent(22, glu).expect("hour in window");
     let l1: f32 = admission
         .iter()
         .zip(&acute)
@@ -98,14 +98,15 @@ fn normalizing_lactate_reduces_its_received_attention() {
     let lac = feature_by_name("Lactate").unwrap();
     let modified = with_feature_overridden(&patient, lac, prep.pipeline.means()[lac]);
 
+    let cache = PlanCache::new();
     let received = |p: &elda_emr::Patient| -> f32 {
         let sample = prep.pipeline.process(p);
-        let interp = interpret_sample(&net, &ps, &sample, Task::Mortality);
+        let interp = interpret_sample(&net, &ps, &sample, Task::Mortality, &cache);
         let mut total = 0.0;
         let mut n = 0;
         for hour in 16..28 {
             for &i in essential_features().iter().filter(|&&i| i != lac) {
-                total += interp.feature_row_percent(hour, i)[lac];
+                total += interp.feature_row_percent(hour, i).expect("hour in window")[lac];
                 n += 1;
             }
         }
@@ -130,9 +131,10 @@ fn time_attention_skews_toward_late_hours() {
         batch_size: 32,
     };
     let (ps, net, prep) = trained_full_elda(&scale, 107);
+    let cache = PlanCache::new();
     let mut late_masses = Vec::new();
     for &i in prep.split.test.iter().take(20) {
-        let interp = interpret_sample(&net, &ps, &prep.samples[i], Task::Mortality);
+        let interp = interpret_sample(&net, &ps, &prep.samples[i], Task::Mortality, &cache);
         let t1 = interp.time_attention.len();
         let late: f32 = interp.time_attention[t1 - t1 / 4..].iter().sum();
         late_masses.push(late);
